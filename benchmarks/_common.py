@@ -1,0 +1,34 @@
+"""Shared helpers for the per-figure benchmark files.
+
+Each ``bench_figXX.py`` contains two benchmarks:
+
+- a *point* benchmark — pytest-benchmark timing of one representative
+  configuration of the figure (stable, repeatable, small), and
+- a *series* benchmark — one pass over the figure's full sweep at reduced
+  scale, recording the regenerated table in ``extra_info`` and printing it
+  (visible with ``pytest -s`` or in the benchmark JSON).
+
+Full-scale reproduction lives in ``python -m repro.bench.figures <fig> --full``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchScale
+
+
+def bench_scale() -> BenchScale:
+    """Reduced scale used inside pytest-benchmark runs."""
+    return BenchScale(
+        name="bench", events=1500, rounds=150, hybrid_seconds=45, repeats=1
+    )
+
+
+def run_series(benchmark, driver) -> None:
+    """Run a figure driver once under pytest-benchmark and record the table."""
+    result = benchmark.pedantic(
+        lambda: driver(bench_scale()), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["figure"] = result.figure
+    benchmark.extra_info["table"] = result.render()
+    print()
+    print(result.render())

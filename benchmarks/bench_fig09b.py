@@ -1,0 +1,40 @@
+"""Figure 9(b): Workload 1, normalized throughput vs constant domain size."""
+
+from _common import run_series
+
+from repro.bench.figures import fig9b
+from repro.engine.executor import StreamEngine
+from repro.workloads.templates import (
+    Workload1,
+    WorkloadParameters,
+    sources_from_events,
+)
+
+
+def test_fig09b_point_selective(benchmark):
+    """Representative point: large constant domain (selective predicates)."""
+    workload = Workload1(
+        WorkloadParameters(num_queries=200, constant_domain=100_000)
+    )
+    plan, name_map = workload.rumor_plan()
+    events = workload.events(1500)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(sources_from_events(plan, name_map, events))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig09b_point_unselective(benchmark):
+    """Representative point: small constant domain (heavy matching)."""
+    workload = Workload1(WorkloadParameters(num_queries=200, constant_domain=10))
+    plan, name_map = workload.rumor_plan()
+    events = workload.events(1500)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(sources_from_events(plan, name_map, events))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig09b_series(benchmark):
+    """Regenerate the full Figure 9(b) sweep (reduced scale)."""
+    run_series(benchmark, fig9b)

@@ -1,0 +1,29 @@
+"""Figure 9(c): Workload 1, normalized throughput vs window length domain."""
+
+from _common import run_series
+
+from repro.bench.figures import fig9c
+from repro.engine.executor import StreamEngine
+from repro.workloads.templates import (
+    Workload1,
+    WorkloadParameters,
+    sources_from_events,
+)
+
+
+def test_fig09c_point_large_windows(benchmark):
+    """Representative point: window domain 100 000 (paper's heaviest)."""
+    workload = Workload1(
+        WorkloadParameters(num_queries=200, window_domain=100_000)
+    )
+    plan, name_map = workload.rumor_plan()
+    events = workload.events(1500)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(sources_from_events(plan, name_map, events))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig09c_series(benchmark):
+    """Regenerate the full Figure 9(c) sweep (reduced scale)."""
+    run_series(benchmark, fig9c)

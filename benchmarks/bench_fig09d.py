@@ -1,0 +1,27 @@
+"""Figure 9(d): Workload 1, normalized throughput vs Zipf parameter."""
+
+from _common import run_series
+
+from repro.bench.figures import fig9d
+from repro.engine.executor import StreamEngine
+from repro.workloads.templates import (
+    Workload1,
+    WorkloadParameters,
+    sources_from_events,
+)
+
+
+def test_fig09d_point_high_commonality(benchmark):
+    """Representative point: Zipf 2.0 (max commonality, most CSE)."""
+    workload = Workload1(WorkloadParameters(num_queries=200, zipf=2.0))
+    plan, name_map = workload.rumor_plan()
+    events = workload.events(1500)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(sources_from_events(plan, name_map, events))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig09d_series(benchmark):
+    """Regenerate the full Figure 9(d) sweep (reduced scale)."""
+    run_series(benchmark, fig9d)

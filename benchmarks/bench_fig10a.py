@@ -1,0 +1,42 @@
+"""Figure 10(a): Workload 2 (;), normalized throughput vs number of queries."""
+
+from _common import run_series
+
+from repro.bench.figures import fig10a
+from repro.engine.executor import StreamEngine
+from repro.workloads.templates import (
+    Workload2,
+    WorkloadParameters,
+    sources_from_events,
+)
+
+
+def test_fig10a_point_rumor(benchmark):
+    """Representative point: RUMOR plan, 100 AI-indexed sequence queries."""
+    workload = Workload2(WorkloadParameters(num_queries=100), variant="seq")
+    plan, name_map = workload.rumor_plan()
+    events = workload.events(1500)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(sources_from_events(plan, name_map, events))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig10a_point_cayuga(benchmark):
+    """Representative point: Cayuga automata, 100 sequence queries."""
+    workload = Workload2(WorkloadParameters(num_queries=100), variant="seq")
+    events = workload.events(1500)
+    engine = workload.automaton_engine()
+    engine.freeze()
+
+    def run():
+        engine.reset()
+        return engine.run(iter(events))
+
+    stats = benchmark(run)
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig10a_series(benchmark):
+    """Regenerate the full Figure 10(a) sweep (reduced scale)."""
+    run_series(benchmark, fig10a)

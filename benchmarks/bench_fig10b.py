@@ -1,0 +1,42 @@
+"""Figure 10(b): Workload 2 (µ), normalized throughput vs number of queries."""
+
+from _common import run_series
+
+from repro.bench.figures import fig10b
+from repro.engine.executor import StreamEngine
+from repro.workloads.templates import (
+    Workload2,
+    WorkloadParameters,
+    sources_from_events,
+)
+
+
+def test_fig10b_point_rumor(benchmark):
+    """Representative point: RUMOR plan, 100 µ queries."""
+    workload = Workload2(WorkloadParameters(num_queries=100), variant="mu")
+    plan, name_map = workload.rumor_plan()
+    events = workload.events(1500)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(sources_from_events(plan, name_map, events))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig10b_point_cayuga(benchmark):
+    """Representative point: Cayuga automata, 100 µ queries."""
+    workload = Workload2(WorkloadParameters(num_queries=100), variant="mu")
+    events = workload.events(1500)
+    engine = workload.automaton_engine()
+    engine.freeze()
+
+    def run():
+        engine.reset()
+        return engine.run(iter(events))
+
+    stats = benchmark(run)
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig10b_series(benchmark):
+    """Regenerate the full Figure 10(b) sweep (reduced scale)."""
+    run_series(benchmark, fig10b)

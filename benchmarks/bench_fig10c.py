@@ -1,0 +1,32 @@
+"""Figure 10(c): Workload 3, channel vs no-channel vs number of queries."""
+
+from _common import run_series
+
+from repro.bench.figures import fig10c
+from repro.engine.executor import StreamEngine
+from repro.workloads.templates import Workload3, WorkloadParameters
+
+
+def _measure(channels: bool, benchmark):
+    workload = Workload3(WorkloadParameters(num_queries=200), capacity=10)
+    rounds = workload.rounds(150)
+    plan, name_map = workload.rumor_plan(channels=channels)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(workload.sources(plan, name_map, rounds))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig10c_point_with_channel(benchmark):
+    """Representative point: 200 queries over a capacity-10 channel."""
+    _measure(True, benchmark)
+
+
+def test_fig10c_point_without_channel(benchmark):
+    """Representative point: 200 queries without channel encoding."""
+    _measure(False, benchmark)
+
+
+def test_fig10c_series(benchmark):
+    """Regenerate the full Figure 10(c) sweep (reduced scale)."""
+    run_series(benchmark, fig10c)

@@ -1,0 +1,32 @@
+"""Figure 10(d): Workload 3, channel vs no-channel vs channel capacity."""
+
+from _common import run_series
+
+from repro.bench.figures import fig10d
+from repro.engine.executor import StreamEngine
+from repro.workloads.templates import Workload3, WorkloadParameters
+
+
+def _measure(capacity: int, channels: bool, benchmark):
+    workload = Workload3(WorkloadParameters(num_queries=200), capacity=capacity)
+    rounds = workload.rounds(150)
+    plan, name_map = workload.rumor_plan(channels=channels)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(workload.sources(plan, name_map, rounds))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig10d_point_capacity25_with_channel(benchmark):
+    """Representative point: capacity 25, channel plan."""
+    _measure(25, True, benchmark)
+
+
+def test_fig10d_point_capacity25_without_channel(benchmark):
+    """Representative point: capacity 25, plain plan."""
+    _measure(25, False, benchmark)
+
+
+def test_fig10d_series(benchmark):
+    """Regenerate the full Figure 10(d) sweep (reduced scale)."""
+    run_series(benchmark, fig10d)

@@ -1,0 +1,33 @@
+"""Figure 11(a): hybrid workload on D1, throughput vs number of queries."""
+
+from _common import run_series
+
+from repro.bench.figures import fig11a
+from repro.engine.executor import StreamEngine
+from repro.workloads.perfmon import PerfmonDataset
+from repro.workloads.templates import HybridWorkload
+
+
+def _measure(channels: bool, benchmark):
+    dataset = PerfmonDataset(processes=104, duration_seconds=120, seed=1)
+    workload = HybridWorkload(dataset, num_queries=10, sel=0.5)
+    plan, name_map = workload.rumor_plan(channels=channels)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(workload.sources(plan, name_map, 45))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig11a_point_with_channel(benchmark):
+    """Representative point: 10 hybrid queries, channel plan (Fig 6(c))."""
+    _measure(True, benchmark)
+
+
+def test_fig11a_point_without_channel(benchmark):
+    """Representative point: 10 hybrid queries, plain plan (Fig 6(b))."""
+    _measure(False, benchmark)
+
+
+def test_fig11a_series(benchmark):
+    """Regenerate the full Figure 11(a) sweep (reduced scale)."""
+    run_series(benchmark, fig11a)

@@ -1,0 +1,33 @@
+"""Figure 11(b): hybrid workload on D1, throughput vs starting selectivity."""
+
+from _common import run_series
+
+from repro.bench.figures import fig11b
+from repro.engine.executor import StreamEngine
+from repro.workloads.perfmon import PerfmonDataset
+from repro.workloads.templates import HybridWorkload
+
+
+def _measure(sel: float, channels: bool, benchmark):
+    dataset = PerfmonDataset(processes=104, duration_seconds=120, seed=1)
+    workload = HybridWorkload(dataset, num_queries=10, sel=sel)
+    plan, name_map = workload.rumor_plan(channels=channels)
+    stats = benchmark(
+        lambda: StreamEngine(plan).run(workload.sources(plan, name_map, 45))
+    )
+    benchmark.extra_info["throughput_ev_s"] = round(stats.throughput)
+
+
+def test_fig11b_point_sel08_with_channel(benchmark):
+    """Representative point: sel 0.8, channel plan (flat regime)."""
+    _measure(0.8, True, benchmark)
+
+
+def test_fig11b_point_sel08_without_channel(benchmark):
+    """Representative point: sel 0.8, plain plan (degraded regime)."""
+    _measure(0.8, False, benchmark)
+
+
+def test_fig11b_series(benchmark):
+    """Regenerate the full Figure 11(b) sweep (reduced scale)."""
+    run_series(benchmark, fig11b)

@@ -1,0 +1,93 @@
+"""Quickstart: three stream queries, one optimized multi-query plan.
+
+Builds a tiny multi-query workload over a sensor stream, lets the RUMOR
+optimizer share work among the queries (predicate indexing + channel-based
+aggregation), and runs the plan over synthetic data.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Comparison,
+    Optimizer,
+    QueryPlan,
+    Schema,
+    Selection,
+    SlidingWindowAggregate,
+    StreamEngine,
+    StreamSource,
+    StreamTuple,
+    TimeWindow,
+    attr,
+    lit,
+)
+
+SENSORS = Schema.of_ints("sensor_id", "temperature")
+
+
+def build_plan() -> tuple[QueryPlan, object]:
+    """Three queries: two alert filters and two per-sensor averages."""
+    plan = QueryPlan()
+    readings = plan.add_source("readings", SENSORS)
+
+    # q1 / q2: alert when specific sensors report (equality predicates —
+    # the sσ rule merges them into one hash-indexed m-op).
+    for query_id, sensor in (("q1", 3), ("q2", 7)):
+        alert = plan.add_operator(
+            Selection(Comparison(attr("sensor_id"), "==", lit(sensor))),
+            [readings],
+            query_id=query_id,
+        )
+        plan.mark_output(alert, query_id)
+
+    # q3 / q4: 10-tick average temperature for the same two sensors.  The
+    # selections share the index; the identical aggregates downstream are
+    # merged over a channel by the cα rule (shared fragment aggregation).
+    for query_id, sensor in (("q3", 3), ("q4", 7)):
+        only = plan.add_operator(
+            Selection(Comparison(attr("sensor_id"), "==", lit(sensor))),
+            [readings],
+            query_id=query_id,
+        )
+        smoothed = plan.add_operator(
+            SlidingWindowAggregate(
+                "avg",
+                "temperature",
+                TimeWindow(10),
+                group_by=("sensor_id",),
+                output_name="avg_temperature",
+            ),
+            [only],
+            query_id=query_id,
+        )
+        plan.mark_output(smoothed, query_id)
+
+    return plan, readings
+
+
+def main() -> None:
+    plan, readings = build_plan()
+    print("== naive plan ==")
+    print(plan.describe())
+
+    report = Optimizer().optimize(plan)
+    print(f"\n== after optimization ({report}) ==")
+    print(plan.describe())
+
+    tuples = [
+        StreamTuple(SENSORS, (ts % 10, 20 + (ts * 7) % 15), ts) for ts in range(200)
+    ]
+    engine = StreamEngine(plan, capture_outputs=True)
+    stats = engine.run([StreamSource(plan.channel_of(readings), tuples)])
+
+    print(f"\n== run ==\n{stats}")
+    for query_id in ("q1", "q2", "q3", "q4"):
+        outputs = engine.captured.get(query_id, [])
+        preview = ", ".join(str(t.as_dict()) for t in outputs[:2])
+        print(f"{query_id}: {len(outputs)} outputs (first: {preview})")
+
+
+if __name__ == "__main__":
+    main()

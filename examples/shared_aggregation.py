@@ -1,0 +1,107 @@
+"""Shared aggregation: many dashboards, one scan (§2.4 and [22]).
+
+A fleet of "dashboard" queries aggregates the same order stream with the same
+function but different group-by specifications and window lengths — the sα
+workload.  The optimizer merges all of them into one SharedAggregateMOp: the
+window buffer is stored once and every query keeps only O(groups) running
+partials.
+
+A second fleet computes the *same* aggregate over different (but sharable)
+filtered views, exercising the channel-based cα rule (shared fragment
+aggregation, [15]).
+
+Run with::
+
+    python examples/shared_aggregation.py
+"""
+
+import numpy as np
+
+from repro import (
+    Comparison,
+    Optimizer,
+    QueryPlan,
+    Schema,
+    Selection,
+    SlidingWindowAggregate,
+    StreamEngine,
+    StreamSource,
+    StreamTuple,
+    TimeWindow,
+    attr,
+    lit,
+)
+
+ORDERS = Schema.of_ints("region", "product", "amount")
+
+
+def main() -> None:
+    plan = QueryPlan()
+    orders = plan.add_source("orders", ORDERS)
+
+    # Fleet 1: same function (sum of amount), different group-bys and windows.
+    dashboards = [
+        ("by_region_1m", ("region",), 60),
+        ("by_product_1m", ("product",), 60),
+        ("by_region_product_1m", ("region", "product"), 60),
+        ("by_region_5m", ("region",), 300),
+        ("total_5m", (), 300),
+    ]
+    for query_id, group_by, window in dashboards:
+        out = plan.add_operator(
+            SlidingWindowAggregate(
+                "sum", "amount", TimeWindow(window), group_by, "revenue"
+            ),
+            [orders],
+            query_id=query_id,
+        )
+        plan.mark_output(out, query_id)
+
+    # Fleet 2: identical averages over per-region filtered views — the
+    # filtered streams are sharable (selections are transparent for ∼), so
+    # the identical aggregates merge over a channel (cα).
+    for region in (1, 2, 3):
+        query_id = f"region{region}_avg"
+        filtered = plan.add_operator(
+            Selection(Comparison(attr("region"), "==", lit(region))),
+            [orders],
+            query_id=query_id,
+        )
+        out = plan.add_operator(
+            SlidingWindowAggregate(
+                "avg", "amount", TimeWindow(120), ("product",), "avg_amount"
+            ),
+            [filtered],
+            query_id=query_id,
+        )
+        plan.mark_output(out, query_id)
+
+    print("== naive plan ==")
+    print(plan.describe())
+    report = Optimizer().optimize(plan)
+    print(f"\n== optimized ({report}) ==")
+    print(plan.describe())
+
+    rng = np.random.default_rng(3)
+    tuples = [
+        StreamTuple(
+            ORDERS,
+            (int(rng.integers(1, 4)), int(rng.integers(1, 6)), int(rng.integers(1, 100))),
+            ts,
+        )
+        for ts in range(2000)
+    ]
+    engine = StreamEngine(plan, capture_outputs=True)
+    stats = engine.run([StreamSource(plan.channel_of(orders), tuples)])
+    print(f"\n== run ==\n{stats}")
+    for query_id, __, __ in dashboards:
+        outputs = engine.captured.get(query_id, [])
+        print(f"{query_id}: {len(outputs)} refreshes, last={outputs[-1].as_dict()}")
+    for region in (1, 2, 3):
+        query_id = f"region{region}_avg"
+        outputs = engine.captured.get(query_id, [])
+        print(f"{query_id}: {len(outputs)} refreshes, last={outputs[-1].as_dict()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``python setup.py develop`` / ``pip install -e .`` in offline
+environments whose setuptools predates native PEP 660 editable-wheel support
+(no ``wheel`` package available).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Cayuga-style automaton substrate (paper §4.2–§4.3).
+
+Event engines like Cayuga implement queries as nondeterministic automata
+whose states hold *instances* (partial matches) and whose edges come in three
+kinds — filter (stay unchanged), rebind (stay, updated by F_r), forward (move
+on, transformed by F_fo).  This subpackage provides:
+
+- :mod:`~repro.automata.automaton` — the automaton model,
+- :mod:`~repro.automata.engine` — a baseline execution engine with the three
+  Cayuga MQO index structures (FR, AN, AI) and prefix state merging; this is
+  the "Cayuga Automata" competitor line of Figures 9 and 10,
+- :mod:`~repro.automata.merging` — prefix state merging of query automata
+  into the engine's forest,
+- :mod:`~repro.automata.translate` — the §4.2 translation of automata into
+  RUMOR query plans.
+"""
+
+from repro.automata.automaton import Automaton, ForwardEdge, State
+from repro.automata.engine import AutomatonEngine
+from repro.automata.translate import translate_automaton
+
+__all__ = [
+    "Automaton",
+    "State",
+    "ForwardEdge",
+    "AutomatonEngine",
+    "translate_automaton",
+]

@@ -1,0 +1,342 @@
+"""The Cayuga-style automaton model (paper §4.2, Fig. 4/5).
+
+A query automaton is a DAG of states.  Each state reads one input stream and
+holds a set of *instances* — partially processed matches with a fixed schema.
+On each event, every instance non-deterministically traverses all satisfied
+edges; instances satisfying no edge are deleted:
+
+- the **filter** edge (≤1 per state) keeps the instance unchanged,
+- the **rebind** edge (≤1) keeps the instance, transformed by the schema map
+  ``F_r`` over the concatenation of instance and event,
+- **forward** edges move a transformed copy (``F_fo``) to their target state;
+  a copy reaching a *final* state is a query result.
+
+Predicates reference the instance via the ``LEFT`` expression side and the
+incoming event via ``RIGHT`` (matching the operator layer's convention).
+Schema maps are ``(name, expression)`` item lists, exactly like
+:class:`~repro.operators.project.Projection`.
+
+The *start* state is special: it holds no instances; each arriving event is
+itself the candidate, so start-edge predicates and schema maps reference the
+event via ``RIGHT`` only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.errors import AutomatonError
+from repro.operators.expressions import Expression, LEFT
+from repro.operators.predicates import FalsePredicate, Predicate
+from repro.streams.schema import Attribute, Schema
+
+_state_ids = itertools.count(1)
+
+#: Schema map type: ordered (output name, expression) items.
+SchemaMap = tuple[tuple[str, Expression], ...]
+
+
+def identity_schema_map(schema: Schema, side: int) -> SchemaMap:
+    """The schema map copying every attribute of ``schema`` from ``side``."""
+    from repro.operators.expressions import AttrRef
+
+    return tuple((a.name, AttrRef(side, a.name)) for a in schema)
+
+
+def schema_map_output(
+    items: SchemaMap, left_schema: Optional[Schema], right_schema: Schema
+) -> Schema:
+    """Output schema of a schema map over (instance, event)."""
+    attributes = []
+    for name, expression in items:
+        type_ = expression.result_type(
+            left_schema if left_schema is not None else right_schema, right_schema
+        )
+        attributes.append(Attribute(name, type_))
+    return Schema(attributes)
+
+
+class ForwardEdge:
+    """A forward edge: predicate θ, schema map F_fo, and a target state."""
+
+    __slots__ = ("predicate", "schema_map", "target")
+
+    def __init__(self, predicate: Predicate, schema_map: SchemaMap, target: "State"):
+        self.predicate = predicate
+        self.schema_map = schema_map
+        self.target = target
+
+    def definition(self) -> tuple:
+        """Edge definition sans target — what prefix merging compares."""
+        return (self.predicate, self.schema_map)
+
+    def __repr__(self):
+        return f"ForwardEdge({self.predicate!r} -> {self.target.name})"
+
+
+class State:
+    """One automaton state with its edge set and instance schema."""
+
+    __slots__ = (
+        "state_id",
+        "name",
+        "stream_name",
+        "instance_schema",
+        "filter_predicate",
+        "rebind_predicate",
+        "rebind_map",
+        "forwards",
+        "is_start",
+        "is_final",
+        "query_ids",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        stream_name: Optional[str],
+        instance_schema: Optional[Schema],
+        is_start: bool = False,
+        is_final: bool = False,
+    ):
+        if is_final and stream_name is not None:
+            raise AutomatonError("final states read no stream")
+        if not is_final and stream_name is None:
+            raise AutomatonError(f"non-final state {name!r} must read a stream")
+        self.state_id = next(_state_ids)
+        self.name = name
+        self.stream_name = stream_name
+        self.instance_schema = instance_schema
+        self.filter_predicate: Predicate = FalsePredicate()
+        self.rebind_predicate: Optional[Predicate] = None
+        self.rebind_map: Optional[SchemaMap] = None
+        self.forwards: list[ForwardEdge] = []
+        self.is_start = is_start
+        self.is_final = is_final
+        #: Query ids attributed to results arriving at this (final) state.
+        self.query_ids: list = []
+
+    # -- construction ------------------------------------------------------------
+
+    def set_filter(self, predicate: Predicate) -> "State":
+        """Attach the filter edge (θ_f; FalsePredicate means no filter edge)."""
+        if self.is_final:
+            raise AutomatonError("final states have no outgoing edges")
+        self.filter_predicate = predicate
+        return self
+
+    def set_rebind(self, predicate: Predicate, schema_map: SchemaMap) -> "State":
+        """Attach the rebind edge (θ_r, F_r)."""
+        if self.is_final:
+            raise AutomatonError("final states have no outgoing edges")
+        if self.is_start:
+            raise AutomatonError("the start state cannot have a rebind edge")
+        self.rebind_predicate = predicate
+        self.rebind_map = schema_map
+        return self
+
+    def add_forward(
+        self, predicate: Predicate, schema_map: SchemaMap, target: "State"
+    ) -> ForwardEdge:
+        """Attach a forward edge (θ, F_fo) to ``target``."""
+        if self.is_final:
+            raise AutomatonError("final states have no outgoing edges")
+        edge = ForwardEdge(predicate, schema_map, target)
+        self.forwards.append(edge)
+        return edge
+
+    def signature(self) -> tuple:
+        """State definition used by prefix merging: stream + loop edges."""
+        return (
+            self.stream_name,
+            self.instance_schema,
+            self.filter_predicate,
+            self.rebind_predicate,
+            self.rebind_map,
+            self.is_final,
+        )
+
+    def __repr__(self):
+        kind = "start" if self.is_start else ("final" if self.is_final else "state")
+        return f"State({self.name!r}, {kind}, stream={self.stream_name!r})"
+
+
+class Automaton:
+    """A single query automaton: states reachable from ``start``.
+
+    The final state carries the query id(s); construction validates the DAG
+    property ("states can only be connected through forward edges, resulting
+    in automata that are directed acyclic graphs").
+    """
+
+    def __init__(self, start: State, query_id=None):
+        if not start.is_start:
+            raise AutomatonError("automaton root must be a start state")
+        self.start = start
+        self.states = self._collect(start)
+        finals = [state for state in self.states if state.is_final]
+        if not finals:
+            raise AutomatonError("automaton has no final state")
+        if query_id is not None:
+            for state in finals:
+                state.query_ids.append(query_id)
+        self.query_id = query_id
+
+    def _collect(self, start: State) -> list[State]:
+        order: list[State] = []
+        seen: set[int] = set()
+        on_path: set[int] = set()
+
+        def visit(state: State):
+            if state.state_id in on_path:
+                raise AutomatonError("automaton contains a cycle of forward edges")
+            if state.state_id in seen:
+                return
+            seen.add(state.state_id)
+            on_path.add(state.state_id)
+            for edge in state.forwards:
+                visit(edge.target)
+            on_path.discard(state.state_id)
+            order.append(state)
+
+        visit(start)
+        order.reverse()
+        return order
+
+    def __repr__(self):
+        return f"Automaton({len(self.states)} states, query={self.query_id!r})"
+
+
+def sequence_automaton(
+    stream_a: str,
+    schema_a: Schema,
+    predicate_a: Predicate,
+    stream_b: str,
+    schema_b: Schema,
+    predicate_b: Predicate,
+    query_id=None,
+    consume_on_match: bool = True,
+) -> Automaton:
+    """Build the two-step automaton for ``σ_a(A) ; θ_b B`` (Workload 1/2 shape).
+
+    ``predicate_a`` references the event via RIGHT (start-edge convention);
+    ``predicate_b`` references the stored instance via LEFT and the new event
+    via RIGHT (it typically carries the duration predicate as a conjunct).
+    """
+    from repro.operators.expressions import AttrRef, RIGHT
+    from repro.operators.predicates import Not, TruePredicate
+
+    start = State("q1", stream_a, None, is_start=True)
+    middle = State("q2", stream_b, schema_a)
+    final = State("q3", None, None, is_final=True)
+    # The filter edge decides what happens to instances the event does not
+    # move forward: θf = ¬θ_fwd consumes matched instances only (the paper's
+    # "special semantics" of the Cayuga sequence operator, §5.2); θf = true
+    # keeps instances alive across matches.
+    if consume_on_match:
+        middle.set_filter(Not(predicate_b))
+    else:
+        middle.set_filter(TruePredicate())
+    start.add_forward(predicate_a, identity_schema_map(schema_a, side=RIGHT), middle)
+    # F2 concatenates the stored instance (prefixed) with the current event.
+    concat_map = tuple(
+        [(f"s_{a.name}", AttrRef(LEFT, a.name)) for a in schema_a]
+        + [(a.name, AttrRef(RIGHT, a.name)) for a in schema_b]
+    )
+    middle.add_forward(predicate_b, concat_map, final)
+    return Automaton(start, query_id=query_id)
+
+
+def iterate_automaton(
+    stream_a: str,
+    schema_a: Schema,
+    predicate_a: Predicate,
+    stream_b: str,
+    schema_b: Schema,
+    forward_predicate: Predicate,
+    rebind_predicate: Predicate,
+    query_id=None,
+) -> Automaton:
+    """Build the automaton for ``σ_a(A) µ_{θf, θr} B`` (Workload 2 µ shape).
+
+    ``forward_predicate`` and ``rebind_predicate`` use the *operator layer*
+    side convention: LEFT = start event, RIGHT = incoming event, LAST = the
+    most recently bound event.  The middle state's instance schema carries
+    both views — the start attributes under ``s_*`` and the last-bound event
+    attributes unprefixed — so F_r can refresh the latter while preserving
+    the former, mirroring exactly the ``last`` semantics of
+    :class:`~repro.operators.iterate.Iterate`.  Outputs therefore match the
+    operator layer's output content, which keeps the two engines comparable
+    tuple-for-tuple in tests.
+    """
+    from repro.operators.expressions import RIGHT, LAST, AttrRef
+    from repro.operators.predicates import (
+        Comparison,
+        Not,
+        as_cross_equality,
+        conjuncts,
+        map_attr_refs,
+    )
+
+    start = State("q1", stream_a, None, is_start=True)
+    instance_schema = schema_a.prefixed("s_").concat(schema_b)
+    middle = State("q2", stream_b, instance_schema)
+    final = State("q3", None, None, is_final=True)
+
+    # When forward and rebind share a correlation equality, the filter edge
+    # keeps uncorrelated instances alive (θf = ¬θ_corr) — the Cayuga idiom
+    # that makes the Active Instance index sound and matches the operator
+    # layer's probe semantics.  Without correlation the state is strict:
+    # every event probes every instance.
+    forward_pairs = {
+        pair
+        for part in conjuncts(forward_predicate)
+        if (pair := as_cross_equality(part)) is not None
+    }
+    rebind_pairs = {
+        pair
+        for part in conjuncts(rebind_predicate)
+        if (pair := as_cross_equality(part)) is not None
+    }
+    common_pairs = sorted(forward_pairs & rebind_pairs)
+    if common_pairs:
+        start_attr, event_attr = common_pairs[0]
+        middle.set_filter(
+            Not(
+                Comparison(
+                    AttrRef(LEFT, f"s_{start_attr}"), "==", AttrRef(RIGHT, event_attr)
+                )
+            )
+        )
+
+    # F1: instance = (s_* := event attrs, last := the same event).
+    start_map = tuple(
+        [(f"s_{a.name}", AttrRef(RIGHT, a.name)) for a in schema_a]
+        + [(a.name, AttrRef(RIGHT, a.name)) for a in schema_b]
+    )
+    start.add_forward(predicate_a, start_map, middle)
+
+    def to_instance_terms(ref: AttrRef):
+        if ref.side == LEFT:
+            return AttrRef(LEFT, f"s_{ref.name}")
+        if ref.side == LAST:
+            return AttrRef(LEFT, ref.name)
+        return ref
+
+    # F_r: keep the start attributes, rebind the last-event attributes.
+    rebind_map = tuple(
+        [(f"s_{a.name}", AttrRef(LEFT, f"s_{a.name}")) for a in schema_a]
+        + [(a.name, AttrRef(RIGHT, a.name)) for a in schema_b]
+    )
+    middle.set_rebind(map_attr_refs(rebind_predicate, to_instance_terms), rebind_map)
+
+    # F2: output = (s_* start attributes, current event attributes).
+    concat_map = tuple(
+        [(f"s_{a.name}", AttrRef(LEFT, f"s_{a.name}")) for a in schema_a]
+        + [(a.name, AttrRef(RIGHT, a.name)) for a in schema_b]
+    )
+    middle.add_forward(
+        map_attr_refs(forward_predicate, to_instance_terms), concat_map, final
+    )
+    return Automaton(start, query_id=query_id)

@@ -1,0 +1,554 @@
+"""The baseline automaton execution engine with Cayuga's MQO indexes.
+
+This is the "Cayuga Automata" competitor of Figures 9 and 10.  It executes
+the merged automaton forest directly, with the three index structures the
+paper translates into RUMOR (§4.3):
+
+- **FR index** — per state, forward/rebind edges whose predicates carry a
+  constant equality on an event attribute are hash-indexed by that constant,
+  so an event retrieves its satisfied edges with one lookup per attribute;
+- **AN index** (Active Node) — states whose entire edge activity is gated by
+  a constant equality on the event are indexed engine-wide, so an event only
+  touches the states whose gate constant matches;
+- **AI index** (Active Instance) — per state, instances are hash-partitioned
+  on the bound value of a correlation attribute (``S.a[0] = T.a[0]`` style),
+  so events probe matching instances directly.
+
+Event processing is two-phase per event: all states evaluate against the
+pre-event snapshot, then newly created instances are committed — an instance
+can never react to the event that created it (the behaviour the plan engine
+exhibits through its breadth-first propagation order).
+
+Instance survival follows Cayuga semantics — an instance stays at a state iff
+its filter or rebind edge fires — with two soundness-preserving fast paths
+recognized at compile time (see ``_SurvivalPolicy``): θf = ¬θ_fwd (the
+consume-on-match sequence) and θf = ¬θ_corr (the correlation filter that
+makes the AI index skip-safe).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from repro.automata.automaton import Automaton, State, schema_map_output
+from repro.automata.merging import Forest
+from repro.engine.metrics import RunStats
+from repro.errors import AutomatonError
+from repro.operators.expressions import RIGHT
+from repro.operators.instances import Instance, InstanceStore
+from repro.operators.predicates import (
+    FalsePredicate,
+    Not,
+    Predicate,
+    TruePredicate,
+    as_constant_equality,
+    as_cross_equality,
+    as_duration_bound,
+    conjuncts,
+)
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+class _SurvivalPolicy:
+    """How a state decides whether a probed instance stays (filter edge)."""
+
+    STRICT = "strict"            # survive iff filter/rebind predicate fires
+    ALWAYS = "always"            # θf = true
+    UNLESS_FORWARD = "unless_forward"  # θf = ¬θ_fwd (consume on match)
+    UNLESS_PROBED = "unless_probed"    # θf = ¬θ_corr (AI-index skip safety)
+
+
+class _CompiledForward:
+    """A forward edge compiled against its state's schemas."""
+
+    __slots__ = ("predicate", "schema_map", "target", "guards", "window", "output_schema")
+
+    def __init__(self, predicate, schema_map, target, guards, window):
+        self.predicate = predicate      # compiled residual (or None)
+        self.schema_map = schema_map    # list of compiled expressions
+        self.target = target            # the target State
+        self.guards = guards            # [(event position, constant)]
+        self.window = window            # duration bound or None
+        self.output_schema = None       # filled after construction
+
+
+class _StateRuntime:
+    """Mutable execution state + compiled edges for one automaton state."""
+
+    def __init__(self, state: State, event_schema: Schema, engine: "AutomatonEngine"):
+        self.state = state
+        self.event_schema = event_schema
+        instance_schema = state.instance_schema
+        self.outputs: list = []
+
+        # -- forward edges -------------------------------------------------------
+        self.forwards: list[_CompiledForward] = []
+        self.fr_index: dict[int, dict[object, list[_CompiledForward]]] = {}
+        self.fr_scan: list[_CompiledForward] = []
+        for edge in state.forwards:
+            window = None
+            guards: list[tuple[int, object]] = []
+            residual: list[Predicate] = []
+            for part in conjuncts(edge.predicate):
+                bound = as_duration_bound(part)
+                if bound is not None:
+                    window = bound if window is None else min(window, bound)
+                    continue
+                shape = as_constant_equality(part)
+                if shape is not None and shape[0] == RIGHT:
+                    guards.append((event_schema.index_of(shape[1]), shape[2]))
+                    continue
+                residual.append(part)
+            from repro.operators.predicates import conjunction
+
+            residual_predicate = conjunction(residual)
+            compiled_predicate = (
+                None
+                if isinstance(residual_predicate, TruePredicate)
+                else residual_predicate.compile(instance_schema, event_schema)
+            )
+            compiled_map = [
+                expression.compile(instance_schema, event_schema)
+                for __, expression in edge.schema_map
+            ]
+            compiled = _CompiledForward(
+                compiled_predicate,
+                compiled_map,
+                edge.target,
+                guards,
+                window,
+            )
+            self.forwards.append(compiled)
+            if engine.use_fr_index and guards:
+                position, constant = guards[0]
+                self.fr_index.setdefault(position, {}).setdefault(
+                    constant, []
+                ).append(compiled)
+            else:
+                self.fr_scan.append(compiled)
+
+        # Output schema per forward edge (computed once).
+        for compiled, edge in zip(self.forwards, state.forwards):
+            compiled.output_schema = schema_map_output(
+                edge.schema_map, instance_schema, event_schema
+            )
+
+        # -- rebind edge ---------------------------------------------------------
+        if state.rebind_predicate is not None:
+            self.rebind_predicate = (
+                None
+                if isinstance(state.rebind_predicate, TruePredicate)
+                else state.rebind_predicate.compile(instance_schema, event_schema)
+            )
+            self.rebind_map = [
+                expression.compile(instance_schema, event_schema)
+                for __, expression in state.rebind_map
+            ]
+            self.rebind_schema = schema_map_output(
+                state.rebind_map, instance_schema, event_schema
+            )
+            self.has_rebind = True
+        else:
+            self.rebind_predicate = None
+            self.rebind_map = None
+            self.rebind_schema = None
+            self.has_rebind = False
+
+        # -- survival policy (filter edge) ----------------------------------------
+        self.survival, self.filter_fn, correlation = self._analyze_filter(
+            state, instance_schema, event_schema
+        )
+
+        # -- AI index ---------------------------------------------------------------
+        self.ai_left_position: Optional[int] = None
+        self.ai_right_position: Optional[int] = None
+        if engine.use_ai_index and not state.is_start:
+            pair = self._common_correlation(state)
+            if pair is not None and self._rebind_preserves(state, pair[0]):
+                safe = self.survival in (
+                    _SurvivalPolicy.ALWAYS,
+                    _SurvivalPolicy.UNLESS_FORWARD,
+                ) or (
+                    self.survival == _SurvivalPolicy.UNLESS_PROBED
+                    and correlation == pair
+                )
+                if safe and instance_schema is not None:
+                    self.ai_left_position = instance_schema.index_of(pair[0])
+                    self.ai_right_position = event_schema.index_of(pair[1])
+        self.store = InstanceStore(indexed=self.ai_left_position is not None)
+
+        # -- AN gate -----------------------------------------------------------------
+        # A state may be skipped entirely for events failing a common constant
+        # equality, provided skipping never changes survival (policies where
+        # untouched instances live on).
+        self.an_gate: Optional[tuple[int, object]] = None
+        if engine.use_an_index and not state.is_start:
+            if self.survival in (
+                _SurvivalPolicy.ALWAYS,
+                _SurvivalPolicy.UNLESS_FORWARD,
+                _SurvivalPolicy.UNLESS_PROBED,
+            ):
+                gate = self._common_event_constant(state)
+                if gate is not None:
+                    self.an_gate = (event_schema.index_of(gate[0]), gate[1])
+
+    # -- compile-time analyses ------------------------------------------------------
+
+    def _analyze_filter(self, state: State, instance_schema, event_schema):
+        predicate = state.filter_predicate
+        if isinstance(predicate, FalsePredicate):
+            return _SurvivalPolicy.STRICT, None, None
+        if isinstance(predicate, TruePredicate):
+            return _SurvivalPolicy.ALWAYS, None, None
+        if isinstance(predicate, Not):
+            inner = predicate.part
+            if len(state.forwards) == 1 and inner == state.forwards[0].predicate:
+                return _SurvivalPolicy.UNLESS_FORWARD, None, None
+            pair = as_cross_equality(inner)
+            if pair is not None:
+                # Keep the compiled filter too: with the AI index off, the
+                # full scan probes uncorrelated instances, which must then be
+                # saved by evaluating θf explicitly.
+                compiled = predicate.compile(instance_schema, event_schema)
+                return _SurvivalPolicy.UNLESS_PROBED, compiled, pair
+        compiled = predicate.compile(instance_schema, event_schema)
+        return _SurvivalPolicy.STRICT, compiled, None
+
+    def _common_correlation(self, state: State):
+        """Cross equality shared by every forward (and rebind) predicate."""
+        pairs = None
+        predicates = [edge.predicate for edge in state.forwards]
+        if state.rebind_predicate is not None:
+            predicates.append(state.rebind_predicate)
+        for predicate in predicates:
+            found = {
+                pair
+                for part in conjuncts(predicate)
+                if (pair := as_cross_equality(part)) is not None
+            }
+            pairs = found if pairs is None else pairs & found
+            if not pairs:
+                return None
+        return sorted(pairs)[0] if pairs else None
+
+    def _rebind_preserves(self, state: State, attribute: str) -> bool:
+        """True if F_r copies ``attribute`` from the instance unchanged."""
+        if state.rebind_map is None:
+            return True
+        from repro.operators.expressions import AttrRef, LEFT
+
+        for name, expression in state.rebind_map:
+            if name == attribute:
+                return expression == AttrRef(LEFT, attribute)
+        return False
+
+    def _common_event_constant(self, state: State):
+        """(attribute, constant) equality shared by all edge predicates."""
+        shapes = None
+        predicates = [edge.predicate for edge in state.forwards]
+        if state.rebind_predicate is not None:
+            predicates.append(state.rebind_predicate)
+        if not predicates:
+            return None
+        for predicate in predicates:
+            found = {
+                (shape[1], shape[2])
+                for part in conjuncts(predicate)
+                if (shape := as_constant_equality(part)) is not None
+                and shape[0] == RIGHT
+            }
+            shapes = found if shapes is None else shapes & found
+            if not shapes:
+                return None
+        return sorted(shapes, key=repr)[0] if shapes else None
+
+    # -- event processing --------------------------------------------------------
+
+    def matched_forwards(self, event: StreamTuple) -> list[_CompiledForward]:
+        """Forward edges whose guards match the event (FR index + scan)."""
+        matched: list[_CompiledForward] = []
+        values = event.values
+        for position, table in self.fr_index.items():
+            edges = table.get(values[position])
+            if edges:
+                matched.extend(edges)
+        for edge in self.fr_scan:
+            satisfied = True
+            for position, constant in edge.guards:
+                if values[position] != constant:
+                    satisfied = False
+                    break
+            if satisfied:
+                matched.append(edge)
+        return matched
+
+
+class AutomatonEngine:
+    """Executes a merged forest of query automata over named streams."""
+
+    def __init__(
+        self,
+        use_fr_index: bool = True,
+        use_an_index: bool = True,
+        use_ai_index: bool = True,
+        merge_prefixes: bool = True,
+    ):
+        self.use_fr_index = use_fr_index
+        self.use_an_index = use_an_index
+        self.use_ai_index = use_ai_index
+        self.merge_prefixes = merge_prefixes
+        self._forest = Forest(merge=merge_prefixes)
+        self._schemas: dict[str, Schema] = {}
+        self._runtimes: dict[int, _StateRuntime] = {}
+        self._frozen = False
+        # Per stream dispatch structures (built by freeze()).
+        self._start_runtimes: dict[str, list[_StateRuntime]] = {}
+        self._plain_states: dict[str, list[_StateRuntime]] = {}
+        self._gated_states: dict[str, dict[int, dict[object, list[_StateRuntime]]]] = {}
+        #: captured outputs of the most recent run (query_id -> tuples), only
+        #: populated when capture_outputs is passed to run()/process().
+        self.captured: dict[object, list[StreamTuple]] = {}
+
+    def declare_stream(self, name: str, schema: Schema) -> None:
+        """Register an input stream's schema (before adding automata)."""
+        self._schemas[name] = schema
+
+    def add(self, automaton: Automaton) -> None:
+        if self._frozen:
+            raise AutomatonError("cannot add automata after processing started")
+        self._forest.add(automaton)
+
+    def runtime_of(self, state: State) -> _StateRuntime:
+        runtime = self._runtimes.get(state.state_id)
+        if runtime is None:
+            schema = self._schemas.get(state.stream_name)
+            if schema is None:
+                raise AutomatonError(
+                    f"stream {state.stream_name!r} was not declared; call "
+                    "declare_stream() first"
+                )
+            runtime = _StateRuntime(state, schema, self)
+            self._runtimes[state.state_id] = runtime
+        return runtime
+
+    # -- freezing ---------------------------------------------------------------
+
+    def freeze(self) -> None:
+        """Compile all states and build the per-stream dispatch tables."""
+        if self._frozen:
+            return
+        self._frozen = True
+        for state in self._forest.states:
+            if not state.is_final:
+                self.runtime_of(state)
+        for runtime in list(self._runtimes.values()):
+            state = runtime.state
+            stream = state.stream_name
+            if state.is_start:
+                self._start_runtimes.setdefault(stream, []).append(runtime)
+                continue
+            if runtime.an_gate is not None:
+                position, constant = runtime.an_gate
+                self._gated_states.setdefault(stream, {}).setdefault(
+                    position, {}
+                ).setdefault(constant, []).append(runtime)
+            else:
+                self._plain_states.setdefault(stream, []).append(runtime)
+
+    def reset(self) -> None:
+        """Clear all instance state, keeping the compiled forest.
+
+        Lets benchmarks re-run the same engine on fresh state without paying
+        for automaton insertion and compilation again.
+        """
+        for runtime in self._runtimes.values():
+            runtime.store = InstanceStore(
+                indexed=runtime.ai_left_position is not None
+            )
+
+    # -- execution ----------------------------------------------------------------
+
+    def process(self, stream: str, event: StreamTuple, outputs: Optional[list] = None):
+        """Process one event; appends ``(query_id, tuple)`` results to outputs."""
+        if not self._frozen:
+            self.freeze()
+        if outputs is None:
+            outputs = []
+        pending: list[tuple[_StateRuntime, Instance]] = []
+
+        # Phase 1a: existing instances at non-start states (snapshot).
+        gated = self._gated_states.get(stream)
+        if gated:
+            values = event.values
+            for position, table in gated.items():
+                runtimes = table.get(values[position])
+                if runtimes:
+                    for runtime in runtimes:
+                        self._advance_state(runtime, event, pending, outputs)
+        for runtime in self._plain_states.get(stream, ()):
+            self._advance_state(runtime, event, pending, outputs)
+
+        # Phase 1b: start states spawn fresh instances from the event.
+        for start in self._start_runtimes.get(stream, ()):
+            self._spawn(start, event, pending, outputs)
+
+        # Phase 2: commit — new instances become visible for the next event.
+        for runtime, instance in pending:
+            runtime.store.insert(instance)
+        return outputs
+
+    def _spawn(self, runtime: _StateRuntime, event: StreamTuple, pending, outputs):
+        for edge in runtime.matched_forwards(event):
+            if edge.predicate is not None and not edge.predicate(None, event, None):
+                continue
+            values = tuple(fn(None, event, None) for fn in edge.schema_map)
+            target_state = edge.target
+            if target_state.is_final:
+                output = StreamTuple(edge.output_schema, values, event.ts)
+                for query_id in target_state.query_ids:
+                    outputs.append((query_id, output))
+                continue
+            target_runtime = self.runtime_of(target_state)
+            instance_tuple = StreamTuple(
+                target_state.instance_schema, values, event.ts
+            )
+            key = (
+                instance_tuple.values[target_runtime.ai_left_position]
+                if target_runtime.ai_left_position is not None
+                else None
+            )
+            pending.append((target_runtime, Instance(instance_tuple, key=key)))
+
+    def _advance_state(self, runtime: _StateRuntime, event: StreamTuple, pending, outputs):
+        store = runtime.store
+        if len(store) == 0:
+            return
+        if runtime.ai_right_position is not None:
+            candidates = list(store.probe(event.values[runtime.ai_right_position]))
+        else:
+            candidates = list(store.scan())
+        if not candidates:
+            return
+        matched_edges = runtime.matched_forwards(event)
+        rebind_predicate = runtime.rebind_predicate
+        has_rebind = runtime.has_rebind
+        survival = runtime.survival
+        filter_fn = runtime.filter_fn
+        for instance in candidates:
+            start_tuple = instance.start
+            if start_tuple.ts > event.ts:
+                continue
+            forwarded = False
+            for edge in matched_edges:
+                if edge.window is not None and event.ts - start_tuple.ts > edge.window:
+                    continue
+                if edge.predicate is not None and not edge.predicate(
+                    start_tuple, event, None
+                ):
+                    continue
+                forwarded = True
+                values = tuple(fn(start_tuple, event, None) for fn in edge.schema_map)
+                target_state = edge.target
+                if target_state.is_final:
+                    output = StreamTuple(edge.output_schema, values, event.ts)
+                    for query_id in target_state.query_ids:
+                        outputs.append((query_id, output))
+                else:
+                    target_runtime = self.runtime_of(target_state)
+                    instance_tuple = StreamTuple(
+                        target_state.instance_schema, values, start_tuple.ts
+                    )
+                    key = (
+                        instance_tuple.values[target_runtime.ai_left_position]
+                        if target_runtime.ai_left_position is not None
+                        else None
+                    )
+                    pending.append((target_runtime, Instance(instance_tuple, key=key)))
+            rebound = False
+            if has_rebind and (
+                rebind_predicate is None
+                or rebind_predicate(start_tuple, event, None)
+            ):
+                rebound = True
+                new_values = tuple(
+                    fn(start_tuple, event, None) for fn in runtime.rebind_map
+                )
+                # Keep the original timestamp: duration predicates measure
+                # from the pattern's first event.
+                instance.start = StreamTuple(
+                    runtime.state.instance_schema, new_values, start_tuple.ts
+                )
+            if rebound:
+                continue  # the rebind edge keeps the instance at the state
+            if survival == _SurvivalPolicy.ALWAYS:
+                continue
+            if survival == _SurvivalPolicy.UNLESS_FORWARD:
+                if forwarded:
+                    store.kill(instance)
+                continue
+            if survival == _SurvivalPolicy.UNLESS_PROBED:
+                if runtime.ai_right_position is not None:
+                    # Probed via the AI index ⇒ correlation matched ⇒ the
+                    # ¬θ_corr filter is false: the instance dies.
+                    store.kill(instance)
+                elif filter_fn is not None and filter_fn(start_tuple, event, None):
+                    pass  # uncorrelated event: the filter edge keeps it
+                else:
+                    store.kill(instance)
+                continue
+            # STRICT: evaluate the filter edge if present.
+            if filter_fn is not None and filter_fn(start_tuple, event, None):
+                continue
+            store.kill(instance)
+
+    # -- measurement ---------------------------------------------------------------
+
+    def run(
+        self,
+        events: Iterable[tuple[str, StreamTuple]],
+        warmup_events: int = 0,
+        capture_outputs: bool = False,
+    ) -> RunStats:
+        """Drain ``events`` (already timestamp-ordered) through the forest."""
+        if not self._frozen:
+            self.freeze()
+        self.captured = {}
+        iterator = iter(events)
+        if warmup_events:
+            consumed = 0
+            sink: list = []
+            for stream, event in iterator:
+                self.process(stream, event, sink)
+                sink.clear()
+                consumed += 1
+                if consumed >= warmup_events:
+                    break
+        stats = RunStats()
+        outputs: list = []
+        started = time.perf_counter()
+        for stream, event in iterator:
+            stats.input_events += 1
+            stats.physical_input_events += 1
+            self.process(stream, event, outputs)
+            if outputs:
+                stats.output_events += len(outputs)
+                for query_id, output in outputs:
+                    stats.outputs_by_query[query_id] = (
+                        stats.outputs_by_query.get(query_id, 0) + 1
+                    )
+                    if capture_outputs:
+                        self.captured.setdefault(query_id, []).append(output)
+                outputs.clear()
+        stats.elapsed_seconds = time.perf_counter() - started
+        return stats
+
+    @property
+    def state_count(self) -> int:
+        """States in the merged forest (prefix-merging effectiveness)."""
+        return len(self._forest.states)
+
+    @property
+    def instance_count(self) -> int:
+        return sum(len(runtime.store) for runtime in self._runtimes.values())

@@ -1,0 +1,112 @@
+"""Prefix state merging (paper §4.3, Fig. 7).
+
+When a query automaton is added to the engine's forest, its longest prefix
+that coincides with an existing automaton is shared: "given an existing
+automaton F and a new input automaton A, A can be merged into F by
+identifying the longest prefixes of F and A that are identical, and share the
+two prefixes in the merged automaton".
+
+Two states are mergeable when they read the same stream, have the same
+instance schema and identical loop-edge definitions (signature equality), and
+are reached by forward edges with identical definitions from already-merged
+states.  Merging then proceeds edge by edge: a new forward edge whose
+definition matches an existing one shares its target; otherwise the edge (and
+the subtree behind it) is grafted onto the shared state.
+
+The paper maps this technique onto plan-level common subexpression
+elimination; :class:`repro.core.rules.CseRule` is the plan-side image.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.automaton import Automaton, ForwardEdge, State
+from repro.errors import AutomatonError
+
+
+class Forest:
+    """The engine's automaton forest.
+
+    With ``merge=True`` (the default) each stream has one shared start state
+    and added automata are prefix-merged into it; with ``merge=False`` every
+    automaton keeps its own unshared states — the no-MQO ablation baseline.
+    """
+
+    def __init__(self, merge: bool = True):
+        self.merge = merge
+        #: stream name -> start states reading it (singleton when merging)
+        self.starts: dict[str, list[State]] = {}
+        #: every state in the forest (deduplicated, insertion-ordered)
+        self.states: list[State] = []
+        self._known: set[int] = set()
+
+    def _track(self, state: State) -> None:
+        if state.state_id not in self._known:
+            self._known.add(state.state_id)
+            self.states.append(state)
+
+    def add(self, automaton: Automaton) -> int:
+        """Merge ``automaton`` into the forest; returns states newly created."""
+        created = 0
+        start = automaton.start
+        stream_starts = self.starts.setdefault(start.stream_name, [])
+        shared_start = stream_starts[0] if (self.merge and stream_starts) else None
+        if shared_start is None:
+            shared_start = State(
+                f"start[{start.stream_name}]",
+                start.stream_name,
+                None,
+                is_start=True,
+            )
+            stream_starts.append(shared_start)
+            self._track(shared_start)
+            created += 1
+        created += self._merge_state(start, shared_start, automaton)
+        return created
+
+    def _merge_state(self, source: State, shared: State, automaton: Automaton) -> int:
+        """Merge source's outgoing forward edges into the shared state."""
+        created = 0
+        for edge in source.forwards:
+            match = self._matching_edge(shared, edge) if self.merge else None
+            if match is not None:
+                if edge.target.is_final:
+                    match.target.query_ids.extend(edge.target.query_ids)
+                else:
+                    created += self._merge_state(edge.target, match.target, automaton)
+                continue
+            grafted, sub_created = self._graft(edge.target)
+            shared.forwards.append(ForwardEdge(edge.predicate, edge.schema_map, grafted))
+            created += sub_created
+        return created
+
+    def _matching_edge(self, shared: State, edge: ForwardEdge) -> Optional[ForwardEdge]:
+        for existing in shared.forwards:
+            if (
+                existing.definition() == edge.definition()
+                and existing.target.signature() == edge.target.signature()
+            ):
+                return existing
+        return None
+
+    def _graft(self, state: State) -> tuple[State, int]:
+        """Copy a subtree into the forest (no sharing below this point)."""
+        copy = State(
+            state.name,
+            state.stream_name,
+            state.instance_schema,
+            is_start=False,
+            is_final=state.is_final,
+        )
+        copy.filter_predicate = state.filter_predicate
+        copy.rebind_predicate = state.rebind_predicate
+        copy.rebind_map = state.rebind_map
+        copy.query_ids = list(state.query_ids)
+        self._track(copy)
+        created = 1
+        for edge in state.forwards:
+            target_copy, sub_created = self._graft(edge.target)
+            copy.forwards.append(ForwardEdge(edge.predicate, edge.schema_map, target_copy))
+            created += sub_created
+        return copy, created

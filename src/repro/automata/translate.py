@@ -1,0 +1,232 @@
+"""Translating Cayuga-style automata into RUMOR query plans (paper §4.2).
+
+The mapping follows Fig. 5: a start-state forward edge ``(θ1, F1)`` becomes a
+selection (and a projection when ``F1`` is not the identity); a middle state
+reading stream ``B`` becomes a binary ``;`` operator — or ``µ`` when the
+state has a rebind edge — whose predicate carries the forward-edge condition;
+the final forward edge's schema map becomes a trailing projection unless it
+is the standard concatenation, which the ``;``/``µ`` operators already
+produce.
+
+Supported shape: a linear automaton (one forward edge per non-final state),
+which covers every workload in the paper's evaluation.  Instances of a
+``µ``-state are expected in the layout built by
+:func:`repro.automata.automaton.iterate_automaton` (start attributes under
+``s_*``, last-bound event attributes unprefixed); predicates are converted
+between that layout and the operator layer's LEFT/RIGHT/LAST convention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.automaton import Automaton, State
+from repro.core.plan import QueryPlan
+from repro.errors import AutomatonError
+from repro.operators.expressions import AttrRef, LAST, LEFT, RIGHT
+from repro.operators.iterate import Iterate
+from repro.operators.predicates import (
+    FalsePredicate,
+    Not,
+    Predicate,
+    TruePredicate,
+    map_attr_refs,
+)
+from repro.operators.project import Projection
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+
+
+def translate_automaton(
+    automaton: Automaton,
+    plan: QueryPlan,
+    stream_map: dict[str, StreamDef],
+    query_id=None,
+    mark_output: bool = True,
+) -> StreamDef:
+    """Append ``automaton``'s RUMOR plan to ``plan``; returns the output stream."""
+    state = automaton.start
+    edge = _single_forward(state)
+    try:
+        source = stream_map[state.stream_name]
+    except KeyError:
+        raise AutomatonError(
+            f"stream {state.stream_name!r} missing from stream_map"
+        ) from None
+
+    # Start edge: σ_θ1 (+ π_F1 when F1 is not the identity).  A µ target's
+    # F1 builds the (s_* start, last) instance layout — the plan-side Iterate
+    # manages that state itself, so the map is recognized and skipped.
+    selection_predicate = map_attr_refs(edge.predicate, _right_to_left)
+    stream = plan.add_operator(
+        Selection(selection_predicate), [source], query_id=query_id
+    )
+    is_mu_target = edge.target.rebind_predicate is not None
+    if is_mu_target:
+        if not _is_mu_init_map(edge.schema_map, source.schema):
+            raise AutomatonError(
+                "µ-state translation requires the standard F1 "
+                "(s_* copies + last copies of the start event)"
+            )
+    elif not _is_identity_start_map(edge.schema_map, source.schema):
+        items = [
+            (name, _expression_right_to_left(expression))
+            for name, expression in edge.schema_map
+        ]
+        stream = plan.add_operator(Projection(items), [stream], query_id=query_id)
+
+    state = edge.target
+    while not state.is_final:
+        edge = _single_forward(state)
+        try:
+            event_stream = stream_map[state.stream_name]
+        except KeyError:
+            raise AutomatonError(
+                f"stream {state.stream_name!r} missing from stream_map"
+            ) from None
+        if state.rebind_predicate is None:
+            operator = Sequence(
+                edge.predicate, consume_on_match=_consumes(state, edge.predicate)
+            )
+            stream = plan.add_operator(
+                operator, [stream, event_stream], query_id=query_id
+            )
+            if not _is_sequence_concat_map(
+                edge.schema_map, stream_schema_left(plan, stream), event_stream.schema
+            ):
+                items = _sequence_projection_items(edge.schema_map)
+                stream = plan.add_operator(
+                    Projection(items), [stream], query_id=query_id
+                )
+        else:
+            forward = map_attr_refs(edge.predicate, _instance_to_mu_terms)
+            rebind = map_attr_refs(state.rebind_predicate, _instance_to_mu_terms)
+            operator = Iterate(forward, rebind)
+            if not _is_mu_concat_map(edge.schema_map, state.instance_schema):
+                raise AutomatonError(
+                    "µ-state translation requires the standard F2 "
+                    "(s_* start attributes + current event attributes)"
+                )
+            stream = plan.add_operator(
+                operator, [stream, event_stream], query_id=query_id
+            )
+        state = edge.target
+
+    if mark_output and query_id is not None:
+        plan.mark_output(stream, query_id)
+    return stream
+
+
+def _single_forward(state: State):
+    if len(state.forwards) != 1:
+        raise AutomatonError(
+            "translation supports linear automata (one forward edge per state); "
+            f"state {state.name!r} has {len(state.forwards)}"
+        )
+    return state.forwards[0]
+
+
+def _consumes(state: State, forward_predicate: Predicate) -> bool:
+    """Map the filter edge to the ``;`` retention flag.
+
+    θf = ¬θ_fwd is the consume-on-match sequence; θf = true keeps matched
+    instances.  A strictly false filter (delete on every non-forwarding
+    event) has no ``;`` equivalent and is rejected.
+    """
+    filter_predicate = state.filter_predicate
+    if isinstance(filter_predicate, TruePredicate):
+        return False
+    if isinstance(filter_predicate, Not) and filter_predicate.part == forward_predicate:
+        return True
+    raise AutomatonError(
+        "translation supports filter edges of θf ∈ {true, ¬θ_fwd}; "
+        f"state {state.name!r} has {filter_predicate!r}"
+    )
+
+
+def _right_to_left(ref: AttrRef) -> AttrRef:
+    if ref.side == RIGHT:
+        return AttrRef(LEFT, ref.name)
+    raise AutomatonError(
+        "start-edge predicates may only reference the incoming event"
+    )
+
+
+def _expression_right_to_left(expression):
+    from repro.operators.predicates import _map_expression
+
+    return _map_expression(expression, _right_to_left)
+
+
+def _instance_to_mu_terms(ref: AttrRef) -> AttrRef:
+    """µ-state instance layout (s_* start + last) → LEFT/LAST/RIGHT sides."""
+    if ref.side == LEFT:
+        if ref.name.startswith("s_"):
+            return AttrRef(LEFT, ref.name[2:])
+        return AttrRef(LAST, ref.name)
+    return ref
+
+
+def _is_identity_start_map(schema_map, event_schema: Schema) -> bool:
+    if len(schema_map) != len(event_schema):
+        return False
+    return all(
+        name == attribute.name and expression == AttrRef(RIGHT, attribute.name)
+        for (name, expression), attribute in zip(schema_map, event_schema)
+    )
+
+
+def stream_schema_left(plan: QueryPlan, sequence_output: StreamDef) -> Schema:
+    """Left (``s_*``) half of a sequence output schema (helper for checks)."""
+    names = [a.name for a in sequence_output.schema if a.name.startswith("s_")]
+    return sequence_output.schema.project(names)
+
+
+def _is_sequence_concat_map(schema_map, prefixed_left: Schema, event_schema: Schema) -> bool:
+    """True if F2 is the standard ``s_* ++ event`` concatenation the ``;``
+    operator already emits (the common case — no trailing π needed)."""
+    expected = [
+        (attribute.name, AttrRef(LEFT, attribute.name[2:]))
+        for attribute in prefixed_left
+    ] + [(attribute.name, AttrRef(RIGHT, attribute.name)) for attribute in event_schema]
+    return list(schema_map) == expected
+
+
+def _is_mu_init_map(schema_map, event_schema: Schema) -> bool:
+    """True if F1 is the µ initialization map: s_* and last both copy the event."""
+    for name, expression in schema_map:
+        base = name[2:] if name.startswith("s_") else name
+        if expression != AttrRef(RIGHT, base):
+            return False
+    return True
+
+
+def _is_mu_concat_map(schema_map, instance_schema: Schema) -> bool:
+    """True if F2 keeps the ``s_*`` start half and copies the event half."""
+    for name, expression in schema_map:
+        if name.startswith("s_"):
+            if expression != AttrRef(LEFT, name):
+                return False
+        else:
+            if expression != AttrRef(RIGHT, name):
+                return False
+    return True
+
+
+def _sequence_projection_items(schema_map):
+    """Convert F2 refs to unary refs over the ``;`` output schema."""
+
+    def convert(ref: AttrRef) -> AttrRef:
+        if ref.side == LEFT:
+            return AttrRef(LEFT, f"s_{ref.name}")
+        if ref.side == RIGHT:
+            return AttrRef(LEFT, ref.name)
+        raise AutomatonError("F2 may not reference last.* attributes")
+
+    from repro.operators.predicates import _map_expression
+
+    return [
+        (name, _map_expression(expression, convert)) for name, expression in schema_map
+    ]

@@ -1,0 +1,29 @@
+"""Benchmark harness regenerating every figure of the evaluation (§5).
+
+- :mod:`~repro.bench.harness` — measurement helpers, series containers,
+  SASE-style normalization and table rendering,
+- :mod:`~repro.bench.figures` — one driver per paper figure
+  (9a–9d, 10a–10d, 11a–11b), runnable as
+  ``python -m repro.bench.figures <figure> [--full]``.
+
+``figures`` is intentionally not imported here so that
+``python -m repro.bench.figures`` does not trigger a double import.
+"""
+
+from repro.bench.harness import (
+    BenchScale,
+    Series,
+    measure_cayuga,
+    measure_rumor,
+    normalize,
+    render_table,
+)
+
+__all__ = [
+    "BenchScale",
+    "Series",
+    "measure_rumor",
+    "measure_cayuga",
+    "normalize",
+    "render_table",
+]

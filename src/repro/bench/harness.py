@@ -1,0 +1,129 @@
+"""Measurement helpers shared by all figure drivers.
+
+Methodology follows §5: each measurement warms the engine on a prefix of the
+input before the clock starts, repeats the run ``repeats`` times on fresh
+executors (fresh operator state), and reports the mean throughput.  Figures
+9(a–d) and 10(a–b) report *normalized* throughput — every series is divided
+by its maximum, the throughput of the lightest workload, exactly the
+SASE-style normalization the paper adopts because cross-system absolute
+numbers are not meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.engine.metrics import RunStats
+
+
+@dataclass
+class BenchScale:
+    """Knobs controlling experiment size.
+
+    ``small`` (default) keeps every figure driver comfortably runnable on a
+    laptop; ``full`` restores the paper's event volumes and sweep endpoints
+    (§5.1: at least 100 000 tuples, up to 100 000 queries).
+    """
+
+    name: str = "small"
+    events: int = 4000
+    rounds: int = 400
+    hybrid_seconds: int = 300
+    repeats: int = 1
+    warmup_fraction: float = 0.1
+
+    @classmethod
+    def small(cls) -> "BenchScale":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "BenchScale":
+        return cls(
+            name="full",
+            events=100_000,
+            rounds=5_000,
+            hybrid_seconds=3_600,
+            repeats=3,
+        )
+
+
+@dataclass
+class Series:
+    """One plotted line: a name plus (x, y) pairs."""
+
+    name: str
+    xs: list = field(default_factory=list)
+    ys: list = field(default_factory=list)
+
+    def add(self, x, y) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+def normalize(series: Series) -> Series:
+    """Normalized throughput: divide by the series' maximum (lightest load)."""
+    peak = max(series.ys) if series.ys else 1.0
+    if peak <= 0:
+        peak = 1.0
+    return Series(series.name, list(series.xs), [y / peak for y in series.ys])
+
+
+def measure_rumor(
+    plan: QueryPlan,
+    sources_factory: Callable[[], list],
+    warmup_events: int = 0,
+    repeats: int = 1,
+) -> RunStats:
+    """Mean-of-``repeats`` measurement of a plan on fresh executors."""
+    merged: RunStats | None = None
+    for __ in range(repeats):
+        engine = StreamEngine(plan)
+        stats = engine.run(sources_factory(), warmup_events=warmup_events)
+        merged = stats if merged is None else merged.merge(stats)
+    return merged
+
+
+def measure_cayuga(
+    engine_factory: Callable[[], object],
+    events: Sequence,
+    warmup_events: int = 0,
+    repeats: int = 1,
+) -> RunStats:
+    """Mean-of-``repeats`` measurement of an automaton engine."""
+    merged: RunStats | None = None
+    for __ in range(repeats):
+        engine = engine_factory()
+        stats = engine.run(iter(events), warmup_events=warmup_events)
+        merged = stats if merged is None else merged.merge(stats)
+    return merged
+
+
+def render_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Fixed-width table rendering used by the figure drivers."""
+    formatted_rows = [
+        [
+            f"{value:,.3f}" if isinstance(value, float) else f"{value}"
+            for value in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(row[i]) for row in formatted_rows), 1)
+        if formatted_rows
+        else len(column)
+        for i, column in enumerate(columns)
+    ]
+    lines = [title]
+    header = " | ".join(column.rjust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in formatted_rows:
+        lines.append(
+            " | ".join(value.rjust(width) for value, width in zip(row, widths))
+        )
+    return "\n".join(lines)

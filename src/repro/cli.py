@@ -1,0 +1,226 @@
+"""Command-line interface for the RUMOR engine.
+
+Three subcommands cover the downstream-user loop:
+
+``optimize``
+    Read pipeline queries from a file (one per non-empty line, or ``---``
+    separated blocks; ``name: query`` prefixes name them), print the naive
+    plan, the optimized plan, the applied rules, and the cost-model estimate.
+
+``run``
+    Optimize and then execute the queries over a generated source — the
+    synthetic S/T streams or the simulated performance-counter trace — and
+    print per-query output counts and throughput.
+
+``figures``
+    Alias for :mod:`repro.bench.figures` (regenerate the paper's figures).
+
+Examples::
+
+    python -m repro.cli optimize queries.rql
+    python -m repro.cli run queries.rql --source perfmon --events 20000
+    python -m repro.cli figures 10c --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.cost import CostModel
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.errors import RumorError
+from repro.lang.compiler import compile_query
+from repro.lang.parser import parse_query
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource
+from repro.workloads.perfmon import CPU_SCHEMA, PerfmonDataset
+from repro.workloads.synthetic import interleaved_events, synthetic_schema
+
+#: Default schemas the CLI exposes as source streams.
+DEFAULT_SOURCES: dict[str, Schema] = {
+    "S": synthetic_schema(),
+    "T": synthetic_schema(),
+    "CPU": CPU_SCHEMA,
+}
+
+
+def load_queries(path: str) -> list[tuple[str, str]]:
+    """Parse a query file into (name, text) pairs.
+
+    Blocks are separated by lines containing only ``---``; a block may start
+    with ``name:`` to name its query, otherwise queries are numbered q0, q1…
+    Lines starting with ``#`` are comments.
+    """
+    with open(path) as handle:
+        content = handle.read()
+    blocks = [block.strip() for block in content.split("---")]
+    queries: list[tuple[str, str]] = []
+    for index, block in enumerate(blocks):
+        lines = [
+            line for line in block.splitlines() if not line.strip().startswith("#")
+        ]
+        text = "\n".join(lines).strip()
+        if not text:
+            continue
+        name = f"q{index}"
+        first = text.split("\n", 1)[0]
+        if ":" in first and not first.upper().startswith("FROM"):
+            name, __, rest = text.partition(":")
+            name = name.strip()
+            text = rest.strip()
+        queries.append((name, text))
+    return queries
+
+
+def build_plan(
+    queries: list[tuple[str, str]],
+    sources: Optional[dict[str, Schema]] = None,
+) -> tuple[QueryPlan, dict]:
+    """Compile queries onto a fresh plan with the default source streams."""
+    plan = QueryPlan()
+    schemas = sources or DEFAULT_SOURCES
+    streams = {
+        name: plan.add_source(name, schema) for name, schema in schemas.items()
+    }
+    for name, text in queries:
+        logical = parse_query(text, name)
+        compile_query(logical, plan, streams)
+    return plan, streams
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    queries = load_queries(args.queries)
+    if not queries:
+        print("no queries found", file=sys.stderr)
+        return 1
+    plan, __ = build_plan(queries)
+    model = CostModel()
+    naive_cost = model.plan_cost(plan)
+    print("== naive plan ==")
+    print(plan.describe())
+    report = Optimizer().optimize(plan)
+    optimized_cost = model.plan_cost(plan)
+    print(f"\n== optimized plan ({report}) ==")
+    print(plan.describe())
+    print(
+        f"\nestimated cost: {naive_cost:.2f} -> {optimized_cost:.2f} "
+        f"({naive_cost / max(optimized_cost, 1e-9):.1f}x cheaper)"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    queries = load_queries(args.queries)
+    if not queries:
+        print("no queries found", file=sys.stderr)
+        return 1
+    plan, streams = build_plan(queries)
+    Optimizer().optimize(plan)
+
+    if args.source == "synthetic":
+        events = interleaved_events(
+            synthetic_schema(), args.events, np.random.default_rng(args.seed)
+        )
+        by_name: dict[str, list] = {}
+        for name, tuple_ in events:
+            by_name.setdefault(name, []).append(tuple_)
+        sources = [
+            StreamSource(plan.channel_of(streams[name]), tuples,
+                         member_streams=[streams[name]])
+            for name, tuples in by_name.items()
+        ]
+    else:  # perfmon
+        processes = max(1, args.events // 600)
+        seconds = max(1, args.events // max(1, processes))
+        dataset = PerfmonDataset(
+            processes=processes, duration_seconds=seconds, seed=args.seed
+        )
+        sources = [
+            StreamSource(
+                plan.channel_of(streams["CPU"]),
+                list(dataset.generate()),
+                member_streams=[streams["CPU"]],
+            )
+        ]
+
+    engine = StreamEngine(plan, capture_outputs=args.show_outputs > 0)
+    stats = engine.run(sources)
+    print(stats)
+    for query_id, count in sorted(stats.outputs_by_query.items()):
+        print(f"  {query_id}: {count} outputs")
+        if args.show_outputs:
+            for output in engine.captured.get(query_id, [])[: args.show_outputs]:
+                print(f"    {output.as_dict()} @ {output.ts}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench.figures import main as figures_main
+
+    argv = list(args.figure)
+    if args.full:
+        argv.append("--full")
+    return figures_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RUMOR rule-based multi-query optimizer CLI"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    optimize = commands.add_parser(
+        "optimize", help="compile + optimize queries; print plans and cost"
+    )
+    optimize.add_argument("queries", help="query file (pipeline language)")
+    optimize.set_defaults(handler=cmd_optimize)
+
+    run = commands.add_parser("run", help="optimize and execute queries")
+    run.add_argument("queries", help="query file (pipeline language)")
+    run.add_argument(
+        "--source",
+        choices=["synthetic", "perfmon"],
+        default="synthetic",
+        help="input generator (default: synthetic S/T streams)",
+    )
+    run.add_argument("--events", type=int, default=10_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--show-outputs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the first N output tuples per query",
+    )
+    run.set_defaults(handler=cmd_run)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate the paper's evaluation figures"
+    )
+    figures.add_argument("figure", nargs="*", default=["all"])
+    figures.add_argument("--full", action="store_true")
+    figures.set_defaults(handler=cmd_figures)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except RumorError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""RUMOR core: query plans of m-ops over channels, m-rules, and the optimizer.
+
+This is the paper's primary contribution (§2–§4): the three abstractions that
+generalize a traditional stream engine —
+
+===================  ==========================================
+traditional          RUMOR (this package)
+===================  ==========================================
+physical operator    :class:`~repro.core.mop.MOp` (§2.2)
+transformation rule  :class:`~repro.core.rules.MRule` (§2.3)
+stream               :class:`~repro.streams.channel.Channel` (§3)
+===================  ==========================================
+
+plus the machinery around them: the plan graph
+(:class:`~repro.core.plan.QueryPlan`), the sharable-stream relation ``∼``
+(:mod:`repro.core.sharable`), the channel-based MQO sharing criteria, the
+default rule set of Table 1 (:mod:`repro.core.registry`) and the
+priority-ordered fixpoint rule engine (:mod:`repro.core.optimizer`).
+"""
+
+from repro.core.mop import MOp, MOpExecutor, OpInstance, OutputCollector
+from repro.core.plan import QueryPlan
+from repro.core.rules import MRule
+from repro.core.sharable import sharability_signature, sharable
+from repro.core.optimizer import Optimizer, OptimizationReport
+from repro.core.registry import default_rules
+from repro.core.cost import CostModel, SelectivityEstimator, cheapest_plan
+from repro.core.confluence import check_confluence, plan_shape
+
+__all__ = [
+    "MOp",
+    "MOpExecutor",
+    "OpInstance",
+    "OutputCollector",
+    "QueryPlan",
+    "MRule",
+    "sharability_signature",
+    "sharable",
+    "Optimizer",
+    "OptimizationReport",
+    "default_rules",
+    "CostModel",
+    "SelectivityEstimator",
+    "cheapest_plan",
+    "check_confluence",
+    "plan_shape",
+]

@@ -1,0 +1,103 @@
+"""Confluence diagnostics for the rule system (paper §7, future work).
+
+"Different orderings of m-rule applications may result in different
+optimized query plans" (§3.3, Fig. 2/3), and the paper suggests "static
+analysis techniques ... to reason about the confluence of the rule-based
+query rewrite system".  Full static analysis is open research; this module
+provides the practical dynamic counterpart:
+
+- :func:`plan_shape` — an order-insensitive structural fingerprint of an
+  optimized plan (m-op kinds, instance counts, channel capacities);
+- :func:`check_confluence` — optimize freshly built copies of the same
+  logical workload under permuted rule orders and report whether all
+  orderings converge to the same shape.
+
+The default registry's priorities pin one deterministic order; this checker
+is how the test suite demonstrates both that determinism and the genuine
+order-sensitivity of rule systems when priorities are scrambled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.core.rules import MRule
+
+
+def plan_shape(plan: QueryPlan) -> tuple:
+    """Order-insensitive structural fingerprint of a plan.
+
+    Two plans with equal shapes implement the same queries with the same
+    m-op kinds over channels of the same capacities — the granularity at
+    which rule-ordering differences show up.
+    """
+    entries = []
+    for mop in plan.mops:
+        input_capacities = tuple(
+            sorted(
+                plan.channel_of(stream).capacity for stream in mop.input_streams
+            )
+        )
+        output_capacities = tuple(
+            sorted(
+                plan.channel_of(stream).capacity for stream in mop.output_streams
+            )
+        )
+        entries.append(
+            (type(mop).__name__, len(mop.instances), input_capacities, output_capacities)
+        )
+    return tuple(sorted(entries))
+
+
+@dataclass
+class ConfluenceReport:
+    """Outcome of a confluence check."""
+
+    orders_tried: int = 0
+    shapes: dict = field(default_factory=dict)  # shape -> first order producing it
+
+    @property
+    def confluent(self) -> bool:
+        return len(self.shapes) <= 1
+
+    def __str__(self):
+        verdict = "confluent" if self.confluent else "NOT confluent"
+        return (
+            f"ConfluenceReport({self.orders_tried} orders, "
+            f"{len(self.shapes)} distinct shapes: {verdict})"
+        )
+
+
+def check_confluence(
+    plan_factory: Callable[[], QueryPlan],
+    rules: Sequence[MRule],
+    max_orders: int = 24,
+    respect_priorities: bool = False,
+) -> ConfluenceReport:
+    """Optimize fresh plans under permuted rule orders; compare shapes.
+
+    ``plan_factory`` must build an identical naive plan each call.  With
+    ``respect_priorities`` the permutations are re-sorted by priority first —
+    useful to confirm that priorities pin a unique outcome regardless of the
+    registry's list order.
+    """
+    report = ConfluenceReport()
+    for permutation in itertools.islice(
+        itertools.permutations(rules), max_orders
+    ):
+        ordered = list(permutation)
+        if respect_priorities:
+            ordered.sort(key=lambda rule: rule.priority)
+        plan = plan_factory()
+        optimizer = Optimizer.__new__(Optimizer)
+        optimizer.rules = ordered  # bypass the constructor's priority sort
+        optimizer.optimize(plan)
+        shape = plan_shape(plan)
+        report.orders_tried += 1
+        if shape not in report.shapes:
+            report.shapes[shape] = tuple(rule.name for rule in ordered)
+    return report

@@ -1,0 +1,66 @@
+"""The rule engine: priority-ordered fixpoint application of m-rules.
+
+The optimizer repeatedly sweeps the rule list in priority order, letting each
+rule apply to every eligible m-op group, until a full sweep changes nothing.
+Because rules only ever *merge* m-ops (or eliminate duplicates), the instance
+count is non-increasing and the loop terminates.
+
+Different orderings of m-rule applications may produce different plans (§3.3,
+Fig. 2/3); the priority order pins one deterministic choice, which is also
+what makes benchmark runs reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.plan import QueryPlan
+from repro.core.registry import default_rules
+from repro.core.rules import MRule
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did, for logging and tests."""
+
+    sweeps: int = 0
+    applications: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def total_applications(self) -> int:
+        return sum(count for __, count in self.applications)
+
+    def by_rule(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for name, count in self.applications:
+            totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def __str__(self):
+        parts = ", ".join(f"{name}×{count}" for name, count in self.by_rule().items())
+        return f"OptimizationReport({self.sweeps} sweeps: {parts or 'no-op'})"
+
+
+class Optimizer:
+    """Applies an m-rule set to a query plan until fixpoint."""
+
+    def __init__(self, rules: Optional[Sequence[MRule]] = None):
+        if rules is None:
+            rules = default_rules()
+        self.rules: list[MRule] = sorted(rules, key=lambda rule: rule.priority)
+
+    def optimize(self, plan: QueryPlan) -> OptimizationReport:
+        """Rewrite ``plan`` in place; returns a report of applied rules."""
+        report = OptimizationReport()
+        changed = True
+        while changed:
+            changed = False
+            report.sweeps += 1
+            for rule in self.rules:
+                count = rule.apply(plan)
+                if count:
+                    report.applications.append((rule.name, count))
+                    changed = True
+        plan.validate()
+        return report

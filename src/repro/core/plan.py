@@ -1,0 +1,375 @@
+"""The query plan: a DAG of m-ops connected by channels.
+
+Following the paper's extension of the classical notion, *one* plan
+implements *all* currently active logical queries (§2.1).  The plan tracks:
+
+- the streams (sources and derived), each carried by exactly one channel,
+- the m-ops, each implementing a set of operator instances,
+- which streams are query outputs (sinks), for per-query accounting.
+
+Plans start *naive*: :meth:`QueryPlan.add_operator` wraps every operator in a
+single-instance :class:`~repro.mops.naive.NaiveMOp` on singleton channels.
+The optimizer then rewrites the plan by replacing m-op sets with target m-ops
+(:meth:`replace_mops`) and by encoding stream sets into channels
+(:meth:`channelize`) — the two primitive mutations every m-rule action is
+built from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.core.mop import MOp, OpInstance
+from repro.streams.channel import Channel
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+
+
+class QueryPlan:
+    """Plan graph and wiring authority.
+
+    The plan is the single source of truth for which channel carries each
+    stream; executors read the wiring when they are built, so rewrites must
+    happen before execution starts.
+    """
+
+    def __init__(self):
+        self.sources: list[StreamDef] = []
+        self.mops: list[MOp] = []
+        self._streams: dict[int, StreamDef] = {}
+        self._channel_by_stream: dict[int, Channel] = {}
+        #: stream_id -> list of (mop, instance, input_index) consuming it.
+        self._consumers: dict[int, list[tuple[MOp, OpInstance, int]]] = defaultdict(list)
+        #: stream_id -> the OpInstance producing it (None for sources).
+        self._producer_instance: dict[int, OpInstance] = {}
+        #: stream_id -> query ids, for streams that are query outputs.  After
+        #: common-subexpression elimination several queries may share one
+        #: output stream, hence the list.
+        self._sinks: dict[int, list] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_source(
+        self,
+        name: str,
+        schema: Schema,
+        sharable_label: Optional[str] = None,
+    ) -> StreamDef:
+        """Register a source stream (on its own singleton channel)."""
+        stream = StreamDef(name, schema, sharable_label=sharable_label)
+        self.sources.append(stream)
+        self._register_stream(stream)
+        return stream
+
+    def add_operator(
+        self,
+        operator,
+        inputs: Sequence[StreamDef],
+        query_id=None,
+        name: Optional[str] = None,
+    ) -> StreamDef:
+        """Append an operator on existing streams; returns its output stream.
+
+        The operator is wrapped in a single-instance naive m-op — the
+        unoptimized starting point every plan begins from.
+        """
+        from repro.mops.naive import NaiveMOp  # deferred: mops build on this module
+
+        for stream in inputs:
+            if stream.stream_id not in self._streams:
+                raise PlanError(f"{stream!r} is not part of this plan")
+        schema = operator.output_schema([s.schema for s in inputs])
+        output = StreamDef(name or self._derived_name(operator, inputs), schema)
+        instance = OpInstance(operator, inputs, output, query_id=query_id)
+        mop = NaiveMOp([instance])
+        self._register_stream(output)
+        self._producer_instance[output.stream_id] = instance
+        self._attach_mop(mop)
+        return output
+
+    def mark_output(self, stream: StreamDef, query_id) -> None:
+        """Declare ``stream`` a query output (a plan sink)."""
+        if stream.stream_id not in self._streams:
+            raise PlanError(f"{stream!r} is not part of this plan")
+        self._sinks.setdefault(stream.stream_id, []).append(query_id)
+
+    def _derived_name(self, operator, inputs: Sequence[StreamDef]) -> str:
+        base = "+".join(s.name for s in inputs)
+        return f"{operator.symbol}({base})"
+
+    def _register_stream(self, stream: StreamDef) -> None:
+        self._streams[stream.stream_id] = stream
+        self._channel_by_stream[stream.stream_id] = Channel.singleton(stream)
+
+    def _attach_mop(self, mop: MOp) -> None:
+        self.mops.append(mop)
+        for instance in mop.instances:
+            for index, stream in enumerate(instance.inputs):
+                self._consumers[stream.stream_id].append((mop, instance, index))
+
+    def _detach_mop(self, mop: MOp) -> None:
+        self.mops.remove(mop)
+        for instance in mop.instances:
+            for index, stream in enumerate(instance.inputs):
+                self._consumers[stream.stream_id] = [
+                    entry
+                    for entry in self._consumers[stream.stream_id]
+                    if entry[1] is not instance
+                ]
+
+    # -- wiring queries ------------------------------------------------------------
+
+    def channel_of(self, stream: StreamDef) -> Channel:
+        try:
+            return self._channel_by_stream[stream.stream_id]
+        except KeyError:
+            raise PlanError(f"{stream!r} is not part of this plan") from None
+
+    def streams(self) -> list[StreamDef]:
+        return list(self._streams.values())
+
+    def channels(self) -> list[Channel]:
+        """Distinct channels currently in the plan."""
+        seen: set[int] = set()
+        result: list[Channel] = []
+        for channel in self._channel_by_stream.values():
+            if channel.channel_id not in seen:
+                seen.add(channel.channel_id)
+                result.append(channel)
+        return result
+
+    def consumers_of(self, stream: StreamDef) -> list[tuple[MOp, OpInstance, int]]:
+        return list(self._consumers.get(stream.stream_id, ()))
+
+    def producer_instance_of(self, stream: StreamDef) -> Optional[OpInstance]:
+        return self._producer_instance.get(stream.stream_id)
+
+    def producer_mop_of(self, stream: StreamDef) -> Optional[MOp]:
+        instance = self._producer_instance.get(stream.stream_id)
+        return instance.owner if instance is not None else None
+
+    @property
+    def sinks(self) -> dict[int, list]:
+        """stream_id -> query ids for all declared query outputs."""
+        return {stream_id: list(qs) for stream_id, qs in self._sinks.items()}
+
+    def sink_streams(self) -> list[tuple[StreamDef, list]]:
+        return [
+            (self._streams[stream_id], list(query_ids))
+            for stream_id, query_ids in self._sinks.items()
+        ]
+
+    def instances(self) -> list[OpInstance]:
+        """All operator instances across all m-ops."""
+        result: list[OpInstance] = []
+        for mop in self.mops:
+            result.extend(mop.instances)
+        return result
+
+    # -- rewrite primitives (used by m-rule actions) ---------------------------------
+
+    def replace_mops(self, old_mops: Sequence[MOp], new_mop: MOp) -> None:
+        """Replace a set of m-ops with a target m-op implementing their union.
+
+        The target must implement exactly the union of the old m-ops'
+        instances (the m-rule action contract, §2.3): "we simply replace all
+        edges that previously connected other operators with the to-be merged
+        operators by edges to the corresponding input and output streams of
+        the target m-op".  Channels are untouched — wiring is per-stream.
+        """
+        old_instances = {
+            id(instance) for mop in old_mops for instance in mop.instances
+        }
+        new_instances = {id(instance) for instance in new_mop.instances}
+        if old_instances != new_instances:
+            raise PlanError(
+                "target m-op must implement exactly the union of the replaced "
+                "m-ops' instances"
+            )
+        for mop in old_mops:
+            if mop not in self.mops:
+                raise PlanError(f"{mop!r} is not part of this plan")
+        for mop in old_mops:
+            self._detach_mop(mop)
+        self._attach_mop(new_mop)
+
+    def eliminate_duplicate(
+        self, duplicate: OpInstance, representative: OpInstance
+    ) -> None:
+        """Common-subexpression elimination: drop ``duplicate``, rewiring its
+        consumers (and sink registrations) to ``representative``'s output.
+
+        Both instances must have the same operator definition and identical
+        input streams (the classical CSE condition, Table 1 row s;), and the
+        duplicate must be the only instance of its m-op — CSE runs before the
+        merging rules, when every instance still sits in its own naive m-op.
+        """
+        if duplicate.operator.definition() != representative.operator.definition():
+            raise PlanError("CSE requires identical operator definitions")
+        if [s.stream_id for s in duplicate.inputs] != [
+            s.stream_id for s in representative.inputs
+        ]:
+            raise PlanError("CSE requires identical input streams")
+        owner = duplicate.owner
+        if owner is None or len(owner.instances) != 1:
+            raise PlanError("CSE can only eliminate single-instance m-ops")
+        old_stream = duplicate.output
+        new_stream = representative.output
+        if not self.channel_of(old_stream).is_singleton:
+            raise PlanError("cannot eliminate a stream already in a channel")
+        # Rewire consumers of the duplicate's output.
+        for __, instance, index in list(self._consumers.get(old_stream.stream_id, ())):
+            self._rewire_input(instance, index, new_stream)
+        # Move sink registrations over.
+        moved = self._sinks.pop(old_stream.stream_id, None)
+        if moved:
+            self._sinks.setdefault(new_stream.stream_id, []).extend(moved)
+        # Drop the m-op and the now-orphaned stream.
+        self._detach_mop(owner)
+        del self._streams[old_stream.stream_id]
+        del self._channel_by_stream[old_stream.stream_id]
+        self._producer_instance.pop(old_stream.stream_id, None)
+        self._consumers.pop(old_stream.stream_id, None)
+
+    def _rewire_input(self, instance: OpInstance, index: int, new_stream: StreamDef) -> None:
+        old_stream = instance.inputs[index]
+        entries = self._consumers.get(old_stream.stream_id, [])
+        self._consumers[old_stream.stream_id] = [
+            entry
+            for entry in entries
+            if not (entry[1] is instance and entry[2] == index)
+        ]
+        inputs = list(instance.inputs)
+        inputs[index] = new_stream
+        instance.inputs = tuple(inputs)
+        self._consumers[new_stream.stream_id].append(
+            (instance.owner, instance, index)
+        )
+
+    def channelize(self, streams: Sequence[StreamDef], name: Optional[str] = None) -> Channel:
+        """Encode a set of streams into one channel (paper §3.2 criteria (a)–(b)
+        are the caller's responsibility; this enforces the structural rules).
+
+        Requirements checked here:
+
+        - every stream is currently on a singleton channel (re-channeling a
+          stream out of a multi-stream channel is not a paper operation),
+        - all streams have the same producer m-op, or are all source streams
+          sharing a sharable label (synchronized external feeds).
+        """
+        if len(streams) < 2:
+            raise PlanError("channelize needs at least two streams")
+        for stream in streams:
+            if stream.stream_id not in self._streams:
+                raise PlanError(f"{stream!r} is not part of this plan")
+            if not self.channel_of(stream).is_singleton:
+                raise PlanError(
+                    f"{stream!r} is already encoded in a multi-stream channel"
+                )
+        producers = {id(self.producer_mop_of(stream)) for stream in streams}
+        if len(producers) != 1:
+            raise PlanError(
+                "streams must be produced by the same m-op to share a channel"
+            )
+        if self.producer_mop_of(streams[0]) is None:
+            labels = {stream.sharable_label for stream in streams}
+            if len(labels) != 1 or None in labels:
+                raise PlanError(
+                    "source streams must share a sharable label to be encoded "
+                    "into one channel"
+                )
+        channel = Channel(list(streams), name=name)
+        for stream in streams:
+            self._channel_by_stream[stream.stream_id] = channel
+        return channel
+
+    # -- integrity ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check plan invariants; raises :class:`PlanError` on violation."""
+        for mop in self.mops:
+            for instance in mop.instances:
+                if instance.owner is not mop:
+                    raise PlanError(f"{instance!r} owner pointer is stale")
+                for stream in instance.inputs:
+                    if stream.stream_id not in self._streams:
+                        raise PlanError(f"{instance!r} reads unknown {stream!r}")
+                if instance.output.stream_id not in self._streams:
+                    raise PlanError(f"{instance!r} writes unknown stream")
+        for stream_id, entries in self._consumers.items():
+            for mop, instance, index in entries:
+                if mop not in self.mops:
+                    raise PlanError("consumer index references removed m-op")
+                if instance.inputs[index].stream_id != stream_id:
+                    raise PlanError("consumer index entry is inconsistent")
+
+    def describe(self) -> str:
+        """Multi-line plan rendering for debugging and examples."""
+        lines = [f"QueryPlan: {len(self.mops)} m-ops, {len(self._streams)} streams"]
+        for mop in self.mops:
+            inputs = ", ".join(
+                f"{s.name}@{self.channel_of(s).name}" for s in mop.input_streams
+            )
+            outputs = ", ".join(
+                f"{s.name}@{self.channel_of(s).name}" for s in mop.output_streams
+            )
+            lines.append(f"  {mop.describe()}: [{inputs}] -> [{outputs}]")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the plan: m-ops as boxes, channels as edges.
+
+        Channels with capacity > 1 are drawn as dashed edges labeled with
+        their capacity — the paper's visual convention (dashed arrows denote
+        channels, Fig. 1(c) / 6(c)).
+        """
+        lines = [
+            "digraph rumor_plan {",
+            "  rankdir=BT;",
+            '  node [shape=box, fontname="Helvetica"];',
+        ]
+        for source in self.sources:
+            lines.append(
+                f'  src_{source.stream_id} [label="{source.name}", shape=ellipse];'
+            )
+        for mop in self.mops:
+            label = mop.describe().replace('"', "'")
+            lines.append(f'  mop_{mop.mop_id} [label="{label}"];')
+        sink_ids = set(self._sinks)
+
+        def node_of(stream: StreamDef) -> str:
+            producer = self.producer_mop_of(stream)
+            if producer is None:
+                return f"src_{stream.stream_id}"
+            return f"mop_{producer.mop_id}"
+
+        drawn: set[tuple[str, str, int]] = set()
+        for mop in self.mops:
+            for stream in mop.input_streams:
+                channel = self.channel_of(stream)
+                edge = (node_of(stream), f"mop_{mop.mop_id}", channel.channel_id)
+                if edge in drawn:
+                    continue
+                drawn.add(edge)
+                style = "dashed" if not channel.is_singleton else "solid"
+                label = (
+                    f"{channel.name} (cap {channel.capacity})"
+                    if not channel.is_singleton
+                    else stream.name
+                )
+                label = label.replace('"', "'")
+                lines.append(
+                    f'  {edge[0]} -> {edge[1]} [style={style}, label="{label}"];'
+                )
+        for stream_id, query_ids in self._sinks.items():
+            stream = self._streams[stream_id]
+            sink_node = f"sink_{stream_id}"
+            label = ",".join(str(q) for q in query_ids).replace('"', "'")
+            lines.append(
+                f'  {sink_node} [label="{label}", shape=plaintext];'
+            )
+            lines.append(f"  {node_of(stream)} -> {sink_node};")
+        lines.append("}")
+        return "\n".join(lines)

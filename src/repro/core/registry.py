@@ -1,0 +1,65 @@
+"""The default m-rule set (Table 1) with the default priority order.
+
+Priorities realize the conflict-resolution strategy of §7: lower runs first.
+
+=====  ========  =========================================================
+prio   rule      effect
+=====  ========  =========================================================
+5      cse       collapse identical operators on identical inputs (§4.3)
+10     sσ        predicate indexing [10, 16] — also Cayuga's FR index
+15     s;/sµ     shared ``;``/``µ`` state on identical stream pairs
+18     s;-ix     AN-index dispatch over same-second-stream sequences (§4.3)
+19     s;-w      window-variant ``;``/``µ`` sharing (merged-state image, §4.3)
+20     sα        shared aggregate evaluation [22]
+20     s⋈        shared window join [12]
+40     cσ/cπ     channel selections / projections (§3.3)
+40     cα        shared fragment aggregation [15]
+40     c⋈        precision-sharing join [14]
+40     c;/cµ     channel-based event MQO (§4.4)
+=====  ========  =========================================================
+
+``default_rules(channels=False)`` returns the s-rule-only set — the plan the
+paper calls "without channel" in Figures 10(c–d) and 11.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import (
+    ChannelProjectionRule,
+    ChannelSelectionRule,
+    ChannelSequenceRule,
+    CseRule,
+    FragmentAggregateRule,
+    IndexedSequenceRule,
+    MRule,
+    PrecisionJoinRule,
+    PredicateIndexRule,
+    SharedAggregateRule,
+    SharedJoinRule,
+    SharedSequenceRule,
+    SharedWindowSequenceRule,
+)
+
+
+def default_rules(channels: bool = True) -> list[MRule]:
+    """The standard rule set, priority-sorted; ``channels=False`` omits c-rules."""
+    rules: list[MRule] = [
+        CseRule(),
+        PredicateIndexRule(),
+        SharedSequenceRule(),
+        IndexedSequenceRule(),
+        SharedWindowSequenceRule(),
+        SharedAggregateRule(),
+        SharedJoinRule(),
+    ]
+    if channels:
+        rules.extend(
+            [
+                ChannelSelectionRule(),
+                ChannelProjectionRule(),
+                FragmentAggregateRule(),
+                PrecisionJoinRule(),
+                ChannelSequenceRule(),
+            ]
+        )
+    return sorted(rules, key=lambda rule: rule.priority)

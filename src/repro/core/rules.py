@@ -1,0 +1,710 @@
+"""Multi-query transformation rules (m-rules, paper §2.3) and the Table 1 set.
+
+An m-rule pairs a *condition* — a side-effect-free test over a set of m-ops —
+with an *action* that replaces the set with a single target m-op implementing
+them more efficiently.  This module provides:
+
+- :class:`MRule`, the base class realizing the condition/action contract with
+  shared candidate-scanning, purity and refire guards,
+- the concrete rules of Table 1 (sσ, sα, s⋈, s;/sµ as CSE, cσ, cπ, cα, c⋈,
+  c;/cµ), plus
+- :class:`CseRule` — classical common subexpression elimination (the paper
+  maps Cayuga's prefix state merging onto it, §4.3), and
+- :class:`IndexedSequenceRule` — the Active-Node-index behaviour of §4.3,
+  expressed as grouping same-second-stream ``;`` operators under a
+  constant-indexed dispatch m-op.
+
+Rules carry priorities; the optimizer applies them lowest-priority-first to a
+fixpoint.  This realizes the conflict-resolution strategy the paper sketches
+in §7 ("rule priorities can be assigned to establish a partial order").
+The default priorities run CSE first, then same-input sharing (s-rules), then
+channel formation (c-rules) — see :mod:`repro.core.registry`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence, Type
+
+from repro.core.mop import MOp, OpInstance
+from repro.core.plan import QueryPlan
+from repro.core.sharable import sharability_signature
+from repro.errors import RuleError
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.iterate import Iterate
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.project import Projection
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.streams.stream import StreamDef
+
+
+class MRule:
+    """Base m-rule: condition/action over sets of m-ops.
+
+    Subclasses implement :meth:`find_groups` (candidate instance sets, the
+    powerset restriction of the paper made tractable by structural grouping),
+    optionally :meth:`condition` (extra semantic checks), and :meth:`build`
+    (construct the target m-op, performing any channel encoding first).
+    """
+
+    name: str = "m-rule"
+    priority: int = 100
+    #: Target m-op class; a group already implemented by a single m-op of
+    #: this class is skipped (fixpoint/refire guard).
+    target_class: Optional[Type[MOp]] = None
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        raise NotImplementedError
+
+    def condition(self, plan: QueryPlan, instances: list[OpInstance]) -> bool:
+        """Semantic applicability check (structural grouping already done)."""
+        return True
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        raise NotImplementedError
+
+    # -- shared application machinery ---------------------------------------------
+
+    def apply(self, plan: QueryPlan) -> int:
+        """Apply the rule to every eligible group; returns merges performed."""
+        applied = 0
+        for group in list(self.find_groups(plan)):
+            if len(group) < 2:
+                continue
+            owners = _pure_owners(group)
+            if owners is None:
+                continue
+            if (
+                self.target_class is not None
+                and len(owners) == 1
+                and isinstance(owners[0], self.target_class)
+            ):
+                continue
+            if not self.condition(plan, group):
+                continue
+            target = self.build(plan, group)
+            plan.replace_mops(owners, target)
+            applied += 1
+        return applied
+
+    def __repr__(self):
+        return f"{type(self).__name__}(name={self.name!r}, priority={self.priority})"
+
+
+def _pure_owners(group: list[OpInstance]) -> Optional[list[MOp]]:
+    """Owning m-ops if every owner's instances are all inside ``group``.
+
+    The m-rule action replaces whole m-ops; an owner with instances outside
+    the group cannot be replaced, so such groups are skipped (a later
+    fixpoint round may catch them after other rules reshuffle ownership).
+    """
+    members = {id(instance) for instance in group}
+    owners: list[MOp] = []
+    seen: set[int] = set()
+    for instance in group:
+        owner = instance.owner
+        if owner is None:
+            return None
+        if id(owner) in seen:
+            continue
+        seen.add(id(owner))
+        for sibling in owner.instances:
+            if id(sibling) not in members:
+                return None
+        owners.append(owner)
+    return owners
+
+
+def _distinct_streams(streams: Iterable[StreamDef]) -> list[StreamDef]:
+    seen: set[int] = set()
+    result: list[StreamDef] = []
+    for stream in streams:
+        if stream.stream_id not in seen:
+            seen.add(stream.stream_id)
+            result.append(stream)
+    return result
+
+
+def _streams_sharable(plan: QueryPlan, streams: Sequence[StreamDef]) -> bool:
+    memo: dict = {}
+    signatures = {
+        sharability_signature(plan, stream, memo) for stream in streams
+    }
+    return len(signatures) == 1
+
+
+def _same_producer(plan: QueryPlan, streams: Sequence[StreamDef]) -> bool:
+    producers = {id(plan.producer_mop_of(stream)) for stream in streams}
+    if len(producers) != 1:
+        return False
+    if plan.producer_mop_of(streams[0]) is None:
+        labels = {stream.sharable_label for stream in streams}
+        return len(labels) == 1 and None not in labels
+    return True
+
+
+def _sibling_streams(plan: QueryPlan, seed: StreamDef) -> list[StreamDef]:
+    """All streams sharable with ``seed`` from the same producer.
+
+    This is the §3.2 channel population: one channel encodes the *whole*
+    equivalence class coming out of one m-op (or out of co-labeled sources),
+    so that every definition group of consumers can ride the same channel —
+    "repeated applications of cτ form a partition of this set of operators"
+    over a single shared channel (Fig. 3).
+    """
+    memo: dict = {}
+    seed_signature = sharability_signature(plan, seed, memo)
+    producer = plan.producer_mop_of(seed)
+    if producer is None:
+        candidates = [
+            stream
+            for stream in plan.sources
+            if stream.sharable_label is not None
+            and stream.sharable_label == seed.sharable_label
+        ]
+    else:
+        candidates = producer.output_streams
+    return [
+        stream
+        for stream in candidates
+        if sharability_signature(plan, stream, memo) == seed_signature
+    ]
+
+
+def _ensure_channel(plan: QueryPlan, streams: Sequence[StreamDef]):
+    """Encode the full sibling set of ``streams`` into one channel."""
+    distinct = _distinct_streams(streams)
+    channels = {plan.channel_of(stream).channel_id for stream in distinct}
+    if len(channels) == 1 and not plan.channel_of(distinct[0]).is_singleton:
+        return plan.channel_of(distinct[0])
+    siblings = _sibling_streams(plan, distinct[0])
+    if len(siblings) == 1:
+        return plan.channel_of(siblings[0])
+    return plan.channelize(siblings)
+
+
+def _channel_ready(plan: QueryPlan, streams: Sequence[StreamDef]) -> bool:
+    """True if streams share one channel already or are all singletons."""
+    distinct = _distinct_streams(streams)
+    channels = {plan.channel_of(stream).channel_id for stream in distinct}
+    if len(channels) == 1:
+        return True
+    return all(plan.channel_of(stream).is_singleton for stream in distinct)
+
+
+def _channelize_outputs(plan: QueryPlan, mop: MOp) -> None:
+    """Encode a freshly built channel m-op's output streams into one channel.
+
+    The outputs of a same-definition m-op over sharable inputs are sharable
+    and share a producer by construction, so the §3.2 criteria hold; this is
+    what turns the µ m-op's outputs into the channel D of Fig. 6(c) and lets
+    the m-op emit one channel tuple for all member queries.
+    """
+    outputs = _distinct_streams(mop.output_streams)
+    if len(outputs) < 2:
+        return
+    if not all(plan.channel_of(stream).is_singleton for stream in outputs):
+        return
+    plan.channelize(outputs)
+
+
+# ---------------------------------------------------------------------------------
+# Common subexpression elimination (Table 1 row s; — "CSE, Section 4.3")
+# ---------------------------------------------------------------------------------
+
+
+class CseRule(MRule):
+    """Collapse identical operators reading identical streams to one instance.
+
+    Consumers (and sink registrations) of the eliminated duplicates are
+    rewired to the representative's output stream.  This is what lets the
+    hybrid workload share a single α ("it produces a single stream called
+    SMOOTHED, and multiplexes it to all its consumer operators", §4.3) and is
+    the plan-level image of Cayuga's prefix state merging.
+    """
+
+    name = "cse"
+    priority = 5
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            key = (
+                instance.operator.definition(),
+                tuple(stream.stream_id for stream in instance.inputs),
+            )
+            if key not in groups:
+                order.append(key)
+            groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def apply(self, plan: QueryPlan) -> int:
+        applied = 0
+        for group in list(self.find_groups(plan)):
+            if len(group) < 2:
+                continue
+            representative = group[0]
+            for duplicate in group[1:]:
+                owner = duplicate.owner
+                if owner is None or len(owner.instances) != 1:
+                    continue  # already merged elsewhere; leave to other rules
+                plan.eliminate_duplicate(duplicate, representative)
+                applied += 1
+        return applied
+
+
+# ---------------------------------------------------------------------------------
+# s-rules: sharing among operators reading the same stream(s) (§2.4, §4.3)
+# ---------------------------------------------------------------------------------
+
+
+class PredicateIndexRule(MRule):
+    """sσ — selections reading the same stream → predicate-index m-op."""
+
+    name = "sσ"
+    priority = 10
+
+    def __init__(self):
+        from repro.mops.predicate_index import PredicateIndexMOp
+
+        self.target_class = PredicateIndexMOp
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        groups: dict[int, list[OpInstance]] = defaultdict(list)
+        order: list[int] = []
+        for instance in plan.instances():
+            if isinstance(instance.operator, Selection):
+                key = instance.inputs[0].stream_id
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        from repro.mops.predicate_index import PredicateIndexMOp
+
+        return PredicateIndexMOp(instances)
+
+
+class SharedAggregateRule(MRule):
+    """sα — same-function aggregates on the same stream → shared m-op [22]."""
+
+    name = "sα"
+    priority = 20
+
+    def __init__(self):
+        from repro.mops.shared_aggregate import SharedAggregateMOp
+
+        self.target_class = SharedAggregateMOp
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        from repro.operators.window import TimeWindow
+
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            operator = instance.operator
+            if isinstance(operator, SlidingWindowAggregate) and isinstance(
+                operator.window, TimeWindow
+            ):
+                key = (
+                    instance.inputs[0].stream_id,
+                    operator.function,
+                    operator.target,
+                )
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        from repro.mops.shared_aggregate import SharedAggregateMOp
+
+        return SharedAggregateMOp(instances)
+
+
+class SharedJoinRule(MRule):
+    """s⋈ — same-predicate joins on the same streams → shared m-op [12]."""
+
+    name = "s⋈"
+    priority = 20
+
+    def __init__(self):
+        from repro.mops.shared_join import SharedJoinMOp
+
+        self.target_class = SharedJoinMOp
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            operator = instance.operator
+            if isinstance(operator, SlidingWindowJoin):
+                key = (
+                    instance.inputs[0].stream_id,
+                    instance.inputs[1].stream_id,
+                    operator.predicate,
+                )
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        from repro.mops.shared_join import SharedJoinMOp
+
+        return SharedJoinMOp(instances)
+
+
+class SharedSequenceRule(MRule):
+    """s;/sµ — same-definition ``;``/``µ`` on the same stream pair → one state.
+
+    After :class:`CseRule` this only fires for instances that could not be
+    textually collapsed (e.g. their outputs are distinct sinks kept apart on
+    purpose); it shares the executor and multiplexes outputs.
+    """
+
+    name = "s;/sµ"
+    priority = 15
+
+    def __init__(self):
+        from repro.mops.shared_sequence import SharedSequenceMOp
+
+        self.target_class = SharedSequenceMOp
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            operator = instance.operator
+            if isinstance(operator, (Sequence, Iterate)):
+                key = (
+                    instance.inputs[0].stream_id,
+                    instance.inputs[1].stream_id,
+                    operator.definition(),
+                )
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        from repro.mops.shared_sequence import SharedSequenceMOp
+
+        return SharedSequenceMOp(instances)
+
+
+class IndexedSequenceRule(MRule):
+    """AN-index — same-second-stream ``;`` ops with a common constant-guarded
+    attribute → constant-indexed dispatch m-op (§4.3).
+    """
+
+    name = "s;-ix"
+    priority = 18
+
+    def __init__(self):
+        from repro.mops.shared_sequence import IndexedSequenceMOp
+
+        self.target_class = IndexedSequenceMOp
+        self._attribute_by_group: dict[int, str] = {}
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        from repro.operators.expressions import RIGHT
+        from repro.operators.predicates import as_constant_equality, conjuncts
+
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            operator = instance.operator
+            if isinstance(operator, Sequence):
+                key = (instance.inputs[1].stream_id, operator.consume_on_match)
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        self._attribute_by_group.clear()
+        results: list[list[OpInstance]] = []
+        for key in order:
+            group = groups[key]
+            common: Optional[set[str]] = None
+            for instance in group:
+                attributes = {
+                    shape[1]
+                    for part in conjuncts(instance.operator.predicate)
+                    if (shape := as_constant_equality(part)) is not None
+                    and shape[0] == RIGHT
+                }
+                common = attributes if common is None else common & attributes
+                if not common:
+                    break
+            if common:
+                self._attribute_by_group[id(group)] = sorted(common)[0]
+                results.append(group)
+        return results
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        from repro.mops.shared_sequence import IndexedSequenceMOp
+
+        attribute = self._attribute_by_group.get(id(instances))
+        if attribute is None:
+            raise RuleError("IndexedSequenceRule.build called without find_groups")
+        return IndexedSequenceMOp(instances, attribute)
+
+
+class SharedWindowSequenceRule(MRule):
+    """Window-variant ``;``/``µ`` sharing — the plan image of Cayuga's merged
+    states whose edges differ only in the duration constant (§4.3).
+
+    Applies to operators on the same stream pair whose definitions coincide
+    once the duration predicate is stripped; consuming ``;`` operators are
+    excluded (their θf = ¬θ_fwd filter edges differ per window, so the
+    corresponding automaton states do not merge either).
+    """
+
+    name = "s;-w"
+    priority = 19
+
+    def __init__(self):
+        from repro.mops.shared_window_sequence import SharedWindowSequenceMOp
+
+        self.target_class = SharedWindowSequenceMOp
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        from repro.mops.shared_window_sequence import window_free_definition
+
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            operator = instance.operator
+            if isinstance(operator, (Sequence, Iterate)):
+                stripped = window_free_definition(operator)
+                if stripped is None:
+                    continue
+                key = (
+                    instance.inputs[0].stream_id,
+                    instance.inputs[1].stream_id,
+                    stripped,
+                )
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        from repro.mops.shared_window_sequence import SharedWindowSequenceMOp
+
+        return SharedWindowSequenceMOp(instances)
+
+
+# ---------------------------------------------------------------------------------
+# c-rules: sharing among same-definition operators on sharable streams (§3.3, §4.4)
+# ---------------------------------------------------------------------------------
+
+
+class ChannelUnaryRuleBase(MRule):
+    """Shared grouping logic for cσ / cπ / cα."""
+
+    operator_type: type = object
+
+    def accepts(self, operator) -> bool:
+        """Extra per-operator filter (e.g. cα takes time windows only)."""
+        return True
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            operator = instance.operator
+            if isinstance(operator, self.operator_type) and self.accepts(operator):
+                producer = plan.producer_mop_of(instance.inputs[0])
+                key = (operator.definition(), id(producer))
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def condition(self, plan: QueryPlan, instances: list[OpInstance]) -> bool:
+        streams = [instance.inputs[0] for instance in instances]
+        distinct = _distinct_streams(streams)
+        if len(distinct) < 2:
+            return False  # same-stream sharing belongs to the s-rules / CSE
+        return (
+            _streams_sharable(plan, distinct)
+            and _same_producer(plan, distinct)
+            and _channel_ready(plan, distinct)
+        )
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        _ensure_channel(plan, [instance.inputs[0] for instance in instances])
+        mop = self.make_mop(instances)
+        _channelize_outputs(plan, mop)
+        return mop
+
+    def make_mop(self, instances: list[OpInstance]) -> MOp:
+        raise NotImplementedError
+
+
+class ChannelSelectionRule(ChannelUnaryRuleBase):
+    """cσ — same-definition selections on sharable streams (§3.3)."""
+
+    name = "cσ"
+    priority = 40
+    operator_type = Selection
+
+    def __init__(self):
+        from repro.mops.channel_ops import ChannelSelectionMOp
+
+        self.target_class = ChannelSelectionMOp
+
+    def make_mop(self, instances: list[OpInstance]) -> MOp:
+        from repro.mops.channel_ops import ChannelSelectionMOp
+
+        return ChannelSelectionMOp(instances)
+
+
+class ChannelProjectionRule(ChannelUnaryRuleBase):
+    """cπ — same-definition projections on sharable streams (§3.1 example)."""
+
+    name = "cπ"
+    priority = 40
+    operator_type = Projection
+
+    def __init__(self):
+        from repro.mops.channel_ops import ChannelProjectionMOp
+
+        self.target_class = ChannelProjectionMOp
+
+    def make_mop(self, instances: list[OpInstance]) -> MOp:
+        from repro.mops.channel_ops import ChannelProjectionMOp
+
+        return ChannelProjectionMOp(instances)
+
+
+class FragmentAggregateRule(ChannelUnaryRuleBase):
+    """cα — shared fragment aggregation [15] (Table 1 row 4)."""
+
+    name = "cα"
+    priority = 40
+    operator_type = SlidingWindowAggregate
+
+    def __init__(self):
+        from repro.mops.fragment_aggregate import FragmentAggregateMOp
+
+        self.target_class = FragmentAggregateMOp
+
+    def accepts(self, operator) -> bool:
+        from repro.operators.window import TimeWindow
+
+        return isinstance(operator.window, TimeWindow)
+
+    def make_mop(self, instances: list[OpInstance]) -> MOp:
+        from repro.mops.fragment_aggregate import FragmentAggregateMOp
+
+        return FragmentAggregateMOp(instances)
+
+
+class PrecisionJoinRule(MRule):
+    """c⋈ — precision-sharing join [14] (Table 1 row 5)."""
+
+    name = "c⋈"
+    priority = 40
+
+    def __init__(self):
+        from repro.mops.precision_join import PrecisionJoinMOp
+
+        self.target_class = PrecisionJoinMOp
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            operator = instance.operator
+            if isinstance(operator, SlidingWindowJoin):
+                key = (
+                    operator.definition(),
+                    id(plan.producer_mop_of(instance.inputs[0])),
+                    id(plan.producer_mop_of(instance.inputs[1])),
+                )
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def condition(self, plan: QueryPlan, instances: list[OpInstance]) -> bool:
+        lefts = _distinct_streams(instance.inputs[0] for instance in instances)
+        rights = _distinct_streams(instance.inputs[1] for instance in instances)
+        if len(lefts) < 2 and len(rights) < 2:
+            return False
+        for side in (lefts, rights):
+            if len(side) > 1:
+                if not (
+                    _streams_sharable(plan, side)
+                    and _same_producer(plan, side)
+                    and _channel_ready(plan, side)
+                ):
+                    return False
+        return True
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        from repro.mops.precision_join import PrecisionJoinMOp
+
+        lefts = _distinct_streams(instance.inputs[0] for instance in instances)
+        rights = _distinct_streams(instance.inputs[1] for instance in instances)
+        if len(lefts) > 1:
+            _ensure_channel(plan, lefts)
+        if len(rights) > 1:
+            _ensure_channel(plan, rights)
+        mop = PrecisionJoinMOp(instances)
+        _channelize_outputs(plan, mop)
+        return mop
+
+
+class ChannelSequenceRule(MRule):
+    """c;/cµ — channel-based event MQO (§4.4, Table 1 last row).
+
+    Conditions (a)–(c): same definition; sharable first-input streams
+    produced by the same m-op; identical second input stream.
+    """
+
+    name = "c;/cµ"
+    priority = 40
+
+    def __init__(self):
+        from repro.mops.channel_sequence import ChannelSequenceMOp
+
+        self.target_class = ChannelSequenceMOp
+
+    def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
+        groups: dict[tuple, list[OpInstance]] = defaultdict(list)
+        order: list[tuple] = []
+        for instance in plan.instances():
+            operator = instance.operator
+            if isinstance(operator, (Sequence, Iterate)):
+                key = (
+                    operator.definition(),
+                    id(plan.producer_mop_of(instance.inputs[0])),
+                    instance.inputs[1].stream_id,
+                )
+                if key not in groups:
+                    order.append(key)
+                groups[key].append(instance)
+        return [groups[key] for key in order]
+
+    def condition(self, plan: QueryPlan, instances: list[OpInstance]) -> bool:
+        lefts = _distinct_streams(instance.inputs[0] for instance in instances)
+        if len(lefts) < 2:
+            return False
+        return (
+            _streams_sharable(plan, lefts)
+            and _same_producer(plan, lefts)
+            and _channel_ready(plan, lefts)
+        )
+
+    def build(self, plan: QueryPlan, instances: list[OpInstance]) -> MOp:
+        from repro.mops.channel_sequence import ChannelSequenceMOp
+
+        _ensure_channel(plan, [instance.inputs[0] for instance in instances])
+        mop = ChannelSequenceMOp(instances)
+        _channelize_outputs(plan, mop)
+        return mop

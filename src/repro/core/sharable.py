@@ -1,0 +1,81 @@
+"""The sharable-stream relation ``∼`` (paper §3.2).
+
+Two streams are sharable iff "they are the result of the same query plans,
+modulo any selection operators anywhere in the plan, applied to the same
+input streams".  The paper defines ``∼`` inductively (base cases on sources,
+congruence through equal unary/binary operators, transparency of selections,
+symmetry, transitivity).
+
+We compute ``∼`` by assigning each stream a *structural signature*:
+
+- a source signature is its sharable label when present, else its unique
+  stream id (so unlabeled sources are only sharable with themselves —
+  base case 1),
+- a selection's output signature equals its input's signature (the special
+  case for selection),
+- any other operator's output signature is the operator definition combined
+  with the input signatures (congruence for unary and binary operators).
+
+Signature equality is then exactly ``∼``: reflexivity, symmetry and
+transitivity come for free, which is the paper's point that ``∼`` is "very
+efficient to compute and store".
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.plan import QueryPlan
+from repro.streams.stream import StreamDef
+
+
+def sharability_signature(
+    plan: QueryPlan,
+    stream: StreamDef,
+    _memo: dict[int, Hashable] | None = None,
+) -> Hashable:
+    """Structural signature of ``stream`` within ``plan`` (hashable)."""
+    memo: dict[int, Hashable] = _memo if _memo is not None else {}
+    cached = memo.get(stream.stream_id)
+    if cached is not None:
+        return cached
+    producer = plan.producer_instance_of(stream)
+    if producer is None:
+        if stream.sharable_label is not None:
+            signature: Hashable = ("src", stream.sharable_label)
+        else:
+            signature = ("src-id", stream.stream_id)
+    elif producer.operator.is_selection:
+        signature = sharability_signature(plan, producer.inputs[0], memo)
+    else:
+        signature = (
+            producer.operator.definition(),
+            tuple(
+                sharability_signature(plan, input_stream, memo)
+                for input_stream in producer.inputs
+            ),
+        )
+    memo[stream.stream_id] = signature
+    return signature
+
+
+def sharable(plan: QueryPlan, first: StreamDef, second: StreamDef) -> bool:
+    """True iff ``first ∼ second`` in ``plan``."""
+    memo: dict[int, Hashable] = {}
+    return sharability_signature(plan, first, memo) == sharability_signature(
+        plan, second, memo
+    )
+
+
+def sharable_groups(plan: QueryPlan, streams: list[StreamDef]) -> list[list[StreamDef]]:
+    """Partition ``streams`` into ∼-equivalence classes (stable order)."""
+    memo: dict[int, Hashable] = {}
+    groups: dict[Hashable, list[StreamDef]] = {}
+    order: list[Hashable] = []
+    for stream in streams:
+        signature = sharability_signature(plan, stream, memo)
+        if signature not in groups:
+            groups[signature] = []
+            order.append(signature)
+        groups[signature].append(stream)
+    return [groups[signature] for signature in order]

@@ -1,0 +1,13 @@
+"""Execution engine: push-based evaluation of RUMOR query plans.
+
+The engine instantiates one executor per m-op, merges the sources into one
+timestamp-ordered event sequence, and propagates channel tuples through the
+plan DAG tuple-at-a-time — m-ops are "the basic scheduling and execution
+units in the engine" (§2.1).  :mod:`repro.engine.metrics` provides the
+throughput accounting used by the §5 experiments.
+"""
+
+from repro.engine.executor import StreamEngine
+from repro.engine.metrics import RunStats
+
+__all__ = ["StreamEngine", "RunStats"]

@@ -1,0 +1,71 @@
+"""Run statistics and throughput accounting.
+
+Event counting follows the paper's methodology (§5):
+
+- *input events* are **logical** stream events: a channel tuple encoding k
+  streams counts as k events, so the channel and no-channel configurations of
+  Figures 10(c–d) and 11 process "exactly the same content" and their
+  throughputs are directly comparable;
+- *output events* are decoded per query: an output channel tuple whose
+  membership covers k query streams counts k logical outputs;
+- *physical events* count channel tuples as they flow, which is what the
+  engine actually schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStats:
+    """Counters and timing for one engine run."""
+
+    input_events: int = 0
+    physical_input_events: int = 0
+    output_events: int = 0
+    physical_events: int = 0
+    elapsed_seconds: float = 0.0
+    outputs_by_query: dict = field(default_factory=dict)
+    #: Largest total operator state observed (only sampled when the engine
+    #: is asked to; 0 otherwise).  A memory proxy for window experiments.
+    peak_state: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Logical input events per second (the paper's y-axis)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.input_events / self.elapsed_seconds
+
+    @property
+    def output_rate(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.output_events / self.elapsed_seconds
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Combine two runs (used when measurement is split into batches)."""
+        merged = RunStats(
+            input_events=self.input_events + other.input_events,
+            physical_input_events=(
+                self.physical_input_events + other.physical_input_events
+            ),
+            output_events=self.output_events + other.output_events,
+            physical_events=self.physical_events + other.physical_events,
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+        )
+        merged.peak_state = max(self.peak_state, other.peak_state)
+        merged.outputs_by_query = dict(self.outputs_by_query)
+        for query_id, count in other.outputs_by_query.items():
+            merged.outputs_by_query[query_id] = (
+                merged.outputs_by_query.get(query_id, 0) + count
+            )
+        return merged
+
+    def __str__(self):
+        return (
+            f"RunStats(in={self.input_events}, out={self.output_events}, "
+            f"elapsed={self.elapsed_seconds:.4f}s, "
+            f"throughput={self.throughput:,.0f} ev/s)"
+        )

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the RUMOR reproduction.
+
+Every error raised by the library derives from :class:`RumorError`, so
+applications can catch a single base class.  Subclasses are grouped by the
+subsystem that raises them: schema/stream construction, plan construction and
+rewriting, operator evaluation, and the query language front end.
+"""
+
+from __future__ import annotations
+
+
+class RumorError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(RumorError):
+    """Raised for invalid schemas or schema-incompatible operations.
+
+    Examples: duplicate attribute names, accessing an attribute that does not
+    exist, or encoding streams with union-incompatible schemas into one
+    channel.
+    """
+
+
+class ChannelError(RumorError):
+    """Raised for invalid channel construction or membership handling."""
+
+
+class PlanError(RumorError):
+    """Raised for malformed query plans.
+
+    Examples: wiring an m-op to a channel that is not in the plan, cycles in
+    the plan graph, or merging m-ops that do not belong to the same plan.
+    """
+
+
+class RuleError(RumorError):
+    """Raised when an m-rule is misapplied.
+
+    The optimizer only applies a rule action after its condition holds, so
+    user code normally never sees this; it guards against rule implementations
+    whose condition and action disagree.
+    """
+
+
+class OperatorError(RumorError):
+    """Raised for invalid operator definitions or evaluation failures."""
+
+
+class ExpressionError(OperatorError):
+    """Raised for invalid predicate or schema-map expressions."""
+
+
+class QueryLanguageError(RumorError):
+    """Raised by the query-language front end (parser / builder / compiler)."""
+
+
+class ParseError(QueryLanguageError):
+    """Raised when query text cannot be parsed.
+
+    Carries the offending position so callers can point at the error.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} (at position {position}: ...{snippet!r}...)"
+        super().__init__(message)
+
+
+class AutomatonError(RumorError):
+    """Raised for malformed Cayuga-style automata."""
+
+
+class WorkloadError(RumorError):
+    """Raised for invalid workload or dataset generator parameters."""

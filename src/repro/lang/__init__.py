@@ -1,0 +1,53 @@
+"""Query language front end.
+
+The paper assumes logical queries "specified by a user through a query
+language such as CQL" (§2.1) without fixing a surface syntax.  This package
+provides three equivalent entry points that all produce the same logical
+query AST, compiled onto a :class:`~repro.core.plan.QueryPlan`:
+
+- :mod:`~repro.lang.ast` — the logical operator tree,
+- :mod:`~repro.lang.builder` — a fluent Python builder
+  (``from_stream("S").where(...).followed_by(...)``),
+- :mod:`~repro.lang.parser` — a small pipeline text language::
+
+      FROM CPU
+        AGG avg(load) OVER 60 BY pid AS load
+        WHERE load < 20
+        MU SMOOTHED FORWARD left.pid == right.pid AND right.load > last.load
+                    REBIND left.pid == right.pid AND right.load > last.load
+        WHERE load > 90
+
+- :mod:`~repro.lang.compiler` — compilation of the AST into plan operators.
+"""
+
+from repro.lang.ast import (
+    AggregateNode,
+    IterateNode,
+    JoinNode,
+    LogicalQuery,
+    ProjectNode,
+    QueryNode,
+    SelectNode,
+    SequenceNode,
+    SourceNode,
+)
+from repro.lang.builder import QueryBuilder, from_stream
+from repro.lang.parser import parse_predicate, parse_query
+from repro.lang.compiler import compile_query
+
+__all__ = [
+    "QueryNode",
+    "SourceNode",
+    "SelectNode",
+    "ProjectNode",
+    "AggregateNode",
+    "JoinNode",
+    "SequenceNode",
+    "IterateNode",
+    "LogicalQuery",
+    "QueryBuilder",
+    "from_stream",
+    "parse_query",
+    "parse_predicate",
+    "compile_query",
+]

@@ -1,0 +1,167 @@
+"""The logical query AST.
+
+A logical query is a tree of operator nodes over named source streams.  The
+tree is deliberately close to the physical operator suite — RUMOR's rewrite
+power lives in the *multi-query* optimizer, not in single-query logical
+rewrites — but stays independent of any plan, so one AST can be compiled into
+many plans (or the same plan many times with different parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import QueryLanguageError
+from repro.operators.expressions import Expression
+from repro.operators.predicates import Predicate
+
+
+class QueryNode:
+    """Base class for logical operator nodes."""
+
+    def children(self) -> tuple["QueryNode", ...]:
+        return ()
+
+    def sources(self) -> list[str]:
+        """Names of all source streams referenced under this node."""
+        names: list[str] = []
+        stack: list[QueryNode] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, SourceNode):
+                if node.name not in names:
+                    names.append(node.name)
+            else:
+                stack.extend(reversed(node.children()))
+        return names
+
+
+@dataclass(frozen=True)
+class SourceNode(QueryNode):
+    """A reference to a named source stream."""
+
+    name: str
+
+    def __repr__(self):
+        return f"FROM {self.name}"
+
+
+@dataclass(frozen=True)
+class SelectNode(QueryNode):
+    """σ over the input node."""
+
+    input: QueryNode
+    predicate: Predicate
+
+    def children(self):
+        return (self.input,)
+
+    def __repr__(self):
+        return f"{self.input!r} WHERE {self.predicate!r}"
+
+
+@dataclass(frozen=True)
+class ProjectNode(QueryNode):
+    """π (schema map) over the input node."""
+
+    input: QueryNode
+    items: tuple[tuple[str, Expression], ...]
+
+    def children(self):
+        return (self.input,)
+
+    def __repr__(self):
+        inner = ", ".join(f"{e!r} AS {n}" for n, e in self.items)
+        return f"{self.input!r} SELECT {inner}"
+
+
+@dataclass(frozen=True)
+class AggregateNode(QueryNode):
+    """Sliding-window α over the input node."""
+
+    input: QueryNode
+    function: str
+    target: Optional[str]
+    window: int
+    group_by: tuple[str, ...] = ()
+    output_name: Optional[str] = None
+
+    def children(self):
+        return (self.input,)
+
+    def __repr__(self):
+        by = f" BY {','.join(self.group_by)}" if self.group_by else ""
+        return (
+            f"{self.input!r} AGG {self.function}({self.target}) "
+            f"OVER {self.window}{by}"
+        )
+
+
+@dataclass(frozen=True)
+class JoinNode(QueryNode):
+    """Sliding-window ⋈ of two nodes."""
+
+    left: QueryNode
+    right: QueryNode
+    predicate: Predicate
+    window: int
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self):
+        return f"({self.left!r}) JOIN ({self.right!r}) ON {self.predicate!r}"
+
+
+@dataclass(frozen=True)
+class SequenceNode(QueryNode):
+    """Cayuga ``;`` of two nodes."""
+
+    left: QueryNode
+    right: QueryNode
+    predicate: Predicate
+    consume_on_match: bool = True
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self):
+        return f"({self.left!r}) SEQ ({self.right!r}) MATCHING {self.predicate!r}"
+
+
+@dataclass(frozen=True)
+class IterateNode(QueryNode):
+    """Cayuga ``µ`` of two nodes."""
+
+    left: QueryNode
+    right: QueryNode
+    forward: Predicate
+    rebind: Predicate
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self):
+        return (
+            f"({self.left!r}) MU ({self.right!r}) "
+            f"FORWARD {self.forward!r} REBIND {self.rebind!r}"
+        )
+
+
+@dataclass
+class LogicalQuery:
+    """A named logical query: the unit users register with the system."""
+
+    query_id: str
+    root: QueryNode
+
+    def __post_init__(self):
+        if not self.query_id:
+            raise QueryLanguageError("query_id must be non-empty")
+
+    def sources(self) -> list[str]:
+        return self.root.sources()
+
+    def __repr__(self):
+        return f"LogicalQuery({self.query_id!r}: {self.root!r})"

@@ -1,0 +1,129 @@
+"""Fluent builder for logical queries.
+
+Example — the paper's Query 1 (§4.1)::
+
+    from repro.lang import from_stream
+    from repro.operators import left, right, last, attr, lit, Comparison
+
+    query = (
+        from_stream("CPU")
+        .aggregate("avg", "load", over=5, by=("pid",), name="load")
+        .where(Comparison(attr("load"), "<", lit(20)))           # θs
+        .iterate(
+            from_stream("SMOOTHED"),
+            forward=Comparison(left("pid"), "==", right("pid"))
+            & Comparison(right("load"), ">", last("load")),
+            rebind=Comparison(left("pid"), "==", right("pid"))
+            & Comparison(right("load"), ">", last("load")),
+        )
+        .where(Comparison(attr("load"), ">", lit(90)))           # stop
+        .named("query1")
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import QueryLanguageError
+from repro.lang.ast import (
+    AggregateNode,
+    IterateNode,
+    JoinNode,
+    LogicalQuery,
+    ProjectNode,
+    QueryNode,
+    SelectNode,
+    SequenceNode,
+    SourceNode,
+)
+from repro.operators.expressions import Expression
+from repro.operators.predicates import Predicate
+
+
+class QueryBuilder:
+    """Immutable fluent wrapper around a :class:`QueryNode`."""
+
+    def __init__(self, node: QueryNode):
+        self._node = node
+
+    @property
+    def node(self) -> QueryNode:
+        return self._node
+
+    # -- unary steps -------------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "QueryBuilder":
+        """Append a selection."""
+        return QueryBuilder(SelectNode(self._node, predicate))
+
+    def select(self, items: Sequence[tuple[str, Expression]]) -> "QueryBuilder":
+        """Append a projection / schema map."""
+        return QueryBuilder(ProjectNode(self._node, tuple(items)))
+
+    def aggregate(
+        self,
+        function: str,
+        target: Optional[str],
+        over: int,
+        by: Sequence[str] = (),
+        name: Optional[str] = None,
+    ) -> "QueryBuilder":
+        """Append a sliding-window aggregate (window length ``over``)."""
+        return QueryBuilder(
+            AggregateNode(self._node, function, target, over, tuple(by), name)
+        )
+
+    # -- binary steps ---------------------------------------------------------------
+
+    def join(
+        self, other: "QueryBuilder | QueryNode", on: Predicate, within: int
+    ) -> "QueryBuilder":
+        """Windowed join with another stream expression."""
+        return QueryBuilder(JoinNode(self._node, _node_of(other), on, within))
+
+    def followed_by(
+        self,
+        other: "QueryBuilder | QueryNode",
+        matching: Predicate,
+        consume_on_match: bool = True,
+    ) -> "QueryBuilder":
+        """Cayuga sequence: this expression's events followed by ``other``'s."""
+        return QueryBuilder(
+            SequenceNode(self._node, _node_of(other), matching, consume_on_match)
+        )
+
+    def iterate(
+        self,
+        other: "QueryBuilder | QueryNode",
+        forward: Predicate,
+        rebind: Predicate,
+    ) -> "QueryBuilder":
+        """Cayuga iteration: build unbounded sequences of ``other``'s events."""
+        return QueryBuilder(
+            IterateNode(self._node, _node_of(other), forward, rebind)
+        )
+
+    # -- finalization ------------------------------------------------------------------
+
+    def named(self, query_id: str) -> LogicalQuery:
+        """Finish the pipeline as a registered query."""
+        return LogicalQuery(query_id, self._node)
+
+    def __repr__(self):
+        return f"QueryBuilder({self._node!r})"
+
+
+def _node_of(value: "QueryBuilder | QueryNode") -> QueryNode:
+    if isinstance(value, QueryBuilder):
+        return value.node
+    if isinstance(value, QueryNode):
+        return value
+    raise QueryLanguageError(
+        f"expected a QueryBuilder or QueryNode, got {type(value).__name__}"
+    )
+
+
+def from_stream(name: str) -> QueryBuilder:
+    """Start a pipeline from a named source stream."""
+    return QueryBuilder(SourceNode(name))

@@ -1,0 +1,110 @@
+"""Compiling logical queries onto a query plan.
+
+``compile_query`` walks the AST bottom-up, appending one operator instance
+per node to the target plan (all wrapped in naive single-instance m-ops —
+the unoptimized starting point of §2.1).  Source nodes resolve against the
+caller's name → :class:`~repro.streams.stream.StreamDef` map; the same map
+also resolves *derived* stream names, so a query can reference a stream
+produced by an earlier compilation (Query 1's ``SMOOTHED``, §4.1) — register
+it via the ``publish`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.plan import QueryPlan
+from repro.errors import QueryLanguageError
+from repro.lang.ast import (
+    AggregateNode,
+    IterateNode,
+    JoinNode,
+    LogicalQuery,
+    ProjectNode,
+    QueryNode,
+    SelectNode,
+    SequenceNode,
+    SourceNode,
+)
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.iterate import Iterate
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.project import Projection
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.operators.window import TimeWindow
+from repro.streams.stream import StreamDef
+
+
+def compile_query(
+    query: LogicalQuery,
+    plan: QueryPlan,
+    streams: dict[str, StreamDef],
+    mark_output: bool = True,
+    publish: Optional[str] = None,
+) -> StreamDef:
+    """Append ``query``'s operators to ``plan``; returns the output stream.
+
+    ``streams`` maps stream names (sources or previously published derived
+    streams) to plan streams.  With ``publish`` set, the query's output
+    stream is added to ``streams`` under that name for later queries.
+    """
+    output = _compile_node(query.root, plan, streams, query.query_id)
+    if mark_output:
+        plan.mark_output(output, query.query_id)
+    if publish:
+        if publish in streams:
+            raise QueryLanguageError(f"stream name {publish!r} already registered")
+        streams[publish] = output
+    return output
+
+
+def _compile_node(
+    node: QueryNode,
+    plan: QueryPlan,
+    streams: dict[str, StreamDef],
+    query_id: str,
+) -> StreamDef:
+    if isinstance(node, SourceNode):
+        try:
+            return streams[node.name]
+        except KeyError:
+            raise QueryLanguageError(
+                f"unknown stream {node.name!r}; register it in the stream map"
+            ) from None
+    if isinstance(node, SelectNode):
+        upstream = _compile_node(node.input, plan, streams, query_id)
+        return plan.add_operator(
+            Selection(node.predicate), [upstream], query_id=query_id
+        )
+    if isinstance(node, ProjectNode):
+        upstream = _compile_node(node.input, plan, streams, query_id)
+        return plan.add_operator(
+            Projection(list(node.items)), [upstream], query_id=query_id
+        )
+    if isinstance(node, AggregateNode):
+        upstream = _compile_node(node.input, plan, streams, query_id)
+        operator = SlidingWindowAggregate(
+            node.function,
+            node.target,
+            TimeWindow(node.window),
+            group_by=node.group_by,
+            output_name=node.output_name,
+        )
+        return plan.add_operator(operator, [upstream], query_id=query_id)
+    if isinstance(node, JoinNode):
+        left = _compile_node(node.left, plan, streams, query_id)
+        right = _compile_node(node.right, plan, streams, query_id)
+        operator = SlidingWindowJoin(node.predicate, TimeWindow(node.window))
+        return plan.add_operator(operator, [left, right], query_id=query_id)
+    if isinstance(node, SequenceNode):
+        left = _compile_node(node.left, plan, streams, query_id)
+        right = _compile_node(node.right, plan, streams, query_id)
+        operator = Sequence(node.predicate, consume_on_match=node.consume_on_match)
+        return plan.add_operator(operator, [left, right], query_id=query_id)
+    if isinstance(node, IterateNode):
+        left = _compile_node(node.left, plan, streams, query_id)
+        right = _compile_node(node.right, plan, streams, query_id)
+        operator = Iterate(node.forward, node.rebind)
+        return plan.add_operator(operator, [left, right], query_id=query_id)
+    raise QueryLanguageError(f"cannot compile node type {type(node).__name__}")

@@ -1,0 +1,379 @@
+"""A small pipeline text language for stream queries.
+
+Grammar (keywords case-insensitive, ``#`` starts a line comment)::
+
+    query      := FROM source clause*
+    source     := IDENT | '(' query ')'
+    clause     := WHERE predicate
+                | SELECT item (',' item)*
+                | AGG IDENT '(' (IDENT | '*') ')' OVER INT [BY idents] [AS IDENT]
+                | JOIN source ON predicate WITHIN INT
+                | SEQ source MATCHING predicate [KEEP]
+                | MU  source FORWARD predicate REBIND predicate
+    item       := expression [AS IDENT]
+    predicate  := disjunction
+    disjunction:= conjunction (OR conjunction)*
+    conjunction:= negation (AND negation)*
+    negation   := NOT negation | comparison | '(' predicate ')' | TRUE | FALSE
+               |  WITHIN INT                       # duration predicate
+    comparison := expression op expression          # op ∈ == != < <= > >=
+    expression := term (('+'|'-') term)*
+    term       := factor (('*'|'/'|'%') factor)*
+    factor     := NUMBER | attref | '(' expression ')'
+    attref     := [('left'|'right'|'last') '.'] IDENT
+
+Bare identifiers reference the (left) input tuple; ``left.x`` / ``right.x`` /
+``last.x`` give explicit sides for binary operators (``last`` is the µ
+rebind target, paper §4.2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    AggregateNode,
+    IterateNode,
+    JoinNode,
+    LogicalQuery,
+    ProjectNode,
+    QueryNode,
+    SelectNode,
+    SequenceNode,
+    SourceNode,
+)
+from repro.operators.expressions import (
+    Arith,
+    AttrRef,
+    Expression,
+    LAST,
+    LEFT,
+    Literal,
+    RIGHT,
+)
+from repro.operators.predicates import (
+    And,
+    Comparison,
+    DurationWithin,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+)
+
+_KEYWORDS = {
+    "FROM", "WHERE", "SELECT", "AGG", "OVER", "BY", "AS", "JOIN", "ON",
+    "WITHIN", "SEQ", "MATCHING", "KEEP", "MU", "FORWARD", "REBIND",
+    "AND", "OR", "NOT", "TRUE", "FALSE",
+}
+
+_SIDES = {"left": LEFT, "right": RIGHT, "last": LAST}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>==|!=|<=|>=|<|>|\+|-|\*|/|%|\(|\)|,|\.)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind  # 'number' | 'ident' | 'keyword' | 'op' | 'end'
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", position, text)
+        if match.lastgroup != "ws":
+            value = match.group()
+            if match.lastgroup == "ident" and value.upper() in _KEYWORDS:
+                tokens.append(_Token("keyword", value.upper(), position))
+            else:
+                tokens.append(_Token(match.lastgroup, value, position))
+        position = match.end()
+    tokens.append(_Token("end", "", position))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept_keyword(self, *keywords: str) -> Optional[str]:
+        token = self.peek()
+        if token.kind == "keyword" and token.value in keywords:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.advance()
+        if token.kind != "keyword" or token.value != keyword:
+            raise ParseError(
+                f"expected {keyword}, got {token.value!r}", token.position, self.text
+            )
+
+    def expect_op(self, op: str) -> None:
+        token = self.advance()
+        if token.kind != "op" or token.value != op:
+            raise ParseError(
+                f"expected {op!r}, got {token.value!r}", token.position, self.text
+            )
+
+    def expect_ident(self) -> str:
+        token = self.advance()
+        if token.kind != "ident":
+            raise ParseError(
+                f"expected identifier, got {token.value!r}", token.position, self.text
+            )
+        return token.value
+
+    def expect_int(self) -> int:
+        token = self.advance()
+        if token.kind != "number" or "." in token.value:
+            raise ParseError(
+                f"expected integer, got {token.value!r}", token.position, self.text
+            )
+        return int(token.value)
+
+    # -- query ----------------------------------------------------------------------
+
+    def parse_query(self) -> QueryNode:
+        self.expect_keyword("FROM")
+        node = self._source()
+        while True:
+            keyword = self.accept_keyword(
+                "WHERE", "SELECT", "AGG", "JOIN", "SEQ", "MU"
+            )
+            if keyword is None:
+                return node
+            if keyword == "WHERE":
+                node = SelectNode(node, self.parse_predicate())
+            elif keyword == "SELECT":
+                node = ProjectNode(node, tuple(self._select_items()))
+            elif keyword == "AGG":
+                node = self._aggregate(node)
+            elif keyword == "JOIN":
+                other = self._source()
+                self.expect_keyword("ON")
+                predicate = self.parse_predicate()
+                self.expect_keyword("WITHIN")
+                window = self.expect_int()
+                node = JoinNode(node, other, predicate, window)
+            elif keyword == "SEQ":
+                other = self._source()
+                self.expect_keyword("MATCHING")
+                predicate = self.parse_predicate()
+                consume = self.accept_keyword("KEEP") is None
+                node = SequenceNode(node, other, predicate, consume)
+            else:  # MU
+                other = self._source()
+                self.expect_keyword("FORWARD")
+                forward = self.parse_predicate()
+                self.expect_keyword("REBIND")
+                rebind = self.parse_predicate()
+                node = IterateNode(node, other, forward, rebind)
+
+    def _source(self) -> QueryNode:
+        token = self.peek()
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            node = self.parse_query()
+            self.expect_op(")")
+            return node
+        return SourceNode(self.expect_ident())
+
+    def _select_items(self):
+        items = []
+        while True:
+            expression = self.parse_expression()
+            if self.accept_keyword("AS"):
+                name = self.expect_ident()
+            elif isinstance(expression, AttrRef):
+                name = expression.name
+            else:
+                token = self.peek()
+                raise ParseError(
+                    "computed SELECT items need AS <name>", token.position, self.text
+                )
+            items.append((name, expression))
+            token = self.peek()
+            if token.kind == "op" and token.value == ",":
+                self.advance()
+                continue
+            return items
+
+    def _aggregate(self, node: QueryNode) -> AggregateNode:
+        function = self.expect_ident().lower()
+        self.expect_op("(")
+        token = self.peek()
+        if token.kind == "op" and token.value == "*":
+            self.advance()
+            target = None
+        else:
+            target = self.expect_ident()
+        self.expect_op(")")
+        self.expect_keyword("OVER")
+        window = self.expect_int()
+        group_by: tuple[str, ...] = ()
+        if self.accept_keyword("BY"):
+            names = [self.expect_ident()]
+            while self.peek().kind == "op" and self.peek().value == ",":
+                self.advance()
+                names.append(self.expect_ident())
+            group_by = tuple(names)
+        output_name = None
+        if self.accept_keyword("AS"):
+            output_name = self.expect_ident()
+        return AggregateNode(node, function, target, window, group_by, output_name)
+
+    # -- predicates ---------------------------------------------------------------
+
+    def parse_predicate(self) -> Predicate:
+        return self._disjunction()
+
+    def _disjunction(self) -> Predicate:
+        parts = [self._conjunction()]
+        while self.accept_keyword("OR"):
+            parts.append(self._conjunction())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def _conjunction(self) -> Predicate:
+        parts = [self._negation()]
+        while self.accept_keyword("AND"):
+            parts.append(self._negation())
+        return conjunction(parts)
+
+    def _negation(self) -> Predicate:
+        if self.accept_keyword("NOT"):
+            return Not(self._negation())
+        if self.accept_keyword("TRUE"):
+            return TruePredicate()
+        if self.accept_keyword("FALSE"):
+            return FalsePredicate()
+        if self.accept_keyword("WITHIN"):
+            return DurationWithin(self.expect_int())
+        token = self.peek()
+        if token.kind == "op" and token.value == "(":
+            # Could be a parenthesized predicate or expression; try predicate
+            # first by scanning for a comparison at this nesting level.
+            saved = self.index
+            self.advance()
+            try:
+                predicate = self.parse_predicate()
+                self.expect_op(")")
+                return predicate
+            except ParseError:
+                self.index = saved
+        return self._comparison()
+
+    def _comparison(self) -> Predicate:
+        lhs = self.parse_expression()
+        token = self.advance()
+        if token.kind != "op" or token.value not in ("==", "!=", "<", "<=", ">", ">="):
+            raise ParseError(
+                f"expected comparison operator, got {token.value!r}",
+                token.position,
+                self.text,
+            )
+        rhs = self.parse_expression()
+        return Comparison(lhs, token.value, rhs)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        node = self._term()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self.advance()
+                node = Arith(node, token.value, self._term())
+            else:
+                return node
+
+    def _term(self) -> Expression:
+        node = self._factor()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("*", "/", "%"):
+                self.advance()
+                node = Arith(node, token.value, self._factor())
+            else:
+                return node
+
+    def _factor(self) -> Expression:
+        token = self.advance()
+        if token.kind == "number":
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "op" and token.value == "(":
+            node = self.parse_expression()
+            self.expect_op(")")
+            return node
+        if token.kind == "ident":
+            name = token.value
+            if name in _SIDES and self.peek().kind == "op" and self.peek().value == ".":
+                self.advance()
+                return AttrRef(_SIDES[name], self.expect_ident())
+            return AttrRef(LEFT, name)
+        raise ParseError(
+            f"unexpected token {token.value!r}", token.position, self.text
+        )
+
+    def expect_end(self) -> None:
+        token = self.peek()
+        if token.kind != "end":
+            raise ParseError(
+                f"trailing input starting at {token.value!r}",
+                token.position,
+                self.text,
+            )
+
+
+def parse_query(text: str, query_id: str) -> LogicalQuery:
+    """Parse one pipeline query; raises :class:`ParseError` on bad input."""
+    parser = _Parser(text)
+    node = parser.parse_query()
+    parser.expect_end()
+    return LogicalQuery(query_id, node)
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a standalone predicate (useful for tests and interactive use)."""
+    parser = _Parser(text)
+    predicate = parser.parse_predicate()
+    parser.expect_end()
+    return predicate

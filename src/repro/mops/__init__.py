@@ -1,0 +1,41 @@
+"""Optimized m-op implementations — the targets of the Table 1 m-rules.
+
+==========  =====================================  ==============================
+m-rule      target m-op                            technique (paper reference)
+==========  =====================================  ==============================
+(none)      :class:`~repro.mops.naive.NaiveMOp`    one-by-one reference semantics
+sσ          :class:`~repro.mops.predicate_index.PredicateIndexMOp`  predicate indexing [10, 16]
+sα          :class:`~repro.mops.shared_aggregate.SharedAggregateMOp`  shared aggregates [22]
+s⋈          :class:`~repro.mops.shared_join.SharedJoinMOp`  shared window join [12]
+s; / sµ     :class:`~repro.mops.shared_sequence.SharedSequenceMOp`  CSE (§4.3)
+s;-ix       :class:`~repro.mops.shared_sequence.IndexedSequenceMOp`  AN/FR-index behaviour (§4.3)
+cσ / cπ     :class:`~repro.mops.channel_ops.ChannelSelectionMOp` / ``ChannelProjectionMOp``  channel ops (§3.3)
+cα          :class:`~repro.mops.fragment_aggregate.FragmentAggregateMOp`  shared fragment aggregation [15]
+c⋈          :class:`~repro.mops.precision_join.PrecisionJoinMOp`  precision sharing [14]
+c; / cµ     :class:`~repro.mops.channel_sequence.ChannelSequenceMOp`  channel-based event MQO (§4.4)
+==========  =====================================  ==============================
+"""
+
+from repro.mops.naive import NaiveMOp
+from repro.mops.predicate_index import PredicateIndexMOp
+from repro.mops.shared_aggregate import SharedAggregateMOp
+from repro.mops.shared_join import SharedJoinMOp
+from repro.mops.shared_sequence import SharedSequenceMOp, IndexedSequenceMOp
+from repro.mops.channel_ops import ChannelSelectionMOp, ChannelProjectionMOp
+from repro.mops.fragment_aggregate import FragmentAggregateMOp
+from repro.mops.precision_join import PrecisionJoinMOp
+from repro.mops.channel_sequence import ChannelSequenceMOp
+
+__all__ = [
+    "NaiveMOp",
+    "PredicateIndexMOp",
+    "SharedAggregateMOp",
+    "SharedJoinMOp",
+    "SharedSequenceMOp",
+    "IndexedSequenceMOp",
+    "ChannelSelectionMOp",
+    "ChannelProjectionMOp",
+    "FragmentAggregateMOp",
+    "PrecisionJoinMOp",
+    "ChannelSequenceMOp",
+]

@@ -1,0 +1,112 @@
+"""Channel-based selection and projection m-ops — the cσ / cπ targets (§3.3).
+
+Both implement a set of *identically defined* unary operators whose input
+streams are encoded in one channel.  The work is done **once per channel
+tuple** regardless of how many streams the tuple belongs to:
+
+- cσ evaluates the (single, shared) predicate once and passes the tuple
+  through with a translated membership mask,
+- cπ applies the (single, shared) schema map once, "keeping the membership
+  component of t intact in the output tuple" — the paper's π example of a
+  free encode/decode step (§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.mop import MOp, MOpExecutor, OutputCollector, Wiring
+from repro.errors import PlanError
+from repro.mops.masking import MaskTranslator
+from repro.operators.project import Projection
+from repro.operators.select import Selection
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.tuples import StreamTuple
+
+
+def _validate_channel_unary(instances, operator_type, rule_name: str):
+    definitions = {instance.operator.definition() for instance in instances}
+    if len(definitions) != 1:
+        raise PlanError(f"{rule_name} merges operators with the same definition")
+    for instance in instances:
+        if not isinstance(instance.operator, operator_type):
+            raise PlanError(
+                f"{rule_name} expects {operator_type.__name__} instances"
+            )
+
+
+class ChannelSelectionMOp(MOp):
+    """One predicate evaluation per channel tuple, for n selections."""
+
+    kind = "σ-channel"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        _validate_channel_unary(self.instances, Selection, "cσ")
+
+    def make_executor(self, wiring: Wiring) -> "ChannelSelectionExecutor":
+        return ChannelSelectionExecutor(self, wiring)
+
+
+class ChannelSelectionExecutor(MOpExecutor):
+    def __init__(self, mop: ChannelSelectionMOp, wiring: Wiring):
+        self.mop = mop
+        collector = OutputCollector(wiring, mop.output_streams)
+        first = mop.instances[0]
+        input_channel = wiring.channel_of(first.inputs[0])
+        self._channel_id = input_channel.channel_id
+        self._translator = MaskTranslator(input_channel, mop.instances, collector)
+        self._test = first.operator.predicate.compile(first.inputs[0].schema)
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        if channel.channel_id != self._channel_id:
+            return []
+        mask = channel_tuple.membership & self._translator.consumed_mask
+        if not mask:
+            return []
+        tuple_ = channel_tuple.tuple
+        if not self._test(tuple_, None, None):
+            return []
+        return self._translator.emit(tuple_, mask)
+
+
+class ChannelProjectionMOp(MOp):
+    """One schema-map evaluation per channel tuple, for n projections."""
+
+    kind = "π-channel"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        _validate_channel_unary(self.instances, Projection, "cπ")
+
+    def make_executor(self, wiring: Wiring) -> "ChannelProjectionExecutor":
+        return ChannelProjectionExecutor(self, wiring)
+
+
+class ChannelProjectionExecutor(MOpExecutor):
+    def __init__(self, mop: ChannelProjectionMOp, wiring: Wiring):
+        self.mop = mop
+        collector = OutputCollector(wiring, mop.output_streams)
+        first = mop.instances[0]
+        input_schema = first.inputs[0].schema
+        input_channel = wiring.channel_of(first.inputs[0])
+        self._channel_id = input_channel.channel_id
+        self._translator = MaskTranslator(input_channel, mop.instances, collector)
+        operator: Projection = first.operator
+        self.output_schema = operator.output_schema([input_schema])
+        self._evaluators = [
+            expression.compile(input_schema) for __, expression in operator.items
+        ]
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        if channel.channel_id != self._channel_id:
+            return []
+        mask = channel_tuple.membership & self._translator.consumed_mask
+        if not mask:
+            return []
+        tuple_ = channel_tuple.tuple
+        values = [evaluate(tuple_, None, None) for evaluate in self._evaluators]
+        output = StreamTuple(self.output_schema, values, tuple_.ts)
+        return self._translator.emit(output, mask)

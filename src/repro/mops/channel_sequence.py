@@ -1,0 +1,106 @@
+"""Channel-based sequence / iteration m-op — the c; and cµ targets (§4.4).
+
+This is the paper's headline new technique: event pattern queries "that can
+be evaluated more efficiently in the form of RUMOR query plans than in the
+Cayuga engine", because the evaluation strategy is outside the automaton
+model.
+
+The m-op implements a set of identically defined ``;`` (or ``µ``) operators
+whose *first* input streams are sharable and encoded in one channel, and
+whose *second* input stream is the same (§4.4, conditions (a)–(c) of the c;
+rule).  Because the definitions are identical, all member queries advance in
+lock-step: an arriving left channel tuple opens **one** instance whose mask
+records which queries it belongs to; each right event is then matched **once**
+per instance — not once per query — and every emission carries the instance's
+mask translated into output-channel positions.  This is why the throughput of
+the channel plan in Fig. 11(b) is flat in the starting-condition selectivity:
+"the amount of work for processing [a channel tuple] in µ{1..n} remains the
+same, regardless of how many stream tuples it encodes".
+"""
+
+from __future__ import annotations
+
+from repro.core.mop import MOp, MOpExecutor, OutputCollector, Wiring
+from repro.errors import PlanError
+from repro.mops.masking import MaskTranslator
+from repro.operators.iterate import Iterate
+from repro.operators.sequence import Sequence
+from repro.streams.channel import Channel, ChannelTuple
+
+
+class ChannelSequenceMOp(MOp):
+    """Shared instance state for n same-definition ``;`` / ``µ`` operators."""
+
+    kind = ";-channel"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        definitions = {instance.operator.definition() for instance in self.instances}
+        if len(definitions) != 1:
+            raise PlanError("c;/cµ merge operators with the same definition")
+        operator = self.instances[0].operator
+        if not isinstance(operator, (Sequence, Iterate)):
+            raise PlanError("ChannelSequenceMOp implements ; and µ operators only")
+        rights = {instance.inputs[1].stream_id for instance in self.instances}
+        if len(rights) != 1:
+            raise PlanError(
+                "c;/cµ require the same second input stream for all operators"
+            )
+        self._is_iterate = isinstance(operator, Iterate)
+
+    def make_executor(self, wiring: Wiring) -> "ChannelSequenceExecutor":
+        return ChannelSequenceExecutor(self, wiring)
+
+
+class ChannelSequenceExecutor(MOpExecutor):
+    """One mask-aware inner executor servicing every member query."""
+
+    def __init__(self, mop: ChannelSequenceMOp, wiring: Wiring):
+        self.mop = mop
+        collector = OutputCollector(wiring, mop.output_streams)
+        first = mop.instances[0]
+        left_stream, right_stream = first.inputs
+        left_channel = wiring.channel_of(left_stream)
+        right_channel = wiring.channel_of(right_stream)
+        for instance in mop.instances:
+            if wiring.channel_of(instance.inputs[0]) is not left_channel:
+                raise PlanError(
+                    "c;/cµ require all first input streams on one channel"
+                )
+        self._left_channel_id = left_channel.channel_id
+        self._right_slot = (
+            right_channel.channel_id,
+            1 << right_channel.position_of(right_stream),
+        )
+        self._translator = MaskTranslator(left_channel, mop.instances, collector)
+        operator = first.operator
+        self._inner = operator.executor([left_stream.schema, right_stream.schema])
+        self._advance = (
+            self._inner.advance if isinstance(operator, Iterate) else self._inner.match
+        )
+        self._collector = collector
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        results: list[tuple[Channel, ChannelTuple]] = []
+        channel_id = channel.channel_id
+        if channel_id == self._left_channel_id:
+            mask = channel_tuple.membership & self._translator.consumed_mask
+            if mask:
+                # Decoding step + one shared instance for all member queries.
+                self._inner.insert(channel_tuple.tuple, mask=mask)
+        right_id, right_bit = self._right_slot
+        if channel_id == right_id and channel_tuple.membership & right_bit:
+            emissions = []
+            for output, mask in self._advance(channel_tuple.tuple):
+                emissions.extend(
+                    (out_channel, out_mask, output)
+                    for out_channel, out_mask in self._translator.translate(mask)
+                )
+            results.extend(self._collector.emit_masked(emissions))
+        return results
+
+    @property
+    def state_size(self) -> int:
+        return self._inner.state_size

@@ -1,0 +1,150 @@
+"""Shared-fragment aggregation — the cα target m-op [15].
+
+Implements a set of identically defined sliding-window aggregates whose input
+streams are encoded in one channel.  Following Krishnamurthy et al.'s
+on-the-fly sharing scheme, state is organized by *fragment*: the set of
+tuples sharing a membership mask.  Each (group, fragment) pair owns one
+accumulator; a channel tuple updates exactly one accumulator no matter how
+many queries it belongs to.  A query's aggregate is the combination of the
+fragments whose mask contains the query's bit — computed from the mergeable
+partials of :mod:`repro.operators.aggregate`.
+
+Queries whose visible fragment sets coincide necessarily produce the same
+value, so their emissions are encoded as a single output channel tuple; when
+every channel tuple belongs to all streams (one fragment), the whole m-op
+emits exactly one tuple per input — the sharing that drives Fig. 11.
+"""
+
+from __future__ import annotations
+
+from repro.core.mop import MOp, MOpExecutor, OutputCollector, Wiring
+from repro.errors import PlanError
+from repro.mops.masking import MaskTranslator
+from repro.operators.aggregate import AGGREGATE_FUNCTIONS, SlidingWindowAggregate
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.tuples import StreamTuple
+
+
+class FragmentAggregateMOp(MOp):
+    """Per-(group, fragment) accumulators serving n same-definition aggregates."""
+
+    kind = "α-channel"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        definitions = {instance.operator.definition() for instance in self.instances}
+        if len(definitions) != 1:
+            raise PlanError("cα merges aggregates with the same definition")
+        operator = self.instances[0].operator
+        if not isinstance(operator, SlidingWindowAggregate):
+            raise PlanError("FragmentAggregateMOp implements aggregations only")
+        from repro.operators.window import TimeWindow
+
+        if not isinstance(operator.window, TimeWindow):
+            raise PlanError("cα shares time-window aggregates only")
+
+    def make_executor(self, wiring: Wiring) -> "FragmentAggregateExecutor":
+        return FragmentAggregateExecutor(self, wiring)
+
+
+class FragmentAggregateExecutor(MOpExecutor):
+    def __init__(self, mop: FragmentAggregateMOp, wiring: Wiring):
+        self.mop = mop
+        collector = OutputCollector(wiring, mop.output_streams)
+        first = mop.instances[0]
+        input_stream = first.inputs[0]
+        schema = input_stream.schema
+        input_channel = wiring.channel_of(input_stream)
+        for instance in mop.instances:
+            if wiring.channel_of(instance.inputs[0]) is not input_channel:
+                raise PlanError("cα requires all input streams on one channel")
+        self._channel_id = input_channel.channel_id
+        self._translator = MaskTranslator(input_channel, mop.instances, collector)
+        self._collector = collector
+
+        operator: SlidingWindowAggregate = first.operator
+        self._spec = AGGREGATE_FUNCTIONS[operator.function]
+        self._window = operator.window.length
+        self._group_positions = [schema.index_of(g) for g in operator.group_by]
+        self._target_position = (
+            schema.index_of(operator.target) if operator.target else None
+        )
+        self.output_schema = operator.output_schema([schema])
+        #: group key -> {fragment mask -> accumulator}
+        self._state: dict[tuple, dict[int, object]] = {}
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        if channel.channel_id != self._channel_id:
+            return []
+        mask = channel_tuple.membership & self._translator.consumed_mask
+        if not mask:
+            return []
+        tuple_ = channel_tuple.tuple
+        values = tuple_.values
+        ts = tuple_.ts
+        key = tuple(values[p] for p in self._group_positions)
+        value = (
+            values[self._target_position]
+            if self._target_position is not None
+            else 1
+        )
+        fragments = self._state.get(key)
+        if fragments is None:
+            fragments = {}
+            self._state[key] = fragments
+        accumulator = fragments.get(mask)
+        if accumulator is None:
+            accumulator = self._spec.make()
+            fragments[mask] = accumulator
+        accumulator.insert(ts, value)
+
+        # Expire and snapshot partials for this group's fragments.
+        threshold = ts - self._window
+        partials: list[tuple[int, object]] = []
+        dead = []
+        for fragment_mask, acc in fragments.items():
+            acc.expire(threshold)
+            if len(acc) == 0:
+                dead.append(fragment_mask)
+            else:
+                partials.append((fragment_mask, acc.partial()))
+        for fragment_mask in dead:
+            del fragments[fragment_mask]
+
+        # Queries sharing the same visible fragment subset share one value
+        # (and therefore one output channel tuple).
+        by_subset: dict[tuple[int, ...], int] = {}
+        remaining = mask
+        position = 0
+        while remaining:
+            if remaining & 1:
+                bit = 1 << position
+                subset = tuple(
+                    index
+                    for index, (fragment_mask, __) in enumerate(partials)
+                    if fragment_mask & bit
+                )
+                by_subset[subset] = by_subset.get(subset, 0) | bit
+            remaining >>= 1
+            position += 1
+
+        emissions = []
+        combine, finalize = self._spec.combine, self._spec.finalize
+        for subset, bits in by_subset.items():
+            result = finalize(combine([partials[index][1] for index in subset]))
+            output = StreamTuple(self.output_schema, key + (result,), ts)
+            emissions.extend(
+                (out_channel, out_mask, output)
+                for out_channel, out_mask in self._translator.translate(bits)
+            )
+        return self._collector.emit_masked(emissions)
+
+    @property
+    def state_size(self) -> int:
+        return sum(
+            len(acc)
+            for fragments in self._state.values()
+            for acc in fragments.values()
+        )

@@ -1,0 +1,77 @@
+"""Membership-mask translation shared by the channel m-ops.
+
+A channel m-op reads tuples whose membership masks are positions in its
+*input* channel and emits tuples whose masks are positions in its *output*
+channel(s).  The translator precomputes, for every input position, the output
+(channel, bit) contributions of the operator instances consuming that
+position, so per-tuple translation is a few shifts and ORs — the paper's
+observation that "the decoding and encoding steps can often be implemented
+very efficiently" (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.mop import OpInstance, OutputCollector, Wiring
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+
+class MaskTranslator:
+    """Input-channel positions → output (channel, mask) contributions."""
+
+    __slots__ = ("_tables", "_channels", "consumed_mask")
+
+    def __init__(
+        self,
+        input_channel: Channel,
+        instances: Sequence[OpInstance],
+        collector: OutputCollector,
+        input_of: int = 0,
+    ):
+        #: Per output channel id: list indexed by input position of the OR-ed
+        #: output bits contributed by that position.
+        tables: dict[int, list[int]] = {}
+        channels: dict[int, Channel] = {}
+        consumed = 0
+        for instance in instances:
+            stream = instance.inputs[input_of]
+            position = input_channel.position_of(stream)
+            consumed |= 1 << position
+            out_channel, out_bit = collector.route(instance.output)
+            table = tables.setdefault(
+                out_channel.channel_id, [0] * input_channel.capacity
+            )
+            channels[out_channel.channel_id] = out_channel
+            table[position] |= out_bit
+        self._tables = tables
+        self._channels = channels
+        #: Input positions that have at least one consumer.
+        self.consumed_mask = consumed
+
+    def translate(self, mask: int) -> list[tuple[Channel, int]]:
+        """Output (channel, mask) pairs for an input membership mask."""
+        results: list[tuple[Channel, int]] = []
+        for channel_id, table in self._tables.items():
+            out_mask = 0
+            remaining = mask
+            position = 0
+            while remaining:
+                if remaining & 1:
+                    out_mask |= table[position]
+                remaining >>= 1
+                position += 1
+            if out_mask:
+                results.append((self._channels[channel_id], out_mask))
+        return results
+
+    def emit(
+        self, tuple_: StreamTuple, mask: int
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        """Encode one content tuple under a translated mask."""
+        return [
+            (channel, ChannelTuple(tuple_, out_mask))
+            for channel, out_mask in self.translate(mask)
+        ]

@@ -1,0 +1,71 @@
+"""The naive m-op: one-by-one execution of the implemented operators.
+
+This is the paper's *definition* of m-op semantics (§2.2): "the m-op
+conceptually executes all its operators that have input stream S, and it
+writes the output produced for t by these operators to the corresponding
+output streams. ... the definition ... is based on the one-by-one execution
+of the implemented operators without sharing state."
+
+Besides being the starting point of every plan (one instance per naive m-op),
+it is the oracle the property tests compare every optimized m-op against.
+"""
+
+from __future__ import annotations
+
+from repro.core.mop import MOp, MOpExecutor, OpInstance, OutputCollector, Wiring
+from repro.streams.channel import Channel, ChannelTuple
+
+
+class NaiveMOp(MOp):
+    """Implements its operator instances by executing each in isolation."""
+
+    kind = "naive"
+
+    def make_executor(self, wiring: Wiring) -> "NaiveMOpExecutor":
+        return NaiveMOpExecutor(self, wiring)
+
+
+class NaiveMOpExecutor(MOpExecutor):
+    """Per-instance operator executors behind the channel decode/encode steps."""
+
+    def __init__(self, mop: NaiveMOp, wiring: Wiring):
+        self.mop = mop
+        self._collector = OutputCollector(wiring, mop.output_streams)
+        # Decode table: for each input channel, stream position -> the
+        # (executor, instance, input_index) triples consuming that stream.
+        self._executors = [
+            instance.operator.executor([s.schema for s in instance.inputs])
+            for instance in mop.instances
+        ]
+        self._routing: dict[int, list[list[tuple[object, OpInstance, int]]]] = {}
+        for position, instance in enumerate(mop.instances):
+            executor = self._executors[position]
+            for input_index, stream in enumerate(instance.inputs):
+                channel = wiring.channel_of(stream)
+                table = self._routing.setdefault(
+                    channel.channel_id, [[] for __ in range(channel.capacity)]
+                )
+                table[channel.position_of(stream)].append(
+                    (executor, instance, input_index)
+                )
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        table = self._routing.get(channel.channel_id)
+        if table is None:
+            return []
+        emissions = []
+        mask = channel_tuple.membership
+        tuple_ = channel_tuple.tuple
+        for position, consumers in enumerate(table):
+            if not consumers or not mask & (1 << position):
+                continue
+            for executor, instance, input_index in consumers:
+                for output in executor.process(input_index, tuple_):
+                    emissions.append((instance.output, output))
+        return self._collector.emit(emissions)
+
+    @property
+    def state_size(self) -> int:
+        return sum(executor.state_size for executor in self._executors)

@@ -1,0 +1,211 @@
+"""Precision-sharing join — the c⋈ target m-op [14].
+
+Implements a set of identically defined window joins whose input streams are
+sharable and channel-encoded (on either or both sides).  Tuples are buffered
+**once** per channel tuple, with their membership masks; each candidate pair
+is evaluated **once**, and the member queries that own the pair are recovered
+exactly from the two masks — Krishnamurthy et al.'s "precision sharing":
+shared work with neither false positives nor duplicate results.
+
+A query ``k`` owns a pair iff the left tuple belongs to ``k``'s left stream
+and the right tuple belongs to ``k``'s right stream.  With both channels
+aligned (query ``k`` at position ``k`` on both sides) this is a single
+``left_mask & right_mask``; the general case uses precomputed position maps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.mop import MOp, MOpExecutor, OutputCollector, Wiring
+from repro.errors import PlanError
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.predicates import (
+    TruePredicate,
+    as_cross_equality,
+    as_duration_bound,
+    conjunction,
+    conjuncts,
+)
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.tuples import StreamTuple
+
+
+class MaskedBuffer:
+    """A window buffer of (tuple, mask) entries with optional hash key."""
+
+    __slots__ = ("_key_position", "_buckets", "_fifo")
+
+    def __init__(self, key_position: Optional[int]):
+        self._key_position = key_position
+        self._buckets: dict = {}
+        self._fifo: deque = deque()
+
+    def insert(self, tuple_: StreamTuple, mask: int, threshold: int) -> None:
+        fifo = self._fifo
+        buckets = self._buckets
+        while fifo and fifo[0][0] < threshold:
+            __, old_key, old_entry = fifo.popleft()
+            bucket = buckets.get(old_key)
+            if bucket and bucket[0] is old_entry:
+                bucket.popleft()
+                if not bucket:
+                    del buckets[old_key]
+        key = (
+            tuple_.values[self._key_position]
+            if self._key_position is not None
+            else None
+        )
+        entry = (tuple_, mask)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = deque()
+            buckets[key] = bucket
+        bucket.append(entry)
+        fifo.append((tuple_.ts, key, entry))
+
+    def probe(self, key, threshold: int) -> list[tuple[StreamTuple, int]]:
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return []
+        while bucket and bucket[0][0].ts < threshold:
+            bucket.popleft()
+        if not bucket:
+            del self._buckets[key]
+            return []
+        return list(bucket)
+
+    def all_live(self, threshold: int) -> list[tuple[StreamTuple, int]]:
+        return self.probe(None, threshold)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class PrecisionJoinMOp(MOp):
+    """Mask-precise shared evaluation of same-definition windowed joins."""
+
+    kind = "⋈-channel"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        definitions = {instance.operator.definition() for instance in self.instances}
+        if len(definitions) != 1:
+            raise PlanError("c⋈ merges joins with the same definition")
+        if not isinstance(self.instances[0].operator, SlidingWindowJoin):
+            raise PlanError("PrecisionJoinMOp implements joins only")
+
+    def make_executor(self, wiring: Wiring) -> "PrecisionJoinExecutor":
+        return PrecisionJoinExecutor(self, wiring)
+
+
+class PrecisionJoinExecutor(MOpExecutor):
+    def __init__(self, mop: PrecisionJoinMOp, wiring: Wiring):
+        self.mop = mop
+        self._collector = OutputCollector(wiring, mop.output_streams)
+        first = mop.instances[0]
+        left_stream, right_stream = first.inputs
+        left_schema, right_schema = left_stream.schema, right_stream.schema
+        left_channel = wiring.channel_of(left_stream)
+        right_channel = wiring.channel_of(right_stream)
+        for instance in mop.instances:
+            if wiring.channel_of(instance.inputs[0]) is not left_channel:
+                raise PlanError("c⋈ requires all left inputs on one channel")
+            if wiring.channel_of(instance.inputs[1]) is not right_channel:
+                raise PlanError("c⋈ requires all right inputs on one channel")
+        self._left_channel = left_channel
+        self._right_channel = right_channel
+        self.output_schema = first.operator.output_schema([left_schema, right_schema])
+
+        # Per instance: (left bit, right bit, output stream).
+        self._routes = [
+            (
+                1 << left_channel.position_of(instance.inputs[0]),
+                1 << right_channel.position_of(instance.inputs[1]),
+                instance.output,
+            )
+            for instance in mop.instances
+        ]
+
+        operator: SlidingWindowJoin = first.operator
+        window = operator.window.length
+        cross = None
+        leftover = []
+        for part in conjuncts(operator.predicate):
+            bound = as_duration_bound(part)
+            if bound is not None:
+                window = min(window, bound)
+                continue
+            if cross is None:
+                pair = as_cross_equality(part)
+                if pair is not None:
+                    cross = pair
+                    continue
+            leftover.append(part)
+        self._window = window
+        if cross is not None:
+            self._left_key_position = left_schema.index_of(cross[0])
+            self._right_key_position = right_schema.index_of(cross[1])
+        else:
+            self._left_key_position = self._right_key_position = None
+        residual = conjunction(leftover)
+        self._residual = (
+            None
+            if isinstance(residual, TruePredicate)
+            else residual.compile(left_schema, right_schema)
+        )
+        self._left_buffer = MaskedBuffer(self._left_key_position)
+        self._right_buffer = MaskedBuffer(self._right_key_position)
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        emissions = []
+        channel_id = channel.channel_id
+        # A stream may appear on both sides (self-join); handle each role.
+        if channel_id == self._left_channel.channel_id:
+            self._probe(channel_tuple, from_left=True, emissions=emissions)
+        if channel_id == self._right_channel.channel_id:
+            self._probe(channel_tuple, from_left=False, emissions=emissions)
+        return self._collector.emit(emissions)
+
+    def _probe(self, channel_tuple: ChannelTuple, from_left: bool, emissions: list):
+        tuple_ = channel_tuple.tuple
+        mask = channel_tuple.membership
+        threshold = tuple_.ts - self._window
+        if from_left:
+            own, other = self._left_buffer, self._right_buffer
+            key_position = self._left_key_position
+        else:
+            own, other = self._right_buffer, self._left_buffer
+            key_position = self._right_key_position
+        if key_position is not None:
+            candidates = other.probe(tuple_.values[key_position], threshold)
+        else:
+            candidates = other.all_live(threshold)
+        residual = self._residual
+        for candidate_tuple, candidate_mask in candidates:
+            if from_left:
+                left_tuple, left_mask = tuple_, mask
+                right_tuple, right_mask = candidate_tuple, candidate_mask
+            else:
+                left_tuple, left_mask = candidate_tuple, candidate_mask
+                right_tuple, right_mask = tuple_, mask
+            if residual is not None and not residual(left_tuple, right_tuple, None):
+                continue
+            output = None
+            for left_bit, right_bit, output_stream in self._routes:
+                if left_mask & left_bit and right_mask & right_bit:
+                    if output is None:
+                        output = StreamTuple(
+                            self.output_schema,
+                            left_tuple.values + right_tuple.values,
+                            max(left_tuple.ts, right_tuple.ts),
+                        )
+                    emissions.append((output_stream, output))
+        own.insert(tuple_, mask, threshold)
+
+    @property
+    def state_size(self) -> int:
+        return len(self._left_buffer) + len(self._right_buffer)

@@ -1,0 +1,107 @@
+"""Predicate indexing for selections — the sσ target m-op [10, 16].
+
+Implements a set of selection operators reading the same stream (or channel).
+Equality predicates ``attr = c`` are organized into per-attribute hash
+indexes: an arriving tuple performs one dictionary lookup per indexed
+attribute and receives *all* satisfied selections at once, instead of
+evaluating each predicate one by one.  Non-indexable predicates (inequality,
+complex conditions — the paper's hybrid workload assumes the starting
+conditions are not indexable, §5.3) are evaluated sequentially, still inside
+the single m-op.
+
+This m-op also realizes Cayuga's *FR index* once automata are translated to
+plans (§4.3): the forward-edge predicates of a state become the selections
+downstream of the state's operator, and applying sσ to them builds exactly
+the per-state predicate index.
+
+When several output streams share a channel, the emission path produces one
+channel tuple whose membership encodes all satisfied selections — the σ{s1..sn}
+behaviour of Fig. 6(c).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.mop import MOp, MOpExecutor, OpInstance, OutputCollector, Wiring
+from repro.errors import PlanError
+from repro.operators.expressions import LEFT
+from repro.operators.predicates import as_constant_equality
+from repro.operators.select import Selection
+from repro.streams.channel import Channel, ChannelTuple
+
+
+class PredicateIndexMOp(MOp):
+    """Implements selections over one input channel via predicate indexing."""
+
+    kind = "σ-index"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        input_ids = set()
+        for instance in self.instances:
+            if not isinstance(instance.operator, Selection):
+                raise PlanError("PredicateIndexMOp implements selections only")
+            input_ids.add(instance.inputs[0].stream_id)
+        # All selections must read streams that arrive on one channel; with
+        # singleton channels that means the same stream (the sσ condition).
+        self._input_ids = input_ids
+
+    def make_executor(self, wiring: Wiring) -> "PredicateIndexExecutor":
+        return PredicateIndexExecutor(self, wiring)
+
+
+class PredicateIndexExecutor(MOpExecutor):
+    """Hash-indexed + sequential predicate evaluation."""
+
+    def __init__(self, mop: PredicateIndexMOp, wiring: Wiring):
+        self.mop = mop
+        self._collector = OutputCollector(wiring, mop.output_streams)
+        # Per input stream: hash indexes per attribute, plus sequential list.
+        # Keyed by (channel_id, position) so decode is one tuple lookup.
+        #   indexes: attr_position -> {constant -> [instances]}
+        #   scans:   [(compiled predicate, instance)]
+        self._by_slot: dict[
+            tuple[int, int],
+            tuple[dict[int, dict[object, list[OpInstance]]], list],
+        ] = {}
+        for instance in mop.instances:
+            stream = instance.inputs[0]
+            channel = wiring.channel_of(stream)
+            slot = (channel.channel_id, channel.position_of(stream))
+            indexes, scans = self._by_slot.setdefault(slot, ({}, []))
+            schema = stream.schema
+            shape = as_constant_equality(instance.operator.predicate)
+            if shape is not None and shape[0] == LEFT and shape[1] in schema:
+                position = schema.index_of(shape[1])
+                indexes.setdefault(position, defaultdict(list))[shape[2]].append(
+                    instance
+                )
+            else:
+                compiled = instance.operator.predicate.compile(schema)
+                scans.append((compiled, instance))
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        mask = channel_tuple.membership
+        tuple_ = channel_tuple.tuple
+        values = tuple_.values
+        emissions = []
+        channel_id = channel.channel_id
+        for position in range(channel.capacity):
+            if not mask & (1 << position):
+                continue
+            slot = self._by_slot.get((channel_id, position))
+            if slot is None:
+                continue
+            indexes, scans = slot
+            for attr_position, table in indexes.items():
+                matched = table.get(values[attr_position])
+                if matched:
+                    for instance in matched:
+                        emissions.append((instance.output, tuple_))
+            for compiled, instance in scans:
+                if compiled(tuple_, None, None):
+                    emissions.append((instance.output, tuple_))
+        return self._collector.emit(emissions)

@@ -1,0 +1,245 @@
+"""Shared evaluation of multiple aggregates — the sα target m-op [22].
+
+Implements a set of sliding-window aggregation operators that read the same
+stream and use the same aggregate function (and target attribute), but
+potentially different group-by specifications and window lengths.
+
+Sharing model (after Zhang et al.'s two-granularity scheme):
+
+- the input is scanned and buffered **once**: a shared ring buffer holds one
+  entry per input tuple — its timestamp, its value of the target attribute,
+  and its values of the *finest* grouping (the union of all group-by
+  attributes).  The per-query state references this shared buffer instead of
+  duplicating the window content per query;
+- each decomposable query (``sum``/``count``/``avg``) keeps only an O(groups)
+  dictionary of running partials plus a cursor into the shared buffer, so a
+  tuple entering (or leaving) the window costs O(1) per query;
+- ``min``/``max`` are not subtractable, so those queries keep per-group
+  monotonic-deque accumulators fed from the single shared scan (computation
+  of decode/scan is still shared; extremum state is per query).
+
+Emission follows the single-operator semantics: on each input tuple every
+implemented aggregate emits its current value for the arriving tuple's group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.mop import MOp, MOpExecutor, OpInstance, OutputCollector, Wiring
+from repro.errors import PlanError
+from repro.operators.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    SlidingWindowAggregate,
+    WindowAccumulator,
+)
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.tuples import StreamTuple
+
+#: Compact the shared buffer when this many entries are dead at the front.
+_COMPACT_THRESHOLD = 4096
+
+
+class SharedAggregateMOp(MOp):
+    """Implements same-function aggregates over one stream with shared state."""
+
+    kind = "α-shared"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        functions = set()
+        targets = set()
+        inputs = set()
+        from repro.operators.window import TimeWindow
+
+        for instance in self.instances:
+            operator = instance.operator
+            if not isinstance(operator, SlidingWindowAggregate):
+                raise PlanError("SharedAggregateMOp implements aggregations only")
+            if not isinstance(operator.window, TimeWindow):
+                raise PlanError("sα shares time-window aggregates only")
+            functions.add(operator.function)
+            targets.add(operator.target)
+            inputs.add(instance.inputs[0].stream_id)
+        if len(functions) != 1 or len(targets) != 1:
+            raise PlanError(
+                "sα merges aggregates with the same function and target "
+                f"(got functions={sorted(functions)}, targets={sorted(map(str, targets))})"
+            )
+        if len(inputs) != 1:
+            raise PlanError("sα merges aggregates reading the same stream")
+
+    def make_executor(self, wiring: Wiring) -> "SharedAggregateExecutor":
+        return SharedAggregateExecutor(self, wiring)
+
+
+class _DecomposableQueryState:
+    """Cursor + running partials for one sum/count/avg query."""
+
+    __slots__ = ("instance", "output_schema", "window", "key_positions", "cursor", "partials")
+
+    def __init__(self, instance: OpInstance, finest: list[str]):
+        operator: SlidingWindowAggregate = instance.operator
+        self.instance = instance
+        self.output_schema = operator.output_schema([instance.inputs[0].schema])
+        self.window = operator.window.length
+        # Positions of this query's group-by attributes inside the finest key.
+        self.key_positions = [finest.index(name) for name in operator.group_by]
+        self.cursor = 0
+        self.partials: dict[tuple, list] = {}
+
+    def project(self, finest_key: tuple) -> tuple:
+        positions = self.key_positions
+        return tuple(finest_key[p] for p in positions)
+
+
+class _ExtremumQueryState:
+    """Per-group monotonic accumulators for one min/max query."""
+
+    __slots__ = ("instance", "output_schema", "window", "key_positions", "groups", "make")
+
+    def __init__(self, instance: OpInstance, finest: list[str], make):
+        operator: SlidingWindowAggregate = instance.operator
+        self.instance = instance
+        self.output_schema = operator.output_schema([instance.inputs[0].schema])
+        self.window = operator.window.length
+        self.key_positions = [finest.index(name) for name in operator.group_by]
+        self.groups: dict[tuple, WindowAccumulator] = {}
+        self.make = make
+
+    def project(self, finest_key: tuple) -> tuple:
+        positions = self.key_positions
+        return tuple(finest_key[p] for p in positions)
+
+
+class SharedAggregateExecutor(MOpExecutor):
+    """Shared ring buffer + per-query cursors/partials."""
+
+    def __init__(self, mop: SharedAggregateMOp, wiring: Wiring):
+        self.mop = mop
+        self._collector = OutputCollector(wiring, mop.output_streams)
+        first = mop.instances[0]
+        input_stream = first.inputs[0]
+        schema = input_stream.schema
+        channel = wiring.channel_of(input_stream)
+        self._channel_id = channel.channel_id
+        self._member_bit = 1 << channel.position_of(input_stream)
+        operator: SlidingWindowAggregate = first.operator
+        self._spec = AGGREGATE_FUNCTIONS[operator.function]
+        self._target_position: Optional[int] = (
+            schema.index_of(operator.target) if operator.target else None
+        )
+        # Finest grouping: union of all group-by attribute sets, in
+        # first-appearance order (deterministic across runs).
+        finest: list[str] = []
+        for instance in mop.instances:
+            for name in instance.operator.group_by:
+                if name not in finest:
+                    finest.append(name)
+        self._finest_positions = [schema.index_of(name) for name in finest]
+        decomposable = operator.function in ("sum", "count", "avg")
+        self._decomposable = decomposable
+        if decomposable:
+            self._queries = [
+                _DecomposableQueryState(instance, finest)
+                for instance in mop.instances
+            ]
+        else:
+            self._queries = [
+                _ExtremumQueryState(instance, finest, self._spec.make)
+                for instance in mop.instances
+            ]
+        #: Shared buffer of (ts, finest_key, value); single copy of the window.
+        self._buffer: list[tuple[int, tuple, object]] = []
+        self._dead = 0  # smallest live cursor across queries (compaction)
+
+    # -- shared scan -----------------------------------------------------------
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        if channel.channel_id != self._channel_id:
+            return []
+        if not channel_tuple.membership & self._member_bit:
+            return []
+        tuple_ = channel_tuple.tuple
+        values = tuple_.values
+        ts = tuple_.ts
+        finest_key = tuple(values[p] for p in self._finest_positions)
+        value = (
+            values[self._target_position]
+            if self._target_position is not None
+            else 1
+        )
+        if self._decomposable:
+            self._buffer.append((ts, finest_key, value))
+            emissions = self._advance_decomposable(ts, finest_key, value)
+            self._maybe_compact()
+        else:
+            emissions = self._advance_extremum(ts, finest_key, value)
+        return self._collector.emit(emissions)
+
+    def _advance_decomposable(self, ts, finest_key, value):
+        buffer = self._buffer
+        finalize = self._spec.finalize
+        emissions = []
+        for query in self._queries:
+            partials = query.partials
+            threshold = ts - query.window
+            cursor = query.cursor
+            while cursor < len(buffer) and buffer[cursor][0] < threshold:
+                __, old_key, old_value = buffer[cursor]
+                group_key = query.project(old_key)
+                entry = partials[group_key]
+                entry[0] -= old_value
+                entry[1] -= 1
+                if entry[1] == 0:
+                    del partials[group_key]
+                cursor += 1
+            query.cursor = cursor
+            key = query.project(finest_key)
+            entry = partials.get(key)
+            if entry is None:
+                entry = [0, 0]
+                partials[key] = entry
+            entry[0] += value
+            entry[1] += 1
+            result = finalize((entry[0], entry[1]))
+            emissions.append(
+                (
+                    query.instance.output,
+                    StreamTuple(query.output_schema, key + (result,), ts),
+                )
+            )
+        return emissions
+
+    def _advance_extremum(self, ts, finest_key, value):
+        finalize = self._spec.finalize
+        emissions = []
+        for query in self._queries:
+            key = query.project(finest_key)
+            accumulator = query.groups.get(key)
+            if accumulator is None:
+                accumulator = query.make()
+                query.groups[key] = accumulator
+            accumulator.insert(ts, value)
+            accumulator.expire(ts - query.window)
+            result = finalize(accumulator.partial())
+            emissions.append(
+                (
+                    query.instance.output,
+                    StreamTuple(query.output_schema, key + (result,), ts),
+                )
+            )
+        return emissions
+
+    def _maybe_compact(self):
+        low = min(query.cursor for query in self._queries)
+        if low >= _COMPACT_THRESHOLD:
+            del self._buffer[:low]
+            for query in self._queries:
+                query.cursor -= low
+
+    @property
+    def state_size(self) -> int:
+        return len(self._buffer)

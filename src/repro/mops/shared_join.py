@@ -1,0 +1,175 @@
+"""Shared evaluation of window joins — the s⋈ target m-op [12].
+
+Implements a set of join operators that read the same two streams and share
+the join predicate, but have potentially different window lengths.  Following
+Hammad et al.'s shared-window-join scheme, the m-op keeps **one** pair of
+window buffers sized for the *largest* window; each produced pair is then
+routed to exactly the queries whose window admits its timestamp distance.
+
+Queries are held sorted by window length, so the admitted set for a match at
+distance ``d`` is the suffix of queries with ``window >= d`` — found with a
+single binary search rather than a per-query check.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.core.mop import MOp, MOpExecutor, OutputCollector, Wiring
+from repro.errors import PlanError
+from repro.operators.join import SlidingWindowJoin, HashBuffer
+from repro.operators.predicates import (
+    TruePredicate,
+    as_cross_equality,
+    as_duration_bound,
+    conjunction,
+    conjuncts,
+)
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.tuples import StreamTuple
+
+
+class SharedJoinMOp(MOp):
+    """Implements same-predicate joins with shared buffers and routed output."""
+
+    kind = "⋈-shared"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        predicates = set()
+        lefts = set()
+        rights = set()
+        for instance in self.instances:
+            operator = instance.operator
+            if not isinstance(operator, SlidingWindowJoin):
+                raise PlanError("SharedJoinMOp implements joins only")
+            predicates.add(operator.predicate)
+            lefts.add(instance.inputs[0].stream_id)
+            rights.add(instance.inputs[1].stream_id)
+        if len(predicates) != 1:
+            raise PlanError("s⋈ merges joins with the same join predicate")
+        if len(lefts) != 1 or len(rights) != 1:
+            raise PlanError("s⋈ merges joins reading the same two streams")
+
+    def make_executor(self, wiring: Wiring) -> "SharedJoinExecutor":
+        return SharedJoinExecutor(self, wiring)
+
+
+class SharedJoinExecutor(MOpExecutor):
+    """Max-window buffers; per-match binary search over query windows."""
+
+    def __init__(self, mop: SharedJoinMOp, wiring: Wiring):
+        self.mop = mop
+        self._collector = OutputCollector(wiring, mop.output_streams)
+        first = mop.instances[0]
+        left_stream, right_stream = first.inputs
+        left_schema, right_schema = left_stream.schema, right_stream.schema
+        left_channel = wiring.channel_of(left_stream)
+        right_channel = wiring.channel_of(right_stream)
+        self._left_slot = (
+            left_channel.channel_id,
+            1 << left_channel.position_of(left_stream),
+        )
+        self._right_slot = (
+            right_channel.channel_id,
+            1 << right_channel.position_of(right_stream),
+        )
+        self.output_schema = first.operator.output_schema([left_schema, right_schema])
+
+        # Queries sorted ascending by effective window (operator window
+        # tightened by any duration conjunct).
+        def effective_window(operator: SlidingWindowJoin) -> int:
+            window = operator.window.length
+            for part in conjuncts(operator.predicate):
+                bound = as_duration_bound(part)
+                if bound is not None:
+                    window = min(window, bound)
+            return window
+
+        ordered = sorted(
+            mop.instances, key=lambda instance: effective_window(instance.operator)
+        )
+        self._windows = [effective_window(i.operator) for i in ordered]
+        self._ordered = ordered
+        self._max_window = self._windows[-1]
+
+        # Predicate decomposition, as in JoinExecutor (shared predicate).
+        predicate = first.operator.predicate
+        cross = None
+        leftover = []
+        for part in conjuncts(predicate):
+            if as_duration_bound(part) is not None:
+                continue  # handled by per-query window routing
+            if cross is None:
+                pair = as_cross_equality(part)
+                if pair is not None:
+                    cross = pair
+                    continue
+            leftover.append(part)
+        if cross is not None:
+            self._left_key_position = left_schema.index_of(cross[0])
+            self._right_key_position = right_schema.index_of(cross[1])
+        else:
+            self._left_key_position = self._right_key_position = None
+        residual = conjunction(leftover)
+        self._residual = (
+            None
+            if isinstance(residual, TruePredicate)
+            else residual.compile(left_schema, right_schema)
+        )
+        self._left_buffer = HashBuffer(self._left_key_position)
+        self._right_buffer = HashBuffer(self._right_key_position)
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        emissions = []
+        mask = channel_tuple.membership
+        tuple_ = channel_tuple.tuple
+        channel_id = channel.channel_id
+        left_id, left_bit = self._left_slot
+        right_id, right_bit = self._right_slot
+        if channel_id == left_id and mask & left_bit:
+            self._probe(tuple_, probe_right=True, emissions=emissions)
+        if channel_id == right_id and mask & right_bit:
+            self._probe(tuple_, probe_right=False, emissions=emissions)
+        return self._collector.emit(emissions)
+
+    def _probe(self, tuple_: StreamTuple, probe_right: bool, emissions: list) -> None:
+        threshold = tuple_.ts - self._max_window
+        if probe_right:
+            own, other = self._left_buffer, self._right_buffer
+            key_position = self._left_key_position
+        else:
+            own, other = self._right_buffer, self._left_buffer
+            key_position = self._right_key_position
+        if key_position is not None:
+            candidates = other.probe(tuple_.values[key_position], threshold)
+        else:
+            candidates = other.all_live(threshold)
+        residual = self._residual
+        windows = self._windows
+        ordered = self._ordered
+        for candidate in candidates:
+            if probe_right:
+                left_tuple, right_tuple = tuple_, candidate
+            else:
+                left_tuple, right_tuple = candidate, tuple_
+            if residual is not None and not residual(left_tuple, right_tuple, None):
+                continue
+            distance = abs(left_tuple.ts - right_tuple.ts)
+            start = bisect_left(windows, distance)
+            if start >= len(ordered):
+                continue
+            output = StreamTuple(
+                self.output_schema,
+                left_tuple.values + right_tuple.values,
+                max(left_tuple.ts, right_tuple.ts),
+            )
+            for instance in ordered[start:]:
+                emissions.append((instance.output, output))
+        own.insert(tuple_, threshold)
+
+    @property
+    def state_size(self) -> int:
+        return len(self._left_buffer) + len(self._right_buffer)

@@ -1,0 +1,248 @@
+"""Shared-window evaluation of ``;`` / ``µ`` operators differing only in
+their duration predicate.
+
+Cayuga's prefix state merging shares one automaton state among queries whose
+edges differ only in the duration (window) constant — the state's loop edges
+are identical, so its instance set evolves identically; only the *forward*
+admission differs per query.  The plan-level image of this sharing is the
+same idea as the shared window join [12]: keep **one** instance store sized
+for the largest window, and per match route the output to exactly the
+queries whose window admits the timestamp distance (binary search over the
+sorted window list).
+
+Soundness requires that instance *survival* be window-independent:
+
+- ``µ`` operators qualify when their rebind predicates are identical and the
+  forwards differ only in duration (survival is decided by the rebind edge);
+- non-consuming ``;`` operators qualify (instances are never consumed);
+- consuming ``;`` operators do **not** qualify — a match consumes the
+  instance for one query but not for another with a smaller window, exactly
+  the reason the corresponding Cayuga states do not merge (their θf = ¬θ_fwd
+  filter edges differ).
+
+The m-rule guarding these conditions is
+:class:`repro.core.rules.SharedWindowSequenceRule`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.core.mop import MOp, MOpExecutor, OutputCollector, Wiring
+from repro.errors import PlanError
+from repro.operators.instances import Instance, InstanceStore
+from repro.operators.iterate import Iterate
+from repro.operators.predicates import (
+    Predicate,
+    TruePredicate,
+    conjunction,
+    split_binary_predicate,
+)
+from repro.operators.sequence import Sequence
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.tuples import StreamTuple
+
+
+def strip_duration(predicate: Predicate) -> tuple[Predicate, int | None]:
+    """Split ``predicate`` into (duration-free remainder, window bound)."""
+    from repro.operators.predicates import as_duration_bound, conjuncts
+
+    window = None
+    rest = []
+    for part in conjuncts(predicate):
+        bound = as_duration_bound(part)
+        if bound is not None:
+            window = bound if window is None else min(window, bound)
+        else:
+            rest.append(part)
+    return conjunction(rest), window
+
+
+def window_free_definition(operator) -> tuple | None:
+    """Grouping key: the operator definition with the duration stripped.
+
+    Returns None for operators this m-op cannot share (consuming ``;``).
+    """
+    if isinstance(operator, Sequence):
+        if operator.consume_on_match:
+            return None
+        stripped, __ = strip_duration(operator.predicate)
+        return (";", stripped, False)
+    if isinstance(operator, Iterate):
+        stripped, __ = strip_duration(operator.forward)
+        return ("µ", stripped, operator.rebind)
+    return None
+
+
+def effective_window(operator) -> int | None:
+    if isinstance(operator, Sequence):
+        __, window = strip_duration(operator.predicate)
+        return window
+    __, window = strip_duration(operator.forward)
+    return window
+
+
+class SharedWindowSequenceMOp(MOp):
+    """One instance store for n window-variant ``;``/``µ`` operators."""
+
+    kind = ";-window"
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        keys = {window_free_definition(instance.operator) for instance in self.instances}
+        if len(keys) != 1 or None in keys:
+            raise PlanError(
+                "shared-window sequence requires operators identical up to "
+                "their duration predicate (and non-consuming for ;)"
+            )
+        lefts = {instance.inputs[0].stream_id for instance in self.instances}
+        rights = {instance.inputs[1].stream_id for instance in self.instances}
+        if len(lefts) != 1 or len(rights) != 1:
+            raise PlanError(
+                "shared-window sequence requires the same pair of input streams"
+            )
+
+    def make_executor(self, wiring: Wiring) -> "SharedWindowSequenceExecutor":
+        return SharedWindowSequenceExecutor(self, wiring)
+
+
+class SharedWindowSequenceExecutor(MOpExecutor):
+    """Max-window store; per-match binary search over query windows."""
+
+    def __init__(self, mop: SharedWindowSequenceMOp, wiring: Wiring):
+        self.mop = mop
+        self._collector = OutputCollector(wiring, mop.output_streams)
+        first = mop.instances[0]
+        left_stream, right_stream = first.inputs
+        left_schema, right_schema = left_stream.schema, right_stream.schema
+        left_channel = wiring.channel_of(left_stream)
+        right_channel = wiring.channel_of(right_stream)
+        self._left_slot = (
+            left_channel.channel_id,
+            1 << left_channel.position_of(left_stream),
+        )
+        self._right_slot = (
+            right_channel.channel_id,
+            1 << right_channel.position_of(right_stream),
+        )
+        operator = first.operator
+        self._is_iterate = isinstance(operator, Iterate)
+        self.output_schema = operator.output_schema([left_schema, right_schema])
+
+        # Order queries ascending by window; None (unbounded) sorts last.
+        def sort_key(instance):
+            window = effective_window(instance.operator)
+            return (window is None, window if window is not None else 0)
+
+        ordered = sorted(mop.instances, key=sort_key)
+        self._ordered_outputs = [instance.output for instance in ordered]
+        self._windows = [effective_window(instance.operator) for instance in ordered]
+        self._bounded = [w for w in self._windows if w is not None]
+        self._max_window = (
+            None if len(self._bounded) < len(self._windows) else max(self._bounded)
+        )
+
+        # Shared predicate paths, from the window-free forward predicate.
+        if self._is_iterate:
+            forward = operator.forward
+        else:
+            forward = operator.predicate
+        stripped, __ = strip_duration(forward)
+        window, cross, constants, residual = split_binary_predicate(stripped)
+        self._guards = [
+            (right_schema.index_of(attribute), constant)
+            for attribute, constant in constants
+        ]
+        if cross is not None:
+            self._left_key_position = left_schema.index_of(cross[0])
+            self._right_key_position = right_schema.index_of(cross[1])
+        else:
+            self._left_key_position = self._right_key_position = None
+        residual_predicate = conjunction(residual)
+        self._residual = (
+            None
+            if isinstance(residual_predicate, TruePredicate)
+            else residual_predicate.compile(left_schema, right_schema, right_schema)
+        )
+        if self._is_iterate:
+            rebind = operator.rebind
+            self._rebind = (
+                None
+                if isinstance(rebind, TruePredicate)
+                else rebind.compile(left_schema, right_schema, right_schema)
+            )
+            self._uses_last = left_schema == right_schema
+        else:
+            self._rebind = None
+            self._uses_last = False
+        self._store = InstanceStore(indexed=cross is not None)
+
+    def process(
+        self, channel: Channel, channel_tuple: ChannelTuple
+    ) -> list[tuple[Channel, ChannelTuple]]:
+        channel_id = channel.channel_id
+        membership = channel_tuple.membership
+        left_id, left_bit = self._left_slot
+        right_id, right_bit = self._right_slot
+        emissions = []
+        if channel_id == left_id and membership & left_bit:
+            self._insert(channel_tuple.tuple)
+        if channel_id == right_id and membership & right_bit:
+            self._match(channel_tuple.tuple, emissions)
+        return self._collector.emit(emissions)
+
+    def _insert(self, tuple_: StreamTuple) -> None:
+        key = (
+            tuple_.values[self._left_key_position]
+            if self._left_key_position is not None
+            else None
+        )
+        last = tuple_ if self._uses_last else None
+        self._store.insert(Instance(tuple_, key=key, last=last))
+
+    def _match(self, event: StreamTuple, emissions: list) -> None:
+        for position, constant in self._guards:
+            if event.values[position] != constant:
+                return
+        if self._max_window is not None:
+            self._store.expire(event.ts - self._max_window)
+        if self._right_key_position is not None:
+            candidates = self._store.probe(event.values[self._right_key_position])
+        else:
+            candidates = self._store.scan()
+        residual = self._residual
+        rebind = self._rebind
+        windows = self._bounded
+        outputs = self._ordered_outputs
+        bounded_count = len(windows)
+        is_iterate = self._is_iterate
+        rebound = []
+        broken = []
+        for instance in candidates:
+            start, last = instance.start, instance.last
+            if start.ts > event.ts:
+                continue
+            matched = residual is None or residual(start, event, last)
+            if matched:
+                distance = event.ts - start.ts
+                first_admitted = bisect_left(windows, distance)
+                if first_admitted < len(outputs):
+                    output = StreamTuple(
+                        self.output_schema, start.values + event.values, event.ts
+                    )
+                    for output_stream in outputs[first_admitted:]:
+                        emissions.append((output_stream, output))
+            if is_iterate:
+                if rebind is None or rebind(start, event, last):
+                    rebound.append(instance)
+                else:
+                    broken.append(instance)
+        for instance in rebound:
+            if self._uses_last:
+                instance.last = event
+        for instance in broken:
+            self._store.kill(instance)
+
+    @property
+    def state_size(self) -> int:
+        return len(self._store)

@@ -1,0 +1,95 @@
+"""Operator layer: predicates, expressions, windows, and the six operator types.
+
+Logical operators are immutable *definitions*; their ``definition()`` tuples
+are what m-rules compare when the paper requires operators "with the same
+definition" (§3.2).  Each operator can build an *executor* holding mutable
+runtime state; the naive reference m-op and all optimized m-ops are built on
+these executors.
+
+Operator types (paper §2.1 and §4.2):
+
+- :class:`~repro.operators.select.Selection` — σ
+- :class:`~repro.operators.project.Projection` — π (SQL SELECT-style schema map)
+- :class:`~repro.operators.aggregate.SlidingWindowAggregate` — α with group-by
+- :class:`~repro.operators.join.SlidingWindowJoin` — ⋈ with time windows
+- :class:`~repro.operators.sequence.Sequence` — Cayuga ``;``
+- :class:`~repro.operators.iterate.Iterate` — Cayuga ``µ``
+"""
+
+from repro.operators.base import Operator, OperatorExecutor, UnaryOperator, BinaryOperator
+from repro.operators.expressions import (
+    Arith,
+    AttrRef,
+    Expression,
+    Literal,
+    LEFT,
+    RIGHT,
+    LAST,
+    attr,
+    left,
+    right,
+    last,
+    lit,
+)
+from repro.operators.predicates import (
+    And,
+    Comparison,
+    DurationWithin,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    as_constant_equality,
+    as_cross_equality,
+    as_duration_bound,
+    conjunction,
+    conjuncts,
+)
+from repro.operators.window import TimeWindow
+from repro.operators.select import Selection
+from repro.operators.project import Projection
+from repro.operators.aggregate import SlidingWindowAggregate, AGGREGATE_FUNCTIONS
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.sequence import Sequence
+from repro.operators.iterate import Iterate
+
+__all__ = [
+    "Operator",
+    "OperatorExecutor",
+    "UnaryOperator",
+    "BinaryOperator",
+    "Expression",
+    "AttrRef",
+    "Literal",
+    "Arith",
+    "LEFT",
+    "RIGHT",
+    "LAST",
+    "attr",
+    "left",
+    "right",
+    "last",
+    "lit",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "FalsePredicate",
+    "DurationWithin",
+    "conjuncts",
+    "conjunction",
+    "as_constant_equality",
+    "as_cross_equality",
+    "as_duration_bound",
+    "TimeWindow",
+    "Selection",
+    "Projection",
+    "SlidingWindowAggregate",
+    "AGGREGATE_FUNCTIONS",
+    "SlidingWindowJoin",
+    "Sequence",
+    "Iterate",
+]

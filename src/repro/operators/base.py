@@ -1,0 +1,99 @@
+"""Operator base classes.
+
+An :class:`Operator` is an immutable logical *definition* — the thing m-rules
+compare ("a set of operators ... with the same definition", §3.2).  The
+definition is exposed as a hashable tuple via :meth:`Operator.definition`.
+
+Execution state lives in a separate :class:`OperatorExecutor`, built per plan
+instantiation via :meth:`Operator.executor`.  The executor protocol is
+push-based and tuple-at-a-time:
+
+``process(input_index, tuple) -> list[StreamTuple]``
+
+where ``input_index`` selects which input of the operator the tuple arrived
+on (always 0 for unary operators).  This is exactly the granularity the
+paper's engine schedules: "a physical operator consumes one or multiple input
+streams, and it produces one output stream" (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import OperatorError
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+class OperatorExecutor:
+    """Mutable runtime state of one operator instance."""
+
+    def process(self, input_index: int, tuple_: StreamTuple) -> list[StreamTuple]:
+        """Consume one input tuple; return the output tuples it produces."""
+        raise NotImplementedError
+
+    @property
+    def state_size(self) -> int:
+        """Number of state entries currently held (for tests and metrics)."""
+        return 0
+
+
+class Operator:
+    """A logical operator definition (immutable, structurally comparable)."""
+
+    #: Number of input streams (1 or 2).
+    arity: int = 1
+    #: Short symbol used in plan rendering, e.g. "σ".
+    symbol: str = "?"
+    #: Whether the operator is a selection — selections are transparent for
+    #: the sharable-stream relation (∼ "special case for selection", §3.2).
+    is_selection: bool = False
+
+    def definition(self) -> tuple:
+        """A hashable tuple fully describing this operator's semantics.
+
+        Two operators with equal definitions are interchangeable — the
+        prerequisite for CSE (s-rules over identical streams) and for
+        channel-based sharing (c-rules over sharable streams).
+        """
+        raise NotImplementedError
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        """Schema of the output stream given the input schemas."""
+        raise NotImplementedError
+
+    def executor(self, input_schemas: Sequence[Schema]) -> OperatorExecutor:
+        """Build a fresh executor (runtime state) for this definition."""
+        raise NotImplementedError
+
+    def validate_arity(self, input_schemas: Sequence[Schema]) -> None:
+        if len(input_schemas) != self.arity:
+            raise OperatorError(
+                f"{type(self).__name__} expects {self.arity} input(s), "
+                f"got {len(input_schemas)}"
+            )
+
+    # Structural identity via the definition tuple -------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operator):
+            return NotImplemented
+        return self.definition() == other.definition()
+
+    def __hash__(self) -> int:
+        return hash(self.definition())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.definition()!r})"
+
+
+class UnaryOperator(Operator):
+    """Base for σ, π, α."""
+
+    arity = 1
+
+
+class BinaryOperator(Operator):
+    """Base for ⋈, ``;`` and ``µ``."""
+
+    arity = 2

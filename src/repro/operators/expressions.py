@@ -1,0 +1,287 @@
+"""Scalar expressions over stream tuples.
+
+Expressions appear in two places:
+
+- inside predicates, as the two sides of a comparison, and
+- inside projections / schema maps, which are the paper's ``π`` operators and
+  the Cayuga schema-map functions ``F_fo`` / ``F_r`` (§4.2): "a schema map
+  function can rename and project attributes, as well as introducing new
+  attributes via simple arithmetic computation or user-defined functions".
+
+An expression can reference three tuple *sides*:
+
+- ``LEFT`` (0): the single input of a unary operator, the left input of a
+  binary operator, or the stored instance of a ``;`` / ``µ`` state,
+- ``RIGHT`` (1): the right input of a binary operator — the incoming event,
+- ``LAST`` (2): the most recently bound event of a ``µ`` instance (the
+  ``last`` of the paper's rebind predicate ``T.a[1] > last.a[1]``).
+
+Expressions are frozen dataclasses: equality and hashing are structural, so
+operator definitions containing expressions compare the way the m-rules need
+("operators with the same definition").
+
+Every expression compiles to a plain Python closure ``f(left, right, last)``
+over :class:`~repro.streams.tuples.StreamTuple` values, with attribute
+positions resolved once at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Optional
+
+from repro.errors import ExpressionError
+from repro.streams.schema import Schema, TIMESTAMP_ATTRIBUTE
+
+#: Tuple sides an expression may reference.
+LEFT, RIGHT, LAST = 0, 1, 2
+_SIDE_NAMES = {LEFT: "left", RIGHT: "right", LAST: "last"}
+
+#: Signature of a compiled expression.
+CompiledExpression = Callable[[Any, Any, Any], Any]
+
+
+class Expression:
+    """Base class for scalar expressions (structural value objects)."""
+
+    def compile(
+        self,
+        left_schema: Schema,
+        right_schema: Optional[Schema] = None,
+        last_schema: Optional[Schema] = None,
+    ) -> CompiledExpression:
+        """Build an evaluator ``f(left, right, last) -> value``."""
+        raise NotImplementedError
+
+    def references(self) -> frozenset[tuple[int, str]]:
+        """All ``(side, attribute)`` pairs this expression reads."""
+        raise NotImplementedError
+
+    def result_type(self, left_schema: Schema, right_schema: Optional[Schema] = None) -> str:
+        """Static type of the expression ('int', 'float' or 'str')."""
+        raise NotImplementedError
+
+    # Convenience operators so schema maps read naturally in examples:
+    def __add__(self, other: "Expression | int | float") -> "Arith":
+        return Arith(self, "+", _as_expression(other))
+
+    def __sub__(self, other: "Expression | int | float") -> "Arith":
+        return Arith(self, "-", _as_expression(other))
+
+    def __mul__(self, other: "Expression | int | float") -> "Arith":
+        return Arith(self, "*", _as_expression(other))
+
+    def __truediv__(self, other: "Expression | int | float") -> "Arith":
+        return Arith(self, "/", _as_expression(other))
+
+
+def _as_expression(value: "Expression | int | float | str") -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float, str)):
+        return Literal(value)
+    raise ExpressionError(f"cannot coerce {value!r} to an expression")
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        value = self.value
+        return lambda l, r, x: value
+
+    def references(self):
+        return frozenset()
+
+    def result_type(self, left_schema, right_schema=None):
+        if isinstance(self.value, bool) or isinstance(self.value, int):
+            return "int"
+        if isinstance(self.value, float):
+            return "float"
+        return "str"
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class AttrRef(Expression):
+    """A reference to an attribute of one tuple side.
+
+    ``AttrRef(RIGHT, "ts")`` resolves to the tuple timestamp; duration
+    predicates are usually expressed through
+    :class:`~repro.operators.predicates.DurationWithin` instead, which the
+    rule machinery can recognize.
+    """
+
+    side: int
+    name: str
+
+    def __post_init__(self):
+        if self.side not in _SIDE_NAMES:
+            raise ExpressionError(f"invalid tuple side {self.side}")
+
+    def _schema_for(self, left_schema, right_schema, last_schema) -> Schema:
+        if self.side == LEFT:
+            schema = left_schema
+        elif self.side == RIGHT:
+            schema = right_schema
+        else:
+            # ``last`` defaults to the right-input schema: µ binds events from
+            # its right input, so absent an explicit schema the last-bound
+            # event is shaped like a right-input event.
+            schema = last_schema if last_schema is not None else right_schema
+        if schema is None:
+            raise ExpressionError(
+                f"expression references {_SIDE_NAMES[self.side]}.{self.name} "
+                "but no schema was supplied for that side"
+            )
+        return schema
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        schema = self._schema_for(left_schema, right_schema, last_schema)
+        side = self.side
+        if self.name == TIMESTAMP_ATTRIBUTE:
+            if side == LEFT:
+                return lambda l, r, x: l.ts
+            if side == RIGHT:
+                return lambda l, r, x: r.ts
+            return lambda l, r, x: x.ts
+        pos = schema.index_of(self.name)
+        if side == LEFT:
+            return lambda l, r, x: l.values[pos]
+        if side == RIGHT:
+            return lambda l, r, x: r.values[pos]
+        return lambda l, r, x: x.values[pos]
+
+    def references(self):
+        return frozenset({(self.side, self.name)})
+
+    def result_type(self, left_schema, right_schema=None):
+        if self.name == TIMESTAMP_ATTRIBUTE:
+            return "int"
+        schema = self._schema_for(left_schema, right_schema, None)
+        return schema.type_of(self.name)
+
+    def __repr__(self):
+        return f"{_SIDE_NAMES[self.side]}.{self.name}"
+
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+@dataclass(frozen=True)
+class Arith(Expression):
+    """Binary arithmetic over two sub-expressions."""
+
+    lhs: Expression
+    op: str
+    rhs: Expression
+
+    def __post_init__(self):
+        if self.op not in _ARITH_OPS:
+            raise ExpressionError(
+                f"unknown arithmetic operator {self.op!r}; "
+                f"expected one of {sorted(_ARITH_OPS)}"
+            )
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        lhs = self.lhs.compile(left_schema, right_schema, last_schema)
+        rhs = self.rhs.compile(left_schema, right_schema, last_schema)
+        op = _ARITH_OPS[self.op]
+        return lambda l, r, x: op(lhs(l, r, x), rhs(l, r, x))
+
+    def references(self):
+        return self.lhs.references() | self.rhs.references()
+
+    def result_type(self, left_schema, right_schema=None):
+        if self.op == "/":
+            return "float"
+        lt = self.lhs.result_type(left_schema, right_schema)
+        rt = self.rhs.result_type(left_schema, right_schema)
+        if "str" in (lt, rt):
+            if self.op != "+" or lt != rt:
+                raise ExpressionError(f"cannot apply {self.op!r} to {lt}/{rt}")
+            return "str"
+        return "float" if "float" in (lt, rt) else "int"
+
+    def __repr__(self):
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Udf(Expression):
+    """A named user-defined function over sub-expressions.
+
+    The paper allows schema maps to introduce attributes "via ... user-defined
+    functions".  UDFs are referenced by name so expression definitions stay
+    hashable; the callable is looked up in a registry at compile time.
+    """
+
+    name: str
+    args: tuple[Expression, ...]
+    type: str = "int"
+
+    _REGISTRY: ClassVar[dict[str, Callable[..., Any]]] = {}
+
+    @classmethod
+    def register(cls, name: str, func: Callable[..., Any]) -> None:
+        """Register (or replace) the implementation of UDF ``name``."""
+        cls._REGISTRY[name] = func
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        if self.name not in self._REGISTRY:
+            raise ExpressionError(f"UDF {self.name!r} is not registered")
+        func = self._REGISTRY[self.name]
+        compiled = [a.compile(left_schema, right_schema, last_schema) for a in self.args]
+        return lambda l, r, x: func(*(c(l, r, x) for c in compiled))
+
+    def references(self):
+        refs: frozenset[tuple[int, str]] = frozenset()
+        for arg in self.args:
+            refs |= arg.references()
+        return refs
+
+    def result_type(self, left_schema, right_schema=None):
+        return self.type
+
+    def __repr__(self):
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+# -- shorthand constructors -------------------------------------------------------
+
+
+def attr(name: str) -> AttrRef:
+    """Reference an attribute of a unary operator's input tuple."""
+    return AttrRef(LEFT, name)
+
+
+def left(name: str) -> AttrRef:
+    """Reference an attribute of the left input / stored instance."""
+    return AttrRef(LEFT, name)
+
+
+def right(name: str) -> AttrRef:
+    """Reference an attribute of the right input / incoming event."""
+    return AttrRef(RIGHT, name)
+
+
+def last(name: str) -> AttrRef:
+    """Reference an attribute of a µ instance's last-bound event."""
+    return AttrRef(LAST, name)
+
+
+def lit(value: Any) -> Literal:
+    """Wrap a constant."""
+    return Literal(value)

@@ -1,0 +1,118 @@
+"""Instance stores for the event operators ``;`` and ``µ``.
+
+A Cayuga automaton state "maintains a set of active automaton instances"
+(§4.2).  The translated RUMOR operators keep the same state; this module
+provides the store with the two access paths the paper's indexes use:
+
+- **hash-partitioned probe** on an instance key — the *Active Instance index*
+  of Cayuga (§5.2 Workload 2: instances of ``;`` indexed on the bound value
+  of ``S.a[0]`` so each ``T`` tuple probes by ``T.a[0]``),
+- **full scan** for un-indexed predicates.
+
+Deletion is lazy (instances carry an ``alive`` flag) so consuming a matched
+instance is O(1) even when it sits mid-bucket.  Window expiry trims bucket
+fronts and the global FIFO, which are both in timestamp order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterator, Optional
+
+
+class Instance:
+    """One active instance: an anchored partial match.
+
+    ``start`` is the left tuple that opened the instance; ``last`` is the
+    most recently bound event (µ only; equals ``start`` initially when the
+    schemas allow, else None); ``key`` is the hash-index key (None when the
+    store is unindexed); ``mask`` is the channel-membership bitmask of the
+    opening tuple — 1 for plain (non-channel) operation, multi-bit when the
+    instance is shared across the queries of a channel (§4.4).
+    """
+
+    __slots__ = ("start", "last", "key", "start_ts", "alive", "mask")
+
+    def __init__(self, start, key=None, last=None, mask=1):
+        self.start = start
+        self.last = last
+        self.key = key
+        self.start_ts = start.ts
+        self.alive = True
+        self.mask = mask
+
+    def __repr__(self):
+        status = "live" if self.alive else "dead"
+        return f"Instance({self.start!r}, key={self.key!r}, {status})"
+
+
+class InstanceStore:
+    """Active-instance set with optional hash index and window expiry."""
+
+    __slots__ = ("_indexed", "_buckets", "_fifo", "_live")
+
+    def __init__(self, indexed: bool):
+        self._indexed = indexed
+        self._buckets: dict[Any, deque[Instance]] = {}
+        self._fifo: deque[Instance] = deque()
+        self._live = 0
+
+    @property
+    def indexed(self) -> bool:
+        return self._indexed
+
+    def insert(self, instance: Instance) -> None:
+        if self._indexed:
+            bucket = self._buckets.get(instance.key)
+            if bucket is None:
+                bucket = deque()
+                self._buckets[instance.key] = bucket
+            bucket.append(instance)
+        self._fifo.append(instance)
+        self._live += 1
+
+    def kill(self, instance: Instance) -> None:
+        """Mark an instance deleted (consumed match / broken pattern)."""
+        if instance.alive:
+            instance.alive = False
+            self._live -= 1
+
+    def expire(self, threshold: int) -> None:
+        """Delete instances older than ``threshold`` (start_ts < threshold).
+
+        Only the global FIFO is trimmed here — O(amortized expired), not
+        O(buckets).  Expired instances are flagged dead; buckets purge their
+        dead prefixes lazily when probed.
+        """
+        fifo = self._fifo
+        while fifo and (fifo[0].start_ts < threshold or not fifo[0].alive):
+            instance = fifo.popleft()
+            if instance.alive:
+                instance.alive = False
+                self._live -= 1
+
+    def probe(self, key: Any) -> Iterator[Instance]:
+        """Live instances with the given key (requires an indexed store)."""
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return
+        # Compact the dead prefix (killed or expired), then yield live entries.
+        while bucket and not bucket[0].alive:
+            bucket.popleft()
+        if not bucket:
+            del self._buckets[key]
+            return
+        for instance in bucket:
+            if instance.alive:
+                yield instance
+
+    def scan(self) -> Iterator[Instance]:
+        """All live instances (full-scan path)."""
+        while self._fifo and not self._fifo[0].alive:
+            self._fifo.popleft()
+        for instance in self._fifo:
+            if instance.alive:
+                yield instance
+
+    def __len__(self) -> int:
+        return self._live

@@ -1,0 +1,237 @@
+"""The Cayuga iteration operator ``µ``.
+
+``S µθf,θr T`` builds unbounded event sequences: a left (``S``) tuple opens
+an instance; right (``T``) events extend it.  For each *probed* instance and
+event (see below), with ``last`` denoting the instance's most recently bound
+event:
+
+- if the **forward** predicate θf holds, the operator emits the concatenation
+  of the instance's start tuple and the current event (the pattern match up
+  to this event),
+- if the **rebind** predicate θr holds, the instance survives with
+  ``last := event`` (Cayuga's rebind edge executing F_r, §4.2),
+- if neither holds, the probed instance is deleted — Cayuga's "instances for
+  which no edge predicate is satisfied are deleted".
+
+**Probing and the implicit filter edge.**  When the predicates carry a cross
+equality (e.g. ``S.pid = T.pid``), only instances whose key matches the event
+are probed; all other instances are untouched.  This realizes a filter edge
+of the form θf = "event does not correlate with this instance" — exactly how
+Cayuga's Active Instance index is able to skip instances — so the monotone
+CPU-ramp pattern of Query 1 behaves correctly: readings of other processes
+leave an instance alone, while a correlated non-increasing reading breaks it.
+Without a cross equality every event probes every instance, giving the strict
+Cayuga semantics.
+
+Both predicates may reference ``last.attr``; this requires the instance's
+``last`` to be right-schema shaped, so ``last`` references are only permitted
+when the left and right input schemas coincide (then ``last`` is initialized
+to the start tuple).  All the paper's µ workloads satisfy this.
+
+Output schema: like ``;`` — left attributes prefixed ``s_``, right (current
+event) attributes unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as Seq
+
+from repro.errors import OperatorError
+from repro.operators.base import BinaryOperator, OperatorExecutor
+from repro.operators.expressions import LAST, RIGHT, AttrRef, Literal
+from repro.operators.instances import Instance, InstanceStore
+from repro.operators.predicates import (
+    Comparison,
+    Predicate,
+    TruePredicate,
+    as_cross_equality,
+    conjunction,
+    conjuncts,
+    split_binary_predicate,
+)
+from repro.operators.sequence import START_PREFIX
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+class Iterate(BinaryOperator):
+    """``µθf,θr`` — iterated sequence building monotone/recurring patterns."""
+
+    symbol = "µ"
+
+    def __init__(self, forward: Predicate, rebind: Predicate):
+        self.forward = forward
+        self.rebind = rebind
+
+    def definition(self) -> tuple:
+        return ("µ", self.forward, self.rebind)
+
+    def output_schema(self, input_schemas: Seq[Schema]) -> Schema:
+        self.validate_arity(input_schemas)
+        left, right = input_schemas
+        return left.prefixed(START_PREFIX).concat(right)
+
+    def executor(self, input_schemas: Seq[Schema]) -> "IterateExecutor":
+        self.validate_arity(input_schemas)
+        return IterateExecutor(self, input_schemas[0], input_schemas[1])
+
+
+def _references_last(predicate: Predicate) -> bool:
+    return any(side == LAST for side, __ in predicate.references())
+
+
+class IterateExecutor(OperatorExecutor):
+    """Instance-store based evaluator for one ``µ`` operator."""
+
+    def __init__(self, operator: Iterate, left_schema: Schema, right_schema: Schema):
+        self.operator = operator
+        self.output_schema = operator.output_schema([left_schema, right_schema])
+        uses_last = _references_last(operator.forward) or _references_last(
+            operator.rebind
+        )
+        if uses_last and left_schema != right_schema:
+            raise OperatorError(
+                "µ predicates reference last.* but the left and right input "
+                "schemas differ; `last` is initialized from the start tuple "
+                "and must be right-schema shaped"
+            )
+        self._uses_last = uses_last
+
+        fwd_window, fwd_cross, fwd_constants, fwd_residual = split_binary_predicate(
+            operator.forward
+        )
+        rb_window, rb_cross, rb_constants, rb_residual = split_binary_predicate(
+            operator.rebind
+        )
+        # Duration bounds instance lifetime (from the start event).
+        if fwd_window is None:
+            self._window = rb_window
+        elif rb_window is None:
+            self._window = fwd_window
+        else:
+            self._window = max(fwd_window, rb_window)
+        # The instance index is only sound if *both* edges correlate on the
+        # same attribute pair — otherwise unprobed instances could miss a
+        # rebind or forward they were entitled to.
+        if fwd_cross is not None and fwd_cross == rb_cross:
+            self._left_key_position = left_schema.index_of(fwd_cross[0])
+            self._right_key_position = right_schema.index_of(fwd_cross[1])
+            indexed = True
+        else:
+            self._left_key_position = self._right_key_position = None
+            indexed = False
+            # Put un-hoisted cross equalities back into the residuals.
+            if fwd_cross is not None:
+                fwd_residual = list(fwd_residual) + _cross_back(operator.forward)
+                fwd_residual = _dedupe(fwd_residual)
+            if rb_cross is not None:
+                rb_residual = list(rb_residual) + _cross_back(operator.rebind)
+                rb_residual = _dedupe(rb_residual)
+
+        last_schema = right_schema
+        self._forward = _compile_or_none(
+            conjunction(list(fwd_residual) + _constants_back(fwd_constants, right_schema)),
+            left_schema,
+            right_schema,
+            last_schema,
+        )
+        self._rebind = _compile_or_none(
+            conjunction(list(rb_residual) + _constants_back(rb_constants, right_schema)),
+            left_schema,
+            right_schema,
+            last_schema,
+        )
+        self._store = InstanceStore(indexed=indexed)
+
+    def process(self, input_index: int, tuple_: StreamTuple) -> list[StreamTuple]:
+        if input_index == 0:
+            self.insert(tuple_)
+            return []
+        return [output for output, __ in self.advance(tuple_)]
+
+    def insert(self, tuple_: StreamTuple, mask: int = 1) -> None:
+        """Open an instance for a left tuple (``mask``: channel membership)."""
+        if self._left_key_position is not None:
+            key = tuple_.values[self._left_key_position]
+        else:
+            key = None
+        last = tuple_ if self._uses_last else None
+        self._store.insert(Instance(tuple_, key=key, last=last, mask=mask))
+
+    def advance(self, event: StreamTuple) -> list[tuple[StreamTuple, int]]:
+        """Advance on a right event; returns ``(output, instance_mask)`` pairs."""
+        if self._window is not None:
+            self._store.expire(event.ts - self._window)
+        if self._right_key_position is not None:
+            candidates = self._store.probe(event.values[self._right_key_position])
+        else:
+            candidates = self._store.scan()
+        forward, rebind = self._forward, self._rebind
+        outputs: list[tuple[StreamTuple, int]] = []
+        broken: list[Instance] = []
+        rebound: list[Instance] = []
+        for instance in candidates:
+            start, last = instance.start, instance.last
+            if start.ts > event.ts:
+                continue
+            fires_forward = forward is None or forward(start, event, last)
+            fires_rebind = rebind is None or rebind(start, event, last)
+            if fires_forward:
+                outputs.append(
+                    (
+                        StreamTuple(
+                            self.output_schema, start.values + event.values, event.ts
+                        ),
+                        instance.mask,
+                    )
+                )
+            # An instance remains at the state only if the rebind edge keeps
+            # it there (the forward edge moves it on; a fired forward without
+            # rebind consumes the instance locally).
+            if fires_rebind:
+                rebound.append(instance)
+            else:
+                broken.append(instance)
+        for instance in rebound:
+            if self._uses_last:
+                instance.last = event
+        for instance in broken:
+            self._store.kill(instance)
+        return outputs
+
+    @property
+    def state_size(self) -> int:
+        return len(self._store)
+
+
+def _compile_or_none(predicate: Predicate, left_schema, right_schema, last_schema):
+    if isinstance(predicate, TruePredicate):
+        return None
+    return predicate.compile(left_schema, right_schema, last_schema)
+
+
+def _cross_back(predicate: Predicate) -> list[Predicate]:
+    """Conjuncts of ``predicate`` that are cross equalities (for re-adding)."""
+    return [part for part in conjuncts(predicate) if as_cross_equality(part) is not None]
+
+
+def _constants_back(constants, right_schema) -> list[Predicate]:
+    """Rebuild right-side constant equalities as predicates.
+
+    µ evaluates constants per edge rather than as an operator-level guard,
+    because forward and rebind may carry *different* constant conditions.
+    """
+    return [
+        Comparison(AttrRef(RIGHT, attribute), "==", Literal(constant))
+        for attribute, constant in constants
+    ]
+
+
+def _dedupe(parts: list[Predicate]) -> list[Predicate]:
+    seen: set = set()
+    result: list[Predicate] = []
+    for part in parts:
+        if part not in seen:
+            seen.add(part)
+            result.append(part)
+    return result

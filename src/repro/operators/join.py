@@ -1,0 +1,210 @@
+"""The sliding-window join operator ⋈.
+
+A symmetric, tuple-driven windowed join: an arriving left tuple probes the
+buffered right tuples within the window (and vice versa), emitting the
+concatenation for every pair satisfying the join predicate.  Equality
+conjuncts between the two sides (``left.a == right.b``) are detected at
+construction time and evaluated through hash buffers; residual conjuncts are
+evaluated per candidate pair.
+
+Output schema: left attributes prefixed ``l_``, right attributes prefixed
+``r_`` (the prefixes keep both sides addressable after concatenation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.errors import OperatorError
+from repro.operators.base import BinaryOperator, OperatorExecutor
+from repro.operators.predicates import (
+    Predicate,
+    TruePredicate,
+    as_cross_equality,
+    as_duration_bound,
+    conjunction,
+    conjuncts,
+)
+from repro.operators.window import TimeWindow
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+#: Attribute prefixes for the two join sides.
+LEFT_PREFIX, RIGHT_PREFIX = "l_", "r_"
+
+
+class SlidingWindowJoin(BinaryOperator):
+    """⋈ — join two streams within a sliding time window.
+
+    ``window`` bounds the timestamp distance between joined tuples:
+    ``|l.ts - r.ts| <= window.length``.  The paper's shared join rule s⋈
+    merges joins "with the same join predicate but potentially different
+    window lengths" [12]; the window is therefore part of the operator's
+    state management but kept separate from the predicate in the definition,
+    letting the rule compare predicates across window lengths.
+    """
+
+    symbol = "⋈"
+
+    def __init__(self, predicate: Predicate, window: TimeWindow):
+        if not isinstance(window, TimeWindow):
+            raise OperatorError("join requires a TimeWindow")
+        self.predicate = predicate
+        self.window = window
+
+    def definition(self) -> tuple:
+        return ("⋈", self.predicate, self.window)
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        self.validate_arity(input_schemas)
+        left, right = input_schemas
+        return left.prefixed(LEFT_PREFIX).concat(right.prefixed(RIGHT_PREFIX))
+
+    def executor(self, input_schemas: Sequence[Schema]) -> "JoinExecutor":
+        self.validate_arity(input_schemas)
+        return JoinExecutor(self, input_schemas[0], input_schemas[1])
+
+
+class HashBuffer:
+    """One side's window buffer, hash-partitioned on the join key.
+
+    Entries expire lazily: the global FIFO is trimmed on insert and the
+    per-key bucket is trimmed on probe, both against the caller's threshold.
+    Buckets and the FIFO share tuple order (streams arrive in timestamp
+    order), so trimming from the front is sound.
+    """
+
+    __slots__ = ("_key_position", "_buckets", "_fifo")
+
+    def __init__(self, key_position: Optional[int]):
+        self._key_position = key_position
+        self._buckets: dict = {}
+        self._fifo: deque[tuple[int, object, StreamTuple]] = deque()
+
+    def _key_of(self, tuple_: StreamTuple):
+        if self._key_position is None:
+            return None
+        return tuple_.values[self._key_position]
+
+    def insert(self, tuple_: StreamTuple, threshold: int) -> None:
+        fifo = self._fifo
+        buckets = self._buckets
+        while fifo and fifo[0][0] < threshold:
+            __, old_key, old_tuple = fifo.popleft()
+            bucket = buckets.get(old_key)
+            if bucket and bucket[0] is old_tuple:
+                bucket.popleft()
+                if not bucket:
+                    del buckets[old_key]
+        key = self._key_of(tuple_)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = deque()
+            buckets[key] = bucket
+        bucket.append(tuple_)
+        fifo.append((tuple_.ts, key, tuple_))
+
+    def probe(self, key, threshold: int) -> list[StreamTuple]:
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return []
+        while bucket and bucket[0].ts < threshold:
+            bucket.popleft()
+        if not bucket:
+            del self._buckets[key]
+            return []
+        return list(bucket)
+
+    def all_live(self, threshold: int) -> list[StreamTuple]:
+        """All unexpired tuples (nested-loop path, no hash key)."""
+        return self.probe(None, threshold)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class JoinExecutor(OperatorExecutor):
+    """Symmetric hash / nested-loop executor for one windowed join."""
+
+    def __init__(self, operator: SlidingWindowJoin, left_schema: Schema, right_schema: Schema):
+        self.operator = operator
+        self.output_schema = operator.output_schema([left_schema, right_schema])
+        # Pull one cross-equality conjunct into the hash path and fold any
+        # duration conjuncts into the window; everything else is residual.
+        window = operator.window.length
+        cross = None
+        leftover: list[Predicate] = []
+        for part in conjuncts(operator.predicate):
+            bound = as_duration_bound(part)
+            if bound is not None:
+                window = min(window, bound)
+                continue
+            if cross is None:
+                pair = as_cross_equality(part)
+                if pair is not None:
+                    cross = pair
+                    continue
+            leftover.append(part)
+        self._window = window
+        if cross is not None:
+            left_key, right_key = cross
+            left_key_position = left_schema.index_of(left_key)
+            right_key_position = right_schema.index_of(right_key)
+        else:
+            left_key_position = right_key_position = None
+        self._left_key_position = left_key_position
+        self._right_key_position = right_key_position
+        residual_predicate = conjunction(leftover)
+        if isinstance(residual_predicate, TruePredicate):
+            self._residual = None
+        else:
+            self._residual = residual_predicate.compile(left_schema, right_schema)
+        self._left_buffer = HashBuffer(left_key_position)
+        self._right_buffer = HashBuffer(right_key_position)
+
+    def process(self, input_index: int, tuple_: StreamTuple) -> list[StreamTuple]:
+        threshold = tuple_.ts - self._window
+        if input_index == 0:
+            return self._process_side(
+                tuple_, threshold, probe_right=True
+            )
+        return self._process_side(tuple_, threshold, probe_right=False)
+
+    def _process_side(
+        self, tuple_: StreamTuple, threshold: int, probe_right: bool
+    ) -> list[StreamTuple]:
+        if probe_right:
+            own_buffer, other_buffer = self._left_buffer, self._right_buffer
+            key_position = self._left_key_position
+        else:
+            own_buffer, other_buffer = self._right_buffer, self._left_buffer
+            key_position = self._right_key_position
+        if key_position is not None:
+            key = tuple_.values[key_position]
+            candidates = other_buffer.probe(key, threshold)
+        else:
+            candidates = other_buffer.all_live(threshold)
+        outputs: list[StreamTuple] = []
+        residual = self._residual
+        for candidate in candidates:
+            if probe_right:
+                left_tuple, right_tuple = tuple_, candidate
+            else:
+                left_tuple, right_tuple = candidate, tuple_
+            if residual is not None and not residual(left_tuple, right_tuple, None):
+                continue
+            outputs.append(self._concat(left_tuple, right_tuple))
+        own_buffer.insert(tuple_, threshold)
+        return outputs
+
+    def _concat(self, left_tuple: StreamTuple, right_tuple: StreamTuple) -> StreamTuple:
+        return StreamTuple(
+            self.output_schema,
+            left_tuple.values + right_tuple.values,
+            max(left_tuple.ts, right_tuple.ts),
+        )
+
+    @property
+    def state_size(self) -> int:
+        return len(self._left_buffer) + len(self._right_buffer)

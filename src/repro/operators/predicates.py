@@ -1,0 +1,375 @@
+"""Predicates over stream tuples, plus the analyses the m-rules rely on.
+
+A predicate is a boolean expression tree whose leaves compare scalar
+expressions (:mod:`repro.operators.expressions`).  Like expressions,
+predicates are frozen dataclasses — structural equality is what lets m-rules
+detect "operators with the same definition" and lets common-subexpression
+elimination fire (§4.3).
+
+The analysis helpers at the bottom recognize the predicate shapes the paper's
+MQO techniques index:
+
+- ``as_constant_equality`` — ``attr = c`` equality with a constant, the shape
+  predicate indexing [10, 16] and Cayuga's FR / AN indexes exploit,
+- ``as_cross_equality`` — ``left.attr = right.attr`` equality across sides,
+  the shape Cayuga's Active Instance index exploits (§5.2 Workload 2),
+- ``as_duration_bound`` — the paper's "duration predicate" expressing a
+  query's window length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ExpressionError
+from repro.operators.expressions import (
+    LEFT,
+    RIGHT,
+    AttrRef,
+    CompiledExpression,
+    Expression,
+    Literal,
+)
+from repro.streams.schema import Schema
+
+#: Signature of a compiled predicate.
+CompiledPredicate = Callable[[Any, Any, Any], bool]
+
+_COMPARISON_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Predicate:
+    """Base class for boolean predicates (structural value objects)."""
+
+    def compile(
+        self,
+        left_schema: Schema,
+        right_schema: Optional[Schema] = None,
+        last_schema: Optional[Schema] = None,
+    ) -> CompiledPredicate:
+        raise NotImplementedError
+
+    def references(self) -> frozenset[tuple[int, str]]:
+        raise NotImplementedError
+
+    # Builder sugar: ``p & q``, ``p | q``, ``~p``.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return conjunction([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Always true; the identity of conjunction."""
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        return lambda l, r, x: True
+
+    def references(self):
+        return frozenset()
+
+    def __repr__(self):
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class FalsePredicate(Predicate):
+    """Always false; e.g. a rebind edge with θr = false (paper §4.2)."""
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        return lambda l, r, x: False
+
+    def references(self):
+        return frozenset()
+
+    def __repr__(self):
+        return "FALSE"
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``lhs op rhs`` over scalar expressions."""
+
+    lhs: Expression
+    op: str
+    rhs: Expression
+
+    def __post_init__(self):
+        if self.op not in _COMPARISON_OPS:
+            raise ExpressionError(
+                f"unknown comparison operator {self.op!r}; "
+                f"expected one of {sorted(_COMPARISON_OPS)}"
+            )
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        lhs = self.lhs.compile(left_schema, right_schema, last_schema)
+        rhs = self.rhs.compile(left_schema, right_schema, last_schema)
+        op = _COMPARISON_OPS[self.op]
+        return lambda l, r, x: op(lhs(l, r, x), rhs(l, r, x))
+
+    def references(self):
+        return self.lhs.references() | self.rhs.references()
+
+    def __repr__(self):
+        return f"{self.lhs!r} {self.op} {self.rhs!r}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of sub-predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        compiled = [p.compile(left_schema, right_schema, last_schema) for p in self.parts]
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda l, r, x: first(l, r, x) and second(l, r, x)
+        return lambda l, r, x: all(c(l, r, x) for c in compiled)
+
+    def references(self):
+        refs: frozenset[tuple[int, str]] = frozenset()
+        for part in self.parts:
+            refs |= part.references()
+        return refs
+
+    def __repr__(self):
+        return "(" + " AND ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of sub-predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        compiled = [p.compile(left_schema, right_schema, last_schema) for p in self.parts]
+        return lambda l, r, x: any(c(l, r, x) for c in compiled)
+
+    def references(self):
+        refs: frozenset[tuple[int, str]] = frozenset()
+        for part in self.parts:
+            refs |= part.references()
+        return refs
+
+    def __repr__(self):
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a sub-predicate."""
+
+    part: Predicate
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        compiled = self.part.compile(left_schema, right_schema, last_schema)
+        return lambda l, r, x: not compiled(l, r, x)
+
+    def references(self):
+        return self.part.references()
+
+    def __repr__(self):
+        return f"NOT {self.part!r}"
+
+
+@dataclass(frozen=True)
+class DurationWithin(Predicate):
+    """The paper's *duration predicate*: the event follows the instance within
+    ``window`` time units (``0 <= right.ts - left.ts <= window``).
+
+    Keeping the window as a dedicated node (rather than an opaque comparison
+    over ``ts``) lets m-rules and state-expiry logic read it off directly —
+    e.g. the shared window join keeps buffers for the *largest* window among
+    the queries it implements [12].
+    """
+
+    window: int
+
+    def __post_init__(self):
+        if self.window < 0:
+            raise ExpressionError(f"window must be non-negative, got {self.window}")
+
+    def compile(self, left_schema, right_schema=None, last_schema=None):
+        window = self.window
+        return lambda l, r, x: 0 <= r.ts - l.ts <= window
+
+    def references(self):
+        return frozenset({(LEFT, "ts"), (RIGHT, "ts")})
+
+    def __repr__(self):
+        return f"DUR<={self.window}"
+
+
+# -- construction helpers --------------------------------------------------------
+
+
+def conjunction(parts: list[Predicate] | tuple[Predicate, ...]) -> Predicate:
+    """Build a flattened conjunction, dropping TRUEs and nesting.
+
+    Returns :class:`TruePredicate` for an empty list and the single part
+    itself for a singleton, so definitions stay canonical.
+    """
+    flat: list[Predicate] = []
+    for part in parts:
+        if isinstance(part, TruePredicate):
+            continue
+        if isinstance(part, And):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return TruePredicate()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def conjuncts(predicate: Predicate) -> list[Predicate]:
+    """Flatten a predicate into its top-level conjuncts."""
+    if isinstance(predicate, And):
+        result: list[Predicate] = []
+        for part in predicate.parts:
+            result.extend(conjuncts(part))
+        return result
+    if isinstance(predicate, TruePredicate):
+        return []
+    return [predicate]
+
+
+def map_attr_refs(predicate: Predicate, fn) -> Predicate:
+    """Rebuild ``predicate`` with every :class:`AttrRef` leaf mapped by ``fn``.
+
+    ``fn(attr_ref) -> Expression``.  Used by the automaton translation layer
+    to convert between the operator-layer side convention (LEFT / RIGHT /
+    LAST) and automaton instance schemas.
+    """
+    if isinstance(predicate, Comparison):
+        return Comparison(
+            _map_expression(predicate.lhs, fn),
+            predicate.op,
+            _map_expression(predicate.rhs, fn),
+        )
+    if isinstance(predicate, And):
+        return And(tuple(map_attr_refs(p, fn) for p in predicate.parts))
+    if isinstance(predicate, Or):
+        return Or(tuple(map_attr_refs(p, fn) for p in predicate.parts))
+    if isinstance(predicate, Not):
+        return Not(map_attr_refs(predicate.part, fn))
+    # TruePredicate / FalsePredicate / DurationWithin have no attr refs.
+    return predicate
+
+
+def _map_expression(expression: Expression, fn) -> Expression:
+    from repro.operators.expressions import Arith, AttrRef as _AttrRef, Udf
+
+    if isinstance(expression, _AttrRef):
+        return fn(expression)
+    if isinstance(expression, Arith):
+        return Arith(
+            _map_expression(expression.lhs, fn),
+            expression.op,
+            _map_expression(expression.rhs, fn),
+        )
+    if isinstance(expression, Udf):
+        return Udf(
+            expression.name,
+            tuple(_map_expression(a, fn) for a in expression.args),
+            expression.type,
+        )
+    return expression
+
+
+# -- analyses used by m-rules and index selection ----------------------------------
+
+
+def as_constant_equality(predicate: Predicate) -> Optional[tuple[int, str, Any]]:
+    """Recognize ``side.attr == constant`` (either argument order).
+
+    Returns ``(side, attribute, constant)`` or None.  This is the indexable
+    shape for predicate indexing [10, 16] and the FR / AN indexes (§4.3).
+    """
+    if not isinstance(predicate, Comparison) or predicate.op != "==":
+        return None
+    lhs, rhs = predicate.lhs, predicate.rhs
+    if isinstance(lhs, AttrRef) and isinstance(rhs, Literal):
+        return (lhs.side, lhs.name, rhs.value)
+    if isinstance(rhs, AttrRef) and isinstance(lhs, Literal):
+        return (rhs.side, rhs.name, lhs.value)
+    return None
+
+
+def as_cross_equality(predicate: Predicate) -> Optional[tuple[str, str]]:
+    """Recognize ``left.attr == right.attr`` (either argument order).
+
+    Returns ``(left_attribute, right_attribute)`` or None.  This is the shape
+    the Active Instance index hashes (§5.2 Workload 2: θ1 of form
+    ``S.a[0] = T.a[0]``) and the equi-join fast path uses.
+    """
+    if not isinstance(predicate, Comparison) or predicate.op != "==":
+        return None
+    lhs, rhs = predicate.lhs, predicate.rhs
+    if not (isinstance(lhs, AttrRef) and isinstance(rhs, AttrRef)):
+        return None
+    if lhs.side == LEFT and rhs.side == RIGHT:
+        return (lhs.name, rhs.name)
+    if lhs.side == RIGHT and rhs.side == LEFT:
+        return (rhs.name, lhs.name)
+    return None
+
+
+def as_duration_bound(predicate: Predicate) -> Optional[int]:
+    """Recognize a duration predicate; returns its window length or None."""
+    if isinstance(predicate, DurationWithin):
+        return predicate.window
+    return None
+
+
+def split_binary_predicate(
+    predicate: Predicate,
+) -> tuple[Optional[int], Optional[tuple[str, str]], list[tuple[str, Any]], list[Predicate]]:
+    """Decompose a binary-operator predicate into its indexable parts.
+
+    Returns ``(window, cross_equality, right_constant_equalities, residual)``:
+
+    - ``window`` — duration bound if present (None otherwise; multiple bounds
+      collapse to the tightest),
+    - ``cross_equality`` — first ``left.a == right.b`` conjunct (AI-indexable),
+    - ``right_constant_equalities`` — ``right.attr == c`` conjuncts
+      (AN-indexable), as ``(attribute, constant)`` pairs,
+    - ``residual`` — every other conjunct, to be evaluated directly.
+    """
+    window: Optional[int] = None
+    cross: Optional[tuple[str, str]] = None
+    constants: list[tuple[str, Any]] = []
+    residual: list[Predicate] = []
+    for part in conjuncts(predicate):
+        bound = as_duration_bound(part)
+        if bound is not None:
+            window = bound if window is None else min(window, bound)
+            continue
+        if cross is None:
+            pair = as_cross_equality(part)
+            if pair is not None:
+                cross = pair
+                continue
+        const = as_constant_equality(part)
+        if const is not None and const[0] == RIGHT:
+            constants.append((const[1], const[2]))
+            continue
+        residual.append(part)
+    return window, cross, constants, residual

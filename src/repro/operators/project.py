@@ -1,0 +1,72 @@
+"""The projection / schema-map operator π.
+
+Following the paper (§4.2, footnote 2), π is the *SQL SELECT-clause* style
+projection: an ordered list of ``name := expression`` items that can rename
+and project attributes as well as introduce new attributes via arithmetic or
+UDFs.  It subsumes the Cayuga schema-map functions ``F_fo`` / ``F_r``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import OperatorError
+from repro.operators.base import OperatorExecutor, UnaryOperator
+from repro.operators.expressions import Expression, AttrRef, LEFT
+from repro.streams.schema import Attribute, Schema
+from repro.streams.tuples import StreamTuple
+
+
+class Projection(UnaryOperator):
+    """π — map each input tuple through a schema map.
+
+    ``items`` is an ordered tuple of ``(output_name, expression)`` pairs.
+    The timestamp is preserved.
+    """
+
+    symbol = "π"
+
+    def __init__(self, items: Sequence[tuple[str, Expression]]):
+        if not items:
+            raise OperatorError("projection needs at least one output attribute")
+        names = [name for name, __ in items]
+        if len(set(names)) != len(names):
+            raise OperatorError(f"duplicate output attributes in projection: {names}")
+        self.items: tuple[tuple[str, Expression], ...] = tuple(
+            (name, expression) for name, expression in items
+        )
+
+    @classmethod
+    def keep(cls, names: Sequence[str]) -> "Projection":
+        """Plain relational projection onto ``names``."""
+        return cls([(name, AttrRef(LEFT, name)) for name in names])
+
+    def definition(self) -> tuple:
+        return ("π", self.items)
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        self.validate_arity(input_schemas)
+        input_schema = input_schemas[0]
+        return Schema(
+            Attribute(name, expression.result_type(input_schema))
+            for name, expression in self.items
+        )
+
+    def executor(self, input_schemas: Sequence[Schema]) -> "ProjectionExecutor":
+        self.validate_arity(input_schemas)
+        return ProjectionExecutor(self, input_schemas[0])
+
+
+class ProjectionExecutor(OperatorExecutor):
+    """Stateless evaluator for one projection."""
+
+    def __init__(self, operator: Projection, input_schema: Schema):
+        self.operator = operator
+        self.output_schema = operator.output_schema([input_schema])
+        self._evaluators = [
+            expression.compile(input_schema) for __, expression in operator.items
+        ]
+
+    def process(self, input_index: int, tuple_: StreamTuple) -> list[StreamTuple]:
+        values = [evaluate(tuple_, None, None) for evaluate in self._evaluators]
+        return [StreamTuple(self.output_schema, values, tuple_.ts)]

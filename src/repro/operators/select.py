@@ -1,0 +1,55 @@
+"""The selection operator σ."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.operators.base import OperatorExecutor, UnaryOperator
+from repro.operators.predicates import Predicate
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+class Selection(UnaryOperator):
+    """σ_p — emit input tuples satisfying predicate ``p`` unchanged.
+
+    Selections are the workhorse of the paper's workloads: starting/stopping
+    conditions of event patterns, the θ1/θ3 constant predicates of Workload 1,
+    and the inputs of predicate indexing [10, 16].  They are also the special
+    case of the sharable-stream relation: the output of a selection is
+    sharable with its input (§3.2).
+    """
+
+    symbol = "σ"
+    is_selection = True
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+
+    def definition(self) -> tuple:
+        return ("σ", self.predicate)
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        self.validate_arity(input_schemas)
+        return input_schemas[0]
+
+    def executor(self, input_schemas: Sequence[Schema]) -> "SelectionExecutor":
+        self.validate_arity(input_schemas)
+        return SelectionExecutor(self, input_schemas[0])
+
+
+class SelectionExecutor(OperatorExecutor):
+    """Stateless evaluator for one selection."""
+
+    def __init__(self, operator: Selection, input_schema: Schema):
+        self.operator = operator
+        self._test = operator.predicate.compile(input_schema)
+
+    def process(self, input_index: int, tuple_: StreamTuple) -> list[StreamTuple]:
+        if self._test(tuple_, None, None):
+            return [tuple_]
+        return []
+
+    def matches(self, tuple_: StreamTuple) -> bool:
+        """Predicate check without materializing an output list."""
+        return self._test(tuple_, None, None)

@@ -1,0 +1,152 @@
+"""The Cayuga sequence operator ``;``.
+
+``S ;θ T`` concatenates pairs of events: each left (``S``) tuple opens an
+*instance*; a right (``T``) event that satisfies θ against an open instance
+emits the concatenation and — per Cayuga's sequence semantics — **consumes**
+the matched instance ("when a tuple in the operator state is matched by an
+incoming tuple from its second input stream, that tuple in the state is
+deleted", §5.2).  Duration conjuncts in θ bound the instance lifetime.
+
+Predicate conjuncts are routed to the cheapest evaluation path, mirroring the
+Cayuga indexes the paper translates into RUMOR (§4.3):
+
+- right-side constant equalities (θ3-style, ``T.a0 = c``) become a pre-guard
+  evaluated once per event, before any instance is touched — the Active Node
+  index behaviour,
+- one cross equality (θ1-style, ``S.a0 = T.a0``) keys the instance store's
+  hash index — the Active Instance index behaviour,
+- duration conjuncts (θ2-style) become window expiry,
+- everything else is evaluated per candidate instance.
+
+Output schema: left attributes prefixed with ``s_`` (the *start* event),
+right attributes unchanged (the *current* event), as in the plan of Fig 5(b)
+where downstream selections reference the current event's attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as Seq
+
+from repro.operators.base import BinaryOperator, OperatorExecutor
+from repro.operators.instances import Instance, InstanceStore
+from repro.operators.predicates import (
+    Predicate,
+    TruePredicate,
+    conjunction,
+    split_binary_predicate,
+)
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+#: Prefix applied to the left (start-event) attributes in the output schema.
+START_PREFIX = "s_"
+
+
+class Sequence(BinaryOperator):
+    """``;θ`` — Cayuga sequence with consume-on-match semantics.
+
+    ``consume_on_match=False`` yields the keep variant (equivalent to a
+    filter edge that retains matched instances), used by automata whose
+    filter predicate keeps instances alive across matches.
+    """
+
+    symbol = ";"
+
+    def __init__(self, predicate: Predicate, consume_on_match: bool = True):
+        self.predicate = predicate
+        self.consume_on_match = consume_on_match
+
+    def definition(self) -> tuple:
+        return (";", self.predicate, self.consume_on_match)
+
+    def output_schema(self, input_schemas: Seq[Schema]) -> Schema:
+        self.validate_arity(input_schemas)
+        left, right = input_schemas
+        return left.prefixed(START_PREFIX).concat(right)
+
+    def executor(self, input_schemas: Seq[Schema]) -> "SequenceExecutor":
+        self.validate_arity(input_schemas)
+        return SequenceExecutor(self, input_schemas[0], input_schemas[1])
+
+
+class SequenceExecutor(OperatorExecutor):
+    """Instance-store based evaluator for one ``;`` operator."""
+
+    def __init__(self, operator: Sequence, left_schema: Schema, right_schema: Schema):
+        self.operator = operator
+        self.output_schema = operator.output_schema([left_schema, right_schema])
+        window, cross, constants, residual = split_binary_predicate(operator.predicate)
+        self._window = window  # None = unbounded
+        # Event pre-guard: right-side constant equalities (AN-index shape).
+        self._guards = [
+            (right_schema.index_of(attribute), constant)
+            for attribute, constant in constants
+        ]
+        # Instance index: cross equality (AI-index shape).
+        if cross is not None:
+            self._left_key_position = left_schema.index_of(cross[0])
+            self._right_key_position = right_schema.index_of(cross[1])
+        else:
+            self._left_key_position = self._right_key_position = None
+        residual_predicate = conjunction(residual)
+        if isinstance(residual_predicate, TruePredicate):
+            self._residual = None
+        else:
+            self._residual = residual_predicate.compile(left_schema, right_schema)
+        self._store = InstanceStore(indexed=cross is not None)
+
+    def process(self, input_index: int, tuple_: StreamTuple) -> list[StreamTuple]:
+        if input_index == 0:
+            self.insert(tuple_)
+            return []
+        return [output for output, __ in self.match(tuple_)]
+
+    def insert(self, tuple_: StreamTuple, mask: int = 1) -> None:
+        """Open an instance for a left tuple.
+
+        ``mask`` carries the channel membership when this executor backs a
+        channelized m-op (§4.4); plain operation uses the default 1.
+        """
+        if self._left_key_position is not None:
+            key = tuple_.values[self._left_key_position]
+        else:
+            key = None
+        self._store.insert(Instance(tuple_, key=key, mask=mask))
+
+    def match(self, event: StreamTuple) -> list[tuple[StreamTuple, int]]:
+        """Match a right event; returns ``(output, instance_mask)`` pairs."""
+        for position, constant in self._guards:
+            if event.values[position] != constant:
+                return []
+        if self._window is not None:
+            self._store.expire(event.ts - self._window)
+        if self._right_key_position is not None:
+            candidates = self._store.probe(event.values[self._right_key_position])
+        else:
+            candidates = self._store.scan()
+        residual = self._residual
+        outputs: list[tuple[StreamTuple, int]] = []
+        consumed: list[Instance] = []
+        for instance in candidates:
+            start = instance.start
+            if start.ts > event.ts:
+                continue
+            if residual is not None and not residual(start, event, None):
+                continue
+            outputs.append(
+                (
+                    StreamTuple(
+                        self.output_schema, start.values + event.values, event.ts
+                    ),
+                    instance.mask,
+                )
+            )
+            if self.operator.consume_on_match:
+                consumed.append(instance)
+        for instance in consumed:
+            self._store.kill(instance)
+        return outputs
+
+    @property
+    def state_size(self) -> int:
+        return len(self._store)

@@ -1,0 +1,55 @@
+"""Window specifications for stateful stream operators.
+
+The paper's operators carry window specifications "to prevent unbounded
+memory consumption" (§2.4).  All evaluation workloads use time-based sliding
+windows whose lengths are drawn from a Zipfian distribution (§5.1); a
+row-count window is provided as well for completeness of the operator suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OperatorError
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A time-based sliding window of ``length`` time units.
+
+    A tuple with timestamp ``t0`` is inside the window of a tuple with
+    timestamp ``t`` iff ``t - t0 <= length`` (and ``t0 <= t``).  With the
+    paper's integer timestamps a window of length ``w`` therefore spans
+    ``w + 1`` consecutive timestamps including the current one.
+    """
+
+    length: int
+
+    def __post_init__(self):
+        if self.length < 0:
+            raise OperatorError(f"window length must be non-negative, got {self.length}")
+
+    def admits(self, anchor_ts: int, other_ts: int) -> bool:
+        """True if ``other_ts`` is inside the window anchored at ``anchor_ts``."""
+        return 0 <= anchor_ts - other_ts <= self.length
+
+    def expiry_threshold(self, now_ts: int) -> int:
+        """Oldest timestamp still inside the window at time ``now_ts``."""
+        return now_ts - self.length
+
+    def __repr__(self):
+        return f"TimeWindow({self.length})"
+
+
+@dataclass(frozen=True)
+class RowWindow:
+    """A count-based sliding window over the last ``count`` tuples."""
+
+    count: int
+
+    def __post_init__(self):
+        if self.count <= 0:
+            raise OperatorError(f"row window count must be positive, got {self.count}")
+
+    def __repr__(self):
+        return f"RowWindow({self.count})"

@@ -1,0 +1,42 @@
+"""Stream substrate: schemas, tuples, streams, channels, and sources.
+
+This subpackage provides the data layer everything else is built on:
+
+- :class:`~repro.streams.schema.Schema` — ordered, typed attribute lists with
+  the timestamp attribute the paper requires on every stream.
+- :class:`~repro.streams.tuples.StreamTuple` — immutable timestamped tuples.
+- :class:`~repro.streams.stream.StreamDef` — logical stream descriptors
+  carrying the sharability label used by the ``∼`` relation (paper §3.2).
+- :class:`~repro.streams.channel.Channel` — the paper's channel abstraction
+  (§3.1): the union of a set of streams where each tuple carries a bit-vector
+  *membership component* recording which streams it belongs to.
+- :mod:`~repro.streams.sources` — timestamp-ordered source iterators and the
+  merge used by the execution engine.
+"""
+
+from repro.streams.schema import Attribute, Schema
+from repro.streams.tuples import StreamTuple
+from repro.streams.stream import StreamDef
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.sources import StreamSource, merge_sources
+from repro.streams.io import (
+    read_trace,
+    read_trace_file,
+    write_trace,
+    write_trace_file,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "StreamTuple",
+    "StreamDef",
+    "Channel",
+    "ChannelTuple",
+    "StreamSource",
+    "merge_sources",
+    "read_trace",
+    "read_trace_file",
+    "write_trace",
+    "write_trace_file",
+]

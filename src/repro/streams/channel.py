@@ -1,0 +1,180 @@
+"""Channels: streams with tuple-level membership tracking (paper §3).
+
+A channel encodes a set of union-compatible streams.  Logically it is their
+union, but each tuple carries a *membership component* — implemented, as in
+the paper, by a bit vector (here a Python int used as a bitmask) — recording
+the subset of encoded streams the tuple belongs to.
+
+Channels generalize streams: a stream is simply a channel of capacity 1
+("singleton channel"), whose membership component is always the single set
+bit.  In this reproduction **all** m-op inputs and outputs are channels, so
+the encode/decode steps degenerate to no-ops on singletons and the engine has
+one uniform edge type.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ChannelError, SchemaError
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+_channel_ids = itertools.count(1)
+
+
+class ChannelTuple:
+    """A stream tuple annotated with its channel membership bitmask.
+
+    ``membership`` has bit *i* set iff the tuple belongs to the *i*-th stream
+    encoded by the carrying channel (bit positions are channel-relative).
+    """
+
+    __slots__ = ("tuple", "membership")
+
+    def __init__(self, tuple_: StreamTuple, membership: int):
+        if membership <= 0:
+            raise ChannelError(
+                f"membership mask must have at least one bit set, got {membership}"
+            )
+        self.tuple = tuple_
+        self.membership = membership
+
+    @property
+    def ts(self) -> int:
+        return self.tuple.ts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChannelTuple):
+            return NotImplemented
+        return self.membership == other.membership and self.tuple == other.tuple
+
+    def __hash__(self) -> int:
+        return hash((self.tuple, self.membership))
+
+    def __repr__(self) -> str:
+        return f"ChannelTuple({self.tuple!r}, membership={bin(self.membership)})"
+
+
+class Channel:
+    """An ordered set of union-compatible streams sharing one edge.
+
+    The order of ``streams`` fixes bit positions in membership masks: stream
+    ``streams[i]`` owns bit ``1 << i``.
+    """
+
+    __slots__ = ("channel_id", "streams", "_positions", "schema", "name")
+
+    def __init__(self, streams: Sequence[StreamDef], name: str | None = None):
+        if not streams:
+            raise ChannelError("a channel must encode at least one stream")
+        ids = [s.stream_id for s in streams]
+        if len(set(ids)) != len(ids):
+            raise ChannelError("a channel cannot encode the same stream twice")
+        schema = streams[0].schema
+        for stream in streams[1:]:
+            if not schema.union_compatible(stream.schema):
+                raise SchemaError(
+                    f"streams {streams[0].name!r} and {stream.name!r} have "
+                    "union-incompatible schemas; pad/rename them first "
+                    "(Schema.padded_union)"
+                )
+        self.channel_id: int = next(_channel_ids)
+        self.streams: tuple[StreamDef, ...] = tuple(streams)
+        self._positions: dict[int, int] = {s.stream_id: i for i, s in enumerate(streams)}
+        self.schema = schema
+        self.name = name or "+".join(s.name for s in streams)
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def singleton(cls, stream: StreamDef) -> "Channel":
+        """The degenerate channel encoding exactly one stream."""
+        return cls([stream], name=stream.name)
+
+    # -- capacity / membership ------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Number of encoded streams (the paper's *channel capacity*, §5.2)."""
+        return len(self.streams)
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.streams) == 1
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with every encoded stream's bit set."""
+        return (1 << len(self.streams)) - 1
+
+    def position_of(self, stream: StreamDef) -> int:
+        """Bit position of ``stream`` within this channel."""
+        try:
+            return self._positions[stream.stream_id]
+        except KeyError:
+            raise ChannelError(
+                f"{stream!r} is not encoded by channel {self.name!r}"
+            ) from None
+
+    def contains(self, stream: StreamDef) -> bool:
+        return stream.stream_id in self._positions
+
+    # -- encoding / decoding (paper §3.1) -------------------------------------------
+
+    def mask_of(self, streams: Iterable[StreamDef]) -> int:
+        """Encode a set of member streams into a membership bitmask."""
+        mask = 0
+        for stream in streams:
+            mask |= 1 << self.position_of(stream)
+        if mask == 0:
+            raise ChannelError("cannot encode an empty stream set")
+        return mask
+
+    def streams_of(self, mask: int) -> list[StreamDef]:
+        """Decode a membership bitmask back to the member streams."""
+        if mask <= 0 or mask > self.full_mask:
+            raise ChannelError(
+                f"mask {bin(mask)} out of range for capacity {self.capacity}"
+            )
+        return [s for i, s in enumerate(self.streams) if mask & (1 << i)]
+
+    def encode(
+        self, tuple_: StreamTuple, streams: Iterable[StreamDef]
+    ) -> ChannelTuple:
+        """Encoding step: wrap ``tuple_`` with the membership of ``streams``."""
+        return ChannelTuple(tuple_, self.mask_of(streams))
+
+    def encode_all(self, tuple_: StreamTuple) -> ChannelTuple:
+        """Encode a tuple that belongs to every stream of the channel."""
+        return ChannelTuple(tuple_, self.full_mask)
+
+    def decode(self, channel_tuple: ChannelTuple) -> list[StreamDef]:
+        """Decoding step: the member streams a channel tuple belongs to."""
+        return self.streams_of(channel_tuple.membership)
+
+    def iter_members(self, channel_tuple: ChannelTuple) -> Iterator[StreamDef]:
+        """Iterate member streams of a channel tuple without building a list."""
+        mask = channel_tuple.membership
+        if mask <= 0 or mask > self.full_mask:
+            raise ChannelError(
+                f"mask {bin(mask)} out of range for capacity {self.capacity}"
+            )
+        for i, stream in enumerate(self.streams):
+            if mask & (1 << i):
+                yield stream
+
+    # -- identity ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Channel):
+            return NotImplemented
+        return self.channel_id == other.channel_id
+
+    def __hash__(self) -> int:
+        return self.channel_id
+
+    def __repr__(self) -> str:
+        return f"Channel(#{self.channel_id} {self.name!r}, capacity={self.capacity})"

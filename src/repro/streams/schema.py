@@ -1,0 +1,214 @@
+"""Schemas for stream tuples.
+
+The paper's experimental streams have ten integer attributes ``a0 .. a9``
+plus one integer timestamp attribute ``ts`` (§5.1).  This module keeps the
+general shape — an ordered list of named, typed attributes with a mandatory
+timestamp — while supporting the renaming / padding operations channels need
+(§3.1: streams encoded into a channel must have union-compatible schemas,
+"which can always be achieved by padding ... after appropriate attribute
+renaming").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+#: Name of the timestamp attribute required on every stream (paper §4.1).
+TIMESTAMP_ATTRIBUTE = "ts"
+
+#: Supported attribute types.  The paper only uses ``int``; ``float`` and
+#: ``str`` are supported so the performance-monitoring scenario can carry
+#: fractional CPU loads and process names.
+ATTRIBUTE_TYPES = ("int", "float", "str")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named, typed attribute of a schema."""
+
+    name: str
+    type: str = "int"
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.type not in ATTRIBUTE_TYPES:
+            raise SchemaError(
+                f"unsupported attribute type {self.type!r}; "
+                f"expected one of {ATTRIBUTE_TYPES}"
+            )
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute under a new name."""
+        return Attribute(new_name, self.type)
+
+
+class Schema:
+    """An ordered collection of attributes with positional lookup.
+
+    Schemas are immutable and hashable; operators compare schemas when
+    deciding whether definitions match (e.g. the channel-based MQO sharing
+    criteria require consumers with *the same definition*, §3.2).
+
+    The timestamp attribute is not part of the attribute list: every
+    :class:`~repro.streams.tuples.StreamTuple` carries its timestamp
+    separately, mirroring the paper's "required timestamp attribute for each
+    stream".
+    """
+
+    __slots__ = ("_attributes", "_index", "_hash")
+
+    def __init__(self, attributes: Iterable[Attribute | tuple[str, str] | str]):
+        normalized: list[Attribute] = []
+        for attr in attributes:
+            if isinstance(attr, Attribute):
+                normalized.append(attr)
+            elif isinstance(attr, tuple):
+                normalized.append(Attribute(*attr))
+            else:
+                normalized.append(Attribute(attr))
+        names = [a.name for a in normalized]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {dupes}")
+        if TIMESTAMP_ATTRIBUTE in names:
+            raise SchemaError(
+                f"{TIMESTAMP_ATTRIBUTE!r} is implicit on every tuple and must "
+                "not be declared as a schema attribute"
+            )
+        self._attributes: tuple[Attribute, ...] = tuple(normalized)
+        self._index: dict[str, int] = {a.name: i for i, a in enumerate(normalized)}
+        self._hash = hash(self._attributes)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of_ints(cls, *names: str) -> "Schema":
+        """Build a schema of integer attributes, e.g. ``Schema.of_ints("a0", "a1")``."""
+        return cls(Attribute(n, "int") for n in names)
+
+    @classmethod
+    def numbered(cls, count: int, prefix: str = "a") -> "Schema":
+        """Build the paper's synthetic schema: ``count`` int attributes ``a0..``."""
+        if count < 0:
+            raise SchemaError("attribute count must be non-negative")
+        return cls.of_ints(*(f"{prefix}{i}" for i in range(count)))
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}:{a.type}" for a in self._attributes)
+        return f"Schema({inner})"
+
+    # -- lookup ----------------------------------------------------------------
+
+    def index_of(self, name: str) -> int:
+        """Return the position of attribute ``name``.
+
+        Raises :class:`SchemaError` for unknown attributes so mistakes in
+        predicates surface at construction time rather than mid-stream.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self._attributes[self.index_of(name)]
+
+    def type_of(self, name: str) -> str:
+        return self.attribute(name).type
+
+    # -- derivation ------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema of a projection onto ``names`` (order taken from ``names``)."""
+        return Schema(self.attribute(n) for n in names)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with attributes renamed per ``mapping`` (missing keys kept)."""
+        return Schema(
+            a.renamed(mapping.get(a.name, a.name)) for a in self._attributes
+        )
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Schema with every attribute name prefixed, e.g. ``S_a0``.
+
+        Used when concatenating tuples in the sequence / iterate operators so
+        that the left and right halves remain addressable.
+        """
+        return Schema(a.renamed(f"{prefix}{a.name}") for a in self._attributes)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenation of two schemas (the ``;`` operator's output schema).
+
+        Attribute names must be disjoint; use :meth:`prefixed` first if they
+        clash.
+        """
+        clash = set(self.names) & set(other.names)
+        if clash:
+            raise SchemaError(
+                f"cannot concatenate schemas with shared attributes: {sorted(clash)}"
+            )
+        return Schema(self._attributes + other._attributes)
+
+    def union_compatible(self, other: "Schema") -> bool:
+        """True if tuples of both schemas can be encoded in one channel.
+
+        We use the strict definition — identical attribute lists.  The paper
+        notes any streams can be *made* union-compatible by renaming and
+        padding; :meth:`padded_union` implements that construction.
+        """
+        return self == other
+
+    def padded_union(self, other: "Schema") -> "Schema":
+        """Smallest schema both inputs can be padded to (paper §3.1).
+
+        Attributes present in both schemas must agree on type; attributes
+        present in only one schema are appended.  Tuples of either input
+        schema can then be widened with ``None`` padding.
+        """
+        merged: list[Attribute] = list(self._attributes)
+        seen = dict(self._index)
+        for attr in other._attributes:
+            if attr.name in seen:
+                existing = self._attributes[seen[attr.name]]
+                if existing.type != attr.type:
+                    raise SchemaError(
+                        f"attribute {attr.name!r} has conflicting types "
+                        f"{existing.type!r} vs {attr.type!r}"
+                    )
+            else:
+                seen[attr.name] = len(merged)
+                merged.append(attr)
+        return Schema(merged)

@@ -1,0 +1,62 @@
+"""Logical stream descriptors.
+
+A :class:`StreamDef` names a stream, fixes its schema, and carries the
+metadata the sharable-stream relation ``∼`` needs (paper §3.2):
+
+- *source streams* may carry a ``sharable_label``; two sources with the same
+  label are sharable by the relation's base case 2 ("produced by two stream
+  sources that are labeled to be sharable"),
+- *derived streams* record which operator produced them; the structural
+  signature machinery in :mod:`repro.core.sharable` walks these producers.
+
+StreamDefs are identity objects: two distinct instances are two distinct
+streams even if their names collide (names are for humans; ids are for the
+engine).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.streams.schema import Schema
+
+_stream_ids = itertools.count(1)
+
+
+class StreamDef:
+    """A logical stream: identity, name, schema, and provenance."""
+
+    __slots__ = ("stream_id", "name", "schema", "sharable_label", "producer")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        sharable_label: Optional[str] = None,
+    ):
+        #: Unique identity of this stream within the process.
+        self.stream_id: int = next(_stream_ids)
+        self.name = name
+        self.schema = schema
+        #: Sources with equal non-None labels are sharable (∼ base case 2).
+        self.sharable_label = sharable_label
+        #: The m-op producing this stream; None for source streams.  Set by
+        #: the plan when the stream is wired as an m-op output.
+        self.producer = None
+
+    @property
+    def is_source(self) -> bool:
+        return self.producer is None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamDef):
+            return NotImplemented
+        return self.stream_id == other.stream_id
+
+    def __hash__(self) -> int:
+        return self.stream_id
+
+    def __repr__(self) -> str:
+        origin = "source" if self.is_source else "derived"
+        return f"StreamDef(#{self.stream_id} {self.name!r}, {origin})"

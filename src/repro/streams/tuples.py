@@ -1,0 +1,124 @@
+"""Stream tuples.
+
+A :class:`StreamTuple` is an immutable record: a value vector laid out by a
+:class:`~repro.streams.schema.Schema`, plus the integer timestamp the paper
+requires on every stream tuple.  Equality and hashing are content-based so
+channels can detect "identical tuples from different streams" (§3.1) and
+tests can compare output multisets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.streams.schema import Schema
+
+
+class StreamTuple:
+    """An immutable, timestamped tuple conforming to a schema.
+
+    Attribute access goes through the schema's name→position index, so
+    compiled predicates that capture positions directly can read
+    ``tuple.values[pos]`` without the dictionary hop.
+    """
+
+    __slots__ = ("schema", "values", "ts")
+
+    def __init__(self, schema: Schema, values: Sequence[Any], ts: int):
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"value count {len(values)} does not match schema width "
+                f"{len(schema)} ({list(schema.names)})"
+            )
+        self.schema = schema
+        self.values: tuple[Any, ...] = tuple(values)
+        self.ts = ts
+
+    @classmethod
+    def from_dict(cls, schema: Schema, mapping: Mapping[str, Any], ts: int) -> "StreamTuple":
+        """Build a tuple from an attribute-name mapping.
+
+        Every schema attribute must be present in ``mapping``; extras raise,
+        catching typos early.
+        """
+        extra = set(mapping) - set(schema.names)
+        if extra:
+            raise SchemaError(f"unknown attributes in tuple: {sorted(extra)}")
+        try:
+            values = [mapping[name] for name in schema.names]
+        except KeyError as missing:
+            raise SchemaError(f"missing attribute {missing.args[0]!r}") from None
+        return cls(schema, values, ts)
+
+    # -- access -----------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[self.schema.index_of(name)]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name in self.schema:
+            return self.values[self.schema.index_of(name)]
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self.schema.names, self.values))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    # -- identity ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamTuple):
+            return NotImplemented
+        return (
+            self.ts == other.ts
+            and self.values == other.values
+            and self.schema == other.schema
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.values, self.ts))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self.schema.names, self.values)
+        )
+        return f"StreamTuple({fields}, ts={self.ts})"
+
+    # -- derivation ---------------------------------------------------------------
+
+    def with_ts(self, ts: int) -> "StreamTuple":
+        """Copy of this tuple at a different timestamp."""
+        return StreamTuple(self.schema, self.values, ts)
+
+    def project(self, names: Sequence[str]) -> "StreamTuple":
+        """Tuple restricted (and reordered) to ``names``."""
+        schema = self.schema.project(names)
+        values = [self[n] for n in names]
+        return StreamTuple(schema, values, self.ts)
+
+    def prefixed(self, prefix: str) -> "StreamTuple":
+        """Tuple under a prefixed schema (see :meth:`Schema.prefixed`)."""
+        return StreamTuple(self.schema.prefixed(prefix), self.values, self.ts)
+
+    def concat(self, other: "StreamTuple", ts: int | None = None) -> "StreamTuple":
+        """Concatenate two tuples (the ``;`` operator's output construction).
+
+        The result's timestamp defaults to the *later* of the two inputs,
+        which is when the composite event becomes known.
+        """
+        schema = self.schema.concat(other.schema)
+        if ts is None:
+            ts = max(self.ts, other.ts)
+        return StreamTuple(schema, self.values + other.values, ts)
+
+    def padded_to(self, schema: Schema) -> "StreamTuple":
+        """Widen this tuple to ``schema``, filling absent attributes with None.
+
+        This is the padding step the paper uses to make streams
+        union-compatible before encoding them into one channel (§3.1).
+        """
+        values = [self.get(name) for name in schema.names]
+        return StreamTuple(schema, values, self.ts)

@@ -1,0 +1,40 @@
+"""Workload and dataset generators for the paper's evaluation (§5).
+
+- :mod:`~repro.workloads.zipf` — the Zipfian sampler of §5.1 (favouring
+  large window lengths / constants),
+- :mod:`~repro.workloads.synthetic` — the synthetic interleaved S/T streams,
+- :mod:`~repro.workloads.templates` — Workloads 1–3 and the hybrid Query 2
+  workload, each able to build both the RUMOR plan and the Cayuga automata,
+- :mod:`~repro.workloads.perfmon` — the simulated performance-counter
+  datasets standing in for the paper's proprietary D1/D2 traces.
+"""
+
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.synthetic import (
+    interleaved_events,
+    synthetic_schema,
+    round_robin_rounds,
+)
+from repro.workloads.templates import (
+    HybridWorkload,
+    WorkloadParameters,
+    Workload1,
+    Workload2,
+    Workload3,
+)
+from repro.workloads.perfmon import PerfmonDataset, D1, D2
+
+__all__ = [
+    "ZipfSampler",
+    "synthetic_schema",
+    "interleaved_events",
+    "round_robin_rounds",
+    "WorkloadParameters",
+    "Workload1",
+    "Workload2",
+    "Workload3",
+    "HybridWorkload",
+    "PerfmonDataset",
+    "D1",
+    "D2",
+]

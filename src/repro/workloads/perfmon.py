@@ -1,0 +1,143 @@
+"""Simulated performance-counter datasets (substituting the paper's D1/D2).
+
+The paper's hybrid-query experiments (§5.3) replay two proprietary Windows
+Performance Monitor traces: D1 — CPU usage of 104 long-running processes on
+an office machine over 24 hours, one reading per process per second — and
+D2 — 28 processes on a home machine.  The traces are unavailable, so this
+module synthesizes the two properties the experiments actually exploit:
+
+1. the *shape* of the stream — one ``CPU(pid, load; ts)`` tuple per process
+   per second, interleaved across processes within each second;
+2. the *content* pattern the queries look for — processes whose (smoothed)
+   CPU load ramps up monotonically, embedded in realistic noise.
+
+Each process is assigned one of four regimes with seeded determinism:
+
+- ``idle``      — load near zero with rare tiny blips,
+- ``steady``    — load around a per-process mean with Gaussian noise,
+- ``bursty``    — idle baseline with random rectangular bursts,
+- ``ramping``   — periodic monotone ramps from a low base toward a peak,
+  the pattern Query 1's ``µ`` matches, followed by a drop.
+
+Loads are integers in [0, 100] (CPU percentage, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.streams.schema import Attribute, Schema
+from repro.streams.tuples import StreamTuple
+
+#: Schema of the performance-counter stream: CPU(pid, load; ts) (§4.1).
+CPU_SCHEMA = Schema([Attribute("pid", "int"), Attribute("load", "int")])
+
+#: Regime mix (fractions roughly reflecting a desktop's process population).
+_REGIMES = ("idle", "steady", "bursty", "ramping")
+_REGIME_WEIGHTS = (0.45, 0.25, 0.15, 0.15)
+
+
+@dataclass
+class _ProcessModel:
+    pid: int
+    regime: str
+    base: float
+    peak: float
+    period: int
+    phase: int
+    noise: float
+
+
+class PerfmonDataset:
+    """A deterministic synthetic per-second CPU trace.
+
+    ``generate(duration)`` yields ``CPU(pid, load; ts)`` tuples: within each
+    second every process emits one reading, processes in pid order (the
+    Performance Monitor samples all counters per collection interval).
+    """
+
+    def __init__(self, processes: int, duration_seconds: int = 86_400, seed: int = 0):
+        if processes < 1:
+            raise WorkloadError("need at least one process")
+        if duration_seconds < 1:
+            raise WorkloadError("duration must be at least one second")
+        self.processes = processes
+        self.duration_seconds = duration_seconds
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._models = [self._make_model(pid, rng) for pid in range(processes)]
+
+    @staticmethod
+    def _make_model(pid: int, rng: np.random.Generator) -> _ProcessModel:
+        regime = rng.choice(_REGIMES, p=_REGIME_WEIGHTS)
+        if regime == "idle":
+            base, peak = float(rng.uniform(0, 2)), 5.0
+        elif regime == "steady":
+            base, peak = float(rng.uniform(5, 40)), 0.0
+        elif regime == "bursty":
+            base, peak = float(rng.uniform(0, 5)), float(rng.uniform(40, 100))
+        else:  # ramping
+            base, peak = float(rng.uniform(0, 15)), float(rng.uniform(60, 100))
+        return _ProcessModel(
+            pid=pid,
+            regime=str(regime),
+            base=base,
+            peak=peak,
+            period=int(rng.integers(60, 600)),
+            phase=int(rng.integers(0, 600)),
+            noise=float(rng.uniform(0.3, 2.0)),
+        )
+
+    def _load_at(self, model: _ProcessModel, second: int, rng: np.random.Generator) -> int:
+        position = (second + model.phase) % model.period
+        if model.regime == "idle":
+            value = model.base + (model.peak if rng.random() < 0.005 else 0.0)
+        elif model.regime == "steady":
+            value = model.base
+        elif model.regime == "bursty":
+            burst_len = max(5, model.period // 8)
+            value = model.peak if position < burst_len else model.base
+        else:  # ramping: monotone climb over the first 40% of the period
+            ramp_len = max(10, int(model.period * 0.4))
+            if position < ramp_len:
+                value = model.base + (model.peak - model.base) * (position / ramp_len)
+            else:
+                value = model.base
+        value += rng.normal(0.0, model.noise)
+        return int(min(100, max(0, round(value))))
+
+    def generate(self, duration_seconds: int | None = None) -> Iterator[StreamTuple]:
+        """Yield the trace; ``duration_seconds`` may shorten the default."""
+        duration = duration_seconds or self.duration_seconds
+        if duration > self.duration_seconds:
+            raise WorkloadError(
+                f"dataset holds {self.duration_seconds}s, asked for {duration}s"
+            )
+        rng = np.random.default_rng(self.seed + 1)
+        for second in range(duration):
+            for model in self._models:
+                load = self._load_at(model, second, rng)
+                yield StreamTuple(CPU_SCHEMA, (model.pid, load), second)
+
+    def events(self, duration_seconds: int | None = None) -> Iterator[tuple[str, StreamTuple]]:
+        """The trace as (stream name, tuple) events for the automaton engine."""
+        for tuple_ in self.generate(duration_seconds):
+            yield "CPU", tuple_
+
+    @property
+    def tuples_per_second(self) -> int:
+        return self.processes
+
+
+def D1(seed: int = 1) -> PerfmonDataset:
+    """The stand-in for the paper's office-machine dataset (104 processes)."""
+    return PerfmonDataset(processes=104, duration_seconds=86_400, seed=seed)
+
+
+def D2(seed: int = 2) -> PerfmonDataset:
+    """The stand-in for the paper's home-machine dataset (28 processes)."""
+    return PerfmonDataset(processes=28, duration_seconds=86_400, seed=seed)

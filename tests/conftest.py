@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema2() -> Schema:
+    """Two integer attributes a0, a1."""
+    return Schema.numbered(2)
+
+
+@pytest.fixture
+def schema3() -> Schema:
+    return Schema.numbered(3)
+
+
+@pytest.fixture
+def schema10() -> Schema:
+    """The paper's synthetic schema (§5.1)."""
+    return Schema.numbered(10)
+
+
+def make_tuple(schema: Schema, values, ts: int) -> StreamTuple:
+    return StreamTuple(schema, values, ts)
+
+
+def make_tuples(schema: Schema, rows) -> list[StreamTuple]:
+    """Rows of (ts, *values) -> StreamTuples."""
+    return [StreamTuple(schema, row[1:], row[0]) for row in rows]
+
+
+def random_tuples(schema: Schema, count: int, seed: int, domain: int = 10):
+    """Deterministic pseudo-random tuples with consecutive timestamps."""
+    rng = random.Random(seed)
+    width = len(schema)
+    return [
+        StreamTuple(schema, tuple(rng.randrange(domain) for __ in range(width)), ts)
+        for ts in range(count)
+    ]
+
+
+def outputs_as_multiset(tuples):
+    """Canonical form for output comparison (order-insensitive multiset)."""
+    from collections import Counter
+
+    return Counter((t.ts, tuple(t.values)) for t in tuples)
+
+
+def run_plan_collect(plan, sources):
+    """Run a plan and return {query_id: multiset of outputs}."""
+    from repro.engine.executor import StreamEngine
+
+    engine = StreamEngine(plan, capture_outputs=True)
+    engine.run(sources)
+    return {
+        query_id: outputs_as_multiset(tuples)
+        for query_id, tuples in engine.captured.items()
+    }

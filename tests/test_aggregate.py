@@ -1,0 +1,146 @@
+"""Unit tests for the sliding-window aggregate operator."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    MonotonicExtremeAccumulator,
+    SlidingWindowAggregate,
+    SumCountAccumulator,
+)
+from repro.operators.window import TimeWindow
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("g", "v")
+
+
+def feed(operator, rows):
+    """rows of (ts, g, v) -> list of output dicts."""
+    executor = operator.executor([SCHEMA])
+    outputs = []
+    for ts, g, v in rows:
+        for out in executor.process(0, StreamTuple(SCHEMA, (g, v), ts)):
+            outputs.append((out.ts, out.as_dict()))
+    return outputs
+
+
+class TestValidation:
+    def test_unknown_function(self):
+        with pytest.raises(OperatorError):
+            SlidingWindowAggregate("median", "v", TimeWindow(5))
+
+    def test_non_count_requires_target(self):
+        with pytest.raises(OperatorError):
+            SlidingWindowAggregate("sum", None, TimeWindow(5))
+
+    def test_count_star_allowed(self):
+        operator = SlidingWindowAggregate("count", None, TimeWindow(5))
+        assert operator.target is None
+
+    def test_duplicate_group_by(self):
+        with pytest.raises(OperatorError):
+            SlidingWindowAggregate("sum", "v", TimeWindow(5), ("g", "g"))
+
+    def test_output_name_collision(self):
+        with pytest.raises(OperatorError):
+            SlidingWindowAggregate("sum", "v", TimeWindow(5), ("g",), output_name="g")
+
+    def test_requires_time_window(self):
+        with pytest.raises(OperatorError):
+            SlidingWindowAggregate("sum", "v", 5)
+
+
+class TestSemantics:
+    def test_sum_with_expiry(self):
+        operator = SlidingWindowAggregate("sum", "v", TimeWindow(2), (), "s")
+        outputs = feed(operator, [(0, 0, 1), (1, 0, 2), (2, 0, 3), (4, 0, 4)])
+        # window length 2 => tuples with ts >= current - 2; the window at
+        # ts=4 covers ts 2..4, i.e. 3 + 4 = 7.
+        assert [o["s"] for __, o in outputs] == [1, 3, 6, 7]
+
+    def test_avg(self):
+        operator = SlidingWindowAggregate("avg", "v", TimeWindow(10), (), "m")
+        outputs = feed(operator, [(0, 0, 2), (1, 0, 4)])
+        assert [o["m"] for __, o in outputs] == [2.0, 3.0]
+
+    def test_count(self):
+        operator = SlidingWindowAggregate("count", None, TimeWindow(1), (), "n")
+        outputs = feed(operator, [(0, 0, 9), (1, 0, 9), (3, 0, 9)])
+        assert [o["n"] for __, o in outputs] == [1, 2, 1]
+
+    def test_min_max_monotonic(self):
+        minimum = SlidingWindowAggregate("min", "v", TimeWindow(2), (), "lo")
+        maximum = SlidingWindowAggregate("max", "v", TimeWindow(2), (), "hi")
+        rows = [(0, 0, 5), (1, 0, 3), (2, 0, 4), (3, 0, 9), (5, 0, 1)]
+        lows = [o["lo"] for __, o in feed(minimum, rows)]
+        highs = [o["hi"] for __, o in feed(maximum, rows)]
+        assert lows == [5, 3, 3, 3, 1]
+        assert highs == [5, 5, 5, 9, 9]
+
+    def test_group_by_isolation(self):
+        operator = SlidingWindowAggregate("sum", "v", TimeWindow(10), ("g",), "s")
+        outputs = feed(operator, [(0, 1, 10), (1, 2, 20), (2, 1, 5)])
+        assert outputs[0][1] == {"g": 1, "s": 10}
+        assert outputs[1][1] == {"g": 2, "s": 20}
+        assert outputs[2][1] == {"g": 1, "s": 15}
+
+    def test_emission_per_tuple(self):
+        operator = SlidingWindowAggregate("sum", "v", TimeWindow(5))
+        outputs = feed(operator, [(0, 0, 1), (0, 1, 2)])
+        assert len(outputs) == 2
+
+    def test_output_schema(self):
+        operator = SlidingWindowAggregate("avg", "v", TimeWindow(5), ("g",), "m")
+        out_schema = operator.output_schema([SCHEMA])
+        assert out_schema.names == ("g", "m")
+        assert out_schema.type_of("m") == "float"
+
+    def test_state_size_tracks_window(self):
+        operator = SlidingWindowAggregate("sum", "v", TimeWindow(1), (), "s")
+        executor = operator.executor([SCHEMA])
+        executor.process(0, StreamTuple(SCHEMA, (0, 1), 0))
+        executor.process(0, StreamTuple(SCHEMA, (0, 1), 10))
+        assert executor.state_size == 1  # the old tuple expired
+
+
+class TestAccumulators:
+    def test_sum_count_subtracts(self):
+        acc = SumCountAccumulator()
+        acc.insert(0, 5)
+        acc.insert(1, 7)
+        acc.expire(1)
+        assert acc.partial() == (7, 1)
+        assert len(acc) == 1
+
+    def test_monotonic_max_dominance(self):
+        acc = MonotonicExtremeAccumulator(maximum=True)
+        for ts, v in [(0, 3), (1, 1), (2, 2)]:
+            acc.insert(ts, v)
+        assert acc.partial() == 3
+        acc.expire(1)  # drop ts=0
+        assert acc.partial() == 2
+
+    def test_empty_partial_is_none(self):
+        acc = MonotonicExtremeAccumulator(maximum=False)
+        assert acc.partial() is None
+
+    def test_combine_sum_count(self):
+        spec = AGGREGATE_FUNCTIONS["avg"]
+        combined = spec.combine([(10, 2), (20, 3)])
+        assert combined == (30, 5)
+        assert spec.finalize(combined) == 6.0
+
+    def test_combine_extremes_skips_none(self):
+        spec = AGGREGATE_FUNCTIONS["max"]
+        assert spec.combine([None, 4, 2]) == 4
+        assert spec.combine([None]) is None
+
+    def test_finalize_empty_sum(self):
+        spec = AGGREGATE_FUNCTIONS["sum"]
+        assert spec.finalize((0, 0)) is None
+
+    def test_finalize_count_zero(self):
+        spec = AGGREGATE_FUNCTIONS["count"]
+        assert spec.finalize((0, 0)) == 0

@@ -1,0 +1,280 @@
+"""Unit tests for the Cayuga-style automaton substrate."""
+
+import pytest
+
+from repro.automata.automaton import (
+    Automaton,
+    ForwardEdge,
+    State,
+    identity_schema_map,
+    iterate_automaton,
+    sequence_automaton,
+)
+from repro.automata.engine import AutomatonEngine
+from repro.automata.merging import Forest
+from repro.errors import AutomatonError
+from repro.operators.expressions import RIGHT, last, left, lit, right
+from repro.operators.predicates import (
+    Comparison,
+    DurationWithin,
+    TruePredicate,
+    conjunction,
+)
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+def w1_automaton(start_const, end_const, window, query_id):
+    return sequence_automaton(
+        "S",
+        SCHEMA,
+        Comparison(right("a"), "==", lit(start_const)),
+        "T",
+        SCHEMA,
+        conjunction(
+            [DurationWithin(window), Comparison(right("a"), "==", lit(end_const))]
+        ),
+        query_id=query_id,
+    )
+
+
+class TestModel:
+    def test_sequence_automaton_states(self):
+        automaton = w1_automaton(1, 2, 5, "q")
+        assert len(automaton.states) == 3
+        assert automaton.start.is_start
+        assert automaton.states[-1].is_final
+
+    def test_final_state_carries_query(self):
+        automaton = w1_automaton(1, 2, 5, "q")
+        finals = [s for s in automaton.states if s.is_final]
+        assert finals[0].query_ids == ["q"]
+
+    def test_cycle_rejected(self):
+        a = State("a", "S", SCHEMA)
+        b = State("b", "S", SCHEMA)
+        a.add_forward(TruePredicate(), identity_schema_map(SCHEMA, RIGHT), b)
+        b.add_forward(TruePredicate(), identity_schema_map(SCHEMA, RIGHT), a)
+        a.is_start = True
+        with pytest.raises(AutomatonError, match="cycle"):
+            Automaton(a)
+
+    def test_final_state_edges_rejected(self):
+        final = State("f", None, None, is_final=True)
+        with pytest.raises(AutomatonError):
+            final.add_forward(
+                TruePredicate(), identity_schema_map(SCHEMA, RIGHT), final
+            )
+
+    def test_no_final_state_rejected(self):
+        start = State("s", "S", None, is_start=True)
+        with pytest.raises(AutomatonError, match="no final state"):
+            Automaton(start)
+
+    def test_start_rebind_rejected(self):
+        start = State("s", "S", None, is_start=True)
+        with pytest.raises(AutomatonError):
+            start.set_rebind(TruePredicate(), identity_schema_map(SCHEMA, RIGHT))
+
+
+class TestPrefixMerging:
+    def test_identical_automata_fully_shared(self):
+        forest = Forest()
+        created_first = forest.add(w1_automaton(1, 2, 5, "q1"))
+        created_second = forest.add(w1_automaton(1, 2, 5, "q2"))
+        # second automaton creates nothing: full prefix + final shared
+        assert created_second == 0
+        finals = [s for s in forest.states if s.is_final]
+        assert finals[0].query_ids == ["q1", "q2"]
+
+    def test_consuming_suffixes_not_merged(self):
+        """Consume-on-match states with different θ3 keep separate states:
+        a shared instance consumed by q1's match would wrongly kill q2's.
+        (Their θf = ¬θ_fwd filter edges differ, so signatures differ.)"""
+        forest = Forest()
+        forest.add(w1_automaton(1, 2, 5, "q1"))
+        forest.add(w1_automaton(1, 3, 5, "q2"))  # same θ1, different θ3
+        middles = [
+            s for s in forest.states if not s.is_final and not s.is_start
+        ]
+        assert len(middles) == 2
+        starts = [s for s in forest.states if s.is_start]
+        assert len(starts) == 1  # the prefix (start state) is shared
+
+    def test_non_consuming_suffixes_merge(self):
+        """With identical loop edges (θf = true) the middle state is shared
+        and accumulates both forward edges — the Fig. 7(c) merge."""
+
+        def automaton(end_const, query_id):
+            return sequence_automaton(
+                "S",
+                SCHEMA,
+                Comparison(right("a"), "==", lit(1)),
+                "T",
+                SCHEMA,
+                conjunction(
+                    [DurationWithin(5), Comparison(right("a"), "==", lit(end_const))]
+                ),
+                query_id=query_id,
+                consume_on_match=False,
+            )
+
+        forest = Forest()
+        forest.add(automaton(2, "q1"))
+        forest.add(automaton(3, "q2"))
+        middles = [
+            s for s in forest.states if not s.is_final and not s.is_start
+        ]
+        assert len(middles) == 1
+        assert len(middles[0].forwards) == 2  # Fig. 7(c): both θ edges
+
+    def test_different_prefix_not_shared(self):
+        forest = Forest()
+        forest.add(w1_automaton(1, 2, 5, "q1"))
+        forest.add(w1_automaton(9, 2, 5, "q2"))  # different θ1
+        middles = [
+            s for s in forest.states if not s.is_final and not s.is_start
+        ]
+        assert len(middles) == 2
+
+    def test_merge_disabled(self):
+        forest = Forest(merge=False)
+        forest.add(w1_automaton(1, 2, 5, "q1"))
+        forest.add(w1_automaton(1, 2, 5, "q2"))
+        starts = [s for s in forest.states if s.is_start]
+        assert len(starts) == 2
+
+
+class TestEngineExecution:
+    def events(self, rows):
+        """rows: (stream, ts, a, b)."""
+        return [
+            (stream, StreamTuple(SCHEMA, (a, b), ts)) for stream, ts, a, b in rows
+        ]
+
+    def engine_with(self, *automata, **flags):
+        engine = AutomatonEngine(**flags)
+        engine.declare_stream("S", SCHEMA)
+        engine.declare_stream("T", SCHEMA)
+        for automaton in automata:
+            engine.add(automaton)
+        return engine
+
+    def test_basic_match(self):
+        engine = self.engine_with(w1_automaton(1, 2, 10, "q"))
+        outputs = []
+        for stream, event in self.events([("S", 0, 1, 5), ("T", 1, 2, 6)]):
+            engine.process(stream, event, outputs)
+        assert len(outputs) == 1
+        query_id, output = outputs[0]
+        assert query_id == "q"
+        assert output.as_dict() == {"s_a": 1, "s_b": 5, "a": 2, "b": 6}
+
+    def test_window_enforced(self):
+        engine = self.engine_with(w1_automaton(1, 2, 3, "q"))
+        outputs = []
+        for stream, event in self.events([("S", 0, 1, 5), ("T", 10, 2, 6)]):
+            engine.process(stream, event, outputs)
+        assert outputs == []
+
+    def test_consume_on_match(self):
+        engine = self.engine_with(w1_automaton(1, 2, 50, "q"))
+        outputs = []
+        rows = [("S", 0, 1, 5), ("T", 1, 2, 6), ("T", 2, 2, 7)]
+        for stream, event in self.events(rows):
+            engine.process(stream, event, outputs)
+        assert len(outputs) == 1
+
+    def test_same_event_cannot_spawn_and_match(self):
+        """Two-phase commit: an instance never reacts to its own event."""
+        automaton = sequence_automaton(
+            "S",
+            SCHEMA,
+            TruePredicate(),
+            "S",  # same stream on both steps
+            SCHEMA,
+            TruePredicate(),
+            query_id="q",
+        )
+        engine = AutomatonEngine()
+        engine.declare_stream("S", SCHEMA)
+        engine.add(automaton)
+        outputs = []
+        engine.process("S", StreamTuple(SCHEMA, (1, 1), 0), outputs)
+        assert outputs == []  # the first event only spawns
+        engine.process("S", StreamTuple(SCHEMA, (2, 2), 1), outputs)
+        assert len(outputs) >= 1
+
+    def test_undeclared_stream_raises(self):
+        engine = AutomatonEngine()
+        engine.declare_stream("S", SCHEMA)
+        engine.add(w1_automaton(1, 2, 5, "q"))
+        with pytest.raises(AutomatonError, match="not declared"):
+            engine.freeze()
+
+    def test_reset_clears_state(self):
+        engine = self.engine_with(w1_automaton(1, 2, 50, "q"))
+        outputs = []
+        engine.process("S", StreamTuple(SCHEMA, (1, 5), 0), outputs)
+        assert engine.instance_count == 1
+        engine.reset()
+        assert engine.instance_count == 0
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            {},
+            {"use_fr_index": False},
+            {"use_an_index": False},
+            {"use_ai_index": False},
+            {"use_fr_index": False, "use_an_index": False, "use_ai_index": False},
+            {"merge_prefixes": False},
+        ],
+    )
+    def test_index_and_merge_ablations_equivalent(self, flags):
+        """Indexes and merging are performance features, not semantics."""
+        import random
+
+        rng = random.Random(5)
+        rows = [
+            (("S" if i % 2 == 0 else "T"), i, rng.randrange(4), rng.randrange(6))
+            for i in range(300)
+        ]
+        automata = [w1_automaton(c % 3, (c + 1) % 3, 10 + c, f"q{c}") for c in range(6)]
+        baseline = self.engine_with(*automata)
+        baseline.run(iter(self.events(rows)), capture_outputs=True)
+        variant = self.engine_with(*automata, **flags)
+        variant.run(iter(self.events(rows)), capture_outputs=True)
+        normalize = lambda captured: {
+            q: sorted((t.ts, tuple(t.values)) for t in ts)
+            for q, ts in captured.items()
+        }
+        assert normalize(baseline.captured) == normalize(variant.captured)
+
+    def test_mu_automaton_ramp(self):
+        correlation = Comparison(left("a"), "==", right("a"))
+        increasing = Comparison(right("b"), ">", last("b"))
+        automaton = iterate_automaton(
+            "S",
+            SCHEMA,
+            TruePredicate(),
+            "T",
+            SCHEMA,
+            conjunction([correlation, increasing]),
+            conjunction([correlation, increasing]),
+            query_id="q",
+        )
+        engine = self.engine_with(automaton)
+        outputs = []
+        rows = [
+            ("S", 0, 1, 10),
+            ("T", 1, 1, 12),
+            ("T", 2, 1, 15),
+            ("T", 3, 1, 3),   # breaks the run
+            ("T", 4, 1, 99),  # no instance left
+        ]
+        for stream, event in self.events(rows):
+            engine.process(stream, event, outputs)
+        assert [output["b"] for __, output in outputs] == [12, 15]

@@ -1,0 +1,109 @@
+"""Unit tests for the benchmark harness and a micro figure-driver smoke run."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchScale,
+    Series,
+    measure_cayuga,
+    measure_rumor,
+    normalize,
+    render_table,
+)
+from repro.workloads.templates import (
+    Workload1,
+    WorkloadParameters,
+    sources_from_events,
+)
+
+
+class TestSeries:
+    def test_add(self):
+        series = Series("x")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        assert series.xs == [1, 2]
+        assert series.ys == [10.0, 20.0]
+
+    def test_normalize_by_max(self):
+        series = Series("x", [1, 2, 3], [5.0, 10.0, 2.5])
+        normalized = normalize(series)
+        assert normalized.ys == [0.5, 1.0, 0.25]
+
+    def test_normalize_empty(self):
+        assert normalize(Series("x")).ys == []
+
+    def test_normalize_zero_peak(self):
+        series = Series("x", [1], [0.0])
+        assert normalize(series).ys == [0.0]
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table("Title", ["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = render_table("T", ["col"], [])
+        assert "col" in text
+
+
+class TestScales:
+    def test_small_vs_full(self):
+        small, full = BenchScale.small(), BenchScale.full()
+        assert full.events > small.events
+        assert full.name == "full"
+
+
+class TestMeasurement:
+    def test_measure_rumor_repeats_merge(self):
+        workload = Workload1(WorkloadParameters(num_queries=5))
+        events = workload.events(300)
+        plan, name_map = workload.rumor_plan()
+        stats = measure_rumor(
+            plan,
+            lambda: sources_from_events(plan, name_map, events),
+            repeats=2,
+        )
+        assert stats.input_events == 600  # two repeats merged
+
+    def test_measure_cayuga(self):
+        workload = Workload1(WorkloadParameters(num_queries=5))
+        events = workload.events(300)
+        stats = measure_cayuga(workload.automaton_engine, events)
+        assert stats.input_events == 300
+
+
+class TestFigureDrivers:
+    """Micro-scale smoke runs: every driver produces a well-formed result."""
+
+    @pytest.fixture
+    def micro_scale(self):
+        return BenchScale(name="micro", events=200, rounds=20, hybrid_seconds=10)
+
+    @pytest.mark.parametrize("figure", ["9a", "9b", "9d", "10a", "10c", "10d"])
+    def test_driver_produces_rows(self, figure, micro_scale):
+        from repro.bench.figures import run_figure
+
+        result = run_figure(figure, micro_scale)
+        assert result.rows
+        assert len(result.columns) == len(result.rows[0])
+        assert figure.lstrip("fig")[0] in result.figure
+        rendered = result.render()
+        assert "Figure" in rendered
+
+    def test_unknown_figure_rejected(self, micro_scale):
+        from repro.bench.figures import run_figure
+
+        with pytest.raises(SystemExit):
+            run_figure("99z", micro_scale)
+
+    def test_normalized_series_bounded(self, micro_scale):
+        from repro.bench.figures import run_figure
+
+        result = run_figure("9a", micro_scale)
+        for series in result.series:
+            assert all(0.0 <= y <= 1.0 for y in series.ys)

@@ -1,0 +1,227 @@
+"""Edge-case tests for the channel m-ops: partial membership, fragments.
+
+The equivalence suite feeds the paper's optimistic pattern (every channel
+tuple belongs to all streams); these tests exercise the general case —
+tuples belonging to arbitrary subsets — where fragment bookkeeping and mask
+translation actually earn their keep.
+"""
+
+import pytest
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.core.rules import (
+    ChannelSelectionRule,
+    ChannelSequenceRule,
+    FragmentAggregateRule,
+    PrecisionJoinRule,
+)
+from repro.engine.executor import StreamEngine
+from repro.mops.masking import MaskTranslator
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.expressions import attr, left, lit, right
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.predicates import Comparison, DurationWithin, conjunction
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.operators.window import TimeWindow
+from repro.streams.channel import ChannelTuple
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+def channel_plan(consumer_factory, count=3, rules=None):
+    """count sharable sources -> same-definition consumers, optimized."""
+    plan = QueryPlan()
+    sources = [
+        plan.add_source(f"S{i}", SCHEMA, sharable_label="s") for i in range(count)
+    ]
+    for i, source in enumerate(sources):
+        out = plan.add_operator(consumer_factory(), [source], query_id=f"q{i}")
+        plan.mark_output(out, f"q{i}")
+    Optimizer(rules).optimize(plan)
+    return plan, sources
+
+
+def run_masked(plan, sources, masked_tuples):
+    """masked_tuples: (mask, values, ts). Feeds one channel source."""
+    channel = plan.channel_of(sources[0])
+    engine = StreamEngine(plan, capture_outputs=True)
+    for mask, values, ts in masked_tuples:
+        engine.process(channel, ChannelTuple(StreamTuple(SCHEMA, values, ts), mask))
+    return engine.captured
+
+
+class TestChannelSelectionPartialMasks:
+    def test_membership_respected(self):
+        plan, sources = channel_plan(
+            lambda: Selection(Comparison(attr("a"), "==", lit(1))),
+            rules=[ChannelSelectionRule()],
+        )
+        captured = run_masked(
+            plan,
+            sources,
+            [
+                (0b001, (1, 0), 0),  # only q0's stream
+                (0b110, (1, 0), 1),  # q1 and q2
+                (0b111, (0, 0), 2),  # fails the predicate entirely
+            ],
+        )
+        assert len(captured.get("q0", [])) == 1
+        assert len(captured.get("q1", [])) == 1
+        assert len(captured.get("q2", [])) == 1
+        assert captured["q1"][0].ts == 1
+
+
+class TestFragmentAggregatePartialMasks:
+    def test_per_query_windows_see_only_their_tuples(self):
+        plan, sources = channel_plan(
+            lambda: SlidingWindowAggregate("sum", "b", TimeWindow(100), (), "s"),
+            count=2,
+            rules=[FragmentAggregateRule()],
+        )
+        captured = run_masked(
+            plan,
+            sources,
+            [
+                (0b01, (0, 10), 0),  # only q0
+                (0b10, (0, 5), 1),   # only q1
+                (0b11, (0, 1), 2),   # both
+            ],
+        )
+        q0 = [t["s"] for t in captured["q0"]]
+        q1 = [t["s"] for t in captured["q1"]]
+        assert q0 == [10, 11]       # emits at ts 0 and ts 2
+        assert q1 == [5, 6]         # emits at ts 1 and ts 2
+
+    def test_fragment_expiry(self):
+        plan, sources = channel_plan(
+            lambda: SlidingWindowAggregate("sum", "b", TimeWindow(2), (), "s"),
+            count=2,
+            rules=[FragmentAggregateRule()],
+        )
+        captured = run_masked(
+            plan,
+            sources,
+            [
+                (0b01, (0, 10), 0),
+                (0b11, (0, 1), 10),  # the ts=0 tuple has long expired
+            ],
+        )
+        assert [t["s"] for t in captured["q0"]] == [10, 1]
+
+    def test_shared_value_single_emission(self):
+        """Queries with identical fragment views share one channel tuple."""
+        plan, sources = channel_plan(
+            lambda: SlidingWindowAggregate("sum", "b", TimeWindow(100), (), "s"),
+            count=3,
+            rules=[FragmentAggregateRule()],
+        )
+        channel = plan.channel_of(sources[0])
+        engine = StreamEngine(plan)
+        stats = engine.process(
+            channel, ChannelTuple(StreamTuple(SCHEMA, (0, 4), 0), 0b111)
+        )
+        # one physical output tuple decodes to three logical outputs
+        assert stats.output_events == 3
+        assert stats.physical_events == 2  # the input tuple + one output
+
+
+class TestChannelSequencePartialMasks:
+    def test_instance_mask_propagates(self):
+        correlation = Comparison(left("a"), "==", right("a"))
+
+        def build():
+            plan = QueryPlan()
+            sources = [
+                plan.add_source(f"S{i}", SCHEMA, sharable_label="s")
+                for i in range(2)
+            ]
+            t = plan.add_source("T", SCHEMA)
+            for i, source in enumerate(sources):
+                out = plan.add_operator(
+                    Sequence(conjunction([DurationWithin(50), correlation])),
+                    [source, t],
+                    query_id=f"q{i}",
+                )
+                plan.mark_output(out, f"q{i}")
+            Optimizer([ChannelSequenceRule()]).optimize(plan)
+            return plan, sources, t
+
+        plan, sources, t = build()
+        channel = plan.channel_of(sources[0])
+        t_channel = plan.channel_of(t)
+        engine = StreamEngine(plan, capture_outputs=True)
+        # instance belongs only to q1
+        engine.process(channel, ChannelTuple(StreamTuple(SCHEMA, (5, 0), 0), 0b10))
+        engine.process(
+            t_channel, ChannelTuple(StreamTuple(SCHEMA, (5, 1), 1), 1)
+        )
+        assert "q0" not in engine.captured
+        assert len(engine.captured["q1"]) == 1
+
+
+class TestPrecisionJoinMasks:
+    def test_pair_ownership_exact(self):
+        """A pair is owned by query k iff both sides belong to k's streams."""
+        plan = QueryPlan()
+        lefts = [
+            plan.add_source(f"L{i}", SCHEMA, sharable_label="l") for i in range(2)
+        ]
+        rights = [
+            plan.add_source(f"R{i}", SCHEMA, sharable_label="r") for i in range(2)
+        ]
+        predicate = Comparison(left("a"), "==", right("a"))
+        for i in range(2):
+            out = plan.add_operator(
+                SlidingWindowJoin(predicate, TimeWindow(50)),
+                [lefts[i], rights[i]],
+                query_id=f"q{i}",
+            )
+            plan.mark_output(out, f"q{i}")
+        Optimizer([PrecisionJoinRule()]).optimize(plan)
+        left_channel = plan.channel_of(lefts[0])
+        right_channel = plan.channel_of(rights[0])
+        assert left_channel.capacity == 2
+        assert right_channel.capacity == 2
+
+        engine = StreamEngine(plan, capture_outputs=True)
+        # left tuple belongs to q0 only; right tuple to both
+        engine.process(
+            left_channel, ChannelTuple(StreamTuple(SCHEMA, (7, 0), 0), 0b01)
+        )
+        engine.process(
+            right_channel, ChannelTuple(StreamTuple(SCHEMA, (7, 1), 1), 0b11)
+        )
+        assert len(engine.captured.get("q0", [])) == 1
+        assert "q1" not in engine.captured
+
+
+class TestMaskTranslator:
+    def test_translation_table(self):
+        plan = QueryPlan()
+        sources = [
+            plan.add_source(f"S{i}", SCHEMA, sharable_label="s") for i in range(3)
+        ]
+        for i, source in enumerate(sources):
+            out = plan.add_operator(
+                Selection(Comparison(attr("a"), "==", lit(1))), [source],
+                query_id=f"q{i}",
+            )
+            plan.mark_output(out, f"q{i}")
+        Optimizer([ChannelSelectionRule()]).optimize(plan)
+        mop = plan.mops[0]
+        from repro.core.mop import OutputCollector
+
+        collector = OutputCollector(plan, mop.output_streams)
+        translator = MaskTranslator(
+            plan.channel_of(sources[0]), mop.instances, collector
+        )
+        assert translator.consumed_mask == 0b111
+        translated = translator.translate(0b101)
+        assert len(translated) == 1
+        __, out_mask = translated[0]
+        assert out_mask.bit_count() == 2

@@ -1,0 +1,93 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, build_plan, load_queries, main
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "queries.rql"
+    path.write_text(
+        """
+# comment line
+alerts: FROM S WHERE a0 == 1
+---
+FROM S AGG sum(a1) OVER 10 AS total
+---
+
+---
+pattern: FROM S SEQ T MATCHING WITHIN 5 AND right.a0 == 2
+"""
+    )
+    return str(path)
+
+
+class TestLoadQueries:
+    def test_blocks_and_names(self, query_file):
+        queries = load_queries(query_file)
+        names = [name for name, __ in queries]
+        assert names == ["alerts", "q1", "pattern"]
+
+    def test_comments_stripped(self, query_file):
+        queries = load_queries(query_file)
+        assert "comment" not in queries[0][1]
+
+    def test_empty_blocks_skipped(self, query_file):
+        assert len(load_queries(query_file)) == 3
+
+
+class TestBuildPlan:
+    def test_compiles_all_queries(self, query_file):
+        plan, streams = build_plan(load_queries(query_file))
+        query_ids = {q for qs in plan.sinks.values() for q in qs}
+        assert query_ids == {"alerts", "q1", "pattern"}
+        assert "S" in streams and "T" in streams
+
+
+class TestCommands:
+    def test_optimize_command(self, query_file, capsys):
+        assert main(["optimize", query_file]) == 0
+        output = capsys.readouterr().out
+        assert "naive plan" in output
+        assert "optimized plan" in output
+        assert "estimated cost" in output
+
+    def test_run_command(self, query_file, capsys):
+        assert main(["run", query_file, "--events", "500"]) == 0
+        output = capsys.readouterr().out
+        assert "RunStats" in output
+
+    def test_run_perfmon_source(self, tmp_path, capsys):
+        path = tmp_path / "q.rql"
+        path.write_text("load: FROM CPU WHERE load > 50")
+        assert main(["run", str(path), "--source", "perfmon", "--events", "600"]) == 0
+        assert "RunStats" in capsys.readouterr().out
+
+    def test_show_outputs(self, query_file, capsys):
+        assert (
+            main(["run", query_file, "--events", "300", "--show-outputs", "2"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "@" in output  # printed tuples carry timestamps
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["optimize", "/nonexistent/queries.rql"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.rql"
+        path.write_text("q: FROM S WHERE")
+        assert main(["optimize", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.rql"
+        path.write_text("\n# only comments\n")
+        assert main(["optimize", str(path)]) == 1
+
+    def test_parser_structure(self):
+        parser = build_parser()
+        args = parser.parse_args(["figures", "9a", "--full"])
+        assert args.figure == ["9a"]
+        assert args.full

@@ -1,0 +1,180 @@
+"""Tests for the §7 extensions: the cost model and the confluence checker."""
+
+import pytest
+
+from repro.core.confluence import check_confluence, plan_shape
+from repro.core.cost import CostModel, SelectivityEstimator, cheapest_plan
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.core.registry import default_rules
+from repro.operators.expressions import attr, left, lit, right
+from repro.operators.predicates import (
+    Comparison,
+    DurationWithin,
+    FalsePredicate,
+    Not,
+    Or,
+    TruePredicate,
+    conjunction,
+)
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.streams.schema import Schema
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+class TestSelectivityEstimator:
+    def test_equality(self):
+        estimator = SelectivityEstimator(domain_size=100)
+        assert estimator.selectivity(
+            Comparison(attr("a"), "==", lit(1))
+        ) == pytest.approx(0.01)
+
+    def test_conjunction_independence(self):
+        estimator = SelectivityEstimator(domain_size=10)
+        predicate = conjunction(
+            [
+                Comparison(attr("a"), "==", lit(1)),
+                Comparison(attr("b"), "==", lit(2)),
+            ]
+        )
+        assert estimator.selectivity(predicate) == pytest.approx(0.01)
+
+    def test_disjunction(self):
+        estimator = SelectivityEstimator(domain_size=10)
+        predicate = Or(
+            (
+                Comparison(attr("a"), "==", lit(1)),
+                Comparison(attr("a"), "==", lit(2)),
+            )
+        )
+        assert estimator.selectivity(predicate) == pytest.approx(0.19)
+
+    def test_negation_and_constants(self):
+        estimator = SelectivityEstimator()
+        assert estimator.selectivity(TruePredicate()) == 1.0
+        assert estimator.selectivity(FalsePredicate()) == 0.0
+        assert estimator.selectivity(Not(TruePredicate())) == 0.0
+        assert estimator.selectivity(DurationWithin(5)) == 1.0
+
+    def test_bounds(self):
+        estimator = SelectivityEstimator(domain_size=10)
+        for predicate in [
+            Comparison(attr("a"), "<", lit(5)),
+            Comparison(attr("a"), "!=", lit(5)),
+        ]:
+            assert 0.0 <= estimator.selectivity(predicate) <= 1.0
+
+
+def many_selections_plan(optimize_rules=None):
+    plan = QueryPlan()
+    source = plan.add_source("S", SCHEMA)
+    for c in range(8):
+        out = plan.add_operator(
+            Selection(Comparison(attr("a"), "==", lit(c))), [source],
+            query_id=f"q{c}",
+        )
+        plan.mark_output(out, f"q{c}")
+    if optimize_rules is not None:
+        Optimizer(optimize_rules).optimize(plan)
+    return plan
+
+
+class TestCostModel:
+    def test_optimized_plan_cheaper(self):
+        model = CostModel()
+        naive_cost = model.plan_cost(many_selections_plan())
+        optimized_cost = model.plan_cost(many_selections_plan(default_rules()))
+        assert optimized_cost < naive_cost
+
+    def test_cost_scales_with_queries(self):
+        model = CostModel()
+
+        def plan_with(n):
+            plan = QueryPlan()
+            source = plan.add_source("S", SCHEMA)
+            for c in range(n):
+                plan.add_operator(
+                    Selection(Comparison(attr("a"), ">", lit(c))), [source]
+                )
+            return plan
+
+        assert model.plan_cost(plan_with(8)) > model.plan_cost(plan_with(2))
+
+    def test_channel_plan_cheaper_for_shared_definitions(self):
+        from repro.workloads.templates import Workload3, WorkloadParameters
+
+        workload = Workload3(WorkloadParameters(num_queries=30), capacity=6)
+        model = CostModel()
+        channel_plan, __ = workload.rumor_plan(channels=True)
+        plain_plan, __ = workload.rumor_plan(channels=False)
+        assert model.plan_cost(channel_plan) < model.plan_cost(plain_plan)
+
+    def test_compare_sign(self):
+        model = CostModel()
+        naive = many_selections_plan()
+        optimized = many_selections_plan(default_rules())
+        assert model.compare(optimized, naive) < 0
+        assert model.compare(naive, optimized) > 0
+
+    def test_cheapest_plan_selects_minimum(self):
+        plan, cost, index = cheapest_plan(
+            [
+                lambda: many_selections_plan(),
+                lambda: many_selections_plan(default_rules()),
+            ]
+        )
+        assert index == 1
+        assert cost > 0
+
+    def test_cheapest_plan_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cheapest_plan([])
+
+
+class TestConfluence:
+    def _event_plan(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        for c in range(4):
+            selected = plan.add_operator(
+                Selection(Comparison(attr("a"), "==", lit(c % 2))), [s],
+                query_id=f"q{c}",
+            )
+            out = plan.add_operator(
+                Sequence(
+                    conjunction(
+                        [DurationWithin(5), Comparison(right("a"), "==", lit(c))]
+                    )
+                ),
+                [selected, t],
+                query_id=f"q{c}",
+            )
+            plan.mark_output(out, f"q{c}")
+        return plan
+
+    def test_plan_shape_insensitive_to_mop_order(self):
+        first = self._event_plan()
+        second = self._event_plan()
+        Optimizer().optimize(first)
+        Optimizer().optimize(second)
+        assert plan_shape(first) == plan_shape(second)
+
+    def test_priorities_pin_unique_outcome(self):
+        report = check_confluence(
+            self._event_plan,
+            default_rules(),
+            max_orders=6,
+            respect_priorities=True,
+        )
+        assert report.confluent
+        assert report.orders_tried == 6
+
+    def test_report_rendering(self):
+        report = check_confluence(
+            self._event_plan, default_rules(), max_orders=2,
+            respect_priorities=True,
+        )
+        assert "confluent" in str(report)

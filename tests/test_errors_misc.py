@@ -1,0 +1,176 @@
+"""Tests for the error hierarchy and assorted small behaviours."""
+
+import pytest
+
+from repro.errors import (
+    AutomatonError,
+    ChannelError,
+    ExpressionError,
+    OperatorError,
+    ParseError,
+    PlanError,
+    QueryLanguageError,
+    RuleError,
+    RumorError,
+    SchemaError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            SchemaError,
+            ChannelError,
+            PlanError,
+            RuleError,
+            OperatorError,
+            ExpressionError,
+            QueryLanguageError,
+            ParseError,
+            AutomatonError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_rumor_error(self, error_type):
+        instance = (
+            error_type("boom") if error_type is not ParseError else ParseError("boom")
+        )
+        assert isinstance(instance, RumorError)
+
+    def test_expression_error_is_operator_error(self):
+        assert issubclass(ExpressionError, OperatorError)
+
+    def test_parse_error_is_language_error(self):
+        assert issubclass(ParseError, QueryLanguageError)
+
+
+class TestParseErrorContext:
+    def test_position_snippet(self):
+        error = ParseError("bad token", position=10, text="FROM S WHERE $$$ == 1")
+        assert "position 10" in str(error)
+        assert error.position == 10
+
+    def test_without_position(self):
+        error = ParseError("generic")
+        assert str(error) == "generic"
+        assert error.position == -1
+
+    def test_catchable_as_base(self):
+        with pytest.raises(RumorError):
+            raise ParseError("x", 0, "y")
+
+
+class TestSharedWindowHelpers:
+    def test_strip_duration(self):
+        from repro.mops.shared_window_sequence import strip_duration
+        from repro.operators.expressions import left, right
+        from repro.operators.predicates import (
+            Comparison,
+            DurationWithin,
+            conjunction,
+        )
+
+        predicate = conjunction(
+            [DurationWithin(7), Comparison(left("a"), "==", right("a"))]
+        )
+        stripped, window = strip_duration(predicate)
+        assert window == 7
+        assert "DUR" not in repr(stripped)
+
+    def test_strip_duration_none(self):
+        from repro.mops.shared_window_sequence import strip_duration
+        from repro.operators.predicates import TruePredicate
+
+        stripped, window = strip_duration(TruePredicate())
+        assert window is None
+
+    def test_window_free_definition_rejects_consuming_sequence(self):
+        from repro.mops.shared_window_sequence import window_free_definition
+        from repro.operators.predicates import TruePredicate
+        from repro.operators.sequence import Sequence
+
+        assert window_free_definition(Sequence(TruePredicate())) is None
+        assert (
+            window_free_definition(Sequence(TruePredicate(), consume_on_match=False))
+            is not None
+        )
+
+    def test_window_free_definition_iterate(self):
+        from repro.mops.shared_window_sequence import window_free_definition
+        from repro.operators.iterate import Iterate
+        from repro.operators.predicates import DurationWithin, TruePredicate
+
+        first = Iterate(DurationWithin(5), TruePredicate())
+        second = Iterate(DurationWithin(500), TruePredicate())
+        assert window_free_definition(first) == window_free_definition(second)
+
+    def test_effective_window(self):
+        from repro.mops.shared_window_sequence import effective_window
+        from repro.operators.predicates import DurationWithin, TruePredicate
+        from repro.operators.sequence import Sequence
+
+        assert effective_window(Sequence(DurationWithin(9))) == 9
+        assert effective_window(Sequence(TruePredicate())) is None
+
+
+class TestNaiveDecode:
+    """The naive m-op's decoding step on multi-stream channels (§3.1)."""
+
+    def test_only_member_instances_fire(self):
+        from repro.core.optimizer import Optimizer
+        from repro.core.plan import QueryPlan
+        from repro.core.rules import CseRule  # no-op here; keep plan naive
+        from repro.engine.executor import StreamEngine
+        from repro.operators.expressions import attr, lit
+        from repro.operators.predicates import Comparison
+        from repro.operators.select import Selection
+        from repro.streams.channel import ChannelTuple
+        from repro.streams.schema import Schema
+        from repro.streams.tuples import StreamTuple
+
+        schema = Schema.of_ints("a")
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", schema, sharable_label="s")
+        s2 = plan.add_source("S2", schema, sharable_label="s")
+        channel = plan.channelize([s1, s2])
+        # different predicates: stays a pair of naive m-ops on one channel
+        out1 = plan.add_operator(
+            Selection(Comparison(attr("a"), ">", lit(0))), [s1], query_id="q1"
+        )
+        out2 = plan.add_operator(
+            Selection(Comparison(attr("a"), ">", lit(0))), [s2], query_id="q2"
+        )
+        plan.mark_output(out1, "q1")
+        plan.mark_output(out2, "q2")
+        engine = StreamEngine(plan, capture_outputs=True)
+        # tuple belongs only to S2: q1 must not fire
+        engine.process(channel, ChannelTuple(StreamTuple(schema, (5,), 0), 0b10))
+        assert "q1" not in engine.captured
+        assert len(engine.captured["q2"]) == 1
+
+    def test_binary_instance_both_inputs_same_channel(self):
+        from repro.engine.executor import StreamEngine
+        from repro.core.plan import QueryPlan
+        from repro.operators.predicates import TruePredicate
+        from repro.operators.sequence import Sequence
+        from repro.streams.channel import ChannelTuple
+        from repro.streams.schema import Schema
+        from repro.streams.tuples import StreamTuple
+
+        schema = Schema.of_ints("a")
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", schema, sharable_label="s")
+        s2 = plan.add_source("S2", schema, sharable_label="s")
+        channel = plan.channelize([s1, s2])
+        out = plan.add_operator(
+            Sequence(TruePredicate()), [s1, s2], query_id="q"
+        )
+        plan.mark_output(out, "q")
+        engine = StreamEngine(plan, capture_outputs=True)
+        # a tuple of S1 opens an instance; a later S2 tuple matches it
+        engine.process(channel, ChannelTuple(StreamTuple(schema, (1,), 0), 0b01))
+        engine.process(channel, ChannelTuple(StreamTuple(schema, (2,), 1), 0b10))
+        assert len(engine.captured["q"]) == 1
+        assert engine.captured["q"][0].values == (1, 2)

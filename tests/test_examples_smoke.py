@@ -1,0 +1,38 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The two long-running demos (performance_monitoring, event_patterns) are
+exercised by the integration suite through the same code paths; here we run
+the quick ones as actual scripts so the README instructions stay honest.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    output = run_example("quickstart.py", capsys)
+    assert "naive plan" in output
+    assert "after optimization" in output
+    assert "q1:" in output and "q4:" in output
+
+
+def test_cost_based_optimization(capsys):
+    output = run_example("cost_based_optimization.py", capsys)
+    assert "chose WITH channels" in output
+    assert "confluent" in output
+
+
+def test_shared_aggregation(capsys):
+    output = run_example("shared_aggregation.py", capsys)
+    assert "by_region_1m" in output
+    assert "region3_avg" in output

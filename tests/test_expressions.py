@@ -1,0 +1,144 @@
+"""Unit tests for scalar expressions."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.operators.expressions import (
+    Arith,
+    AttrRef,
+    LAST,
+    LEFT,
+    Literal,
+    RIGHT,
+    Udf,
+    attr,
+    last,
+    left,
+    lit,
+    right,
+)
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_ints("a", "b")
+
+
+@pytest.fixture
+def tuples(schema):
+    return (
+        StreamTuple(schema, (1, 2), 10),
+        StreamTuple(schema, (3, 4), 20),
+        StreamTuple(schema, (5, 6), 15),
+    )
+
+
+class TestLiteral:
+    def test_compile(self, schema, tuples):
+        assert Literal(42).compile(schema)(*tuples) == 42
+
+    def test_no_references(self):
+        assert Literal(1).references() == frozenset()
+
+    def test_types(self, schema):
+        assert Literal(1).result_type(schema) == "int"
+        assert Literal(1.5).result_type(schema) == "float"
+        assert Literal("x").result_type(schema) == "str"
+
+
+class TestAttrRef:
+    def test_left(self, schema, tuples):
+        assert AttrRef(LEFT, "a").compile(schema, schema)(*tuples) == 1
+
+    def test_right(self, schema, tuples):
+        assert AttrRef(RIGHT, "b").compile(schema, schema)(*tuples) == 4
+
+    def test_last(self, schema, tuples):
+        assert AttrRef(LAST, "a").compile(schema, schema)(*tuples) == 5
+
+    def test_last_defaults_to_right_schema(self, schema, tuples):
+        # no explicit last schema: shaped like the right input
+        compiled = AttrRef(LAST, "b").compile(schema, schema)
+        assert compiled(*tuples) == 6
+
+    def test_timestamp_access(self, schema, tuples):
+        assert AttrRef(LEFT, "ts").compile(schema, schema)(*tuples) == 10
+        assert AttrRef(RIGHT, "ts").compile(schema, schema)(*tuples) == 20
+        assert AttrRef(LAST, "ts").compile(schema, schema)(*tuples) == 15
+
+    def test_invalid_side(self):
+        with pytest.raises(ExpressionError):
+            AttrRef(9, "a")
+
+    def test_missing_schema_for_side(self, schema):
+        with pytest.raises(ExpressionError, match="no schema"):
+            AttrRef(RIGHT, "a").compile(schema)
+
+    def test_references(self):
+        assert AttrRef(LEFT, "a").references() == frozenset({(LEFT, "a")})
+
+    def test_shorthands(self):
+        assert attr("x") == AttrRef(LEFT, "x")
+        assert left("x") == AttrRef(LEFT, "x")
+        assert right("x") == AttrRef(RIGHT, "x")
+        assert last("x") == AttrRef(LAST, "x")
+        assert lit(3) == Literal(3)
+
+
+class TestArith:
+    def test_operations(self, schema, tuples):
+        l, r, x = tuples
+        cases = {
+            "+": 1 + 4,
+            "-": 1 - 4,
+            "*": 1 * 4,
+            "/": 1 / 4,
+            "%": 1 % 4,
+        }
+        for op, expected in cases.items():
+            expression = Arith(AttrRef(LEFT, "a"), op, AttrRef(RIGHT, "b"))
+            assert expression.compile(schema, schema)(l, r, x) == expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Arith(Literal(1), "**", Literal(2))
+
+    def test_operator_sugar(self, schema, tuples):
+        expression = attr("a") + 1
+        assert expression.compile(schema)(*tuples) == 2
+        expression = attr("a") * attr("b")
+        assert expression.compile(schema)(*tuples) == 2
+
+    def test_division_is_float(self, schema):
+        assert Arith(attr("a"), "/", lit(2)).result_type(schema) == "float"
+
+    def test_references_union(self):
+        expression = Arith(attr("a"), "+", right("b"))
+        assert expression.references() == frozenset({(LEFT, "a"), (RIGHT, "b")})
+
+
+class TestUdf:
+    def test_registered_udf(self, schema, tuples):
+        Udf.register("double", lambda v: v * 2)
+        expression = Udf("double", (attr("a"),))
+        assert expression.compile(schema)(*tuples) == 2
+
+    def test_unregistered_udf(self, schema):
+        expression = Udf("nope_missing", (attr("a"),))
+        with pytest.raises(ExpressionError, match="not registered"):
+            expression.compile(schema)
+
+    def test_declared_type(self, schema):
+        assert Udf("f", (), type="float").result_type(schema) == "float"
+
+
+class TestStructuralEquality:
+    def test_equal_expressions(self):
+        assert (attr("a") + 1) == (attr("a") + 1)
+        assert hash(attr("a") + 1) == hash(attr("a") + 1)
+
+    def test_different_expressions(self):
+        assert (attr("a") + 1) != (attr("a") + 2)
+        assert attr("a") != right("a")

@@ -1,0 +1,90 @@
+"""Unit tests for the instance store backing ``;`` / ``µ`` / automata."""
+
+from repro.operators.instances import Instance, InstanceStore
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("k")
+
+
+def make_instance(ts, key=None, mask=1):
+    return Instance(StreamTuple(SCHEMA, (key or 0,), ts), key=key, mask=mask)
+
+
+class TestUnindexedStore:
+    def test_insert_and_scan(self):
+        store = InstanceStore(indexed=False)
+        first, second = make_instance(0), make_instance(1)
+        store.insert(first)
+        store.insert(second)
+        assert list(store.scan()) == [first, second]
+        assert len(store) == 2
+
+    def test_kill_removes_from_scan(self):
+        store = InstanceStore(indexed=False)
+        first, second = make_instance(0), make_instance(1)
+        store.insert(first)
+        store.insert(second)
+        store.kill(first)
+        assert list(store.scan()) == [second]
+        assert len(store) == 1
+
+    def test_double_kill_counts_once(self):
+        store = InstanceStore(indexed=False)
+        instance = make_instance(0)
+        store.insert(instance)
+        store.kill(instance)
+        store.kill(instance)
+        assert len(store) == 0
+
+    def test_expire_by_start_ts(self):
+        store = InstanceStore(indexed=False)
+        old, new = make_instance(0), make_instance(10)
+        store.insert(old)
+        store.insert(new)
+        store.expire(5)
+        assert list(store.scan()) == [new]
+        assert not old.alive
+
+
+class TestIndexedStore:
+    def test_probe_by_key(self):
+        store = InstanceStore(indexed=True)
+        a = make_instance(0, key=1)
+        b = make_instance(1, key=2)
+        store.insert(a)
+        store.insert(b)
+        assert list(store.probe(1)) == [a]
+        assert list(store.probe(2)) == [b]
+        assert list(store.probe(3)) == []
+
+    def test_probe_skips_dead(self):
+        store = InstanceStore(indexed=True)
+        a = make_instance(0, key=1)
+        b = make_instance(1, key=1)
+        store.insert(a)
+        store.insert(b)
+        store.kill(a)
+        assert list(store.probe(1)) == [b]
+
+    def test_expired_instances_not_probed(self):
+        store = InstanceStore(indexed=True)
+        old = make_instance(0, key=1)
+        new = make_instance(10, key=1)
+        store.insert(old)
+        store.insert(new)
+        store.expire(5)
+        assert list(store.probe(1)) == [new]
+
+    def test_empty_bucket_cleaned_on_probe(self):
+        store = InstanceStore(indexed=True)
+        a = make_instance(0, key=1)
+        store.insert(a)
+        store.kill(a)
+        assert list(store.probe(1)) == []
+        # second probe takes the fast path (bucket removed)
+        assert list(store.probe(1)) == []
+
+    def test_mask_carried(self):
+        instance = make_instance(0, key=1, mask=0b101)
+        assert instance.mask == 0b101

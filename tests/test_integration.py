@@ -1,0 +1,257 @@
+"""Integration tests: full-pipeline equivalence across engines and rule sets.
+
+These are the paper's core correctness claims exercised end to end:
+
+1. the optimized multi-query plan is input/output-equivalent to the naive
+   plan (m-op semantics, §2.2) — checked on every workload template and on
+   randomized mixed workloads;
+2. the RUMOR plan is equivalent to the Cayuga automaton engine on event
+   workloads (§4.2–§4.3 translation claims);
+3. channel plans are equivalent to channel-free plans (§3, §4.4).
+"""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import run_plan_collect
+from repro.core.optimizer import Optimizer
+from repro.core.registry import default_rules
+from repro.engine.executor import StreamEngine
+from repro.workloads.perfmon import PerfmonDataset
+from repro.workloads.templates import (
+    HybridWorkload,
+    Workload1,
+    Workload2,
+    Workload3,
+    WorkloadParameters,
+    sources_from_events,
+)
+
+
+def _capture_automata(engine, events):
+    engine.run(iter(events), capture_outputs=True)
+    return {
+        query_id: Counter((t.ts, tuple(t.values)) for t in tuples)
+        for query_id, tuples in engine.captured.items()
+    }
+
+
+class TestWorkloadCrossEngine:
+    @pytest.mark.parametrize("queries", [1, 7, 40])
+    def test_workload1_rumor_equals_cayuga(self, queries):
+        workload = Workload1(WorkloadParameters(num_queries=queries), seed=3)
+        events = workload.events(3000)
+        plan, name_map = workload.rumor_plan()
+        rumor = run_plan_collect(plan, sources_from_events(plan, name_map, events))
+        cayuga = _capture_automata(workload.automaton_engine(), events)
+        assert rumor == cayuga
+
+    @pytest.mark.parametrize("variant", ["seq", "mu"])
+    def test_workload2_rumor_equals_cayuga(self, variant):
+        workload = Workload2(
+            WorkloadParameters(num_queries=25), variant=variant, seed=4
+        )
+        events = workload.events(2000)
+        plan, name_map = workload.rumor_plan()
+        rumor = run_plan_collect(plan, sources_from_events(plan, name_map, events))
+        cayuga = _capture_automata(workload.automaton_engine(), events)
+        assert rumor == cayuga
+
+    def test_workload1_unoptimized_equals_optimized(self):
+        workload = Workload1(WorkloadParameters(num_queries=20), seed=9)
+        events = workload.events(2000)
+        plan, name_map = workload.rumor_plan()
+        optimized = run_plan_collect(
+            plan, sources_from_events(plan, name_map, events)
+        )
+        # rumor_plan always optimizes; rebuild the same queries naively
+        naive_workload = Workload1(WorkloadParameters(num_queries=20), seed=9)
+        from repro.core.plan import QueryPlan
+        from repro.operators.expressions import attr, lit, right
+        from repro.operators.predicates import Comparison, DurationWithin, conjunction
+        from repro.operators.select import Selection
+        from repro.operators.sequence import Sequence
+
+        plan2 = QueryPlan()
+        s = plan2.add_source("S", naive_workload.schema)
+        t = plan2.add_source("T", naive_workload.schema)
+        for index in range(20):
+            qid = f"q{index}"
+            sel = plan2.add_operator(
+                Selection(
+                    Comparison(
+                        attr("a0"), "==", lit(naive_workload.theta1_constants[index])
+                    )
+                ),
+                [s],
+                query_id=qid,
+            )
+            seq = plan2.add_operator(
+                Sequence(
+                    conjunction(
+                        [
+                            DurationWithin(naive_workload.windows[index]),
+                            Comparison(
+                                right("a0"),
+                                "==",
+                                lit(naive_workload.theta3_constants[index]),
+                            ),
+                        ]
+                    )
+                ),
+                [sel, t],
+                query_id=qid,
+            )
+            plan2.mark_output(seq, qid)
+        naive = run_plan_collect(
+            plan2, sources_from_events(plan2, {"S": s, "T": t}, events)
+        )
+        assert naive == optimized
+
+
+class TestChannelEquivalence:
+    @pytest.mark.parametrize("variant", ["seq", "mu"])
+    def test_workload3_channel_vs_plain(self, variant):
+        workload = Workload3(
+            WorkloadParameters(num_queries=30), capacity=6, variant=variant, seed=8
+        )
+        rounds = workload.rounds(300)
+        results = []
+        for channels in (True, False):
+            plan, name_map = workload.rumor_plan(channels=channels)
+            results.append(
+                run_plan_collect(plan, workload.sources(plan, name_map, rounds))
+            )
+        assert results[0] == results[1]
+
+    @pytest.mark.parametrize("sel", [0.0, 0.3, 0.9])
+    def test_hybrid_channel_vs_plain(self, sel):
+        dataset = PerfmonDataset(processes=12, duration_seconds=200, seed=6)
+        workload = HybridWorkload(dataset, num_queries=6, sel=sel)
+        results = []
+        for channels in (True, False):
+            plan, name_map = workload.rumor_plan(channels=channels)
+            results.append(
+                run_plan_collect(plan, workload.sources(plan, name_map, 200))
+            )
+        assert results[0] == results[1]
+
+
+class TestRandomizedMixedWorkloads:
+    """Hypothesis-driven random multi-query plans: naive == fully optimized."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_random_event_workload_equivalence(self, seed):
+        from repro.core.plan import QueryPlan
+        from repro.operators.expressions import attr, last, left, lit, right
+        from repro.operators.iterate import Iterate
+        from repro.operators.predicates import (
+            Comparison,
+            DurationWithin,
+            conjunction,
+        )
+        from repro.operators.select import Selection
+        from repro.operators.sequence import Sequence
+        from repro.streams.schema import Schema
+        from repro.streams.sources import StreamSource
+        from repro.streams.tuples import StreamTuple
+
+        rng = random.Random(seed)
+        schema = Schema.numbered(2)
+
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", schema)
+            t = plan.add_source("T", schema)
+            rng_local = random.Random(seed)
+            for index in range(rng_local.randint(2, 8)):
+                qid = f"q{index}"
+                kind = rng_local.choice(["filter-seq", "seq", "mu"])
+                window = rng_local.choice([3, 9, 27])
+                if kind == "filter-seq":
+                    sel = plan.add_operator(
+                        Selection(
+                            Comparison(attr("a0"), "==", lit(rng_local.randrange(3)))
+                        ),
+                        [s],
+                        query_id=qid,
+                    )
+                    out = plan.add_operator(
+                        Sequence(
+                            conjunction(
+                                [
+                                    DurationWithin(window),
+                                    Comparison(
+                                        right("a0"), "==", lit(rng_local.randrange(3))
+                                    ),
+                                ]
+                            )
+                        ),
+                        [sel, t],
+                        query_id=qid,
+                    )
+                elif kind == "seq":
+                    out = plan.add_operator(
+                        Sequence(
+                            conjunction(
+                                [
+                                    DurationWithin(window),
+                                    Comparison(left("a0"), "==", right("a0")),
+                                ]
+                            )
+                        ),
+                        [s, t],
+                        query_id=qid,
+                    )
+                else:
+                    correlation = Comparison(left("a0"), "==", right("a0"))
+                    out = plan.add_operator(
+                        Iterate(
+                            conjunction([DurationWithin(window), correlation]),
+                            conjunction(
+                                [correlation, Comparison(right("a1"), ">", last("a1"))]
+                            ),
+                        ),
+                        [s, t],
+                        query_id=qid,
+                    )
+                plan.mark_output(out, qid)
+            return plan, (s, t)
+
+        def sources(plan, handles):
+            s, t = handles
+            rng_events = random.Random(seed + 1)
+            s_tuples = [
+                StreamTuple(
+                    schema,
+                    (rng_events.randrange(4), rng_events.randrange(4)),
+                    2 * i,
+                )
+                for i in range(150)
+            ]
+            t_tuples = [
+                StreamTuple(
+                    schema,
+                    (rng_events.randrange(4), rng_events.randrange(4)),
+                    2 * i + 1,
+                )
+                for i in range(150)
+            ]
+            return [
+                StreamSource(plan.channel_of(s), s_tuples),
+                StreamSource(plan.channel_of(t), t_tuples),
+            ]
+
+        naive_plan, naive_handles = build()
+        naive = run_plan_collect(naive_plan, sources(naive_plan, naive_handles))
+        optimized_plan, optimized_handles = build()
+        Optimizer(default_rules()).optimize(optimized_plan)
+        optimized = run_plan_collect(
+            optimized_plan, sources(optimized_plan, optimized_handles)
+        )
+        assert naive == optimized

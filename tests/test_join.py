@@ -1,0 +1,132 @@
+"""Unit tests for the sliding-window join."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.expressions import left, lit, right
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.predicates import (
+    Comparison,
+    DurationWithin,
+    TruePredicate,
+    conjunction,
+)
+from repro.operators.window import TimeWindow
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+LEFT_SCHEMA = Schema.of_ints("k", "x")
+RIGHT_SCHEMA = Schema.of_ints("k", "y")
+
+
+def run_join(operator, events):
+    """events: (side, ts, k, v) -> output value tuples."""
+    executor = operator.executor([LEFT_SCHEMA, RIGHT_SCHEMA])
+    outputs = []
+    for side, ts, k, v in events:
+        schema = LEFT_SCHEMA if side == 0 else RIGHT_SCHEMA
+        outputs.extend(executor.process(side, StreamTuple(schema, (k, v), ts)))
+    return outputs
+
+
+class TestEquiJoin:
+    def test_matching_keys(self):
+        operator = SlidingWindowJoin(
+            Comparison(left("k"), "==", right("k")), TimeWindow(10)
+        )
+        outputs = run_join(
+            operator, [(0, 0, 1, 10), (1, 1, 1, 20), (1, 2, 2, 30)]
+        )
+        assert len(outputs) == 1
+        assert outputs[0].as_dict() == {"l_k": 1, "l_x": 10, "r_k": 1, "r_y": 20}
+
+    def test_symmetric_probing(self):
+        operator = SlidingWindowJoin(
+            Comparison(left("k"), "==", right("k")), TimeWindow(10)
+        )
+        # right arrives first, then the left probe finds it
+        outputs = run_join(operator, [(1, 0, 5, 1), (0, 1, 5, 2)])
+        assert len(outputs) == 1
+        assert outputs[0].ts == 1
+
+    def test_window_expiry(self):
+        operator = SlidingWindowJoin(
+            Comparison(left("k"), "==", right("k")), TimeWindow(3)
+        )
+        outputs = run_join(operator, [(0, 0, 1, 1), (1, 4, 1, 2)])
+        assert outputs == []
+
+    def test_window_boundary_inclusive(self):
+        operator = SlidingWindowJoin(
+            Comparison(left("k"), "==", right("k")), TimeWindow(3)
+        )
+        outputs = run_join(operator, [(0, 0, 1, 1), (1, 3, 1, 2)])
+        assert len(outputs) == 1
+
+    def test_multiple_matches(self):
+        operator = SlidingWindowJoin(
+            Comparison(left("k"), "==", right("k")), TimeWindow(10)
+        )
+        outputs = run_join(
+            operator, [(0, 0, 1, 1), (0, 1, 1, 2), (1, 2, 1, 3)]
+        )
+        assert len(outputs) == 2
+
+
+class TestNestedLoopJoin:
+    def test_cross_with_residual(self):
+        operator = SlidingWindowJoin(
+            Comparison(left("x"), "<", right("y")), TimeWindow(10)
+        )
+        outputs = run_join(operator, [(0, 0, 1, 5), (1, 1, 2, 9), (1, 2, 3, 2)])
+        assert len(outputs) == 1  # only y=9 > x=5
+
+    def test_true_predicate_is_cross_product(self):
+        operator = SlidingWindowJoin(TruePredicate(), TimeWindow(10))
+        outputs = run_join(operator, [(0, 0, 1, 1), (0, 1, 2, 2), (1, 2, 0, 0)])
+        assert len(outputs) == 2
+
+
+class TestPredicateDecomposition:
+    def test_duration_conjunct_tightens_window(self):
+        operator = SlidingWindowJoin(
+            conjunction(
+                [DurationWithin(2), Comparison(left("k"), "==", right("k"))]
+            ),
+            TimeWindow(100),
+        )
+        outputs = run_join(operator, [(0, 0, 1, 1), (1, 3, 1, 2)])
+        assert outputs == []
+
+    def test_constant_conjunct_still_applied(self):
+        operator = SlidingWindowJoin(
+            conjunction(
+                [
+                    Comparison(left("k"), "==", right("k")),
+                    Comparison(right("y"), "==", lit(7)),
+                ]
+            ),
+            TimeWindow(10),
+        )
+        outputs = run_join(
+            operator, [(0, 0, 1, 1), (1, 1, 1, 7), (1, 2, 1, 8)]
+        )
+        assert len(outputs) == 1
+
+    def test_requires_time_window(self):
+        with pytest.raises(OperatorError):
+            SlidingWindowJoin(TruePredicate(), 10)
+
+    def test_output_schema_prefixes(self):
+        operator = SlidingWindowJoin(TruePredicate(), TimeWindow(1))
+        schema = operator.output_schema([LEFT_SCHEMA, RIGHT_SCHEMA])
+        assert schema.names == ("l_k", "l_x", "r_k", "r_y")
+
+    def test_state_size(self):
+        operator = SlidingWindowJoin(
+            Comparison(left("k"), "==", right("k")), TimeWindow(100)
+        )
+        executor = operator.executor([LEFT_SCHEMA, RIGHT_SCHEMA])
+        executor.process(0, StreamTuple(LEFT_SCHEMA, (1, 1), 0))
+        executor.process(1, StreamTuple(RIGHT_SCHEMA, (1, 1), 1))
+        assert executor.state_size == 2

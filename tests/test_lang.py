@@ -1,0 +1,243 @@
+"""Unit tests for the query-language front end (parser, builder, compiler)."""
+
+import pytest
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.errors import ParseError, QueryLanguageError
+from repro.lang.ast import (
+    AggregateNode,
+    IterateNode,
+    JoinNode,
+    LogicalQuery,
+    SelectNode,
+    SequenceNode,
+    SourceNode,
+)
+from repro.lang.builder import from_stream
+from repro.lang.compiler import compile_query
+from repro.lang.parser import parse_predicate, parse_query
+from repro.operators.expressions import AttrRef, LAST, LEFT, RIGHT, attr, lit
+from repro.operators.predicates import Comparison, DurationWithin, Or
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+class TestPredicateParsing:
+    def test_comparison(self):
+        predicate = parse_predicate("a == 5")
+        assert predicate == Comparison(AttrRef(LEFT, "a"), "==", lit(5))
+
+    def test_sides(self):
+        predicate = parse_predicate("left.a == right.b")
+        assert predicate == Comparison(AttrRef(LEFT, "a"), "==", AttrRef(RIGHT, "b"))
+
+    def test_last_side(self):
+        predicate = parse_predicate("right.v > last.v")
+        assert predicate == Comparison(AttrRef(RIGHT, "v"), ">", AttrRef(LAST, "v"))
+
+    def test_within(self):
+        assert parse_predicate("WITHIN 100") == DurationWithin(100)
+
+    def test_conjunction_flattens(self):
+        predicate = parse_predicate("a == 1 AND b == 2 AND WITHIN 5")
+        from repro.operators.predicates import conjuncts
+
+        assert len(conjuncts(predicate)) == 3
+
+    def test_or_and_not(self):
+        predicate = parse_predicate("NOT a == 1 OR b == 2")
+        assert isinstance(predicate, Or)
+
+    def test_parenthesized(self):
+        predicate = parse_predicate("(a == 1 OR b == 2) AND b == 3")
+        from repro.operators.predicates import And
+
+        assert isinstance(predicate, And)
+
+    def test_arithmetic(self):
+        predicate = parse_predicate("a * 2 + 1 < b")
+        assert predicate.lhs.op == "+"  # precedence: (a*2)+1
+
+    def test_float_literal(self):
+        predicate = parse_predicate("a < 1.5")
+        assert predicate.rhs == lit(1.5)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_predicate("a == 1 banana")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_predicate("a == $")
+
+    def test_keywords_case_insensitive(self):
+        assert parse_predicate("a == 1 and b == 2") == parse_predicate(
+            "a == 1 AND b == 2"
+        )
+
+
+class TestQueryParsing:
+    def test_from_where(self):
+        query = parse_query("FROM S WHERE a == 1", "q")
+        assert isinstance(query.root, SelectNode)
+        assert query.root.input == SourceNode("S")
+
+    def test_aggregate_clause(self):
+        query = parse_query("FROM S AGG avg(b) OVER 60 BY a AS m", "q")
+        node = query.root
+        assert isinstance(node, AggregateNode)
+        assert node.function == "avg"
+        assert node.window == 60
+        assert node.group_by == ("a",)
+        assert node.output_name == "m"
+
+    def test_count_star(self):
+        query = parse_query("FROM S AGG count(*) OVER 5", "q")
+        assert query.root.target is None
+
+    def test_join_clause(self):
+        query = parse_query(
+            "FROM S JOIN T ON left.a == right.a WITHIN 50", "q"
+        )
+        assert isinstance(query.root, JoinNode)
+        assert query.root.window == 50
+
+    def test_seq_clause(self):
+        query = parse_query("FROM S SEQ T MATCHING WITHIN 5 AND right.a == 2", "q")
+        assert isinstance(query.root, SequenceNode)
+        assert query.root.consume_on_match
+
+    def test_seq_keep(self):
+        query = parse_query("FROM S SEQ T MATCHING right.a == 2 KEEP", "q")
+        assert not query.root.consume_on_match
+
+    def test_mu_clause(self):
+        query = parse_query(
+            "FROM S MU T FORWARD left.a == right.a REBIND right.b > last.b", "q"
+        )
+        assert isinstance(query.root, IterateNode)
+
+    def test_subquery_source(self):
+        query = parse_query("FROM (FROM S WHERE a == 1) SEQ T MATCHING TRUE", "q")
+        assert isinstance(query.root.left, SelectNode)
+
+    def test_select_items(self):
+        query = parse_query("FROM S SELECT a, a + b AS total", "q")
+        assert query.root.items[0][0] == "a"
+        assert query.root.items[1][0] == "total"
+
+    def test_computed_select_needs_alias(self):
+        with pytest.raises(ParseError, match="AS"):
+            parse_query("FROM S SELECT a + b", "q")
+
+    def test_sources_listing(self):
+        query = parse_query("FROM S SEQ T MATCHING TRUE", "q")
+        assert query.sources() == ["S", "T"]
+
+    def test_empty_query_id_rejected(self):
+        with pytest.raises(QueryLanguageError):
+            LogicalQuery("", SourceNode("S"))
+
+
+class TestBuilder:
+    def test_builder_matches_parser(self):
+        parsed = parse_query("FROM S WHERE a == 1 AGG sum(b) OVER 5 AS s", "q")
+        built = (
+            from_stream("S")
+            .where(Comparison(attr("a"), "==", lit(1)))
+            .aggregate("sum", "b", over=5, name="s")
+            .named("q")
+        )
+        assert built.root == parsed.root
+
+    def test_builder_binary_steps(self):
+        pattern = (
+            from_stream("S")
+            .followed_by(from_stream("T"), matching=DurationWithin(9))
+            .named("q")
+        )
+        assert isinstance(pattern.root, SequenceNode)
+
+    def test_invalid_other_type(self):
+        with pytest.raises(QueryLanguageError):
+            from_stream("S").join("T", on=DurationWithin(1), within=5)
+
+
+class TestCompiler:
+    def test_compile_and_run(self):
+        query = parse_query("FROM S WHERE a == 1 SELECT b", "q")
+        plan = QueryPlan()
+        source = plan.add_source("S", SCHEMA)
+        compile_query(query, plan, {"S": source})
+        Optimizer().optimize(plan)
+        engine = StreamEngine(plan, capture_outputs=True)
+        engine.run(
+            [
+                StreamSource(
+                    plan.channel_of(source),
+                    [StreamTuple(SCHEMA, (ts % 2, ts), ts) for ts in range(6)],
+                )
+            ]
+        )
+        outputs = engine.captured["q"]
+        assert [o.values for o in outputs] == [(1,), (3,), (5,)]
+
+    def test_unknown_stream(self):
+        query = parse_query("FROM X WHERE a == 1", "q")
+        plan = QueryPlan()
+        with pytest.raises(QueryLanguageError, match="unknown stream"):
+            compile_query(query, plan, {})
+
+    def test_publish_registers_stream(self):
+        plan = QueryPlan()
+        source = plan.add_source("S", SCHEMA)
+        streams = {"S": source}
+        smoothing = parse_query("FROM S AGG avg(b) OVER 5 BY a AS b", "smooth")
+        compile_query(
+            smoothing, plan, streams, mark_output=False, publish="SMOOTHED"
+        )
+        assert "SMOOTHED" in streams
+        downstream = parse_query("FROM SMOOTHED WHERE b > 1", "q")
+        compile_query(downstream, plan, streams)
+        plan.validate()
+
+    def test_publish_collision(self):
+        plan = QueryPlan()
+        source = plan.add_source("S", SCHEMA)
+        streams = {"S": source}
+        query = parse_query("FROM S WHERE a == 1", "q")
+        with pytest.raises(QueryLanguageError, match="already registered"):
+            compile_query(query, plan, streams, publish="S")
+
+    def test_compiled_hybrid_query_equivalent_to_template(self):
+        """The parsed Query 1 produces the same plan shape as the template."""
+        text = """
+        FROM CPU
+          AGG avg(load) OVER 60 BY pid AS load
+          WHERE load < 20
+          MU (FROM CPU AGG avg(load) OVER 60 BY pid AS load)
+             FORWARD left.pid == right.pid AND right.load > last.load
+             REBIND left.pid == right.pid AND right.load > last.load
+          WHERE load > 10
+        """
+        from repro.workloads.perfmon import CPU_SCHEMA
+
+        query = parse_query(text, "q")
+        plan = QueryPlan()
+        cpu = plan.add_source("CPU", CPU_SCHEMA)
+        compile_query(query, plan, {"CPU": cpu})
+        Optimizer().optimize(plan)
+        kinds = sorted(
+            type(inst.operator).__name__ for inst in plan.instances()
+        )
+        assert kinds == [
+            "Iterate",
+            "Selection",
+            "Selection",
+            "SlidingWindowAggregate",
+        ]

@@ -1,0 +1,116 @@
+"""Unit tests for MOp basics and the OutputCollector encoding step."""
+
+import pytest
+
+from repro.core.mop import MOp, OpInstance, OutputCollector
+from repro.core.plan import QueryPlan
+from repro.errors import PlanError
+from repro.operators.expressions import attr, lit
+from repro.operators.predicates import Comparison
+from repro.operators.select import Selection
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a")
+
+
+def selection(const):
+    return Selection(Comparison(attr("a"), "==", lit(const)))
+
+
+@pytest.fixture
+def plan_pair():
+    """A plan with two selections (one m-op) whose outputs share one channel."""
+    from repro.mops.naive import NaiveMOp
+
+    plan = QueryPlan()
+    source = plan.add_source("S", SCHEMA)
+    out1 = plan.add_operator(selection(1), [source], query_id="q1")
+    out2 = plan.add_operator(selection(2), [source], query_id="q2")
+    old = list(plan.mops)
+    instances = [inst for mop in old for inst in mop.instances]
+    plan.replace_mops(old, NaiveMOp(instances))
+    plan.channelize([out1, out2])
+    return plan, out1, out2
+
+
+class TestOpInstance:
+    def test_arity_check(self):
+        plan = QueryPlan()
+        source = plan.add_source("S", SCHEMA)
+        with pytest.raises(PlanError, match="arity"):
+            OpInstance(selection(1), [source, source], source)
+
+
+class TestMOpStreamSets:
+    def test_input_output_union(self, plan_pair):
+        plan, out1, out2 = plan_pair
+        merged = plan.mops[0]
+        assert len(merged.input_streams) == 1  # both read the same stream
+        assert merged.output_streams == [out1, out2]
+
+    def test_empty_mop_rejected(self):
+        with pytest.raises(PlanError):
+            MOp([])
+
+
+class TestOutputCollector:
+    def test_merges_identical_across_streams(self, plan_pair):
+        plan, out1, out2 = plan_pair
+        collector = OutputCollector(plan, [out1, out2])
+        tuple_ = StreamTuple(SCHEMA, (5,), 0)
+        emitted = collector.emit([(out1, tuple_), (out2, tuple_)])
+        assert len(emitted) == 1
+        __, channel_tuple = emitted[0]
+        assert channel_tuple.membership == 0b11
+
+    def test_does_not_merge_same_stream_duplicates(self, plan_pair):
+        plan, out1, __ = plan_pair
+        collector = OutputCollector(plan, [out1])
+        tuple_ = StreamTuple(SCHEMA, (5,), 0)
+        emitted = collector.emit([(out1, tuple_), (out1, tuple_)])
+        assert len(emitted) == 2  # multiset semantics preserved
+
+    def test_different_content_not_merged(self, plan_pair):
+        plan, out1, out2 = plan_pair
+        collector = OutputCollector(plan, [out1, out2])
+        emitted = collector.emit(
+            [
+                (out1, StreamTuple(SCHEMA, (5,), 0)),
+                (out2, StreamTuple(SCHEMA, (6,), 0)),
+            ]
+        )
+        assert len(emitted) == 2
+
+    def test_empty_emission(self, plan_pair):
+        plan, out1, __ = plan_pair
+        collector = OutputCollector(plan, [out1])
+        assert collector.emit([]) == []
+
+    def test_emit_masked_disjoint_merge(self, plan_pair):
+        plan, out1, out2 = plan_pair
+        collector = OutputCollector(plan, [out1, out2])
+        channel = plan.channel_of(out1)
+        tuple_ = StreamTuple(SCHEMA, (5,), 0)
+        emitted = collector.emit_masked(
+            [(channel, 0b01, tuple_), (channel, 0b10, tuple_)]
+        )
+        assert len(emitted) == 1
+        assert emitted[0][1].membership == 0b11
+
+    def test_emit_masked_overlapping_not_merged(self, plan_pair):
+        plan, out1, out2 = plan_pair
+        collector = OutputCollector(plan, [out1, out2])
+        channel = plan.channel_of(out1)
+        tuple_ = StreamTuple(SCHEMA, (5,), 0)
+        emitted = collector.emit_masked(
+            [(channel, 0b01, tuple_), (channel, 0b01, tuple_)]
+        )
+        assert len(emitted) == 2
+
+    def test_route(self, plan_pair):
+        plan, out1, __ = plan_pair
+        collector = OutputCollector(plan, [out1])
+        channel, bit = collector.route(out1)
+        assert channel is plan.channel_of(out1)
+        assert bit == 1 << channel.position_of(out1)

@@ -1,0 +1,440 @@
+"""Equivalence of every optimized m-op against the naive reference (§2.2).
+
+The m-op semantics contract: an optimized m-op must reproduce, per output
+stream, exactly the multiset of tuples the one-by-one execution of its
+implemented operators produces.  Each test builds the same logical workload
+twice — once left naive, once rewritten by a specific rule set — feeds both
+identical input, and compares per-query output multisets.
+"""
+
+import random
+
+import pytest
+
+from conftest import run_plan_collect
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.core.rules import (
+    ChannelProjectionRule,
+    ChannelSelectionRule,
+    ChannelSequenceRule,
+    CseRule,
+    FragmentAggregateRule,
+    IndexedSequenceRule,
+    PrecisionJoinRule,
+    PredicateIndexRule,
+    SharedAggregateRule,
+    SharedJoinRule,
+    SharedSequenceRule,
+    SharedWindowSequenceRule,
+)
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.expressions import attr, last, left, lit, right
+from repro.operators.iterate import Iterate
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.predicates import (
+    Comparison,
+    DurationWithin,
+    TruePredicate,
+    conjunction,
+)
+from repro.operators.project import Projection
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.operators.window import TimeWindow
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+def random_tuples(count, seed, domain=5):
+    rng = random.Random(seed)
+    return [
+        StreamTuple(SCHEMA, (rng.randrange(domain), rng.randrange(domain)), ts)
+        for ts in range(count)
+    ]
+
+
+def compare(build, rules, sources_for, seeds=(0, 1)):
+    """Build plan twice (naive vs rules-applied); outputs must match."""
+    for seed in seeds:
+        naive_plan, naive_handles = build()
+        naive_outputs = run_plan_collect(
+            naive_plan, sources_for(naive_plan, naive_handles, seed)
+        )
+        optimized_plan, optimized_handles = build()
+        report = Optimizer(rules).optimize(optimized_plan)
+        assert report.total_applications > 0, "rule under test did not fire"
+        optimized_outputs = run_plan_collect(
+            optimized_plan, sources_for(optimized_plan, optimized_handles, seed)
+        )
+        assert naive_outputs == optimized_outputs
+
+
+def single_source(plan, handles, seed):
+    source = handles[0]
+    return [StreamSource(plan.channel_of(source), random_tuples(300, seed))]
+
+
+def two_sources(plan, handles, seed):
+    s, t = handles
+    return [
+        StreamSource(plan.channel_of(s), random_tuples(150, seed)),
+        StreamSource(
+            plan.channel_of(t),
+            [t_.with_ts(t_.ts * 2 + 1) for t_ in random_tuples(150, seed + 100)],
+        ),
+    ]
+
+
+class TestPredicateIndex:
+    def test_equality_selections(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            for c in range(4):
+                out = plan.add_operator(
+                    Selection(Comparison(attr("a"), "==", lit(c))), [s],
+                    query_id=f"q{c}",
+                )
+                plan.mark_output(out, f"q{c}")
+            return plan, [s]
+
+        compare(build, [PredicateIndexRule()], single_source)
+
+    def test_mixed_indexable_and_scan(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            predicates = [
+                Comparison(attr("a"), "==", lit(1)),
+                Comparison(attr("a"), ">", lit(2)),   # not indexable
+                Comparison(attr("b"), "==", lit(3)),  # different attribute
+            ]
+            for i, predicate in enumerate(predicates):
+                out = plan.add_operator(Selection(predicate), [s], query_id=f"q{i}")
+                plan.mark_output(out, f"q{i}")
+            return plan, [s]
+
+        compare(build, [PredicateIndexRule()], single_source)
+
+
+class TestSharedAggregate:
+    @pytest.mark.parametrize("function", ["sum", "count", "avg", "min", "max"])
+    def test_different_group_bys_and_windows(self, function):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            target = None if function == "count" else "b"
+            shapes = [((), 5), (("a",), 5), (("a",), 11), ((), 23)]
+            for i, (group_by, window) in enumerate(shapes):
+                out = plan.add_operator(
+                    SlidingWindowAggregate(
+                        function, target, TimeWindow(window), group_by, "out"
+                    ),
+                    [s],
+                    query_id=f"q{i}",
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, [s]
+
+        compare(build, [SharedAggregateRule()], single_source)
+
+
+class TestSharedJoin:
+    def test_same_predicate_different_windows(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            t = plan.add_source("T", SCHEMA)
+            predicate = Comparison(left("a"), "==", right("a"))
+            for i, window in enumerate([3, 9, 27, 81]):
+                out = plan.add_operator(
+                    SlidingWindowJoin(predicate, TimeWindow(window)),
+                    [s, t],
+                    query_id=f"q{i}",
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, [s, t]
+
+        compare(build, [SharedJoinRule()], two_sources)
+
+    def test_nested_loop_shared_join(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            t = plan.add_source("T", SCHEMA)
+            predicate = Comparison(left("b"), "<", right("b"))
+            for i, window in enumerate([4, 16]):
+                out = plan.add_operator(
+                    SlidingWindowJoin(predicate, TimeWindow(window)),
+                    [s, t],
+                    query_id=f"q{i}",
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, [s, t]
+
+        compare(build, [SharedJoinRule()], two_sources)
+
+
+class TestSharedSequence:
+    def test_same_definition_multiplexed(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            t = plan.add_source("T", SCHEMA)
+            predicate = conjunction(
+                [DurationWithin(20), Comparison(left("a"), "==", right("a"))]
+            )
+            for i in range(3):
+                out = plan.add_operator(
+                    Sequence(predicate), [s, t], query_id=f"q{i}"
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, [s, t]
+
+        compare(build, [SharedSequenceRule()], two_sources)
+
+
+class TestIndexedSequence:
+    def test_constant_guarded_sequences(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            t = plan.add_source("T", SCHEMA)
+            for i in range(5):
+                selected = plan.add_operator(
+                    Selection(Comparison(attr("a"), "==", lit(i % 3))), [s],
+                    query_id=f"q{i}",
+                )
+                predicate = conjunction(
+                    [
+                        DurationWithin(10 + i),
+                        Comparison(right("a"), "==", lit(i % 4)),
+                    ]
+                )
+                out = plan.add_operator(
+                    Sequence(predicate), [selected, t], query_id=f"q{i}"
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, [s, t]
+
+        compare(build, [IndexedSequenceRule()], two_sources)
+
+
+class TestSharedWindowSequence:
+    def test_mu_window_variants(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            t = plan.add_source("T", SCHEMA)
+            correlation = Comparison(left("a"), "==", right("a"))
+            rebind = conjunction(
+                [correlation, Comparison(right("b"), ">", last("b"))]
+            )
+            for i, window in enumerate([5, 17, 41]):
+                forward = conjunction([DurationWithin(window), correlation])
+                out = plan.add_operator(
+                    Iterate(forward, rebind), [s, t], query_id=f"q{i}"
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, [s, t]
+
+        compare(build, [SharedWindowSequenceRule()], two_sources)
+
+    def test_non_consuming_sequence_variants(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            t = plan.add_source("T", SCHEMA)
+            correlation = Comparison(left("a"), "==", right("a"))
+            for i, window in enumerate([5, 29]):
+                predicate = conjunction([DurationWithin(window), correlation])
+                out = plan.add_operator(
+                    Sequence(predicate, consume_on_match=False),
+                    [s, t],
+                    query_id=f"q{i}",
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, [s, t]
+
+        compare(build, [SharedWindowSequenceRule()], two_sources)
+
+    def test_consuming_sequences_not_merged(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        correlation = Comparison(left("a"), "==", right("a"))
+        for i, window in enumerate([5, 29]):
+            predicate = conjunction([DurationWithin(window), correlation])
+            plan.add_operator(Sequence(predicate), [s, t], query_id=f"q{i}")
+        report = Optimizer([SharedWindowSequenceRule()]).optimize(plan)
+        assert report.total_applications == 0
+
+
+def _channel_fixture_builder(make_consumer):
+    """n sharable sources, same-definition consumers (channel rules)."""
+
+    def build():
+        plan = QueryPlan()
+        sources = [
+            plan.add_source(f"S{i}", SCHEMA, sharable_label="s") for i in range(3)
+        ]
+        for i, source in enumerate(sources):
+            out = plan.add_operator(make_consumer(), [source], query_id=f"q{i}")
+            plan.mark_output(out, f"q{i}")
+        return plan, sources
+
+    return build
+
+
+def channel_sources(plan, handles, seed):
+    """Identical content on all sharable sources (paper's optimistic case)."""
+    tuples = random_tuples(300, seed)
+    channel = plan.channel_of(handles[0])
+    if channel.is_singleton:
+        return [
+            StreamSource(plan.channel_of(stream), tuples, member_streams=[stream])
+            for stream in handles
+        ]
+    return [StreamSource(channel, tuples)]
+
+
+class TestChannelSelection:
+    def test_same_predicate_over_channel(self):
+        build = _channel_fixture_builder(
+            lambda: Selection(Comparison(attr("a"), "==", lit(2)))
+        )
+        compare(build, [ChannelSelectionRule()], channel_sources)
+
+
+class TestChannelProjection:
+    def test_same_map_over_channel(self):
+        build = _channel_fixture_builder(
+            lambda: Projection([("total", attr("a") + attr("b"))])
+        )
+        compare(build, [ChannelProjectionRule()], channel_sources)
+
+
+class TestFragmentAggregate:
+    @pytest.mark.parametrize("function", ["sum", "avg", "max"])
+    def test_same_aggregate_over_channel(self, function):
+        build = _channel_fixture_builder(
+            lambda: SlidingWindowAggregate(
+                function, "b", TimeWindow(7), ("a",), "out"
+            )
+        )
+        compare(build, [FragmentAggregateRule()], channel_sources)
+
+
+class TestPrecisionJoin:
+    def test_left_channelized_join(self):
+        def build():
+            plan = QueryPlan()
+            sources = [
+                plan.add_source(f"S{i}", SCHEMA, sharable_label="s")
+                for i in range(3)
+            ]
+            t = plan.add_source("T", SCHEMA)
+            predicate = Comparison(left("a"), "==", right("a"))
+            for i, source in enumerate(sources):
+                out = plan.add_operator(
+                    SlidingWindowJoin(predicate, TimeWindow(9)),
+                    [source, t],
+                    query_id=f"q{i}",
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, (sources, t)
+
+        def sources_for(plan, handles, seed):
+            sources, t = handles
+            result = channel_sources(plan, sources, seed)
+            result.append(
+                StreamSource(
+                    plan.channel_of(t),
+                    [x.with_ts(x.ts * 2 + 1) for x in random_tuples(150, seed + 9)],
+                    member_streams=[t],
+                )
+            )
+            return result
+
+        compare(build, [PrecisionJoinRule()], sources_for)
+
+
+class TestChannelSequence:
+    @pytest.mark.parametrize("kind", ["seq", "mu"])
+    def test_channelized_event_operators(self, kind):
+        correlation = Comparison(left("a"), "==", right("a"))
+        forward = conjunction([DurationWithin(15), correlation])
+        rebind = conjunction(
+            [correlation, Comparison(right("b"), ">", last("b"))]
+        )
+
+        def build():
+            plan = QueryPlan()
+            sources = [
+                plan.add_source(f"S{i}", SCHEMA, sharable_label="s")
+                for i in range(3)
+            ]
+            t = plan.add_source("T", SCHEMA)
+            for i, source in enumerate(sources):
+                operator = (
+                    Sequence(forward) if kind == "seq" else Iterate(forward, rebind)
+                )
+                out = plan.add_operator(
+                    operator, [source, t], query_id=f"q{i}"
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, (sources, t)
+
+        def sources_for(plan, handles, seed):
+            sources, t = handles
+            result = channel_sources(plan, sources, seed)
+            result.append(
+                StreamSource(
+                    plan.channel_of(t),
+                    [x.with_ts(x.ts * 2 + 1) for x in random_tuples(150, seed + 9)],
+                    member_streams=[t],
+                )
+            )
+            return result
+
+        compare(build, [ChannelSequenceRule()], sources_for)
+
+
+class TestCse:
+    def test_identical_pipelines_collapse(self):
+        def build():
+            plan = QueryPlan()
+            s = plan.add_source("S", SCHEMA)
+            for i in range(3):
+                filtered = plan.add_operator(
+                    Selection(Comparison(attr("a"), "==", lit(1))), [s],
+                    query_id=f"q{i}",
+                )
+                out = plan.add_operator(
+                    SlidingWindowAggregate("sum", "b", TimeWindow(5), (), "s"),
+                    [filtered],
+                    query_id=f"q{i}",
+                )
+                plan.mark_output(out, f"q{i}")
+            return plan, [s]
+
+        compare(build, [CseRule()], single_source)
+
+    def test_cse_reduces_instance_count(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        for i in range(5):
+            out = plan.add_operator(
+                Selection(Comparison(attr("a"), "==", lit(1))), [s],
+                query_id=f"q{i}",
+            )
+            plan.mark_output(out, f"q{i}")
+        Optimizer([CseRule()]).optimize(plan)
+        assert len(plan.instances()) == 1
+        # all five queries share the surviving sink stream
+        [(stream, query_ids)] = plan.sink_streams()
+        assert sorted(query_ids) == [f"q{i}" for i in range(5)]

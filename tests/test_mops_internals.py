@@ -1,0 +1,211 @@
+"""White-box tests for m-op internals not covered by the equivalence suite."""
+
+import pytest
+
+from repro.core.mop import OutputCollector
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.core.rules import (
+    ChannelSequenceRule,
+    IndexedSequenceRule,
+    PredicateIndexRule,
+    SharedJoinRule,
+)
+from repro.engine.executor import StreamEngine
+from repro.errors import PlanError
+from repro.mops.predicate_index import PredicateIndexMOp
+from repro.mops.shared_join import SharedJoinMOp
+from repro.mops.shared_sequence import IndexedSequenceMOp, guard_constant
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.expressions import attr, last, left, lit, right
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.predicates import (
+    Comparison,
+    DurationWithin,
+    TruePredicate,
+    conjunction,
+)
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.operators.window import TimeWindow
+from repro.streams.channel import ChannelTuple
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+class TestMOpConstructorValidation:
+    def test_predicate_index_rejects_non_selection(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        out = plan.add_operator(
+            SlidingWindowAggregate("sum", "b", TimeWindow(5), (), "x"), [s]
+        )
+        instance = plan.producer_instance_of(out)
+        with pytest.raises(PlanError, match="selections only"):
+            PredicateIndexMOp([instance])
+
+    def test_shared_join_rejects_mixed_predicates(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        first = plan.add_operator(
+            SlidingWindowJoin(Comparison(left("a"), "==", right("a")), TimeWindow(5)),
+            [s, t],
+        )
+        second = plan.add_operator(
+            SlidingWindowJoin(Comparison(left("b"), "==", right("b")), TimeWindow(5)),
+            [s, t],
+        )
+        instances = [
+            plan.producer_instance_of(first),
+            plan.producer_instance_of(second),
+        ]
+        with pytest.raises(PlanError, match="same join predicate"):
+            SharedJoinMOp(instances)
+
+    def test_indexed_sequence_requires_guard(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        out = plan.add_operator(Sequence(TruePredicate()), [s, t])
+        instance = plan.producer_instance_of(out)
+        with pytest.raises(PlanError, match="constant equality"):
+            IndexedSequenceMOp([instance], "a")
+
+
+class TestGuardConstant:
+    def test_extracts_right_side_constant(self):
+        operator = Sequence(
+            conjunction(
+                [DurationWithin(5), Comparison(right("a"), "==", lit(42))]
+            )
+        )
+        assert guard_constant(operator, "a") == 42
+        assert guard_constant(operator, "b") is None
+
+    def test_left_side_constant_not_a_guard(self):
+        operator = Sequence(Comparison(left("a"), "==", lit(42)))
+        assert guard_constant(operator, "a") is None
+
+
+class TestIndexedSequenceDefinitionGroups:
+    def test_same_definition_different_left_streams_share_executor(self):
+        """Queries with equal definitions but distinct σθ1 prefixes share one
+        instance store inside the AN m-op (the merged-Cayuga-state image)."""
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        predicate = conjunction(
+            [DurationWithin(50), Comparison(right("a"), "==", lit(7))]
+        )
+        for i, const in enumerate([1, 2]):  # different θ1 constants
+            selected = plan.add_operator(
+                Selection(Comparison(attr("a"), "==", lit(const))), [s],
+                query_id=f"q{i}",
+            )
+            out = plan.add_operator(
+                Sequence(predicate), [selected, t], query_id=f"q{i}"
+            )
+            plan.mark_output(out, f"q{i}")
+        Optimizer([PredicateIndexRule(), IndexedSequenceRule()]).optimize(plan)
+        an_mop = next(
+            mop for mop in plan.mops if isinstance(mop, IndexedSequenceMOp)
+        )
+        executor = an_mop.make_executor(plan)
+        assert len(executor._groups) == 1  # one definition group
+
+        # attribution: a start from q0's prefix only produces q0 output
+        engine = StreamEngine(plan, capture_outputs=True)
+        source_channel = plan.channel_of(s)
+        t_channel = plan.channel_of(t)
+        engine.process(
+            source_channel, ChannelTuple(StreamTuple(SCHEMA, (1, 0), 0), 1)
+        )  # passes q0's θ1 only
+        engine.process(
+            t_channel, ChannelTuple(StreamTuple(SCHEMA, (7, 1), 1), 1)
+        )
+        assert len(engine.captured.get("q0", [])) == 1
+        assert "q1" not in engine.captured
+
+
+class TestSharedJoinRouting:
+    def test_window_routing_suffix(self):
+        """A match at distance d reaches exactly the queries with w >= d."""
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        predicate = Comparison(left("a"), "==", right("a"))
+        for i, window in enumerate([2, 5, 20]):
+            out = plan.add_operator(
+                SlidingWindowJoin(predicate, TimeWindow(window)), [s, t],
+                query_id=f"q{i}",
+            )
+            plan.mark_output(out, f"q{i}")
+        Optimizer([SharedJoinRule()]).optimize(plan)
+        engine = StreamEngine(plan, capture_outputs=True)
+        engine.run(
+            [
+                StreamSource(
+                    plan.channel_of(s), [StreamTuple(SCHEMA, (1, 0), 0)]
+                ),
+                StreamSource(
+                    plan.channel_of(t), [StreamTuple(SCHEMA, (1, 0), 4)]
+                ),
+            ]
+        )
+        # distance 4: q0 (w=2) misses; q1 (w=5) and q2 (w=20) match
+        assert "q0" not in engine.captured
+        assert len(engine.captured["q1"]) == 1
+        assert len(engine.captured["q2"]) == 1
+
+
+class TestChannelSequenceSharedKill:
+    def test_broken_pattern_kills_for_all_members(self):
+        """µ instances are shared: a break removes the pattern for every
+        member query at once (same definition ⇒ identical behaviour)."""
+        correlation = Comparison(left("a"), "==", right("a"))
+        increasing = Comparison(right("b"), ">", last("b"))
+        from repro.operators.iterate import Iterate
+
+        plan = QueryPlan()
+        sources = [
+            plan.add_source(f"S{i}", SCHEMA, sharable_label="s") for i in range(2)
+        ]
+        t = plan.add_source("T", SCHEMA)
+        for i, source in enumerate(sources):
+            out = plan.add_operator(
+                Iterate(
+                    conjunction([correlation, increasing]),
+                    conjunction([correlation, increasing]),
+                ),
+                [source, t],
+                query_id=f"q{i}",
+            )
+            plan.mark_output(out, f"q{i}")
+        Optimizer([ChannelSequenceRule()]).optimize(plan)
+        channel = plan.channel_of(sources[0])
+        t_channel = plan.channel_of(t)
+        engine = StreamEngine(plan, capture_outputs=True)
+        engine.process(channel, ChannelTuple(StreamTuple(SCHEMA, (1, 10), 0), 0b11))
+        engine.process(t_channel, ChannelTuple(StreamTuple(SCHEMA, (1, 12), 1), 1))
+        engine.process(t_channel, ChannelTuple(StreamTuple(SCHEMA, (1, 3), 2), 1))
+        engine.process(t_channel, ChannelTuple(StreamTuple(SCHEMA, (1, 99), 3), 1))
+        # one extension before the break, then nothing
+        assert len(engine.captured["q0"]) == 1
+        assert len(engine.captured["q1"]) == 1
+
+
+class TestCollectorRouteErrors:
+    def test_route_unknown_stream_raises(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        out = plan.add_operator(
+            Selection(Comparison(attr("a"), "==", lit(1))), [s]
+        )
+        collector = OutputCollector(plan, [out])
+        foreign = plan.add_source("X", SCHEMA)
+        with pytest.raises(KeyError):
+            collector.route(foreign)

@@ -1,0 +1,104 @@
+"""Unit tests for σ, π, windows, and the operator base protocol."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.base import Operator
+from repro.operators.expressions import attr, lit
+from repro.operators.predicates import Comparison
+from repro.operators.project import Projection
+from repro.operators.select import Selection
+from repro.operators.window import RowWindow, TimeWindow
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_ints("a", "b")
+
+
+class TestTimeWindow:
+    def test_admits(self):
+        window = TimeWindow(5)
+        assert window.admits(10, 5)
+        assert window.admits(10, 10)
+        assert not window.admits(10, 4)
+        assert not window.admits(10, 11)  # future tuples excluded
+
+    def test_expiry_threshold(self):
+        assert TimeWindow(5).expiry_threshold(12) == 7
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(OperatorError):
+            TimeWindow(-1)
+
+    def test_row_window_validation(self):
+        with pytest.raises(OperatorError):
+            RowWindow(0)
+        assert RowWindow(5).count == 5
+
+
+class TestSelection:
+    def test_pass_and_filter(self, schema):
+        operator = Selection(Comparison(attr("a"), "==", lit(1)))
+        executor = operator.executor([schema])
+        hit = StreamTuple(schema, (1, 2), 0)
+        miss = StreamTuple(schema, (2, 2), 0)
+        assert executor.process(0, hit) == [hit]
+        assert executor.process(0, miss) == []
+
+    def test_matches_helper(self, schema):
+        operator = Selection(Comparison(attr("a"), ">", lit(0)))
+        executor = operator.executor([schema])
+        assert executor.matches(StreamTuple(schema, (1, 0), 0))
+        assert not executor.matches(StreamTuple(schema, (0, 0), 0))
+
+    def test_output_schema_identity(self, schema):
+        operator = Selection(Comparison(attr("a"), "==", lit(1)))
+        assert operator.output_schema([schema]) == schema
+
+    def test_is_selection_flag(self, schema):
+        assert Selection(Comparison(attr("a"), "==", lit(1))).is_selection
+        assert not Projection.keep(["a"]).is_selection
+
+    def test_definition_equality(self):
+        p = Comparison(attr("a"), "==", lit(1))
+        assert Selection(p) == Selection(p)
+        assert Selection(p) != Selection(Comparison(attr("a"), "==", lit(2)))
+
+    def test_arity_validation(self, schema):
+        with pytest.raises(OperatorError):
+            Selection(Comparison(attr("a"), "==", lit(1))).executor([schema, schema])
+
+
+class TestProjection:
+    def test_keep(self, schema):
+        executor = Projection.keep(["b"]).executor([schema])
+        out = executor.process(0, StreamTuple(schema, (1, 2), 5))
+        assert out[0].values == (2,)
+        assert out[0].ts == 5
+
+    def test_computed_attribute(self, schema):
+        operator = Projection([("total", attr("a") + attr("b")), ("a", attr("a"))])
+        executor = operator.executor([schema])
+        out = executor.process(0, StreamTuple(schema, (1, 2), 0))
+        assert out[0].as_dict() == {"total": 3, "a": 1}
+
+    def test_output_schema_types(self, schema):
+        operator = Projection([("ratio", attr("a") / attr("b"))])
+        assert operator.output_schema([schema]).type_of("ratio") == "float"
+
+    def test_empty_rejected(self):
+        with pytest.raises(OperatorError):
+            Projection([])
+
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(OperatorError):
+            Projection([("x", attr("a")), ("x", attr("b"))])
+
+
+class TestOperatorBase:
+    def test_definition_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Operator().definition()

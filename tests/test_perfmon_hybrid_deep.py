@@ -1,0 +1,112 @@
+"""Deeper behavioural tests for the perfmon dataset and the hybrid pipeline."""
+
+import pytest
+
+from repro.core.optimizer import Optimizer
+from repro.engine.executor import StreamEngine
+from repro.mops.channel_ops import ChannelSelectionMOp
+from repro.mops.channel_sequence import ChannelSequenceMOp
+from repro.mops.predicate_index import PredicateIndexMOp
+from repro.workloads.perfmon import PerfmonDataset
+from repro.workloads.templates import HybridWorkload
+
+
+class TestPerfmonRegimes:
+    def test_all_regimes_present_with_enough_processes(self):
+        dataset = PerfmonDataset(processes=60, duration_seconds=10, seed=0)
+        regimes = {model.regime for model in dataset._models}
+        assert regimes == {"idle", "steady", "bursty", "ramping"}
+
+    def test_tuples_per_second(self):
+        dataset = PerfmonDataset(processes=13, duration_seconds=5, seed=0)
+        assert dataset.tuples_per_second == 13
+
+    def test_events_wrapper_names_stream(self):
+        dataset = PerfmonDataset(processes=2, duration_seconds=2, seed=0)
+        names = {name for name, __ in dataset.events()}
+        assert names == {"CPU"}
+
+    def test_different_seeds_differ(self):
+        first = list(PerfmonDataset(4, 50, seed=1).generate())
+        second = list(PerfmonDataset(4, 50, seed=2).generate())
+        assert first != second
+
+
+class TestHybridPlanShape:
+    """The optimized hybrid plan must be exactly the Fig. 6(c) pipeline."""
+
+    @pytest.fixture
+    def channel_plan(self):
+        dataset = PerfmonDataset(processes=6, duration_seconds=60, seed=4)
+        workload = HybridWorkload(dataset, num_queries=5, sel=0.4)
+        plan, name_map = workload.rumor_plan(channels=True)
+        return plan
+
+    def test_four_mops(self, channel_plan):
+        assert len(channel_plan.mops) == 4
+
+    def test_pipeline_kinds(self, channel_plan):
+        kinds = {type(mop).__name__ for mop in channel_plan.mops}
+        assert "PredicateIndexMOp" in kinds          # starting conditions
+        assert "ChannelSequenceMOp" in kinds         # shared µ
+        assert "ChannelSelectionMOp" in kinds        # stopping conditions
+
+    def test_single_alpha_after_cse(self, channel_plan):
+        from repro.operators.aggregate import SlidingWindowAggregate
+
+        aggregates = [
+            inst
+            for inst in channel_plan.instances()
+            if isinstance(inst.operator, SlidingWindowAggregate)
+        ]
+        assert len(aggregates) == 1  # "it produces a single stream SMOOTHED"
+
+    def test_channel_capacities_match_queries(self, channel_plan):
+        mu = next(
+            mop
+            for mop in channel_plan.mops
+            if isinstance(mop, ChannelSequenceMOp)
+        )
+        left_channel = channel_plan.channel_of(mu.instances[0].inputs[0])
+        assert left_channel.capacity == 5  # channel C of Fig. 6(c)
+        out_channel = channel_plan.channel_of(mu.instances[0].output)
+        assert out_channel.capacity == 5   # channel D of Fig. 6(c)
+
+    def test_stopping_condition_shared_definition(self, channel_plan):
+        stop = next(
+            mop
+            for mop in channel_plan.mops
+            if isinstance(mop, ChannelSelectionMOp)
+        )
+        definitions = {
+            inst.operator.definition() for inst in stop.instances
+        }
+        assert len(definitions) == 1
+
+
+class TestHybridBehaviour:
+    def test_alerts_carry_increasing_load(self):
+        dataset = PerfmonDataset(processes=10, duration_seconds=240, seed=9)
+        workload = HybridWorkload(dataset, num_queries=3, sel=0.6)
+        plan, name_map = workload.rumor_plan(channels=True)
+        engine = StreamEngine(plan, capture_outputs=True)
+        engine.run(workload.sources(plan, name_map, 240))
+        for outputs in engine.captured.values():
+            for alert in outputs:
+                record = alert.as_dict()
+                # pattern invariants: correlated pid, above stop threshold,
+                # strictly above the start of the ramp
+                assert record["pid"] == record["s_pid"]
+                assert record["load"] > workload.stop_threshold
+                assert record["load"] > record["s_load"]
+
+    def test_higher_sel_more_outputs(self):
+        dataset = PerfmonDataset(processes=10, duration_seconds=200, seed=9)
+        counts = []
+        for sel in (0.2, 0.9):
+            workload = HybridWorkload(dataset, num_queries=3, sel=sel)
+            plan, name_map = workload.rumor_plan(channels=True)
+            engine = StreamEngine(plan)
+            stats = engine.run(workload.sources(plan, name_map, 200))
+            counts.append(stats.output_events)
+        assert counts[1] >= counts[0]

@@ -1,0 +1,120 @@
+"""Tests for plan DOT export and engine state sampling."""
+
+import pytest
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.operators.expressions import attr, left, lit, right
+from repro.operators.predicates import Comparison, DurationWithin, conjunction
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+def optimized_channel_plan():
+    plan = QueryPlan()
+    sources = [
+        plan.add_source(f"S{i}", SCHEMA, sharable_label="s") for i in range(3)
+    ]
+    for i, source in enumerate(sources):
+        out = plan.add_operator(
+            Selection(Comparison(attr("a"), "==", lit(1))), [source],
+            query_id=f"q{i}",
+        )
+        plan.mark_output(out, f"q{i}")
+    Optimizer().optimize(plan)
+    return plan, sources
+
+
+class TestDotExport:
+    def test_structure(self):
+        plan, sources = optimized_channel_plan()
+        dot = plan.to_dot()
+        assert dot.startswith("digraph rumor_plan {")
+        assert dot.rstrip().endswith("}")
+        for source in sources:
+            assert f'src_{source.stream_id}' in dot
+
+    def test_channel_edges_dashed(self):
+        plan, __ = optimized_channel_plan()
+        dot = plan.to_dot()
+        assert "style=dashed" in dot
+        assert "cap 3" in dot
+
+    def test_sinks_rendered(self):
+        plan, __ = optimized_channel_plan()
+        dot = plan.to_dot()
+        assert "sink_" in dot
+        assert "q0" in dot
+
+    def test_singleton_plan_all_solid(self):
+        plan = QueryPlan()
+        source = plan.add_source("S", SCHEMA)
+        out = plan.add_operator(
+            Selection(Comparison(attr("a"), "==", lit(1))), [source], query_id="q"
+        )
+        plan.mark_output(out, "q")
+        dot = plan.to_dot()
+        assert "style=dashed" not in dot
+        assert "style=solid" in dot
+
+
+class TestStateSampling:
+    def _sequence_plan(self, window):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        out = plan.add_operator(
+            Sequence(
+                conjunction(
+                    [DurationWithin(window), Comparison(left("a"), "==", right("a"))]
+                )
+            ),
+            [s, t],
+            query_id="q",
+        )
+        plan.mark_output(out, "q")
+        return plan, s, t
+
+    def _run(self, window):
+        plan, s, t = self._sequence_plan(window)
+        engine = StreamEngine(plan)
+        s_tuples = [StreamTuple(SCHEMA, (i % 50, 0), 2 * i) for i in range(200)]
+        t_tuples = [StreamTuple(SCHEMA, (999, 0), 2 * i + 1) for i in range(200)]
+        return engine.run(
+            [
+                StreamSource(plan.channel_of(s), s_tuples),
+                StreamSource(plan.channel_of(t), t_tuples),
+            ],
+            sample_state_every=10,
+        )
+
+    def test_peak_state_grows_with_window(self):
+        small = self._run(window=10)
+        large = self._run(window=1000)
+        assert large.peak_state > small.peak_state
+
+    def test_no_sampling_means_zero(self):
+        plan, s, t = self._sequence_plan(10)
+        engine = StreamEngine(plan)
+        stats = engine.run(
+            [
+                StreamSource(
+                    plan.channel_of(s), [StreamTuple(SCHEMA, (1, 1), 0)]
+                ),
+                StreamSource(plan.channel_of(t), []),
+            ]
+        )
+        assert stats.peak_state == 0
+
+    def test_merge_takes_max_peak(self):
+        from repro.engine.metrics import RunStats
+
+        first = RunStats(peak_state=5)
+        second = RunStats(peak_state=9)
+        assert first.merge(second).peak_state == 9

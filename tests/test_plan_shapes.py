@@ -1,0 +1,110 @@
+"""Golden plan shapes for the paper's canonical workloads.
+
+These lock in what the optimizer is expected to produce — a regression guard
+for rule changes: Workload 1 must collapse to the two-m-op FR/AN pipeline,
+Workload 3 (channels) must ride a single capacity-k channel, and the µ
+workload must land in one shared-window m-op.
+"""
+
+import pytest
+
+from repro.mops.channel_sequence import ChannelSequenceMOp
+from repro.mops.predicate_index import PredicateIndexMOp
+from repro.mops.shared_sequence import IndexedSequenceMOp
+from repro.mops.shared_window_sequence import SharedWindowSequenceMOp
+from repro.workloads.templates import (
+    Workload1,
+    Workload2,
+    Workload3,
+    WorkloadParameters,
+)
+
+
+class TestWorkload1Shape:
+    @pytest.fixture
+    def plan(self):
+        plan, __ = Workload1(WorkloadParameters(num_queries=40)).rumor_plan()
+        return plan
+
+    def test_two_mops_total(self, plan):
+        assert len(plan.mops) == 2
+
+    def test_fr_side_is_predicate_index(self, plan):
+        kinds = {type(mop) for mop in plan.mops}
+        assert PredicateIndexMOp in kinds
+
+    def test_an_side_is_indexed_sequence(self, plan):
+        an_mop = next(
+            mop for mop in plan.mops if isinstance(mop, IndexedSequenceMOp)
+        )
+        assert an_mop.index_attribute == "a0"
+        assert len(an_mop.instances) == 40
+
+    def test_cse_deduplicates_selections(self, plan):
+        index_mop = next(
+            mop for mop in plan.mops if isinstance(mop, PredicateIndexMOp)
+        )
+        constants = [
+            inst.operator.predicate for inst in index_mop.instances
+        ]
+        # after CSE every remaining selection predicate is distinct
+        assert len(set(constants)) == len(constants)
+
+
+class TestWorkload2Shape:
+    def test_mu_collapses_to_one_shared_window_mop(self):
+        plan, __ = Workload2(
+            WorkloadParameters(num_queries=60), variant="mu"
+        ).rumor_plan()
+        assert len(plan.mops) == 1
+        assert isinstance(plan.mops[0], SharedWindowSequenceMOp)
+
+    def test_seq_groups_by_window(self):
+        workload = Workload2(WorkloadParameters(num_queries=60), variant="seq")
+        plan, __ = workload.rumor_plan()
+        distinct_windows = len(set(workload.windows))
+        # consuming ; cannot share across windows: one m-op per distinct window
+        assert len(plan.mops) == distinct_windows
+
+
+class TestWorkload3Shape:
+    def test_single_channel_of_full_capacity(self):
+        workload = Workload3(WorkloadParameters(num_queries=50), capacity=8)
+        plan, name_map = workload.rumor_plan(channels=True)
+        channels = {
+            plan.channel_of(name_map[name]).channel_id
+            for name in workload.stream_names
+        }
+        assert len(channels) == 1
+        assert plan.channel_of(name_map["S1"]).capacity == 8
+
+    def test_shared_definitions_channelized(self):
+        """Every definition appearing on ≥2 streams is merged into a channel
+        m-op; definitions unique to one stream stay naive (no sharing
+        opportunity, per the Fig. 3 column picture) but still read the
+        channel via the decode step."""
+        workload = Workload3(WorkloadParameters(num_queries=50), capacity=8)
+        plan, __ = workload.rumor_plan(channels=True)
+        sequence_mops = [
+            mop for mop in plan.mops if isinstance(mop, ChannelSequenceMOp)
+        ]
+        assert sequence_mops
+        naive_definitions = [
+            instance.operator.definition()
+            for mop in plan.mops
+            if not isinstance(mop, ChannelSequenceMOp)
+            for instance in mop.instances
+        ]
+        for definition in naive_definitions:
+            streams = {
+                instance.inputs[0].stream_id
+                for mop in plan.mops
+                for instance in mop.instances
+                if instance.operator.definition() == definition
+            }
+            assert len(streams) == 1  # truly nothing to merge with
+
+    def test_plain_plan_has_no_channels(self):
+        workload = Workload3(WorkloadParameters(num_queries=50), capacity=8)
+        plan, __ = workload.rumor_plan(channels=False)
+        assert all(channel.is_singleton for channel in plan.channels())

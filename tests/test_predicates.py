@@ -1,0 +1,173 @@
+"""Unit tests for predicates and the rule-facing analyses."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.operators.expressions import AttrRef, LEFT, RIGHT, attr, left, lit, right
+from repro.operators.predicates import (
+    And,
+    Comparison,
+    DurationWithin,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    as_constant_equality,
+    as_cross_equality,
+    as_duration_bound,
+    conjunction,
+    conjuncts,
+    map_attr_refs,
+    split_binary_predicate,
+)
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_ints("a", "b")
+
+
+@pytest.fixture
+def pair(schema):
+    return (StreamTuple(schema, (1, 2), 10), StreamTuple(schema, (1, 4), 20))
+
+
+class TestCompile:
+    def test_true_false(self, schema, pair):
+        l, r = pair
+        assert TruePredicate().compile(schema)(l, r, None)
+        assert not FalsePredicate().compile(schema)(l, r, None)
+
+    def test_comparison_ops(self, schema, pair):
+        l, r = pair
+        cases = [("==", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)]
+        for op, expected in cases:
+            predicate = Comparison(attr("b"), op, right("b"))
+            assert predicate.compile(schema, schema)(l, r, None) is expected
+
+    def test_unknown_comparison_op(self):
+        with pytest.raises(ExpressionError):
+            Comparison(lit(1), "~", lit(2))
+
+    def test_and_or_not(self, schema, pair):
+        l, r = pair
+        true = TruePredicate()
+        false = FalsePredicate()
+        assert And((true, true)).compile(schema)(l, r, None)
+        assert not And((true, false)).compile(schema)(l, r, None)
+        assert Or((false, true)).compile(schema)(l, r, None)
+        assert not Or((false, false)).compile(schema)(l, r, None)
+        assert Not(false).compile(schema)(l, r, None)
+
+    def test_duration_within(self, schema):
+        predicate = DurationWithin(5).compile(schema, schema)
+        older = StreamTuple(schema, (0, 0), 10)
+        assert predicate(older, StreamTuple(schema, (0, 0), 15), None)
+        assert not predicate(older, StreamTuple(schema, (0, 0), 16), None)
+        # events strictly before the instance are excluded
+        assert not predicate(older, StreamTuple(schema, (0, 0), 9), None)
+
+    def test_duration_negative_window_rejected(self):
+        with pytest.raises(ExpressionError):
+            DurationWithin(-1)
+
+    def test_predicate_sugar(self, schema, pair):
+        l, r = pair
+        combined = Comparison(attr("a"), "==", lit(1)) & Comparison(attr("b"), "==", lit(2))
+        assert combined.compile(schema)(l, None, None)
+        either = Comparison(attr("a"), "==", lit(9)) | Comparison(attr("b"), "==", lit(2))
+        assert either.compile(schema)(l, None, None)
+        negated = ~Comparison(attr("a"), "==", lit(9))
+        assert negated.compile(schema)(l, None, None)
+
+
+class TestConjunction:
+    def test_empty_is_true(self):
+        assert isinstance(conjunction([]), TruePredicate)
+
+    def test_singleton_passthrough(self):
+        predicate = Comparison(attr("a"), "==", lit(1))
+        assert conjunction([predicate]) is predicate
+
+    def test_flattens_nested(self):
+        p1 = Comparison(attr("a"), "==", lit(1))
+        p2 = Comparison(attr("b"), "==", lit(2))
+        p3 = Comparison(attr("a"), ">", lit(0))
+        nested = conjunction([And((p1, p2)), p3])
+        assert conjuncts(nested) == [p1, p2, p3]
+
+    def test_drops_true(self):
+        predicate = Comparison(attr("a"), "==", lit(1))
+        assert conjunction([TruePredicate(), predicate]) is predicate
+
+    def test_conjuncts_of_true_is_empty(self):
+        assert conjuncts(TruePredicate()) == []
+
+
+class TestAnalyses:
+    def test_constant_equality_both_orders(self):
+        forward = Comparison(right("a"), "==", lit(7))
+        backward = Comparison(lit(7), "==", right("a"))
+        assert as_constant_equality(forward) == (RIGHT, "a", 7)
+        assert as_constant_equality(backward) == (RIGHT, "a", 7)
+
+    def test_constant_equality_rejects_non_equality(self):
+        assert as_constant_equality(Comparison(right("a"), "<", lit(7))) is None
+
+    def test_constant_equality_rejects_attr_pair(self):
+        assert as_constant_equality(Comparison(left("a"), "==", right("a"))) is None
+
+    def test_cross_equality_both_orders(self):
+        assert as_cross_equality(Comparison(left("a"), "==", right("b"))) == ("a", "b")
+        assert as_cross_equality(Comparison(right("b"), "==", left("a"))) == ("a", "b")
+
+    def test_cross_equality_rejects_same_side(self):
+        assert as_cross_equality(Comparison(left("a"), "==", left("b"))) is None
+
+    def test_duration_bound(self):
+        assert as_duration_bound(DurationWithin(10)) == 10
+        assert as_duration_bound(TruePredicate()) is None
+
+    def test_split_binary_predicate(self):
+        predicate = conjunction(
+            [
+                DurationWithin(50),
+                Comparison(left("a"), "==", right("a")),
+                Comparison(right("b"), "==", lit(3)),
+                Comparison(right("b"), ">", left("b")),
+            ]
+        )
+        window, cross, constants, residual = split_binary_predicate(predicate)
+        assert window == 50
+        assert cross == ("a", "a")
+        assert constants == [("b", 3)]
+        assert len(residual) == 1
+
+    def test_split_takes_tightest_window(self):
+        predicate = conjunction([DurationWithin(50), DurationWithin(10)])
+        window, __, __, __ = split_binary_predicate(predicate)
+        assert window == 10
+
+
+class TestMapAttrRefs:
+    def test_rewrites_leaves(self):
+        predicate = conjunction(
+            [
+                Comparison(left("a"), "==", right("a")),
+                Or((Comparison(left("b"), ">", lit(1)), Not(TruePredicate()))),
+            ]
+        )
+
+        def bump(ref: AttrRef):
+            return AttrRef(ref.side, f"x_{ref.name}")
+
+        mapped = map_attr_refs(predicate, bump)
+        names = {name for __, name in mapped.references()}
+        assert names == {"x_a", "x_b"}
+
+    def test_duration_unchanged(self):
+        predicate = DurationWithin(5)
+        assert map_attr_refs(predicate, lambda ref: ref) == predicate

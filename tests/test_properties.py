@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from collections import Counter, deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mop import OutputCollector
+from repro.core.plan import QueryPlan
+from repro.mops.naive import NaiveMOp
+from repro.operators.aggregate import (
+    MonotonicExtremeAccumulator,
+    SumCountAccumulator,
+)
+from repro.operators.expressions import attr, lit
+from repro.operators.instances import Instance, InstanceStore
+from repro.operators.predicates import Comparison
+from repro.operators.select import Selection
+from repro.streams.channel import Channel
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a")
+
+
+# -- channel membership roundtrip ---------------------------------------------------
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=24),
+    data=st.data(),
+)
+def test_channel_mask_roundtrip(capacity, data):
+    """decode(encode(streams)) == streams for every nonempty subset."""
+    streams = [StreamDef(f"S{i}", SCHEMA) for i in range(capacity)]
+    channel = Channel(streams)
+    subset_indexes = data.draw(
+        st.sets(st.integers(0, capacity - 1), min_size=1, max_size=capacity)
+    )
+    subset = [streams[i] for i in sorted(subset_indexes)]
+    mask = channel.mask_of(subset)
+    assert channel.streams_of(mask) == subset
+    assert mask.bit_count() == len(subset)
+
+
+# -- sliding accumulators vs brute force -----------------------------------------------
+
+
+@st.composite
+def timestamped_values(draw):
+    count = draw(st.integers(min_value=1, max_value=60))
+    timestamps = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 200), min_size=count, max_size=count
+            )
+        )
+    )
+    values = draw(
+        st.lists(st.integers(-100, 100), min_size=count, max_size=count)
+    )
+    window = draw(st.integers(0, 50))
+    return list(zip(timestamps, values)), window
+
+
+@given(timestamped_values())
+@settings(max_examples=120)
+def test_sum_count_accumulator_matches_bruteforce(case):
+    entries, window = case
+    accumulator = SumCountAccumulator()
+    for position, (ts, value) in enumerate(entries):
+        accumulator.insert(ts, value)
+        accumulator.expire(ts - window)
+        processed = entries[: position + 1]
+        expected = [(t, v) for t, v in processed if t >= ts - window]
+        assert accumulator.partial() == (
+            sum(v for __, v in expected),
+            len(expected),
+        )
+
+
+@given(timestamped_values(), st.booleans())
+@settings(max_examples=120)
+def test_monotonic_extreme_matches_bruteforce(case, maximum):
+    entries, window = case
+    accumulator = MonotonicExtremeAccumulator(maximum=maximum)
+    for position, (ts, value) in enumerate(entries):
+        accumulator.insert(ts, value)
+        accumulator.expire(ts - window)
+        processed = entries[: position + 1]
+        expected = [v for t, v in processed if t >= ts - window]
+        reference = max(expected) if maximum else min(expected)
+        assert accumulator.partial() == reference
+
+
+# -- instance store invariants ----------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "kill", "expire"]),
+            st.integers(0, 5),  # key
+            st.integers(0, 100),  # ts / threshold
+        ),
+        max_size=80,
+    )
+)
+@settings(max_examples=100)
+def test_instance_store_matches_model(operations):
+    """The indexed store behaves like a naive model set."""
+    store = InstanceStore(indexed=True)
+    model: list = []  # live (instance, key) in insertion order
+    clock = 0
+    inserted: list = []
+    for action, key, stamp in operations:
+        if action == "insert":
+            clock = max(clock, stamp)
+            instance = Instance(
+                StreamTuple(SCHEMA, (key,), clock), key=key
+            )
+            store.insert(instance)
+            model.append(instance)
+            inserted.append(instance)
+        elif action == "kill" and inserted:
+            victim = inserted[stamp % len(inserted)]
+            store.kill(victim)
+            model = [i for i in model if i is not victim]
+        else:  # expire
+            store.expire(stamp)
+            model = [i for i in model if i.start_ts >= stamp and i.alive]
+        assert len(store) == len(model)
+        for probe_key in range(6):
+            expected = [i for i in model if i.key == probe_key]
+            assert list(store.probe(probe_key)) == expected
+
+
+# -- output collector: per-stream multiset preservation ------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 4)),  # (stream idx, value)
+        min_size=0,
+        max_size=30,
+    )
+)
+@settings(max_examples=120)
+def test_collector_preserves_per_stream_multisets(emission_plan):
+    plan = QueryPlan()
+    source = plan.add_source("S", SCHEMA)
+    outs = [
+        plan.add_operator(
+            Selection(Comparison(attr("a"), "==", lit(i))), [source], query_id=f"q{i}"
+        )
+        for i in range(4)
+    ]
+    old = list(plan.mops)
+    instances = [inst for mop in old for inst in mop.instances]
+    plan.replace_mops(old, NaiveMOp(instances))
+    channel = plan.channelize(outs)
+    collector = OutputCollector(plan, outs)
+
+    emissions = [
+        (outs[stream_index], StreamTuple(SCHEMA, (value,), 0))
+        for stream_index, value in emission_plan
+    ]
+    encoded = collector.emit(emissions)
+
+    # Decode back: per stream, the multiset of tuple contents must match.
+    decoded: Counter = Counter()
+    for out_channel, channel_tuple in encoded:
+        assert out_channel is channel
+        for member in out_channel.decode(channel_tuple):
+            decoded[(member.stream_id, channel_tuple.tuple.values)] += 1
+    expected: Counter = Counter(
+        (stream.stream_id, tuple_.values) for stream, tuple_ in emissions
+    )
+    assert decoded == expected
+
+
+# -- Zipf sampler distribution sanity --------------------------------------------------------
+
+
+@given(st.integers(2, 50), st.floats(1.1, 3.0))
+@settings(max_examples=30)
+def test_zipf_probabilities_normalized(domain, parameter):
+    import numpy as np
+
+    from repro.workloads.zipf import ZipfSampler
+
+    sampler = ZipfSampler(1, domain, parameter, np.random.default_rng(0))
+    assert abs(sampler._probabilities.sum() - 1.0) < 1e-9
+    assert sampler.expected_distinct(1) == pytest.approx(1.0, abs=1e-9)
+
+
+# -- predicate compilation vs structural evaluation ---------------------------------------
+
+
+@st.composite
+def simple_predicates(draw):
+    from repro.operators.predicates import And, Not, Or, TruePredicate
+
+    def leaf():
+        op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+        const = draw(st.integers(0, 3))
+        return Comparison(attr("a"), op, lit(const))
+
+    depth = draw(st.integers(0, 2))
+    node = leaf()
+    for __ in range(depth):
+        kind = draw(st.sampled_from(["and", "or", "not"]))
+        if kind == "and":
+            node = And((node, leaf()))
+        elif kind == "or":
+            node = Or((node, leaf()))
+        else:
+            node = Not(node)
+    return node
+
+
+def _reference_eval(predicate, tuple_):
+    """Structural interpreter used as the compilation oracle."""
+    from repro.operators.predicates import (
+        And,
+        Comparison,
+        FalsePredicate,
+        Not,
+        Or,
+        TruePredicate,
+    )
+
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, FalsePredicate):
+        return False
+    if isinstance(predicate, And):
+        return all(_reference_eval(p, tuple_) for p in predicate.parts)
+    if isinstance(predicate, Or):
+        return any(_reference_eval(p, tuple_) for p in predicate.parts)
+    if isinstance(predicate, Not):
+        return not _reference_eval(predicate.part, tuple_)
+    assert isinstance(predicate, Comparison)
+    ops = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+    lhs = tuple_["a"] if hasattr(predicate.lhs, "name") else predicate.lhs.value
+    rhs = predicate.rhs.value if hasattr(predicate.rhs, "value") else tuple_["a"]
+    return ops[predicate.op](lhs, rhs)
+
+
+@given(simple_predicates(), st.integers(0, 3))
+@settings(max_examples=150)
+def test_compiled_predicate_matches_reference(predicate, value):
+    tuple_ = StreamTuple(SCHEMA, (value,), 0)
+    compiled = predicate.compile(SCHEMA)
+    assert compiled(tuple_, None, None) == _reference_eval(predicate, tuple_)
+
+
+# -- parser/printer stability ---------------------------------------------------------------
+
+
+@given(st.integers(0, 999), st.integers(1, 1000))
+@settings(max_examples=50)
+def test_parse_predicate_roundtrip_semantics(constant, window):
+    from repro.lang.parser import parse_predicate
+    from repro.operators.predicates import DurationWithin, conjunction
+
+    text = f"a == {constant} AND WITHIN {window}"
+    parsed = parse_predicate(text)
+    expected = conjunction(
+        [Comparison(attr("a"), "==", lit(constant)), DurationWithin(window)]
+    )
+    assert parsed == expected

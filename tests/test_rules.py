@@ -1,0 +1,225 @@
+"""Unit tests for m-rule mechanics: conditions, guards, priorities."""
+
+import pytest
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.core.registry import default_rules
+from repro.core.rules import (
+    ChannelSelectionRule,
+    ChannelSequenceRule,
+    CseRule,
+    FragmentAggregateRule,
+    IndexedSequenceRule,
+    PredicateIndexRule,
+    SharedAggregateRule,
+    SharedJoinRule,
+)
+from repro.mops.channel_ops import ChannelSelectionMOp
+from repro.mops.predicate_index import PredicateIndexMOp
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.expressions import attr, left, lit, right
+from repro.operators.predicates import Comparison, DurationWithin, conjunction
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.operators.window import TimeWindow
+from repro.streams.schema import Schema
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+def selection(const):
+    return Selection(Comparison(attr("a"), "==", lit(const)))
+
+
+class TestRuleGuards:
+    def test_refire_guard(self):
+        """A rule must not merge a group it already produced (fixpoint)."""
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        for c in range(3):
+            plan.add_operator(selection(c), [s], query_id=f"q{c}")
+        rule = PredicateIndexRule()
+        assert rule.apply(plan) == 1
+        assert rule.apply(plan) == 0  # no refire on the merged m-op
+
+    def test_incremental_merge_absorbs_new_query(self):
+        """A new query added after optimization is absorbed on re-run."""
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        for c in range(3):
+            plan.add_operator(selection(c), [s], query_id=f"q{c}")
+        rule = PredicateIndexRule()
+        rule.apply(plan)
+        plan.add_operator(selection(99), [s], query_id="q99")
+        assert rule.apply(plan) == 1
+        assert isinstance(plan.mops[0], PredicateIndexMOp)
+        assert len(plan.mops[0].instances) == 4
+
+    def test_singleton_groups_skipped(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        plan.add_operator(selection(1), [s])
+        assert PredicateIndexRule().apply(plan) == 0
+
+    def test_different_streams_not_grouped(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        plan.add_operator(selection(1), [s])
+        plan.add_operator(selection(1), [t])
+        assert PredicateIndexRule().apply(plan) == 0
+
+
+class TestSharedAggregateCondition:
+    def test_different_functions_not_merged(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        plan.add_operator(
+            SlidingWindowAggregate("sum", "b", TimeWindow(5), (), "x"), [s]
+        )
+        plan.add_operator(
+            SlidingWindowAggregate("avg", "b", TimeWindow(5), (), "x"), [s]
+        )
+        assert SharedAggregateRule().apply(plan) == 0
+
+    def test_same_function_different_groupby_merged(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        plan.add_operator(
+            SlidingWindowAggregate("sum", "b", TimeWindow(5), (), "x"), [s]
+        )
+        plan.add_operator(
+            SlidingWindowAggregate("sum", "b", TimeWindow(5), ("a",), "x"), [s]
+        )
+        assert SharedAggregateRule().apply(plan) == 1
+
+
+class TestChannelRuleConditions:
+    def test_needs_sharable_inputs(self):
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", SCHEMA)  # unlabeled: not sharable
+        s2 = plan.add_source("S2", SCHEMA)
+        plan.add_operator(selection(1), [s1])
+        plan.add_operator(selection(1), [s2])
+        assert ChannelSelectionRule().apply(plan) == 0
+
+    def test_needs_same_definition(self):
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", SCHEMA, sharable_label="s")
+        s2 = plan.add_source("S2", SCHEMA, sharable_label="s")
+        plan.add_operator(selection(1), [s1])
+        plan.add_operator(selection(2), [s2])
+        assert ChannelSelectionRule().apply(plan) == 0
+
+    def test_merges_and_channelizes(self):
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", SCHEMA, sharable_label="s")
+        s2 = plan.add_source("S2", SCHEMA, sharable_label="s")
+        plan.add_operator(selection(1), [s1], query_id="q1")
+        plan.add_operator(selection(1), [s2], query_id="q2")
+        assert ChannelSelectionRule().apply(plan) == 1
+        assert isinstance(plan.mops[0], ChannelSelectionMOp)
+        assert plan.channel_of(s1) is plan.channel_of(s2)
+        assert plan.channel_of(s1).capacity == 2
+
+    def test_channel_covers_all_siblings(self):
+        """Channelization encodes the whole sharable sibling set, so later
+        definition groups can ride the same channel (Fig. 3)."""
+        plan = QueryPlan()
+        sources = [
+            plan.add_source(f"S{i}", SCHEMA, sharable_label="s") for i in range(4)
+        ]
+        # group 1 (definition A) reads S0, S1; group 2 (B) reads S2, S3
+        for i, source in enumerate(sources[:2]):
+            plan.add_operator(selection(1), [source], query_id=f"a{i}")
+        for i, source in enumerate(sources[2:]):
+            plan.add_operator(selection(2), [source], query_id=f"b{i}")
+        rule = ChannelSelectionRule()
+        assert rule.apply(plan) == 2
+        channels = {plan.channel_of(s).channel_id for s in sources}
+        assert len(channels) == 1
+        assert plan.channel_of(sources[0]).capacity == 4
+
+
+class TestIndexedSequenceCondition:
+    def _seq(self, plan, s, t, const, window, query_id):
+        predicate = conjunction(
+            [DurationWithin(window), Comparison(right("a"), "==", lit(const))]
+        )
+        return plan.add_operator(Sequence(predicate), [s, t], query_id=query_id)
+
+    def test_requires_common_guard_attribute(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        self._seq(plan, s, t, 1, 5, "q1")
+        # second query guards on b, not a: no common attribute
+        predicate = conjunction(
+            [DurationWithin(5), Comparison(right("b"), "==", lit(2))]
+        )
+        plan.add_operator(Sequence(predicate), [s, t], query_id="q2")
+        assert IndexedSequenceRule().apply(plan) == 0
+
+    def test_merges_same_guard_attribute(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        self._seq(plan, s, t, 1, 5, "q1")
+        self._seq(plan, s, t, 2, 7, "q2")
+        assert IndexedSequenceRule().apply(plan) == 1
+
+
+class TestRegistry:
+    def test_priority_order(self):
+        rules = default_rules()
+        priorities = [rule.priority for rule in rules]
+        assert priorities == sorted(priorities)
+        assert rules[0].name == "cse"
+
+    def test_channel_free_registry(self):
+        rules = default_rules(channels=False)
+        names = {rule.name for rule in rules}
+        assert "c;/cµ" not in names
+        assert "cσ" not in names
+        assert "sσ" in names
+
+    def test_full_registry_names(self):
+        names = {rule.name for rule in default_rules()}
+        assert {
+            "cse", "sσ", "s;/sµ", "s;-ix", "s;-w", "sα", "s⋈",
+            "cσ", "cπ", "cα", "c⋈", "c;/cµ",
+        } <= names
+
+
+class TestOptimizerFixpoint:
+    def test_terminates_and_validates(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        for c in range(6):
+            out = plan.add_operator(selection(c % 2), [s], query_id=f"q{c}")
+            plan.mark_output(out, f"q{c}")
+        report = Optimizer().optimize(plan)
+        assert report.sweeps >= 1
+        plan.validate()
+
+    def test_idempotent(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        for c in range(4):
+            plan.add_operator(selection(c), [s], query_id=f"q{c}")
+        optimizer = Optimizer()
+        optimizer.optimize(plan)
+        shape = [mop.describe() for mop in plan.mops]
+        second = optimizer.optimize(plan)
+        assert second.total_applications == 0
+        assert [mop.describe() for mop in plan.mops] == shape
+
+    def test_report_rendering(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        for c in range(3):
+            plan.add_operator(selection(c), [s], query_id=f"q{c}")
+        report = Optimizer().optimize(plan)
+        assert "sσ" in str(report)
+        assert report.by_rule().get("sσ") == 1

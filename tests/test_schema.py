@@ -1,0 +1,126 @@
+"""Unit tests for repro.streams.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streams.schema import Attribute, Schema, TIMESTAMP_ATTRIBUTE
+
+
+class TestAttribute:
+    def test_valid_attribute(self):
+        attribute = Attribute("a0", "int")
+        assert attribute.name == "a0"
+        assert attribute.type == "int"
+
+    def test_default_type_is_int(self):
+        assert Attribute("x").type == "int"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("0bad")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("a", "decimal")
+
+    def test_renamed_keeps_type(self):
+        assert Attribute("a", "float").renamed("b") == Attribute("b", "float")
+
+
+class TestSchemaConstruction:
+    def test_from_attribute_objects(self):
+        schema = Schema([Attribute("a"), Attribute("b", "float")])
+        assert schema.names == ("a", "b")
+        assert schema.type_of("b") == "float"
+
+    def test_from_tuples_and_strings(self):
+        schema = Schema([("a", "int"), "b"])
+        assert schema.names == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a", "a"])
+
+    def test_timestamp_attribute_reserved(self):
+        with pytest.raises(SchemaError, match="implicit"):
+            Schema([TIMESTAMP_ATTRIBUTE])
+
+    def test_numbered_builds_paper_schema(self):
+        schema = Schema.numbered(10)
+        assert len(schema) == 10
+        assert schema.names[0] == "a0"
+        assert schema.names[-1] == "a9"
+
+    def test_numbered_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.numbered(-1)
+
+    def test_of_ints(self):
+        schema = Schema.of_ints("x", "y")
+        assert all(a.type == "int" for a in schema)
+
+
+class TestSchemaLookup:
+    def test_index_of(self):
+        schema = Schema.of_ints("a", "b", "c")
+        assert schema.index_of("b") == 1
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema.of_ints("a")
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.index_of("z")
+
+    def test_contains(self):
+        schema = Schema.of_ints("a")
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_equality_and_hash(self):
+        assert Schema.of_ints("a", "b") == Schema.of_ints("a", "b")
+        assert hash(Schema.of_ints("a")) == hash(Schema.of_ints("a"))
+        assert Schema.of_ints("a") != Schema.of_ints("b")
+
+
+class TestSchemaDerivation:
+    def test_project_reorders(self):
+        schema = Schema.of_ints("a", "b", "c")
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_rename(self):
+        schema = Schema.of_ints("a", "b")
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ("x", "b")
+
+    def test_prefixed(self):
+        schema = Schema.of_ints("a", "b")
+        assert schema.prefixed("s_").names == ("s_a", "s_b")
+
+    def test_concat_disjoint(self):
+        left = Schema.of_ints("a")
+        right = Schema.of_ints("b")
+        assert left.concat(right).names == ("a", "b")
+
+    def test_concat_collision_rejected(self):
+        schema = Schema.of_ints("a")
+        with pytest.raises(SchemaError, match="shared attributes"):
+            schema.concat(schema)
+
+    def test_union_compatible_strict(self):
+        assert Schema.of_ints("a").union_compatible(Schema.of_ints("a"))
+        assert not Schema.of_ints("a").union_compatible(Schema.of_ints("b"))
+
+    def test_padded_union_merges(self):
+        left = Schema.of_ints("a", "b")
+        right = Schema.of_ints("b", "c")
+        merged = left.padded_union(right)
+        assert merged.names == ("a", "b", "c")
+
+    def test_padded_union_type_conflict(self):
+        left = Schema([("a", "int")])
+        right = Schema([("a", "float")])
+        with pytest.raises(SchemaError, match="conflicting types"):
+            left.padded_union(right)

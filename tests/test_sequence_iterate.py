@@ -1,0 +1,189 @@
+"""Unit tests for the Cayuga ``;`` and ``µ`` operators."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.expressions import last, left, lit, right
+from repro.operators.iterate import Iterate
+from repro.operators.predicates import (
+    Comparison,
+    DurationWithin,
+    TruePredicate,
+    conjunction,
+)
+from repro.operators.sequence import Sequence
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("k", "v")
+
+
+def run_binary(executor, events):
+    """events: (side, ts, k, v); returns output tuples."""
+    outputs = []
+    for side, ts, k, v in events:
+        outputs.extend(executor.process(side, StreamTuple(SCHEMA, (k, v), ts)))
+    return outputs
+
+
+class TestSequence:
+    def test_basic_match(self):
+        operator = Sequence(Comparison(left("k"), "==", right("k")))
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(executor, [(0, 0, 1, 10), (1, 1, 1, 20)])
+        assert len(outputs) == 1
+        assert outputs[0].as_dict() == {"s_k": 1, "s_v": 10, "k": 1, "v": 20}
+        assert outputs[0].ts == 1
+
+    def test_consume_on_match(self):
+        operator = Sequence(Comparison(left("k"), "==", right("k")))
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor, [(0, 0, 1, 10), (1, 1, 1, 20), (1, 2, 1, 30)]
+        )
+        assert len(outputs) == 1  # the instance was consumed by the first match
+
+    def test_keep_on_match(self):
+        operator = Sequence(
+            Comparison(left("k"), "==", right("k")), consume_on_match=False
+        )
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor, [(0, 0, 1, 10), (1, 1, 1, 20), (1, 2, 1, 30)]
+        )
+        assert len(outputs) == 2
+
+    def test_non_matching_event_leaves_instance(self):
+        operator = Sequence(Comparison(left("k"), "==", right("k")))
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor, [(0, 0, 1, 10), (1, 1, 2, 99), (1, 2, 1, 20)]
+        )
+        assert len(outputs) == 1
+
+    def test_duration_expires_instances(self):
+        operator = Sequence(
+            conjunction(
+                [DurationWithin(3), Comparison(left("k"), "==", right("k"))]
+            )
+        )
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(executor, [(0, 0, 1, 10), (1, 10, 1, 20)])
+        assert outputs == []
+        assert executor.state_size == 0  # expired, not lingering
+
+    def test_constant_guard_prefilters_events(self):
+        operator = Sequence(
+            conjunction(
+                [
+                    Comparison(right("v"), "==", lit(7)),
+                    Comparison(left("k"), "==", right("k")),
+                ]
+            )
+        )
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor, [(0, 0, 1, 0), (1, 1, 1, 5), (1, 2, 1, 7)]
+        )
+        assert len(outputs) == 1
+
+    def test_event_before_instance_never_matches(self):
+        operator = Sequence(TruePredicate())
+        executor = operator.executor([SCHEMA, SCHEMA])
+        # right event first, then left — no instance yet, so no match
+        outputs = run_binary(executor, [(1, 0, 1, 1), (0, 1, 1, 1)])
+        assert outputs == []
+
+    def test_multiple_instances_matched_together(self):
+        operator = Sequence(Comparison(left("k"), "==", right("k")))
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor, [(0, 0, 1, 1), (0, 1, 1, 2), (1, 2, 1, 9)]
+        )
+        assert len(outputs) == 2
+
+
+class TestIterate:
+    @pytest.fixture
+    def ramp_operator(self):
+        correlation = Comparison(left("k"), "==", right("k"))
+        increasing = Comparison(right("v"), ">", last("v"))
+        return Iterate(
+            conjunction([correlation, increasing]),
+            conjunction([correlation, increasing]),
+        )
+
+    def test_monotone_run_emits_prefixes(self, ramp_operator):
+        executor = ramp_operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor,
+            [(0, 0, 1, 10), (1, 1, 1, 12), (1, 2, 1, 15), (1, 3, 1, 20)],
+        )
+        assert [o["v"] for o in outputs] == [12, 15, 20]
+        assert all(o["s_v"] == 10 for o in outputs)
+
+    def test_broken_run_kills_instance(self, ramp_operator):
+        executor = ramp_operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor,
+            [(0, 0, 1, 10), (1, 1, 1, 12), (1, 2, 1, 5), (1, 3, 1, 50)],
+        )
+        # v=5 breaks the run; v=50 has no instance left
+        assert [o["v"] for o in outputs] == [12]
+
+    def test_uncorrelated_events_skip_instance(self, ramp_operator):
+        executor = ramp_operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor,
+            [(0, 0, 1, 10), (1, 1, 2, 0), (1, 2, 1, 12)],
+        )
+        # the k=2 event must not break the k=1 instance
+        assert [o["v"] for o in outputs] == [12]
+
+    def test_last_advances_with_rebind(self, ramp_operator):
+        executor = ramp_operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor,
+            [(0, 0, 1, 10), (1, 1, 1, 20), (1, 2, 1, 15)],
+        )
+        # 15 < last (20) even though 15 > start (10): run is broken
+        assert [o["v"] for o in outputs] == [20]
+
+    def test_last_requires_matching_schemas(self):
+        other = Schema.of_ints("x")
+        operator = Iterate(
+            Comparison(right("k"), ">", last("k")), TruePredicate()
+        )
+        with pytest.raises(OperatorError, match="schemas differ"):
+            operator.executor([other, SCHEMA])
+
+    def test_forward_without_rebind_consumes(self):
+        # forward fires, rebind never does: the instance moves on (deleted).
+        operator = Iterate(
+            Comparison(left("k"), "==", right("k")),
+            Comparison(right("v"), "<", lit(0)),
+        )
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(
+            executor, [(0, 0, 1, 1), (1, 1, 1, 5), (1, 2, 1, 6)]
+        )
+        assert len(outputs) == 1
+
+    def test_duration_window_bounds_lifetime(self):
+        correlation = Comparison(left("k"), "==", right("k"))
+        operator = Iterate(
+            conjunction([DurationWithin(2), correlation]), correlation
+        )
+        executor = operator.executor([SCHEMA, SCHEMA])
+        outputs = run_binary(executor, [(0, 0, 1, 1), (1, 10, 1, 2)])
+        assert outputs == []
+
+    def test_output_schema(self, ramp_operator):
+        schema = ramp_operator.output_schema([SCHEMA, SCHEMA])
+        assert schema.names == ("s_k", "s_v", "k", "v")
+
+    def test_definition_equality(self):
+        p = Comparison(left("k"), "==", right("k"))
+        q = Comparison(right("v"), ">", last("v"))
+        assert Iterate(p, q) == Iterate(p, q)
+        assert Iterate(p, q) != Iterate(q, p)

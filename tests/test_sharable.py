@@ -1,0 +1,127 @@
+"""Unit tests for the sharable-stream relation ∼ (§3.2)."""
+
+import pytest
+
+from repro.core.plan import QueryPlan
+from repro.core.sharable import sharability_signature, sharable, sharable_groups
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.expressions import attr, lit
+from repro.operators.predicates import Comparison
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.operators.predicates import TruePredicate
+from repro.operators.window import TimeWindow
+from repro.streams.schema import Schema
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+def selection(const):
+    return Selection(Comparison(attr("a"), "==", lit(const)))
+
+
+def aggregate(window):
+    return SlidingWindowAggregate("sum", "b", TimeWindow(window), ("a",), "s")
+
+
+class TestBaseCases:
+    def test_stream_sharable_with_itself(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        assert sharable(plan, s, s)
+
+    def test_unlabeled_sources_not_sharable(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        assert not sharable(plan, s, t)
+
+    def test_labeled_sources_sharable(self):
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", SCHEMA, sharable_label="x")
+        s2 = plan.add_source("S2", SCHEMA, sharable_label="x")
+        assert sharable(plan, s1, s2)
+
+    def test_different_labels_not_sharable(self):
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", SCHEMA, sharable_label="x")
+        s2 = plan.add_source("S2", SCHEMA, sharable_label="y")
+        assert not sharable(plan, s1, s2)
+
+
+class TestSelectionTransparency:
+    def test_selection_output_sharable_with_input(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        filtered = plan.add_operator(selection(1), [s])
+        assert sharable(plan, filtered, s)
+
+    def test_different_selections_sharable(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        f1 = plan.add_operator(selection(1), [s])
+        f2 = plan.add_operator(selection(2), [s])
+        assert sharable(plan, f1, f2)
+
+    def test_selection_chains_transparent(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        f1 = plan.add_operator(selection(1), [s])
+        f2 = plan.add_operator(selection(2), [f1])
+        assert sharable(plan, f2, s)
+
+
+class TestCongruence:
+    def test_same_unary_on_sharable_inputs(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        a1 = plan.add_operator(aggregate(5), [plan.add_operator(selection(1), [s])])
+        a2 = plan.add_operator(aggregate(5), [plan.add_operator(selection(2), [s])])
+        assert sharable(plan, a1, a2)
+
+    def test_different_definition_not_sharable(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        a1 = plan.add_operator(aggregate(5), [s])
+        a2 = plan.add_operator(aggregate(6), [s])
+        assert not sharable(plan, a1, a2)
+
+    def test_binary_congruence(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        seq = Sequence(TruePredicate())
+        out1 = plan.add_operator(seq, [plan.add_operator(selection(1), [s]), t])
+        out2 = plan.add_operator(seq, [plan.add_operator(selection(2), [s]), t])
+        assert sharable(plan, out1, out2)
+
+    def test_binary_different_right_not_sharable(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        u = plan.add_source("U", SCHEMA)
+        seq = Sequence(TruePredicate())
+        out1 = plan.add_operator(seq, [s, t])
+        out2 = plan.add_operator(seq, [s, u])
+        assert not sharable(plan, out1, out2)
+
+
+class TestEquivalenceRelation:
+    def test_symmetry_and_transitivity_via_groups(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        outs = [plan.add_operator(selection(c), [s]) for c in range(4)]
+        other = plan.add_source("T", SCHEMA)
+        groups = sharable_groups(plan, outs + [other, s])
+        assert len(groups) == 2
+        assert set(groups[0]) == set(outs) | {s}
+        assert groups[1] == [other]
+
+    def test_signature_stability(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        out = plan.add_operator(aggregate(5), [s])
+        first = sharability_signature(plan, out)
+        second = sharability_signature(plan, out)
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,77 @@
+"""Unit tests for stream sources and the timestamp merge."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.streams.channel import Channel
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource, merge_sources
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_ints("a")
+
+
+def tuples_at(schema, timestamps):
+    return [StreamTuple(schema, (ts,), ts) for ts in timestamps]
+
+
+class TestStreamSource:
+    def test_defaults_to_full_mask(self, schema):
+        streams = [StreamDef(f"S{i}", schema) for i in range(2)]
+        channel = Channel(streams)
+        source = StreamSource(channel, tuples_at(schema, [0]))
+        __, channel_tuple = next(iter(source))
+        assert channel_tuple.membership == channel.full_mask
+
+    def test_member_subset(self, schema):
+        streams = [StreamDef(f"S{i}", schema) for i in range(2)]
+        channel = Channel(streams)
+        source = StreamSource(channel, tuples_at(schema, [0]), member_streams=[streams[1]])
+        __, channel_tuple = next(iter(source))
+        assert channel_tuple.membership == 0b10
+
+    def test_foreign_member_rejected(self, schema):
+        channel = Channel.singleton(StreamDef("S", schema))
+        foreign = StreamDef("X", schema)
+        with pytest.raises(ChannelError):
+            StreamSource(channel, [], member_streams=[foreign])
+
+
+class TestMerge:
+    def test_global_timestamp_order(self, schema):
+        channel_a = Channel.singleton(StreamDef("A", schema))
+        channel_b = Channel.singleton(StreamDef("B", schema))
+        merged = merge_sources(
+            [
+                StreamSource(channel_a, tuples_at(schema, [0, 2, 4])),
+                StreamSource(channel_b, tuples_at(schema, [1, 3, 5])),
+            ]
+        )
+        assert [ct.ts for __, ct in merged] == [0, 1, 2, 3, 4, 5]
+
+    def test_tie_break_stable_on_source_order(self, schema):
+        channel_a = Channel.singleton(StreamDef("A", schema))
+        channel_b = Channel.singleton(StreamDef("B", schema))
+        merged = list(
+            merge_sources(
+                [
+                    StreamSource(channel_a, tuples_at(schema, [1])),
+                    StreamSource(channel_b, tuples_at(schema, [1])),
+                ]
+            )
+        )
+        assert merged[0][0] is channel_a
+        assert merged[1][0] is channel_b
+
+    def test_empty_sources(self, schema):
+        channel = Channel.singleton(StreamDef("A", schema))
+        assert list(merge_sources([StreamSource(channel, [])])) == []
+
+    def test_single_source_passthrough(self, schema):
+        channel = Channel.singleton(StreamDef("A", schema))
+        merged = merge_sources([StreamSource(channel, tuples_at(schema, [3, 7]))])
+        assert [ct.ts for __, ct in merged] == [3, 7]

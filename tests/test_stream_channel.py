@@ -1,0 +1,129 @@
+"""Unit tests for stream descriptors and channels."""
+
+import pytest
+
+from repro.errors import ChannelError, SchemaError
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_ints("a", "b")
+
+
+def make_streams(schema, count, label=None):
+    return [StreamDef(f"S{i}", schema, sharable_label=label) for i in range(count)]
+
+
+class TestStreamDef:
+    def test_identity_not_name_based(self, schema):
+        first = StreamDef("S", schema)
+        second = StreamDef("S", schema)
+        assert first != second
+        assert first.stream_id != second.stream_id
+
+    def test_source_flag(self, schema):
+        stream = StreamDef("S", schema)
+        assert stream.is_source
+        stream.producer = object()
+        assert not stream.is_source
+
+
+class TestChannelConstruction:
+    def test_singleton(self, schema):
+        stream = StreamDef("S", schema)
+        channel = Channel.singleton(stream)
+        assert channel.capacity == 1
+        assert channel.is_singleton
+        assert channel.full_mask == 1
+
+    def test_multi_stream(self, schema):
+        streams = make_streams(schema, 3)
+        channel = Channel(streams)
+        assert channel.capacity == 3
+        assert channel.full_mask == 0b111
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChannelError):
+            Channel([])
+
+    def test_duplicate_stream_rejected(self, schema):
+        stream = StreamDef("S", schema)
+        with pytest.raises(ChannelError):
+            Channel([stream, stream])
+
+    def test_incompatible_schemas_rejected(self, schema):
+        other = StreamDef("T", Schema.of_ints("x"))
+        with pytest.raises(SchemaError):
+            Channel([StreamDef("S", schema), other])
+
+
+class TestMembership:
+    def test_position_of(self, schema):
+        streams = make_streams(schema, 3)
+        channel = Channel(streams)
+        assert channel.position_of(streams[1]) == 1
+
+    def test_position_of_foreign_stream(self, schema):
+        channel = Channel(make_streams(schema, 2))
+        foreign = StreamDef("X", schema)
+        with pytest.raises(ChannelError):
+            channel.position_of(foreign)
+
+    def test_mask_roundtrip(self, schema):
+        streams = make_streams(schema, 4)
+        channel = Channel(streams)
+        subset = [streams[0], streams[2]]
+        mask = channel.mask_of(subset)
+        assert mask == 0b101
+        assert channel.streams_of(mask) == subset
+
+    def test_mask_of_empty_rejected(self, schema):
+        channel = Channel(make_streams(schema, 2))
+        with pytest.raises(ChannelError):
+            channel.mask_of([])
+
+    def test_streams_of_out_of_range(self, schema):
+        channel = Channel(make_streams(schema, 2))
+        with pytest.raises(ChannelError):
+            channel.streams_of(0b100)
+        with pytest.raises(ChannelError):
+            channel.streams_of(0)
+
+
+class TestEncodeDecode:
+    def test_encode_decode(self, schema):
+        streams = make_streams(schema, 3)
+        channel = Channel(streams)
+        tuple_ = StreamTuple(schema, (1, 2), 0)
+        encoded = channel.encode(tuple_, [streams[1]])
+        assert encoded.membership == 0b010
+        assert channel.decode(encoded) == [streams[1]]
+
+    def test_encode_all(self, schema):
+        streams = make_streams(schema, 3)
+        channel = Channel(streams)
+        encoded = channel.encode_all(StreamTuple(schema, (1, 2), 0))
+        assert encoded.membership == channel.full_mask
+
+    def test_iter_members(self, schema):
+        streams = make_streams(schema, 3)
+        channel = Channel(streams)
+        encoded = ChannelTuple(StreamTuple(schema, (1, 2), 0), 0b101)
+        assert list(channel.iter_members(encoded)) == [streams[0], streams[2]]
+
+    def test_channel_tuple_requires_nonzero_mask(self, schema):
+        with pytest.raises(ChannelError):
+            ChannelTuple(StreamTuple(schema, (1, 2), 0), 0)
+
+    def test_channel_tuple_equality(self, schema):
+        t = StreamTuple(schema, (1, 2), 0)
+        assert ChannelTuple(t, 1) == ChannelTuple(t, 1)
+        assert ChannelTuple(t, 1) != ChannelTuple(t, 2)
+
+    def test_channel_tuple_ts_passthrough(self, schema):
+        t = StreamTuple(schema, (1, 2), 42)
+        assert ChannelTuple(t, 1).ts == 42

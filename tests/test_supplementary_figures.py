@@ -1,0 +1,55 @@
+"""Tests for the supplementary figure drivers (paper prose results)."""
+
+import pytest
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.harness import BenchScale
+
+
+@pytest.fixture
+def micro_scale():
+    return BenchScale(name="micro", events=150, rounds=15, hybrid_seconds=8)
+
+
+class TestSupplementaryDrivers:
+    def test_registry_contains_supplements(self):
+        assert "10c-mu" in FIGURES
+        assert "11a-d2" in FIGURES
+        assert len(FIGURES) == 12
+
+    def test_workload3_mu_driver(self, micro_scale):
+        result = run_figure("10c-mu", micro_scale)
+        assert result.figure == "10(c)-µ"
+        assert len(result.rows) >= 3
+        assert all(len(row) == 4 for row in result.rows)
+
+    def test_d2_hybrid_driver(self, micro_scale):
+        result = run_figure("11a-d2", micro_scale)
+        assert result.figure == "11(a)-D2"
+        assert [row[0] for row in result.rows] == [5, 10, 15, 20, 25]
+        # all throughputs positive (the workload actually ran)
+        assert all(row[1] > 0 and row[2] > 0 for row in result.rows)
+
+    def test_workload3_mu_equivalence(self):
+        """The µ channel plan computes the same answers as the plain plan."""
+        from collections import Counter
+
+        from repro.engine.executor import StreamEngine
+        from repro.workloads.templates import Workload3, WorkloadParameters
+
+        workload = Workload3(
+            WorkloadParameters(num_queries=20), capacity=5, variant="mu", seed=17
+        )
+        rounds = workload.rounds(150)
+        results = []
+        for channels in (True, False):
+            plan, name_map = workload.rumor_plan(channels=channels)
+            engine = StreamEngine(plan, capture_outputs=True)
+            engine.run(workload.sources(plan, name_map, rounds))
+            results.append(
+                {
+                    q: Counter((t.ts, tuple(t.values)) for t in ts)
+                    for q, ts in engine.captured.items()
+                }
+            )
+        assert results[0] == results[1]

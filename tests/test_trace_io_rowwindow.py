@@ -1,0 +1,142 @@
+"""Tests for CSV trace I/O and row-count windows."""
+
+import io
+
+import pytest
+
+from repro.errors import OperatorError, SchemaError
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.window import RowWindow, TimeWindow
+from repro.streams.io import read_trace, read_trace_file, write_trace, write_trace_file
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("pid", "load")
+
+
+def sample_tuples():
+    return [
+        StreamTuple(SCHEMA, (0, 17), 0),
+        StreamTuple(SCHEMA, (1, 3), 0),
+        StreamTuple(SCHEMA, (0, 21), 1),
+    ]
+
+
+class TestTraceRoundtrip:
+    def test_write_read_stream(self):
+        buffer = io.StringIO()
+        assert write_trace(sample_tuples(), buffer) == 3
+        buffer.seek(0)
+        loaded = list(read_trace(buffer, SCHEMA))
+        assert loaded == sample_tuples()
+
+    def test_write_read_file(self, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        write_trace_file(sample_tuples(), path)
+        assert read_trace_file(path, SCHEMA) == sample_tuples()
+
+    def test_schema_inference(self):
+        buffer = io.StringIO("pid,load,ts\n0,1.5,0\n1,2.5,3\n")
+        loaded = list(read_trace(buffer))
+        assert loaded[0].schema.type_of("pid") == "int"
+        assert loaded[0].schema.type_of("load") == "float"
+        assert loaded[1].ts == 3
+
+    def test_extra_columns_ignored_with_schema(self):
+        buffer = io.StringIO("pid,junk,load,ts\n0,x,9,1\n")
+        loaded = list(read_trace(buffer, SCHEMA))
+        assert loaded[0].as_dict() == {"pid": 0, "load": 9}
+
+    def test_missing_ts_column(self):
+        buffer = io.StringIO("pid,load\n0,1\n")
+        with pytest.raises(SchemaError, match="ts"):
+            list(read_trace(buffer))
+
+    def test_missing_schema_column(self):
+        buffer = io.StringIO("pid,ts\n0,1\n")
+        with pytest.raises(SchemaError, match="missing column"):
+            list(read_trace(buffer, SCHEMA))
+
+    def test_mixed_schemas_rejected_on_write(self):
+        other = Schema.of_ints("x")
+        tuples = [sample_tuples()[0], StreamTuple(other, (1,), 0)]
+        with pytest.raises(SchemaError, match="share one schema"):
+            write_trace(tuples, io.StringIO())
+
+    def test_empty_trace(self):
+        buffer = io.StringIO()
+        assert write_trace([], buffer) == 0
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == []
+
+    def test_perfmon_roundtrip(self, tmp_path):
+        from repro.workloads.perfmon import PerfmonDataset
+
+        dataset = PerfmonDataset(processes=3, duration_seconds=5, seed=1)
+        original = list(dataset.generate())
+        path = str(tmp_path / "d.csv")
+        write_trace_file(original, path)
+        assert read_trace_file(path) == original
+
+
+class TestRowWindowAggregate:
+    def feed(self, operator, rows):
+        executor = operator.executor([SCHEMA])
+        outputs = []
+        for ts, pid, load in rows:
+            for out in executor.process(0, StreamTuple(SCHEMA, (pid, load), ts)):
+                outputs.append(out.as_dict())
+        return outputs
+
+    def test_last_n_rows(self):
+        operator = SlidingWindowAggregate("sum", "load", RowWindow(2), (), "s")
+        outputs = self.feed(
+            operator, [(0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 4)]
+        )
+        assert [o["s"] for o in outputs] == [1, 3, 5, 7]
+
+    def test_row_window_per_group(self):
+        operator = SlidingWindowAggregate("sum", "load", RowWindow(2), ("pid",), "s")
+        outputs = self.feed(
+            operator, [(0, 1, 10), (1, 2, 100), (2, 1, 20), (3, 1, 30)]
+        )
+        assert outputs == [
+            {"pid": 1, "s": 10},
+            {"pid": 2, "s": 100},
+            {"pid": 1, "s": 30},
+            {"pid": 1, "s": 50},
+        ]
+
+    def test_row_window_independent_of_ts_gaps(self):
+        operator = SlidingWindowAggregate("avg", "load", RowWindow(3), (), "m")
+        outputs = self.feed(operator, [(0, 0, 3), (1000, 0, 6), (9999, 0, 9)])
+        assert outputs[-1]["m"] == 6.0
+
+    def test_row_window_min_max(self):
+        operator = SlidingWindowAggregate("max", "load", RowWindow(2), (), "hi")
+        outputs = self.feed(operator, [(0, 0, 9), (1, 0, 1), (2, 0, 2)])
+        assert [o["hi"] for o in outputs] == [9, 9, 2]
+
+    def test_invalid_window_type(self):
+        with pytest.raises(OperatorError):
+            SlidingWindowAggregate("sum", "load", 17)
+
+    def test_row_window_not_shared_by_s_alpha(self):
+        """sα covers time windows only; row-window aggregates stay separate."""
+        from repro.core.plan import QueryPlan
+        from repro.core.rules import SharedAggregateRule
+
+        plan = QueryPlan()
+        source = plan.add_source("S", SCHEMA)
+        plan.add_operator(
+            SlidingWindowAggregate("sum", "load", RowWindow(5), (), "a"), [source]
+        )
+        plan.add_operator(
+            SlidingWindowAggregate("sum", "load", RowWindow(9), (), "a"), [source]
+        )
+        assert SharedAggregateRule().apply(plan) == 0
+
+    def test_time_and_row_definitions_distinct(self):
+        time_based = SlidingWindowAggregate("sum", "load", TimeWindow(5), (), "s")
+        row_based = SlidingWindowAggregate("sum", "load", RowWindow(5), (), "s")
+        assert time_based.definition() != row_based.definition()

@@ -1,0 +1,144 @@
+"""Unit tests for automaton → RUMOR plan translation (§4.2)."""
+
+import pytest
+
+from repro.automata.automaton import (
+    State,
+    identity_schema_map,
+    iterate_automaton,
+    sequence_automaton,
+    Automaton,
+)
+from repro.automata.translate import translate_automaton
+from repro.core.plan import QueryPlan
+from repro.errors import AutomatonError
+from repro.operators.expressions import AttrRef, LEFT, RIGHT, last, left, lit, right
+from repro.operators.iterate import Iterate
+from repro.operators.predicates import (
+    Comparison,
+    DurationWithin,
+    FalsePredicate,
+    TruePredicate,
+    conjunction,
+)
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.streams.schema import Schema
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+def simple_sequence(consume=True):
+    return sequence_automaton(
+        "S",
+        SCHEMA,
+        Comparison(right("a"), "==", lit(1)),
+        "T",
+        SCHEMA,
+        conjunction([DurationWithin(5), Comparison(right("a"), "==", lit(2))]),
+        query_id="q",
+        consume_on_match=consume,
+    )
+
+
+class TestSequenceTranslation:
+    def test_operator_shapes(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        translate_automaton(simple_sequence(), plan, {"S": s, "T": t}, query_id="q")
+        operators = [inst.operator for inst in plan.instances()]
+        assert isinstance(operators[0], Selection)
+        assert isinstance(operators[1], Sequence)
+        assert operators[1].consume_on_match
+
+    def test_keep_variant(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        translate_automaton(
+            simple_sequence(consume=False), plan, {"S": s, "T": t}, query_id="q"
+        )
+        sequence = [i.operator for i in plan.instances() if isinstance(i.operator, Sequence)]
+        assert not sequence[0].consume_on_match
+
+    def test_output_marked(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        out = translate_automaton(
+            simple_sequence(), plan, {"S": s, "T": t}, query_id="q"
+        )
+        assert plan.sinks[out.stream_id] == ["q"]
+
+    def test_missing_stream_raises(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        with pytest.raises(AutomatonError, match="missing from stream_map"):
+            translate_automaton(simple_sequence(), plan, {"S": s}, query_id="q")
+
+    def test_output_schema_matches_concat(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        out = translate_automaton(
+            simple_sequence(), plan, {"S": s, "T": t}, query_id="q"
+        )
+        assert out.schema.names == ("s_a", "s_b", "a", "b")
+
+
+class TestIterateTranslation:
+    def test_mu_operator_produced(self):
+        correlation = Comparison(left("a"), "==", right("a"))
+        increasing = Comparison(right("b"), ">", last("b"))
+        automaton = iterate_automaton(
+            "S",
+            SCHEMA,
+            TruePredicate(),
+            "T",
+            SCHEMA,
+            conjunction([correlation, increasing]),
+            conjunction([correlation, increasing]),
+            query_id="q",
+        )
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        translate_automaton(automaton, plan, {"S": s, "T": t}, query_id="q")
+        mu = [i.operator for i in plan.instances() if isinstance(i.operator, Iterate)]
+        assert len(mu) == 1
+        # the predicates are back in LEFT/RIGHT/LAST form
+        from repro.operators.predicates import conjuncts
+
+        sides = {
+            ref.side
+            for part in conjuncts(mu[0].rebind)
+            for ref in [part.lhs, part.rhs]
+            if isinstance(ref, AttrRef)
+        }
+        assert sides == {LEFT, RIGHT, 2}  # LEFT, RIGHT, LAST
+
+
+class TestUnsupportedShapes:
+    def test_branching_state_rejected(self):
+        start = State("s", "S", None, is_start=True)
+        final1 = State("f1", None, None, is_final=True)
+        final2 = State("f2", None, None, is_final=True)
+        fmap = identity_schema_map(SCHEMA, RIGHT)
+        start.add_forward(TruePredicate(), fmap, final1)
+        start.add_forward(TruePredicate(), fmap, final2)
+        automaton = Automaton(start, query_id="q")
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        with pytest.raises(AutomatonError, match="linear"):
+            translate_automaton(automaton, plan, {"S": s}, query_id="q")
+
+    def test_strict_false_filter_rejected(self):
+        automaton = simple_sequence()
+        middle = automaton.states[1]
+        middle.filter_predicate = FalsePredicate()
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        with pytest.raises(AutomatonError, match="filter"):
+            translate_automaton(automaton, plan, {"S": s, "T": t}, query_id="q")

@@ -1,0 +1,94 @@
+"""Unit tests for repro.streams.tuples."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_ints("a", "b")
+
+
+class TestConstruction:
+    def test_basic(self, schema):
+        t = StreamTuple(schema, (1, 2), 5)
+        assert t["a"] == 1
+        assert t["b"] == 2
+        assert t.ts == 5
+
+    def test_width_mismatch(self, schema):
+        with pytest.raises(SchemaError, match="value count"):
+            StreamTuple(schema, (1,), 0)
+
+    def test_from_dict(self, schema):
+        t = StreamTuple.from_dict(schema, {"a": 1, "b": 2}, 3)
+        assert t.values == (1, 2)
+
+    def test_from_dict_missing(self, schema):
+        with pytest.raises(SchemaError, match="missing attribute"):
+            StreamTuple.from_dict(schema, {"a": 1}, 0)
+
+    def test_from_dict_extra(self, schema):
+        with pytest.raises(SchemaError, match="unknown attributes"):
+            StreamTuple.from_dict(schema, {"a": 1, "b": 2, "c": 3}, 0)
+
+
+class TestAccess(object):
+    def test_get_with_default(self, schema):
+        t = StreamTuple(schema, (1, 2), 0)
+        assert t.get("a") == 1
+        assert t.get("zzz", -1) == -1
+
+    def test_as_dict(self, schema):
+        t = StreamTuple(schema, (1, 2), 0)
+        assert t.as_dict() == {"a": 1, "b": 2}
+
+    def test_iter(self, schema):
+        assert list(StreamTuple(schema, (1, 2), 0)) == [1, 2]
+
+
+class TestIdentity:
+    def test_equality_includes_ts(self, schema):
+        assert StreamTuple(schema, (1, 2), 0) == StreamTuple(schema, (1, 2), 0)
+        assert StreamTuple(schema, (1, 2), 0) != StreamTuple(schema, (1, 2), 1)
+
+    def test_hash_consistent(self, schema):
+        assert hash(StreamTuple(schema, (1, 2), 0)) == hash(
+            StreamTuple(schema, (1, 2), 0)
+        )
+
+
+class TestDerivation:
+    def test_with_ts(self, schema):
+        t = StreamTuple(schema, (1, 2), 0).with_ts(9)
+        assert t.ts == 9
+        assert t.values == (1, 2)
+
+    def test_project(self, schema):
+        t = StreamTuple(schema, (1, 2), 0).project(["b"])
+        assert t.values == (2,)
+        assert t.schema.names == ("b",)
+
+    def test_prefixed(self, schema):
+        t = StreamTuple(schema, (1, 2), 0).prefixed("s_")
+        assert t.schema.names == ("s_a", "s_b")
+
+    def test_concat_takes_later_ts(self, schema):
+        left = StreamTuple(schema.prefixed("l_"), (1, 2), 3)
+        right = StreamTuple(schema, (4, 5), 7)
+        combined = left.concat(right)
+        assert combined.ts == 7
+        assert combined.values == (1, 2, 4, 5)
+
+    def test_concat_explicit_ts(self, schema):
+        left = StreamTuple(schema.prefixed("l_"), (1, 2), 3)
+        right = StreamTuple(schema, (4, 5), 7)
+        assert left.concat(right, ts=100).ts == 100
+
+    def test_padded_to(self, schema):
+        wide = Schema.of_ints("a", "b", "c")
+        t = StreamTuple(schema, (1, 2), 0).padded_to(wide)
+        assert t.values == (1, 2, None)

@@ -1,0 +1,158 @@
+"""The unification claim (§4.1): RE, EE, and hybrid queries in ONE engine.
+
+"We are able to unify REs and EEs, and efficiently process a large number of
+RE queries, EE queries, and hybrid queries in a single engine."  This test
+registers all three query classes over shared sources in a single plan,
+optimizes once, and verifies (a) cross-class sharing happened and (b) the
+optimized plan is output-equivalent to the naive plan.
+"""
+
+import random
+
+import pytest
+
+from conftest import run_plan_collect
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.operators.aggregate import SlidingWindowAggregate
+from repro.operators.expressions import attr, last, left, lit, right
+from repro.operators.iterate import Iterate
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.predicates import (
+    Comparison,
+    DurationWithin,
+    conjunction,
+)
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.operators.window import TimeWindow
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a", "b")
+
+
+def build_mixed_plan():
+    """RE queries (join + aggregates), EE queries (;, µ), hybrid pipelines."""
+    plan = QueryPlan()
+    s = plan.add_source("S", SCHEMA)
+    t = plan.add_source("T", SCHEMA)
+
+    # --- RE: two shared-window joins and two aggregate dashboards -------------
+    join_predicate = Comparison(left("a"), "==", right("a"))
+    for i, window in enumerate([5, 25]):
+        out = plan.add_operator(
+            SlidingWindowJoin(join_predicate, TimeWindow(window)), [s, t],
+            query_id=f"join{i}",
+        )
+        plan.mark_output(out, f"join{i}")
+    for i, group_by in enumerate([(), ("a",)]):
+        out = plan.add_operator(
+            SlidingWindowAggregate("avg", "b", TimeWindow(20), group_by, "m"),
+            [s],
+            query_id=f"agg{i}",
+        )
+        plan.mark_output(out, f"agg{i}")
+
+    # --- EE: constant-guarded sequences (Workload-1 style) ---------------------
+    for i in range(3):
+        selected = plan.add_operator(
+            Selection(Comparison(attr("a"), "==", lit(i))), [s],
+            query_id=f"seq{i}",
+        )
+        out = plan.add_operator(
+            Sequence(
+                conjunction(
+                    [DurationWithin(30), Comparison(right("a"), "==", lit(i + 1))]
+                )
+            ),
+            [selected, t],
+            query_id=f"seq{i}",
+        )
+        plan.mark_output(out, f"seq{i}")
+
+    # --- hybrid: smooth + pattern (Query 1 shape over the synthetic stream) ----
+    correlation = Comparison(left("a"), "==", right("a"))
+    increasing = Comparison(right("m"), ">", last("m"))
+    for i in range(2):
+        smoothed = plan.add_operator(
+            SlidingWindowAggregate("avg", "b", TimeWindow(10), ("a",), "m"),
+            [s],
+            query_id=f"hybrid{i}",
+        )
+        started = plan.add_operator(
+            Selection(Comparison(attr("m"), "<", lit(4.0 - 0.01 * i))),
+            [smoothed],
+            query_id=f"hybrid{i}",
+        )
+        out = plan.add_operator(
+            Iterate(
+                conjunction([correlation, increasing]),
+                conjunction([correlation, increasing]),
+            ),
+            [started, smoothed],
+            query_id=f"hybrid{i}",
+        )
+        plan.mark_output(out, f"hybrid{i}")
+    return plan, s, t
+
+
+def sources_for(plan, s, t, seed=0):
+    rng = random.Random(seed)
+    s_tuples = [
+        StreamTuple(SCHEMA, (rng.randrange(5), rng.randrange(8)), 2 * i)
+        for i in range(250)
+    ]
+    t_tuples = [
+        StreamTuple(SCHEMA, (rng.randrange(5), rng.randrange(8)), 2 * i + 1)
+        for i in range(250)
+    ]
+    return [
+        StreamSource(plan.channel_of(s), s_tuples),
+        StreamSource(plan.channel_of(t), t_tuples),
+    ]
+
+
+class TestUnifiedEngine:
+    def test_cross_class_sharing_happens(self):
+        plan, s, t = build_mixed_plan()
+        report = Optimizer().optimize(plan)
+        applied = report.by_rule()
+        assert applied.get("cse")          # the duplicate hybrid α collapsed
+        assert applied.get("sσ")           # EE start filters share an index
+        assert applied.get("s⋈")           # RE joins share buffers
+        assert applied.get("sα")           # RE dashboards share the scan
+
+    def test_all_query_classes_produce_output(self):
+        plan, s, t = build_mixed_plan()
+        Optimizer().optimize(plan)
+        outputs = run_plan_collect(plan, sources_for(plan, s, t))
+        produced = {q for q, c in outputs.items() if c}
+        # every class is represented among producing queries
+        assert any(q.startswith("join") for q in produced)
+        assert any(q.startswith("agg") for q in produced)
+        assert any(q.startswith("seq") for q in produced)
+        assert any(q.startswith("hybrid") for q in produced)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_naive_equals_optimized(self, seed):
+        naive_plan, s1, t1 = build_mixed_plan()
+        naive = run_plan_collect(naive_plan, sources_for(naive_plan, s1, t1, seed))
+        optimized_plan, s2, t2 = build_mixed_plan()
+        Optimizer().optimize(optimized_plan)
+        optimized = run_plan_collect(
+            optimized_plan, sources_for(optimized_plan, s2, t2, seed)
+        )
+        assert naive == optimized
+
+    def test_single_engine_one_pass(self):
+        """One engine instance serves all nine queries in one event pass."""
+        from repro.engine.executor import StreamEngine
+
+        plan, s, t = build_mixed_plan()
+        Optimizer().optimize(plan)
+        engine = StreamEngine(plan)
+        stats = engine.run(sources_for(plan, s, t))
+        assert stats.input_events == 500
+        assert len(stats.outputs_by_query) >= 6

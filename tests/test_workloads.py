@@ -1,0 +1,206 @@
+"""Unit tests for the workload and dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.perfmon import CPU_SCHEMA, D1, D2, PerfmonDataset
+from repro.workloads.synthetic import (
+    interleaved_events,
+    round_robin_rounds,
+    synthetic_schema,
+)
+from repro.workloads.templates import (
+    HybridWorkload,
+    Workload1,
+    Workload2,
+    Workload3,
+    WorkloadParameters,
+    sources_from_events,
+)
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipf:
+    def test_range_respected(self):
+        sampler = ZipfSampler(1, 100, 1.5, np.random.default_rng(0))
+        values = sampler.sample(1000)
+        assert values.min() >= 1
+        assert values.max() <= 100
+
+    def test_favors_large(self):
+        sampler = ZipfSampler(1, 1000, 1.5, np.random.default_rng(0))
+        values = sampler.sample(5000)
+        # the paper: "a window of length 1000 is most likely to be chosen"
+        counts = np.bincount(values, minlength=1001)
+        assert counts[1000] == counts.max()
+
+    def test_favor_small_orientation(self):
+        sampler = ZipfSampler(1, 1000, 1.5, np.random.default_rng(0), favor_large=False)
+        values = sampler.sample(5000)
+        counts = np.bincount(values, minlength=1001)
+        assert counts[1] == counts[1:].max()
+
+    def test_higher_parameter_more_commonality(self):
+        rng = np.random.default_rng(0)
+        flat = ZipfSampler(1, 1000, 1.2, rng)
+        peaked = ZipfSampler(1, 1000, 2.0, rng)
+        assert len(set(peaked.sample(500))) < len(set(flat.sample(500)))
+
+    def test_expected_distinct_monotone(self):
+        sampler = ZipfSampler(1, 1000, 1.5, np.random.default_rng(0))
+        assert sampler.expected_distinct(10) < sampler.expected_distinct(100)
+
+    def test_invalid_range(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(5, 4, 1.5)
+
+    def test_invalid_parameter(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(1, 10, 0.0)
+
+
+class TestSynthetic:
+    def test_schema_shape(self):
+        schema = synthetic_schema()
+        assert len(schema) == 10
+        assert schema.names[0] == "a0"
+
+    def test_interleaving(self):
+        events = interleaved_events(
+            synthetic_schema(2), 10, np.random.default_rng(0)
+        )
+        assert [name for name, __ in events] == ["S", "T"] * 5
+        assert [t.ts for __, t in events] == list(range(10))
+
+    def test_value_domain(self):
+        events = interleaved_events(
+            synthetic_schema(2), 200, np.random.default_rng(0), value_domain=7
+        )
+        assert all(0 <= v < 7 for __, t in events for v in t.values)
+
+    def test_rounds_shared_content(self):
+        rounds = round_robin_rounds(
+            synthetic_schema(2), 5, 10, np.random.default_rng(0)
+        )
+        assert len(rounds) == 5
+        s_values, t_values = rounds[0]
+        assert s_values.shape == (2,)
+
+
+class TestPerfmon:
+    def test_shape(self):
+        dataset = PerfmonDataset(processes=4, duration_seconds=10, seed=0)
+        tuples = list(dataset.generate())
+        assert len(tuples) == 40
+        assert tuples[0].schema == CPU_SCHEMA
+        # pid-major within each second
+        assert [t["pid"] for t in tuples[:4]] == [0, 1, 2, 3]
+
+    def test_loads_bounded(self):
+        dataset = PerfmonDataset(processes=10, duration_seconds=60, seed=1)
+        assert all(0 <= t["load"] <= 100 for t in dataset.generate())
+
+    def test_deterministic(self):
+        first = list(PerfmonDataset(4, 30, seed=3).generate())
+        second = list(PerfmonDataset(4, 30, seed=3).generate())
+        assert first == second
+
+    def test_contains_ramps(self):
+        """At least one process must produce a monotone ramp (for µ)."""
+        dataset = PerfmonDataset(processes=30, duration_seconds=120, seed=0)
+        by_pid = {}
+        for t in dataset.generate():
+            by_pid.setdefault(t["pid"], []).append(t["load"])
+        best_run = 0
+        for loads in by_pid.values():
+            run = 1
+            for prev, cur in zip(loads, loads[1:]):
+                run = run + 1 if cur > prev else 1
+                best_run = max(best_run, run)
+        assert best_run >= 5
+
+    def test_duration_cap(self):
+        dataset = PerfmonDataset(4, 10, seed=0)
+        with pytest.raises(WorkloadError):
+            list(dataset.generate(11))
+
+    def test_d1_d2_sizes(self):
+        assert D1().processes == 104
+        assert D2().processes == 28
+
+
+class TestWorkloadTemplates:
+    def test_workload1_deterministic(self):
+        params = WorkloadParameters(num_queries=10)
+        first, second = Workload1(params, seed=5), Workload1(params, seed=5)
+        assert first.theta1_constants == second.theta1_constants
+        assert first.windows == second.windows
+
+    def test_workload1_plan_has_all_queries(self):
+        params = WorkloadParameters(num_queries=10)
+        plan, __ = Workload1(params).rumor_plan()
+        all_query_ids = {q for qs in plan.sinks.values() for q in qs}
+        assert len(all_query_ids) == 10
+
+    def test_workload2_variants(self):
+        params = WorkloadParameters(num_queries=5)
+        assert Workload2(params, variant="seq").variant == "seq"
+        with pytest.raises(WorkloadError):
+            Workload2(params, variant="zzz")
+
+    def test_workload3_channel_capacity(self):
+        params = WorkloadParameters(num_queries=20)
+        workload = Workload3(params, capacity=10)
+        plan, name_map = workload.rumor_plan(channels=True)
+        channel = plan.channel_of(name_map["S1"])
+        assert channel.capacity == 10
+
+    def test_workload3_plain_has_singletons(self):
+        params = WorkloadParameters(num_queries=20)
+        workload = Workload3(params, capacity=10)
+        plan, name_map = workload.rumor_plan(channels=False)
+        assert plan.channel_of(name_map["S1"]).is_singleton
+
+    def test_workload3_same_logical_content(self):
+        from repro.engine.executor import StreamEngine
+
+        params = WorkloadParameters(num_queries=15)
+        workload = Workload3(params, capacity=5)
+        rounds = workload.rounds(50)
+        results = []
+        for channels in (True, False):
+            plan, name_map = workload.rumor_plan(channels=channels)
+            engine = StreamEngine(plan)
+            stats = engine.run(workload.sources(plan, name_map, rounds))
+            results.append(stats)
+        assert results[0].input_events == results[1].input_events
+        assert results[0].output_events == results[1].output_events
+
+    def test_hybrid_sel_zero_produces_nothing(self):
+        from repro.engine.executor import StreamEngine
+
+        dataset = PerfmonDataset(8, 120, seed=2)
+        workload = HybridWorkload(dataset, num_queries=4, sel=0.0)
+        plan, name_map = workload.rumor_plan(channels=True)
+        engine = StreamEngine(plan)
+        stats = engine.run(workload.sources(plan, name_map, 100))
+        assert stats.output_events == 0
+
+    def test_hybrid_sel_validation(self):
+        dataset = PerfmonDataset(2, 10, seed=0)
+        with pytest.raises(WorkloadError):
+            HybridWorkload(dataset, num_queries=2, sel=1.5)
+
+    def test_hybrid_thresholds_distinct(self):
+        dataset = PerfmonDataset(2, 10, seed=0)
+        workload = HybridWorkload(dataset, num_queries=8, sel=0.5)
+        assert len(set(workload.thresholds)) == 8
+
+    def test_sources_from_events_split(self):
+        params = WorkloadParameters(num_queries=3)
+        workload = Workload1(params)
+        plan, name_map = workload.rumor_plan()
+        events = workload.events(10)
+        sources = sources_from_events(plan, name_map, events)
+        assert len(sources) == 2  # S and T

@@ -11,7 +11,10 @@ A from-scratch Python reproduction of *Rule-Based Multi-Query Optimization*
 - the relational and event operator suite (σ, π, α, ⋈, ``;``, ``µ``);
 - a Cayuga-style automaton engine (:mod:`repro.automata`) used as the
   baseline comparator, with prefix state merging and FR/AN/AI indexes;
-- a push-based execution engine (:class:`~repro.engine.StreamEngine`);
+- a push-based execution engine (:class:`~repro.engine.StreamEngine`) with
+  state-preserving live migration (:mod:`repro.engine.migration`);
+- an online query lifecycle runtime (:class:`~repro.runtime.QueryRuntime`)
+  serving dynamic register/unregister workloads without a rebuild;
 - a small query language front end (:mod:`repro.lang`);
 - the paper's workloads and datasets (:mod:`repro.workloads`) and the
   benchmark harness regenerating every figure (:mod:`repro.bench`).
@@ -35,6 +38,7 @@ Quickstart::
 
 from repro.errors import (
     AutomatonError,
+    LifecycleError,
     ChannelError,
     ExpressionError,
     OperatorError,
@@ -92,7 +96,8 @@ from repro.core import (
     sharable,
     sharability_signature,
 )
-from repro.engine import RunStats, StreamEngine
+from repro.engine import MigrationStats, RunStats, StreamEngine, migrate_engine
+from repro.runtime import QueryRuntime
 
 __version__ = "1.0.0"
 
@@ -109,6 +114,7 @@ __all__ = [
     "ParseError",
     "AutomatonError",
     "WorkloadError",
+    "LifecycleError",
     # streams
     "Attribute",
     "Schema",
@@ -155,4 +161,8 @@ __all__ = [
     # engine
     "StreamEngine",
     "RunStats",
+    "MigrationStats",
+    "migrate_engine",
+    # runtime
+    "QueryRuntime",
 ]

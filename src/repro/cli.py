@@ -15,11 +15,18 @@ Three subcommands cover the downstream-user loop:
 ``figures``
     Alias for :mod:`repro.bench.figures` (regenerate the paper's figures).
 
+``churn``
+    Serve a dynamic workload with the online lifecycle runtime: queries
+    arrive and depart (Poisson churn) while the stream flows, each change
+    handled by incremental re-optimization and state-preserving engine
+    migration — or, with ``--full-rebuild``, by the stop-the-world baseline.
+
 Examples::
 
     python -m repro.cli optimize queries.rql
     python -m repro.cli run queries.rql --source perfmon --events 20000
     python -m repro.cli figures 10c --full
+    python -m repro.cli churn --events 5000 --arrival-rate 0.02 --latency
 """
 
 from __future__ import annotations
@@ -160,6 +167,60 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_churn(args: argparse.Namespace) -> int:
+    from repro.runtime import QueryRuntime
+    from repro.workloads.churn import ChurnWorkload, drive
+
+    workload = ChurnWorkload(
+        arrival_rate=args.arrival_rate,
+        mean_lifetime=args.mean_lifetime,
+        horizon=args.events,
+        initial_queries=args.initial_queries,
+        seed=args.seed,
+    )
+    runtime = QueryRuntime(
+        {"S": workload.schema, "T": workload.schema},
+        track_latency=args.latency,
+        incremental=not args.full_rebuild,
+    )
+    mode = "full-rebuild" if args.full_rebuild else "incremental"
+    print(
+        f"churn: {workload.registrations()} queries over {args.events} events "
+        f"({mode} mode)"
+    )
+    for event in drive(runtime, workload.stream_events(), workload.schedule()):
+        if args.verbose:
+            print(f"  [{event.at:>6}] {event.kind:<10} {event.query_id:<6} "
+                  f"active={len(runtime.active_queries)} "
+                  f"state={runtime.state_size}")
+    stats = runtime.stats
+    print(stats)
+    print(
+        f"  migrations: {stats.migrations}, "
+        f"final active queries: {len(runtime.active_queries)}, "
+        f"final state: {runtime.state_size}"
+    )
+    reused = sum(m.reused_executors for m in runtime.migration_log)
+    built = sum(m.built_executors for m in runtime.migration_log)
+    migration_seconds = sum(m.elapsed_seconds for m in runtime.migration_log)
+    print(
+        f"  executors reused: {reused}, built: {built}, "
+        f"migration overhead: {migration_seconds * 1e3:.1f}ms"
+    )
+    print(
+        f"  m-ops considered by re-optimization: "
+        f"{sum(report.mops_considered for report in runtime.reports)}"
+    )
+    if args.latency:
+        for query_id in sorted(stats.outputs_by_query):
+            mean = stats.mean_latency(query_id)
+            print(
+                f"  {query_id}: {stats.outputs_by_query[query_id]} outputs, "
+                f"mean latency {mean * 1e6:.1f}µs"
+            )
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench.figures import main as figures_main
 
@@ -206,6 +267,40 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("figure", nargs="*", default=["all"])
     figures.add_argument("--full", action="store_true")
     figures.set_defaults(handler=cmd_figures)
+
+    churn = commands.add_parser(
+        "churn",
+        help="serve a Poisson register/unregister workload with the online "
+        "lifecycle runtime",
+    )
+    churn.add_argument("--events", type=int, default=5_000)
+    churn.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.01,
+        help="query arrivals per timestamp unit (Poisson)",
+    )
+    churn.add_argument(
+        "--mean-lifetime",
+        type=float,
+        default=1_000.0,
+        help="mean query lifetime in timestamp units (exponential)",
+    )
+    churn.add_argument("--initial-queries", type=int, default=4)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument(
+        "--full-rebuild",
+        action="store_true",
+        help="stop-the-world baseline: full re-optimization + engine rebuild "
+        "on every lifecycle change (loses operator state)",
+    )
+    churn.add_argument(
+        "--latency",
+        action="store_true",
+        help="track and report per-query mean output latency",
+    )
+    churn.add_argument("--verbose", action="store_true")
+    churn.set_defaults(handler=cmd_churn)
     return parser
 
 

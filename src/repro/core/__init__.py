@@ -22,7 +22,7 @@ from repro.core.mop import MOp, MOpExecutor, OpInstance, OutputCollector
 from repro.core.plan import QueryPlan
 from repro.core.rules import MRule
 from repro.core.sharable import sharability_signature, sharable
-from repro.core.optimizer import Optimizer, OptimizationReport
+from repro.core.optimizer import Optimizer, OptimizationReport, RuleApplication
 from repro.core.registry import default_rules
 from repro.core.cost import CostModel, SelectivityEstimator, cheapest_plan
 from repro.core.confluence import check_confluence, plan_shape
@@ -38,6 +38,7 @@ __all__ = [
     "sharable",
     "Optimizer",
     "OptimizationReport",
+    "RuleApplication",
     "default_rules",
     "CostModel",
     "SelectivityEstimator",

@@ -95,6 +95,83 @@ class QueryPlan:
             raise PlanError(f"{stream!r} is not part of this plan")
         self._sinks.setdefault(stream.stream_id, []).append(query_id)
 
+    def unmark_output(self, query_id) -> int:
+        """Remove every sink registration of ``query_id``; returns how many.
+
+        After common-subexpression elimination several queries may share one
+        sink stream, so only the query's membership is dropped — the stream
+        stays a sink while other queries still read it.  Streams left with no
+        registrations stop being sinks (and become eligible for
+        :meth:`prune_unreachable`).
+        """
+        removed = 0
+        for stream_id in list(self._sinks):
+            query_ids = self._sinks[stream_id]
+            remaining = [qid for qid in query_ids if qid != query_id]
+            removed += len(query_ids) - len(remaining)
+            if remaining:
+                self._sinks[stream_id] = remaining
+            else:
+                del self._sinks[stream_id]
+        return removed
+
+    def live_instances(self) -> set[int]:
+        """``id()`` of every instance transitively feeding a sink."""
+        needed: set[int] = set(self._sinks)
+        queue = list(needed)
+        live: set[int] = set()
+        while queue:
+            stream_id = queue.pop()
+            instance = self._producer_instance.get(stream_id)
+            if instance is None or id(instance) in live:
+                continue
+            live.add(id(instance))
+            for stream in instance.inputs:
+                if stream.stream_id not in needed:
+                    needed.add(stream.stream_id)
+                    queue.append(stream.stream_id)
+        return live
+
+    def prune_unreachable(self) -> list[MOp]:
+        """Garbage-collect m-ops no longer reachable from any sink.
+
+        An m-op is *dead* when none of its instances transitively feed a
+        sink; a dead m-op is removed once nothing consumes its output
+        streams, which cascades bottom-up as downstream dead m-ops go first.
+        Partially-dead m-ops (some instances live — e.g. a merged m-op whose
+        member query departed) are kept whole: splitting a target m-op is
+        not a paper operation, and the surviving members still need it.
+        Removed m-ops' output streams (and their channels) leave the plan.
+        """
+        live = self.live_instances()
+        dead = [
+            mop
+            for mop in self.mops
+            if not any(id(instance) in live for instance in mop.instances)
+        ]
+        removed: list[MOp] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for mop in list(dead):
+                if any(
+                    entry[0] is not mop
+                    for instance in mop.instances
+                    for entry in self._consumers.get(instance.output.stream_id, ())
+                ):
+                    continue  # still feeding another (dead) m-op; next round
+                self._detach_mop(mop)
+                for stream in mop.output_streams:
+                    self._streams.pop(stream.stream_id, None)
+                    self._channel_by_stream.pop(stream.stream_id, None)
+                    self._producer_instance.pop(stream.stream_id, None)
+                    self._consumers.pop(stream.stream_id, None)
+                dead.remove(mop)
+                removed.append(mop)
+                progressed = True
+        self.validate()
+        return removed
+
     def _derived_name(self, operator, inputs: Sequence[StreamDef]) -> str:
         base = "+".join(s.name for s in inputs)
         return f"{operator.symbol}({base})"

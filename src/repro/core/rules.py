@@ -53,6 +53,18 @@ class MRule:
     #: Target m-op class; a group already implemented by a single m-op of
     #: this class is skipped (fixpoint/refire guard).
     target_class: Optional[Type[MOp]] = None
+    #: Extra classes the refire guard accepts: a group already implemented by
+    #: a single m-op of any of these is also left alone.  Rules whose target
+    #: classes overlap on the same groups (the shared-sequence family) must
+    #: list each other here, or the fixpoint loop livelocks re-merging one
+    #: group between the classes forever.
+    refire_guard_classes: tuple[Type[MOp], ...] = ()
+    #: Whether :meth:`build` may encode pre-existing streams into channels;
+    #: scoped (incremental) application uses this to protect frozen m-ops
+    #: from wiring changes (see :meth:`_channel_affected_mops`).
+    forms_channels: bool = False
+    #: Input positions whose streams :meth:`build` may channelize.
+    channel_input_indexes: tuple[int, ...] = ()
 
     def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
         raise NotImplementedError
@@ -66,27 +78,95 @@ class MRule:
 
     # -- shared application machinery ---------------------------------------------
 
-    def apply(self, plan: QueryPlan) -> int:
-        """Apply the rule to every eligible group; returns merges performed."""
+    def apply(
+        self,
+        plan: QueryPlan,
+        scope: Optional[set[int]] = None,
+        frozen: Optional[set[int]] = None,
+    ) -> int:
+        """Apply the rule to every eligible group; returns merges performed.
+
+        With ``scope`` (a set of ``id(instance)`` values), only groups
+        containing at least one scoped instance are considered — the
+        incremental mode of :meth:`Optimizer.optimize_incremental`.  Merged
+        target instances join the scope, growing the dirty frontier.
+
+        ``frozen`` m-op ids are never replaced, and groups whose application
+        would re-channelize streams produced or consumed by a frozen m-op
+        are skipped (their executors' wiring must stay valid mid-stream).
+        """
         applied = 0
         for group in list(self.find_groups(plan)):
             if len(group) < 2:
                 continue
+            if scope is not None and not any(
+                id(instance) in scope for instance in group
+            ):
+                continue
             owners = _pure_owners(group)
             if owners is None:
                 continue
-            if (
-                self.target_class is not None
-                and len(owners) == 1
-                and isinstance(owners[0], self.target_class)
-            ):
+            if frozen and any(owner.mop_id in frozen for owner in owners):
+                continue
+            guard = tuple(
+                cls
+                for cls in (self.target_class, *self.refire_guard_classes)
+                if cls is not None
+            )
+            if guard and len(owners) == 1 and isinstance(owners[0], guard):
                 continue
             if not self.condition(plan, group):
                 continue
+            if frozen and self._channel_affected_mops(plan, group, owners) & frozen:
+                continue
             target = self.build(plan, group)
             plan.replace_mops(owners, target)
+            if scope is not None:
+                scope.update(id(instance) for instance in target.instances)
             applied += 1
         return applied
+
+    def _channel_affected_mops(
+        self, plan: QueryPlan, group: list[OpInstance], owners: list[MOp]
+    ) -> set[int]:
+        """m-op ids (beyond ``owners``) whose wiring :meth:`build` may change.
+
+        Channel formation rewires more than the replaced m-ops: encoding
+        input streams into a channel touches their producer's output wiring
+        and every sibling stream's consumers; channelizing the target's
+        outputs touches pre-existing consumers of those streams.  Incremental
+        application must keep all of these off the frozen set.
+        """
+        if not self.forms_channels:
+            return set()
+        owner_ids = {id(owner) for owner in owners}
+        affected: set[int] = set()
+
+        def add_consumers(stream: StreamDef) -> None:
+            for mop, __, __index in plan.consumers_of(stream):
+                if id(mop) not in owner_ids:
+                    affected.add(mop.mop_id)
+
+        for index in self.channel_input_indexes:
+            streams = _distinct_streams(
+                instance.inputs[index] for instance in group
+            )
+            if len(streams) < 2:
+                continue
+            if not plan.channel_of(streams[0]).is_singleton:
+                continue  # already encoded; no rewiring will happen
+            producer = plan.producer_mop_of(streams[0])
+            if producer is not None:
+                affected.add(producer.mop_id)
+            for sibling in _sibling_streams(plan, streams[0]):
+                add_consumers(sibling)
+        outputs = _distinct_streams(instance.output for instance in group)
+        if len(outputs) >= 2 and all(
+            plan.channel_of(stream).is_singleton for stream in outputs
+        ):
+            for stream in outputs:
+                add_consumers(stream)
+        return affected
 
     def __repr__(self):
         return f"{type(self).__name__}(name={self.name!r}, priority={self.priority})"
@@ -240,24 +320,67 @@ class CseRule(MRule):
             groups[key].append(instance)
         return [groups[key] for key in order]
 
-    def apply(self, plan: QueryPlan) -> int:
+    def apply(
+        self,
+        plan: QueryPlan,
+        scope: Optional[set[int]] = None,
+        frozen: Optional[set[int]] = None,
+    ) -> int:
+        # Each elimination rewires consumers, which can turn downstream
+        # instances into fresh duplicates (a collapsed σ makes its two
+        # consumers read the same stream).  Groups are computed per round, so
+        # iterate until a round eliminates nothing — otherwise those cascade
+        # duplicates leak to the merge rules, which must not see them.
         applied = 0
-        for group in list(self.find_groups(plan)):
-            if len(group) < 2:
-                continue
-            representative = group[0]
-            for duplicate in group[1:]:
-                owner = duplicate.owner
-                if owner is None or len(owner.instances) != 1:
-                    continue  # already merged elsewhere; leave to other rules
-                plan.eliminate_duplicate(duplicate, representative)
-                applied += 1
-        return applied
+        while True:
+            round_applied = 0
+            for group in list(self.find_groups(plan)):
+                if len(group) < 2:
+                    continue
+                representative = group[0]
+                if frozen and (
+                    representative.owner is None
+                    or representative.owner.mop_id in frozen
+                ):
+                    # Folding a new duplicate into a stateful live operator
+                    # would hand the new query the representative's accrued
+                    # history; keep them separate until the state drains.
+                    continue
+                for duplicate in group[1:]:
+                    if scope is not None and id(duplicate) not in scope:
+                        continue  # incremental mode only removes *new* ones
+                    owner = duplicate.owner
+                    if owner is None or len(owner.instances) != 1:
+                        continue  # already merged; leave to other rules
+                    plan.eliminate_duplicate(duplicate, representative)
+                    round_applied += 1
+            applied += round_applied
+            if not round_applied:
+                return applied
 
 
 # ---------------------------------------------------------------------------------
 # s-rules: sharing among operators reading the same stream(s) (§2.4, §4.3)
 # ---------------------------------------------------------------------------------
+
+
+def _sequence_family() -> tuple[Type[MOp], ...]:
+    """The sequence-sharing m-op classes whose rules overlap on groups.
+
+    A group of identical-definition ``;``/``µ`` instances satisfies s;/sµ,
+    s;-ix *and* s;-w at once; without a shared refire guard, each rule would
+    keep replacing the others' target m-op and the fixpoint never converges.
+    """
+    from repro.mops.channel_sequence import ChannelSequenceMOp
+    from repro.mops.shared_sequence import IndexedSequenceMOp, SharedSequenceMOp
+    from repro.mops.shared_window_sequence import SharedWindowSequenceMOp
+
+    return (
+        SharedSequenceMOp,
+        IndexedSequenceMOp,
+        SharedWindowSequenceMOp,
+        ChannelSequenceMOp,
+    )
 
 
 class PredicateIndexRule(MRule):
@@ -373,6 +496,7 @@ class SharedSequenceRule(MRule):
         from repro.mops.shared_sequence import SharedSequenceMOp
 
         self.target_class = SharedSequenceMOp
+        self.refire_guard_classes = _sequence_family()
 
     def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
         groups: dict[tuple, list[OpInstance]] = defaultdict(list)
@@ -408,6 +532,7 @@ class IndexedSequenceRule(MRule):
         from repro.mops.shared_sequence import IndexedSequenceMOp
 
         self.target_class = IndexedSequenceMOp
+        self.refire_guard_classes = _sequence_family()
         self._attribute_by_group: dict[int, str] = {}
 
     def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
@@ -469,6 +594,7 @@ class SharedWindowSequenceRule(MRule):
         from repro.mops.shared_window_sequence import SharedWindowSequenceMOp
 
         self.target_class = SharedWindowSequenceMOp
+        self.refire_guard_classes = _sequence_family()
 
     def find_groups(self, plan: QueryPlan) -> Iterable[list[OpInstance]]:
         from repro.mops.shared_window_sequence import window_free_definition
@@ -506,6 +632,8 @@ class ChannelUnaryRuleBase(MRule):
     """Shared grouping logic for cσ / cπ / cα."""
 
     operator_type: type = object
+    forms_channels = True
+    channel_input_indexes = (0,)
 
     def accepts(self, operator) -> bool:
         """Extra per-operator filter (e.g. cα takes time windows only)."""
@@ -609,6 +737,8 @@ class PrecisionJoinRule(MRule):
 
     name = "c⋈"
     priority = 40
+    forms_channels = True
+    channel_input_indexes = (0, 1)
 
     def __init__(self):
         from repro.mops.precision_join import PrecisionJoinMOp
@@ -669,6 +799,8 @@ class ChannelSequenceRule(MRule):
 
     name = "c;/cµ"
     priority = 40
+    forms_channels = True
+    channel_input_indexes = (0,)
 
     def __init__(self):
         from repro.mops.channel_sequence import ChannelSequenceMOp

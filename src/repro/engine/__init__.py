@@ -9,5 +9,12 @@ throughput accounting used by the §5 experiments.
 
 from repro.engine.executor import StreamEngine
 from repro.engine.metrics import RunStats
+from repro.engine.migration import MigrationStats, migrate_engine, wiring_signature
 
-__all__ = ["StreamEngine", "RunStats"]
+__all__ = [
+    "StreamEngine",
+    "RunStats",
+    "MigrationStats",
+    "migrate_engine",
+    "wiring_signature",
+]

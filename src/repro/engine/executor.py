@@ -5,8 +5,14 @@ channel routing table, then drains a timestamp-ordered source merge through
 the DAG.  Propagation is breadth-first per source event: every channel tuple
 an m-op emits is enqueued and dispatched to the consumers of its channel.
 
-Plans must be fully rewritten before the engine is built — executors read the
-plan wiring once, at construction.
+Executors read the plan wiring when they are built, so plan rewrites must not
+happen behind a running engine's back.  They may, however, happen *between*
+events: :mod:`repro.engine.migration` diffs the engine's executor table
+against the (rewritten) plan, reuses executors whose wiring is untouched —
+carrying their window/sequence state across — and atomically swaps the
+routing and sink tables.  That is what lets the online lifecycle runtime
+(:mod:`repro.runtime`) register and unregister queries mid-stream without a
+stop-the-world rebuild.
 """
 
 from __future__ import annotations
@@ -27,33 +33,96 @@ from repro.streams.tuples import StreamTuple
 class StreamEngine:
     """Executes one query plan over a set of sources."""
 
-    def __init__(self, plan: QueryPlan, capture_outputs: bool = False):
+    def __init__(
+        self,
+        plan: QueryPlan,
+        capture_outputs: bool = False,
+        track_latency: bool = False,
+    ):
         plan.validate()
         self.plan = plan
         self.capture_outputs = capture_outputs
-        self._executors: list[MOpExecutor] = [
-            mop.make_executor(plan) for mop in plan.mops
-        ]
+        #: Record per-output latency into RunStats (off by default: it costs
+        #: one clock read per output event on the hot path).
+        self.track_latency = track_latency
+        #: mop_id -> (wiring signature, executor); the migration unit.
+        self._entries: dict[int, tuple[tuple, MOpExecutor]] = {}
+        self._executors: list[MOpExecutor] = []
         # Channel routing: channel_id -> executors consuming that channel.
         self._routing: dict[int, list[MOpExecutor]] = {}
-        for mop, executor in zip(plan.mops, self._executors):
+        # Sink accounting: channel_id -> [(bit, query_ids)].
+        self._sink_table: dict[int, list[tuple[int, list]]] = {}
+        self.rebuild_tables(reuse=None)
+        #: query_id -> captured output tuples (only with capture_outputs).
+        self.captured: dict[object, list[StreamTuple]] = {}
+
+    def rebuild_tables(
+        self, reuse: Optional[dict[int, tuple[tuple, MOpExecutor]]]
+    ) -> tuple[int, int]:
+        """(Re)build executors, routing and sink tables from ``self.plan``.
+
+        ``reuse`` maps mop_id to a previous (signature, executor) pair; an
+        executor is carried over — keeping its operator state — iff its m-op
+        is still in the plan with an identical wiring signature.  Returns
+        ``(reused, built)`` counts.  The new tables are computed fully before
+        being swapped in, so a raising rewrite cannot leave the engine with
+        half-updated routing.
+        """
+        from repro.engine.migration import wiring_signature
+
+        plan = self.plan
+        entries: dict[int, tuple[tuple, MOpExecutor]] = {}
+        executors: list[MOpExecutor] = []
+        reused = built = 0
+        for mop in plan.mops:
+            signature = wiring_signature(plan, mop)
+            previous = reuse.get(mop.mop_id) if reuse else None
+            if previous is not None and previous[0] == signature:
+                executor = previous[1]
+                reused += 1
+            else:
+                executor = mop.make_executor(plan)
+                built += 1
+            entries[mop.mop_id] = (signature, executor)
+            executors.append(executor)
+        routing: dict[int, list[MOpExecutor]] = {}
+        for mop, executor in zip(plan.mops, executors):
             seen: set[int] = set()
             for stream in mop.input_streams:
                 channel = plan.channel_of(stream)
                 if channel.channel_id in seen:
                     continue
                 seen.add(channel.channel_id)
-                self._routing.setdefault(channel.channel_id, []).append(executor)
-        # Sink accounting: channel_id -> [(bit, query_ids)].
-        self._sink_table: dict[int, list[tuple[int, list]]] = {}
+                routing.setdefault(channel.channel_id, []).append(executor)
+        sink_table: dict[int, list[tuple[int, list]]] = {}
         for stream, query_ids in plan.sink_streams():
             channel = plan.channel_of(stream)
             bit = 1 << channel.position_of(stream)
-            self._sink_table.setdefault(channel.channel_id, []).append(
-                (bit, query_ids)
-            )
-        #: query_id -> captured output tuples (only with capture_outputs).
-        self.captured: dict[object, list[StreamTuple]] = {}
+            sink_table.setdefault(channel.channel_id, []).append((bit, query_ids))
+        # Atomic swap: all four structures flip together.
+        self._entries = entries
+        self._executors = executors
+        self._routing = routing
+        self._sink_table = sink_table
+        return reused, built
+
+    def executor_entries(self) -> dict[int, tuple[tuple, MOpExecutor]]:
+        """Snapshot of mop_id -> (wiring signature, executor)."""
+        return dict(self._entries)
+
+    def stateful_mop_ids(self) -> set[int]:
+        """m-ops whose executors currently hold operator state.
+
+        The incremental optimizer freezes these: replacing or rewiring them
+        would drop window contents and partial matches mid-stream.  An
+        executor whose state has fully drained (``state_size == 0``) can be
+        rebuilt without behavioural difference, so it is not frozen.
+        """
+        return {
+            mop_id
+            for mop_id, (__, executor) in self._entries.items()
+            if executor.state_size > 0
+        }
 
     # -- running -------------------------------------------------------------------
 
@@ -120,6 +189,8 @@ class StreamEngine:
         queue.append((channel, channel_tuple))
         routing = self._routing
         sink_table = self._sink_table
+        track_latency = self.track_latency and stats is not None
+        event_started = time.perf_counter() if track_latency else 0.0
         while queue:
             current_channel, current_tuple = queue.popleft()
             if stats is not None:
@@ -127,6 +198,11 @@ class StreamEngine:
                 sinks = sink_table.get(current_channel.channel_id)
                 if sinks:
                     membership = current_tuple.membership
+                    latency = (
+                        time.perf_counter() - event_started
+                        if track_latency
+                        else 0.0
+                    )
                     for bit, query_ids in sinks:
                         if membership & bit:
                             for query_id in query_ids:
@@ -134,6 +210,10 @@ class StreamEngine:
                                 stats.outputs_by_query[query_id] = (
                                     stats.outputs_by_query.get(query_id, 0) + 1
                                 )
+                                if track_latency:
+                                    stats.record_output_latency(
+                                        query_id, latency
+                                    )
                                 if self.capture_outputs:
                                     self.captured.setdefault(query_id, []).append(
                                         current_tuple.tuple

@@ -74,5 +74,13 @@ class AutomatonError(RumorError):
     """Raised for malformed Cayuga-style automata."""
 
 
+class LifecycleError(RumorError):
+    """Raised by the online query runtime for invalid lifecycle transitions.
+
+    Examples: registering a query id that is already live, unregistering a
+    query that was never registered, or feeding an unknown source stream.
+    """
+
+
 class WorkloadError(RumorError):
     """Raised for invalid workload or dataset generator parameters."""

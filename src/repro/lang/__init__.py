@@ -33,7 +33,7 @@ from repro.lang.ast import (
 )
 from repro.lang.builder import QueryBuilder, from_stream
 from repro.lang.parser import parse_predicate, parse_query
-from repro.lang.compiler import compile_query
+from repro.lang.compiler import as_logical, compile_into, compile_query
 
 __all__ = [
     "QueryNode",
@@ -50,4 +50,6 @@ __all__ = [
     "parse_query",
     "parse_predicate",
     "compile_query",
+    "compile_into",
+    "as_logical",
 ]

@@ -36,6 +36,51 @@ from repro.operators.window import TimeWindow
 from repro.streams.stream import StreamDef
 
 
+def as_logical(query, query_id: Optional[str] = None) -> LogicalQuery:
+    """Normalize pipeline-language text or a :class:`LogicalQuery` to the AST.
+
+    Text requires an explicit ``query_id`` (it becomes the query's name); a
+    logical query passed alongside a mismatching ``query_id`` is rejected.
+    """
+    if isinstance(query, str):
+        from repro.lang.parser import parse_query
+
+        if not query_id:
+            raise QueryLanguageError(
+                "compiling query text requires an explicit query_id"
+            )
+        return parse_query(query, query_id)
+    if query_id is not None and query.query_id != query_id:
+        raise QueryLanguageError(
+            f"query is named {query.query_id!r} but {query_id!r} was requested"
+        )
+    return query
+
+
+def compile_into(
+    query,
+    plan: QueryPlan,
+    streams: dict[str, StreamDef],
+    query_id: Optional[str] = None,
+    mark_output: bool = True,
+    publish: Optional[str] = None,
+) -> tuple[StreamDef, list]:
+    """Compile a query — text or :class:`LogicalQuery` — into a *live* plan.
+
+    The online-runtime entry point: accepts either pipeline-language text
+    (parsed with ``query_id`` as the name) or an already-built logical query,
+    grafts its operators onto ``plan``, and returns both the output stream
+    and the list of freshly-added m-ops — the dirty set the incremental
+    optimizer scopes its fixpoint to.
+    """
+    query = as_logical(query, query_id)
+    before = len(plan.mops)
+    output = compile_query(
+        query, plan, streams, mark_output=mark_output, publish=publish
+    )
+    return output, list(plan.mops[before:])
+
+
 def compile_query(
     query: LogicalQuery,
     plan: QueryPlan,

@@ -1,0 +1,14 @@
+"""Online query lifecycle runtime.
+
+The paper's optimizer — like the seed engine — assumes the whole query batch
+is known up front.  This package drops that assumption: a
+:class:`QueryRuntime` owns a live plan + engine pair and serves
+``register`` / ``unregister`` / ``process`` without a stop-the-world
+rebuild, using incremental re-optimization
+(:meth:`repro.core.Optimizer.optimize_incremental`) and state-preserving
+engine migration (:mod:`repro.engine.migration`).
+"""
+
+from repro.runtime.runtime import QueryRuntime
+
+__all__ = ["QueryRuntime"]

@@ -1,0 +1,243 @@
+"""The online query lifecycle runtime: dynamic register / unregister.
+
+``QueryRuntime`` keeps one *live* :class:`~repro.core.plan.QueryPlan` and one
+:class:`~repro.engine.executor.StreamEngine` serving it, and treats query
+arrival and departure as the common case rather than a rebuild:
+
+``register(query)``
+    compiles the query (text or :class:`~repro.lang.ast.LogicalQuery`) onto
+    the live plan, runs a *scoped* rule fixpoint over just the new m-ops and
+    their merge frontier (``Optimizer.optimize_incremental``), and migrates
+    the engine — reusing every executor whose wiring is untouched, so
+    surviving queries keep their window and partial-match state.
+
+``unregister(query_id)``
+    drops the query's sink registrations, garbage-collects m-ops no longer
+    reachable from any sink (``QueryPlan.prune_unreachable``), and migrates,
+    freeing the dead executors' state.
+
+``process(stream_name, tuple)``
+    pushes one source event through the engine, accumulating cumulative
+    :class:`~repro.engine.metrics.RunStats` (including a ``migrations``
+    counter and, optionally, per-query output latency).
+
+The runtime also supports ``incremental=False``, the stop-the-world
+baseline: every lifecycle change re-runs the full rule fixpoint and rebuilds
+every executor from scratch (losing operator state) — this is what
+``benchmarks/bench_churn.py`` compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.core.mop import MOp
+from repro.core.optimizer import OptimizationReport, Optimizer
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.engine.metrics import RunStats
+from repro.engine.migration import MigrationStats, migrate_engine
+from repro.errors import LifecycleError, QueryLanguageError
+from repro.lang.ast import LogicalQuery
+from repro.lang.compiler import compile_into
+from repro.streams.channel import ChannelTuple
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+
+class QueryRuntime:
+    """A live multi-query plan + engine serving a changing query population."""
+
+    def __init__(
+        self,
+        sources: Optional[dict[str, Schema]] = None,
+        optimizer: Optional[Optimizer] = None,
+        capture_outputs: bool = False,
+        track_latency: bool = False,
+        incremental: bool = True,
+    ):
+        self.plan = QueryPlan()
+        self.optimizer = optimizer or Optimizer()
+        self.incremental = incremental
+        self.streams: dict[str, StreamDef] = {}
+        if sources:
+            for name, schema in sources.items():
+                self.add_source(name, schema)
+        self.engine = StreamEngine(
+            self.plan,
+            capture_outputs=capture_outputs,
+            track_latency=track_latency,
+        )
+        #: Cumulative statistics across every processed event and migration.
+        self.stats = RunStats()
+        #: Per-lifecycle-change optimizer reports, in order.
+        self.reports: list[OptimizationReport] = []
+        #: Per-lifecycle-change migration statistics, in order.
+        self.migration_log: list[MigrationStats] = []
+        self._active: dict[str, LogicalQuery] = {}
+
+    # -- sources -------------------------------------------------------------------
+
+    def add_source(
+        self,
+        name: str,
+        schema: Schema,
+        sharable_label: Optional[str] = None,
+    ) -> StreamDef:
+        """Declare a source stream the runtime will accept events on."""
+        if name in self.streams:
+            raise LifecycleError(f"source {name!r} is already declared")
+        stream = self.plan.add_source(name, schema, sharable_label=sharable_label)
+        self.streams[name] = stream
+        return stream
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def active_queries(self) -> list[str]:
+        return list(self._active)
+
+    def register(
+        self,
+        query: Union[str, LogicalQuery],
+        query_id: Optional[str] = None,
+    ) -> OptimizationReport:
+        """Add a query to the live plan without stopping the stream.
+
+        ``query`` is pipeline-language text (then ``query_id`` is required)
+        or a :class:`LogicalQuery`.  Compilation, scoped re-optimization and
+        engine migration happen between two events; state held by untouched
+        executors survives.  Returns the optimizer report.
+        """
+        from repro.lang.compiler import as_logical
+
+        try:
+            logical = as_logical(query, query_id)
+        except QueryLanguageError as error:
+            raise LifecycleError(str(error)) from error
+        if logical.query_id in self._active:
+            raise LifecycleError(
+                f"query {logical.query_id!r} is already registered"
+            )
+        for name in logical.sources():
+            if name not in self.streams:
+                raise LifecycleError(
+                    f"query {logical.query_id!r} reads unknown source {name!r}"
+                )
+        try:
+            __, dirty = compile_into(logical, self.plan, self.streams)
+            if self.incremental:
+                report = self.optimizer.optimize_incremental(
+                    self.plan, dirty, frozen=self.engine.stateful_mop_ids()
+                )
+            else:
+                report = self.optimizer.optimize(self.plan)
+            self._migrate()
+        except Exception:
+            # Roll the half-registered query back out: drop any sink it
+            # already claimed, prune its orphan m-ops, and re-sync the
+            # engine, so the live plan keeps serving the other queries and a
+            # retry of the same query_id starts clean.  Cleanup is best
+            # effort — the original failure must surface, not be masked.
+            try:
+                self.plan.unmark_output(logical.query_id)
+                self.plan.prune_unreachable()
+                migrate_engine(self.engine)
+            except Exception:
+                pass
+            raise
+        self._active[logical.query_id] = logical
+        self.reports.append(report)
+        return report
+
+    def unregister(self, query_id: str) -> list[MOp]:
+        """Retire a query: drop its sinks, GC unreachable m-ops, migrate.
+
+        Returns the garbage-collected m-ops (empty when everything the query
+        used is shared with still-active queries).
+        """
+        if query_id not in self._active:
+            raise LifecycleError(f"query {query_id!r} is not registered")
+        self.plan.unmark_output(query_id)
+        removed = self.plan.prune_unreachable()
+        del self._active[query_id]
+        self._migrate()
+        return removed
+
+    def reoptimize(self) -> OptimizationReport:
+        """Maintenance sweep: re-run the rules over the *whole* live plan.
+
+        Incremental registration skips merges that would disturb executors
+        holding state, and never revisits them — under sustained churn,
+        duplicate m-ops whose state has since drained can accumulate.  This
+        runs a fixpoint scoped to every current m-op (still honouring the
+        frozen set, so live state is still never dropped) and migrates;
+        call it periodically, or when ``len(plan.mops)`` creeps up.
+        """
+        report = self.optimizer.optimize_incremental(
+            self.plan, list(self.plan.mops),
+            frozen=self.engine.stateful_mop_ids(),
+        )
+        self._migrate()
+        self.reports.append(report)
+        return report
+
+    def _migrate(self) -> MigrationStats:
+        if self.incremental:
+            migration = migrate_engine(self.engine)
+        else:
+            import time
+
+            started = time.perf_counter()
+            previous = len(self.engine.executor_entries())
+            __, built = self.engine.rebuild_tables(reuse=None)
+            migration = MigrationStats(
+                reused_executors=0,
+                built_executors=built,
+                dropped_executors=previous,
+                state_carried=0,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        self.migration_log.append(migration)
+        self.stats.migrations += 1
+        return migration
+
+    # -- event processing ----------------------------------------------------------
+
+    def process(self, stream_name: str, tuple_: StreamTuple) -> RunStats:
+        """Push one source event through the live engine."""
+        stream = self.streams.get(stream_name)
+        if stream is None:
+            raise LifecycleError(f"unknown source stream {stream_name!r}")
+        channel = self.plan.channel_of(stream)
+        channel_tuple = ChannelTuple(tuple_, 1 << channel.position_of(stream))
+        event_stats = self.engine.process(channel, channel_tuple)
+        self.stats.absorb(event_stats)
+        return event_stats
+
+    def run(self, events: Iterable[tuple[str, StreamTuple]]) -> RunStats:
+        """Process a batch of ``(stream name, tuple)`` events; returns the
+        batch's statistics (also folded into :attr:`stats`)."""
+        batch = RunStats()
+        for stream_name, tuple_ in events:
+            batch.absorb(self.process(stream_name, tuple_))
+        return batch
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def state_size(self) -> int:
+        return self.engine.state_size
+
+    @property
+    def captured(self) -> dict:
+        return self.engine.captured
+
+    def describe(self) -> str:
+        """Plan rendering plus live-runtime counters."""
+        return (
+            f"QueryRuntime: {len(self._active)} active queries, "
+            f"state={self.state_size}, migrations={self.stats.migrations}\n"
+            f"{self.plan.describe()}"
+        )

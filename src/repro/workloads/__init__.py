@@ -23,8 +23,12 @@ from repro.workloads.templates import (
     Workload3,
 )
 from repro.workloads.perfmon import PerfmonDataset, D1, D2
+from repro.workloads.churn import ChurnEvent, ChurnWorkload, drive
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnWorkload",
+    "drive",
     "ZipfSampler",
     "synthetic_schema",
     "interleaved_events",

@@ -1,0 +1,234 @@
+"""Churn workloads: Poisson query arrival and departure over a live stream.
+
+Production multi-query systems see queries come and go while the stream keeps
+flowing; the paper's batch workloads (§5.2) never exercise that.  This module
+generates *churn schedules* — register/unregister events placed on the same
+timestamp axis as the synthetic S/T streams — plus the query pool they draw
+from, and a driver that replays stream events and lifecycle events through a
+:class:`~repro.runtime.QueryRuntime` in timestamp order.
+
+Arrivals form a Poisson process (exponential inter-arrival times, rate
+``arrival_rate`` per timestamp unit); each arrived query lives an
+exponentially-distributed ``mean_lifetime`` and then departs.  Queries cycle
+through three templates chosen to exercise the optimizer's sharing rules and
+the engine's state migration differently:
+
+- **select** — ``σ(a0 == c)(S)``: stateless, merges into the predicate index
+  (sσ) of earlier arrivals;
+- **sequence** — ``σ(a0 == c)(S) ;θ T`` (Workload-1 shape): the sequence
+  holds partial matches, so departure must free state and arrival must not
+  disturb live sequence executors;
+- **aggregate** — ``avg(a1) OVER w BY a0`` on S: window state that must ride
+  through migrations untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.lang.ast import (
+    AggregateNode,
+    LogicalQuery,
+    SelectNode,
+    SequenceNode,
+    SourceNode,
+)
+from repro.operators.expressions import attr, lit, right
+from repro.operators.predicates import Comparison, DurationWithin, conjunction
+from repro.streams.tuples import StreamTuple
+from repro.workloads.synthetic import interleaved_events, synthetic_schema
+
+TEMPLATES = ("select", "sequence", "aggregate")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One lifecycle event on the stream-time axis."""
+
+    at: int  # fires before the first stream event with ts >= at
+    kind: str  # "register" | "unregister"
+    query_id: str
+    query: Optional[LogicalQuery] = None  # set for registers
+
+    def __repr__(self):
+        return f"ChurnEvent({self.kind} {self.query_id} @ {self.at})"
+
+
+class ChurnWorkload:
+    """A deterministic Poisson register/unregister schedule over S and T.
+
+    ``initial_queries`` register at time 0 (the standing population);
+    subsequent arrivals follow the Poisson process until ``horizon``
+    timestamps.  All randomness is seeded, so the same parameters always
+    yield the same schedule and queries — churn benchmark runs stay
+    reproducible, like every other workload in this repo.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float = 0.01,
+        mean_lifetime: float = 400.0,
+        horizon: int = 2000,
+        initial_queries: int = 4,
+        num_attributes: int = 10,
+        constant_domain: int = 20,
+        window_domain: int = 50,
+        seed: int = 0,
+    ):
+        if arrival_rate < 0:
+            raise WorkloadError("arrival_rate must be non-negative")
+        if mean_lifetime <= 0:
+            raise WorkloadError("mean_lifetime must be positive")
+        if horizon < 1:
+            raise WorkloadError("horizon must be at least 1")
+        self.arrival_rate = arrival_rate
+        self.mean_lifetime = mean_lifetime
+        self.horizon = horizon
+        self.initial_queries = initial_queries
+        self.schema = synthetic_schema(num_attributes)
+        self.constant_domain = constant_domain
+        self.window_domain = window_domain
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._schedule = self._build_schedule()
+
+    # -- query pool ----------------------------------------------------------------
+
+    def query(self, index: int) -> LogicalQuery:
+        """Deterministic query ``index`` from the cycling template pool."""
+        rng = np.random.default_rng(self.seed + 1000 + index)
+        constant = int(rng.integers(0, self.constant_domain))
+        window = int(rng.integers(1, self.window_domain + 1))
+        template = TEMPLATES[index % len(TEMPLATES)]
+        source = SourceNode("S")
+        if template == "select":
+            root = SelectNode(source, Comparison(attr("a0"), "==", lit(constant)))
+        elif template == "sequence":
+            selected = SelectNode(
+                source, Comparison(attr("a0"), "==", lit(constant))
+            )
+            predicate = conjunction(
+                [
+                    DurationWithin(window),
+                    Comparison(
+                        right("a0"),
+                        "==",
+                        lit(int(rng.integers(0, self.constant_domain))),
+                    ),
+                ]
+            )
+            root = SequenceNode(selected, SourceNode("T"), predicate)
+        else:  # aggregate
+            root = AggregateNode(
+                source,
+                "avg",
+                "a1",
+                window,
+                group_by=("a0",),
+                output_name="avg_a1",
+            )
+        return LogicalQuery(f"q{index}", root)
+
+    # -- schedule ------------------------------------------------------------------
+
+    def _build_schedule(self) -> list[ChurnEvent]:
+        raw: list[tuple[int, int, ChurnEvent]] = []
+        sequence = 0
+
+        def add(at: float, kind: str, index: int, query=None) -> None:
+            nonlocal sequence
+            at_ts = min(int(at), self.horizon)
+            raw.append(
+                (
+                    at_ts,
+                    sequence,
+                    ChurnEvent(at_ts, kind, f"q{index}", query),
+                )
+            )
+            sequence += 1
+
+        index = 0
+        for __ in range(self.initial_queries):
+            add(0, "register", index, self.query(index))
+            self._maybe_departure(0.0, index, add)
+            index += 1
+        clock = 0.0
+        while self.arrival_rate > 0:
+            clock += float(self._rng.exponential(1.0 / self.arrival_rate))
+            if clock >= self.horizon:
+                break
+            add(clock, "register", index, self.query(index))
+            self._maybe_departure(clock, index, add)
+            index += 1
+        self.total_queries = index
+        raw.sort(key=lambda entry: (entry[0], entry[1]))
+        return [event for __, __seq, event in raw]
+
+    def _maybe_departure(self, arrived_at: float, index: int, add) -> None:
+        departs_at = arrived_at + float(self._rng.exponential(self.mean_lifetime))
+        if departs_at < self.horizon:
+            add(departs_at, "unregister", index)
+
+    def schedule(self) -> list[ChurnEvent]:
+        return list(self._schedule)
+
+    def registrations(self) -> int:
+        """Distinct queries the schedule registers over its lifetime."""
+        return self.total_queries
+
+    # -- stream events -------------------------------------------------------------
+
+    def stream_events(self) -> list[tuple[str, StreamTuple]]:
+        """``horizon`` interleaved S/T events on timestamps 0..horizon-1.
+
+        A fresh seeded generator per call: repeated calls return the *same*
+        sequence, so serving one workload object in two modes (the natural
+        incremental vs. full-rebuild A/B) compares identical streams.
+        """
+        return interleaved_events(
+            self.schema, self.horizon, np.random.default_rng(self.seed + 1)
+        )
+
+
+def drive(
+    runtime,
+    stream_events: Iterable[tuple[str, StreamTuple]],
+    churn_events: Iterable[ChurnEvent],
+) -> Iterator[ChurnEvent]:
+    """Replay stream + lifecycle events through ``runtime`` in time order.
+
+    Each churn event fires before the first stream event whose timestamp has
+    reached it; remaining churn events past the last stream timestamp fire at
+    the end.  Unregisters for queries that never became active (e.g. the
+    runtime was handed a truncated schedule) are skipped.  Yields each
+    lifecycle event as it is applied, so callers can interleave their own
+    bookkeeping (plan snapshots, stats sampling) with the run.
+    """
+    pending = list(churn_events)
+    position = 0
+    for stream_name, tuple_ in stream_events:
+        while position < len(pending) and pending[position].at <= tuple_.ts:
+            event = pending[position]
+            position += 1
+            if _apply(runtime, event):
+                yield event
+        runtime.process(stream_name, tuple_)
+    while position < len(pending):
+        event = pending[position]
+        position += 1
+        if _apply(runtime, event):
+            yield event
+
+
+def _apply(runtime, event: ChurnEvent) -> bool:
+    if event.kind == "register":
+        runtime.register(event.query)
+        return True
+    if event.query_id in runtime.active_queries:
+        runtime.unregister(event.query_id)
+        return True
+    return False

@@ -91,3 +91,27 @@ class TestCommands:
         args = parser.parse_args(["figures", "9a", "--full"])
         assert args.figure == ["9a"]
         assert args.full
+
+    def test_churn_command(self, capsys):
+        assert main(
+            [
+                "churn",
+                "--events", "400",
+                "--arrival-rate", "0.02",
+                "--initial-queries", "3",
+                "--latency",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "incremental mode" in output
+        assert "migrations:" in output
+        assert "executors reused:" in output
+        assert "mean latency" in output
+
+    def test_churn_full_rebuild_mode(self, capsys):
+        assert main(
+            ["churn", "--events", "300", "--full-rebuild", "--verbose"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "full-rebuild mode" in output
+        assert "register" in output

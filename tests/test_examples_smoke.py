@@ -36,3 +36,11 @@ def test_shared_aggregation(capsys):
     output = run_example("shared_aggregation.py", capsys)
     assert "by_region_1m" in output
     assert "region3_avg" in output
+
+
+def test_dynamic_queries(capsys):
+    output = run_example("dynamic_queries.py", capsys)
+    assert "registering alerts4 mid-stream" in output
+    assert "incremental optimization" in output
+    assert "garbage-collected m-ops" in output
+    assert "state after GC: 0" in output

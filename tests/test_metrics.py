@@ -1,0 +1,97 @@
+"""RunStats extensions: per-query output latency and migration accounting."""
+
+from __future__ import annotations
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.engine.metrics import RunStats
+from repro.operators.expressions import attr, lit
+from repro.operators.predicates import Comparison
+from repro.operators.select import Selection
+from repro.runtime import QueryRuntime
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.numbered(2)
+
+
+def _plan_and_source(count=50):
+    plan = QueryPlan()
+    s = plan.add_source("S", SCHEMA)
+    for constant, query_id in ((0, "q0"), (1, "q1")):
+        out = plan.add_operator(
+            Selection(Comparison(attr("a0"), "==", lit(constant))),
+            [s],
+            query_id=query_id,
+        )
+        plan.mark_output(out, query_id)
+    Optimizer().optimize(plan)
+    tuples = [StreamTuple(SCHEMA, (ts % 3, ts), ts) for ts in range(count)]
+    source = StreamSource(plan.channel_of(s), tuples, member_streams=[s])
+    return plan, source
+
+
+class TestOutputLatency:
+    def test_latency_tracked_per_query(self):
+        plan, source = _plan_and_source()
+        engine = StreamEngine(plan, track_latency=True)
+        stats = engine.run([source])
+        assert set(stats.latency_by_query) == {"q0", "q1"}
+        for query_id in ("q0", "q1"):
+            assert stats.latency_by_query[query_id] > 0.0
+            assert stats.mean_latency(query_id) > 0.0
+            # Mean latency cannot exceed the total accumulated latency.
+            assert stats.mean_latency(query_id) <= stats.latency_by_query[query_id]
+
+    def test_latency_off_by_default(self):
+        plan, source = _plan_and_source()
+        stats = StreamEngine(plan).run([source])
+        assert stats.latency_by_query == {}
+        assert stats.mean_latency("q0") == 0.0
+
+    def test_mean_latency_zero_without_outputs(self):
+        stats = RunStats()
+        assert stats.mean_latency("ghost") == 0.0
+
+
+class TestMergeAndAbsorb:
+    def _stats(self, outputs, latency, migrations):
+        stats = RunStats(output_events=outputs, migrations=migrations)
+        stats.outputs_by_query = {"q": outputs}
+        stats.latency_by_query = {"q": latency}
+        return stats
+
+    def test_merge_combines_latency_and_migrations(self):
+        merged = self._stats(2, 0.5, 1).merge(self._stats(3, 0.25, 2))
+        assert merged.migrations == 3
+        assert merged.latency_by_query == {"q": 0.75}
+        assert merged.mean_latency("q") == 0.75 / 5
+
+    def test_absorb_matches_merge(self):
+        a = self._stats(2, 0.5, 1)
+        b = self._stats(3, 0.25, 2)
+        merged = a.merge(b)
+        a.absorb(b)
+        assert a.migrations == merged.migrations
+        assert a.outputs_by_query == merged.outputs_by_query
+        assert a.latency_by_query == merged.latency_by_query
+
+
+class TestMigrationCounter:
+    def test_runtime_counts_migrations(self):
+        runtime = QueryRuntime({"S": SCHEMA}, track_latency=True)
+        runtime.register("FROM S WHERE a0 == 1", query_id="q1")
+        runtime.register("FROM S WHERE a0 == 2", query_id="q2")
+        runtime.unregister("q1")
+        assert runtime.stats.migrations == 3
+        assert len(runtime.migration_log) == 3
+
+    def test_runtime_latency_flows_into_cumulative_stats(self):
+        runtime = QueryRuntime({"S": SCHEMA}, track_latency=True)
+        runtime.register("FROM S WHERE a0 == 1", query_id="q1")
+        for ts in range(30):
+            runtime.process("S", StreamTuple(SCHEMA, (ts % 3, ts), ts))
+        assert runtime.stats.outputs_by_query["q1"] > 0
+        assert runtime.stats.mean_latency("q1") > 0.0

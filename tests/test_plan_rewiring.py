@@ -1,0 +1,264 @@
+"""Rewiring edge cases for ``_detach_mop`` / ``replace_mops`` /
+``eliminate_duplicate`` / ``prune_unreachable``.
+
+These paths were exercised only indirectly by the optimizer before; the
+online runtime's unregister/GC makes them load-bearing — a stale consumer
+index or a half-removed stream now corrupts a *live* engine, so the
+bookkeeping invariants get direct coverage here, including shared channels
+and multi-consumer streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plan import QueryPlan
+from repro.errors import PlanError
+from repro.mops.predicate_index import PredicateIndexMOp
+from repro.operators.expressions import attr, lit
+from repro.operators.predicates import Comparison
+from repro.operators.project import Projection
+from repro.operators.select import Selection
+from repro.streams.schema import Schema
+
+SCHEMA = Schema.numbered(2)
+
+
+def selection(constant):
+    return Selection(Comparison(attr("a0"), "==", lit(constant)))
+
+
+def projection():
+    return Projection([("a0", attr("a0"))])
+
+
+class TestDetach:
+    def test_detach_keeps_other_consumers_of_shared_stream(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        plan.add_operator(selection(1), [s], query_id="q1")
+        out2 = plan.add_operator(selection(2), [s], query_id="q2")
+        victim = plan.producer_mop_of(out2)
+        plan._detach_mop(victim)
+        remaining = plan.consumers_of(s)
+        assert len(remaining) == 1
+        assert remaining[0][1].query_id == "q1"
+        plan.validate()
+
+    def test_detach_multi_instance_mop_cleans_every_entry(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        o1 = plan.add_operator(selection(1), [s], query_id="q1")
+        o2 = plan.add_operator(selection(2), [s], query_id="q2")
+        owners = [plan.producer_mop_of(o1), plan.producer_mop_of(o2)]
+        merged = PredicateIndexMOp(
+            [plan.producer_instance_of(o1), plan.producer_instance_of(o2)]
+        )
+        plan.replace_mops(owners, merged)
+        assert len(plan.consumers_of(s)) == 2
+        plan._detach_mop(merged)
+        assert plan.consumers_of(s) == []
+
+
+class TestReplaceMops:
+    def test_rejects_partial_instance_union(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        o1 = plan.add_operator(selection(1), [s], query_id="q1")
+        o2 = plan.add_operator(selection(2), [s], query_id="q2")
+        partial = PredicateIndexMOp([plan.producer_instance_of(o1)])
+        with pytest.raises(PlanError):
+            plan.replace_mops(
+                [plan.producer_mop_of(o1), plan.producer_mop_of(o2)], partial
+            )
+
+    def test_rejects_mop_not_in_plan(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        o1 = plan.add_operator(selection(1), [s], query_id="q1")
+        foreign_plan = QueryPlan()
+        fs = foreign_plan.add_source("S", SCHEMA)
+        fo = foreign_plan.add_operator(selection(1), [fs], query_id="qx")
+        target = PredicateIndexMOp(
+            [plan.producer_instance_of(o1), foreign_plan.producer_instance_of(fo)]
+        )
+        with pytest.raises(PlanError):
+            plan.replace_mops(
+                [plan.producer_mop_of(o1), foreign_plan.producer_mop_of(fo)],
+                target,
+            )
+
+    def test_replace_preserves_channel_wiring(self):
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", SCHEMA, sharable_label="S")
+        s2 = plan.add_source("S2", SCHEMA, sharable_label="S")
+        channel = plan.channelize([s1, s2])
+        o1 = plan.add_operator(selection(1), [s1], query_id="q1")
+        o2 = plan.add_operator(selection(1), [s2], query_id="q2")
+        owners = [plan.producer_mop_of(o1), plan.producer_mop_of(o2)]
+        merged = PredicateIndexMOp(
+            [plan.producer_instance_of(o1), plan.producer_instance_of(o2)]
+        )
+        plan.replace_mops(owners, merged)
+        # Channels are per-stream wiring: replacement must not disturb them.
+        assert plan.channel_of(s1) is channel
+        assert plan.channel_of(s2) is channel
+        entries = plan.consumers_of(s1)
+        assert [entry[0] for entry in entries] == [merged]
+        plan.validate()
+
+
+class TestEliminateDuplicate:
+    def _dup_plan(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        keep = plan.add_operator(selection(1), [s], query_id="q1")
+        dup = plan.add_operator(selection(1), [s], query_id="q2")
+        return plan, s, keep, dup
+
+    def test_multi_consumer_rewiring(self):
+        plan, s, keep, dup = self._dup_plan()
+        # Two independent consumers plus a sink on the duplicate's output.
+        c1 = plan.add_operator(projection(), [dup], query_id="q2")
+        c2 = plan.add_operator(selection(3), [dup], query_id="q3")
+        plan.mark_output(dup, "q2")
+        plan.eliminate_duplicate(
+            plan.producer_instance_of(dup), plan.producer_instance_of(keep)
+        )
+        consumers = plan.consumers_of(keep)
+        assert {entry[1].output.stream_id for entry in consumers} == {
+            c1.stream_id,
+            c2.stream_id,
+        }
+        # Sink registration moved over; duplicate stream fully gone.
+        assert plan.sinks[keep.stream_id] == ["q2"]
+        assert dup.stream_id not in {st.stream_id for st in plan.streams()}
+        with pytest.raises(PlanError):
+            plan.channel_of(dup)
+        plan.validate()
+
+    def test_sink_merges_with_existing_registrations(self):
+        plan, s, keep, dup = self._dup_plan()
+        plan.mark_output(keep, "q1")
+        plan.mark_output(dup, "q2")
+        plan.eliminate_duplicate(
+            plan.producer_instance_of(dup), plan.producer_instance_of(keep)
+        )
+        assert plan.sinks[keep.stream_id] == ["q1", "q2"]
+
+    def test_rejects_different_definitions(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        a = plan.add_operator(selection(1), [s], query_id="q1")
+        b = plan.add_operator(selection(2), [s], query_id="q2")
+        with pytest.raises(PlanError):
+            plan.eliminate_duplicate(
+                plan.producer_instance_of(b), plan.producer_instance_of(a)
+            )
+
+    def test_rejects_different_inputs(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        t = plan.add_source("T", SCHEMA)
+        a = plan.add_operator(selection(1), [s], query_id="q1")
+        b = plan.add_operator(selection(1), [t], query_id="q2")
+        with pytest.raises(PlanError):
+            plan.eliminate_duplicate(
+                plan.producer_instance_of(b), plan.producer_instance_of(a)
+            )
+
+    def test_rejects_multi_instance_owner(self):
+        plan, s, keep, dup = self._dup_plan()
+        extra = plan.add_operator(selection(1), [s], query_id="q3")
+        owners = [plan.producer_mop_of(dup), plan.producer_mop_of(extra)]
+        merged = PredicateIndexMOp(
+            [plan.producer_instance_of(dup), plan.producer_instance_of(extra)]
+        )
+        plan.replace_mops(owners, merged)
+        with pytest.raises(PlanError):
+            plan.eliminate_duplicate(
+                plan.producer_instance_of(dup), plan.producer_instance_of(keep)
+            )
+
+
+class TestUnmarkAndPrune:
+    def test_unmark_keeps_shared_sink_alive(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        out = plan.add_operator(selection(1), [s], query_id="q1")
+        plan.mark_output(out, "q1")
+        plan.mark_output(out, "q2")
+        assert plan.unmark_output("q1") == 1
+        assert plan.sinks[out.stream_id] == ["q2"]
+        assert plan.prune_unreachable() == []
+
+    def test_prune_cascades_bottom_up(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        mid = plan.add_operator(selection(1), [s], query_id="q1")
+        top = plan.add_operator(projection(), [mid], query_id="q1")
+        plan.mark_output(top, "q1")
+        plan.unmark_output("q1")
+        removed = plan.prune_unreachable()
+        assert len(removed) == 2
+        assert plan.mops == []
+        assert {st.stream_id for st in plan.streams()} == {s.stream_id}
+        assert plan.consumers_of(s) == []
+
+    def test_prune_keeps_shared_upstream(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        shared = plan.add_operator(selection(1), [s], query_id="q1")
+        o1 = plan.add_operator(projection(), [shared], query_id="q1")
+        o2 = plan.add_operator(selection(3), [shared], query_id="q2")
+        plan.mark_output(o1, "q1")
+        plan.mark_output(o2, "q2")
+        plan.unmark_output("q1")
+        removed = plan.prune_unreachable()
+        assert [mop.describe() for mop in removed] == [
+            plan_mop.describe() for plan_mop in removed
+        ]
+        assert len(removed) == 1
+        # The shared selection survives: q2 still consumes it.
+        assert plan.producer_mop_of(shared) in plan.mops
+        plan.validate()
+
+    def test_prune_keeps_partially_dead_merged_mop(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        o1 = plan.add_operator(selection(1), [s], query_id="q1")
+        o2 = plan.add_operator(selection(2), [s], query_id="q2")
+        owners = [plan.producer_mop_of(o1), plan.producer_mop_of(o2)]
+        merged = PredicateIndexMOp(
+            [plan.producer_instance_of(o1), plan.producer_instance_of(o2)]
+        )
+        plan.replace_mops(owners, merged)
+        plan.mark_output(o1, "q1")
+        plan.mark_output(o2, "q2")
+        plan.unmark_output("q2")
+        # q2's instance is dead but shares the m-op with live q1: kept whole.
+        assert plan.prune_unreachable() == []
+        assert merged in plan.mops
+        plan.validate()
+
+    def test_prune_removes_channelized_outputs_together(self):
+        plan = QueryPlan()
+        s1 = plan.add_source("S1", SCHEMA, sharable_label="S")
+        s2 = plan.add_source("S2", SCHEMA, sharable_label="S")
+        o1 = plan.add_operator(selection(1), [s1], query_id="q1")
+        o2 = plan.add_operator(selection(1), [s2], query_id="q2")
+        owners = [plan.producer_mop_of(o1), plan.producer_mop_of(o2)]
+        merged = PredicateIndexMOp(
+            [plan.producer_instance_of(o1), plan.producer_instance_of(o2)]
+        )
+        plan.replace_mops(owners, merged)
+        plan.channelize([o1, o2])
+        plan.mark_output(o1, "q1")
+        plan.mark_output(o2, "q2")
+        plan.unmark_output("q1")
+        plan.unmark_output("q2")
+        removed = plan.prune_unreachable()
+        assert removed == [merged]
+        remaining = {st.stream_id for st in plan.streams()}
+        assert remaining == {s1.stream_id, s2.stream_id}
+        plan.validate()

@@ -22,8 +22,12 @@ from repro.workloads.templates import (
 
 class TestWorkload1Shape:
     @pytest.fixture
-    def plan(self):
-        plan, __ = Workload1(WorkloadParameters(num_queries=40)).rumor_plan()
+    def workload(self):
+        return Workload1(WorkloadParameters(num_queries=40))
+
+    @pytest.fixture
+    def plan(self, workload):
+        plan, __ = workload.rumor_plan()
         return plan
 
     def test_two_mops_total(self, plan):
@@ -33,12 +37,26 @@ class TestWorkload1Shape:
         kinds = {type(mop) for mop in plan.mops}
         assert PredicateIndexMOp in kinds
 
-    def test_an_side_is_indexed_sequence(self, plan):
+    def test_an_side_is_indexed_sequence(self, plan, workload):
         an_mop = next(
             mop for mop in plan.mops if isinstance(mop, IndexedSequenceMOp)
         )
         assert an_mop.index_attribute == "a0"
-        assert len(an_mop.instances) == 40
+        # CSE collapses queries whose full (θ1, window, θ3) definition repeats
+        # (cascading off the deduplicated selections); the index m-op carries
+        # one instance per *distinct* query definition, multiplexing sinks.
+        distinct_queries = len(
+            {
+                (
+                    workload.theta1_constants[i],
+                    workload.windows[i],
+                    workload.theta3_constants[i],
+                )
+                for i in range(workload.params.num_queries)
+            }
+        )
+        assert len(an_mop.instances) == distinct_queries
+        assert distinct_queries < workload.params.num_queries
 
     def test_cse_deduplicates_selections(self, plan):
         index_mop = next(

@@ -222,4 +222,31 @@ class TestOptimizerFixpoint:
             plan.add_operator(selection(c), [s], query_id=f"q{c}")
         report = Optimizer().optimize(plan)
         assert "sσ" in str(report)
+        assert "sweep 1" in str(report)
         assert report.by_rule().get("sσ") == 1
+
+    def test_report_records_sweep_structure(self):
+        plan = QueryPlan()
+        s = plan.add_source("S", SCHEMA)
+        for c in range(4):
+            plan.add_operator(selection(c % 2), [s], query_id=f"q{c}")
+        report = Optimizer().optimize(plan)
+        # Every application carries its sweep index; indexes are 1-based,
+        # contiguous, and never exceed the sweep count.
+        assert report.applications
+        sweeps_seen = {application.sweep for application in report.applications}
+        assert min(sweeps_seen) == 1
+        assert max(sweeps_seen) <= report.sweeps
+        by_sweep = report.by_sweep()
+        assert sum(len(apps) for apps in by_sweep.values()) == len(
+            report.applications
+        )
+        for sweep, applications in by_sweep.items():
+            for application in applications:
+                assert application.sweep == sweep
+                assert application.count > 0
+        # CSE collapses the two duplicate pairs before sσ merges the rest.
+        assert report.by_rule()["cse"] == 2
+        # m-ops considered accumulates the whole plan per sweep (full mode).
+        assert report.mops_considered >= len(plan.mops) * report.sweeps
+        assert not report.incremental

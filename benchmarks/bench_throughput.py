@@ -1,0 +1,54 @@
+"""Throughput benchmark: batched vs per-tuple dispatch, naive vs optimized.
+
+Thin entry point over :mod:`repro.bench.throughput` (importable because the
+driver also backs the ``repro.cli bench-throughput`` subcommand).  Each cell
+measures events/sec and re-checks that batched dispatch produces identical
+per-query output counts to the per-tuple reference interpreter; the run
+fails if the optimized zipf workload's batched speedup drops below the
+scale's floor (3x at full scale).
+
+Run standalone (writes ``BENCH_throughput.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --scale smoke
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.throughput import (
+    ThroughputScale,
+    bench_zipf,
+    main,
+    render,
+    run_benchmark,
+)
+
+# -- pytest entry points ------------------------------------------------------------
+
+
+def test_throughput_smoke():
+    """Acceptance: batched ≥ smoke floor on optimized zipf, outputs equal."""
+    results = run_benchmark(ThroughputScale.smoke())
+    assert (
+        results["headline"]["optimized_zipf_batched_speedup"]
+        >= results["headline"]["target"]
+    )
+
+
+def test_throughput_point_benchmark(benchmark):
+    """pytest-benchmark timing of the zipf sweep at smoke scale."""
+    scale = ThroughputScale.smoke()
+    result = benchmark.pedantic(
+        lambda: bench_zipf(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["batched_speedup"] = result["plans"]["optimized"][
+        "batched_speedup"
+    ]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

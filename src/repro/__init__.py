@@ -58,6 +58,7 @@ from repro.streams import (
     StreamDef,
     StreamSource,
     StreamTuple,
+    merge_source_runs,
     merge_sources,
 )
 from repro.operators import (
@@ -123,6 +124,7 @@ __all__ = [
     "Channel",
     "ChannelTuple",
     "StreamSource",
+    "merge_source_runs",
     "merge_sources",
     # operators
     "Selection",

@@ -76,11 +76,18 @@ def measure_rumor(
     sources_factory: Callable[[], list],
     warmup_events: int = 0,
     repeats: int = 1,
+    batching: bool = False,
 ) -> RunStats:
-    """Mean-of-``repeats`` measurement of a plan on fresh executors."""
+    """Mean-of-``repeats`` measurement of a plan on fresh executors.
+
+    ``batching`` defaults to off: the paper figures compare RUMOR against a
+    per-event automaton baseline, so the reproduction keeps the per-tuple
+    interpreter unless a driver opts into the batched hot path explicitly
+    (``benchmarks/bench_throughput.py`` is the batched-vs-per-tuple study).
+    """
     merged: RunStats | None = None
     for __ in range(repeats):
-        engine = StreamEngine(plan)
+        engine = StreamEngine(plan, batching=batching)
         stats = engine.run(sources_factory(), warmup_events=warmup_events)
         merged = stats if merged is None else merged.merge(stats)
     return merged

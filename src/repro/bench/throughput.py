@@ -1,0 +1,371 @@
+"""Engine throughput benchmark: batched vs per-tuple dispatch.
+
+Measures events/sec across three workloads — the zipf selection workload
+(single stream, Zipf-drawn predicate constants: the m-op sharing sweet
+spot), the perfmon hybrid workload (§5.3: a diamond-shaped plan the batch
+safety analysis must refuse to batch, so batched and per-tuple throughput
+coincide there by design), and the churn workload (an online serve where
+every migration lands on a batch boundary) — for naive vs optimized plans
+and per-tuple vs batched dispatch.
+
+Every cell re-checks output equivalence: per-query output counts must be
+identical across dispatch modes, otherwise the run aborts.  Results land in
+``BENCH_throughput.json`` — the repo's performance trajectory baseline.
+
+Regenerate::
+
+    PYTHONPATH=src python -m repro.cli bench-throughput
+    PYTHONPATH=src python -m repro.cli bench-throughput --scale smoke  # CI
+
+or run the standalone script ``benchmarks/bench_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.engine.metrics import RunStats
+from repro.operators.expressions import attr, lit
+from repro.operators.predicates import Comparison
+from repro.operators.select import Selection
+from repro.runtime import QueryRuntime
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+from repro.workloads.churn import ChurnWorkload, drive, drive_batched
+from repro.workloads.perfmon import PerfmonDataset
+from repro.workloads.synthetic import synthetic_schema
+from repro.workloads.templates import HybridWorkload
+from repro.workloads.zipf import ZipfSampler
+
+#: Acceptance floor: batched dispatch on the optimized zipf workload must
+#: clear this multiple of per-tuple throughput at full scale.
+TARGET_SPEEDUP = 3.0
+#: Relaxed floor for the CI smoke run (small event counts are noisy).
+SMOKE_SPEEDUP = 1.5
+
+
+@dataclass
+class ThroughputScale:
+    """Knobs controlling benchmark size."""
+
+    name: str = "full"
+    zipf_events: int = 30_000
+    zipf_queries: int = 300
+    hybrid_processes: int = 24
+    hybrid_seconds: int = 240
+    hybrid_queries: int = 6
+    churn_events: int = 3_000
+    churn_initial: int = 6
+    repeats: int = 3
+    max_batch: int = 4096
+    min_speedup: float = TARGET_SPEEDUP
+
+    @classmethod
+    def full(cls) -> "ThroughputScale":
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "ThroughputScale":
+        """Reduced scale for the CI smoke job."""
+        return cls(
+            name="smoke",
+            zipf_events=6_000,
+            zipf_queries=120,
+            hybrid_processes=12,
+            hybrid_seconds=90,
+            hybrid_queries=4,
+            churn_events=800,
+            churn_initial=4,
+            repeats=2,
+            min_speedup=SMOKE_SPEEDUP,
+        )
+
+
+def _cell(stats: RunStats) -> dict:
+    return {
+        "events_per_sec": round(stats.throughput, 1),
+        "elapsed_seconds": round(stats.elapsed_seconds, 6),
+        "input_events": stats.input_events,
+        "output_events": stats.output_events,
+        "physical_events": stats.physical_events,
+    }
+
+
+def _require_equivalent(name: str, per_tuple: RunStats, batched: RunStats) -> None:
+    if per_tuple.outputs_by_query != batched.outputs_by_query:
+        raise AssertionError(
+            f"{name}: batched dispatch diverged from per-tuple outputs "
+            f"({per_tuple.outputs_by_query} != {batched.outputs_by_query})"
+        )
+
+
+# -- zipf selection workload ---------------------------------------------------------
+
+
+def zipf_selection_plan(
+    num_queries: int, optimize: bool, seed: int = 7
+) -> tuple[QueryPlan, object]:
+    """``num_queries`` selections with Zipf-drawn equality constants over one
+    stream — the single-stream m-op sharing workload (paper §5.1 parameters:
+    constants Zipf(1.5) over a domain of 1000)."""
+    schema = synthetic_schema()
+    rng = np.random.default_rng(seed)
+    constants = ZipfSampler(0, 999, 1.5, rng).sample(num_queries)
+    plan = QueryPlan()
+    source = plan.add_source("S", schema)
+    for index, constant in enumerate(constants):
+        query_id = f"q{index}"
+        out = plan.add_operator(
+            Selection(Comparison(attr("a0"), "==", lit(int(constant)))),
+            [source],
+            query_id=query_id,
+        )
+        plan.mark_output(out, query_id)
+    if optimize:
+        Optimizer().optimize(plan)
+    return plan, source
+
+
+def zipf_event_tuples(count: int, seed: int = 8) -> list[StreamTuple]:
+    schema = synthetic_schema()
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 1000, size=(count, len(schema)))
+    return [
+        StreamTuple(schema, tuple(int(v) for v in values[i]), i)
+        for i in range(count)
+    ]
+
+
+def _measure_engine(
+    plan_factory, sources_factory, batching: bool, scale: ThroughputScale
+) -> RunStats:
+    """Best-of-``repeats`` run on fresh executors (fresh operator state)."""
+    best: Optional[RunStats] = None
+    for __ in range(scale.repeats):
+        plan, name_map = plan_factory()
+        engine = StreamEngine(
+            plan, batching=batching, max_batch=scale.max_batch
+        )
+        stats = engine.run(sources_factory(plan, name_map))
+        if best is None or stats.throughput > best.throughput:
+            best = stats
+    return best
+
+
+def _bench_plan_cells(
+    name: str, plan_factory, sources_factory, scale: ThroughputScale
+) -> dict:
+    """One per-tuple-vs-batched comparison cell pair + equivalence check."""
+    cells: dict = {}
+    stats_by_mode = {}
+    for mode, batching in (("per_tuple", False), ("batched", True)):
+        stats = _measure_engine(plan_factory, sources_factory, batching, scale)
+        cells[mode] = _cell(stats)
+        stats_by_mode[mode] = stats
+    _require_equivalent(
+        name, stats_by_mode["per_tuple"], stats_by_mode["batched"]
+    )
+    cells["batched_speedup"] = round(
+        stats_by_mode["batched"].throughput
+        / max(stats_by_mode["per_tuple"].throughput, 1e-9),
+        2,
+    )
+    return cells
+
+
+def bench_zipf(scale: ThroughputScale) -> dict:
+    tuples = zipf_event_tuples(scale.zipf_events)
+    result: dict = {
+        "events": scale.zipf_events,
+        "queries": scale.zipf_queries,
+        "plans": {},
+    }
+    for plan_name, optimize in (("naive", False), ("optimized", True)):
+        result["plans"][plan_name] = _bench_plan_cells(
+            f"zipf/{plan_name}",
+            lambda: zipf_selection_plan(scale.zipf_queries, optimize),
+            lambda plan, source: [StreamSource(plan.channel_of(source), tuples)],
+            scale,
+        )
+    return result
+
+
+# -- perfmon hybrid workload ---------------------------------------------------------
+
+
+def bench_hybrid(scale: ThroughputScale) -> dict:
+    dataset = PerfmonDataset(
+        processes=scale.hybrid_processes,
+        duration_seconds=scale.hybrid_seconds,
+        seed=3,
+    )
+    workload = HybridWorkload(dataset, num_queries=scale.hybrid_queries)
+    result: dict = {
+        "events": scale.hybrid_processes * scale.hybrid_seconds,
+        "queries": scale.hybrid_queries,
+        "plans": {},
+    }
+    for plan_name, optimize in (("naive", False), ("optimized", True)):
+        result["plans"][plan_name] = _bench_plan_cells(
+            f"hybrid/{plan_name}",
+            lambda: workload.rumor_plan(channels=True, optimize=optimize),
+            lambda plan, name_map: workload.sources(
+                plan, name_map, scale.hybrid_seconds
+            ),
+            scale,
+        )
+    return result
+
+
+# -- churn workload ------------------------------------------------------------------
+
+
+def _serve_churn(scale: ThroughputScale, batched: bool) -> tuple[RunStats, float]:
+    workload = ChurnWorkload(
+        arrival_rate=0.02,
+        mean_lifetime=600.0,
+        horizon=scale.churn_events,
+        initial_queries=scale.churn_initial,
+        seed=7,
+    )
+    runtime = QueryRuntime({"S": workload.schema, "T": workload.schema})
+    driver = drive_batched if batched else drive
+    started = time.perf_counter()
+    for __ in driver(runtime, workload.stream_events(), workload.schedule()):
+        pass
+    elapsed = time.perf_counter() - started
+    return runtime.stats, elapsed
+
+
+def bench_churn(scale: ThroughputScale) -> dict:
+    result: dict = {"events": scale.churn_events, "modes": {}}
+    stats_by_mode = {}
+    for mode, batched in (("per_tuple", False), ("batched", True)):
+        best_stats, best_elapsed = None, float("inf")
+        for __ in range(scale.repeats):
+            stats, elapsed = _serve_churn(scale, batched)
+            if elapsed < best_elapsed:
+                best_stats, best_elapsed = stats, elapsed
+        cell = _cell(best_stats)
+        cell["events_per_sec"] = round(
+            best_stats.input_events / max(best_elapsed, 1e-9), 1
+        )
+        cell["elapsed_seconds"] = round(best_elapsed, 6)
+        cell["migrations"] = best_stats.migrations
+        result["modes"][mode] = cell
+        stats_by_mode[mode] = best_stats
+    _require_equivalent(
+        "churn", stats_by_mode["per_tuple"], stats_by_mode["batched"]
+    )
+    result["modes"]["batched_speedup"] = round(
+        result["modes"]["batched"]["events_per_sec"]
+        / max(result["modes"]["per_tuple"]["events_per_sec"], 1e-9),
+        2,
+    )
+    return result
+
+
+# -- entry points --------------------------------------------------------------------
+
+
+def run_benchmark(scale: ThroughputScale) -> dict:
+    zipf = bench_zipf(scale)
+    hybrid = bench_hybrid(scale)
+    churn = bench_churn(scale)
+    headline = zipf["plans"]["optimized"]["batched_speedup"]
+    results = {
+        "meta": {
+            "benchmark": "engine throughput: batched vs per-tuple dispatch",
+            "scale": scale.name,
+            "max_batch": scale.max_batch,
+            "repeats": scale.repeats,
+            "regenerate": "PYTHONPATH=src python -m repro.cli bench-throughput",
+        },
+        "headline": {
+            "optimized_zipf_batched_speedup": headline,
+            "target": scale.min_speedup,
+        },
+        "workloads": {
+            "zipf": zipf,
+            "perfmon_hybrid": hybrid,
+            "churn": churn,
+        },
+    }
+    if headline < scale.min_speedup:
+        raise AssertionError(
+            f"batched dispatch must be ≥{scale.min_speedup}x per-tuple on the "
+            f"optimized zipf workload, measured {headline}x"
+        )
+    return results
+
+
+def render(results: dict) -> str:
+    lines = [
+        f"throughput benchmark ({results['meta']['scale']} scale, "
+        f"max_batch={results['meta']['max_batch']})",
+        f"{'workload':<16} {'plan':<10} {'per-tuple ev/s':>15} "
+        f"{'batched ev/s':>14} {'speedup':>8}",
+    ]
+    for workload, data in results["workloads"].items():
+        if "plans" in data:
+            for plan_name, cells in data["plans"].items():
+                lines.append(
+                    f"{workload:<16} {plan_name:<10} "
+                    f"{cells['per_tuple']['events_per_sec']:>15,.0f} "
+                    f"{cells['batched']['events_per_sec']:>14,.0f} "
+                    f"{cells['batched_speedup']:>7.2f}x"
+                )
+        else:
+            modes = data["modes"]
+            lines.append(
+                f"{workload:<16} {'live':<10} "
+                f"{modes['per_tuple']['events_per_sec']:>15,.0f} "
+                f"{modes['batched']['events_per_sec']:>14,.0f} "
+                f"{modes['batched_speedup']:>7.2f}x"
+            )
+    lines.append(
+        f"headline: optimized zipf batched speedup "
+        f"{results['headline']['optimized_zipf_batched_speedup']}x "
+        f"(target ≥{results['headline']['target']}x)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="engine throughput benchmark (batched vs per-tuple)"
+    )
+    parser.add_argument(
+        "--scale", choices=["full", "smoke"], default="full",
+        help="smoke: reduced event counts for CI",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_throughput.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+    scale = (
+        ThroughputScale.smoke() if args.scale == "smoke"
+        else ThroughputScale.full()
+    )
+    results = run_benchmark(scale)
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(render(results))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

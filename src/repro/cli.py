@@ -21,12 +21,19 @@ Three subcommands cover the downstream-user loop:
     handled by incremental re-optimization and state-preserving engine
     migration — or, with ``--full-rebuild``, by the stop-the-world baseline.
 
+``bench-throughput``
+    Regenerate ``BENCH_throughput.json``: events/sec for batched vs
+    per-tuple dispatch across the zipf, perfmon-hybrid and churn workloads,
+    asserting batched dispatch stays output-identical and clears its
+    speedup floor on the optimized zipf workload.
+
 Examples::
 
     python -m repro.cli optimize queries.rql
     python -m repro.cli run queries.rql --source perfmon --events 20000
     python -m repro.cli figures 10c --full
     python -m repro.cli churn --events 5000 --arrival-rate 0.02 --latency
+    python -m repro.cli bench-throughput --scale smoke
 """
 
 from __future__ import annotations
@@ -230,6 +237,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return figures_main(argv)
 
 
+def cmd_bench_throughput(args: argparse.Namespace) -> int:
+    from repro.bench.throughput import main as throughput_main
+
+    return throughput_main(["--scale", args.scale, "--output", args.output])
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RUMOR rule-based multi-query optimizer CLI"
@@ -301,6 +314,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     churn.add_argument("--verbose", action="store_true")
     churn.set_defaults(handler=cmd_churn)
+
+    bench = commands.add_parser(
+        "bench-throughput",
+        help="measure batched vs per-tuple dispatch throughput and write "
+        "BENCH_throughput.json",
+    )
+    bench.add_argument(
+        "--scale",
+        choices=["full", "smoke"],
+        default="full",
+        help="smoke: reduced event counts for CI",
+    )
+    bench.add_argument("--output", default="BENCH_throughput.json")
+    bench.set_defaults(handler=cmd_bench_throughput)
     return parser
 
 

@@ -28,6 +28,24 @@ from repro.streams.tuples import StreamTuple
 _mop_ids = itertools.count(1)
 
 
+def _append_grouped(
+    grouped: dict[int, list["ChannelTuple"]],
+    order: list[tuple["Channel", list["ChannelTuple"]]],
+    channel: "Channel",
+    channel_tuple: "ChannelTuple",
+) -> None:
+    """Append to the per-channel bucket, creating it in first-appearance
+    order — the grouping invariant every batch path must share so batched
+    and per-tuple dispatch stay output-identical.  (Hot m-op loops inline
+    this by hand; keep them in sync with this reference.)"""
+    channel_id = channel.channel_id
+    bucket = grouped.get(channel_id)
+    if bucket is None:
+        bucket = grouped[channel_id] = []
+        order.append((channel, bucket))
+    bucket.append(channel_tuple)
+
+
 class OpInstance:
     """One logical operator instance inside a plan.
 
@@ -70,6 +88,14 @@ class MOpExecutor:
     ``process`` consumes one channel tuple arriving on one of the m-op's
     input channels and returns the channel tuples it produces, paired with
     their output channels.
+
+    ``process_batch`` is the amortized entry point of the batched engine:
+    one call consumes a *run* of channel tuples arriving on one channel, in
+    order, and returns the produced tuples grouped per output channel.  The
+    default implementation falls back to per-tuple :meth:`process`; hot
+    m-ops override it with a vectorized path.  Implementations must preserve
+    per-tuple semantics exactly: state updates happen in batch order, and
+    the tuples inside each returned group appear in emission order.
     """
 
     def process(
@@ -77,9 +103,30 @@ class MOpExecutor:
     ) -> list[tuple[Channel, ChannelTuple]]:
         raise NotImplementedError
 
+    def process_batch(
+        self, channel: Channel, batch: Sequence[ChannelTuple]
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        grouped: dict[int, list[ChannelTuple]] = {}
+        order: list[tuple[Channel, list[ChannelTuple]]] = []
+        process = self.process
+        for channel_tuple in batch:
+            for out_channel, out_tuple in process(channel, channel_tuple):
+                _append_grouped(grouped, order, out_channel, out_tuple)
+        return order
+
     @property
     def state_size(self) -> int:
         return 0
+
+    @property
+    def is_stateful(self) -> bool:
+        """Whether this executor *class* can ever hold operator state.
+
+        Executors that do not override :attr:`state_size` are stateless by
+        construction; the engine partitions on this at table-rebuild time so
+        state sampling never re-visits them.
+        """
+        return type(self).state_size is not MOpExecutor.state_size
 
 
 class MOp:
@@ -206,3 +253,30 @@ class OutputCollector:
             cursor[key] = index + 1
             results.append((channel, ChannelTuple(key[1], merged[key][index])))
         return results
+
+    def emit_batch(
+        self,
+        per_tuple_outputs: Iterable[Sequence[tuple[StreamDef, StreamTuple]]],
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        """Batch emission: one emission list per *input* tuple, grouped per
+        output channel.
+
+        Merging stays scoped to each input tuple's emissions — exactly what
+        per-tuple :meth:`emit` would produce — so batched and per-tuple
+        dispatch yield identical channel tuples.  The common 0/1-emission
+        cases skip the merge machinery entirely.
+        """
+        routes = self._routes
+        grouped: dict[int, list[ChannelTuple]] = {}
+        order: list[tuple[Channel, list[ChannelTuple]]] = []
+        for outputs in per_tuple_outputs:
+            if not outputs:
+                continue
+            if len(outputs) == 1:
+                stream, tuple_ = outputs[0]
+                channel, bit = routes[stream.stream_id]
+                _append_grouped(grouped, order, channel, ChannelTuple(tuple_, bit))
+                continue
+            for channel, channel_tuple in self.emit(outputs):
+                _append_grouped(grouped, order, channel, channel_tuple)
+        return order

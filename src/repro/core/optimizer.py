@@ -138,6 +138,7 @@ class Optimizer:
         migration remains possible after the rewrite.
         """
         report = OptimizationReport(incremental=True)
+        dirty_mops = list(dirty_mops)
         scope = {
             id(instance) for mop in dirty_mops for instance in mop.instances
         }
@@ -145,18 +146,22 @@ class Optimizer:
             plan.validate()
             return report
         frozen = frozen or set()
+        # The frontier — the m-ops currently owning a scoped instance — is
+        # maintained incrementally: rules update it as merges replace owners
+        # (the target joins, the merged sources leave) and CSE retires
+        # duplicates.  The seed rescanned every plan instance per sweep to
+        # recompute it, an O(plan) cost defeating the point of a scoped
+        # fixpoint on large live plans.
+        frontier = {mop.mop_id for mop in dirty_mops}
         changed = True
         while changed:
             changed = False
             report.sweeps += 1
-            frontier = {
-                id(instance.owner)
-                for instance in plan.instances()
-                if id(instance) in scope and instance.owner is not None
-            }
             report.mops_considered += len(frontier)
             for rule in self.rules:
-                count = rule.apply(plan, scope=scope, frozen=frozen)
+                count = rule.apply(
+                    plan, scope=scope, frozen=frozen, frontier=frontier
+                )
                 if count:
                     report.applications.append(
                         RuleApplication(report.sweeps, rule.name, count)

@@ -83,6 +83,7 @@ class MRule:
         plan: QueryPlan,
         scope: Optional[set[int]] = None,
         frozen: Optional[set[int]] = None,
+        frontier: Optional[set[int]] = None,
     ) -> int:
         """Apply the rule to every eligible group; returns merges performed.
 
@@ -94,6 +95,10 @@ class MRule:
         ``frozen`` m-op ids are never replaced, and groups whose application
         would re-channelize streams produced or consumed by a frozen m-op
         are skipped (their executors' wiring must stay valid mid-stream).
+
+        ``frontier`` is the incrementally-maintained set of mop_ids owning a
+        scoped instance: a merge removes the replaced owners and adds the
+        target, keeping it equal to what a full plan scan would find.
         """
         applied = 0
         for group in list(self.find_groups(plan)):
@@ -123,6 +128,9 @@ class MRule:
             plan.replace_mops(owners, target)
             if scope is not None:
                 scope.update(id(instance) for instance in target.instances)
+            if frontier is not None:
+                frontier.difference_update(owner.mop_id for owner in owners)
+                frontier.add(target.mop_id)
             applied += 1
         return applied
 
@@ -325,6 +333,7 @@ class CseRule(MRule):
         plan: QueryPlan,
         scope: Optional[set[int]] = None,
         frozen: Optional[set[int]] = None,
+        frontier: Optional[set[int]] = None,
     ) -> int:
         # Each elimination rewires consumers, which can turn downstream
         # instances into fresh duplicates (a collapsed σ makes its two
@@ -353,6 +362,11 @@ class CseRule(MRule):
                     if owner is None or len(owner.instances) != 1:
                         continue  # already merged; leave to other rules
                     plan.eliminate_duplicate(duplicate, representative)
+                    if frontier is not None:
+                        # The duplicate's (single-instance) owner left the
+                        # plan; the representative stays unscoped, so the
+                        # frontier only shrinks here.
+                        frontier.discard(owner.mop_id)
                     round_applied += 1
             applied += round_applied
             if not round_applied:

@@ -2,17 +2,38 @@
 
 ``StreamEngine`` freezes a query plan into executors (one per m-op) and a
 channel routing table, then drains a timestamp-ordered source merge through
-the DAG.  Propagation is breadth-first per source event: every channel tuple
-an m-op emits is enqueued and dispatched to the consumers of its channel.
+the DAG.
+
+Two dispatch paths share the same executor tables:
+
+- **per-tuple** — the reference interpreter: breadth-first propagation per
+  source event (every emitted channel tuple is enqueued and dispatched to
+  the consumers of its channel);
+- **batched** (default) — the hot path: the source merge is consumed as
+  timestamp-ordered *runs* of same-channel events, each run flows through
+  the DAG as one batch per channel (``MOpExecutor.process_batch``), routing
+  and sink bookkeeping are flattened into one dense per-channel table, and
+  stats/latency/capture branches are hoisted into per-channel closures
+  built at table-rebuild time.
+
+Batched dispatch preserves per-tuple semantics *exactly*; the engine proves
+it per entry channel.  Processing a whole run through one executor before
+the next reorders events only across channels, never within one, so it is
+output-identical iff no executor consumes more than one channel reachable
+from the entry channel (a "diamond": the same source event reaching one
+executor via paths of different length, e.g. a µ-op reading both α(CPU) and
+σ(α(CPU))).  ``rebuild_tables`` records the channel-consumption graph and
+entry channels failing the diamond test fall back to per-tuple dispatch, so
+outputs stay byte-identical to the reference path on every plan.
 
 Executors read the plan wiring when they are built, so plan rewrites must not
 happen behind a running engine's back.  They may, however, happen *between*
-events: :mod:`repro.engine.migration` diffs the engine's executor table
-against the (rewritten) plan, reuses executors whose wiring is untouched —
-carrying their window/sequence state across — and atomically swaps the
-routing and sink tables.  That is what lets the online lifecycle runtime
-(:mod:`repro.runtime`) register and unregister queries mid-stream without a
-stop-the-world rebuild.
+events — on a batch boundary: :mod:`repro.engine.migration` diffs the
+engine's executor table against the (rewritten) plan, reuses executors whose
+wiring is untouched — carrying their window/sequence state across — and
+atomically swaps the routing and sink tables.  That is what lets the online
+lifecycle runtime (:mod:`repro.runtime`) register and unregister queries
+mid-stream without a stop-the-world rebuild.
 """
 
 from __future__ import annotations
@@ -26,7 +47,7 @@ from repro.core.plan import QueryPlan
 from repro.engine.metrics import RunStats
 from repro.errors import PlanError
 from repro.streams.channel import Channel, ChannelTuple
-from repro.streams.sources import StreamSource, merge_sources
+from repro.streams.sources import StreamSource, merge_source_runs, merge_sources
 from repro.streams.tuples import StreamTuple
 
 
@@ -38,23 +59,48 @@ class StreamEngine:
         plan: QueryPlan,
         capture_outputs: bool = False,
         track_latency: bool = False,
+        batching: bool = True,
+        max_batch: int = 1024,
     ):
         plan.validate()
         self.plan = plan
         self.capture_outputs = capture_outputs
         #: Record per-output latency into RunStats (off by default: it costs
-        #: one clock read per output event on the hot path).
+        #: one clock read per output event on the hot path).  Under batched
+        #: dispatch the latency clock starts once per run, so per-output
+        #: readings are coarser than per-tuple dispatch (a measurement
+        #: difference only — outputs are identical).
         self.track_latency = track_latency
+        #: Dispatch source runs as batches where provably output-identical
+        #: (see module docstring); ``False`` forces the reference per-tuple
+        #: interpreter everywhere — the baseline ``bench_throughput``
+        #: compares against.
+        self.batching = batching
+        if max_batch < 1:
+            raise PlanError(f"max_batch must be at least 1, got {max_batch}")
+        self.max_batch = max_batch
+        #: query_id -> captured output tuples (only with capture_outputs).
+        #: Created before the tables: the per-channel sink closures bind it.
+        self.captured: dict[object, list[StreamTuple]] = {}
         #: mop_id -> (wiring signature, executor); the migration unit.
         self._entries: dict[int, tuple[tuple, MOpExecutor]] = {}
         self._executors: list[MOpExecutor] = []
+        self._stateful_executors: list[MOpExecutor] = []
         # Channel routing: channel_id -> executors consuming that channel.
         self._routing: dict[int, list[MOpExecutor]] = {}
         # Sink accounting: channel_id -> [(bit, query_ids)].
         self._sink_table: dict[int, list[tuple[int, list]]] = {}
+        # Flattened hot-path table: channel_id -> (sink handler | None,
+        # prebound process_batch methods of the channel's consumers).
+        self._channel_table: dict[int, tuple] = {}
+        # Channel-consumption graph for the batch-safety (diamond) analysis.
+        self._consumer_indexes: dict[int, tuple[int, ...]] = {}
+        self._exec_input_channels: list[frozenset[int]] = []
+        self._exec_output_channels: list[tuple[int, ...]] = []
+        self._multi_input_execs: tuple[int, ...] = ()
+        self._multi_sink_queries: tuple[frozenset[int], ...] = ()
+        self._batchable_cache: dict[int, bool] = {}
         self.rebuild_tables(reuse=None)
-        #: query_id -> captured output tuples (only with capture_outputs).
-        self.captured: dict[object, list[StreamTuple]] = {}
 
     def rebuild_tables(
         self, reuse: Optional[dict[int, tuple[tuple, MOpExecutor]]]
@@ -86,7 +132,10 @@ class StreamEngine:
             entries[mop.mop_id] = (signature, executor)
             executors.append(executor)
         routing: dict[int, list[MOpExecutor]] = {}
-        for mop, executor in zip(plan.mops, executors):
+        consumer_indexes: dict[int, list[int]] = {}
+        exec_input_channels: list[frozenset[int]] = []
+        exec_output_channels: list[tuple[int, ...]] = []
+        for index, (mop, executor) in enumerate(zip(plan.mops, executors)):
             seen: set[int] = set()
             for stream in mop.input_streams:
                 channel = plan.channel_of(stream)
@@ -94,17 +143,151 @@ class StreamEngine:
                     continue
                 seen.add(channel.channel_id)
                 routing.setdefault(channel.channel_id, []).append(executor)
+                consumer_indexes.setdefault(channel.channel_id, []).append(index)
+            exec_input_channels.append(frozenset(seen))
+            exec_output_channels.append(
+                tuple(
+                    {
+                        plan.channel_of(stream).channel_id
+                        for stream in mop.output_streams
+                    }
+                )
+            )
         sink_table: dict[int, list[tuple[int, list]]] = {}
+        sink_channels_by_query: dict[object, set[int]] = {}
         for stream, query_ids in plan.sink_streams():
             channel = plan.channel_of(stream)
             bit = 1 << channel.position_of(stream)
             sink_table.setdefault(channel.channel_id, []).append((bit, query_ids))
-        # Atomic swap: all four structures flip together.
+            for query_id in query_ids:
+                sink_channels_by_query.setdefault(query_id, set()).add(
+                    channel.channel_id
+                )
+        channel_table: dict[int, tuple] = {}
+        for channel_id in set(routing) | set(sink_table):
+            sinks = tuple(
+                (bit, tuple(query_ids))
+                for bit, query_ids in sink_table.get(channel_id, ())
+            )
+            handler = self._make_sink_handler(sinks) if sinks else None
+            batch_methods = tuple(
+                executor.process_batch
+                for executor in routing.get(channel_id, ())
+            )
+            channel_table[channel_id] = (handler, batch_methods)
+        # Atomic swap: every table flips together.
         self._entries = entries
         self._executors = executors
+        self._stateful_executors = [e for e in executors if e.is_stateful]
         self._routing = routing
         self._sink_table = sink_table
+        self._channel_table = channel_table
+        self._consumer_indexes = {
+            channel_id: tuple(indexes)
+            for channel_id, indexes in consumer_indexes.items()
+        }
+        self._exec_input_channels = exec_input_channels
+        self._exec_output_channels = exec_output_channels
+        self._multi_input_execs = tuple(
+            index
+            for index, channels in enumerate(exec_input_channels)
+            if len(channels) > 1
+        )
+        self._multi_sink_queries = tuple(
+            frozenset(channels)
+            for channels in sink_channels_by_query.values()
+            if len(channels) > 1
+        )
+        self._batchable_cache = {}
         return reused, built
+
+    def _make_sink_handler(self, sinks: tuple):
+        """Per-channel sink closure, specialized at rebuild time.
+
+        The per-tuple interpreter re-tests ``stats is None``, latency and
+        capture flags on every event; here each flag combination gets its
+        own closure so the hot loop runs branch-free.  Handlers receive the
+        batch, the (never-None) stats, and the run's entry clock reading.
+        """
+        capture = self.capture_outputs
+        captured = self.captured
+        if self.track_latency:
+
+            def handle(tuples, stats, started):
+                latency = time.perf_counter() - started
+                outputs_by_query = stats.outputs_by_query
+                latency_by_query = stats.latency_by_query
+                output_events = 0
+                for channel_tuple in tuples:
+                    membership = channel_tuple.membership
+                    for bit, query_ids in sinks:
+                        if membership & bit:
+                            for query_id in query_ids:
+                                output_events += 1
+                                outputs_by_query[query_id] = (
+                                    outputs_by_query.get(query_id, 0) + 1
+                                )
+                                latency_by_query[query_id] = (
+                                    latency_by_query.get(query_id, 0.0) + latency
+                                )
+                                if capture:
+                                    captured.setdefault(query_id, []).append(
+                                        channel_tuple.tuple
+                                    )
+                stats.output_events += output_events
+
+            return handle
+        if capture:
+
+            def handle(tuples, stats, __started):
+                outputs_by_query = stats.outputs_by_query
+                output_events = 0
+                for channel_tuple in tuples:
+                    membership = channel_tuple.membership
+                    for bit, query_ids in sinks:
+                        if membership & bit:
+                            for query_id in query_ids:
+                                output_events += 1
+                                outputs_by_query[query_id] = (
+                                    outputs_by_query.get(query_id, 0) + 1
+                                )
+                                captured.setdefault(query_id, []).append(
+                                    channel_tuple.tuple
+                                )
+                stats.output_events += output_events
+
+            return handle
+        if len(sinks) == 1 and len(sinks[0][1]) == 1:
+            bit, (query_id,) = sinks[0]
+
+            def handle(tuples, stats, __started):
+                count = 0
+                for channel_tuple in tuples:
+                    if channel_tuple.membership & bit:
+                        count += 1
+                if count:
+                    stats.output_events += count
+                    stats.outputs_by_query[query_id] = (
+                        stats.outputs_by_query.get(query_id, 0) + count
+                    )
+
+            return handle
+
+        def handle(tuples, stats, __started):
+            outputs_by_query = stats.outputs_by_query
+            output_events = 0
+            for channel_tuple in tuples:
+                membership = channel_tuple.membership
+                for bit, query_ids in sinks:
+                    if membership & bit:
+                        for query_id in query_ids:
+                            output_events += 1
+                            outputs_by_query[query_id] = (
+                                outputs_by_query.get(query_id, 0) + 1
+                            )
+            stats.output_events += output_events
+
+        return handle
 
     def executor_entries(self) -> dict[int, tuple[tuple, MOpExecutor]]:
         """Snapshot of mop_id -> (wiring signature, executor)."""
@@ -121,8 +304,48 @@ class StreamEngine:
         return {
             mop_id
             for mop_id, (__, executor) in self._entries.items()
-            if executor.state_size > 0
+            if executor.is_stateful and executor.state_size > 0
         }
+
+    # -- batch safety ---------------------------------------------------------------
+
+    def channel_batchable(self, channel_id: int) -> bool:
+        """Whether runs entering on ``channel_id`` may be batch-dispatched.
+
+        True iff (a) no executor consumes two or more channels reachable
+        from the entry channel — the diamond test (module docstring) — and
+        (b) no single query has sinks on two or more reachable channels
+        (its captured-output order interleaves channels per event under
+        per-tuple dispatch, which batch grouping would reorder).  Computed
+        lazily per entry channel and cached until the next table rebuild.
+        """
+        cached = self._batchable_cache.get(channel_id)
+        if cached is not None:
+            return cached
+        reach = {channel_id}
+        stack = [channel_id]
+        consumer_indexes = self._consumer_indexes
+        output_channels = self._exec_output_channels
+        while stack:
+            current = stack.pop()
+            for index in consumer_indexes.get(current, ()):
+                for out in output_channels[index]:
+                    if out not in reach:
+                        reach.add(out)
+                        stack.append(out)
+        safe = True
+        input_channels = self._exec_input_channels
+        for index in self._multi_input_execs:
+            if len(input_channels[index] & reach) > 1:
+                safe = False
+                break
+        if safe:
+            for sink_channels in self._multi_sink_queries:
+                if len(sink_channels & reach) > 1:
+                    safe = False
+                    break
+        self._batchable_cache[channel_id] = safe
+        return safe
 
     # -- running -------------------------------------------------------------------
 
@@ -136,12 +359,74 @@ class StreamEngine:
 
         ``warmup_events`` logical events are processed before the clock and
         the counters start — the paper warms the JIT the same way ("we first
-        process the input stream for a few iterations", §5).
+        process the input stream for a few iterations", §5).  Warmup is
+        always per-tuple so the warmed/measured split lands on the same
+        event regardless of dispatch mode.
 
         ``sample_state_every`` > 0 records the peak total operator state
         (``RunStats.peak_state``), sampled every that many source events — a
-        memory proxy for the window-length experiments.
+        memory proxy for the window-length experiments.  State sampling is a
+        per-event probe, so it forces the per-tuple path.
         """
+        if not self.batching or sample_state_every:
+            return self._run_per_tuple(sources, warmup_events, sample_state_every)
+        runs = merge_source_runs(sources, self.max_batch)
+        pending: Optional[tuple[Channel, list[ChannelTuple]]] = None
+        if warmup_events:
+            consumed = 0
+            for channel, batch in runs:
+                index = 0
+                while index < len(batch):
+                    channel_tuple = batch[index]
+                    index += 1
+                    self._dispatch(channel, channel_tuple, stats=None)
+                    consumed += channel_tuple.membership.bit_count()
+                    if consumed >= warmup_events:
+                        break
+                if consumed >= warmup_events:
+                    if index < len(batch):
+                        pending = (channel, batch[index:])
+                    break
+        stats = RunStats()
+        started = time.perf_counter()
+        if pending is not None:
+            self._run_batch(pending[0], pending[1], stats)
+        for channel, batch in runs:
+            self._run_batch(channel, batch, stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return stats
+
+    def _run_batch(
+        self, channel: Channel, batch: list[ChannelTuple], stats: RunStats
+    ) -> None:
+        if channel.capacity == 1:
+            # Singleton channels carry exactly one membership bit per tuple.
+            logical = len(batch)
+        else:
+            logical = 0
+            for channel_tuple in batch:
+                logical += channel_tuple.membership.bit_count()
+        stats.input_events += logical
+        stats.physical_input_events += len(batch)
+        if len(batch) == 1:
+            # A run of one has nothing to amortize; the per-tuple
+            # interpreter is strictly cheaper (and trivially equivalent).
+            self._dispatch(channel, batch[0], stats)
+            return
+        if self.channel_batchable(channel.channel_id):
+            self._dispatch_batch(channel, batch, stats)
+        else:
+            dispatch = self._dispatch
+            for channel_tuple in batch:
+                dispatch(channel, channel_tuple, stats)
+
+    def _run_per_tuple(
+        self,
+        sources: Sequence[StreamSource],
+        warmup_events: int,
+        sample_state_every: int,
+    ) -> RunStats:
+        """The reference interpreter loop (the seed engine's ``run``)."""
         events = merge_sources(sources)
         if warmup_events:
             consumed = 0
@@ -174,6 +459,41 @@ class StreamEngine:
         stats.physical_input_events = 1
         started = time.perf_counter()
         self._dispatch(channel, channel_tuple, stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return stats
+
+    def process_batch(
+        self, channel: Channel, batch: Sequence[ChannelTuple]
+    ) -> RunStats:
+        """Process a run of source events arriving on one channel.
+
+        The batch is dispatched through the vectorized path when the entry
+        channel passes the diamond test (and batching is enabled), falling
+        back to per-tuple dispatch otherwise — outputs are identical either
+        way.  Caller-supplied runs are re-chunked to ``max_batch``, bounding
+        the intermediate per-channel buffers exactly like ``run`` does.
+        Plan rewrites + migration may happen between calls: a batch
+        boundary is the engine's migration-safe point.
+        """
+        stats = RunStats()
+        batch = list(batch)
+        if not batch:
+            return stats
+        started = time.perf_counter()
+        if self.batching:
+            max_batch = self.max_batch
+            if len(batch) <= max_batch:
+                self._run_batch(channel, batch, stats)
+            else:
+                for start in range(0, len(batch), max_batch):
+                    self._run_batch(
+                        channel, batch[start : start + max_batch], stats
+                    )
+        else:
+            for channel_tuple in batch:
+                stats.input_events += channel_tuple.membership.bit_count()
+                stats.physical_input_events += 1
+                self._dispatch(channel, channel_tuple, stats)
         stats.elapsed_seconds = time.perf_counter() - started
         return stats
 
@@ -224,7 +544,40 @@ class StreamEngine:
             for executor in consumers:
                 queue.extend(executor.process(current_channel, current_tuple))
 
+    def _dispatch_batch(
+        self,
+        channel: Channel,
+        batch: list[ChannelTuple],
+        stats: RunStats,
+    ) -> None:
+        """Vectorized BFS: one queue entry per (channel, run) batch.
+
+        Routing, sinks and the stats/latency/capture branches all live in
+        the prebuilt ``_channel_table`` — the loop does one dict lookup per
+        popped batch and calls prebound methods.
+        """
+        table = self._channel_table
+        queue: deque[tuple[Channel, list[ChannelTuple]]] = deque()
+        queue.append((channel, batch))
+        started = time.perf_counter() if self.track_latency else 0.0
+        while queue:
+            current_channel, tuples = queue.popleft()
+            stats.physical_events += len(tuples)
+            entry = table.get(current_channel.channel_id)
+            if entry is None:
+                continue
+            handler, batch_methods = entry
+            if handler is not None:
+                handler(tuples, stats, started)
+            for method in batch_methods:
+                queue.extend(method(current_channel, tuples))
+
     @property
     def state_size(self) -> int:
-        """Total operator state held across all executors."""
-        return sum(executor.state_size for executor in self._executors)
+        """Total operator state held across all (stateful) executors.
+
+        Stateless executors are partitioned out at table-rebuild time, so
+        per-sample cost scales with the number of stateful m-ops, not the
+        plan size.
+        """
+        return sum(executor.state_size for executor in self._stateful_executors)

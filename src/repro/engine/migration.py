@@ -21,6 +21,12 @@ The incremental optimizer cooperates by never replacing or re-channelizing
 m-ops whose executors hold live state (``StreamEngine.stateful_mop_ids``),
 so "signature unchanged" is exactly the set of executors whose reuse is
 behaviour-preserving.
+
+Migration happens between engine dispatches — under batched dispatch, on a
+*batch boundary*: the runtime's ``process``/``process_batch`` calls never
+observe half-swapped tables, and the rebuilt flattened channel table (with
+its per-channel sink closures and batch-safety cache) flips atomically with
+the executor set.
 """
 
 from __future__ import annotations

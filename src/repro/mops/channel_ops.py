@@ -69,6 +69,23 @@ class ChannelSelectionExecutor(MOpExecutor):
             return []
         return self._translator.emit(tuple_, mask)
 
+    def process_batch(
+        self, channel: Channel, batch
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        if channel.channel_id != self._channel_id:
+            return []
+        test = self._test
+        consumed = self._translator.consumed_mask
+        passed = []
+        for channel_tuple in batch:
+            mask = channel_tuple.membership & consumed
+            if not mask:
+                continue
+            tuple_ = channel_tuple.tuple
+            if test(tuple_, None, None):
+                passed.append((tuple_, mask))
+        return self._translator.emit_batch(passed)
+
 
 class ChannelProjectionMOp(MOp):
     """One schema-map evaluation per channel tuple, for n projections."""
@@ -110,3 +127,23 @@ class ChannelProjectionExecutor(MOpExecutor):
         values = [evaluate(tuple_, None, None) for evaluate in self._evaluators]
         output = StreamTuple(self.output_schema, values, tuple_.ts)
         return self._translator.emit(output, mask)
+
+    def process_batch(
+        self, channel: Channel, batch
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        if channel.channel_id != self._channel_id:
+            return []
+        evaluators = self._evaluators
+        output_schema = self.output_schema
+        consumed = self._translator.consumed_mask
+        projected = []
+        for channel_tuple in batch:
+            mask = channel_tuple.membership & consumed
+            if not mask:
+                continue
+            tuple_ = channel_tuple.tuple
+            values = [evaluate(tuple_, None, None) for evaluate in evaluators]
+            projected.append(
+                (StreamTuple(output_schema, values, tuple_.ts), mask)
+            )
+        return self._translator.emit_batch(projected)

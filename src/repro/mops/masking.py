@@ -22,7 +22,7 @@ from repro.streams.tuples import StreamTuple
 class MaskTranslator:
     """Input-channel positions → output (channel, mask) contributions."""
 
-    __slots__ = ("_tables", "_channels", "consumed_mask")
+    __slots__ = ("_tables", "_channels", "consumed_mask", "_cache")
 
     def __init__(
         self,
@@ -50,9 +50,16 @@ class MaskTranslator:
         self._channels = channels
         #: Input positions that have at least one consumer.
         self.consumed_mask = consumed
+        #: Memoized translations: membership masks repeat heavily inside a
+        #: source run (every tuple of one source carries the same mask), so
+        #: the per-position shift loop runs once per distinct mask.
+        self._cache: dict[int, list[tuple[Channel, int]]] = {}
 
     def translate(self, mask: int) -> list[tuple[Channel, int]]:
         """Output (channel, mask) pairs for an input membership mask."""
+        cached = self._cache.get(mask)
+        if cached is not None:
+            return cached
         results: list[tuple[Channel, int]] = []
         for channel_id, table in self._tables.items():
             out_mask = 0
@@ -65,6 +72,7 @@ class MaskTranslator:
                 position += 1
             if out_mask:
                 results.append((self._channels[channel_id], out_mask))
+        self._cache[mask] = results
         return results
 
     def emit(
@@ -75,3 +83,20 @@ class MaskTranslator:
             (channel, ChannelTuple(tuple_, out_mask))
             for channel, out_mask in self.translate(mask)
         ]
+
+    def emit_batch(
+        self, pairs: Iterable[tuple[StreamTuple, int]]
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        """Encode (tuple, input mask) pairs grouped per output channel."""
+        grouped: dict[int, list[ChannelTuple]] = {}
+        order: list[tuple[Channel, list[ChannelTuple]]] = []
+        translate = self.translate
+        for tuple_, mask in pairs:
+            for channel, out_mask in translate(mask):
+                channel_id = channel.channel_id
+                bucket = grouped.get(channel_id)
+                if bucket is None:
+                    bucket = grouped[channel_id] = []
+                    order.append((channel, bucket))
+                bucket.append(ChannelTuple(tuple_, out_mask))
+        return order

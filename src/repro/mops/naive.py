@@ -48,6 +48,11 @@ class NaiveMOpExecutor(MOpExecutor):
                 table[channel.position_of(stream)].append(
                     (executor, instance, input_index)
                 )
+        # Batch-path memo: (channel_id, membership) -> prebound consumer
+        # triples.  The routing table is immutable for the executor's
+        # lifetime (migrations build fresh executors), so decode happens
+        # once per distinct mask ever, not once per batch.
+        self._active_by_mask: dict[tuple[int, int], list] = {}
 
     def process(
         self, channel: Channel, channel_tuple: ChannelTuple
@@ -65,6 +70,41 @@ class NaiveMOpExecutor(MOpExecutor):
                 for output in executor.process(input_index, tuple_):
                     emissions.append((instance.output, output))
         return self._collector.emit(emissions)
+
+    def process_batch(
+        self, channel: Channel, batch
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        """Amortized scan: mask decode cached per distinct membership, the
+        per-instance operator executors run in batch order, and emission
+        merging goes through the collector's batch path (scoped per input
+        tuple, so outputs match per-tuple dispatch exactly)."""
+        channel_id = channel.channel_id
+        table = self._routing.get(channel_id)
+        if table is None:
+            return []
+        consumers_by_mask = self._active_by_mask
+        per_tuple_emissions = []
+        for channel_tuple in batch:
+            mask = channel_tuple.membership
+            active = consumers_by_mask.get((channel_id, mask))
+            if active is None:
+                active = [
+                    (executor.process, instance.output, input_index)
+                    for position, consumers in enumerate(table)
+                    if consumers and mask & (1 << position)
+                    for executor, instance, input_index in consumers
+                ]
+                consumers_by_mask[(channel_id, mask)] = active
+            if not active:
+                continue
+            tuple_ = channel_tuple.tuple
+            emissions = []
+            for process, output_stream, input_index in active:
+                for output in process(input_index, tuple_):
+                    emissions.append((output_stream, output))
+            if emissions:
+                per_tuple_emissions.append(emissions)
+        return self._collector.emit_batch(per_tuple_emissions)
 
     @property
     def state_size(self) -> int:

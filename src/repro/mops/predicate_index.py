@@ -80,6 +80,51 @@ class PredicateIndexExecutor(MOpExecutor):
             else:
                 compiled = instance.operator.predicate.compile(schema)
                 scans.append((compiled, instance))
+        # Batch-path tables mirroring ``_by_slot`` with all per-hit work
+        # precomputed: an index probe yields ready-made (channel, mask)
+        # routes — the per-channel OR of every satisfied instance's output
+        # bit — and scans carry their single route.  Output bits are
+        # pairwise-disjoint (one bit per output stream), so the pre-merged
+        # routes equal what per-tuple ``OutputCollector.emit`` produces.
+        collector = self._collector
+        self._batch_slots: dict[tuple[int, int], tuple[list, list]] = {}
+        for slot, (indexes, scans) in self._by_slot.items():
+            probe_tables = []
+            for attr_position, table in indexes.items():
+                routes_by_constant = {}
+                for constant, instances in table.items():
+                    merged: dict[int, list] = {}
+                    order: list[int] = []
+                    for instance in instances:
+                        out_channel, bit = collector.route(instance.output)
+                        entry = merged.get(out_channel.channel_id)
+                        if entry is None:
+                            merged[out_channel.channel_id] = [out_channel, bit]
+                            order.append(out_channel.channel_id)
+                        else:
+                            entry[1] |= bit
+                    routes_by_constant[constant] = tuple(
+                        (merged[channel_id][0], merged[channel_id][1])
+                        for channel_id in order
+                    )
+                probe_tables.append((attr_position, routes_by_constant))
+            scan_routes = [
+                (compiled, collector.route(instance.output))
+                for compiled, instance in scans
+            ]
+            self._batch_slots[slot] = (probe_tables, scan_routes)
+        # Fast path for the dominant shape — every selection fully indexed
+        # on one attribute of one singleton input channel: (channel_id,
+        # attr position, routes-by-constant), else None.
+        self._fast_probe = None
+        if len(self._batch_slots) == 1:
+            (slot, (probe_tables, scan_routes)), = self._batch_slots.items()
+            if slot[1] == 0 and len(probe_tables) == 1 and not scan_routes:
+                self._fast_probe = (slot[0], *probe_tables[0])
+        # Batch-path memo: (channel_id, membership) -> resolved slot list.
+        # ``_batch_slots`` is immutable for the executor's lifetime, so the
+        # bit-scan resolution runs once per distinct mask ever.
+        self._slots_by_mask: dict[tuple[int, int], list] = {}
 
     def process(
         self, channel: Channel, channel_tuple: ChannelTuple
@@ -105,3 +150,101 @@ class PredicateIndexExecutor(MOpExecutor):
                 if compiled(tuple_, None, None):
                     emissions.append((instance.output, tuple_))
         return self._collector.emit(emissions)
+
+    def process_batch(
+        self, channel: Channel, batch
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        """Vectorized probe: slot resolution once per distinct mask, one
+        hash probe per indexed attribute per tuple, pre-merged routes.
+
+        Emission merging matches per-tuple :meth:`process` exactly — the
+        single-probe case (the common one) reuses the precomputed routes
+        verbatim; multi-hit tuples OR the per-channel masks in
+        first-appearance order, which is what ``OutputCollector.emit`` does
+        for disjoint bits over identical content.
+        """
+        channel_id = channel.channel_id
+        fast = self._fast_probe
+        if fast is not None and channel_id == fast[0] and channel.capacity == 1:
+            # Singleton channel (membership is always bit 0), one attribute
+            # index, no scans: one dict probe per tuple, routes prebuilt.
+            __, attr_position, routes_by_constant = fast
+            grouped = {}
+            order = []
+            for channel_tuple in batch:
+                tuple_ = channel_tuple.tuple
+                routes = routes_by_constant.get(tuple_.values[attr_position])
+                if routes is None:
+                    continue
+                for out_channel, out_mask in routes:
+                    out_id = out_channel.channel_id
+                    bucket = grouped.get(out_id)
+                    if bucket is None:
+                        bucket = grouped[out_id] = []
+                        order.append((out_channel, bucket))
+                    bucket.append(ChannelTuple(tuple_, out_mask))
+            return order
+        batch_slots = self._batch_slots
+        slots_by_mask = self._slots_by_mask
+        grouped: dict[int, list[ChannelTuple]] = {}
+        order: list[tuple[Channel, list[ChannelTuple]]] = []
+        for channel_tuple in batch:
+            mask = channel_tuple.membership
+            slots = slots_by_mask.get((channel_id, mask))
+            if slots is None:
+                slots = []
+                remaining = mask
+                position = 0
+                while remaining:
+                    if remaining & 1:
+                        slot = batch_slots.get((channel_id, position))
+                        if slot is not None:
+                            slots.append(slot)
+                    remaining >>= 1
+                    position += 1
+                slots_by_mask[(channel_id, mask)] = slots
+            if not slots:
+                continue
+            tuple_ = channel_tuple.tuple
+            values = tuple_.values
+            hits = None
+            multi = False
+            for probe_tables, scan_routes in slots:
+                for attr_position, routes_by_constant in probe_tables:
+                    routes = routes_by_constant.get(values[attr_position])
+                    if routes is not None:
+                        if hits is None:
+                            hits = routes
+                        else:
+                            hits = list(hits) + list(routes)
+                            multi = True
+                for compiled, route in scan_routes:
+                    if compiled(tuple_, None, None):
+                        if hits is None:
+                            hits = (route,)
+                        else:
+                            hits = list(hits) + [route]
+                            multi = True
+            if hits is None:
+                continue
+            if multi:
+                merged: dict[int, list] = {}
+                merged_order: list[int] = []
+                for out_channel, out_mask in hits:
+                    entry = merged.get(out_channel.channel_id)
+                    if entry is None:
+                        merged[out_channel.channel_id] = [out_channel, out_mask]
+                        merged_order.append(out_channel.channel_id)
+                    else:
+                        entry[1] |= out_mask
+                hits = [
+                    (merged[cid][0], merged[cid][1]) for cid in merged_order
+                ]
+            for out_channel, out_mask in hits:
+                out_id = out_channel.channel_id
+                bucket = grouped.get(out_id)
+                if bucket is None:
+                    bucket = grouped[out_id] = []
+                    order.append((out_channel, bucket))
+                bucket.append(ChannelTuple(tuple_, out_mask))
+        return order

@@ -191,6 +191,33 @@ class SharedWindowSequenceExecutor(MOpExecutor):
             self._match(channel_tuple.tuple, emissions)
         return self._collector.emit(emissions)
 
+    def process_batch(
+        self, channel: Channel, batch
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        """Batch dispatch: channel-side resolution happens once per run
+        instead of per tuple; inserts and matches stay in batch order and
+        emission merging stays scoped per input tuple."""
+        channel_id = channel.channel_id
+        left_id, left_bit = self._left_slot
+        right_id, right_bit = self._right_slot
+        is_left = channel_id == left_id
+        is_right = channel_id == right_id
+        if not (is_left or is_right):
+            return []
+        insert = self._insert
+        match = self._match
+        per_tuple_emissions = []
+        for channel_tuple in batch:
+            membership = channel_tuple.membership
+            if is_left and membership & left_bit:
+                insert(channel_tuple.tuple)
+            if is_right and membership & right_bit:
+                emissions: list = []
+                match(channel_tuple.tuple, emissions)
+                if emissions:
+                    per_tuple_emissions.append(emissions)
+        return self._collector.emit_batch(per_tuple_emissions)
+
     def _insert(self, tuple_: StreamTuple) -> None:
         key = (
             tuple_.values[self._left_key_position]

@@ -29,7 +29,7 @@ every executor from scratch (losing operator state) — this is what
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.mop import MOp
 from repro.core.optimizer import OptimizationReport, Optimizer
@@ -213,6 +213,29 @@ class QueryRuntime:
         channel = self.plan.channel_of(stream)
         channel_tuple = ChannelTuple(tuple_, 1 << channel.position_of(stream))
         event_stats = self.engine.process(channel, channel_tuple)
+        self.stats.absorb(event_stats)
+        return event_stats
+
+    def process_batch(
+        self, stream_name: str, tuples: Sequence[StreamTuple]
+    ) -> RunStats:
+        """Push a run of source events (one stream, timestamp order) through
+        the live engine's batched dispatch path.
+
+        Lifecycle changes (register / unregister and their engine
+        migrations) happen between calls — a batch boundary is the
+        migration-safe point, so batching composes with the online
+        lifecycle exactly like per-event processing does.
+        """
+        stream = self.streams.get(stream_name)
+        if stream is None:
+            raise LifecycleError(f"unknown source stream {stream_name!r}")
+        if not tuples:
+            return RunStats()
+        channel = self.plan.channel_of(stream)
+        bit = 1 << channel.position_of(stream)
+        batch = [ChannelTuple(tuple_, bit) for tuple_ in tuples]
+        event_stats = self.engine.process_batch(channel, batch)
         self.stats.absorb(event_stats)
         return event_stats
 

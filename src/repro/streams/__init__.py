@@ -18,7 +18,7 @@ from repro.streams.schema import Attribute, Schema
 from repro.streams.tuples import StreamTuple
 from repro.streams.stream import StreamDef
 from repro.streams.channel import Channel, ChannelTuple
-from repro.streams.sources import StreamSource, merge_sources
+from repro.streams.sources import StreamSource, merge_source_runs, merge_sources
 from repro.streams.io import (
     read_trace,
     read_trace_file,
@@ -34,6 +34,7 @@ __all__ = [
     "Channel",
     "ChannelTuple",
     "StreamSource",
+    "merge_source_runs",
     "merge_sources",
     "read_trace",
     "read_trace_file",

@@ -224,6 +224,50 @@ def drive(
             yield event
 
 
+def drive_batched(
+    runtime,
+    stream_events: Iterable[tuple[str, StreamTuple]],
+    churn_events: Iterable[ChurnEvent],
+    max_batch: int = 1024,
+) -> Iterator[ChurnEvent]:
+    """Batched :func:`drive`: same event/lifecycle interleaving, but maximal
+    runs of consecutive same-stream events between lifecycle boundaries are
+    pushed through ``QueryRuntime.process_batch`` as one batch.
+
+    Lifecycle events still fire before the first stream event whose
+    timestamp reaches them — a pending batch is flushed first, so every
+    migration happens on a batch boundary and the serve is event-for-event
+    equivalent to the per-event driver.
+    """
+    pending = list(churn_events)
+    position = 0
+    run_name: Optional[str] = None
+    run: list[StreamTuple] = []
+    for stream_name, tuple_ in stream_events:
+        boundary = (
+            position < len(pending) and pending[position].at <= tuple_.ts
+        )
+        if run and (
+            boundary or stream_name != run_name or len(run) >= max_batch
+        ):
+            runtime.process_batch(run_name, run)
+            run = []
+        while position < len(pending) and pending[position].at <= tuple_.ts:
+            event = pending[position]
+            position += 1
+            if _apply(runtime, event):
+                yield event
+        run_name = stream_name
+        run.append(tuple_)
+    if run:
+        runtime.process_batch(run_name, run)
+    while position < len(pending):
+        event = pending[position]
+        position += 1
+        if _apply(runtime, event):
+            yield event
+
+
 def _apply(runtime, event: ChurnEvent) -> bool:
     if event.kind == "register":
         runtime.register(event.query)

@@ -402,7 +402,7 @@ class HybridWorkload:
         rebind = conjunction([correlation, increasing])
         return Iterate(forward, rebind)
 
-    def rumor_plan(self, channels: bool):
+    def rumor_plan(self, channels: bool, optimize: bool = True):
         plan = QueryPlan()
         cpu = plan.add_source("CPU", CPU_SCHEMA)
         mu_operator = self._mu_operator()
@@ -434,7 +434,8 @@ class HybridWorkload:
                 Selection(stop_predicate), [pattern], query_id=query_id
             )
             plan.mark_output(stopped, query_id)
-        _optimize(plan, channels)
+        if optimize:
+            _optimize(plan, channels)
         return plan, {"CPU": cpu}
 
     def sources(self, plan, name_map, duration_seconds: int) -> list[StreamSource]:

@@ -1,0 +1,417 @@
+"""Batched dispatch must be byte-identical to the per-tuple interpreter.
+
+The contract of the batched engine hot path: for every workload — zipf
+selections, churn (including mid-stream migration on a batch boundary) and
+the perfmon hybrid diamond — per-query outputs (content, timestamps *and*
+order) and aggregate counters match the reference per-tuple dispatch
+exactly.  A hypothesis property test drives random event interleavings
+through a mixed plan to probe shapes the workloads do not cover.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mop import MOpExecutor
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.operators.expressions import attr, lit, right
+from repro.operators.predicates import Comparison, DurationWithin, conjunction
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.runtime import QueryRuntime
+from repro.streams.schema import Schema
+from repro.streams.sources import StreamSource, merge_source_runs, merge_sources
+from repro.streams.tuples import StreamTuple
+from repro.workloads.churn import ChurnWorkload, drive, drive_batched
+from repro.workloads.perfmon import PerfmonDataset
+from repro.workloads.synthetic import synthetic_schema
+from repro.workloads.templates import HybridWorkload
+from repro.workloads.zipf import ZipfSampler
+
+
+def run_both_ways(plan_factory, sources_factory, max_batch=64):
+    """(per-tuple, batched) → (stats, captured) on fresh plans/engines."""
+    results = []
+    for batching in (False, True):
+        plan, handles = plan_factory()
+        engine = StreamEngine(
+            plan, capture_outputs=True, batching=batching, max_batch=max_batch
+        )
+        stats = engine.run(sources_factory(plan, handles))
+        results.append((stats, engine.captured))
+    return results
+
+
+def assert_equivalent(per_tuple, batched):
+    """Outputs byte-identical: per-query counts, content, ts and order."""
+    assert per_tuple[0].outputs_by_query == batched[0].outputs_by_query
+    assert per_tuple[0].input_events == batched[0].input_events
+    assert per_tuple[0].output_events == batched[0].output_events
+    assert per_tuple[0].physical_events == batched[0].physical_events
+    assert per_tuple[1] == batched[1]
+
+
+# -- run coalescing -----------------------------------------------------------------
+
+
+class TestMergeSourceRuns:
+    def test_flattened_runs_equal_merge_sources(self):
+        schema = Schema.of_ints("a")
+        plan = QueryPlan()
+        a = plan.add_source("A", schema)
+        b = plan.add_source("B", schema)
+        tuples_a = [StreamTuple(schema, (i,), ts) for i, ts in enumerate([0, 2, 3, 7])]
+        tuples_b = [StreamTuple(schema, (i,), ts) for i, ts in enumerate([1, 2, 4, 5, 6])]
+        sources = lambda: [
+            StreamSource(plan.channel_of(a), tuples_a),
+            StreamSource(plan.channel_of(b), tuples_b),
+        ]
+        flat = [
+            (channel.channel_id, ct) for channel, ct in merge_sources(sources())
+        ]
+        for max_run in (1, 2, 3, 1024):
+            runs = list(merge_source_runs(sources(), max_run))
+            assert all(len(run) <= max_run for __, run in runs)
+            flattened = [
+                (channel.channel_id, ct) for channel, run in runs for ct in run
+            ]
+            assert flattened == flat
+
+    def test_single_source_run_cap(self):
+        schema = Schema.of_ints("a")
+        plan = QueryPlan()
+        a = plan.add_source("A", schema)
+        tuples = [StreamTuple(schema, (i,), i) for i in range(10)]
+        runs = list(
+            merge_source_runs([StreamSource(plan.channel_of(a), tuples)], 4)
+        )
+        assert [len(run) for __, run in runs] == [4, 4, 2]
+        flattened = [ct for __, run in runs for ct in run]
+        assert [ct.ts for ct in flattened] == list(range(10))
+
+    @given(
+        ts_a=st.lists(st.integers(0, 30), max_size=15).map(sorted),
+        ts_b=st.lists(st.integers(0, 30), max_size=15).map(sorted),
+        max_run=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_runs_preserve_global_order(self, ts_a, ts_b, max_run):
+        schema = Schema.of_ints("a")
+        plan = QueryPlan()
+        a = plan.add_source("A", schema)
+        b = plan.add_source("B", schema)
+        tuples_a = [StreamTuple(schema, (0,), ts) for ts in ts_a]
+        tuples_b = [StreamTuple(schema, (1,), ts) for ts in ts_b]
+        sources = lambda: [
+            StreamSource(plan.channel_of(a), tuples_a),
+            StreamSource(plan.channel_of(b), tuples_b),
+        ]
+        flat = [
+            (channel.channel_id, ct) for channel, ct in merge_sources(sources())
+        ]
+        flattened = [
+            (channel.channel_id, ct)
+            for channel, run in merge_source_runs(sources(), max_run)
+            for ct in run
+        ]
+        assert flattened == flat
+
+
+# -- default batch fallback ---------------------------------------------------------
+
+
+class TestDefaultProcessBatch:
+    def test_groups_outputs_per_channel_in_order(self):
+        schema = Schema.of_ints("a")
+        plan = QueryPlan()
+        s = plan.add_source("S", schema)
+        out = plan.add_operator(
+            Selection(Comparison(attr("a"), ">", lit(0))), [s], query_id="q"
+        )
+        plan.mark_output(out, "q")
+        mop = plan.mops[0]
+        executor = mop.make_executor(plan)
+        channel = plan.channel_of(s)
+        batch = [
+            channel.encode_all(StreamTuple(schema, (v,), ts))
+            for ts, v in enumerate([1, 0, 2])
+        ]
+        grouped = MOpExecutor.process_batch(executor, channel, batch)
+        assert len(grouped) == 1
+        out_channel, tuples = grouped[0]
+        assert out_channel.channel_id == plan.channel_of(out).channel_id
+        assert [ct.tuple["a"] for ct in tuples] == [1, 2]
+
+
+# -- zipf selection workload --------------------------------------------------------
+
+
+def zipf_plan(optimize, num_queries=60, seed=5):
+    schema = synthetic_schema()
+    rng = np.random.default_rng(seed)
+    constants = ZipfSampler(0, 99, 1.5, rng).sample(num_queries)
+    plan = QueryPlan()
+    s = plan.add_source("S", schema)
+    for i, c in enumerate(constants):
+        out = plan.add_operator(
+            Selection(Comparison(attr("a0"), "==", lit(int(c)))),
+            [s],
+            query_id=f"q{i}",
+        )
+        plan.mark_output(out, f"q{i}")
+    if optimize:
+        Optimizer().optimize(plan)
+    return plan, s
+
+
+class TestZipfEquivalence:
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_outputs_identical(self, optimize):
+        schema = synthetic_schema()
+        rng = np.random.default_rng(6)
+        values = rng.integers(0, 100, size=(600, len(schema)))
+        tuples = [
+            StreamTuple(schema, tuple(int(v) for v in values[i]), i)
+            for i in range(600)
+        ]
+        per_tuple, batched = run_both_ways(
+            lambda: zipf_plan(optimize),
+            lambda plan, s: [StreamSource(plan.channel_of(s), tuples)],
+        )
+        assert per_tuple[0].output_events > 0
+        assert_equivalent(per_tuple, batched)
+
+    def test_optimized_zipf_channel_is_batchable(self):
+        plan, s = zipf_plan(True)
+        engine = StreamEngine(plan)
+        assert engine.channel_batchable(plan.channel_of(s).channel_id)
+
+
+# -- perfmon hybrid (diamond) -------------------------------------------------------
+
+
+class TestHybridEquivalence:
+    def _workload(self):
+        dataset = PerfmonDataset(processes=8, duration_seconds=60, seed=3)
+        return HybridWorkload(dataset, num_queries=3)
+
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_outputs_identical(self, optimize):
+        workload = self._workload()
+        per_tuple, batched = run_both_ways(
+            lambda: workload.rumor_plan(channels=True, optimize=optimize),
+            lambda plan, name_map: workload.sources(plan, name_map, 60),
+        )
+        assert per_tuple[0].output_events > 0
+        assert_equivalent(per_tuple, batched)
+
+    def test_multi_channel_sink_query_refuses_batching(self):
+        # One query with sinks on two channels reachable from the entry:
+        # per-tuple dispatch interleaves its captured outputs across the two
+        # channels per event, which batch grouping would reorder — so the
+        # entry channel must fall back to per-tuple dispatch.
+        schema = Schema.of_ints("a0", "a1")
+
+        def plan_factory():
+            plan = QueryPlan()
+            s = plan.add_source("S", schema)
+            low = plan.add_operator(
+                Selection(Comparison(attr("a0"), "<", lit(2))), [s], query_id="q"
+            )
+            high = plan.add_operator(
+                Selection(Comparison(attr("a0"), ">", lit(0))), [s], query_id="q"
+            )
+            plan.mark_output(low, "q")
+            plan.mark_output(high, "q")
+            return plan, s
+
+        plan, s = plan_factory()
+        engine = StreamEngine(plan)
+        assert not engine.channel_batchable(plan.channel_of(s).channel_id)
+        tuples = [StreamTuple(schema, (ts % 3, ts), ts) for ts in range(40)]
+        per_tuple, batched = run_both_ways(
+            plan_factory,
+            lambda plan, s: [StreamSource(plan.channel_of(s), tuples)],
+        )
+        assert per_tuple[0].output_events > 0
+        assert_equivalent(per_tuple, batched)
+
+    def test_diamond_channel_refuses_batching(self):
+        # The µ-op reads both α(CPU) and σ(α(CPU)): two channels reachable
+        # from CPU, so a CPU run must not be batch-dispatched.
+        workload = self._workload()
+        plan, name_map = workload.rumor_plan(channels=True)
+        engine = StreamEngine(plan)
+        cpu_channel = plan.channel_of(name_map["CPU"])
+        assert not engine.channel_batchable(cpu_channel.channel_id)
+
+
+# -- churn: migration on batch boundaries -------------------------------------------
+
+class TestChurnEquivalence:
+    def _serve(self, batched):
+        workload = ChurnWorkload(
+            arrival_rate=0.03,
+            mean_lifetime=300.0,
+            horizon=600,
+            initial_queries=4,
+            seed=11,
+        )
+        runtime = QueryRuntime(
+            {"S": workload.schema, "T": workload.schema},
+            capture_outputs=True,
+        )
+        driver = drive_batched if batched else drive
+        applied = sum(
+            1
+            for __ in driver(
+                runtime, workload.stream_events(), workload.schedule()
+            )
+        )
+        return runtime, applied
+
+    def test_batched_serve_identical_across_migrations(self):
+        per_event, applied_per_event = self._serve(batched=False)
+        batched, applied_batched = self._serve(batched=True)
+        assert applied_per_event == applied_batched
+        assert per_event.stats.migrations == batched.stats.migrations
+        assert per_event.stats.migrations > 2, "must exercise live rewrites"
+        assert per_event.stats.output_events > 0
+        assert (
+            per_event.stats.outputs_by_query == batched.stats.outputs_by_query
+        )
+        assert per_event.stats.input_events == batched.stats.input_events
+        assert per_event.captured == batched.captured
+        assert per_event.state_size == batched.state_size
+
+    def test_explicit_batch_boundary_migration(self):
+        """register → batch → register (migration) → batch → unregister."""
+        schema = Schema.numbered(2)
+
+        def serve(use_batches):
+            runtime = QueryRuntime({"S": schema}, capture_outputs=True)
+            runtime.register("FROM S WHERE a0 == 1", query_id="alpha")
+            first = [StreamTuple(schema, (ts % 3, ts), ts) for ts in range(30)]
+            second = [
+                StreamTuple(schema, (ts % 3, ts), ts) for ts in range(30, 60)
+            ]
+            third = [
+                StreamTuple(schema, (ts % 3, ts), ts) for ts in range(60, 90)
+            ]
+            if use_batches:
+                runtime.process_batch("S", first)
+            else:
+                for tuple_ in first:
+                    runtime.process("S", tuple_)
+            runtime.register("FROM S WHERE a0 == 2", query_id="beta")
+            if use_batches:
+                runtime.process_batch("S", second)
+            else:
+                for tuple_ in second:
+                    runtime.process("S", tuple_)
+            runtime.unregister("alpha")
+            if use_batches:
+                runtime.process_batch("S", third)
+            else:
+                for tuple_ in third:
+                    runtime.process("S", tuple_)
+            return runtime
+
+        per_event = serve(False)
+        batched = serve(True)
+        assert per_event.stats.outputs_by_query == batched.stats.outputs_by_query
+        assert per_event.captured == batched.captured
+        assert batched.stats.outputs_by_query["beta"] > 0
+
+
+# -- property: random interleavings over a mixed plan -------------------------------
+
+
+def mixed_plan():
+    """Selections (→ predicate index) + a sequence + a multi-query sink."""
+    schema = Schema.of_ints("a0", "a1")
+    plan = QueryPlan()
+    s = plan.add_source("S", schema)
+    t = plan.add_source("T", schema)
+    sel1 = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(1))), [s], query_id="q_sel1"
+    )
+    plan.mark_output(sel1, "q_sel1")
+    sel2 = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(2))), [s], query_id="q_sel2"
+    )
+    plan.mark_output(sel2, "q_sel2")
+    seq = plan.add_operator(
+        Sequence(
+            conjunction(
+                [DurationWithin(6), Comparison(right("a0"), "==", lit(1))]
+            )
+        ),
+        [sel1, t],
+        query_id="q_seq",
+    )
+    plan.mark_output(seq, "q_seq")
+    Optimizer().optimize(plan)
+    return plan, (s, t)
+
+
+class TestRandomInterleavings:
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.booleans(),  # stream: False → S, True → T
+                st.integers(0, 3),  # a0
+                st.integers(0, 5),  # a1
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        max_batch=st.integers(1, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched_equals_per_tuple(self, events, max_batch):
+        schema = Schema.of_ints("a0", "a1")
+        s_tuples = []
+        t_tuples = []
+        for ts, (to_t, a0, a1) in enumerate(events):
+            tuple_ = StreamTuple(schema, (a0, a1), ts)
+            (t_tuples if to_t else s_tuples).append(tuple_)
+        per_tuple, batched = run_both_ways(
+            mixed_plan,
+            lambda plan, handles: [
+                StreamSource(plan.channel_of(handles[0]), s_tuples),
+                StreamSource(plan.channel_of(handles[1]), t_tuples),
+            ],
+            max_batch=max_batch,
+        )
+        assert_equivalent(per_tuple, batched)
+
+
+# -- state partitioning -------------------------------------------------------------
+
+
+class TestStatePartition:
+    def test_state_size_matches_full_sum(self):
+        plan, (s, t) = mixed_plan()
+        engine = StreamEngine(plan)
+        schema = Schema.of_ints("a0", "a1")
+        channel = plan.channel_of(s)
+        for ts in range(5):
+            engine.process(
+                channel, channel.encode_all(StreamTuple(schema, (1, ts), ts))
+            )
+        full = sum(
+            executor.state_size for __, executor in engine.executor_entries().values()
+        )
+        assert engine.state_size == full
+        assert engine.state_size > 0
+
+    def test_stateless_executors_partitioned_out(self):
+        plan, s = zipf_plan(True, num_queries=10)
+        engine = StreamEngine(plan)
+        # A pure selection plan holds no state at all.
+        assert engine.state_size == 0
+        assert engine._stateful_executors == []

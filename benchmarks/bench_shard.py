@@ -1,0 +1,67 @@
+"""Sharded engine benchmark: aggregate throughput vs the single batched engine.
+
+Thin entry point over :mod:`repro.bench.shard` (importable because the
+driver also backs the ``repro.cli bench-shard`` subcommand).  The
+partitionable zipf workload (k independent sources, one query set each)
+is measured on the single-engine batched baseline and on the sharded
+engine at 1/2/4 shards; each cell re-checks per-query output equality.
+The run fails if 4-shard aggregate throughput drops below the scale's
+floor (2x at full scale) over the single-engine batched baseline.
+
+Exit criteria (what a red run means):
+
+- non-zero exit + ``AssertionError: ... sharded outputs diverged ...`` —
+  a correctness regression: sharded and single-engine outputs must be
+  identical on every workload, no tolerance;
+- non-zero exit + ``AssertionError: 4-shard aggregate throughput ...`` —
+  a performance regression below the floor (the measured and required
+  multiples are printed in the message).
+
+Run standalone (writes ``BENCH_shard.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py
+    PYTHONPATH=src python benchmarks/bench_shard.py --scale smoke
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shard.py -q -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.shard import (
+    ShardScale,
+    bench_partitionable_zipf,
+    main,
+    render,
+    run_benchmark,
+)
+
+# -- pytest entry points ------------------------------------------------------------
+
+
+def test_shard_smoke():
+    """Acceptance: 4-shard ≥ smoke floor on partitionable zipf, outputs equal."""
+    results = run_benchmark(ShardScale.smoke())
+    assert (
+        results["headline"]["sharded_4x_speedup"]
+        >= results["headline"]["target"]
+    )
+
+
+def test_shard_point_benchmark(benchmark):
+    """pytest-benchmark timing of the partitionable zipf sweep, smoke scale."""
+    scale = ShardScale.smoke()
+    result = benchmark.pedantic(
+        lambda: bench_partitionable_zipf(scale),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["sharded_4x_speedup"] = result["cells"]["sharded_4"][
+        "speedup_vs_single_batched"
+    ]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -99,8 +99,14 @@ from repro.core import (
 )
 from repro.engine import MigrationStats, RunStats, StreamEngine, migrate_engine
 from repro.runtime import QueryRuntime
+from repro.shard import (
+    ShardPlanner,
+    ShardedEngine,
+    ShardedRunStats,
+    ShardedRuntime,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -167,4 +173,9 @@ __all__ = [
     "migrate_engine",
     # runtime
     "QueryRuntime",
+    # shard
+    "ShardPlanner",
+    "ShardedEngine",
+    "ShardedRunStats",
+    "ShardedRuntime",
 ]

@@ -1,0 +1,386 @@
+"""Sharded execution benchmark: the horizontal multiplier over batching.
+
+Measures the :class:`~repro.shard.ShardedEngine` against the single-engine
+batched baseline on the **partitionable zipf workload**: ``k`` independent
+source streams, each with its own set of Zipf-constant selection queries.
+After optimization the plan decomposes into ``k`` entry-channel connected
+components, the unit the shard planner places.
+
+Two effects stack:
+
+- **merge restructuring** — the single engine must drain one global
+  timestamp-ordered merge; with ``k`` interleaved sources every same-channel
+  run has length 1, so batched dispatch degenerates to the per-tuple
+  interpreter.  Each shard drains its own source through the single-source
+  bulk path with full-length runs.  This effect is real on a single core —
+  it is why the inline (same-process, sequential) sharded mode already beats
+  the single engine.
+- **parallel placement** — on multi-core hosts with the ``fork`` start
+  method, shards run as worker processes concurrently.
+
+Every cell re-checks that the sharded run's per-query outputs are identical
+to the single-engine baseline.  Results land in ``BENCH_shard.json``; the
+run fails if 4-shard aggregate throughput drops below the scale's floor
+(2x at full scale) over the single-engine batched baseline.
+
+Regenerate::
+
+    PYTHONPATH=src python -m repro.cli bench-shard
+    PYTHONPATH=src python -m repro.cli bench-shard --scale smoke   # CI
+
+or run the standalone script ``benchmarks/bench_shard.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.engine.executor import StreamEngine
+from repro.engine.metrics import RunStats
+from repro.operators.expressions import attr, lit
+from repro.operators.predicates import Comparison
+from repro.operators.select import Selection
+from repro.runtime import QueryRuntime
+from repro.shard import ShardedEngine, ShardedRuntime
+from repro.streams.sources import StreamSource
+from repro.streams.tuples import StreamTuple
+from repro.workloads.churn import ChurnWorkload, drive_batched, drive_sharded
+from repro.workloads.synthetic import synthetic_schema
+from repro.workloads.zipf import ZipfSampler
+
+#: Acceptance floor: 4-shard aggregate throughput over the single-engine
+#: batched baseline on the partitionable zipf workload, full scale.
+TARGET_SPEEDUP = 2.0
+#: Relaxed floor for the CI smoke run (small event counts are noisy).
+SMOKE_SPEEDUP = 1.3
+
+
+@dataclass
+class ShardScale:
+    """Knobs controlling benchmark size."""
+
+    name: str = "full"
+    zipf_sources: int = 4
+    zipf_queries_per_source: int = 75
+    zipf_events: int = 40_000
+    churn_events: int = 2_000
+    churn_initial: int = 6
+    churn_shards: int = 2
+    repeats: int = 3
+    max_batch: int = 4096
+    min_speedup: float = TARGET_SPEEDUP
+
+    @classmethod
+    def full(cls) -> "ShardScale":
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "ShardScale":
+        """Reduced scale for the CI smoke job."""
+        return cls(
+            name="smoke",
+            zipf_sources=4,
+            zipf_queries_per_source=40,
+            zipf_events=8_000,
+            churn_events=600,
+            churn_initial=4,
+            repeats=2,
+            min_speedup=SMOKE_SPEEDUP,
+        )
+
+
+# -- partitionable zipf workload -----------------------------------------------------
+
+
+def partitionable_zipf_plan(
+    num_sources: int, queries_per_source: int, seed: int = 7
+) -> tuple[QueryPlan, list]:
+    """``num_sources`` independent streams, each with its own Zipf-constant
+    selection set — optimizes to one predicate-index m-op per source, i.e.
+    ``num_sources`` connected components."""
+    schema = synthetic_schema()
+    rng = np.random.default_rng(seed)
+    plan = QueryPlan()
+    sources = [plan.add_source(f"S{i}", schema) for i in range(num_sources)]
+    for index, source in enumerate(sources):
+        constants = ZipfSampler(0, 999, 1.5, rng).sample(queries_per_source)
+        for position, constant in enumerate(constants):
+            query_id = f"q{index}_{position}"
+            out = plan.add_operator(
+                Selection(Comparison(attr("a0"), "==", lit(int(constant)))),
+                [source],
+                query_id=query_id,
+            )
+            plan.mark_output(out, query_id)
+    Optimizer().optimize(plan)
+    return plan, sources
+
+
+def interleaved_zipf_tuples(
+    num_sources: int, count: int, seed: int = 8
+) -> list[list[StreamTuple]]:
+    """Per-source tuple lists with globally interleaved timestamps
+    (tuple ``ts`` goes to source ``ts % k`` — the adversarial case for the
+    single engine's run coalescing, the natural case for sharding)."""
+    schema = synthetic_schema()
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 1000, size=(count, len(schema)))
+    per_source: list[list[StreamTuple]] = [[] for __ in range(num_sources)]
+    for ts in range(count):
+        per_source[ts % num_sources].append(
+            StreamTuple(schema, tuple(int(v) for v in values[ts]), ts)
+        )
+    return per_source
+
+
+def _make_sources(plan, sources, per_source):
+    return [
+        StreamSource(plan.channel_of(source), tuples)
+        for source, tuples in zip(sources, per_source)
+    ]
+
+
+def _require_equivalent(name: str, baseline: RunStats, candidate: RunStats) -> None:
+    if baseline.outputs_by_query != candidate.outputs_by_query:
+        raise AssertionError(
+            f"{name}: sharded outputs diverged from the single-engine "
+            f"baseline"
+        )
+    if baseline.input_events != candidate.input_events:
+        raise AssertionError(
+            f"{name}: sharded input accounting diverged "
+            f"({baseline.input_events} != {candidate.input_events})"
+        )
+
+
+def bench_partitionable_zipf(scale: ShardScale) -> dict:
+    per_source = interleaved_zipf_tuples(scale.zipf_sources, scale.zipf_events)
+    result: dict = {
+        "sources": scale.zipf_sources,
+        "queries": scale.zipf_sources * scale.zipf_queries_per_source,
+        "events": scale.zipf_events,
+        "cells": {},
+    }
+
+    def build():
+        return partitionable_zipf_plan(
+            scale.zipf_sources, scale.zipf_queries_per_source
+        )
+
+    # Single-engine batched baseline.
+    best_baseline: Optional[RunStats] = None
+    for __ in range(scale.repeats):
+        plan, sources = build()
+        engine = StreamEngine(plan, max_batch=scale.max_batch)
+        stats = engine.run(_make_sources(plan, sources, per_source))
+        if best_baseline is None or stats.throughput > best_baseline.throughput:
+            best_baseline = stats
+    result["cells"]["single_batched"] = {
+        "events_per_sec": round(best_baseline.throughput, 1),
+        "elapsed_seconds": round(best_baseline.elapsed_seconds, 6),
+        "input_events": best_baseline.input_events,
+        "output_events": best_baseline.output_events,
+    }
+
+    shard_counts = sorted({1, 2, 4, scale.zipf_sources})
+    for n_shards in shard_counts:
+        best = None
+        mode = None
+        for __ in range(scale.repeats):
+            plan, sources = build()
+            sharded = ShardedEngine(
+                plan, n_shards, max_batch=scale.max_batch
+            )
+            run = sharded.run(_make_sources(plan, sources, per_source))
+            if best is None or run.throughput > best.throughput:
+                best, mode = run, run.mode
+        aggregate = best.aggregate
+        _require_equivalent(
+            f"zipf/shards={n_shards}", best_baseline, aggregate
+        )
+        result["cells"][f"sharded_{n_shards}"] = {
+            "events_per_sec": round(best.throughput, 1),
+            "wall_seconds": round(best.wall_seconds, 6),
+            "busy_seconds": round(best.busy_seconds, 6),
+            "mode": mode,
+            "output_events": aggregate.output_events,
+            "speedup_vs_single_batched": round(
+                best.throughput / max(best_baseline.throughput, 1e-9), 2
+            ),
+        }
+    return result
+
+
+# -- sharded churn serve -------------------------------------------------------------
+
+
+def bench_sharded_churn(scale: ShardScale) -> dict:
+    """Live serve: single runtime vs sharded runtime with load-levelling
+    rebalances; reports wall-clock and verifies output equality."""
+
+    def workload() -> ChurnWorkload:
+        return ChurnWorkload(
+            arrival_rate=0.02,
+            mean_lifetime=600.0,
+            horizon=scale.churn_events,
+            initial_queries=scale.churn_initial,
+            seed=7,
+        )
+
+    def serve_single():
+        wl = workload()
+        runtime = QueryRuntime({"S": wl.schema, "T": wl.schema})
+        started = time.perf_counter()
+        for __ in drive_batched(runtime, wl.stream_events(), wl.schedule()):
+            pass
+        return runtime.stats, time.perf_counter() - started, runtime.stats.migrations
+
+    def serve_sharded():
+        wl = workload()
+        runtime = ShardedRuntime(
+            {"S": wl.schema, "T": wl.schema}, n_shards=scale.churn_shards
+        )
+        started = time.perf_counter()
+        for __ in drive_sharded(
+            runtime, wl.stream_events(), wl.schedule(), rebalance_every=5
+        ):
+            pass
+        return runtime.stats, time.perf_counter() - started, runtime.migrations
+
+    cells: dict = {"shards": scale.churn_shards, "modes": {}}
+    stats_by_mode = {}
+    for mode, serve in (("single", serve_single), ("sharded", serve_sharded)):
+        best_stats, best_elapsed, best_extra = None, float("inf"), 0
+        for __ in range(scale.repeats):
+            stats, elapsed, extra = serve()
+            if elapsed < best_elapsed:
+                best_stats, best_elapsed, best_extra = stats, elapsed, extra
+        cells["modes"][mode] = {
+            "events_per_sec": round(
+                best_stats.input_events / max(best_elapsed, 1e-9), 1
+            ),
+            "elapsed_seconds": round(best_elapsed, 6),
+            "input_events": best_stats.input_events,
+            "output_events": best_stats.output_events,
+            "migrations": best_extra,
+        }
+        stats_by_mode[mode] = best_stats
+    if (
+        stats_by_mode["single"].outputs_by_query
+        != stats_by_mode["sharded"].outputs_by_query
+    ):
+        raise AssertionError(
+            "sharded churn serve diverged from the single-runtime outputs"
+        )
+    return cells
+
+
+# -- entry points --------------------------------------------------------------------
+
+
+def run_benchmark(scale: ShardScale) -> dict:
+    zipf = bench_partitionable_zipf(scale)
+    churn = bench_sharded_churn(scale)
+    headline_cell = zipf["cells"]["sharded_4"]
+    headline = headline_cell["speedup_vs_single_batched"]
+    results = {
+        "meta": {
+            "benchmark": "sharded engine vs single-engine batched dispatch",
+            "scale": scale.name,
+            "max_batch": scale.max_batch,
+            "repeats": scale.repeats,
+            "cpu_count": multiprocessing.cpu_count(),
+            "regenerate": "PYTHONPATH=src python -m repro.cli bench-shard",
+        },
+        "headline": {
+            "sharded_4x_speedup": headline,
+            "mode": headline_cell["mode"],
+            "target": scale.min_speedup,
+        },
+        "workloads": {
+            "partitionable_zipf": zipf,
+            "sharded_churn": churn,
+        },
+    }
+    if headline < scale.min_speedup:
+        raise AssertionError(
+            f"4-shard aggregate throughput must be ≥{scale.min_speedup}x the "
+            f"single-engine batched baseline on the partitionable zipf "
+            f"workload, measured {headline}x"
+        )
+    return results
+
+
+def render(results: dict) -> str:
+    zipf = results["workloads"]["partitionable_zipf"]
+    lines = [
+        f"shard benchmark ({results['meta']['scale']} scale, "
+        f"{zipf['sources']} sources x "
+        f"{zipf['queries'] // zipf['sources']} queries, "
+        f"cpu_count={results['meta']['cpu_count']})",
+        f"{'cell':<18} {'ev/s':>14} {'speedup':>8} {'mode':>8}",
+    ]
+    baseline = zipf["cells"]["single_batched"]
+    lines.append(
+        f"{'single_batched':<18} {baseline['events_per_sec']:>14,.0f} "
+        f"{'1.00x':>8} {'-':>8}"
+    )
+    for name, cell in zipf["cells"].items():
+        if name == "single_batched":
+            continue
+        lines.append(
+            f"{name:<18} {cell['events_per_sec']:>14,.0f} "
+            f"{cell['speedup_vs_single_batched']:>7.2f}x "
+            f"{cell['mode']:>8}"
+        )
+    churn = results["workloads"]["sharded_churn"]["modes"]
+    lines.append(
+        f"{'churn single':<18} {churn['single']['events_per_sec']:>14,.0f}"
+    )
+    lines.append(
+        f"{'churn sharded':<18} {churn['sharded']['events_per_sec']:>14,.0f}"
+    )
+    lines.append(
+        f"headline: 4-shard speedup "
+        f"{results['headline']['sharded_4x_speedup']}x "
+        f"(target ≥{results['headline']['target']}x, "
+        f"mode={results['headline']['mode']})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="sharded engine benchmark (vs single-engine batched)"
+    )
+    parser.add_argument(
+        "--scale", choices=["full", "smoke"], default="full",
+        help="smoke: reduced event counts for CI",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_shard.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+    scale = ShardScale.smoke() if args.scale == "smoke" else ShardScale.full()
+    results = run_benchmark(scale)
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(render(results))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

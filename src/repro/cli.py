@@ -27,6 +27,13 @@ Three subcommands cover the downstream-user loop:
     asserting batched dispatch stays output-identical and clears its
     speedup floor on the optimized zipf workload.
 
+``bench-shard``
+    Regenerate ``BENCH_shard.json``: aggregate throughput of the sharded
+    engine (1/2/4 shards) vs the single-engine batched baseline on the
+    partitionable zipf workload, plus a live sharded churn serve with
+    load-levelling rebalances — asserting sharded outputs stay identical
+    and the 4-shard speedup clears its floor.
+
 Examples::
 
     python -m repro.cli optimize queries.rql
@@ -34,6 +41,7 @@ Examples::
     python -m repro.cli figures 10c --full
     python -m repro.cli churn --events 5000 --arrival-rate 0.02 --latency
     python -m repro.cli bench-throughput --scale smoke
+    python -m repro.cli bench-shard --scale smoke
 """
 
 from __future__ import annotations
@@ -243,6 +251,12 @@ def cmd_bench_throughput(args: argparse.Namespace) -> int:
     return throughput_main(["--scale", args.scale, "--output", args.output])
 
 
+def cmd_bench_shard(args: argparse.Namespace) -> int:
+    from repro.bench.shard import main as shard_main
+
+    return shard_main(["--scale", args.scale, "--output", args.output])
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RUMOR rule-based multi-query optimizer CLI"
@@ -328,6 +342,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--output", default="BENCH_throughput.json")
     bench.set_defaults(handler=cmd_bench_throughput)
+
+    bench_shard = commands.add_parser(
+        "bench-shard",
+        help="measure sharded vs single-engine batched throughput and write "
+        "BENCH_shard.json",
+    )
+    bench_shard.add_argument(
+        "--scale",
+        choices=["full", "smoke"],
+        default="full",
+        help="smoke: reduced event counts for CI",
+    )
+    bench_shard.add_argument("--output", default="BENCH_shard.json")
+    bench_shard.set_defaults(handler=cmd_bench_shard)
     return parser
 
 

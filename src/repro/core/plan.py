@@ -63,6 +63,29 @@ class QueryPlan:
         self._register_stream(stream)
         return stream
 
+    def adopt_source(self, stream: StreamDef, channel: Optional[Channel] = None) -> StreamDef:
+        """Register an *existing* source stream (and its channel) in this plan.
+
+        Several plans may adopt the same stream/channel objects — that is the
+        sharding contract: shard sub-plans read the same source channels as
+        the plan they were partitioned from, so wiring signatures (and hence
+        executor state) stay valid when a component moves between plans.
+        The adopting plan must not re-channelize an adopted source; channels
+        are owned by whoever created them.
+        """
+        if stream.stream_id in self._streams:
+            raise PlanError(f"{stream!r} is already part of this plan")
+        if channel is not None and not channel.contains(stream):
+            raise PlanError(
+                f"channel {channel.name!r} does not encode {stream!r}"
+            )
+        self.sources.append(stream)
+        self._streams[stream.stream_id] = stream
+        self._channel_by_stream[stream.stream_id] = (
+            channel if channel is not None else Channel.singleton(stream)
+        )
+        return stream
+
     def add_operator(
         self,
         operator,
@@ -171,6 +194,93 @@ class QueryPlan:
                 progressed = True
         self.validate()
         return removed
+
+    # -- component transfer (sharding support) ---------------------------------------
+
+    def release_component(self, mops: Sequence[MOp]) -> dict:
+        """Detach a *closed* set of m-ops (and their derived streams, channels
+        and sink registrations) from this plan.
+
+        The set must be consumption-closed: every consumer of a released
+        m-op's output stream must itself be released — otherwise the plan
+        would be left with dangling wiring.  Source streams are never
+        released; they stay behind (shared infrastructure).  Returns a
+        transfer dict consumable by :meth:`adopt_component` on another plan
+        whose source streams include (by identity) every source the
+        component reads.
+        """
+        releasing = {id(mop) for mop in mops}
+        for mop in mops:
+            if mop not in self.mops:
+                raise PlanError(f"{mop!r} is not part of this plan")
+        output_ids = {
+            stream.stream_id for mop in mops for stream in mop.output_streams
+        }
+        for stream_id in output_ids:
+            for consumer, __, __index in self._consumers.get(stream_id, ()):
+                if id(consumer) not in releasing:
+                    raise PlanError(
+                        "cannot release component: stream "
+                        f"{self._streams[stream_id].name!r} is consumed by "
+                        f"{consumer!r} outside the component"
+                    )
+        streams: list[StreamDef] = []
+        channels: dict[int, Channel] = {}
+        sinks: dict[int, list] = {}
+        for mop in mops:
+            self._detach_mop(mop)
+        for stream_id in output_ids:
+            stream = self._streams.pop(stream_id)
+            streams.append(stream)
+            channels[stream_id] = self._channel_by_stream.pop(stream_id)
+            self._producer_instance.pop(stream_id, None)
+            self._consumers.pop(stream_id, None)
+            moved = self._sinks.pop(stream_id, None)
+            if moved:
+                sinks[stream_id] = moved
+        self.validate()
+        return {
+            "mops": list(mops),
+            "streams": streams,
+            "channels": channels,
+            "sinks": sinks,
+        }
+
+    def adopt_component(self, transfer: dict) -> None:
+        """Attach a component released from another plan.
+
+        Every input stream the component's m-ops read must already be part of
+        this plan — either one of its (shared) source streams or a stream
+        carried inside the transfer.  Streams keep their channels, instances
+        keep their identity, so wiring signatures are unchanged and the
+        engine migration can reuse the component's executors, state intact.
+        """
+        streams: list[StreamDef] = transfer["streams"]
+        channels: dict[int, Channel] = transfer["channels"]
+        carried = {stream.stream_id for stream in streams}
+        for mop in transfer["mops"]:
+            for instance in mop.instances:
+                for stream in instance.inputs:
+                    if (
+                        stream.stream_id not in self._streams
+                        and stream.stream_id not in carried
+                    ):
+                        raise PlanError(
+                            f"cannot adopt component: {mop!r} reads "
+                            f"{stream!r}, which this plan does not carry"
+                        )
+        for stream in streams:
+            if stream.stream_id in self._streams:
+                raise PlanError(f"{stream!r} is already part of this plan")
+            self._streams[stream.stream_id] = stream
+            self._channel_by_stream[stream.stream_id] = channels[stream.stream_id]
+        for mop in transfer["mops"]:
+            for instance in mop.instances:
+                self._producer_instance[instance.output.stream_id] = instance
+            self._attach_mop(mop)
+        for stream_id, query_ids in transfer["sinks"].items():
+            self._sinks.setdefault(stream_id, []).extend(query_ids)
+        self.validate()
 
     def _derived_name(self, operator, inputs: Sequence[StreamDef]) -> str:
         base = "+".join(s.name for s in inputs)

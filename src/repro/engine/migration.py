@@ -90,17 +90,28 @@ class MigrationStats:
         )
 
 
-def migrate_engine(engine: "StreamEngine") -> MigrationStats:
+def migrate_engine(
+    engine: "StreamEngine",
+    extra_reuse: dict[int, tuple[tuple, "object"]] | None = None,
+) -> MigrationStats:
     """Re-sync ``engine`` with its (rewritten) plan, reusing live executors.
 
     Mutates the engine in place between events: captured outputs, latency
     configuration and the engine identity all persist, only the executor /
     routing / sink tables are diffed and swapped.  Returns statistics about
     how much state made it across.
+
+    ``extra_reuse`` offers additional mop_id -> (signature, executor) entries
+    from *another* engine — the re-seeding half of a cross-shard component
+    rebalance: a component adopted from a donor plan keeps its channels and
+    instances, so the donor's executors match the recomputed signatures and
+    carry their window/sequence state into this engine.
     """
     started = time.perf_counter()
     engine.plan.validate()
     previous = engine.executor_entries()
+    if extra_reuse:
+        previous = {**extra_reuse, **previous}
     reused, built = engine.rebuild_tables(reuse=previous)
     stats = MigrationStats(
         reused_executors=reused,

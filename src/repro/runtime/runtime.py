@@ -29,6 +29,7 @@ every executor from scratch (losing operator state) — this is what
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.mop import MOp
@@ -40,10 +41,37 @@ from repro.engine.migration import MigrationStats, migrate_engine
 from repro.errors import LifecycleError, QueryLanguageError
 from repro.lang.ast import LogicalQuery
 from repro.lang.compiler import compile_into
-from repro.streams.channel import ChannelTuple
+from repro.streams.channel import Channel, ChannelTuple
 from repro.streams.schema import Schema
 from repro.streams.stream import StreamDef
 from repro.streams.tuples import StreamTuple
+
+
+@dataclass
+class ComponentTransfer:
+    """A connected component in transit between two runtimes (shards).
+
+    Produced by :meth:`QueryRuntime.export_component`, consumed by
+    :meth:`QueryRuntime.import_component`.  Carries the plan subgraph
+    (m-ops, derived streams, channels, sink registrations), the logical
+    queries it serves, and the *live executors* with their operator state —
+    the re-seeding payload that makes a rebalance state-preserving.
+    """
+
+    plan_transfer: dict
+    queries: dict[str, LogicalQuery]
+    #: mop_id -> (wiring signature, executor) snapshot from the donor engine.
+    entries: dict[int, tuple] = field(default_factory=dict)
+    #: query_id -> output tuples captured so far on the donor engine (only
+    #: when the donor captures outputs); re-homed so per-query capture
+    #: histories stay contiguous across a move.
+    captured: dict = field(default_factory=dict)
+    #: total operator state captured at export time (accounting only).
+    state_carried: int = 0
+
+    @property
+    def query_ids(self) -> list[str]:
+        return list(self.queries)
 
 
 class QueryRuntime:
@@ -90,6 +118,22 @@ class QueryRuntime:
             raise LifecycleError(f"source {name!r} is already declared")
         stream = self.plan.add_source(name, schema, sharable_label=sharable_label)
         self.streams[name] = stream
+        return stream
+
+    def adopt_source(
+        self, stream: StreamDef, channel: Optional[Channel] = None
+    ) -> StreamDef:
+        """Adopt an *existing* source stream (shared-object sharding contract).
+
+        Shard runtimes created by :class:`~repro.shard.runtime.ShardedRuntime`
+        all adopt the same source ``StreamDef``/``Channel`` objects, so a
+        component's wiring signatures survive a move between shard plans and
+        its executors can be reused, state intact.
+        """
+        if stream.name in self.streams:
+            raise LifecycleError(f"source {stream.name!r} is already declared")
+        self.plan.adopt_source(stream, channel)
+        self.streams[stream.name] = stream
         return stream
 
     # -- lifecycle -----------------------------------------------------------------
@@ -182,6 +226,136 @@ class QueryRuntime:
         self._migrate()
         self.reports.append(report)
         return report
+
+    # -- component transfer (cross-shard rebalance) ----------------------------------
+
+    def component_of(self, query_id: str) -> list[MOp]:
+        """The m-ops of ``query_id``'s connected component (derived-channel
+        closure: producers, consumers and co-consumers of derived streams).
+
+        Source channels do not connect — they are shared infrastructure, so
+        two queries reading the same source but sharing no m-op are separate
+        components and can live on different shards.
+        """
+        if query_id not in self._active:
+            raise LifecycleError(f"query {query_id!r} is not registered")
+        plan = self.plan
+        seeds: list[MOp] = []
+        for mop in plan.mops:
+            if any(instance.query_id == query_id for instance in mop.instances):
+                seeds.append(mop)
+        for stream, query_ids in plan.sink_streams():
+            if query_id in query_ids:
+                producer = plan.producer_mop_of(stream)
+                if producer is not None and producer not in seeds:
+                    seeds.append(producer)
+        if not seeds:
+            raise LifecycleError(
+                f"query {query_id!r} has no m-ops in the live plan"
+            )
+        member_ids = {id(mop) for mop in seeds}
+        component = list(seeds)
+        frontier = list(seeds)
+        while frontier:
+            mop = frontier.pop()
+            neighbours: list[MOp] = []
+            for stream in mop.input_streams:
+                producer = plan.producer_mop_of(stream)
+                if producer is not None:
+                    neighbours.append(producer)
+                    for consumer, __, __index in plan.consumers_of(stream):
+                        neighbours.append(consumer)
+            for stream in mop.output_streams:
+                for consumer, __, __index in plan.consumers_of(stream):
+                    neighbours.append(consumer)
+            for neighbour in neighbours:
+                if id(neighbour) not in member_ids:
+                    member_ids.add(id(neighbour))
+                    component.append(neighbour)
+                    frontier.append(neighbour)
+        return component
+
+    def export_component(self, query_id: str) -> ComponentTransfer:
+        """Drain ``query_id``'s component out of this runtime, state intact.
+
+        Every query sharing any m-op with ``query_id`` (transitively) moves
+        with it.  Must be called on a batch boundary — the same safe point
+        every migration uses; the component's executors are snapshotted
+        *with* their window/partial-match state, the plan subgraph is
+        detached, and the engine migrates to serve the remaining queries.
+        """
+        component = self.component_of(query_id)
+        component_ids = {mop.mop_id for mop in component}
+        moved_query_ids: set = set()
+        for mop in component:
+            for instance in mop.instances:
+                if instance.query_id is not None:
+                    moved_query_ids.add(instance.query_id)
+        sinks = self.plan.sinks
+        for mop in component:
+            for stream in mop.output_streams:
+                moved_query_ids.update(sinks.get(stream.stream_id, ()))
+        entries = {
+            mop_id: entry
+            for mop_id, entry in self.engine.executor_entries().items()
+            if mop_id in component_ids
+        }
+        state_carried = sum(
+            executor.state_size for __, executor in entries.values()
+        )
+        plan_transfer = self.plan.release_component(component)
+        queries = {}
+        captured = {}
+        for moved_id in moved_query_ids:
+            logical = self._active.pop(moved_id, None)
+            if logical is not None:
+                queries[moved_id] = logical
+            history = self.engine.captured.pop(moved_id, None)
+            if history is not None:
+                captured[moved_id] = history
+        self._migrate()
+        return ComponentTransfer(
+            plan_transfer=plan_transfer,
+            queries=queries,
+            entries=entries,
+            captured=captured,
+            state_carried=state_carried,
+        )
+
+    def import_component(self, transfer: ComponentTransfer) -> MigrationStats:
+        """Graft an exported component into this runtime, re-seeding state.
+
+        The component's streams keep their channels and its instances their
+        identity, so the recomputed wiring signatures match the snapshot and
+        the migration machinery reuses the donor's executors — window and
+        sequence state arrive intact.  Requires this runtime to share the
+        donor's source stream objects (:meth:`adopt_source`).
+        """
+        for query_id in transfer.queries:
+            if query_id in self._active:
+                raise LifecycleError(
+                    f"query {query_id!r} is already registered here"
+                )
+        self.plan.adopt_component(transfer.plan_transfer)
+        self._active.update(transfer.queries)
+        for query_id, history in transfer.captured.items():
+            self.engine.captured.setdefault(query_id, []).extend(history)
+        try:
+            migration = migrate_engine(self.engine, extra_reuse=transfer.entries)
+        except Exception:
+            # Undo the adoption so the component lives in *no* plan rather
+            # than half in this one: the caller still holds the transfer
+            # (executors included) and can re-import it elsewhere.
+            for query_id in transfer.queries:
+                self._active.pop(query_id, None)
+            for query_id in transfer.captured:
+                self.engine.captured.pop(query_id, None)
+            self.plan.release_component(transfer.plan_transfer["mops"])
+            migrate_engine(self.engine)
+            raise
+        self.migration_log.append(migration)
+        self.stats.migrations += 1
+        return migration
 
     def _migrate(self) -> MigrationStats:
         if self.incremental:

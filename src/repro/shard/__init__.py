@@ -1,0 +1,32 @@
+"""Sharded parallel execution on top of the batched engine.
+
+The optimizer's output — one shared m-op plan — decomposes into
+**entry-channel connected components**: maximal subgraphs connected through
+any channel.  Components share nothing, so they are the safe unit of
+parallel placement (queries sharing any m-op necessarily co-locate).  This
+package partitions a plan along those lines (:class:`ShardPlanner`), runs
+one batched engine per shard — on ``multiprocessing`` workers where the
+platform allows, inline otherwise (:class:`ShardedEngine`) — and extends
+the online lifecycle across shards with state-preserving component
+rebalancing (:class:`ShardedRuntime`).
+"""
+
+from repro.shard.engine import ShardedEngine, SourceRouter, fork_available
+from repro.shard.planner import ShardComponent, ShardPlan, ShardPlanner
+from repro.shard.runtime import ShardedRuntime
+from repro.shard.stats import ShardedRunStats, merge_run_stats
+from repro.shard.wire import WireDecoder, WireEncoder
+
+__all__ = [
+    "ShardComponent",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedEngine",
+    "ShardedRunStats",
+    "ShardedRuntime",
+    "SourceRouter",
+    "WireDecoder",
+    "WireEncoder",
+    "fork_available",
+    "merge_run_stats",
+]

@@ -1,0 +1,384 @@
+"""The sharded execution engine: one batched engine per plan component group.
+
+:class:`ShardedEngine` partitions a (typically optimized) plan with
+:class:`~repro.shard.planner.ShardPlanner` and runs one batched
+:class:`~repro.engine.executor.StreamEngine` per shard.  Because shards are
+unions of entry-channel connected components, the engines share no m-ops and
+no channels: feeding each shard exactly the source events on its own entry
+channels reproduces the single-engine outputs byte-for-byte, per query.
+
+Two execution modes:
+
+- **process** — one ``multiprocessing`` worker per non-empty shard, using
+  the ``fork`` start method so workers inherit their sub-plan, engine and
+  sources without pickling a single plan object; only results (RunStats and
+  captured outputs) cross back.  Chosen automatically when the platform
+  supports ``fork`` and has more than one CPU.
+- **inline** — shards run sequentially in the calling process.  The fallback
+  for ``n_shards=1``, for tests, and for platforms without ``fork``
+  (Windows/macOS-spawn).  Still faster than the single engine on
+  multi-source workloads: each shard drains its own sources through the
+  single-source bulk path with full-length runs, where the global k-way
+  merge of the single engine interleaves channels and cuts every run short.
+
+Two feed strategies, orthogonal to the mode:
+
+- **local** — the :class:`SourceRouter` splits the source list by entry
+  channel up front; each shard iterates its own sources.  No per-event
+  serialization.  The default whenever sources are statically routable
+  (with entry-channel components they always are).
+- **router** — the coordinating process consumes the global timestamp-ordered
+  merge, encodes each run with the :mod:`~repro.shard.wire` format and
+  streams it to the owning shard (via queues in process mode).  This is the
+  path live feeds use and the one that exercises the wire protocol; it keeps
+  the global merge order, at the cost of coordinator-side work per run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Optional, Sequence
+
+from repro.engine.executor import StreamEngine
+from repro.engine.metrics import RunStats
+from repro.errors import PlanError
+from repro.core.plan import QueryPlan
+from repro.shard.planner import ShardPlan, ShardPlanner
+from repro.shard.stats import ShardedRunStats
+from repro.shard.wire import SCHEMA, STOP, STOP_FRAME, WireDecoder, WireEncoder
+from repro.streams.sources import StreamSource, merge_source_runs
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class SourceRouter:
+    """Routes sources (and runs) to the shard owning their entry channel.
+
+    The routing table is a channel-id hash: ``channel_shard`` from the
+    shard plan, with a stable modulo fallback for channels no m-op consumes
+    (their events still need a home so input accounting matches the single
+    engine, which counts them too).
+    """
+
+    def __init__(self, channel_shard: dict[int, int], n_shards: int):
+        if n_shards < 1:
+            raise PlanError(f"n_shards must be at least 1, got {n_shards}")
+        self.channel_shard = dict(channel_shard)
+        self.n_shards = n_shards
+
+    def shard_of_channel(self, channel_id: int) -> int:
+        shard = self.channel_shard.get(channel_id)
+        if shard is None:
+            shard = channel_id % self.n_shards
+        return shard
+
+    def split_sources(
+        self, sources: Sequence[StreamSource]
+    ) -> list[list[StreamSource]]:
+        """Partition sources by their channel's owning shard."""
+        split: list[list[StreamSource]] = [[] for __ in range(self.n_shards)]
+        for source in sources:
+            split[self.shard_of_channel(source.channel.channel_id)].append(source)
+        return split
+
+    def split_routable(
+        self, sources: Sequence[StreamSource]
+    ) -> tuple[list[StreamSource], list[StreamSource]]:
+        """Split into (consumed-channel sources, unconsumed-channel sources).
+
+        The wire feed only ships runs for channels some shard's decoder
+        knows; events on channels no m-op consumes cannot produce outputs,
+        but the single engine still *counts* them, so the caller must count
+        the second list locally to keep aggregate accounting identical.
+        """
+        routable: list[StreamSource] = []
+        unrouted: list[StreamSource] = []
+        for source in sources:
+            if source.channel.channel_id in self.channel_shard:
+                routable.append(source)
+            else:
+                unrouted.append(source)
+        return routable, unrouted
+
+    def feed_frames(
+        self, sources: Sequence[StreamSource], max_batch: int
+    ):
+        """Yield ``(shard, frame)`` pairs for the global merged run stream.
+
+        Schema frames are replicated to every shard (interning state is
+        per-encoder, shared across shards; a shard may receive a schema
+        frame it never uses — harmless).  Run frames go only to the owning
+        shard.
+        """
+        encoder = WireEncoder()
+        for channel, batch in merge_source_runs(sources, max_batch):
+            shard = self.shard_of_channel(channel.channel_id)
+            for frame in encoder.encode_run(channel, batch):
+                if frame[0] == SCHEMA:
+                    for index in range(self.n_shards):
+                        yield index, frame
+                else:
+                    yield shard, frame
+
+
+def _count_source_events(source: StreamSource) -> RunStats:
+    """Input accounting for a source nothing consumes (no outputs possible)."""
+    stats = RunStats()
+    for __channel, channel_tuple in source:
+        stats.input_events += channel_tuple.membership.bit_count()
+        stats.physical_input_events += 1
+    return stats
+
+
+def _run_local(index: int, engine: StreamEngine, sources, results) -> None:
+    """Worker body, local feed: drain the shard's own sources."""
+    try:
+        stats = engine.run(sources)
+        results.put((index, "ok", stats, engine.captured))
+    except BaseException:  # noqa: BLE001 - must cross the process boundary
+        results.put((index, "error", traceback.format_exc(), None))
+
+
+def _run_routed(index: int, engine: StreamEngine, frames, results) -> None:
+    """Worker body, router feed: decode wire frames until the stop frame."""
+    try:
+        decoder = WireDecoder(engine.plan.channels())
+        stats = RunStats()
+        while True:
+            frame = frames.get()
+            if frame[0] == STOP:
+                break
+            decoded = decoder.decode(frame)
+            if decoded is not None:
+                channel, batch = decoded
+                stats.absorb(engine.process_batch(channel, batch))
+        results.put((index, "ok", stats, engine.captured))
+    except BaseException:  # noqa: BLE001 - must cross the process boundary
+        results.put((index, "error", traceback.format_exc(), None))
+
+
+class ShardedEngine:
+    """Executes one plan as ``n_shards`` independent batched engines."""
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        n_shards: int,
+        parallel: object = "auto",
+        feed: str = "auto",
+        capture_outputs: bool = False,
+        batching: bool = True,
+        max_batch: int = 1024,
+        planner: Optional[ShardPlanner] = None,
+    ):
+        if feed not in ("auto", "local", "router"):
+            raise PlanError(f"unknown feed strategy {feed!r}")
+        if parallel not in ("auto", True, False):
+            raise PlanError(f"parallel must be 'auto', True or False")
+        self.shard_plan: ShardPlan = (planner or ShardPlanner()).partition(
+            plan, n_shards
+        )
+        self.n_shards = n_shards
+        self.parallel = parallel
+        self.feed = feed
+        self.capture_outputs = capture_outputs
+        self.max_batch = max_batch
+        self.engines = [
+            StreamEngine(
+                subplan,
+                capture_outputs=capture_outputs,
+                batching=batching,
+                max_batch=max_batch,
+            )
+            for subplan in self.shard_plan.subplans
+        ]
+        self.router = SourceRouter(self.shard_plan.channel_shard, n_shards)
+        #: query_id -> captured outputs, merged across shards after a run.
+        self.captured: dict = {}
+
+    # -- mode/feed resolution --------------------------------------------------------
+
+    def _resolve_mode(self) -> str:
+        if self.parallel is False or self.n_shards == 1:
+            return "inline"
+        if self.parallel is True:
+            if not fork_available():
+                return "inline"  # same-process fallback (Windows/spawn)
+            return "process"
+        return (
+            "process"
+            if fork_available() and multiprocessing.cpu_count() > 1
+            else "inline"
+        )
+
+    def _resolve_feed(self) -> str:
+        return "local" if self.feed in ("auto", "local") else "router"
+
+    # -- running ---------------------------------------------------------------------
+
+    def run(self, sources: Sequence[StreamSource]) -> ShardedRunStats:
+        """Drain ``sources`` through the shards; returns merged statistics.
+
+        Source events are routed by entry channel — each shard sees exactly
+        the (timestamp-ordered) subsequence on its own channels, so per-query
+        outputs are byte-identical to the single-engine run over the same
+        sources.
+        """
+        mode = self._resolve_mode()
+        feed = self._resolve_feed()
+        started = time.perf_counter()
+        if mode == "process":
+            per_shard, captured = self._run_process(sources, feed)
+        else:
+            per_shard, captured = self._run_inline(sources, feed)
+        wall = time.perf_counter() - started
+        self.captured = captured
+        return ShardedRunStats(
+            per_shard=per_shard, wall_seconds=wall, mode=mode
+        )
+
+    # -- inline ----------------------------------------------------------------------
+
+    def _run_inline(self, sources, feed):
+        per_shard: list[RunStats]
+        if feed == "local":
+            split = self.router.split_sources(sources)
+            per_shard = [
+                engine.run(shard_sources)
+                for engine, shard_sources in zip(self.engines, split)
+            ]
+        else:
+            per_shard = [RunStats() for __ in self.engines]
+            decoders = [
+                WireDecoder(engine.plan.channels()) for engine in self.engines
+            ]
+            routable, unrouted = self.router.split_routable(sources)
+            for shard, frame in self.router.feed_frames(
+                routable, self.max_batch
+            ):
+                decoded = decoders[shard].decode(frame)
+                if decoded is not None:
+                    channel, batch = decoded
+                    per_shard[shard].absorb(
+                        self.engines[shard].process_batch(channel, batch)
+                    )
+            self._absorb_unrouted(per_shard, unrouted)
+        captured = {}
+        for engine in self.engines:
+            captured.update(engine.captured)
+        return per_shard, captured
+
+    # -- process workers -------------------------------------------------------------
+
+    def _run_process(self, sources, feed):
+        import queue as queue_module
+
+        context = multiprocessing.get_context("fork")
+        # mp.Queue buffers through a feeder thread, so coordinator puts never
+        # block on a crashed consumer — a failed worker surfaces through the
+        # results queue (or its exitcode) instead of deadlocking the feed.
+        results = context.Queue()
+        workers: list = []
+        unrouted: list[StreamSource] = []
+        if feed == "local":
+            split = self.router.split_sources(sources)
+            for index, engine in enumerate(self.engines):
+                worker = context.Process(
+                    target=_run_local,
+                    args=(index, engine, split[index], results),
+                )
+                worker.start()
+                workers.append(worker)
+        else:
+            feed_queues: list = []
+            routable, unrouted = self.router.split_routable(sources)
+            for index, engine in enumerate(self.engines):
+                frames = context.Queue()
+                feed_queues.append(frames)
+                worker = context.Process(
+                    target=_run_routed, args=(index, engine, frames, results)
+                )
+                worker.start()
+                workers.append(worker)
+            for shard, frame in self.router.feed_frames(
+                routable, self.max_batch
+            ):
+                feed_queues[shard].put(frame)
+            for frames in feed_queues:
+                frames.put(STOP_FRAME)
+        per_shard = [RunStats() for __ in self.engines]
+        captured: dict = {}
+        failures: list[str] = []
+        remaining = set(range(len(workers)))
+        suspected: set[int] = set()
+        while remaining:
+            try:
+                index, status, payload, shard_captured = results.get(
+                    timeout=1.0
+                )
+            except queue_module.Empty:
+                # No result yet: a worker that died without reporting (OS
+                # kill, unpicklable result) would otherwise hang us here.
+                # A dead worker gets one further get() cycle of grace in
+                # case its result is still in the queue feeder pipe.
+                for index in list(remaining):
+                    if workers[index].exitcode is None:
+                        continue
+                    if index in suspected:
+                        remaining.discard(index)
+                        failures.append(
+                            f"shard {index}: worker exited with code "
+                            f"{workers[index].exitcode} without reporting "
+                            f"a result"
+                        )
+                    else:
+                        suspected.add(index)
+                continue
+            remaining.discard(index)
+            if status != "ok":
+                failures.append(f"shard {index}:\n{payload}")
+                continue
+            per_shard[index] = payload
+            if shard_captured:
+                captured.update(shard_captured)
+        for worker in workers:
+            worker.join()
+        if failures:
+            raise PlanError(
+                "sharded run failed in worker(s):\n" + "\n".join(failures)
+            )
+        self._absorb_unrouted(per_shard, unrouted)
+        return per_shard, captured
+
+    def _absorb_unrouted(
+        self, per_shard: list[RunStats], unrouted: list[StreamSource]
+    ) -> None:
+        """Count events on channels no shard consumes (router feed only).
+
+        The single engine counts every source event whether or not anything
+        consumes it; the wire feed cannot ship runs for channels no decoder
+        knows, so their input accounting happens here, attributed to the
+        channel's fallback shard so the aggregate matches exactly.
+        """
+        for source in unrouted:
+            shard = self.router.shard_of_channel(source.channel.channel_id)
+            per_shard[shard].absorb(_count_source_events(source))
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def state_size(self) -> int:
+        return sum(engine.state_size for engine in self.engines)
+
+    def describe(self) -> str:
+        lines = [
+            f"ShardedEngine: {self.n_shards} shards "
+            f"({self.shard_plan.effective_shards} active)",
+            self.shard_plan.describe(),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""Shard planning: partition an optimized plan into independent sub-plans.
+
+The safe unit of parallel placement is the **entry-channel connected
+component**: m-ops are connected iff they touch a common channel — as
+producer and consumer of a derived channel, or as co-consumers of any
+channel, entry (source) channels included.  Within a component, tuples flow
+and m-ops are shared; across components, nothing does.  So a component can
+run on its own engine, fed only its own entry channels, and the union of the
+per-component outputs is byte-identical to the single-engine run (queries
+sharing any m-op necessarily land in the same component, and every channel
+is consumed by exactly one component).
+
+This mirrors how Roy et al. and Kathuria & Sudarshan treat sharing-group
+structure as the unit of work in multi-query optimization — here the sharing
+group is also the unit of *placement*.
+
+:class:`ShardPlanner` computes the components, estimates each component's
+per-input-tuple cost with the repo's :class:`~repro.core.cost.CostModel`,
+and spreads components across ``n`` shards with an explicit balance
+heuristic (longest-processing-time greedy: heaviest component onto the
+currently lightest shard).  Components costlier than the per-shard target
+``total_cost / n`` cannot be split — splitting a sharing group would
+duplicate m-op work — so they are recorded in :attr:`ShardPlan.oversized`
+for observability and the balance does its best around them.
+
+Sub-plans *share* the original plan's stream, channel and m-op objects
+(:meth:`~repro.core.plan.QueryPlan.adopt_source` /
+:meth:`~repro.core.plan.QueryPlan.adopt_component`); executors only read
+``channel_of`` wiring, so engines built over a sub-plan behave exactly like
+the same component inside the single engine.  The original plan must not be
+rewritten while sub-plan engines are live — the same contract the
+single-engine executor already imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.cost import CostModel
+from repro.core.mop import MOp
+from repro.core.plan import QueryPlan
+from repro.errors import PlanError
+
+
+@dataclass
+class ShardComponent:
+    """One entry-channel connected component of a plan."""
+
+    index: int
+    mops: list[MOp]
+    query_ids: list
+    entry_channel_ids: frozenset[int]
+    cost: float = 0.0
+
+    def __repr__(self):
+        return (
+            f"ShardComponent(#{self.index}, {len(self.mops)} m-ops, "
+            f"queries={self.query_ids}, cost={self.cost:.2f})"
+        )
+
+
+@dataclass
+class ShardPlan:
+    """The output of :meth:`ShardPlanner.partition`."""
+
+    plan: QueryPlan
+    n_shards: int
+    components: list[ShardComponent]
+    #: component index -> shard index.
+    assignment: list[int]
+    #: one sub-plan per shard (shares objects with :attr:`plan`).
+    subplans: list[QueryPlan]
+    #: channel_id -> owning shard, for every channel any m-op consumes.
+    channel_shard: dict[int, int]
+    #: query_id -> owning shard.
+    query_shard: dict = field(default_factory=dict)
+    #: estimated cost per shard.
+    shard_costs: list[float] = field(default_factory=list)
+    #: the balance target: total estimated cost / n_shards.
+    cost_target: float = 0.0
+    #: indexes of components whose cost exceeds the per-shard target — they
+    #: cannot be split (a sharing group is the atomic placement unit), so
+    #: their shard will run hot no matter the assignment.
+    oversized: list[int] = field(default_factory=list)
+
+    @property
+    def effective_shards(self) -> int:
+        """Shards that actually received work (≤ n_shards)."""
+        return sum(1 for subplan in self.subplans if subplan.mops)
+
+    def describe(self) -> str:
+        lines = [
+            f"ShardPlan: {len(self.components)} components over "
+            f"{self.n_shards} shards (target cost {self.cost_target:.2f})"
+        ]
+        for component in self.components:
+            marker = " [oversized]" if component.index in self.oversized else ""
+            lines.append(
+                f"  component {component.index} -> shard "
+                f"{self.assignment[component.index]}: cost "
+                f"{component.cost:.2f}, queries {component.query_ids}{marker}"
+            )
+        return "\n".join(lines)
+
+
+class ShardPlanner:
+    """Partitions a query plan into balanced shard sub-plans."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model or CostModel()
+
+    # -- components ------------------------------------------------------------------
+
+    def components(self, plan: QueryPlan) -> list[ShardComponent]:
+        """Entry-channel connected components, in first-m-op plan order."""
+        mops = plan.mops
+        parent = list(range(len(mops)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[max(ri, rj)] = min(ri, rj)
+
+        touches: dict[int, int] = {}  # channel_id -> first m-op index seen
+        for index, mop in enumerate(mops):
+            for stream in list(mop.input_streams) + list(mop.output_streams):
+                channel_id = plan.channel_of(stream).channel_id
+                first = touches.get(channel_id)
+                if first is None:
+                    touches[channel_id] = index
+                else:
+                    union(first, index)
+        grouped: dict[int, list[int]] = {}
+        for index in range(len(mops)):
+            grouped.setdefault(find(index), []).append(index)
+        source_ids = {source.stream_id for source in plan.sources}
+        sinks = plan.sinks
+        components: list[ShardComponent] = []
+        for order, root in enumerate(sorted(grouped)):
+            member_mops = [mops[i] for i in grouped[root]]
+            entry_channels: set[int] = set()
+            query_ids: list = []
+            seen_queries: set = set()
+            for mop in member_mops:
+                for stream in mop.input_streams:
+                    if stream.stream_id in source_ids:
+                        entry_channels.add(plan.channel_of(stream).channel_id)
+                for stream in mop.output_streams:
+                    for query_id in sinks.get(stream.stream_id, ()):
+                        if query_id not in seen_queries:
+                            seen_queries.add(query_id)
+                            query_ids.append(query_id)
+            components.append(
+                ShardComponent(
+                    index=order,
+                    mops=member_mops,
+                    query_ids=query_ids,
+                    entry_channel_ids=frozenset(entry_channels),
+                )
+            )
+        return components
+
+    # -- balance ---------------------------------------------------------------------
+
+    def balance(
+        self, components: Sequence[ShardComponent], n_shards: int
+    ) -> list[int]:
+        """LPT greedy: heaviest component first, onto the lightest shard.
+
+        Deterministic: ties broken by component index, so the same plan
+        always shards the same way.
+        """
+        if n_shards < 1:
+            raise PlanError(f"n_shards must be at least 1, got {n_shards}")
+        loads = [0.0] * n_shards
+        assignment = [0] * len(components)
+        ordered = sorted(
+            components, key=lambda c: (-c.cost, c.index)
+        )
+        for component in ordered:
+            shard = min(range(n_shards), key=lambda s: (loads[s], s))
+            assignment[component.index] = shard
+            loads[shard] += component.cost
+        return assignment
+
+    # -- partition -------------------------------------------------------------------
+
+    def partition(self, plan: QueryPlan, n_shards: int) -> ShardPlan:
+        """Compute components, cost them, balance them, build sub-plans."""
+        plan.validate()
+        for stream, query_ids in plan.sink_streams():
+            if plan.producer_instance_of(stream) is None:
+                raise PlanError(
+                    f"cannot shard: queries {query_ids} sink directly on "
+                    f"source stream {stream.name!r} (no owning component)"
+                )
+        components = self.components(plan)
+        subplans: list[QueryPlan] = []
+        for component in components:
+            subplan = self._extract_subplan(plan, component)
+            component.cost = self.cost_model.plan_cost(subplan)
+            subplans.append(subplan)
+        assignment = self.balance(components, n_shards)
+        shard_plans = [QueryPlan() for __ in range(n_shards)]
+        for component, subplan in zip(components, subplans):
+            target = shard_plans[assignment[component.index]]
+            self._merge_subplan(target, subplan)
+        total = sum(component.cost for component in components)
+        cost_target = total / n_shards if n_shards else 0.0
+        shard_costs = [0.0] * n_shards
+        channel_shard: dict[int, int] = {}
+        query_shard: dict = {}
+        for component in components:
+            shard = assignment[component.index]
+            shard_costs[shard] += component.cost
+            for channel_id in component.entry_channel_ids:
+                channel_shard[channel_id] = shard
+            for query_id in component.query_ids:
+                query_shard[query_id] = shard
+        # Derived channels also belong to their component's shard.
+        for component in components:
+            shard = assignment[component.index]
+            for mop in component.mops:
+                for stream in mop.output_streams:
+                    channel_shard[plan.channel_of(stream).channel_id] = shard
+        oversized = [
+            component.index
+            for component in components
+            if component.cost > cost_target and len(components) > 1
+        ]
+        for shard_plan in shard_plans:
+            shard_plan.validate()
+        return ShardPlan(
+            plan=plan,
+            n_shards=n_shards,
+            components=components,
+            assignment=assignment,
+            subplans=shard_plans,
+            channel_shard=channel_shard,
+            query_shard=query_shard,
+            shard_costs=shard_costs,
+            cost_target=cost_target,
+            oversized=oversized,
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _extract_subplan(
+        self, plan: QueryPlan, component: ShardComponent
+    ) -> QueryPlan:
+        """A view plan holding one component (shares objects with ``plan``)."""
+        subplan = QueryPlan()
+        self._adopt_into(subplan, plan, component)
+        return subplan
+
+    def _merge_subplan(self, target: QueryPlan, subplan: QueryPlan) -> None:
+        """Merge a single-component view plan into a shard's plan."""
+        for source in subplan.sources:
+            if source.stream_id not in {s.stream_id for s in target.sources}:
+                target.adopt_source(source, subplan.channel_of(source))
+        derived = [
+            stream
+            for stream in subplan.streams()
+            if subplan.producer_instance_of(stream) is not None
+        ]
+        target.adopt_component(
+            {
+                "mops": list(subplan.mops),
+                "streams": derived,
+                "channels": {
+                    stream.stream_id: subplan.channel_of(stream)
+                    for stream in derived
+                },
+                "sinks": subplan.sinks,
+            }
+        )
+
+    def _adopt_into(
+        self, subplan: QueryPlan, plan: QueryPlan, component: ShardComponent
+    ) -> None:
+        source_ids = {source.stream_id for source in plan.sources}
+        needed_sources: list = []
+        seen: set[int] = set()
+        for mop in component.mops:
+            for stream in mop.input_streams:
+                if stream.stream_id in source_ids and stream.stream_id not in seen:
+                    seen.add(stream.stream_id)
+                    needed_sources.append(stream)
+        for stream in needed_sources:
+            subplan.adopt_source(stream, plan.channel_of(stream))
+        derived = [
+            stream for mop in component.mops for stream in mop.output_streams
+        ]
+        sinks = plan.sinks
+        subplan.adopt_component(
+            {
+                "mops": list(component.mops),
+                "streams": derived,
+                "channels": {
+                    stream.stream_id: plan.channel_of(stream)
+                    for stream in derived
+                },
+                "sinks": {
+                    stream.stream_id: list(sinks[stream.stream_id])
+                    for stream in derived
+                    if stream.stream_id in sinks
+                },
+            }
+        )

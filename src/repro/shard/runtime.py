@@ -1,0 +1,307 @@
+"""The sharded online lifecycle runtime.
+
+:class:`ShardedRuntime` extends the PR-1 lifecycle to ``n`` shards: one
+:class:`~repro.runtime.QueryRuntime` (live plan + batched engine) per shard,
+all sharing the *same* source ``StreamDef``/``Channel`` objects.
+
+- ``register`` places the new query on a shard (least-loaded by active query
+  count unless an explicit ``shard=`` is given) and routes the registration
+  there; sharing happens *within* the owning shard's plan exactly as in the
+  single-runtime case.
+- ``unregister`` / ``reoptimize`` route to the owning shard.
+- ``process`` / ``process_batch`` route each source event to every shard
+  whose plan consumes that stream (a source read by queries on two shards is
+  replicated to both; queries are disjoint across shards, so outputs never
+  double).  The aggregate :attr:`stats` count each source event **once**,
+  matching the single-runtime accounting.
+- ``rebalance`` moves one connected component between shards mid-churn,
+  state intact: the donor runtime drains the component
+  (:meth:`~repro.runtime.QueryRuntime.export_component` — plan subgraph +
+  live executors), the receiving runtime adopts it and re-seeds the
+  executors through the migration machinery
+  (:meth:`~repro.runtime.QueryRuntime.import_component`).  Because the
+  shards share source channel objects, wiring signatures survive the move
+  and window/sequence state rides across untouched.
+
+The shard runtimes run in the coordinating process: lifecycle changes and
+state transfer stay plain method calls, and every engine already uses the
+batched dispatch hot path.  (Cross-process serving of a *static* plan is the
+:class:`~repro.shard.engine.ShardedEngine`'s job.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.optimizer import OptimizationReport, Optimizer
+from repro.engine.metrics import RunStats
+from repro.errors import LifecycleError, QueryLanguageError
+from repro.lang.ast import LogicalQuery
+from repro.runtime.runtime import ComponentTransfer, QueryRuntime
+from repro.streams.channel import Channel
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+
+class ShardedRuntime:
+    """``n`` live plan+engine pairs serving one changing query population."""
+
+    def __init__(
+        self,
+        sources: Optional[dict[str, Schema]] = None,
+        n_shards: int = 2,
+        optimizer: Optional[Optimizer] = None,
+        capture_outputs: bool = False,
+        track_latency: bool = False,
+        incremental: bool = True,
+    ):
+        if n_shards < 1:
+            raise LifecycleError(f"n_shards must be at least 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.streams: dict[str, StreamDef] = {}
+        self._channels: dict[str, Channel] = {}
+        self.runtimes: list[QueryRuntime] = [
+            QueryRuntime(
+                sources=None,
+                optimizer=optimizer,
+                capture_outputs=capture_outputs,
+                track_latency=track_latency,
+                incremental=incremental,
+            )
+            for __ in range(n_shards)
+        ]
+        #: Aggregate statistics; each source event is counted once, outputs
+        #: are summed across shards (queries are disjoint across shards).
+        self.stats = RunStats()
+        self._query_shard: dict[str, int] = {}
+        #: stream name -> shards currently consuming it (rebuilt lazily
+        #: after every lifecycle change).
+        self._route_cache: dict[str, tuple[int, ...]] = {}
+        if sources:
+            for name, schema in sources.items():
+                self.add_source(name, schema)
+
+    # -- sources ---------------------------------------------------------------------
+
+    def add_source(
+        self,
+        name: str,
+        schema: Schema,
+        sharable_label: Optional[str] = None,
+    ) -> StreamDef:
+        """Declare a source once; every shard adopts the same stream/channel."""
+        if name in self.streams:
+            raise LifecycleError(f"source {name!r} is already declared")
+        stream = StreamDef(name, schema, sharable_label=sharable_label)
+        channel = Channel.singleton(stream)
+        for runtime in self.runtimes:
+            runtime.adopt_source(stream, channel)
+        self.streams[name] = stream
+        self._channels[name] = channel
+        return stream
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def active_queries(self) -> list[str]:
+        return list(self._query_shard)
+
+    def shard_of(self, query_id: str) -> int:
+        """The shard currently owning ``query_id``."""
+        try:
+            return self._query_shard[query_id]
+        except KeyError:
+            raise LifecycleError(
+                f"query {query_id!r} is not registered"
+            ) from None
+
+    def place(self, logical: LogicalQuery) -> int:
+        """Placement heuristic for a new query: the least-loaded shard.
+
+        Load is the active query count (cheap and churn-stable); ties break
+        to the lowest shard index so placement is deterministic.  Placement
+        trades cross-shard sharing for parallelism — queries that would have
+        merged with an m-op on another shard run separately instead (see
+        README "Scaling out" for when that trade wins).
+        """
+        return min(
+            range(self.n_shards),
+            key=lambda index: (len(self.runtimes[index].active_queries), index),
+        )
+
+    def register(
+        self,
+        query: Union[str, LogicalQuery],
+        query_id: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> OptimizationReport:
+        """Register a query on a shard (explicit ``shard=`` or placement)."""
+        from repro.lang.compiler import as_logical
+
+        try:
+            logical = as_logical(query, query_id)
+        except QueryLanguageError as error:
+            raise LifecycleError(str(error)) from error
+        if logical.query_id in self._query_shard:
+            raise LifecycleError(
+                f"query {logical.query_id!r} is already registered"
+            )
+        if shard is None:
+            shard = self.place(logical)
+        elif not 0 <= shard < self.n_shards:
+            raise LifecycleError(
+                f"shard {shard} out of range (n_shards={self.n_shards})"
+            )
+        report = self.runtimes[shard].register(logical)
+        self._query_shard[logical.query_id] = shard
+        self._route_cache.clear()
+        return report
+
+    def unregister(self, query_id: str) -> list:
+        """Retire a query on its owning shard."""
+        shard = self.shard_of(query_id)
+        removed = self.runtimes[shard].unregister(query_id)
+        del self._query_shard[query_id]
+        self._route_cache.clear()
+        return removed
+
+    def reoptimize(self, shard: Optional[int] = None) -> list[OptimizationReport]:
+        """Maintenance sweep on one shard, or on all of them."""
+        shards = range(self.n_shards) if shard is None else [shard]
+        reports = [self.runtimes[index].reoptimize() for index in shards]
+        self._route_cache.clear()
+        return reports
+
+    # -- rebalance -------------------------------------------------------------------
+
+    def rebalance(self, query_id: str, to_shard: int) -> ComponentTransfer:
+        """Move ``query_id``'s connected component to ``to_shard``, preserving
+        executor state.
+
+        Happens on a batch boundary (between ``process`` calls), like every
+        migration.  All queries sharing m-ops with ``query_id`` move
+        together — the component is the atomic placement unit.  Returns the
+        transfer (moved queries, carried state) for observability.
+        """
+        if not 0 <= to_shard < self.n_shards:
+            raise LifecycleError(
+                f"shard {to_shard} out of range (n_shards={self.n_shards})"
+            )
+        from_shard = self.shard_of(query_id)
+        if from_shard == to_shard:
+            raise LifecycleError(
+                f"query {query_id!r} already lives on shard {to_shard}"
+            )
+        transfer = self.runtimes[from_shard].export_component(query_id)
+        try:
+            self.runtimes[to_shard].import_component(transfer)
+        except Exception:
+            # Put the component back where it came from; state is still in
+            # the transfer's executors, so the restore is also lossless.
+            self.runtimes[from_shard].import_component(transfer)
+            raise
+        for moved_id in transfer.queries:
+            self._query_shard[moved_id] = to_shard
+        self._route_cache.clear()
+        return transfer
+
+    def shard_loads(self) -> list[int]:
+        """Active query count per shard (the placement/rebalance signal)."""
+        return [len(runtime.active_queries) for runtime in self.runtimes]
+
+    def queries_on(self, shard: int) -> list[str]:
+        """Query ids currently owned by ``shard``, in registration order."""
+        return [
+            query_id
+            for query_id, owner in self._query_shard.items()
+            if owner == shard
+        ]
+
+    # -- event processing ------------------------------------------------------------
+
+    def _consumers_of(self, stream_name: str) -> tuple[int, ...]:
+        shards = self._route_cache.get(stream_name)
+        if shards is None:
+            stream = self.streams.get(stream_name)
+            if stream is None:
+                raise LifecycleError(f"unknown source stream {stream_name!r}")
+            shards = tuple(
+                index
+                for index, runtime in enumerate(self.runtimes)
+                if runtime.plan.consumers_of(stream)
+            )
+            self._route_cache[stream_name] = shards
+        return shards
+
+    def process(self, stream_name: str, tuple_: StreamTuple) -> RunStats:
+        """Push one source event to every shard consuming its stream."""
+        shards = self._consumers_of(stream_name)
+        merged = RunStats()
+        for index in shards:
+            merged.absorb(self.runtimes[index].process(stream_name, tuple_))
+        # Count the source event once, however many shards consumed it.
+        merged.input_events = 1
+        merged.physical_input_events = 1
+        self.stats.absorb(merged)
+        return merged
+
+    def process_batch(
+        self, stream_name: str, tuples: Sequence[StreamTuple]
+    ) -> RunStats:
+        """Push a run of source events (one stream, timestamp order) to every
+        consuming shard's batched engine.  A batch boundary is the safe point
+        for lifecycle changes and rebalances, exactly as in the single
+        runtime."""
+        shards = self._consumers_of(stream_name)
+        merged = RunStats()
+        for index in shards:
+            merged.absorb(
+                self.runtimes[index].process_batch(stream_name, tuples)
+            )
+        merged.input_events = len(tuples)
+        merged.physical_input_events = len(tuples)
+        self.stats.absorb(merged)
+        return merged
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def state_size(self) -> int:
+        return sum(runtime.state_size for runtime in self.runtimes)
+
+    @property
+    def captured(self) -> dict:
+        merged: dict = {}
+        for runtime in self.runtimes:
+            merged.update(runtime.captured)
+        return merged
+
+    @property
+    def migration_log(self) -> list:
+        log = []
+        for runtime in self.runtimes:
+            log.extend(runtime.migration_log)
+        return log
+
+    @property
+    def reports(self) -> list[OptimizationReport]:
+        reports = []
+        for runtime in self.runtimes:
+            reports.extend(runtime.reports)
+        return reports
+
+    @property
+    def migrations(self) -> int:
+        return sum(runtime.stats.migrations for runtime in self.runtimes)
+
+    def describe(self) -> str:
+        lines = [
+            f"ShardedRuntime: {len(self._query_shard)} active queries over "
+            f"{self.n_shards} shards, loads={self.shard_loads()}, "
+            f"state={self.state_size}"
+        ]
+        for index, runtime in enumerate(self.runtimes):
+            lines.append(f"-- shard {index} --")
+            lines.append(runtime.describe())
+        return "\n".join(lines)

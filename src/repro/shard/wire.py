@@ -1,0 +1,158 @@
+"""Serializable tuple/batch wire format for cross-process shard feeding.
+
+When the sharded engine streams source runs to worker processes, channel
+tuples must cross a process boundary.  Shipping the rich objects
+(:class:`~repro.streams.tuples.StreamTuple` with its schema,
+:class:`~repro.streams.channel.ChannelTuple`) through pickle per event is
+wasteful: the schema is identical for every tuple of a stream and the
+channel is identified by its id on both sides.  The wire format strips a
+run down to plain Python primitives::
+
+    ("run", channel_id, schema_token, [(ts, membership, values), ...])
+    ("schema", schema_token, ((name, type), ...))          # once per schema
+
+Schemas are interned: the encoder assigns a small integer token the first
+time it sees a schema and emits one ``schema`` frame before the first run
+using it; the decoder rebuilds the :class:`~repro.streams.schema.Schema`
+once and reuses it for every later tuple.  Channels are resolved from the
+decoder's registry — worker processes inherit the shard sub-plan (fork), so
+the channel objects already exist on the far side and only the id crosses.
+
+Mixed-schema runs are supported (a channel's member streams may carry
+union-compatible but distinct schemas): the per-tuple entry then widens to
+``(ts, membership, values, schema_token)``; the homogeneous fast path keeps
+the 3-tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ChannelError
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.schema import Attribute, Schema
+from repro.streams.tuples import StreamTuple
+
+#: Frame kinds.
+RUN = "run"
+SCHEMA = "schema"
+STOP = "stop"
+
+STOP_FRAME = (STOP,)
+
+
+class WireEncoder:
+    """Encodes (channel, batch) runs into wire frames, interning schemas."""
+
+    def __init__(self):
+        # Keyed by id() for speed but holding the Schema itself: the
+        # reference pins the object, so a collected schema can never hand
+        # its address (and token) to a different schema.
+        self._schema_tokens: dict[int, tuple[Schema, int]] = {}
+        self._next_token = 0
+
+    def _token_of(self, schema: Schema, frames: list) -> int:
+        entry = self._schema_tokens.get(id(schema))
+        if entry is not None:
+            return entry[1]
+        token = self._next_token
+        self._next_token += 1
+        self._schema_tokens[id(schema)] = (schema, token)
+        frames.append(
+            (
+                SCHEMA,
+                token,
+                tuple((a.name, a.type) for a in schema.attributes),
+            )
+        )
+        return token
+
+    def encode_run(
+        self, channel: Channel, batch: Sequence[ChannelTuple]
+    ) -> list[tuple]:
+        """Encode one run; returns the frames to ship, in order.
+
+        The last frame is always the ``run`` frame; any needed ``schema``
+        frames precede it.
+        """
+        frames: list[tuple] = []
+        if not batch:
+            return frames
+        first_schema = batch[0].tuple.schema
+        token = self._token_of(first_schema, frames)
+        homogeneous = all(ct.tuple.schema is first_schema for ct in batch)
+        if homogeneous:
+            payload = [
+                (ct.tuple.ts, ct.membership, ct.tuple.values) for ct in batch
+            ]
+        else:
+            payload = [
+                (
+                    ct.tuple.ts,
+                    ct.membership,
+                    ct.tuple.values,
+                    self._token_of(ct.tuple.schema, frames),
+                )
+                for ct in batch
+            ]
+        frames.append((RUN, channel.channel_id, token, payload))
+        return frames
+
+
+class WireDecoder:
+    """Decodes wire frames back into (channel, batch) runs."""
+
+    def __init__(self, channels: Iterable[Channel]):
+        self._channels: dict[int, Channel] = {
+            channel.channel_id: channel for channel in channels
+        }
+        self._schemas: dict[int, Schema] = {}
+
+    def add_channel(self, channel: Channel) -> None:
+        self._channels[channel.channel_id] = channel
+
+    def decode(self, frame: tuple):
+        """Decode one frame.
+
+        Returns ``None`` for bookkeeping frames (``schema``), the pair
+        ``(channel, batch)`` for ``run`` frames, and raises on unknown
+        channels/schemas/kinds — a malformed feed must fail loudly, not
+        silently drop events.
+        """
+        kind = frame[0]
+        if kind == SCHEMA:
+            __, token, attributes = frame
+            self._schemas[token] = Schema(
+                [Attribute(name, type_) for name, type_ in attributes]
+            )
+            return None
+        if kind == RUN:
+            __, channel_id, token, payload = frame
+            channel = self._channels.get(channel_id)
+            if channel is None:
+                raise ChannelError(
+                    f"wire run for unknown channel id {channel_id}"
+                )
+            default_schema = self._schemas.get(token)
+            if default_schema is None:
+                raise ChannelError(f"wire run references unknown schema {token}")
+            schemas = self._schemas
+            batch = []
+            for entry in payload:
+                if len(entry) == 3:
+                    ts, membership, values = entry
+                    schema = default_schema
+                else:
+                    ts, membership, values, entry_token = entry
+                    schema = schemas.get(entry_token)
+                    if schema is None:
+                        raise ChannelError(
+                            f"wire tuple references unknown schema {entry_token}"
+                        )
+                batch.append(
+                    ChannelTuple(StreamTuple(schema, values, ts), membership)
+                )
+            return channel, batch
+        if kind == STOP:
+            raise ChannelError("stop frame must be handled by the feed loop")
+        raise ChannelError(f"unknown wire frame kind {kind!r}")

@@ -268,6 +268,51 @@ def drive_batched(
             yield event
 
 
+def drive_sharded(
+    runtime,
+    stream_events: Iterable[tuple[str, StreamTuple]],
+    churn_events: Iterable[ChurnEvent],
+    max_batch: int = 1024,
+    rebalance_every: int = 0,
+) -> Iterator[ChurnEvent]:
+    """Serve a churn schedule through a :class:`~repro.shard.ShardedRuntime`.
+
+    Identical event/lifecycle interleaving to :func:`drive_batched` (batches
+    flush before lifecycle boundaries, so registers, unregisters *and*
+    rebalances all land on batch boundaries).  With ``rebalance_every`` > 0,
+    after every that many applied lifecycle events the driver moves one
+    query's component from the most- to the least-loaded shard — a
+    continuous load-levelling policy that exercises the state-preserving
+    rebalance path under churn.
+    """
+    from repro.errors import LifecycleError
+
+    applied = 0
+
+    def maybe_rebalance() -> None:
+        if not rebalance_every or applied % rebalance_every:
+            return
+        loads = runtime.shard_loads()
+        donor = max(range(len(loads)), key=lambda index: (loads[index], -index))
+        target = min(range(len(loads)), key=lambda index: (loads[index], index))
+        if donor == target or loads[donor] <= loads[target] + 1:
+            return
+        for query_id in runtime.queries_on(donor):
+            try:
+                runtime.rebalance(query_id, target)
+            except LifecycleError:
+                continue
+            return
+
+    # drive_batched flushes the pending batch before every lifecycle event
+    # and yields right after applying it, so each yield point is a batch
+    # boundary — exactly where a rebalance is safe to interleave.
+    for event in drive_batched(runtime, stream_events, churn_events, max_batch):
+        applied += 1
+        maybe_rebalance()
+        yield event
+
+
 def _apply(runtime, event: ChurnEvent) -> bool:
     if event.kind == "register":
         runtime.register(event.query)

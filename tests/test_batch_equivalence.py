@@ -390,6 +390,96 @@ class TestRandomInterleavings:
         assert_equivalent(per_tuple, batched)
 
 
+# -- sharded axis: the equivalence contract extends across shards -------------------
+
+
+def two_component_plan():
+    """The mixed plan (S, T component) plus an independent U component."""
+    schema = Schema.of_ints("a0", "a1")
+    plan = QueryPlan()
+    s = plan.add_source("S", schema)
+    t = plan.add_source("T", schema)
+    u = plan.add_source("U", schema)
+    sel1 = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(1))), [s], query_id="q_sel1"
+    )
+    plan.mark_output(sel1, "q_sel1")
+    sel2 = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(2))), [s], query_id="q_sel2"
+    )
+    plan.mark_output(sel2, "q_sel2")
+    seq = plan.add_operator(
+        Sequence(
+            conjunction(
+                [DurationWithin(6), Comparison(right("a0"), "==", lit(1))]
+            )
+        ),
+        [sel1, t],
+        query_id="q_seq",
+    )
+    plan.mark_output(seq, "q_seq")
+    other = plan.add_operator(
+        Selection(Comparison(attr("a0"), ">", lit(0))), [u], query_id="q_u"
+    )
+    plan.mark_output(other, "q_u")
+    Optimizer().optimize(plan)
+    return plan, (s, t, u)
+
+
+class TestShardedRandomInterleavings:
+    """Property: sharded execution == per-tuple single engine, any
+    interleaving, any batch size, any shard count, either feed."""
+
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(0, 2),  # stream: 0 → S, 1 → T, 2 → U
+                st.integers(0, 3),  # a0
+                st.integers(0, 5),  # a1
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        max_batch=st.integers(1, 16),
+        n_shards=st.integers(1, 3),
+        feed=st.sampled_from(["local", "router"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sharded_equals_per_tuple(self, events, max_batch, n_shards, feed):
+        from repro.shard import ShardedEngine
+
+        schema = Schema.of_ints("a0", "a1")
+        by_stream = {0: [], 1: [], 2: []}
+        for ts, (target, a0, a1) in enumerate(events):
+            by_stream[target].append(StreamTuple(schema, (a0, a1), ts))
+
+        def sources_of(plan, handles):
+            return [
+                StreamSource(plan.channel_of(handle), by_stream[index])
+                for index, handle in enumerate(handles)
+            ]
+
+        plan, handles = two_component_plan()
+        reference = StreamEngine(plan, capture_outputs=True, batching=False)
+        per_tuple = reference.run(sources_of(plan, handles))
+
+        plan, handles = two_component_plan()
+        sharded = ShardedEngine(
+            plan,
+            n_shards,
+            parallel=False,
+            feed=feed,
+            capture_outputs=True,
+            max_batch=max_batch,
+        )
+        run = sharded.run(sources_of(plan, handles))
+        aggregate = run.aggregate
+        assert aggregate.outputs_by_query == per_tuple.outputs_by_query
+        assert aggregate.input_events == per_tuple.input_events
+        assert aggregate.output_events == per_tuple.output_events
+        assert sharded.captured == reference.captured
+
+
 # -- state partitioning -------------------------------------------------------------
 
 

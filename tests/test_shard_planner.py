@@ -1,0 +1,215 @@
+"""Shard planning: components, balance heuristic, and the edge cases.
+
+The contracts under test: queries sharing any m-op (or any entry channel)
+land in the same component; the LPT balance is deterministic and spreads
+cost; degenerate shapes — one giant component, a component above the
+per-shard cost target, empty plans — are handled explicitly, not by
+accident.
+"""
+
+import pytest
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.errors import PlanError
+from repro.operators.expressions import attr, lit, right
+from repro.operators.predicates import Comparison, DurationWithin, conjunction
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.shard import ShardComponent, ShardPlanner
+from repro.streams.schema import Schema
+
+
+def multi_source_plan(num_sources=3, queries_per_source=4, optimize=True):
+    """Independent selection sets over independent sources."""
+    schema = Schema.numbered(2)
+    plan = QueryPlan()
+    sources = [plan.add_source(f"S{i}", schema) for i in range(num_sources)]
+    for i, source in enumerate(sources):
+        for j in range(queries_per_source):
+            query_id = f"q{i}_{j}"
+            out = plan.add_operator(
+                Selection(Comparison(attr("a0"), "==", lit(j))),
+                [source],
+                query_id=query_id,
+            )
+            plan.mark_output(out, query_id)
+    if optimize:
+        Optimizer().optimize(plan)
+    return plan, sources
+
+
+def bridged_plan():
+    """Two sources bridged by a sequence query — one component."""
+    schema = Schema.numbered(2)
+    plan = QueryPlan()
+    s = plan.add_source("S", schema)
+    t = plan.add_source("T", schema)
+    sel = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(1))), [s], query_id="q_sel"
+    )
+    plan.mark_output(sel, "q_sel")
+    seq = plan.add_operator(
+        Sequence(
+            conjunction([DurationWithin(5), Comparison(right("a0"), "==", lit(1))])
+        ),
+        [sel, t],
+        query_id="q_seq",
+    )
+    plan.mark_output(seq, "q_seq")
+    return plan, (s, t)
+
+
+class TestComponents:
+    def test_independent_sources_are_separate_components(self):
+        plan, __ = multi_source_plan(num_sources=3)
+        components = ShardPlanner().components(plan)
+        assert len(components) == 3
+        for component in components:
+            assert len(component.entry_channel_ids) == 1
+            assert len(component.query_ids) == 4
+        all_queries = {q for c in components for q in c.query_ids}
+        assert len(all_queries) == 12
+
+    def test_queries_sharing_mop_share_component(self):
+        plan, __ = multi_source_plan(num_sources=2, optimize=True)
+        components = ShardPlanner().components(plan)
+        by_query = {}
+        for component in components:
+            for query_id in component.query_ids:
+                by_query[query_id] = component.index
+        # After optimization all of a source's selections sit in one
+        # predicate-index m-op — same component by the sharing rule.
+        assert by_query["q0_0"] == by_query["q0_3"]
+        assert by_query["q0_0"] != by_query["q1_0"]
+
+    def test_entry_channel_connects_co_consumers(self):
+        # Unoptimized: distinct m-ops reading the same source still form
+        # one component (co-consumers of an entry channel).
+        plan, __ = multi_source_plan(num_sources=1, optimize=False)
+        components = ShardPlanner().components(plan)
+        assert len(components) == 1
+
+    def test_bridge_query_merges_components(self):
+        plan, __ = bridged_plan()
+        components = ShardPlanner().components(plan)
+        assert len(components) == 1
+        assert set(components[0].query_ids) == {"q_sel", "q_seq"}
+        assert len(components[0].entry_channel_ids) == 2
+
+
+class TestBalance:
+    def _components(self, costs):
+        return [
+            ShardComponent(
+                index=i, mops=[], query_ids=[], entry_channel_ids=frozenset(),
+                cost=cost,
+            )
+            for i, cost in enumerate(costs)
+        ]
+
+    def test_lpt_spreads_cost(self):
+        planner = ShardPlanner()
+        costs = [8, 7, 6, 5]
+        assignment = planner.balance(self._components(costs), 2)
+        loads = [0.0, 0.0]
+        for index, shard in enumerate(assignment):
+            loads[shard] += costs[index]
+        # LPT trace: 8→s0, 7→s1, 6→s1 (7<8), 5→s0 (8<13) — a perfect split.
+        assert loads == [13, 13]
+        # Heaviest component goes first, alone onto its shard.
+        assert assignment[0] != assignment[1]
+
+    def test_deterministic_tiebreak(self):
+        planner = ShardPlanner()
+        first = planner.balance(self._components([1, 1, 1, 1]), 2)
+        second = planner.balance(self._components([1, 1, 1, 1]), 2)
+        assert first == second
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(PlanError):
+            ShardPlanner().balance([], 0)
+
+
+class TestPartition:
+    def test_subplans_validate_and_cover_queries(self):
+        plan, __ = multi_source_plan(num_sources=3)
+        shard_plan = ShardPlanner().partition(plan, 2)
+        assert len(shard_plan.subplans) == 2
+        total_mops = sum(len(sub.mops) for sub in shard_plan.subplans)
+        assert total_mops == len(plan.mops)
+        covered = {
+            query_id
+            for sub in shard_plan.subplans
+            for __stream, query_ids in sub.sink_streams()
+            for query_id in query_ids
+        }
+        assert covered == set(shard_plan.query_shard)
+        for channel_id, shard in shard_plan.channel_shard.items():
+            assert 0 <= shard < 2
+
+    def test_single_component_collapses_to_one_shard(self):
+        # A query set that is one connected component degenerates to n=1:
+        # every m-op lands on one shard, the rest stay empty.
+        plan, __ = bridged_plan()
+        shard_plan = ShardPlanner().partition(plan, 4)
+        assert shard_plan.effective_shards == 1
+        populated = [sub for sub in shard_plan.subplans if sub.mops]
+        assert len(populated) == 1
+        assert len(populated[0].mops) == len(plan.mops)
+
+    def test_oversized_component_is_flagged(self):
+        # One heavy component (5 merged selection queries + sequences) next
+        # to tiny ones: its cost exceeds total/n, which partition must
+        # surface rather than silently producing a hot shard.
+        schema = Schema.numbered(2)
+        plan = QueryPlan()
+        s = plan.add_source("S", schema)
+        t = plan.add_source("T", schema)
+        sel = plan.add_operator(
+            Selection(Comparison(attr("a0"), "==", lit(1))), [s], query_id="big"
+        )
+        previous = sel
+        for depth in range(4):
+            previous = plan.add_operator(
+                Sequence(
+                    conjunction(
+                        [DurationWithin(9), Comparison(right("a0"), ">", lit(-1))]
+                    )
+                ),
+                [previous, t],
+                query_id="big",
+            )
+        plan.mark_output(previous, "big")
+        u = plan.add_source("U", schema)
+        out = plan.add_operator(
+            Selection(Comparison(attr("a0"), "==", lit(0))), [u], query_id="small"
+        )
+        plan.mark_output(out, "small")
+        shard_plan = ShardPlanner().partition(plan, 2)
+        assert shard_plan.oversized
+        heavy = shard_plan.components[shard_plan.oversized[0]]
+        assert "big" in heavy.query_ids
+        assert heavy.cost > shard_plan.cost_target
+        # The balance still assigns it somewhere — flagged, not rejected.
+        assert 0 <= shard_plan.assignment[heavy.index] < 2
+
+    def test_effective_shards_and_describe(self):
+        plan, __ = multi_source_plan(num_sources=2)
+        shard_plan = ShardPlanner().partition(plan, 4)
+        assert shard_plan.effective_shards == 2
+        text = shard_plan.describe()
+        assert "component" in text
+
+    def test_rejects_sink_on_source_stream(self):
+        schema = Schema.numbered(1)
+        plan = QueryPlan()
+        s = plan.add_source("S", schema)
+        plan.mark_output(s, "passthrough")
+        with pytest.raises(PlanError, match="sink directly on"):
+            ShardPlanner().partition(plan, 2)
+
+    def test_empty_plan_partitions_to_empty_shards(self):
+        shard_plan = ShardPlanner().partition(QueryPlan(), 2)
+        assert shard_plan.components == []
+        assert shard_plan.effective_shards == 0

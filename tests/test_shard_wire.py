@@ -1,0 +1,140 @@
+"""Wire format: lossless round-trips, schema interning, loud failures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChannelError
+from repro.shard import WireDecoder, WireEncoder
+from repro.shard.wire import RUN, SCHEMA, STOP_FRAME
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+
+def make_channel(num_streams=1, width=2):
+    schema = Schema.numbered(width)
+    streams = [StreamDef(f"W{i}", schema) for i in range(num_streams)]
+    if num_streams == 1:
+        return Channel.singleton(streams[0]), schema
+    return Channel(streams), schema
+
+
+def roundtrip(channel, batch, decoder=None, encoder=None):
+    encoder = encoder or WireEncoder()
+    decoder = decoder or WireDecoder([channel])
+    decoded = None
+    for frame in encoder.encode_run(channel, batch):
+        result = decoder.decode(frame)
+        if result is not None:
+            decoded = result
+    return decoded
+
+
+class TestRoundTrip:
+    def test_single_run(self):
+        channel, schema = make_channel()
+        batch = [
+            ChannelTuple(StreamTuple(schema, (ts, ts * 2), ts), 1)
+            for ts in range(5)
+        ]
+        out_channel, out_batch = roundtrip(channel, batch)
+        assert out_channel is channel
+        assert out_batch == batch
+
+    def test_schema_interned_once(self):
+        channel, schema = make_channel()
+        encoder = WireEncoder()
+        batch = [ChannelTuple(StreamTuple(schema, (1, 2), 0), 1)]
+        first = encoder.encode_run(channel, batch)
+        second = encoder.encode_run(channel, batch)
+        assert [frame[0] for frame in first] == [SCHEMA, RUN]
+        assert [frame[0] for frame in second] == [RUN]
+
+    def test_multi_stream_membership_masks(self):
+        channel, schema = make_channel(num_streams=3)
+        batch = [
+            ChannelTuple(StreamTuple(schema, (ts, 0), ts), mask)
+            for ts, mask in enumerate([0b001, 0b101, 0b111])
+        ]
+        __, out_batch = roundtrip(channel, batch)
+        assert [ct.membership for ct in out_batch] == [0b001, 0b101, 0b111]
+
+    def test_mixed_schemas_in_one_run(self):
+        schema_a = Schema.of_ints("x", "y")
+        schema_b = Schema.of_ints("x", "z")
+        stream = StreamDef("W", schema_a.padded_union(schema_b))
+        channel = Channel.singleton(stream)
+        batch = [
+            ChannelTuple(StreamTuple(schema_a, (1, 2), 0), 1),
+            ChannelTuple(StreamTuple(schema_b, (3, 4), 1), 1),
+        ]
+        __, out_batch = roundtrip(channel, batch)
+        assert out_batch == batch
+        assert out_batch[0].tuple.schema.names == ("x", "y")
+        assert out_batch[1].tuple.schema.names == ("x", "z")
+
+    def test_empty_batch_emits_nothing(self):
+        channel, __ = make_channel()
+        assert WireEncoder().encode_run(channel, []) == []
+
+    @given(
+        payload=st.lists(
+            st.tuples(st.integers(0, 100), st.integers(-5, 5), st.integers(1, 3)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, payload):
+        channel, schema = make_channel(num_streams=2)
+        batch = [
+            ChannelTuple(StreamTuple(schema, (a, b), ts), mask)
+            for ts, ((a, b), mask) in enumerate(
+                ((a, b), mask) for a, b, mask in payload
+            )
+        ]
+        __, out_batch = roundtrip(channel, batch)
+        assert out_batch == batch
+
+
+class TestFailures:
+    def test_unknown_channel(self):
+        channel, schema = make_channel()
+        other, __ = make_channel()
+        encoder = WireEncoder()
+        frames = encoder.encode_run(
+            channel, [ChannelTuple(StreamTuple(schema, (1, 2), 0), 1)]
+        )
+        decoder = WireDecoder([other])
+        decoder.decode(frames[0])  # schema frame is fine
+        with pytest.raises(ChannelError, match="unknown channel"):
+            decoder.decode(frames[1])
+
+    def test_unknown_schema_token(self):
+        channel, __ = make_channel()
+        decoder = WireDecoder([channel])
+        with pytest.raises(ChannelError, match="unknown schema"):
+            decoder.decode((RUN, channel.channel_id, 99, [(0, 1, (1, 2))]))
+
+    def test_stop_frame_rejected_by_decode(self):
+        channel, __ = make_channel()
+        with pytest.raises(ChannelError, match="stop frame"):
+            WireDecoder([channel]).decode(STOP_FRAME)
+
+    def test_unknown_kind(self):
+        channel, __ = make_channel()
+        with pytest.raises(ChannelError, match="unknown wire frame"):
+            WireDecoder([channel]).decode(("bogus",))
+
+    def test_add_channel_extends_registry(self):
+        channel, schema = make_channel()
+        decoder = WireDecoder([])
+        decoder.add_channel(channel)
+        out = roundtrip(
+            channel,
+            [ChannelTuple(StreamTuple(schema, (1, 2), 0), 1)],
+            decoder=decoder,
+        )
+        assert out is not None

@@ -20,6 +20,9 @@ Three subcommands cover the downstream-user loop:
     arrive and depart (Poisson churn) while the stream flows, each change
     handled by incremental re-optimization and state-preserving engine
     migration — or, with ``--full-rebuild``, by the stop-the-world baseline.
+    ``--shards N`` serves over the sharded lifecycle runtime with periodic
+    component rebalancing (``--policy count|throughput``); ``--process``
+    pushes each shard onto a worker process behind the command protocol.
 
 ``bench-throughput``
     Regenerate ``BENCH_throughput.json``: events/sec for batched vs
@@ -193,6 +196,16 @@ def cmd_churn(args: argparse.Namespace) -> int:
         initial_queries=args.initial_queries,
         seed=args.seed,
     )
+    if args.shards is None:
+        # Default: unsharded serve; a bare --process gets two workers (an
+        # explicit --shards 1 --process still means one worker).
+        args.shards = 2 if args.process else 1
+    if args.shards < 1:
+        from repro.errors import LifecycleError
+
+        raise LifecycleError(f"--shards must be at least 1, got {args.shards}")
+    if args.shards > 1 or args.process:
+        return _churn_sharded(args, workload)
     runtime = QueryRuntime(
         {"S": workload.schema, "T": workload.schema},
         track_latency=args.latency,
@@ -233,6 +246,72 @@ def cmd_churn(args: argparse.Namespace) -> int:
                 f"  {query_id}: {stats.outputs_by_query[query_id]} outputs, "
                 f"mean latency {mean * 1e6:.1f}µs"
             )
+    return 0
+
+
+def _churn_sharded(args: argparse.Namespace, workload) -> int:
+    """Serve the churn schedule over shards — in-process or worker processes."""
+    from repro.shard import (
+        ProcessShardedRuntime,
+        QueryCountPolicy,
+        ShardedRuntime,
+        ThroughputPolicy,
+    )
+    from repro.workloads.churn import drive_sharded
+
+    sources = {"S": workload.schema, "T": workload.schema}
+    if args.process:
+        runtime = ProcessShardedRuntime(
+            sources,
+            n_shards=args.shards,
+            track_latency=args.latency,
+            incremental=not args.full_rebuild,
+        )
+    else:
+        runtime = ShardedRuntime(
+            sources,
+            n_shards=args.shards,
+            track_latency=args.latency,
+            incremental=not args.full_rebuild,
+        )
+    policy = (
+        ThroughputPolicy() if args.policy == "throughput" else QueryCountPolicy()
+    )
+    mode = "process" if args.process else "in-process"
+    print(
+        f"churn: {workload.registrations()} queries over {args.events} events, "
+        f"{args.shards} shards ({mode} mode, {args.policy} rebalancing "
+        f"every {args.rebalance_every} lifecycle events)"
+    )
+    try:
+        for event in drive_sharded(
+            runtime,
+            workload.stream_events(),
+            workload.schedule(),
+            rebalance_every=args.rebalance_every,
+            policy=policy,
+        ):
+            if args.verbose:
+                print(
+                    f"  [{event.at:>6}] {event.kind:<10} {event.query_id:<6} "
+                    f"loads={runtime.shard_loads()}"
+                )
+        stats = (
+            runtime.collect_stats() if args.process else runtime.stats
+        )
+        print(stats)
+        print(
+            f"  final active queries: {len(runtime.active_queries)}, "
+            f"loads: {runtime.shard_loads()}, "
+            f"rebalances: {runtime.rebalances}, "
+            f"oversized alerts: {policy.oversized_alerts}"
+        )
+        if args.process:
+            print(f"  crash recoveries: {runtime.crash_recoveries}")
+            print(runtime.describe())
+    finally:
+        if args.process:
+            runtime.close()
     return 0
 
 
@@ -325,6 +404,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--latency",
         action="store_true",
         help="track and report per-query mean output latency",
+    )
+    churn.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve over N shards with the sharded lifecycle runtime "
+        "(default: 1, or 2 with --process)",
+    )
+    churn.add_argument(
+        "--process",
+        action="store_true",
+        help="run each shard on a worker process (command protocol + "
+        "cross-process rebalance)",
+    )
+    churn.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=5,
+        help="attempt a component rebalance every N lifecycle events "
+        "(sharded modes only)",
+    )
+    churn.add_argument(
+        "--policy",
+        choices=["count", "throughput"],
+        default="count",
+        help="rebalance policy: query-count levelling or adaptive "
+        "busy-time (move the hottest component off the slowest shard)",
     )
     churn.add_argument("--verbose", action="store_true")
     churn.set_defaults(handler=cmd_churn)

@@ -1,0 +1,53 @@
+"""Process-disjoint identifier ranges for cross-process plan objects.
+
+Streams, channels and m-ops draw their identities from module-level
+counters, which is fine while every plan object is born in one process.
+The process-mode sharded runtime breaks that assumption: each worker
+compiles queries (creating derived streams, channels and m-ops) in its own
+process, and a cross-process rebalance then grafts those objects into
+*another* worker's plan.  If two workers hand out overlapping ids, the
+receiving plan's id-keyed tables (``_streams``, ``_channel_by_stream``, the
+engine's ``mop_id``-keyed executor entries) silently alias two distinct
+objects — exactly the kind of corruption that produces wrong outputs with
+no crash.
+
+The fix is to partition the id space: every worker *incarnation* reseeds
+the three counters into its own ``WORKER_ID_STRIDE``-sized range before
+creating any plan object.  The coordinator keeps the low range (ids start
+at 1), and a respawned worker gets a fresh incarnation number, so ids
+created by a crashed predecessor — which may live on, inside components
+that were rebalanced away before the crash — can never be re-issued.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+#: Width of one worker incarnation's id range.  2**40 ids per incarnation
+#: leaves room for ~8 million incarnations inside Python's fast int range
+#: while being unreachable by any realistic coordinator-side allocation.
+WORKER_ID_STRIDE = 1 << 40
+
+
+def worker_id_base(incarnation: int) -> int:
+    """First id of the given worker incarnation's range (incarnations >= 1)."""
+    if incarnation < 1:
+        raise ValueError(f"incarnation must be >= 1, got {incarnation}")
+    return incarnation * WORKER_ID_STRIDE
+
+
+def reseed_identifiers(base: int) -> None:
+    """Restart the stream / channel / m-op id counters at ``base`` + 1.
+
+    Must be called in a freshly forked worker *before* it creates any plan
+    object.  (Objects inherited from the parent keep their low-range ids —
+    that is the point: sources declared by the coordinator resolve to the
+    same ids in every worker.)
+    """
+    import repro.core.mop as mop_module
+    import repro.streams.channel as channel_module
+    import repro.streams.stream as stream_module
+
+    stream_module._stream_ids = itertools.count(base + 1)
+    channel_module._channel_ids = itertools.count(base + 1)
+    mop_module._mop_ids = itertools.count(base + 1)

@@ -118,6 +118,25 @@ class MOpExecutor:
     def state_size(self) -> int:
         return 0
 
+    def snapshot_state(self):
+        """The executor's operator state as plain picklable containers.
+
+        ``None`` for stateless executors.  Mirrors
+        :meth:`repro.operators.base.OperatorExecutor.snapshot_state`: the
+        snapshot carries window contents, instance stores and partial-match
+        state — never compiled closures or wiring tables — so it can cross
+        a process boundary and re-seed a freshly built executor of the same
+        m-op via :meth:`restore_state`.
+        """
+        return None
+
+    def restore_state(self, snapshot) -> None:
+        """Install a :meth:`snapshot_state` payload (``None`` = no state)."""
+        if snapshot is not None:
+            raise PlanError(
+                f"{type(self).__name__} holds no state and cannot restore one"
+            )
+
     @property
     def is_stateful(self) -> bool:
         """Whether this executor *class* can ever hold operator state.

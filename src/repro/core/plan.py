@@ -254,6 +254,12 @@ class QueryPlan:
         carried inside the transfer.  Streams keep their channels, instances
         keep their identity, so wiring signatures are unchanged and the
         engine migration can reuse the component's executors, state intact.
+
+        Identity is by ``stream_id``: a transfer that crossed a process
+        boundary references unpickled *copies* of the shared source streams.
+        Those references are rebound to this plan's canonical objects, so
+        repeated rebalances never accumulate stale copies and downstream
+        code may keep relying on object identity for plan-resident streams.
         """
         streams: list[StreamDef] = transfer["streams"]
         channels: dict[int, Channel] = transfer["channels"]
@@ -269,6 +275,17 @@ class QueryPlan:
                             f"cannot adopt component: {mop!r} reads "
                             f"{stream!r}, which this plan does not carry"
                         )
+        for mop in transfer["mops"]:
+            for instance in mop.instances:
+                if any(
+                    self._streams.get(stream.stream_id) is not None
+                    and self._streams[stream.stream_id] is not stream
+                    for stream in instance.inputs
+                ):
+                    instance.inputs = tuple(
+                        self._streams.get(stream.stream_id, stream)
+                        for stream in instance.inputs
+                    )
         for stream in streams:
             if stream.stream_id in self._streams:
                 raise PlanError(f"{stream!r} is already part of this plan")

@@ -104,3 +104,9 @@ class ChannelSequenceExecutor(MOpExecutor):
     @property
     def state_size(self) -> int:
         return self._inner.state_size
+
+    def snapshot_state(self):
+        return self._inner.snapshot_state()
+
+    def restore_state(self, snapshot) -> None:
+        self._inner.restore_state(snapshot)

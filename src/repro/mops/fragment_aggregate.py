@@ -148,3 +148,10 @@ class FragmentAggregateExecutor(MOpExecutor):
             for fragments in self._state.values()
             for acc in fragments.values()
         )
+
+    def snapshot_state(self):
+        return self._state
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is not None:
+            self._state = snapshot

@@ -109,3 +109,16 @@ class NaiveMOpExecutor(MOpExecutor):
     @property
     def state_size(self) -> int:
         return sum(executor.state_size for executor in self._executors)
+
+    def snapshot_state(self):
+        # Per-instance snapshots, positionally aligned with mop.instances
+        # (the instance list travels with the m-op, so a fresh executor
+        # built from the same m-op rebuilds the same ordering).
+        snapshots = [executor.snapshot_state() for executor in self._executors]
+        return snapshots if any(s is not None for s in snapshots) else None
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is None:
+            return
+        for executor, entry in zip(self._executors, snapshot):
+            executor.restore_state(entry)

@@ -243,3 +243,23 @@ class SharedAggregateExecutor(MOpExecutor):
     @property
     def state_size(self) -> int:
         return len(self._buffer)
+
+    def snapshot_state(self):
+        # Query states are positionally aligned with mop.instances.
+        if self._decomposable:
+            per_query = [(query.cursor, query.partials) for query in self._queries]
+        else:
+            per_query = [query.groups for query in self._queries]
+        return (self._buffer, per_query)
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is None:
+            return
+        self._buffer, per_query = snapshot
+        if self._decomposable:
+            for query, (cursor, partials) in zip(self._queries, per_query):
+                query.cursor = cursor
+                query.partials = partials
+        else:
+            for query, groups in zip(self._queries, per_query):
+                query.groups = groups

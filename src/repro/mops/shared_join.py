@@ -173,3 +173,10 @@ class SharedJoinExecutor(MOpExecutor):
     @property
     def state_size(self) -> int:
         return len(self._left_buffer) + len(self._right_buffer)
+
+    def snapshot_state(self):
+        return (self._left_buffer, self._right_buffer)
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is not None:
+            self._left_buffer, self._right_buffer = snapshot

@@ -97,6 +97,12 @@ class SharedSequenceExecutor(MOpExecutor):
     def state_size(self) -> int:
         return self._inner.state_size
 
+    def snapshot_state(self):
+        return self._inner.snapshot_state()
+
+    def restore_state(self, snapshot) -> None:
+        self._inner.restore_state(snapshot)
+
 
 class IndexedSequenceMOp(MOp):
     """AN-index: constant-indexed dispatch over many ``;`` operators.
@@ -237,3 +243,15 @@ class IndexedSequenceExecutor(MOpExecutor):
     @property
     def state_size(self) -> int:
         return sum(group.executor.state_size for group in self._groups)
+
+    def snapshot_state(self):
+        # Groups form in mop.instances order (first appearance of each
+        # definition), which is identical for donor and receiver.
+        snapshots = [group.executor.snapshot_state() for group in self._groups]
+        return snapshots if any(s is not None for s in snapshots) else None
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is None:
+            return
+        for group, entry in zip(self._groups, snapshot):
+            group.executor.restore_state(entry)

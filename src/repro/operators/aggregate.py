@@ -319,3 +319,10 @@ class AggregateExecutor(OperatorExecutor):
     @property
     def state_size(self) -> int:
         return sum(len(acc) for acc in self._groups.values())
+
+    def snapshot_state(self):
+        return (self._groups, self._sequence)
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is not None:
+            self._groups, self._sequence = snapshot

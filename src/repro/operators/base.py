@@ -37,6 +37,31 @@ class OperatorExecutor:
         """Number of state entries currently held (for tests and metrics)."""
         return 0
 
+    def snapshot_state(self):
+        """The executor's mutable state as plain picklable containers.
+
+        Returns ``None`` for stateless executors.  The snapshot *is* the
+        live containers, not a copy — callers serialize it (cross-process
+        rebalance) or install it into a fresh executor of the same
+        definition via :meth:`restore_state`; the donor executor is
+        retired either way.  Compiled predicate closures are never part of
+        a snapshot: they are rebuilt by the receiving executor's
+        constructor, which is what makes snapshots process-portable.
+        """
+        return None
+
+    def restore_state(self, snapshot) -> None:
+        """Install a :meth:`snapshot_state` payload into this executor.
+
+        The executor must be freshly built from the same operator
+        definition and input schemas as the snapshot's donor.  ``None`` is
+        always accepted (a stateless or empty donor).
+        """
+        if snapshot is not None:
+            raise OperatorError(
+                f"{type(self).__name__} holds no state and cannot restore one"
+            )
+
 
 class Operator:
     """A logical operator definition (immutable, structurally comparable)."""

@@ -203,6 +203,13 @@ class IterateExecutor(OperatorExecutor):
     def state_size(self) -> int:
         return len(self._store)
 
+    def snapshot_state(self):
+        return self._store
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is not None:
+            self._store = snapshot
+
 
 def _compile_or_none(predicate: Predicate, left_schema, right_schema, last_schema):
     if isinstance(predicate, TruePredicate):

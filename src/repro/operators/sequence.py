@@ -150,3 +150,10 @@ class SequenceExecutor(OperatorExecutor):
     @property
     def state_size(self) -> int:
         return len(self._store)
+
+    def snapshot_state(self):
+        return self._store
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is not None:
+            self._store = snapshot

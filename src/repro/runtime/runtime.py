@@ -61,6 +61,8 @@ class ComponentTransfer:
     plan_transfer: dict
     queries: dict[str, LogicalQuery]
     #: mop_id -> (wiring signature, executor) snapshot from the donor engine.
+    #: Same-process transfers reuse these live executors directly; a transfer
+    #: that crossed a process boundary carries :attr:`state` instead.
     entries: dict[int, tuple] = field(default_factory=dict)
     #: query_id -> output tuples captured so far on the donor engine (only
     #: when the donor captures outputs); re-homed so per-query capture
@@ -68,6 +70,13 @@ class ComponentTransfer:
     captured: dict = field(default_factory=dict)
     #: total operator state captured at export time (accounting only).
     state_carried: int = 0
+    #: mop_id -> executor state snapshot (plain picklable containers, see
+    #: ``MOpExecutor.snapshot_state``).  Set by the wire codec when a
+    #: transfer is serialized: the receiving runtime builds fresh executors
+    #: and re-seeds them from these snapshots instead of reusing
+    #: :attr:`entries` (live executors hold compiled closures and cannot
+    #: cross a process boundary).
+    state: Optional[dict] = None
 
     @property
     def query_ids(self) -> list[str]:
@@ -275,6 +284,31 @@ class QueryRuntime:
                     frontier.append(neighbour)
         return component
 
+    def _moved_query_ids(self, component: list[MOp]) -> set:
+        """The queries a component carries: instance attributions plus the
+        registrations on its sink streams.  Shared by the rebalance
+        pre-flight view and the actual export, so the two can never
+        disagree about which queries move."""
+        moved: set = set()
+        for mop in component:
+            for instance in mop.instances:
+                if instance.query_id is not None:
+                    moved.add(instance.query_id)
+        sinks = self.plan.sinks
+        for mop in component:
+            for stream in mop.output_streams:
+                moved.update(sinks.get(stream.stream_id, ()))
+        return moved
+
+    def component_query_ids(self, query_id: str) -> list[str]:
+        """Every query that would move with ``query_id`` in a rebalance.
+
+        Sorted for determinism.  This is the pre-flight view rebalance
+        policies use to judge whether a component is worth (or too big)
+        to move.
+        """
+        return sorted(self._moved_query_ids(self.component_of(query_id)))
+
     def export_component(self, query_id: str) -> ComponentTransfer:
         """Drain ``query_id``'s component out of this runtime, state intact.
 
@@ -286,15 +320,7 @@ class QueryRuntime:
         """
         component = self.component_of(query_id)
         component_ids = {mop.mop_id for mop in component}
-        moved_query_ids: set = set()
-        for mop in component:
-            for instance in mop.instances:
-                if instance.query_id is not None:
-                    moved_query_ids.add(instance.query_id)
-        sinks = self.plan.sinks
-        for mop in component:
-            for stream in mop.output_streams:
-                moved_query_ids.update(sinks.get(stream.stream_id, ()))
+        moved_query_ids = self._moved_query_ids(component)
         entries = {
             mop_id: entry
             for mop_id, entry in self.engine.executor_entries().items()
@@ -329,7 +355,14 @@ class QueryRuntime:
         identity, so the recomputed wiring signatures match the snapshot and
         the migration machinery reuses the donor's executors — window and
         sequence state arrive intact.  Requires this runtime to share the
-        donor's source stream objects (:meth:`adopt_source`).
+        donor's source stream objects (:meth:`adopt_source`) — or, for a
+        transfer that crossed a process boundary, stream objects with the
+        same ids (the fork contract of the process-mode runtime).
+
+        A deserialized transfer carries no live executors; instead its
+        :attr:`ComponentTransfer.state` snapshots re-seed the freshly built
+        executors, so window contents, sequence instance stores and
+        captured-output histories survive the process hop.
         """
         for query_id in transfer.queries:
             if query_id in self._active:
@@ -342,6 +375,16 @@ class QueryRuntime:
             self.engine.captured.setdefault(query_id, []).extend(history)
         try:
             migration = migrate_engine(self.engine, extra_reuse=transfer.entries)
+            if transfer.state:
+                entries = self.engine.executor_entries()
+                carried = 0
+                for mop_id, snapshot in transfer.state.items():
+                    executor = entries[mop_id][1]
+                    executor.restore_state(snapshot)
+                    carried += executor.state_size
+                # Only the re-seeded executors' state was carried by this
+                # migration; state already resident here is not attributed.
+                migration.state_carried = carried
         except Exception:
             # Undo the adoption so the component lives in *no* plan rather
             # than half in this one: the caller still holds the transfer

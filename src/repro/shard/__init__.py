@@ -13,11 +13,22 @@ rebalancing (:class:`ShardedRuntime`).
 
 from repro.shard.engine import ShardedEngine, SourceRouter, fork_available
 from repro.shard.planner import ShardComponent, ShardPlan, ShardPlanner
+from repro.shard.policy import QueryCountPolicy, RebalancePolicy, ThroughputPolicy
+from repro.shard.proc import (
+    FrameFaults,
+    ProcessShardedRuntime,
+    WorkerCrashError,
+    WorkerFaults,
+)
 from repro.shard.runtime import ShardedRuntime
 from repro.shard.stats import ShardedRunStats, merge_run_stats
 from repro.shard.wire import WireDecoder, WireEncoder
 
 __all__ = [
+    "FrameFaults",
+    "ProcessShardedRuntime",
+    "QueryCountPolicy",
+    "RebalancePolicy",
     "ShardComponent",
     "ShardPlan",
     "ShardPlanner",
@@ -25,8 +36,11 @@ __all__ = [
     "ShardedRunStats",
     "ShardedRuntime",
     "SourceRouter",
+    "ThroughputPolicy",
     "WireDecoder",
     "WireEncoder",
+    "WorkerCrashError",
+    "WorkerFaults",
     "fork_available",
     "merge_run_stats",
 ]

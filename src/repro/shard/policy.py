@@ -1,0 +1,191 @@
+"""Rebalance policies for the sharded lifecycle runtimes.
+
+A policy looks at a runtime (in-process :class:`~repro.shard.runtime.ShardedRuntime`
+or process-mode :class:`~repro.shard.proc.ProcessShardedRuntime` — both
+expose ``shard_loads`` / ``queries_on`` / ``shard_stats`` /
+``component_queries``) and proposes an ordered iterable of
+``(query_id, to_shard)`` candidate moves; the churn driver tries them
+until one sticks (a candidate can fail when its component turns out to
+co-locate with queries the policy did not know about).  Candidates are
+yielded lazily: the per-candidate component lookup — one worker RPC in
+process mode — is only paid for candidates the caller actually tries.
+
+Two policies:
+
+- :class:`QueryCountPolicy` — the PR-3 behaviour: level active query counts,
+  moving one query's component from the most- to the least-loaded shard.
+  Extended with the ROADMAP's oversized-component alerting: a component
+  whose query count exceeds the per-shard target cannot improve the balance
+  by moving (a sharing group is the atomic placement unit), so it is
+  skipped, logged, and counted in :attr:`RebalancePolicy.oversized_alerts`.
+
+- :class:`ThroughputPolicy` — the adaptive policy: per-shard
+  :class:`~repro.engine.metrics.RunStats` *deltas* since the last decision
+  identify the slowest shard (most engine-busy time per decision window)
+  and the hottest components on it (most outputs attributed to their
+  queries), and the policy proposes moving the hottest component off the
+  slowest shard onto the least-busy one.  Busy-time deltas rather than
+  cumulative totals keep the signal responsive under churn: a shard that
+  *was* hot an hour ago but drained since stops attracting moves.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from typing import Optional
+
+logger = logging.getLogger(__name__)
+
+
+class RebalancePolicy:
+    """Base: propose candidate moves; track oversized-component alerts."""
+
+    def __init__(self):
+        #: Times a candidate component was skipped because it exceeded the
+        #: per-shard target and therefore could not improve the balance.
+        self.oversized_alerts = 0
+
+    def propose(self, runtime):
+        """Ordered ``(query_id, to_shard)`` candidates (lazy, may be empty)."""
+        raise NotImplementedError
+
+    def _component_queries(self, runtime, query_id: str) -> Optional[list[str]]:
+        """The queries moving with ``query_id``, when the runtime can tell.
+
+        The in-process runtime inspects its live plans; the process-mode
+        runtime resolves it with one worker RPC — which is why
+        :meth:`_filter_oversized` only looks up candidates the caller
+        actually consumes.  A runtime without the accessor skips the
+        oversized pre-check entirely (the move itself still carries the
+        whole component either way).
+        """
+        resolver = getattr(runtime, "component_queries", None)
+        if resolver is None:
+            return None
+        return resolver(query_id)
+
+    def _improves(self, donor_load: int, target_load: int, size: int) -> bool:
+        """Whether moving a ``size``-query component can improve balance.
+
+        The count-levelling default: the receiver must end up strictly
+        less loaded than the donor is now.  The throughput policy relaxes
+        this (its signal is busy time, not counts) and only refuses moves
+        that would relocate the donor's entire population.
+        """
+        return target_load + size < donor_load
+
+    def _filter_oversized(
+        self, runtime, candidates: list[tuple[str, int]], donor_load: int, target_load: int
+    ):
+        """Yield candidates whose component could improve the balance.
+
+        Lazy on purpose: the component lookup costs a worker round-trip in
+        process mode, and the churn driver stops at the first candidate
+        that rebalances successfully — later candidates are never priced.
+        """
+        total = len(runtime.active_queries)
+        per_shard_target = math.ceil(total / runtime.n_shards) if total else 0
+        for query_id, to_shard in candidates:
+            component = self._component_queries(runtime, query_id)
+            if component is None:
+                yield query_id, to_shard
+                continue
+            size = len(component)
+            if not self._improves(donor_load, target_load, size):
+                # Moving the whole component cannot improve the balance.
+                if size > per_shard_target:
+                    self.oversized_alerts += 1
+                    logger.warning(
+                        "oversized component (%d queries, per-shard target %d) "
+                        "anchored to shard %d cannot be rebalanced: %s",
+                        size,
+                        per_shard_target,
+                        runtime.shard_of(query_id),
+                        component,
+                    )
+                continue
+            yield query_id, to_shard
+
+
+class QueryCountPolicy(RebalancePolicy):
+    """Level active query counts (the PR-3 drive_sharded heuristic)."""
+
+    def propose(self, runtime) -> list[tuple[str, int]]:
+        loads = runtime.shard_loads()
+        donor = max(range(len(loads)), key=lambda index: (loads[index], -index))
+        target = min(range(len(loads)), key=lambda index: (loads[index], index))
+        if donor == target or loads[donor] <= loads[target] + 1:
+            return []
+        candidates = [
+            (query_id, target) for query_id in runtime.queries_on(donor)
+        ]
+        return self._filter_oversized(
+            runtime, candidates, loads[donor], loads[target]
+        )
+
+
+class ThroughputPolicy(RebalancePolicy):
+    """Move the hottest component off the slowest shard.
+
+    ``min_ratio`` guards against thrash: no move is proposed unless the
+    slowest shard's busy-time delta exceeds the fastest's by that factor
+    (with an absolute floor of ``min_busy_seconds`` so cold starts and
+    measurement noise do not trigger moves).
+    """
+
+    def __init__(self, min_ratio: float = 1.5, min_busy_seconds: float = 0.0):
+        super().__init__()
+        if min_ratio < 1.0:
+            raise ValueError(f"min_ratio must be >= 1.0, got {min_ratio}")
+        self.min_ratio = min_ratio
+        self.min_busy_seconds = min_busy_seconds
+        self._previous_busy: Optional[list[float]] = None
+        self._previous_outputs: Optional[list[dict]] = None
+
+    def _improves(self, donor_load: int, target_load: int, size: int) -> bool:
+        # Busy time, not query count, is the signal: a move helps unless
+        # it relocates the donor's whole population (the hotspot would
+        # just change shards).
+        return size < donor_load
+
+    def propose(self, runtime) -> list[tuple[str, int]]:
+        stats = runtime.shard_stats()
+        busy = [entry.elapsed_seconds for entry in stats]
+        outputs = [dict(entry.outputs_by_query) for entry in stats]
+        if self._previous_busy is None or len(self._previous_busy) != len(busy):
+            delta_busy = busy
+            delta_outputs = outputs
+        else:
+            delta_busy = [
+                now - before for now, before in zip(busy, self._previous_busy)
+            ]
+            delta_outputs = [
+                {
+                    query_id: count - before.get(query_id, 0)
+                    for query_id, count in now.items()
+                }
+                for now, before in zip(outputs, self._previous_outputs)
+            ]
+        self._previous_busy = busy
+        self._previous_outputs = outputs
+        donor = max(range(len(delta_busy)), key=lambda i: (delta_busy[i], -i))
+        target = min(range(len(delta_busy)), key=lambda i: (delta_busy[i], i))
+        if donor == target:
+            return []
+        if delta_busy[donor] < self.min_busy_seconds:
+            return []
+        if delta_busy[donor] <= delta_busy[target] * self.min_ratio:
+            return []
+        heat = delta_outputs[donor]
+        candidates = sorted(
+            runtime.queries_on(donor),
+            key=lambda query_id: (-heat.get(query_id, 0), query_id),
+        )
+        loads = runtime.shard_loads()
+        return self._filter_oversized(
+            runtime,
+            [(query_id, target) for query_id in candidates],
+            loads[donor],
+            loads[target],
+        )

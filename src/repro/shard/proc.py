@@ -1,0 +1,809 @@
+"""The process-mode sharded lifecycle runtime.
+
+:class:`ProcessShardedRuntime` is the cross-process sibling of
+:class:`~repro.shard.runtime.ShardedRuntime`: the same API (register /
+unregister / reoptimize / process / process_batch / rebalance), but every
+shard's :class:`~repro.runtime.QueryRuntime` lives on a forked **worker
+process**, driven by a command protocol layered on the
+:mod:`~repro.shard.wire` frame format.
+
+Protocol
+--------
+
+Each worker owns one command queue (coordinator → worker) and one reply
+queue (worker → coordinator).  Two traffic classes share the command queue,
+so their relative order — which is what makes lifecycle changes land on
+batch boundaries — is preserved by construction:
+
+- **data frames** (``schema`` / ``run``, the existing wire format) are
+  fire-and-forget: the coordinator encodes each source run once and ships
+  it to every shard whose queries read that stream (schema frames are
+  broadcast to all workers, mirroring :class:`~repro.shard.engine.SourceRouter`);
+- **command frames** (``register`` / ``unregister`` / ``reoptimize`` /
+  ``rebalance`` / ``stats`` / ``snapshot``) are synchronous RPCs: the
+  coordinator blocks for the matching reply before issuing anything else,
+  retransmitting on timeout.  Workers deduplicate by sequence number and
+  answer duplicates from a reply cache, so commands apply exactly once even
+  when the fault harness drops or duplicates frames.
+
+Cross-process rebalance decomposes into two commands: ``rebalance("out")``
+on the donor exports the component and serializes it
+(:func:`~repro.shard.wire.encode_transfer` — plan subgraph + executor state
+snapshots + captured histories), ``rebalance("in")`` on the receiver
+deserializes and imports it, re-seeding freshly built executors with the
+donor's window/sequence state.  If the import fails — including the
+receiver dying mid-import — the coordinator re-imports the still-held blob
+into the donor, so the component is never lost and never duplicated.
+
+Failure semantics
+-----------------
+
+A worker that dies (detected via its exit code when an RPC times out) is
+respawned with a **fresh incarnation**: a new id range
+(:mod:`repro.core.idspace`), a replay of all schema frames, and a
+re-registration of every query the coordinator's catalog places on that
+shard.  Queries stay registered and keep producing from the respawn point
+on; operator state accumulated by the dead incarnation is lost (documented
+at-least-serving semantics).  Components in flight during the crash roll
+back to their donor with state intact.
+
+Determinism
+-----------
+
+With no injected faults, a process-mode serve is event-for-event identical
+to the in-process :class:`ShardedRuntime` over the same schedule: placement
+uses the same least-loaded heuristic, routing the same query→source
+catalog, and each worker's ``QueryRuntime`` sees the exact per-shard
+subsequence of events and lifecycle calls.  The property suite
+(``tests/test_shardproc_equivalence.py``) asserts byte-identical captured
+outputs across random churn schedules with mid-stream rebalances.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from random import Random
+from typing import Optional, Sequence, Union
+
+from repro.core.idspace import reseed_identifiers, worker_id_base
+from repro.engine.metrics import RunStats
+from repro.errors import LifecycleError, QueryLanguageError, RumorError
+from repro.lang.ast import LogicalQuery
+from repro.runtime.runtime import QueryRuntime
+from repro.shard.engine import fork_available
+from repro.shard.wire import (
+    ERR,
+    OK,
+    REBALANCE,
+    REGISTER,
+    REOPTIMIZE,
+    RUN,
+    SCHEMA,
+    SNAPSHOT,
+    STATS,
+    STOP,
+    STOP_FRAME,
+    UNREGISTER,
+    WireDecoder,
+    WireEncoder,
+    decode_command,
+    decode_reply,
+    decode_transfer,
+    encode_command,
+    encode_reply,
+    encode_transfer,
+)
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+
+class WorkerCrashError(RumorError):
+    """A worker process died before acknowledging a command."""
+
+
+class WorkerCommandError(LifecycleError):
+    """A worker rejected a command (it is alive and rolled back cleanly)."""
+
+
+@dataclass
+class WorkerFaults:
+    """Deterministic crash injection for one worker's command loop.
+
+    ``crash_on`` names the command kind and its 1-based occurrence count at
+    which the worker hard-exits (``os._exit``) — rebalance commands are
+    split into ``"rebalance-out"`` and ``"rebalance-in"`` so the two phases
+    are injectable independently.  ``when`` selects whether the crash fires
+    before the command is applied or after it is applied but before the
+    reply is sent (the nastier window: the coordinator cannot tell the two
+    apart).  Faults are armed only for a shard's first incarnation unless
+    ``rearm`` is set, so crash recovery does not immediately re-crash.
+    """
+
+    crash_on: Optional[tuple[str, int]] = None
+    when: str = "before"
+    exit_code: int = 32
+    rearm: bool = False
+
+    def __post_init__(self):
+        if self.when not in ("before", "after"):
+            raise LifecycleError(f"WorkerFaults.when must be before/after, got {self.when!r}")
+
+    def matches(self, kind: str, count: int) -> bool:
+        return self.crash_on is not None and (kind, count) == self.crash_on
+
+
+@dataclass
+class FrameFaults:
+    """Seed-driven drop/duplicate injection for command frames.
+
+    Applied on the coordinator's send path (data frames are never touched —
+    the protocol recovers commands via retransmission and deduplication,
+    while data loss would silently change outputs, which must fail loudly
+    instead).  Counters record what the harness actually did so tests can
+    assert the chaos really happened.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    dropped: int = 0
+    duplicated: int = 0
+    _rng: Random = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self):
+        if not 0.0 <= self.drop_rate + self.dup_rate <= 1.0:
+            raise LifecycleError("drop_rate + dup_rate must be within [0, 1]")
+        self._rng = Random(self.seed)
+
+    def copies_of(self, frame: tuple) -> int:
+        """How many copies of this command frame to actually send."""
+        roll = self._rng.random()
+        if roll < self.drop_rate:
+            self.dropped += 1
+            return 0
+        if roll < self.drop_rate + self.dup_rate:
+            self.duplicated += 1
+            return 2
+        return 1
+
+
+@dataclass
+class _WorkerOptions:
+    """Per-worker runtime configuration (pickled once at spawn)."""
+
+    capture_outputs: bool = False
+    track_latency: bool = False
+    incremental: bool = True
+
+
+@dataclass
+class _WorkerHandle:
+    process: multiprocessing.process.BaseProcess
+    commands: object
+    replies: object
+    incarnation: int
+
+
+#: Worker-side reply cache size (duplicate commands beyond this window would
+#: require the coordinator to have abandoned >128 in-flight commands, which
+#: the synchronous RPC discipline makes impossible).
+_REPLY_CACHE = 128
+
+
+def _apply_command(runtime: QueryRuntime, kind: str, payload):
+    """Execute one command against the worker's runtime; returns the reply
+    payload.  Raises to signal an ``err`` reply (the runtime's own rollback
+    discipline — registration rollback, import rollback — has already run
+    by the time the exception surfaces)."""
+    if kind == REGISTER:
+        report = runtime.register(payload)
+        return {
+            "query_id": payload.query_id,
+            "mops": len(runtime.plan.mops),
+            "mops_considered": report.mops_considered,
+        }
+    if kind == UNREGISTER:
+        removed = runtime.unregister(payload)
+        return {"removed_mops": len(removed)}
+    if kind == REOPTIMIZE:
+        report = runtime.reoptimize()
+        return {"mops_considered": report.mops_considered}
+    if kind == REBALANCE:
+        action, value = payload
+        if action == "out":
+            transfer = runtime.export_component(value)
+            try:
+                blob = encode_transfer(transfer)
+            except Exception:
+                # Serialization failed after the export detached the
+                # component: put it straight back (lossless — the transfer
+                # still holds the live executors) before reporting the
+                # error, so the donor keeps serving.
+                runtime.import_component(transfer)
+                raise
+            return {"blob": blob, "queries": transfer.query_ids}
+        if action == "in":
+            transfer = decode_transfer(value)
+            runtime.import_component(transfer)
+            return {"queries": transfer.query_ids}
+        raise LifecycleError(f"unknown rebalance action {action!r}")
+    if kind == STATS:
+        return runtime.stats
+    if kind == SNAPSHOT:
+        if isinstance(payload, dict) and "component_of" in payload:
+            # Focused snapshot: just the component membership of one query
+            # (the rebalance policies' oversized pre-check).
+            return {
+                "component": runtime.component_query_ids(payload["component_of"])
+            }
+        return {
+            "captured": {
+                query_id: list(history)
+                for query_id, history in runtime.captured.items()
+            },
+            "state_size": runtime.state_size,
+            "active_queries": list(runtime.active_queries),
+            "migrations": runtime.stats.migrations,
+            "mops": len(runtime.plan.mops),
+        }
+    raise LifecycleError(f"unknown command kind {kind!r}")
+
+
+def _worker_main(
+    shard: int,
+    incarnation: int,
+    streams: list[StreamDef],
+    channels: dict[str, Channel],
+    commands,
+    replies,
+    options: _WorkerOptions,
+    faults: Optional[WorkerFaults],
+) -> None:
+    """Worker body: one QueryRuntime served by the command/data loop."""
+    reseed_identifiers(worker_id_base(incarnation))
+    runtime = QueryRuntime(
+        capture_outputs=options.capture_outputs,
+        track_latency=options.track_latency,
+        incremental=options.incremental,
+    )
+    for stream in streams:
+        runtime.adopt_source(stream, channels[stream.name])
+    decoder = WireDecoder(channels.values())
+    counts: dict[str, int] = {}
+    cache: OrderedDict[int, tuple] = OrderedDict()
+    while True:
+        try:
+            frame = commands.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        kind = frame[0]
+        if kind == STOP:
+            return
+        if kind == SCHEMA or kind == RUN:
+            decoded = decoder.decode(frame)
+            if decoded is not None:
+                channel, batch = decoded
+                # Source channels are singletons in the lifecycle runtime,
+                # so the run maps 1:1 onto the stream's own batch path.
+                stream = channel.streams[0]
+                runtime.process_batch(
+                    stream.name, [channel_tuple.tuple for channel_tuple in batch]
+                )
+            continue
+        kind, seq, payload = decode_command(frame)
+        fault_kind = kind if kind != REBALANCE else f"rebalance-{payload[0]}"
+        count = counts.get(fault_kind, 0) + 1
+        counts[fault_kind] = count
+        crashing = faults is not None and faults.matches(fault_kind, count)
+        if crashing and faults.when == "before":
+            os._exit(faults.exit_code)
+        cached = cache.get(seq)
+        if cached is not None:
+            # Duplicate (retransmitted or fault-injected) command: answer
+            # from the cache, never re-apply.
+            replies.put(cached)
+            continue
+        try:
+            result = _apply_command(runtime, kind, payload)
+            status = OK
+        except RumorError as error:
+            status, result = ERR, f"{type(error).__name__}: {error}"
+        except Exception:  # noqa: BLE001 - must cross the process boundary
+            status, result = ERR, traceback.format_exc()
+        if crashing and faults.when == "after":
+            os._exit(faults.exit_code)
+        reply = encode_reply(seq, status, result)
+        cache[seq] = reply
+        while len(cache) > _REPLY_CACHE:
+            cache.popitem(last=False)
+        replies.put(reply)
+
+
+class ProcessShardedRuntime:
+    """``n`` worker-process QueryRuntimes serving one changing population.
+
+    Mirrors the :class:`~repro.shard.runtime.ShardedRuntime` API; see the
+    module docstring for the protocol and failure semantics.  Sources must
+    all be declared before the first lifecycle or event call — workers fork
+    with the source stream/channel objects, which is what keeps ids and
+    wiring signatures consistent across every process.
+    """
+
+    def __init__(
+        self,
+        sources: Optional[dict[str, Schema]] = None,
+        n_shards: int = 2,
+        capture_outputs: bool = False,
+        track_latency: bool = False,
+        incremental: bool = True,
+        max_batch: int = 1024,
+        command_timeout: float = 2.0,
+        max_retries: int = 30,
+        faults: Optional[FrameFaults] = None,
+        worker_faults: Optional[dict[int, WorkerFaults]] = None,
+    ):
+        if n_shards < 1:
+            raise LifecycleError(f"n_shards must be at least 1, got {n_shards}")
+        if not fork_available():
+            raise LifecycleError(
+                "ProcessShardedRuntime requires the fork start method; "
+                "use ShardedRuntime on this platform"
+            )
+        self.n_shards = n_shards
+        self.max_batch = max_batch
+        self.command_timeout = command_timeout
+        self.max_retries = max_retries
+        self.faults = faults
+        self._worker_faults = dict(worker_faults or {})
+        self._options = _WorkerOptions(
+            capture_outputs=capture_outputs,
+            track_latency=track_latency,
+            incremental=incremental,
+        )
+        self._context = multiprocessing.get_context("fork")
+        self.streams: dict[str, StreamDef] = {}
+        self._channels: dict[str, Channel] = {}
+        #: query_id -> LogicalQuery (the recovery catalog), insertion order.
+        self._queries: dict[str, LogicalQuery] = {}
+        #: query_id -> owning shard, insertion order (mirrors ShardedRuntime).
+        self._query_shard: dict[str, int] = {}
+        self._workers: list[Optional[_WorkerHandle]] = [None] * n_shards
+        self._spawned: list[int] = [0] * n_shards
+        self._incarnations = iter(range(1, 1 << 20)).__next__
+        self._encoder = WireEncoder()
+        self._schema_frames: list[tuple] = []
+        self._route_cache: dict[str, tuple[int, ...]] = {}
+        self._seq = 0
+        self._started = False
+        self._closed = False
+        #: Coordinator-side input accounting (each source event once,
+        #: however many shards consume it — the single-runtime convention).
+        self.input_stats = RunStats()
+        self.rebalances = 0
+        self.crash_recoveries = 0
+        if sources:
+            for name, schema in sources.items():
+                self.add_source(name, schema)
+
+    # -- sources ---------------------------------------------------------------------
+
+    def add_source(
+        self,
+        name: str,
+        schema: Schema,
+        sharable_label: Optional[str] = None,
+    ) -> StreamDef:
+        """Declare a source; must happen before the workers fork."""
+        if self._started:
+            raise LifecycleError(
+                "sources must be declared before the first lifecycle call "
+                "(workers inherit them at fork)"
+            )
+        if name in self.streams:
+            raise LifecycleError(f"source {name!r} is already declared")
+        stream = StreamDef(name, schema, sharable_label=sharable_label)
+        self.streams[name] = stream
+        self._channels[name] = Channel.singleton(stream)
+        return stream
+
+    # -- worker management -----------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise LifecycleError("runtime is closed")
+        if self._started:
+            return
+        self._started = True
+        for shard in range(self.n_shards):
+            self._workers[shard] = self._spawn(shard)
+
+    def _spawn(self, shard: int) -> _WorkerHandle:
+        self._spawned[shard] += 1
+        faults = self._worker_faults.get(shard)
+        if faults is not None and self._spawned[shard] > 1 and not faults.rearm:
+            faults = None
+        incarnation = self._incarnations()
+        commands = self._context.Queue()
+        replies = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                shard,
+                incarnation,
+                list(self.streams.values()),
+                dict(self._channels),
+                commands,
+                replies,
+                self._options,
+                faults,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(
+            process=process,
+            commands=commands,
+            replies=replies,
+            incarnation=incarnation,
+        )
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            if handle is None:
+                continue
+            try:
+                handle.commands.put(STOP_FRAME)
+            except (OSError, ValueError):
+                pass
+        for handle in self._workers:
+            if handle is None:
+                continue
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+
+    def __enter__(self) -> "ProcessShardedRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- RPC -------------------------------------------------------------------------
+
+    def _send_command(self, handle: _WorkerHandle, frame: tuple) -> None:
+        copies = self.faults.copies_of(frame) if self.faults is not None else 1
+        for __ in range(copies):
+            handle.commands.put(frame)
+
+    def _rpc(self, shard: int, kind: str, payload=None):
+        """Send one command and block for its reply (raw, no recovery)."""
+        handle = self._workers[shard]
+        self._seq += 1
+        seq = self._seq
+        frame = encode_command(kind, seq, payload)
+        self._send_command(handle, frame)
+        retries = 0
+        while True:
+            try:
+                reply = handle.replies.get(timeout=self.command_timeout)
+            except queue_module.Empty:
+                if handle.process.exitcode is not None:
+                    raise WorkerCrashError(
+                        f"shard {shard} worker exited with code "
+                        f"{handle.process.exitcode} during {kind}"
+                    ) from None
+                retries += 1
+                if retries > self.max_retries:
+                    raise LifecycleError(
+                        f"shard {shard} did not acknowledge {kind} after "
+                        f"{retries} attempts"
+                    ) from None
+                self._send_command(handle, frame)
+                continue
+            reply_seq, status, result = decode_reply(reply)
+            if reply_seq != seq:
+                continue  # stale reply of a duplicated earlier command
+            if status == OK:
+                return result
+            raise WorkerCommandError(f"shard {shard} {kind} failed: {result}")
+
+    def _rpc_recovering(self, shard: int, kind: str, payload=None):
+        """RPC that survives one worker crash: recover, then retry once."""
+        try:
+            return self._rpc(shard, kind, payload)
+        except WorkerCrashError:
+            self._recover(shard)
+            return self._rpc(shard, kind, payload)
+
+    def _recover(self, shard: int) -> None:
+        """Respawn a dead worker and re-register its catalog queries.
+
+        Operator state and captured history accumulated by the dead
+        incarnation are lost; serving resumes from the respawn point.
+        """
+        old = self._workers[shard]
+        old.process.join(timeout=2.0)
+        handle = self._spawn(shard)
+        self._workers[shard] = handle
+        for frame in self._schema_frames:
+            handle.commands.put(frame)
+        for query_id, owner in self._query_shard.items():
+            if owner == shard:
+                self._rpc(shard, REGISTER, self._queries[query_id])
+        self.crash_recoveries += 1
+        self._route_cache.clear()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def active_queries(self) -> list[str]:
+        return list(self._query_shard)
+
+    def shard_of(self, query_id: str) -> int:
+        try:
+            return self._query_shard[query_id]
+        except KeyError:
+            raise LifecycleError(
+                f"query {query_id!r} is not registered"
+            ) from None
+
+    def shard_loads(self) -> list[int]:
+        loads = [0] * self.n_shards
+        for shard in self._query_shard.values():
+            loads[shard] += 1
+        return loads
+
+    def queries_on(self, shard: int) -> list[str]:
+        return [
+            query_id
+            for query_id, owner in self._query_shard.items()
+            if owner == shard
+        ]
+
+    def place(self, logical: LogicalQuery) -> int:
+        """Least-loaded placement, identical to ShardedRuntime.place."""
+        loads = self.shard_loads()
+        return min(range(self.n_shards), key=lambda index: (loads[index], index))
+
+    def register(
+        self,
+        query: Union[str, LogicalQuery],
+        query_id: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> dict:
+        """Register a query on a worker; returns the worker's summary."""
+        from repro.lang.compiler import as_logical
+
+        self._ensure_started()
+        try:
+            logical = as_logical(query, query_id)
+        except QueryLanguageError as error:
+            raise LifecycleError(str(error)) from error
+        if logical.query_id in self._query_shard:
+            raise LifecycleError(
+                f"query {logical.query_id!r} is already registered"
+            )
+        for name in logical.sources():
+            if name not in self.streams:
+                raise LifecycleError(
+                    f"query {logical.query_id!r} reads unknown source {name!r}"
+                )
+        if shard is None:
+            shard = self.place(logical)
+        elif not 0 <= shard < self.n_shards:
+            raise LifecycleError(
+                f"shard {shard} out of range (n_shards={self.n_shards})"
+            )
+        result = self._rpc_recovering(shard, REGISTER, logical)
+        self._queries[logical.query_id] = logical
+        self._query_shard[logical.query_id] = shard
+        self._route_cache.clear()
+        return result
+
+    def unregister(self, query_id: str) -> dict:
+        self._ensure_started()
+        shard = self.shard_of(query_id)
+        result = self._rpc_recovering(shard, UNREGISTER, query_id)
+        del self._query_shard[query_id]
+        del self._queries[query_id]
+        self._route_cache.clear()
+        return result
+
+    def reoptimize(self, shard: Optional[int] = None) -> list[dict]:
+        self._ensure_started()
+        shards = range(self.n_shards) if shard is None else [shard]
+        return [
+            self._rpc_recovering(index, REOPTIMIZE) for index in shards
+        ]
+
+    # -- rebalance -------------------------------------------------------------------
+
+    def rebalance(self, query_id: str, to_shard: int) -> list[str]:
+        """Move ``query_id``'s component to ``to_shard``, state intact.
+
+        Returns the moved query ids.  On *any* import failure — a worker
+        error reply or the receiver dying mid-import — the component is
+        restored onto the donor (state included) before the error is
+        re-raised, so the runtime never stops serving a registered query.
+        """
+        self._ensure_started()
+        if not 0 <= to_shard < self.n_shards:
+            raise LifecycleError(
+                f"shard {to_shard} out of range (n_shards={self.n_shards})"
+            )
+        from_shard = self.shard_of(query_id)
+        if from_shard == to_shard:
+            raise LifecycleError(
+                f"query {query_id!r} already lives on shard {to_shard}"
+            )
+        try:
+            exported = self._rpc(from_shard, REBALANCE, ("out", query_id))
+        except WorkerCrashError:
+            # The donor died exporting; its state is gone either way, so
+            # recovery (respawn + re-register) is the best serving outcome.
+            self._recover(from_shard)
+            raise LifecycleError(
+                f"shard {from_shard} crashed during export; its queries "
+                f"were re-registered in place"
+            ) from None
+        blob = exported["blob"]
+        try:
+            self._rpc(to_shard, REBALANCE, ("in", blob))
+        except WorkerCrashError:
+            self._recover(to_shard)
+            self._rpc(from_shard, REBALANCE, ("in", blob))
+            self._route_cache.clear()
+            raise LifecycleError(
+                f"shard {to_shard} crashed during rebalance import; "
+                f"component restored on shard {from_shard}"
+            ) from None
+        except WorkerCommandError:
+            self._rpc(from_shard, REBALANCE, ("in", blob))
+            self._route_cache.clear()
+            raise
+        for moved_id in exported["queries"]:
+            self._query_shard[moved_id] = to_shard
+        self._route_cache.clear()
+        self.rebalances += 1
+        return list(exported["queries"])
+
+    # -- event processing ------------------------------------------------------------
+
+    def _consumers_of(self, stream_name: str) -> tuple[int, ...]:
+        shards = self._route_cache.get(stream_name)
+        if shards is None:
+            if stream_name not in self.streams:
+                raise LifecycleError(f"unknown source stream {stream_name!r}")
+            consuming: set[int] = set()
+            for query_id, shard in self._query_shard.items():
+                if stream_name in self._queries[query_id].sources():
+                    consuming.add(shard)
+            shards = tuple(sorted(consuming))
+            self._route_cache[stream_name] = shards
+        return shards
+
+    def process(self, stream_name: str, tuple_: StreamTuple) -> RunStats:
+        return self.process_batch(stream_name, [tuple_])
+
+    def process_batch(
+        self, stream_name: str, tuples: Sequence[StreamTuple]
+    ) -> RunStats:
+        """Ship a run of source events to every consuming worker.
+
+        Fire-and-forget: data frames pipeline behind earlier commands on
+        each worker's queue, so lifecycle changes still land on batch
+        boundaries.  The returned stats carry coordinator-side input
+        accounting only — per-query outputs accumulate in the workers and
+        surface through :meth:`collect_stats` / :attr:`captured`.
+        """
+        shards = self._consumers_of(stream_name)
+        batch_stats = RunStats()
+        batch_stats.input_events = len(tuples)
+        batch_stats.physical_input_events = len(tuples)
+        self.input_stats.absorb(batch_stats)
+        if not tuples or not shards:
+            return batch_stats
+        self._ensure_started()
+        channel = self._channels[stream_name]
+        bit = 1 << channel.position_of(self.streams[stream_name])
+        encoded = [ChannelTuple(tuple_, bit) for tuple_ in tuples]
+        start = 0
+        while start < len(encoded):
+            run = encoded[start : start + self.max_batch]
+            start += self.max_batch
+            for frame in self._encoder.encode_run(channel, run):
+                if frame[0] == SCHEMA:
+                    # Broadcast + record, so respawned workers can replay
+                    # the interning state before their first run frame.
+                    self._schema_frames.append(frame)
+                    for handle in self._workers:
+                        handle.commands.put(frame)
+                else:
+                    for shard in shards:
+                        self._workers[shard].commands.put(frame)
+        return batch_stats
+
+    # -- introspection ---------------------------------------------------------------
+
+    def shard_stats(self) -> list[RunStats]:
+        """Per-worker cumulative RunStats (synchronous; a batch barrier)."""
+        self._ensure_started()
+        return [
+            self._rpc_recovering(shard, STATS) for shard in range(self.n_shards)
+        ]
+
+    def collect_stats(self) -> RunStats:
+        """Aggregate statistics with single-counted inputs.
+
+        Worker counters sum (queries are disjoint across shards); input
+        events come from the coordinator's own accounting so replicated
+        streams count once, matching ``ShardedRuntime.stats``.
+        """
+        merged = RunStats()
+        for stats in self.shard_stats():
+            merged.absorb(stats)
+        merged.input_events = self.input_stats.input_events
+        merged.physical_input_events = self.input_stats.physical_input_events
+        return merged
+
+    def snapshot(self) -> list[dict]:
+        """Per-worker observability snapshot (captured outputs, state size,
+        active queries, migrations, plan size)."""
+        self._ensure_started()
+        return [
+            self._rpc_recovering(shard, SNAPSHOT)
+            for shard in range(self.n_shards)
+        ]
+
+    def component_queries(self, query_id: str) -> list[str]:
+        """Every query that would move with ``query_id`` (one worker RPC)."""
+        self._ensure_started()
+        shard = self.shard_of(query_id)
+        result = self._rpc_recovering(
+            shard, SNAPSHOT, {"component_of": query_id}
+        )
+        return result["component"]
+
+    @property
+    def captured(self) -> dict:
+        """query_id -> captured outputs, merged across workers."""
+        merged: dict = {}
+        for entry in self.snapshot():
+            merged.update(entry["captured"])
+        return merged
+
+    @property
+    def state_size(self) -> int:
+        return sum(entry["state_size"] for entry in self.snapshot())
+
+    def describe(self) -> str:
+        lines = [
+            f"ProcessShardedRuntime: {len(self._query_shard)} active queries "
+            f"over {self.n_shards} worker processes, "
+            f"loads={self.shard_loads()}, rebalances={self.rebalances}, "
+            f"recoveries={self.crash_recoveries}"
+        ]
+        for shard, entry in enumerate(self.snapshot()):
+            handle = self._workers[shard]
+            lines.append(
+                f"-- shard {shard} (pid {handle.process.pid}, incarnation "
+                f"{handle.incarnation}) --"
+            )
+            lines.append(
+                f"   queries={entry['active_queries']} "
+                f"mops={entry['mops']} state={entry['state_size']} "
+                f"migrations={entry['migrations']}"
+            )
+        return "\n".join(lines)

@@ -74,6 +74,8 @@ class ShardedRuntime:
         #: Aggregate statistics; each source event is counted once, outputs
         #: are summed across shards (queries are disjoint across shards).
         self.stats = RunStats()
+        #: Completed component rebalances (parity with the process runtime).
+        self.rebalances = 0
         self._query_shard: dict[str, int] = {}
         #: stream name -> shards currently consuming it (rebuilt lazily
         #: after every lifecycle change).
@@ -204,11 +206,22 @@ class ShardedRuntime:
         for moved_id in transfer.queries:
             self._query_shard[moved_id] = to_shard
         self._route_cache.clear()
+        self.rebalances += 1
         return transfer
 
     def shard_loads(self) -> list[int]:
         """Active query count per shard (the placement/rebalance signal)."""
         return [len(runtime.active_queries) for runtime in self.runtimes]
+
+    def shard_stats(self) -> list[RunStats]:
+        """Per-shard cumulative RunStats (the adaptive-rebalance signal)."""
+        return [runtime.stats for runtime in self.runtimes]
+
+    def component_queries(self, query_id: str) -> list[str]:
+        """Every query that would move with ``query_id`` in a rebalance."""
+        return self.runtimes[self.shard_of(query_id)].component_query_ids(
+            query_id
+        )
 
     def queries_on(self, shard: int) -> list[str]:
         """Query ids currently owned by ``shard``, in registration order."""

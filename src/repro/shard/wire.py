@@ -1,4 +1,4 @@
-"""Serializable tuple/batch wire format for cross-process shard feeding.
+"""Serializable wire format for cross-process shard feeding and control.
 
 When the sharded engine streams source runs to worker processes, channel
 tuples must cross a process boundary.  Shipping the rich objects
@@ -22,10 +22,34 @@ Mixed-schema runs are supported (a channel's member streams may carry
 union-compatible but distinct schemas): the per-tuple entry then widens to
 ``(ts, membership, values, schema_token)``; the homogeneous fast path keeps
 the 3-tuple.
+
+**Command frames** layer the process-mode lifecycle protocol on the same
+transport (:mod:`repro.shard.proc`)::
+
+    (<kind>, seq, payload_bytes)          # coordinator -> worker
+    ("reply", seq, "ok"|"err", bytes)     # worker -> coordinator
+
+``kind`` is one of :data:`COMMAND_KINDS` (register / unregister /
+reoptimize / rebalance / stats / snapshot).  Payloads are explicit pickle
+blobs, so a frame is always a flat tuple of primitives + bytes: the
+fault-injection harness can drop or duplicate a command frame without
+understanding its payload, and the sequence number gives workers exactly-
+once apply semantics under retransmission (duplicates are answered from a
+reply cache, never re-applied).
+
+**Transfer blobs** (:func:`encode_transfer` / :func:`decode_transfer`)
+serialize a :class:`~repro.runtime.runtime.ComponentTransfer` for
+cross-process rebalance: the plan subgraph, logical queries and captured
+histories pickle as-is, while live executors are reduced to their
+``snapshot_state()`` payloads (window contents, instance stores, partial
+aggregates) keyed by ``mop_id`` — the receiver rebuilds executors from the
+plan and re-seeds them, because compiled predicate closures cannot cross a
+process boundary.
 """
 
 from __future__ import annotations
 
+import pickle
 from typing import Iterable, Sequence
 
 from repro.errors import ChannelError
@@ -33,12 +57,110 @@ from repro.streams.channel import Channel, ChannelTuple
 from repro.streams.schema import Attribute, Schema
 from repro.streams.tuples import StreamTuple
 
-#: Frame kinds.
+#: Data frame kinds.
 RUN = "run"
 SCHEMA = "schema"
 STOP = "stop"
 
 STOP_FRAME = (STOP,)
+
+#: Command frame kinds (the process-mode lifecycle protocol).
+REGISTER = "register"
+UNREGISTER = "unregister"
+REOPTIMIZE = "reoptimize"
+REBALANCE = "rebalance"
+STATS = "stats"
+SNAPSHOT = "snapshot"
+REPLY = "reply"
+
+COMMAND_KINDS = frozenset(
+    {REGISTER, UNREGISTER, REOPTIMIZE, REBALANCE, STATS, SNAPSHOT}
+)
+
+#: Reply statuses.
+OK = "ok"
+ERR = "err"
+
+
+def encode_command(kind: str, seq: int, payload=None) -> tuple:
+    """Build a command frame: ``(kind, seq, payload_bytes)``."""
+    if kind not in COMMAND_KINDS:
+        raise ChannelError(f"unknown command kind {kind!r}")
+    return (kind, seq, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_command(frame: tuple) -> tuple:
+    """Decode a command frame into ``(kind, seq, payload)``."""
+    kind, seq, blob = frame
+    if kind not in COMMAND_KINDS:
+        raise ChannelError(f"unknown command kind {kind!r}")
+    return kind, seq, pickle.loads(blob)
+
+
+def encode_reply(seq: int, status: str, payload=None) -> tuple:
+    """Build a reply frame: ``("reply", seq, status, payload_bytes)``."""
+    if status not in (OK, ERR):
+        raise ChannelError(f"unknown reply status {status!r}")
+    return (
+        REPLY,
+        seq,
+        status,
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+
+
+def decode_reply(frame: tuple) -> tuple:
+    """Decode a reply frame into ``(seq, status, payload)``."""
+    kind, seq, status, blob = frame
+    if kind != REPLY:
+        raise ChannelError(f"expected a reply frame, got kind {kind!r}")
+    return seq, status, pickle.loads(blob)
+
+
+def encode_transfer(transfer) -> bytes:
+    """Serialize a :class:`ComponentTransfer` for a process hop.
+
+    Live executors (``transfer.entries``) are reduced to their state
+    snapshots; everything else — plan subgraph, logical queries, captured
+    output histories — pickles directly.  The donor must not keep serving
+    the component after encoding (export semantics), so handing the live
+    containers to pickle is safe.
+    """
+    state = {}
+    for mop_id, (__signature, executor) in transfer.entries.items():
+        snapshot = executor.snapshot_state()
+        if snapshot is not None:
+            state[mop_id] = snapshot
+    return pickle.dumps(
+        {
+            "plan_transfer": transfer.plan_transfer,
+            "queries": transfer.queries,
+            "captured": transfer.captured,
+            "state": state,
+            "state_carried": transfer.state_carried,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_transfer(data: bytes):
+    """Rebuild a :class:`ComponentTransfer` from :func:`encode_transfer`.
+
+    The result carries no live executors (``entries`` is empty);
+    ``import_component`` builds fresh ones from the plan subgraph and
+    re-seeds them from ``state``.
+    """
+    from repro.runtime.runtime import ComponentTransfer
+
+    payload = pickle.loads(data)
+    return ComponentTransfer(
+        plan_transfer=payload["plan_transfer"],
+        queries=payload["queries"],
+        entries={},
+        captured=payload["captured"],
+        state_carried=payload["state_carried"],
+        state=payload["state"],
+    )
 
 
 class WireEncoder:

@@ -274,30 +274,34 @@ def drive_sharded(
     churn_events: Iterable[ChurnEvent],
     max_batch: int = 1024,
     rebalance_every: int = 0,
+    policy=None,
 ) -> Iterator[ChurnEvent]:
-    """Serve a churn schedule through a :class:`~repro.shard.ShardedRuntime`.
+    """Serve a churn schedule through a sharded lifecycle runtime
+    (in-process :class:`~repro.shard.ShardedRuntime` or process-mode
+    :class:`~repro.shard.proc.ProcessShardedRuntime`).
 
     Identical event/lifecycle interleaving to :func:`drive_batched` (batches
     flush before lifecycle boundaries, so registers, unregisters *and*
     rebalances all land on batch boundaries).  With ``rebalance_every`` > 0,
-    after every that many applied lifecycle events the driver moves one
-    query's component from the most- to the least-loaded shard — a
-    continuous load-levelling policy that exercises the state-preserving
-    rebalance path under churn.
+    after every that many applied lifecycle events the driver asks
+    ``policy`` (default: :class:`~repro.shard.policy.QueryCountPolicy`
+    load levelling; pass :class:`~repro.shard.policy.ThroughputPolicy` for
+    the adaptive busy-time heuristic) for candidate moves and applies the
+    first that succeeds.  Components the policy flags as oversized are
+    skipped and counted on ``policy.oversized_alerts``.
     """
     from repro.errors import LifecycleError
 
+    if rebalance_every and policy is None:
+        from repro.shard.policy import QueryCountPolicy
+
+        policy = QueryCountPolicy()
     applied = 0
 
     def maybe_rebalance() -> None:
         if not rebalance_every or applied % rebalance_every:
             return
-        loads = runtime.shard_loads()
-        donor = max(range(len(loads)), key=lambda index: (loads[index], -index))
-        target = min(range(len(loads)), key=lambda index: (loads[index], index))
-        if donor == target or loads[donor] <= loads[target] + 1:
-            return
-        for query_id in runtime.queries_on(donor):
+        for query_id, target in policy.propose(runtime):
             try:
                 runtime.rebalance(query_id, target)
             except LifecycleError:

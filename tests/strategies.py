@@ -1,0 +1,192 @@
+"""Shared hypothesis strategies and plan/workload builders.
+
+Extracted from the ad-hoc generators of ``test_batch_equivalence.py`` so
+every equivalence suite — batched vs per-tuple, sharded-engine, and the
+process-mode runtime — draws from the same distribution of plans, event
+interleavings and churn schedules.
+
+Strategies generate plain data (event entry tuples, workload parameters);
+builders turn them into plans / StreamTuples.  Keeping the two separate
+lets hypothesis shrink on the data while the builders stay deterministic.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.optimizer import Optimizer
+from repro.core.plan import QueryPlan
+from repro.errors import LifecycleError
+from repro.operators.expressions import attr, lit, right
+from repro.operators.predicates import Comparison, DurationWithin, conjunction
+from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+from repro.workloads.churn import ChurnWorkload, drive_sharded
+
+#: The two-attribute schema every generated event uses.
+EVENT_SCHEMA = Schema.of_ints("a0", "a1")
+
+#: Batch-size axis shared by the batched / sharded / process suites.
+max_batches = st.integers(1, 16)
+
+
+def event_entries(
+    n_streams: int = 2,
+    min_size: int = 1,
+    max_size: int = 40,
+    a0_max: int = 3,
+    a1_max: int = 5,
+):
+    """Random event interleavings as ``(stream index, a0, a1)`` entries.
+
+    Timestamps are implicit: entry ``i`` fires at ts ``i``, so the global
+    order is total and identical however the entries are later split into
+    per-stream sources.
+    """
+    return st.lists(
+        st.tuples(
+            st.integers(0, n_streams - 1),
+            st.integers(0, a0_max),
+            st.integers(0, a1_max),
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def split_entries(
+    entries, n_streams: int, schema: Schema = EVENT_SCHEMA
+) -> list[list[StreamTuple]]:
+    """Turn entry tuples into per-stream StreamTuple lists (ts = position)."""
+    by_stream: list[list[StreamTuple]] = [[] for __ in range(n_streams)]
+    for ts, (target, a0, a1) in enumerate(entries):
+        by_stream[target].append(StreamTuple(schema, (a0, a1), ts))
+    return by_stream
+
+
+# -- plan builders ------------------------------------------------------------------
+
+
+def mixed_plan():
+    """Selections (→ predicate index) + a sequence + a multi-query sink."""
+    schema = EVENT_SCHEMA
+    plan = QueryPlan()
+    s = plan.add_source("S", schema)
+    t = plan.add_source("T", schema)
+    sel1 = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(1))), [s], query_id="q_sel1"
+    )
+    plan.mark_output(sel1, "q_sel1")
+    sel2 = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(2))), [s], query_id="q_sel2"
+    )
+    plan.mark_output(sel2, "q_sel2")
+    seq = plan.add_operator(
+        Sequence(
+            conjunction(
+                [DurationWithin(6), Comparison(right("a0"), "==", lit(1))]
+            )
+        ),
+        [sel1, t],
+        query_id="q_seq",
+    )
+    plan.mark_output(seq, "q_seq")
+    Optimizer().optimize(plan)
+    return plan, (s, t)
+
+
+def two_component_plan():
+    """The mixed plan (S, T component) plus an independent U component."""
+    schema = EVENT_SCHEMA
+    plan = QueryPlan()
+    s = plan.add_source("S", schema)
+    t = plan.add_source("T", schema)
+    u = plan.add_source("U", schema)
+    sel1 = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(1))), [s], query_id="q_sel1"
+    )
+    plan.mark_output(sel1, "q_sel1")
+    sel2 = plan.add_operator(
+        Selection(Comparison(attr("a0"), "==", lit(2))), [s], query_id="q_sel2"
+    )
+    plan.mark_output(sel2, "q_sel2")
+    seq = plan.add_operator(
+        Sequence(
+            conjunction(
+                [DurationWithin(6), Comparison(right("a0"), "==", lit(1))]
+            )
+        ),
+        [sel1, t],
+        query_id="q_seq",
+    )
+    plan.mark_output(seq, "q_seq")
+    other = plan.add_operator(
+        Selection(Comparison(attr("a0"), ">", lit(0))), [u], query_id="q_u"
+    )
+    plan.mark_output(other, "q_u")
+    Optimizer().optimize(plan)
+    return plan, (s, t, u)
+
+
+# -- churn schedules ----------------------------------------------------------------
+
+
+def churn_workloads(
+    max_horizon: int = 400,
+    min_initial: int = 4,
+    max_initial: int = 7,
+):
+    """Random-but-reproducible Poisson churn schedules (small, CI-sized).
+
+    Every draw is a fully deterministic :class:`ChurnWorkload` — the
+    randomness lives in the drawn parameters and seed, so failures shrink
+    to a concrete reproducible workload.
+    """
+    return st.builds(
+        ChurnWorkload,
+        arrival_rate=st.sampled_from([0.02, 0.04, 0.06]),
+        mean_lifetime=st.sampled_from([80.0, 150.0, 300.0]),
+        horizon=st.sampled_from([max(200, max_horizon - 200), max_horizon]),
+        initial_queries=st.integers(min_initial, max_initial),
+        seed=st.integers(0, 10_000),
+    )
+
+
+def serve_churn_with_rebalance(runtime, workload: ChurnWorkload, rebalance_after: int):
+    """Drive a churn schedule with one deterministic mid-stream rebalance.
+
+    From applied lifecycle event ``rebalance_after`` onwards, the first
+    boundary where the most- and least-loaded shards differ moves one
+    query's component between them (exactly once).  The decision depends
+    only on ``shard_loads``/``queries_on``, which the in-process and
+    process-mode runtimes expose identically — so serving the same
+    workload through both produces the same move, and their outputs can
+    be compared byte-for-byte.
+
+    Returns ``(applied lifecycle events, moved query ids)``.
+    """
+    applied = 0
+    moved: list[str] = []
+    for __ in drive_sharded(
+        runtime, workload.stream_events(), workload.schedule()
+    ):
+        applied += 1
+        if moved or applied < rebalance_after:
+            continue
+        loads = runtime.shard_loads()
+        donor = max(range(len(loads)), key=lambda i: (loads[i], -i))
+        target = min(range(len(loads)), key=lambda i: (loads[i], i))
+        if donor == target:
+            continue
+        for query_id in list(runtime.queries_on(donor)):
+            try:
+                result = runtime.rebalance(query_id, target)
+            except LifecycleError:
+                continue
+            moved = sorted(
+                result if isinstance(result, list) else result.query_ids
+            )
+            break
+    return applied, moved

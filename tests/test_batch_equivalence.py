@@ -17,10 +17,9 @@ from repro.core.mop import MOpExecutor
 from repro.core.optimizer import Optimizer
 from repro.core.plan import QueryPlan
 from repro.engine.executor import StreamEngine
-from repro.operators.expressions import attr, lit, right
-from repro.operators.predicates import Comparison, DurationWithin, conjunction
+from repro.operators.expressions import attr, lit
+from repro.operators.predicates import Comparison
 from repro.operators.select import Selection
-from repro.operators.sequence import Sequence
 from repro.runtime import QueryRuntime
 from repro.streams.schema import Schema
 from repro.streams.sources import StreamSource, merge_source_runs, merge_sources
@@ -30,6 +29,13 @@ from repro.workloads.perfmon import PerfmonDataset
 from repro.workloads.synthetic import synthetic_schema
 from repro.workloads.templates import HybridWorkload
 from repro.workloads.zipf import ZipfSampler
+from strategies import (
+    event_entries,
+    max_batches,
+    mixed_plan,
+    split_entries,
+    two_component_plan,
+)
 
 
 def run_both_ways(plan_factory, sources_factory, max_batch=64):
@@ -328,57 +334,15 @@ class TestChurnEquivalence:
 
 
 # -- property: random interleavings over a mixed plan -------------------------------
-
-
-def mixed_plan():
-    """Selections (→ predicate index) + a sequence + a multi-query sink."""
-    schema = Schema.of_ints("a0", "a1")
-    plan = QueryPlan()
-    s = plan.add_source("S", schema)
-    t = plan.add_source("T", schema)
-    sel1 = plan.add_operator(
-        Selection(Comparison(attr("a0"), "==", lit(1))), [s], query_id="q_sel1"
-    )
-    plan.mark_output(sel1, "q_sel1")
-    sel2 = plan.add_operator(
-        Selection(Comparison(attr("a0"), "==", lit(2))), [s], query_id="q_sel2"
-    )
-    plan.mark_output(sel2, "q_sel2")
-    seq = plan.add_operator(
-        Sequence(
-            conjunction(
-                [DurationWithin(6), Comparison(right("a0"), "==", lit(1))]
-            )
-        ),
-        [sel1, t],
-        query_id="q_seq",
-    )
-    plan.mark_output(seq, "q_seq")
-    Optimizer().optimize(plan)
-    return plan, (s, t)
+# (plan builders + entry strategies live in tests/strategies.py, shared with
+# the sharded-engine and process-mode equivalence suites)
 
 
 class TestRandomInterleavings:
-    @given(
-        events=st.lists(
-            st.tuples(
-                st.booleans(),  # stream: False → S, True → T
-                st.integers(0, 3),  # a0
-                st.integers(0, 5),  # a1
-            ),
-            min_size=1,
-            max_size=40,
-        ),
-        max_batch=st.integers(1, 16),
-    )
+    @given(events=event_entries(n_streams=2), max_batch=max_batches)
     @settings(max_examples=40, deadline=None)
     def test_batched_equals_per_tuple(self, events, max_batch):
-        schema = Schema.of_ints("a0", "a1")
-        s_tuples = []
-        t_tuples = []
-        for ts, (to_t, a0, a1) in enumerate(events):
-            tuple_ = StreamTuple(schema, (a0, a1), ts)
-            (t_tuples if to_t else s_tuples).append(tuple_)
+        s_tuples, t_tuples = split_entries(events, n_streams=2)
         per_tuple, batched = run_both_ways(
             mixed_plan,
             lambda plan, handles: [
@@ -393,54 +357,13 @@ class TestRandomInterleavings:
 # -- sharded axis: the equivalence contract extends across shards -------------------
 
 
-def two_component_plan():
-    """The mixed plan (S, T component) plus an independent U component."""
-    schema = Schema.of_ints("a0", "a1")
-    plan = QueryPlan()
-    s = plan.add_source("S", schema)
-    t = plan.add_source("T", schema)
-    u = plan.add_source("U", schema)
-    sel1 = plan.add_operator(
-        Selection(Comparison(attr("a0"), "==", lit(1))), [s], query_id="q_sel1"
-    )
-    plan.mark_output(sel1, "q_sel1")
-    sel2 = plan.add_operator(
-        Selection(Comparison(attr("a0"), "==", lit(2))), [s], query_id="q_sel2"
-    )
-    plan.mark_output(sel2, "q_sel2")
-    seq = plan.add_operator(
-        Sequence(
-            conjunction(
-                [DurationWithin(6), Comparison(right("a0"), "==", lit(1))]
-            )
-        ),
-        [sel1, t],
-        query_id="q_seq",
-    )
-    plan.mark_output(seq, "q_seq")
-    other = plan.add_operator(
-        Selection(Comparison(attr("a0"), ">", lit(0))), [u], query_id="q_u"
-    )
-    plan.mark_output(other, "q_u")
-    Optimizer().optimize(plan)
-    return plan, (s, t, u)
-
-
 class TestShardedRandomInterleavings:
     """Property: sharded execution == per-tuple single engine, any
     interleaving, any batch size, any shard count, either feed."""
 
     @given(
-        events=st.lists(
-            st.tuples(
-                st.integers(0, 2),  # stream: 0 → S, 1 → T, 2 → U
-                st.integers(0, 3),  # a0
-                st.integers(0, 5),  # a1
-            ),
-            min_size=1,
-            max_size=40,
-        ),
-        max_batch=st.integers(1, 16),
+        events=event_entries(n_streams=3),
+        max_batch=max_batches,
         n_shards=st.integers(1, 3),
         feed=st.sampled_from(["local", "router"]),
     )
@@ -448,10 +371,7 @@ class TestShardedRandomInterleavings:
     def test_sharded_equals_per_tuple(self, events, max_batch, n_shards, feed):
         from repro.shard import ShardedEngine
 
-        schema = Schema.of_ints("a0", "a1")
-        by_stream = {0: [], 1: [], 2: []}
-        for ts, (target, a0, a1) in enumerate(events):
-            by_stream[target].append(StreamTuple(schema, (a0, a1), ts))
+        by_stream = split_entries(events, n_streams=3)
 
         def sources_of(plan, handles):
             return [

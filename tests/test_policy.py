@@ -1,0 +1,214 @@
+"""Rebalance policies: count levelling, adaptive throughput, oversized alerts."""
+
+import logging
+
+import pytest
+
+from repro.engine.metrics import RunStats
+from repro.shard import QueryCountPolicy, ShardedRuntime, ThroughputPolicy
+from repro.shard.policy import RebalancePolicy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+from repro.workloads.churn import ChurnWorkload, drive_batched, drive_sharded
+
+SCHEMA = Schema.numbered(2)
+
+
+class FakeRuntime:
+    """Minimal runtime facade for policy unit tests."""
+
+    def __init__(self, placement, busy, outputs_by_query, components=None):
+        self.n_shards = len(busy)
+        self._placement = dict(placement)  # query_id -> shard
+        self._busy = busy
+        self._outputs = outputs_by_query
+        self._components = components or {}
+
+    @property
+    def active_queries(self):
+        return list(self._placement)
+
+    def shard_of(self, query_id):
+        return self._placement[query_id]
+
+    def shard_loads(self):
+        loads = [0] * self.n_shards
+        for shard in self._placement.values():
+            loads[shard] += 1
+        return loads
+
+    def queries_on(self, shard):
+        return [q for q, s in self._placement.items() if s == shard]
+
+    def shard_stats(self):
+        stats = []
+        for shard, busy in enumerate(self._busy):
+            entry = RunStats()
+            entry.elapsed_seconds = busy
+            entry.outputs_by_query = {
+                q: n
+                for q, n in self._outputs.items()
+                if self._placement.get(q) == shard
+            }
+            stats.append(entry)
+        return stats
+
+    def component_queries(self, query_id):
+        return self._components.get(query_id, [query_id])
+
+
+class TestQueryCountPolicy:
+    def test_levels_most_to_least_loaded(self):
+        runtime = FakeRuntime(
+            {"a": 0, "b": 0, "c": 0, "d": 1}, busy=[0, 0, 0], outputs_by_query={}
+        )
+        proposals = list(QueryCountPolicy().propose(runtime))
+        assert proposals  # donor shard 0 (3 queries) -> shard 2 (0 queries)
+        assert all(target == 2 for __, target in proposals)
+        assert [q for q, __ in proposals] == ["a", "b", "c"]
+
+    def test_no_move_when_levelled(self):
+        runtime = FakeRuntime({"a": 0, "b": 1}, busy=[0, 0], outputs_by_query={})
+        assert list(QueryCountPolicy().propose(runtime)) == []
+
+    def test_oversized_component_skipped_and_alerted(self, caplog):
+        # One 3-query component owns the whole donor: moving it would just
+        # relocate the hot spot, so it is skipped and alerted.
+        component = ["a", "b", "c"]
+        runtime = FakeRuntime(
+            {"a": 0, "b": 0, "c": 0, "d": 1},
+            busy=[0, 0],
+            outputs_by_query={},
+            components={q: component for q in component},
+        )
+        policy = QueryCountPolicy()
+        with caplog.at_level(logging.WARNING, logger="repro.shard.policy"):
+            assert list(policy.propose(runtime)) == []
+        assert policy.oversized_alerts == 3  # every candidate hit the guard
+        assert "oversized component" in caplog.text
+
+    def test_movable_component_not_alerted(self):
+        runtime = FakeRuntime(
+            {"a": 0, "b": 0, "c": 0}, busy=[0, 0, 0], outputs_by_query={}
+        )
+        policy = QueryCountPolicy()
+        assert list(policy.propose(runtime))
+        assert policy.oversized_alerts == 0
+
+
+class TestThroughputPolicy:
+    def test_moves_hottest_off_slowest(self):
+        runtime = FakeRuntime(
+            {"cold": 0, "warm": 0, "hot": 0, "other": 1},
+            busy=[3.0, 0.5],
+            outputs_by_query={"cold": 1, "warm": 50, "hot": 400, "other": 10},
+        )
+        proposals = list(ThroughputPolicy().propose(runtime))
+        assert proposals[0] == ("hot", 1)
+        assert [q for q, __ in proposals] == ["hot", "warm", "cold"]
+
+    def test_deltas_not_cumulative_totals(self):
+        runtime = FakeRuntime(
+            {"a": 0, "c": 0, "b": 1},
+            busy=[10.0, 1.0],
+            outputs_by_query={"a": 100, "c": 5, "b": 10},
+        )
+        policy = ThroughputPolicy()
+        assert list(policy.propose(runtime))  # first window: shard 0 is slow
+        # Next window: shard 0 went idle; cumulative busy still 10 vs 1,
+        # but the *delta* is zero, so no move is proposed.
+        assert list(policy.propose(runtime)) == []
+
+    def test_whole_shard_population_is_never_relocated(self):
+        # A single-component donor: moving it would only move the hotspot.
+        runtime = FakeRuntime(
+            {"a": 0, "b": 1}, busy=[10.0, 1.0], outputs_by_query={"a": 100}
+        )
+        assert list(ThroughputPolicy().propose(runtime)) == []
+
+    def test_quiet_cluster_proposes_nothing(self):
+        runtime = FakeRuntime(
+            {"a": 0, "b": 1}, busy=[0.001, 0.001], outputs_by_query={}
+        )
+        policy = ThroughputPolicy(min_busy_seconds=0.1)
+        assert list(policy.propose(runtime)) == []
+
+    def test_min_ratio_guards_thrash(self):
+        runtime = FakeRuntime(
+            {"a": 0, "b": 1}, busy=[1.0, 0.9], outputs_by_query={"a": 5}
+        )
+        assert list(ThroughputPolicy(min_ratio=1.5).propose(runtime)) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputPolicy(min_ratio=0.5)
+        with pytest.raises(NotImplementedError):
+            RebalancePolicy().propose(None)
+
+
+class TestDriverIntegration:
+    def _workload(self):
+        return ChurnWorkload(
+            arrival_rate=0.05,
+            mean_lifetime=150.0,
+            horizon=400,
+            initial_queries=5,
+            seed=17,
+        )
+
+    @pytest.mark.parametrize(
+        "policy_factory", [QueryCountPolicy, lambda: ThroughputPolicy(min_ratio=1.05)]
+    )
+    def test_policy_driven_serve_stays_byte_identical(self, policy_factory):
+        from repro.runtime import QueryRuntime
+
+        workload = self._workload()
+        single = QueryRuntime(
+            {"S": workload.schema, "T": workload.schema}, capture_outputs=True
+        )
+        applied_single = sum(
+            1
+            for __ in drive_batched(
+                single, workload.stream_events(), workload.schedule()
+            )
+        )
+        sharded = ShardedRuntime(
+            {"S": workload.schema, "T": workload.schema},
+            n_shards=2,
+            capture_outputs=True,
+        )
+        policy = policy_factory()
+        applied_sharded = sum(
+            1
+            for __ in drive_sharded(
+                sharded,
+                workload.stream_events(),
+                workload.schedule(),
+                rebalance_every=3,
+                policy=policy,
+            )
+        )
+        assert applied_single == applied_sharded
+        assert sharded.stats.outputs_by_query == single.stats.outputs_by_query
+        assert sharded.captured == single.captured
+
+    def test_throughput_policy_rebalances_under_skewed_load(self):
+        # Anchor two hot queries on shard 0 and keep shard 1 idle: the
+        # busy-delta signal must trigger at least one component move.
+        runtime = ShardedRuntime(
+            {"S": SCHEMA, "T": SCHEMA}, n_shards=2, capture_outputs=True
+        )
+        runtime.register("FROM S AGG avg(a1) OVER 30 BY a0 AS m", query_id="hot", shard=0)
+        runtime.register("FROM S WHERE a0 == 1", query_id="warm", shard=0)
+        policy = ThroughputPolicy(min_ratio=1.01)
+        moved = 0
+        for round_ in range(4):
+            for ts in range(round_ * 50, round_ * 50 + 50):
+                runtime.process("S", StreamTuple(SCHEMA, (ts % 3, ts), ts))
+            for query_id, target in policy.propose(runtime):
+                runtime.rebalance(query_id, target)
+                moved += 1
+                break
+        assert moved >= 1
+        assert runtime.rebalances == moved
+        assert set(runtime._query_shard.values()) == {0, 1}

@@ -1,0 +1,107 @@
+"""Property: process-mode serving is byte-identical to in-process serving.
+
+The acceptance contract of the process-mode runtime: over random churn
+schedules — queries arriving and departing mid-stream, with at least one
+**cross-process rebalance** moving live operator state between worker
+processes — the per-query captured outputs (content, timestamps *and*
+order) and aggregate counters of :class:`ProcessShardedRuntime` match the
+in-process :class:`ShardedRuntime` exactly.
+
+Both runtimes are driven by the same deterministic helper
+(:func:`strategies.serve_churn_with_rebalance`), whose rebalance decision
+depends only on state both expose identically, so any divergence in the
+comparison is a real protocol/serialization bug, not test skew.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.shard import ProcessShardedRuntime, ShardedRuntime, fork_available
+from repro.workloads.churn import ChurnWorkload, drive_sharded
+from strategies import churn_workloads, serve_churn_with_rebalance
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process mode requires the fork start method"
+)
+
+
+def _runtimes(workload, n_shards):
+    sources = {"S": workload.schema, "T": workload.schema}
+    inproc = ShardedRuntime(sources, n_shards=n_shards, capture_outputs=True)
+    proc = ProcessShardedRuntime(
+        sources, n_shards=n_shards, capture_outputs=True
+    )
+    return inproc, proc
+
+
+def _assert_identical(inproc: ShardedRuntime, proc: ProcessShardedRuntime):
+    proc_stats = proc.collect_stats()
+    assert inproc.stats.output_events > 0
+    assert proc_stats.outputs_by_query == inproc.stats.outputs_by_query
+    assert proc_stats.input_events == inproc.stats.input_events
+    assert proc_stats.output_events == inproc.stats.output_events
+    # Byte-identical captured outputs: same queries, same tuples (schema,
+    # values, ts — StreamTuple equality is content-based), same order.
+    assert proc.captured == inproc.captured
+    assert sorted(proc.active_queries) == sorted(inproc.active_queries)
+    assert proc.state_size == inproc.state_size
+
+
+class TestChurnEquivalence:
+    @given(workload=churn_workloads())
+    @settings(max_examples=5, deadline=None)
+    def test_random_churn_with_midstream_rebalance(self, workload):
+        inproc, proc = _runtimes(workload, n_shards=2)
+        try:
+            applied_in, moved_in = serve_churn_with_rebalance(
+                inproc, workload, rebalance_after=2
+            )
+            applied_proc, moved_proc = serve_churn_with_rebalance(
+                proc, workload, rebalance_after=2
+            )
+            assert applied_in == applied_proc
+            assert moved_in == moved_proc
+            assert moved_in, "schedule must include a cross-process rebalance"
+            assert proc.rebalances == 1
+            _assert_identical(inproc, proc)
+        finally:
+            proc.close()
+
+    def test_three_shards_continuous_levelling(self):
+        """Deterministic heavier serve: continuous rebalance policy on both
+        runtimes (same load signal → same moves), three workers."""
+        workload = ChurnWorkload(
+            arrival_rate=0.08,
+            mean_lifetime=120.0,
+            horizon=500,
+            initial_queries=6,
+            seed=7,
+        )
+        sources = {"S": workload.schema, "T": workload.schema}
+        inproc = ShardedRuntime(sources, n_shards=3, capture_outputs=True)
+        proc = ProcessShardedRuntime(sources, n_shards=3, capture_outputs=True)
+        try:
+            applied_in = sum(
+                1
+                for __ in drive_sharded(
+                    inproc,
+                    workload.stream_events(),
+                    workload.schedule(),
+                    rebalance_every=3,
+                )
+            )
+            applied_proc = sum(
+                1
+                for __ in drive_sharded(
+                    proc,
+                    workload.stream_events(),
+                    workload.schedule(),
+                    rebalance_every=3,
+                )
+            )
+            assert applied_in == applied_proc
+            assert proc.rebalances == inproc.rebalances
+            assert proc.rebalances >= 1, "serve must exercise rebalances"
+            _assert_identical(inproc, proc)
+        finally:
+            proc.close()

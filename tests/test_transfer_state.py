@@ -1,0 +1,178 @@
+"""Executor state serialization: transfers must round-trip a process hop.
+
+A cross-process rebalance cannot carry live executors (compiled predicate
+closures do not pickle); it carries ``snapshot_state()`` payloads and
+re-seeds freshly built executors on the far side.  These tests force every
+in-process rebalance through the wire codec (pickle round-trip, live
+executors stripped) and assert the serve stays **byte-identical** to an
+uninterrupted control — for every stateful operator family: sequence
+instance stores, iterate (µ) partial matches, sliding-window aggregates,
+window joins, and the merged m-ops the optimizer builds from them.
+"""
+
+import pickle
+
+import pytest
+
+from repro.shard import ShardedRuntime
+from repro.shard.wire import decode_transfer, encode_transfer
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.of_ints("a0", "a1")
+
+QUERIES = {
+    # KEEP retains matched instances, so the store demonstrably accumulates.
+    "sequence": ["FROM (FROM S WHERE a0 == 1) SEQ T MATCHING WITHIN 25 KEEP"],
+    "consuming-sequence": [
+        "FROM (FROM S WHERE a0 == 1) SEQ T MATCHING WITHIN 25"
+    ],
+    "aggregate": ["FROM S AGG avg(a1) OVER 30 BY a0 AS m"],
+    "join": ["FROM S JOIN T ON left.a0 == right.a0 WITHIN 20"],
+    "iterate": ["FROM S MU T FORWARD left.a0 == right.a0 REBIND right.a1 >= last.a1"],
+    "extremum": ["FROM S AGG max(a1) OVER 40 BY a0 AS peak"],
+    # Same definition twice: reoptimize merges them into a shared m-op, so
+    # the transfer carries a *merged* executor's state.
+    "merged-sequence": [
+        "FROM (FROM S WHERE a0 == 1) SEQ T MATCHING WITHIN 25 KEEP",
+        "FROM (FROM S WHERE a0 == 1) SEQ T MATCHING WITHIN 25 KEEP",
+    ],
+    "merged-aggregate": [
+        "FROM S AGG sum(a1) OVER 30 BY a0 AS m",
+        "FROM S AGG sum(a1) OVER 50 AS total",
+    ],
+}
+
+
+def feed(runtime, first, last):
+    for ts in range(first, last):
+        runtime.process(
+            "S" if ts % 2 == 0 else "T", StreamTuple(SCHEMA, (ts % 3, ts), ts)
+        )
+
+
+def serialized_rebalance(sharded: ShardedRuntime, query_id: str, to_shard: int):
+    """An in-process rebalance forced through the wire codec.
+
+    Exactly what the process-mode runtime does between two workers: the
+    donor's transfer is pickled with executor state reduced to snapshots,
+    the receiver rebuilds executors from the plan subgraph and re-seeds
+    them.  Returns the decoded transfer for inspection.
+    """
+    from_shard = sharded.shard_of(query_id)
+    transfer = sharded.runtimes[from_shard].export_component(query_id)
+    decoded = decode_transfer(encode_transfer(transfer))
+    assert decoded.entries == {}, "wire transfers must not carry executors"
+    sharded.runtimes[to_shard].import_component(decoded)
+    for moved_id in decoded.queries:
+        sharded._query_shard[moved_id] = to_shard
+    sharded._route_cache.clear()
+    return decoded
+
+
+class TestSerializedRebalanceEquivalence:
+    @pytest.mark.parametrize("family", sorted(QUERIES))
+    def test_state_rides_the_wire(self, family):
+        queries = QUERIES[family]
+
+        def build():
+            runtime = ShardedRuntime(
+                {"S": SCHEMA, "T": SCHEMA}, n_shards=2, capture_outputs=True
+            )
+            for index, text in enumerate(queries):
+                runtime.register(text, query_id=f"q{index}", shard=0)
+            if len(queries) > 1:
+                runtime.reoptimize(shard=0)  # force the merged m-op shape
+            return runtime
+
+        control = build()
+        feed(control, 0, 120)
+
+        moved = build()
+        feed(moved, 0, 60)
+        state_before = moved.state_size
+        transfer = serialized_rebalance(moved, "q0", 1)
+        # Joins and consuming sequences may legitimately have drained by
+        # ts 60; every other family must be carrying live state.
+        if family not in ("join", "consuming-sequence"):
+            assert state_before > 0, "workload must accumulate state"
+        assert moved.state_size == state_before, "state lost in the hop"
+        assert transfer.state is not None
+        feed(moved, 60, 120)
+
+        assert control.stats.output_events > 0
+        assert moved.stats.outputs_by_query == control.stats.outputs_by_query
+        assert moved.captured == control.captured
+        assert moved.state_size == control.state_size
+
+    def test_double_hop_round_trip(self):
+        """Shard 0 → 1 → 0: repeated serialization accumulates nothing."""
+
+        def build():
+            runtime = ShardedRuntime(
+                {"S": SCHEMA, "T": SCHEMA}, n_shards=2, capture_outputs=True
+            )
+            runtime.register(QUERIES["aggregate"][0], query_id="agg", shard=0)
+            return runtime
+
+        control = build()
+        feed(control, 0, 90)
+
+        bounced = build()
+        feed(bounced, 0, 30)
+        serialized_rebalance(bounced, "agg", 1)
+        feed(bounced, 30, 60)
+        serialized_rebalance(bounced, "agg", 0)
+        feed(bounced, 60, 90)
+
+        assert bounced.captured == control.captured
+        assert bounced.state_size == control.state_size
+        # Source references stay canonical after repeated adoption.
+        plan = bounced.runtimes[0].plan
+        for mop in plan.mops:
+            for stream in mop.input_streams:
+                if stream.is_source:
+                    assert stream is bounced.streams[stream.name]
+
+    def test_transfer_blob_is_pickle_stable(self):
+        runtime = ShardedRuntime(
+            {"S": SCHEMA, "T": SCHEMA}, n_shards=2, capture_outputs=True
+        )
+        runtime.register(QUERIES["sequence"][0], query_id="q0", shard=0)
+        feed(runtime, 0, 40)
+        transfer = runtime.runtimes[0].export_component("q0")
+        blob = encode_transfer(transfer)
+        assert isinstance(blob, bytes)
+        payload = pickle.loads(blob)
+        assert set(payload) == {
+            "plan_transfer",
+            "queries",
+            "captured",
+            "state",
+            "state_carried",
+        }
+        # Restore so the runtime stays consistent for teardown asserts.
+        runtime.runtimes[0].import_component(decode_transfer(blob))
+        assert runtime.runtimes[0].state_size == transfer.state_carried
+
+
+class TestSnapshotRestoreContracts:
+    def test_stateless_executor_rejects_foreign_state(self):
+        from repro.core.mop import MOpExecutor
+        from repro.errors import PlanError
+
+        executor = MOpExecutor()
+        assert executor.snapshot_state() is None
+        executor.restore_state(None)  # no-op
+        with pytest.raises(PlanError):
+            executor.restore_state({"bogus": 1})
+
+    def test_operator_executor_contract(self):
+        from repro.errors import OperatorError
+        from repro.operators.base import OperatorExecutor
+
+        executor = OperatorExecutor()
+        assert executor.snapshot_state() is None
+        executor.restore_state(None)
+        with pytest.raises(OperatorError):
+            executor.restore_state(object())

@@ -1,0 +1,172 @@
+"""Wire-format edge cases and ShardedRunStats aggregate math.
+
+The schema-interning protocol has two sneaky paths the round-trip suite
+does not reach: token re-registration (a decoder that outlives one encoder
+generation, as happens when schema frames are replayed to a respawned
+worker) and schemas whose attribute names exercise full unicode
+identifiers.  ShardedRunStats' wall-vs-busy arithmetic is pinned with
+synthetic inputs so the aggregate definitions cannot drift silently.
+"""
+
+import pytest
+
+from repro.engine.metrics import RunStats
+from repro.shard import WireDecoder, WireEncoder
+from repro.shard.stats import ShardedRunStats, merge_run_stats
+from repro.shard.wire import RUN, SCHEMA
+from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.schema import Schema
+from repro.streams.stream import StreamDef
+from repro.streams.tuples import StreamTuple
+
+
+def singleton(schema, name="W"):
+    return Channel.singleton(StreamDef(name, schema))
+
+
+class TestSchemaInterning:
+    def test_interleaved_schemas_get_distinct_tokens(self):
+        schema_a = Schema.of_ints("a0", "a1")
+        schema_b = Schema([("load", "float"), ("name", "str")])
+        channel_a = singleton(schema_a, "A")
+        channel_b = singleton(schema_b, "B")
+        encoder = WireEncoder()
+        decoder = WireDecoder([channel_a, channel_b])
+        tokens = set()
+        for round_ in range(3):  # A, B, A, B, ... — no re-emission after round 0
+            for channel, schema, value in (
+                (channel_a, schema_a, (round_, 1)),
+                (channel_b, schema_b, (0.5, "x")),
+            ):
+                batch = [ChannelTuple(StreamTuple(schema, value, round_), 1)]
+                frames = encoder.encode_run(channel, batch)
+                if round_ == 0:
+                    assert frames[0][0] == SCHEMA
+                    tokens.add(frames[0][1])
+                else:
+                    assert [frame[0] for frame in frames] == [RUN]
+                out_channel, out_batch = [
+                    result
+                    for result in map(decoder.decode, frames)
+                    if result is not None
+                ][0]
+                assert out_channel is channel
+                assert out_batch == batch
+        assert len(tokens) == 2
+
+    def test_schema_re_registration_overwrites_token(self):
+        # A respawned worker's decoder replays schema frames from scratch;
+        # a token arriving twice must (re)bind cleanly, last writer wins.
+        schema_a = Schema.of_ints("a0")
+        schema_b = Schema.of_ints("b0", "b1")
+        channel = singleton(schema_b, "W")
+        decoder = WireDecoder([channel])
+        decoder.decode((SCHEMA, 0, (("a0", "int"),)))
+        decoder.decode((SCHEMA, 0, (("b0", "int"), ("b1", "int"))))
+        __, batch = decoder.decode((RUN, channel.channel_id, 0, [(3, 1, (7, 8))]))
+        assert batch[0].tuple.schema == schema_b
+        assert batch[0].tuple.schema != schema_a
+        assert batch[0].tuple["b1"] == 8
+
+    def test_unicode_attribute_names_round_trip(self):
+        schema = Schema([("αβγ", "int"), ("überfluß", "float"), ("データ", "str")])
+        channel = singleton(schema, "Ω")
+        encoder = WireEncoder()
+        decoder = WireDecoder([channel])
+        batch = [
+            ChannelTuple(StreamTuple(schema, (1, 2.5, "せん"), 0), 1),
+            ChannelTuple(StreamTuple(schema, (2, -0.5, ""), 1), 1),
+        ]
+        decoded = None
+        for frame in encoder.encode_run(channel, batch):
+            result = decoder.decode(frame)
+            if result is not None:
+                decoded = result
+        assert decoded[1] == batch
+        assert decoded[1][0].tuple["データ"] == "せん"
+
+    def test_empty_batches_do_not_disturb_interning(self):
+        schema = Schema.of_ints("a0", "a1")
+        channel = singleton(schema)
+        encoder = WireEncoder()
+        assert encoder.encode_run(channel, []) == []
+        # The schema frame still arrives with the first *real* run.
+        batch = [ChannelTuple(StreamTuple(schema, (1, 2), 0), 1)]
+        assert [f[0] for f in encoder.encode_run(channel, batch)] == [SCHEMA, RUN]
+        assert encoder.encode_run(channel, []) == []
+        assert [f[0] for f in encoder.encode_run(channel, batch)] == [RUN]
+
+    def test_distinct_equal_schemas_intern_separately_but_decode_equal(self):
+        # Two structurally equal Schema objects are interned as two tokens
+        # (identity-keyed for speed); decoding must still yield equal tuples.
+        schema_a = Schema.of_ints("a0")
+        schema_b = Schema.of_ints("a0")
+        assert schema_a == schema_b and schema_a is not schema_b
+        stream = StreamDef("W", schema_a)
+        channel = Channel.singleton(stream)
+        encoder = WireEncoder()
+        decoder = WireDecoder([channel])
+        batch_a = [ChannelTuple(StreamTuple(schema_a, (1,), 0), 1)]
+        batch_b = [ChannelTuple(StreamTuple(schema_b, (1,), 0), 1)]
+        frames_a = encoder.encode_run(channel, batch_a)
+        frames_b = encoder.encode_run(channel, batch_b)
+        assert [f[0] for f in frames_a] == [SCHEMA, RUN]
+        assert [f[0] for f in frames_b] == [SCHEMA, RUN]
+        assert frames_a[0][1] != frames_b[0][1]  # distinct tokens
+        for frames, batch in ((frames_a, batch_a), (frames_b, batch_b)):
+            decoded = [r for r in map(decoder.decode, frames) if r is not None]
+            assert decoded[0][1] == batch
+
+
+class TestShardedRunStatsMath:
+    def _stats(self, input_events, output_events, elapsed):
+        stats = RunStats()
+        stats.input_events = input_events
+        stats.physical_input_events = input_events
+        stats.output_events = output_events
+        stats.elapsed_seconds = elapsed
+        stats.outputs_by_query = {"q": output_events}
+        return stats
+
+    def test_busy_sums_wall_does_not(self):
+        run = ShardedRunStats(
+            per_shard=[self._stats(100, 10, 0.2), self._stats(50, 5, 0.3)],
+            wall_seconds=0.4,
+            mode="process",
+        )
+        assert run.busy_seconds == pytest.approx(0.5)
+        assert run.wall_seconds == pytest.approx(0.4)
+        # Busy exceeding wall is the signature of true parallelism; the
+        # two must never be conflated by the aggregate.
+        assert run.busy_seconds > run.wall_seconds
+
+    def test_aggregate_sums_disjoint_counters(self):
+        run = ShardedRunStats(
+            per_shard=[self._stats(100, 10, 0.2), self._stats(50, 5, 0.3)],
+            wall_seconds=0.5,
+        )
+        aggregate = run.aggregate
+        assert aggregate.input_events == 150
+        assert aggregate.output_events == 15
+        assert aggregate.elapsed_seconds == pytest.approx(0.5)
+        assert aggregate.outputs_by_query == {"q": 15}
+        merged = merge_run_stats(run.per_shard)
+        assert merged.input_events == aggregate.input_events
+
+    def test_throughput_uses_wall_not_busy(self):
+        run = ShardedRunStats(
+            per_shard=[self._stats(300, 0, 1.0), self._stats(300, 0, 1.0)],
+            wall_seconds=1.2,
+        )
+        assert run.throughput == pytest.approx(600 / 1.2)
+
+    def test_zero_wall_guard(self):
+        run = ShardedRunStats(per_shard=[self._stats(10, 1, 0.1)])
+        assert run.wall_seconds == 0.0
+        assert run.throughput == 0.0
+
+    def test_empty_run(self):
+        run = ShardedRunStats()
+        assert run.busy_seconds == 0.0
+        assert run.aggregate.input_events == 0
+        assert "0 shards" in str(run)

@@ -1,0 +1,59 @@
+"""Crash-recovery benchmark: checkpoint restore vs write-ahead-log replay.
+
+Thin entry point over :mod:`repro.bench.recovery`.  The same churn
+schedule with the same deterministic mid-stream worker crash is served
+under three recovery policies — blank re-registration (the non-durable
+baseline), durable replay-from-start, and restore-from-checkpoint at two
+intervals — measuring recovery time and replay volume.
+
+Exit criteria (what a red run means):
+
+- ``FAIL: ... diverged ...`` — a correctness regression: every durable
+  recovery must be byte-identical to a fault-free serve, no tolerance;
+- ``FAIL: ... not strictly fewer ...`` — the checkpoint subsystem stopped
+  bounding the replay window (the ISSUE 5 acceptance criterion:
+  restore-from-checkpoint must replay strictly fewer tuples than
+  replay-from-start on the same crash schedule).
+
+Run standalone (writes ``BENCH_recovery.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py
+    PYTHONPATH=src python benchmarks/bench_recovery.py --scale smoke
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py -q -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.recovery import (
+    RecoveryScale,
+    main,
+    render,
+    run_benchmark,
+    serve_with_crash,
+)
+from repro.shard import fork_available
+
+# -- pytest entry points ------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="process mode requires the fork start method"
+)
+def test_recovery_smoke():
+    """Acceptance: checkpointed recovery replays strictly fewer tuples than
+    replay-from-start, byte-identically, at smoke scale."""
+    results = run_benchmark(RecoveryScale.smoke())
+    headline = results["headline"]
+    assert headline["best_checkpoint_tuples"] < headline["replay_from_start_tuples"]
+    for cell in results["cells"].values():
+        if cell["durable"]:
+            assert cell["byte_identical"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

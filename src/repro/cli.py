@@ -22,7 +22,11 @@ Three subcommands cover the downstream-user loop:
     migration — or, with ``--full-rebuild``, by the stop-the-world baseline.
     ``--shards N`` serves over the sharded lifecycle runtime with periodic
     component rebalancing (``--policy count|throughput``); ``--process``
-    pushes each shard onto a worker process behind the command protocol.
+    pushes each shard onto a worker process behind the command protocol;
+    ``--durable`` / ``--checkpoint-every N`` / ``--checkpoint-dir DIR``
+    enable the durable checkpoint subsystem (crashed workers restore from
+    their last checkpoint and replay the write-ahead-log suffix instead of
+    losing operator state).
 
 ``bench-throughput``
     Regenerate ``BENCH_throughput.json``: events/sec for batched vs
@@ -204,6 +208,15 @@ def cmd_churn(args: argparse.Namespace) -> int:
         from repro.errors import LifecycleError
 
         raise LifecycleError(f"--shards must be at least 1, got {args.shards}")
+    if (args.durable or args.checkpoint_every or args.checkpoint_dir) and (
+        not args.process
+    ):
+        from repro.errors import LifecycleError
+
+        raise LifecycleError(
+            "--durable/--checkpoint-every/--checkpoint-dir require "
+            "--process (the in-process runtime has no workers to lose)"
+        )
     if args.shards > 1 or args.process:
         return _churn_sharded(args, workload)
     runtime = QueryRuntime(
@@ -261,11 +274,19 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
 
     sources = {"S": workload.schema, "T": workload.schema}
     if args.process:
+        store = None
+        if args.checkpoint_dir:
+            from repro.shard import CheckpointStore
+
+            store = CheckpointStore(path=args.checkpoint_dir)
         runtime = ProcessShardedRuntime(
             sources,
             n_shards=args.shards,
             track_latency=args.latency,
             incremental=not args.full_rebuild,
+            durable=args.durable,
+            checkpoint_every=args.checkpoint_every,
+            store=store,
         )
     else:
         runtime = ShardedRuntime(
@@ -308,6 +329,16 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
         )
         if args.process:
             print(f"  crash recoveries: {runtime.crash_recoveries}")
+            for report in runtime.recovery_log:
+                print(f"    {report}")
+            if runtime.durable:
+                runtime.collect_checkpoints()
+                print(
+                    f"  checkpoints stored: {runtime.checkpoints_stored} "
+                    f"({runtime.checkpoint_failures} failures), "
+                    f"wal spans: "
+                    f"{[runtime.wal_span(s) for s in range(args.shards)]}"
+                )
             print(runtime.describe())
     finally:
         if args.process:
@@ -431,6 +462,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="count",
         help="rebalance policy: query-count levelling or adaptive "
         "busy-time (move the hottest component off the slowest shard)",
+    )
+    churn.add_argument(
+        "--durable",
+        action="store_true",
+        help="process mode: keep a write-ahead log so a crashed worker "
+        "recovers by replay instead of blank re-registration",
+    )
+    churn.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="process mode: checkpoint every N batches (implies --durable); "
+        "recovery restores the latest checkpoint and replays only the log "
+        "suffix",
+    )
+    churn.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist checkpoints as files under DIR (implies --durable)",
     )
     churn.add_argument("--verbose", action="store_true")
     churn.set_defaults(handler=cmd_churn)

@@ -197,17 +197,15 @@ class QueryPlan:
 
     # -- component transfer (sharding support) ---------------------------------------
 
-    def release_component(self, mops: Sequence[MOp]) -> dict:
-        """Detach a *closed* set of m-ops (and their derived streams, channels
-        and sink registrations) from this plan.
+    def view_component(self, mops: Sequence[MOp]) -> dict:
+        """The transfer dict :meth:`release_component` would return, built
+        as a **view** of the live plan — nothing detached.
 
-        The set must be consumption-closed: every consumer of a released
-        m-op's output stream must itself be released — otherwise the plan
-        would be left with dangling wiring.  Source streams are never
-        released; they stay behind (shared infrastructure).  Returns a
-        transfer dict consumable by :meth:`adopt_component` on another plan
-        whose source streams include (by identity) every source the
-        component reads.
+        Same closed-set validation, same shape (one construction path, so a
+        released transfer and a checkpoint snapshot can never disagree
+        about what a component carries).  The returned dict references live
+        plan objects; it is only safe to serialize immediately (pickling
+        copies it) or to hand to :meth:`release_component`'s detach step.
         """
         releasing = {id(mop) for mop in mops}
         for mop in mops:
@@ -227,24 +225,44 @@ class QueryPlan:
         streams: list[StreamDef] = []
         channels: dict[int, Channel] = {}
         sinks: dict[int, list] = {}
-        for mop in mops:
-            self._detach_mop(mop)
         for stream_id in output_ids:
-            stream = self._streams.pop(stream_id)
+            stream = self._streams[stream_id]
             streams.append(stream)
-            channels[stream_id] = self._channel_by_stream.pop(stream_id)
-            self._producer_instance.pop(stream_id, None)
-            self._consumers.pop(stream_id, None)
-            moved = self._sinks.pop(stream_id, None)
-            if moved:
-                sinks[stream_id] = moved
-        self.validate()
+            channels[stream_id] = self._channel_by_stream[stream_id]
+            registered = self._sinks.get(stream_id)
+            if registered:
+                sinks[stream_id] = list(registered)
         return {
             "mops": list(mops),
             "streams": streams,
             "channels": channels,
             "sinks": sinks,
         }
+
+    def release_component(self, mops: Sequence[MOp]) -> dict:
+        """Detach a *closed* set of m-ops (and their derived streams, channels
+        and sink registrations) from this plan.
+
+        The set must be consumption-closed: every consumer of a released
+        m-op's output stream must itself be released — otherwise the plan
+        would be left with dangling wiring.  Source streams are never
+        released; they stay behind (shared infrastructure).  Returns a
+        transfer dict consumable by :meth:`adopt_component` on another plan
+        whose source streams include (by identity) every source the
+        component reads.
+        """
+        transfer = self.view_component(mops)
+        for mop in transfer["mops"]:
+            self._detach_mop(mop)
+        for stream in transfer["streams"]:
+            stream_id = stream.stream_id
+            self._streams.pop(stream_id)
+            self._channel_by_stream.pop(stream_id)
+            self._producer_instance.pop(stream_id, None)
+            self._consumers.pop(stream_id, None)
+            self._sinks.pop(stream_id, None)
+        self.validate()
+        return transfer
 
     def adopt_component(self, transfer: dict) -> None:
         """Attach a component released from another plan.

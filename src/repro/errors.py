@@ -84,3 +84,23 @@ class LifecycleError(RumorError):
 
 class WorkloadError(RumorError):
     """Raised for invalid workload or dataset generator parameters."""
+
+
+class CheckpointError(RumorError):
+    """Raised by the durable checkpoint/restore subsystem.
+
+    Examples: storing a checkpoint version that does not supersede the
+    latest, a checkpoint manifest whose stream cursor disagrees with the
+    coordinator's shipped counts, or replaying a corrupt write-ahead-log
+    entry.
+    """
+
+
+class StaleCheckpointError(CheckpointError):
+    """Raised when a restore requests a superseded checkpoint version.
+
+    Once a newer version is stored, the replay log before its cut has been
+    truncated — restoring an older version could not be completed to the
+    present, so the request is rejected rather than silently serving stale
+    state.
+    """

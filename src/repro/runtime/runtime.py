@@ -112,6 +112,11 @@ class QueryRuntime:
         self.reports: list[OptimizationReport] = []
         #: Per-lifecycle-change migration statistics, in order.
         self.migration_log: list[MigrationStats] = []
+        #: Per-source-stream processed-event counts (the runtime's **stream
+        #: cursor**).  A checkpoint taken between two events records this
+        #: cursor as its consistency cut: replaying the source suffix from
+        #: the cursor onward reproduces the runtime's state exactly.
+        self.cursor: dict[str, int] = {}
         self._active: dict[str, LogicalQuery] = {}
 
     # -- sources -------------------------------------------------------------------
@@ -318,6 +323,28 @@ class QueryRuntime:
         *with* their window/partial-match state, the plan subgraph is
         detached, and the engine migrates to serve the remaining queries.
         """
+        return self._capture_component(query_id, detach=True)
+
+    def checkpoint_component(self, query_id: str) -> ComponentTransfer:
+        """Moment-in-time, **non-destructive** snapshot of a component.
+
+        The same shape :meth:`export_component` produces — plan subgraph,
+        logical queries, executor entries, captured histories — but nothing
+        is detached: the runtime keeps serving the component, and the
+        snapshot records its state at the current cursor
+        (:attr:`cursor`, declared per source stream).  Because the returned
+        transfer *references* the live plan subgraph and executors, it is
+        only valid for immediate serialization
+        (:func:`~repro.shard.wire.encode_transfer` deep-copies everything);
+        importing it directly into another runtime would alias live m-ops
+        and must never be done.  This is the capture primitive of the
+        durable checkpoint subsystem (:mod:`repro.shard.checkpoint`).
+        """
+        return self._capture_component(query_id, detach=False)
+
+    def _capture_component(self, query_id: str, detach: bool) -> ComponentTransfer:
+        """One capture path behind export (detach) and checkpoint (view),
+        so the two can never disagree about what a transfer carries."""
         component = self.component_of(query_id)
         component_ids = {mop.mop_id for mop in component}
         moved_query_ids = self._moved_query_ids(component)
@@ -329,17 +356,28 @@ class QueryRuntime:
         state_carried = sum(
             executor.state_size for __, executor in entries.values()
         )
-        plan_transfer = self.plan.release_component(component)
+        if detach:
+            plan_transfer = self.plan.release_component(component)
+        else:
+            # Same shape, nothing detached (pickling in encode_transfer is
+            # what turns the view into an independent copy).
+            plan_transfer = self.plan.view_component(component)
         queries = {}
         captured = {}
         for moved_id in moved_query_ids:
-            logical = self._active.pop(moved_id, None)
+            if detach:
+                logical = self._active.pop(moved_id, None)
+                history = self.engine.captured.pop(moved_id, None)
+            else:
+                logical = self._active.get(moved_id)
+                history = self.engine.captured.get(moved_id)
+                history = list(history) if history is not None else None
             if logical is not None:
                 queries[moved_id] = logical
-            history = self.engine.captured.pop(moved_id, None)
             if history is not None:
                 captured[moved_id] = history
-        self._migrate()
+        if detach:
+            self._migrate()
         return ComponentTransfer(
             plan_transfer=plan_transfer,
             queries=queries,
@@ -430,6 +468,7 @@ class QueryRuntime:
         channel = self.plan.channel_of(stream)
         channel_tuple = ChannelTuple(tuple_, 1 << channel.position_of(stream))
         event_stats = self.engine.process(channel, channel_tuple)
+        self.cursor[stream_name] = self.cursor.get(stream_name, 0) + 1
         self.stats.absorb(event_stats)
         return event_stats
 
@@ -453,6 +492,7 @@ class QueryRuntime:
         bit = 1 << channel.position_of(stream)
         batch = [ChannelTuple(tuple_, bit) for tuple_ in tuples]
         event_stats = self.engine.process_batch(channel, batch)
+        self.cursor[stream_name] = self.cursor.get(stream_name, 0) + len(tuples)
         self.stats.absorb(event_stats)
         return event_stats
 

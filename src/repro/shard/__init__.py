@@ -11,6 +11,13 @@ the online lifecycle across shards with state-preserving component
 rebalancing (:class:`ShardedRuntime`).
 """
 
+from repro.shard.checkpoint import (
+    CheckpointStore,
+    ComponentCheckpoint,
+    RecoveryReport,
+    ShardCheckpoint,
+    ShardLog,
+)
 from repro.shard.engine import ShardedEngine, SourceRouter, fork_available
 from repro.shard.planner import ShardComponent, ShardPlan, ShardPlanner
 from repro.shard.policy import QueryCountPolicy, RebalancePolicy, ThroughputPolicy
@@ -25,11 +32,16 @@ from repro.shard.stats import ShardedRunStats, merge_run_stats
 from repro.shard.wire import WireDecoder, WireEncoder
 
 __all__ = [
+    "CheckpointStore",
+    "ComponentCheckpoint",
     "FrameFaults",
     "ProcessShardedRuntime",
     "QueryCountPolicy",
     "RebalancePolicy",
+    "RecoveryReport",
+    "ShardCheckpoint",
     "ShardComponent",
+    "ShardLog",
     "ShardPlan",
     "ShardPlanner",
     "ShardedEngine",

@@ -1,0 +1,443 @@
+"""Durable checkpoint/restore for the process-mode sharded runtime.
+
+PR 4 left crash recovery *at-least-serving*: a dead worker respawned with a
+blank re-registration of its catalog queries, silently dropping every
+window, sequence-instance and partial-aggregate it had accumulated.  This
+module is the missing checkpoint lifecycle — the same "materialize shared
+state so it survives and is reusable" move that motivates materialization
+points in classic multi-query optimization:
+
+- :class:`CheckpointStore` — versioned per-shard checkpoints, in memory or
+  on disk.  Each :class:`ShardCheckpoint` is one consistency cut of one
+  worker: a :class:`ComponentCheckpoint` per live component (the
+  :func:`~repro.shard.wire.encode_transfer` blob — plan subgraph + executor
+  state snapshots + captured histories), the worker's **stream cursor** at
+  the cut, the captured histories no live component owns, and the
+  write-ahead-log position the cut corresponds to.
+- :class:`ShardLog` — the coordinator's per-shard write-ahead log: every
+  data run and lifecycle command shipped to a worker since its last
+  complete checkpoint, in order.  Recovery = restore the latest checkpoint,
+  then replay the log suffix; a completed checkpoint truncates the prefix
+  it makes redundant, which is what bounds both memory and recovery time.
+- :class:`RecoveryReport` — the structured account of one recovery
+  (queries restored / replayed / blank-re-registered, tuples replayed,
+  state restored), emitted through :mod:`logging` so state loss is never
+  silent again, and asserted on by the recovery test suite.
+- :func:`capture_manifest` / :func:`apply_restore` — the worker-side
+  halves of the ``checkpoint`` and ``restore`` commands.
+
+Versioning is strict: :meth:`CheckpointStore.put` only accepts versions
+that supersede the shard's latest, and :meth:`CheckpointStore.load`
+rejects superseded versions with :class:`~repro.errors.StaleCheckpointError`
+— once a newer cut exists, the replay log behind it is gone, so restoring
+an older cut could never be completed to the present.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CheckpointError, StaleCheckpointError
+from repro.shard.wire import decode_transfer, encode_manifest, encode_transfer
+
+
+@dataclass(frozen=True)
+class ComponentCheckpoint:
+    """One component's state at a shard checkpoint's cut."""
+
+    #: Sorted query ids the component serves (active registrations).
+    query_ids: tuple
+    #: :func:`~repro.shard.wire.encode_transfer` blob — plan subgraph,
+    #: logical queries, executor state snapshots, captured histories.
+    blob: bytes
+    #: Operator state captured in the blob (accounting only).
+    state_carried: int = 0
+    #: query id → captured-history length at the cut (the restore point's
+    #: replay window starts after these offsets).
+    captured_offsets: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShardCheckpoint:
+    """A complete consistency cut of one worker."""
+
+    shard: int
+    version: int
+    #: Write-ahead-log position of the cut: recovery replays log entries
+    #: from here on.
+    position: int
+    #: Source stream name → events the worker had processed at the cut.
+    cursor: dict
+    components: tuple
+    #: Pickled ``{query_id: [StreamTuple, ...]}`` captured histories owned
+    #: by no live component (unregistered queries) at the cut.
+    captured_extra: bytes = pickle.dumps({})
+    #: Pickled cumulative ``RunStats`` of the worker at the cut (``None``
+    #: pickled when absent); restored so post-recovery aggregate counters
+    #: match a never-crashed serve.
+    stats: bytes = pickle.dumps(None)
+
+    @property
+    def query_ids(self) -> list:
+        """Every query id restored by this checkpoint, sorted."""
+        ids = []
+        for component in self.components:
+            ids.extend(component.query_ids)
+        return sorted(ids)
+
+    @property
+    def state_carried(self) -> int:
+        return sum(component.state_carried for component in self.components)
+
+
+class ShardLog:
+    """A per-shard write-ahead log with absolute positions.
+
+    Entries are appended at :attr:`end`; a completed checkpoint at position
+    ``p`` calls :meth:`truncate_to`, discarding everything before ``p`` —
+    positions stay absolute across truncation, so checkpoint cuts recorded
+    earlier remain valid references.
+    """
+
+    def __init__(self):
+        self._base = 0
+        self._entries: list[tuple] = []
+
+    @property
+    def start(self) -> int:
+        """Oldest retained position (== the last completed checkpoint cut)."""
+        return self._base
+
+    @property
+    def end(self) -> int:
+        """Position the next appended entry will take."""
+        return self._base + len(self._entries)
+
+    def append(self, entry: tuple) -> int:
+        """Append one entry; returns its absolute position."""
+        position = self.end
+        self._entries.append(entry)
+        return position
+
+    def truncate_to(self, position: int) -> int:
+        """Discard entries before ``position``; returns how many were cut."""
+        if position < self._base:
+            return 0  # an older (failed) cut: nothing left to discard
+        if position > self.end:
+            raise CheckpointError(
+                f"cannot truncate log to {position}: only {self.end} entries "
+                f"were ever appended"
+            )
+        dropped = position - self._base
+        del self._entries[:dropped]
+        self._base = position
+        return dropped
+
+    def entries_from(self, position: int) -> list[tuple]:
+        """The retained suffix starting at absolute ``position``."""
+        if position < self._base:
+            raise CheckpointError(
+                f"log entries before position {self._base} were truncated by "
+                f"a completed checkpoint; cannot replay from {position}"
+            )
+        if position > self.end:
+            raise CheckpointError(
+                f"cannot replay from position {position}: only {self.end} "
+                f"entries were ever appended (foreign checkpoint cut?)"
+            )
+        return list(self._entries[position - self._base :])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class RecoveryReport:
+    """Structured account of one worker recovery.
+
+    Emitted through ``logging`` (warning level when state was lost) and
+    appended to ``ProcessShardedRuntime.recovery_log`` — the fix for the
+    PR-4 silent-loss gap, where a respawn dropped operator state without a
+    trace.
+    """
+
+    shard: int
+    incarnation: int
+    durable: bool
+    #: Version restored from the store, or ``None`` (no checkpoint: either
+    #: non-durable recovery, or a full replay from the log's origin).
+    checkpoint_version: Optional[int]
+    #: Queries whose state came back from checkpoint blobs.
+    queries_restored: list = field(default_factory=list)
+    #: Queries re-registered by write-ahead-log replay (registered after
+    #: the restored cut; their post-cut state is rebuilt by data replay).
+    queries_replayed: list = field(default_factory=list)
+    #: Queries blank re-registered with their operator state dropped
+    #: (non-durable mode only).
+    queries_lost_state: list = field(default_factory=list)
+    #: Source events re-shipped to the respawned worker.
+    tuples_replayed: int = 0
+    #: Lifecycle commands re-applied from the log.
+    lifecycle_replayed: int = 0
+    #: Operator state re-seeded from checkpoint blobs.
+    state_restored: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def state_lost(self) -> bool:
+        """True when the recovery dropped operator state (blank respawn)."""
+        return bool(self.queries_lost_state)
+
+    def __str__(self):
+        if self.durable:
+            origin = (
+                f"checkpoint v{self.checkpoint_version}"
+                if self.checkpoint_version is not None
+                else "log origin (no checkpoint)"
+            )
+            return (
+                f"shard {self.shard} recovered (incarnation "
+                f"{self.incarnation}) from {origin}: "
+                f"{len(self.queries_restored)} queries restored "
+                f"(state={self.state_restored}), "
+                f"{len(self.queries_replayed)} re-registered by replay, "
+                f"{self.tuples_replayed} tuples + {self.lifecycle_replayed} "
+                f"lifecycle commands replayed in "
+                f"{self.elapsed_seconds * 1e3:.1f}ms"
+            )
+        return (
+            f"shard {self.shard} recovered (incarnation {self.incarnation}) "
+            f"WITHOUT durability: {len(self.queries_lost_state)} queries "
+            f"blank re-registered, their operator state and captured "
+            f"history DROPPED ({self.elapsed_seconds * 1e3:.1f}ms)"
+        )
+
+
+_CHECKPOINT_FILE = re.compile(r"^shard(\d+)\.v(\d+)\.ckpt$")
+
+
+class CheckpointStore:
+    """Versioned per-shard checkpoint storage.
+
+    In-memory by default; pass ``path`` to also persist every checkpoint as
+    a pickle file (``shard<N>.v<V>.ckpt``) so a store constructed over the
+    same directory later — e.g. a restarted coordinator — sees the surviving
+    versions.  ``keep_last`` bounds retention per shard: storing a new
+    version prunes versions (and files) beyond the newest ``keep_last``.
+    """
+
+    def __init__(self, path: Optional[str] = None, keep_last: int = 2):
+        if keep_last < 1:
+            raise CheckpointError(
+                f"keep_last must be at least 1, got {keep_last}"
+            )
+        self.path = path
+        self.keep_last = keep_last
+        #: shard → checkpoints sorted by ascending version.
+        self._by_shard: dict[int, list[ShardCheckpoint]] = {}
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self._scan()
+
+    # -- persistence -----------------------------------------------------------------
+
+    def _file_of(self, shard: int, version: int) -> str:
+        return os.path.join(self.path, f"shard{shard}.v{version}.ckpt")
+
+    def _scan(self) -> None:
+        found: dict[int, list[tuple[int, str]]] = {}
+        for name in os.listdir(self.path):
+            match = _CHECKPOINT_FILE.match(name)
+            if match is None:
+                continue
+            shard, version = int(match.group(1)), int(match.group(2))
+            found.setdefault(shard, []).append(
+                (version, os.path.join(self.path, name))
+            )
+        for shard, entries in found.items():
+            checkpoints = []
+            for version, file_path in sorted(entries):
+                try:
+                    with open(file_path, "rb") as handle:
+                        checkpoint = pickle.load(handle)
+                except Exception as error:
+                    # Writes are atomic (tmp + rename), so a corrupt file
+                    # means external damage — fail loudly with the path
+                    # instead of leaking a raw unpickling error.
+                    raise CheckpointError(
+                        f"checkpoint file {file_path!r} is corrupt "
+                        f"({type(error).__name__}: {error}); remove it to "
+                        f"reopen this store"
+                    ) from error
+                if checkpoint.shard != shard or checkpoint.version != version:
+                    raise CheckpointError(
+                        f"checkpoint file {file_path!r} does not match its "
+                        f"name (shard {checkpoint.shard} v{checkpoint.version})"
+                    )
+                checkpoints.append(checkpoint)
+            self._by_shard[shard] = checkpoints
+
+    # -- storage ---------------------------------------------------------------------
+
+    def put(self, checkpoint: ShardCheckpoint) -> None:
+        """Store a checkpoint; its version must supersede the shard's latest."""
+        latest = self.latest_version(checkpoint.shard)
+        if latest is not None and checkpoint.version <= latest:
+            raise CheckpointError(
+                f"checkpoint v{checkpoint.version} for shard "
+                f"{checkpoint.shard} does not supersede stored v{latest}"
+            )
+        held = self._by_shard.setdefault(checkpoint.shard, [])
+        held.append(checkpoint)
+        if self.path is not None:
+            # Atomic publish: a coordinator killed mid-write must never
+            # leave a truncated .ckpt for the next run's scan to choke on.
+            final = self._file_of(checkpoint.shard, checkpoint.version)
+            partial = final + ".tmp"
+            with open(partial, "wb") as handle:
+                pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(partial, final)
+        while len(held) > self.keep_last:
+            pruned = held.pop(0)
+            if self.path is not None:
+                try:
+                    os.unlink(self._file_of(pruned.shard, pruned.version))
+                except FileNotFoundError:
+                    pass
+
+    def latest(self, shard: int) -> Optional[ShardCheckpoint]:
+        held = self._by_shard.get(shard)
+        return held[-1] if held else None
+
+    def latest_version(self, shard: int) -> Optional[int]:
+        checkpoint = self.latest(shard)
+        return checkpoint.version if checkpoint is not None else None
+
+    def load(self, shard: int, version: int) -> ShardCheckpoint:
+        """Fetch one checkpoint for restore; only the latest is loadable.
+
+        A superseded version is rejected with :class:`StaleCheckpointError`:
+        the write-ahead log before the newer cut has been truncated, so an
+        older restore point could never be replayed up to the present.
+        """
+        latest = self.latest(shard)
+        if latest is None:
+            raise CheckpointError(f"no checkpoints stored for shard {shard}")
+        if version < latest.version:
+            raise StaleCheckpointError(
+                f"checkpoint v{version} for shard {shard} is stale: "
+                f"v{latest.version} superseded it and the replay log before "
+                f"its cut was truncated; restore from v{latest.version}"
+            )
+        if version > latest.version:
+            raise CheckpointError(
+                f"checkpoint v{version} for shard {shard} was never stored "
+                f"(latest is v{latest.version})"
+            )
+        return latest
+
+    def shards(self) -> list[int]:
+        return sorted(self._by_shard)
+
+    def versions(self, shard: int) -> list[int]:
+        return [ckpt.version for ckpt in self._by_shard.get(shard, ())]
+
+    def describe(self) -> str:
+        lines = [
+            f"CheckpointStore({self.path or 'memory'}, "
+            f"keep_last={self.keep_last})"
+        ]
+        for shard in self.shards():
+            latest = self.latest(shard)
+            lines.append(
+                f"  shard {shard}: versions {self.versions(shard)}, latest "
+                f"v{latest.version} carries {len(latest.components)} "
+                f"components / state={latest.state_carried} at position "
+                f"{latest.position}"
+            )
+        return "\n".join(lines)
+
+
+# -- worker-side capture / restore ---------------------------------------------------
+
+
+def capture_manifest(runtime, version: int) -> dict:
+    """Snapshot every live component of a worker's runtime (non-destructive).
+
+    Runs on the worker, between two data frames (the command queue is the
+    serialization point, so the cut is exact).  Groups active queries into
+    connected components, serializes each via the runtime's
+    :meth:`~repro.runtime.runtime.QueryRuntime.checkpoint_component` +
+    :func:`~repro.shard.wire.encode_transfer`, and side-channels captured
+    histories owned by no live component.  Returns the wire manifest
+    payload (:func:`~repro.shard.wire.encode_manifest`).
+    """
+    seen: set = set()
+    components = []
+    for query_id in runtime.active_queries:
+        if query_id in seen:
+            continue
+        transfer = runtime.checkpoint_component(query_id)
+        query_ids = sorted(transfer.query_ids)
+        seen.update(query_ids)
+        # A component's blob may also carry captured history for *retired*
+        # queries whose instances still attribute its merged m-ops; those
+        # histories ride the blob and must not ride captured_extra too.
+        seen.update(transfer.captured)
+        components.append(
+            {
+                "queries": query_ids,
+                "blob": encode_transfer(transfer),
+                "state_carried": transfer.state_carried,
+                "captured_offsets": {
+                    moved_id: len(history)
+                    for moved_id, history in transfer.captured.items()
+                },
+            }
+        )
+    captured_extra = {
+        query_id: list(history)
+        for query_id, history in runtime.captured.items()
+        if query_id not in seen
+    }
+    return encode_manifest(
+        version, runtime.cursor, components, captured_extra, runtime.stats
+    )
+
+
+def apply_restore(runtime, payload: dict) -> dict:
+    """Re-seed a fresh worker runtime from a checkpoint's restore payload.
+
+    Imports every component blob (building fresh executors and restoring
+    their state snapshots), re-homes the orphan captured histories, and
+    resets the runtime's stream cursor to the checkpoint cut — replay of
+    the log suffix then continues the count exactly where the dead
+    incarnation left it.
+    """
+    restored: list = []
+    state_restored = 0
+    for blob in payload["components"]:
+        transfer = decode_transfer(blob)
+        migration = runtime.import_component(transfer)
+        state_restored += migration.state_carried
+        restored.extend(transfer.query_ids)
+    extra = payload["captured_extra"]
+    if isinstance(extra, bytes):
+        extra = pickle.loads(extra)
+    for query_id, history in extra.items():
+        runtime.engine.captured.setdefault(query_id, []).extend(history)
+    stats = payload.get("stats")
+    if isinstance(stats, bytes):
+        stats = pickle.loads(stats)
+    if stats is not None:
+        # The cut's cumulative counters replace the fresh runtime's: replay
+        # of the log suffix then accumulates on top, exactly as the dead
+        # incarnation would have.
+        runtime.stats = stats
+    runtime.cursor.clear()
+    runtime.cursor.update(payload["cursor"])
+    return {"queries": sorted(restored), "state_restored": state_restored}

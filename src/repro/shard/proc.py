@@ -35,17 +35,51 @@ donor's window/sequence state.  If the import fails — including the
 receiver dying mid-import — the coordinator re-imports the still-held blob
 into the donor, so the component is never lost and never duplicated.
 
+Durability and checkpoints
+--------------------------
+
+With ``durable=True`` the coordinator keeps a per-shard **write-ahead log**
+(:class:`~repro.shard.checkpoint.ShardLog`): every data run and every
+applied lifecycle command shipped to a worker, in order.  With
+``checkpoint_every=N`` it additionally initiates a **checkpoint round**
+every ``N`` batches: a ``checkpoint`` command is enqueued to every worker
+(so each worker snapshots at an exact point in its own frame order — the
+consistency cut), and the replies are collected **pipelined**: the
+coordinator keeps serving data and lifecycle traffic while snapshots are
+in flight, stashing manifest replies that arrive during other RPCs and
+polling the rest on later batch boundaries.  A collected manifest becomes a
+versioned :class:`~repro.shard.checkpoint.ShardCheckpoint` in the
+:class:`~repro.shard.checkpoint.CheckpointStore` (per-component transfer
+blobs + stream cursors), and the shard's log is truncated to the cut — the
+log suffix past the newest checkpoint is exactly the recovery replay
+window.
+
 Failure semantics
 -----------------
 
-A worker that dies (detected via its exit code when an RPC times out) is
-respawned with a **fresh incarnation**: a new id range
-(:mod:`repro.core.idspace`), a replay of all schema frames, and a
-re-registration of every query the coordinator's catalog places on that
-shard.  Queries stay registered and keep producing from the respawn point
-on; operator state accumulated by the dead incarnation is lost (documented
-at-least-serving semantics).  Components in flight during the crash roll
-back to their donor with state intact.
+A worker that dies (detected via its exit code when an RPC times out, a
+checkpoint collection notices, or :meth:`ProcessShardedRuntime.heartbeat`
+scans it) is respawned with a **fresh incarnation**: a new id range
+(:mod:`repro.core.idspace`) and a replay of all schema frames.  What
+happens next depends on durability:
+
+- **durable**: the worker is restored from its latest stored checkpoint
+  (``restore`` command — components re-imported with executor state
+  re-seeded, captured histories re-homed, stream cursor reset to the cut),
+  then the write-ahead-log suffix is replayed — lifecycle commands
+  re-applied and source runs re-shipped in their original order — so the
+  respawned worker's outputs are **byte-identical** to a never-crashed
+  serve.  Without a completed checkpoint the replay starts from the log's
+  origin (blank re-registration + full replay).
+- **non-durable** (the PR-4 default): every catalog query is re-registered
+  blank; operator state accumulated by the dead incarnation is lost
+  (at-least-serving semantics).
+
+Either way the recovery emits a structured
+:class:`~repro.shard.checkpoint.RecoveryReport` (``recovery_log``,
+``logging`` warning on state loss) — state is never dropped silently.
+Components in flight during the crash roll back to their donor with state
+intact.
 
 Determinism
 -----------
@@ -61,9 +95,11 @@ outputs across random churn schedules with mid-stream rebalances.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import queue as queue_module
+import time
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -72,16 +108,32 @@ from typing import Optional, Sequence, Union
 
 from repro.core.idspace import reseed_identifiers, worker_id_base
 from repro.engine.metrics import RunStats
-from repro.errors import LifecycleError, QueryLanguageError, RumorError
+from repro.errors import (
+    CheckpointError,
+    LifecycleError,
+    QueryLanguageError,
+    RumorError,
+)
 from repro.lang.ast import LogicalQuery
 from repro.runtime.runtime import QueryRuntime
+from repro.shard.checkpoint import (
+    CheckpointStore,
+    ComponentCheckpoint,
+    RecoveryReport,
+    ShardCheckpoint,
+    ShardLog,
+    apply_restore,
+    capture_manifest,
+)
 from repro.shard.engine import fork_available
 from repro.shard.wire import (
+    CHECKPOINT,
     ERR,
     OK,
     REBALANCE,
     REGISTER,
     REOPTIMIZE,
+    RESTORE,
     RUN,
     SCHEMA,
     SNAPSHOT,
@@ -92,6 +144,7 @@ from repro.shard.wire import (
     WireDecoder,
     WireEncoder,
     decode_command,
+    decode_manifest,
     decode_reply,
     decode_transfer,
     encode_command,
@@ -102,6 +155,8 @@ from repro.streams.channel import Channel, ChannelTuple
 from repro.streams.schema import Schema
 from repro.streams.stream import StreamDef
 from repro.streams.tuples import StreamTuple
+
+logger = logging.getLogger(__name__)
 
 
 class WorkerCrashError(RumorError):
@@ -119,11 +174,15 @@ class WorkerFaults:
     ``crash_on`` names the command kind and its 1-based occurrence count at
     which the worker hard-exits (``os._exit``) — rebalance commands are
     split into ``"rebalance-out"`` and ``"rebalance-in"`` so the two phases
-    are injectable independently.  ``when`` selects whether the crash fires
-    before the command is applied or after it is applied but before the
-    reply is sent (the nastier window: the coordinator cannot tell the two
-    apart).  Faults are armed only for a shard's first incarnation unless
-    ``rearm`` is set, so crash recovery does not immediately re-crash.
+    are injectable independently, and the pseudo-kind ``"data"`` counts
+    ``run`` frames, so a crash can land *mid-stream* between two data
+    batches where no RPC is watching.  ``when`` selects whether the crash
+    fires before the command (or run frame) is applied or after it is
+    applied but before the reply is sent (the nastier window: the
+    coordinator cannot tell the two apart; for ``"checkpoint"`` this is a
+    crash during the snapshot reply).  Faults are armed only for a shard's
+    first incarnation unless ``rearm`` is set, so crash recovery does not
+    immediately re-crash.
     """
 
     crash_on: Optional[tuple[str, int]] = None
@@ -143,11 +202,15 @@ class WorkerFaults:
 class FrameFaults:
     """Seed-driven drop/duplicate injection for command frames.
 
-    Applied on the coordinator's send path (data frames are never touched —
-    the protocol recovers commands via retransmission and deduplication,
-    while data loss would silently change outputs, which must fail loudly
-    instead).  Counters record what the harness actually did so tests can
-    assert the chaos really happened.
+    Applied on the coordinator's send path.  Two frame classes are exempt
+    by design: **data frames** (loss would silently change outputs, which
+    must fail loudly instead) and **checkpoint frames** (their position in
+    the worker's queue *is* the consistency cut — a dropped-then-
+    retransmitted checkpoint command would snapshot at a later cut than the
+    coordinator recorded, which the cursor cross-check rejects as protocol
+    corruption).  Every other command recovers via retransmission plus
+    sequence-number deduplication.  Counters record what the harness
+    actually did so tests can assert the chaos really happened.
     """
 
     seed: int = 0
@@ -234,6 +297,10 @@ def _apply_command(runtime: QueryRuntime, kind: str, payload):
             runtime.import_component(transfer)
             return {"queries": transfer.query_ids}
         raise LifecycleError(f"unknown rebalance action {action!r}")
+    if kind == CHECKPOINT:
+        return capture_manifest(runtime, payload["version"])
+    if kind == RESTORE:
+        return apply_restore(runtime, payload)
     if kind == STATS:
         return runtime.stats
     if kind == SNAPSHOT:
@@ -287,6 +354,13 @@ def _worker_main(
         if kind == STOP:
             return
         if kind == SCHEMA or kind == RUN:
+            crashing = False
+            if kind == RUN and faults is not None:
+                count = counts.get("data", 0) + 1
+                counts["data"] = count
+                crashing = faults.matches("data", count)
+                if crashing and faults.when == "before":
+                    os._exit(faults.exit_code)
             decoded = decoder.decode(frame)
             if decoded is not None:
                 channel, batch = decoded
@@ -296,6 +370,8 @@ def _worker_main(
                 runtime.process_batch(
                     stream.name, [channel_tuple.tuple for channel_tuple in batch]
                 )
+            if crashing and faults.when == "after":
+                os._exit(faults.exit_code)
             continue
         kind, seq, payload = decode_command(frame)
         fault_kind = kind if kind != REBALANCE else f"rebalance-{payload[0]}"
@@ -348,6 +424,9 @@ class ProcessShardedRuntime:
         max_retries: int = 30,
         faults: Optional[FrameFaults] = None,
         worker_faults: Optional[dict[int, WorkerFaults]] = None,
+        durable: bool = False,
+        checkpoint_every: int = 0,
+        store: Optional[CheckpointStore] = None,
     ):
         if n_shards < 1:
             raise LifecycleError(f"n_shards must be at least 1, got {n_shards}")
@@ -356,12 +435,54 @@ class ProcessShardedRuntime:
                 "ProcessShardedRuntime requires the fork start method; "
                 "use ShardedRuntime on this platform"
             )
+        if checkpoint_every < 0:
+            raise LifecycleError(
+                f"checkpoint_every must be non-negative, got {checkpoint_every}"
+            )
         self.n_shards = n_shards
         self.max_batch = max_batch
         self.command_timeout = command_timeout
         self.max_retries = max_retries
         self.faults = faults
         self._worker_faults = dict(worker_faults or {})
+        # Checkpointing implies durability: a checkpoint without the log
+        # suffix behind it could not be replayed to the present.
+        self.durable = durable or checkpoint_every > 0 or store is not None
+        self.checkpoint_every = checkpoint_every
+        self.store = (
+            store if store is not None
+            else (CheckpointStore() if self.durable else None)
+        )
+        # A reopened on-disk store may hold a *previous run's* checkpoints.
+        # Those are foreign to this serve: their versions seed ours (so new
+        # rounds supersede instead of colliding) but they are never
+        # restorable — this run's recovery floor starts above them.
+        self._ckpt_floor = (
+            max(
+                (
+                    self.store.latest_version(shard) or 0
+                    for shard in self.store.shards()
+                ),
+                default=0,
+            )
+            if self.store is not None
+            else 0
+        )
+        self._wal: Optional[list[ShardLog]] = (
+            [ShardLog() for __ in range(n_shards)] if self.durable else None
+        )
+        #: Per-shard, per-stream shipped-event counts — the coordinator's
+        #: view of each worker's stream cursor, cross-checked against every
+        #: checkpoint manifest.
+        self._shipped: list[dict[str, int]] = [{} for __ in range(n_shards)]
+        self._batches = 0
+        self._ckpt_version = self._ckpt_floor
+        self._pending_ckpt: Optional[dict] = None
+        #: Per-shard checkpoints stored / rounds that lost a shard.
+        self.checkpoints_stored = 0
+        self.checkpoint_failures = 0
+        #: Structured per-recovery accounts, in order (silent-loss fix).
+        self.recovery_log: list[RecoveryReport] = []
         self._options = _WorkerOptions(
             capture_outputs=capture_outputs,
             track_latency=track_latency,
@@ -514,7 +635,11 @@ class ProcessShardedRuntime:
                 continue
             reply_seq, status, result = decode_reply(reply)
             if reply_seq != seq:
-                continue  # stale reply of a duplicated earlier command
+                # Either a pipelined checkpoint manifest landing between two
+                # synchronous commands (route it to the pending round) or a
+                # stale reply of a duplicated earlier command (drop it).
+                self._stash_checkpoint_reply(shard, reply_seq, status, result)
+                continue
             if status == OK:
                 return result
             raise WorkerCommandError(f"shard {shard} {kind} failed: {result}")
@@ -527,23 +652,292 @@ class ProcessShardedRuntime:
             self._recover(shard)
             return self._rpc(shard, kind, payload)
 
-    def _recover(self, shard: int) -> None:
-        """Respawn a dead worker and re-register its catalog queries.
+    def _recover(self, shard: int) -> RecoveryReport:
+        """Respawn a dead worker and bring it back to the present.
 
-        Operator state and captured history accumulated by the dead
-        incarnation are lost; serving resumes from the respawn point.
+        Durable mode restores the shard's latest checkpoint (executor state
+        re-seeded, captured histories re-homed, cursor reset to the cut) and
+        replays the write-ahead-log suffix — lifecycle commands and source
+        runs in their original order — so the respawned worker is
+        byte-identical to one that never crashed.  Non-durable mode blank
+        re-registers the catalog queries, dropping the dead incarnation's
+        operator state.  Either way a structured :class:`RecoveryReport` is
+        appended to :attr:`recovery_log` and emitted through ``logging``.
         """
         old = self._workers[shard]
         old.process.join(timeout=2.0)
+        started = time.perf_counter()
+        # A snapshot in flight on the dead worker can never complete; its
+        # round proceeds without this shard (older version retained).
+        self._cancel_pending_checkpoint(shard)
         handle = self._spawn(shard)
         self._workers[shard] = handle
         for frame in self._schema_frames:
             handle.commands.put(frame)
-        for query_id, owner in self._query_shard.items():
-            if owner == shard:
-                self._rpc(shard, REGISTER, self._queries[query_id])
+        self._shipped[shard] = {}
+        report = RecoveryReport(
+            shard=shard,
+            incarnation=handle.incarnation,
+            durable=self.durable,
+            checkpoint_version=None,
+        )
+        if self.durable:
+            checkpoint = self.store.latest(shard)
+            if checkpoint is not None and checkpoint.version <= self._ckpt_floor:
+                # A previous run's checkpoint: foreign state, never restored
+                # into this serve (this run's write-ahead log starts empty,
+                # so replay-from-origin is the correct recovery).
+                checkpoint = None
+            if checkpoint is not None:
+                report.checkpoint_version = checkpoint.version
+                restored = self._rpc(
+                    shard,
+                    RESTORE,
+                    {
+                        "components": [
+                            component.blob
+                            for component in checkpoint.components
+                        ],
+                        "captured_extra": checkpoint.captured_extra,
+                        "stats": checkpoint.stats,
+                        "cursor": dict(checkpoint.cursor),
+                    },
+                )
+                report.queries_restored = restored["queries"]
+                report.state_restored = restored["state_restored"]
+                self._shipped[shard] = dict(checkpoint.cursor)
+                position = checkpoint.position
+            else:
+                position = self._wal[shard].start
+            for entry in self._wal[shard].entries_from(position):
+                kind = entry[0]
+                if kind == "data":
+                    __, stream_name, chunk = entry
+                    self._ship_run(stream_name, chunk, (shard,))
+                    report.tuples_replayed += len(chunk)
+                elif kind == "register":
+                    self._rpc(shard, REGISTER, entry[1])
+                    report.queries_replayed.append(entry[1].query_id)
+                    report.lifecycle_replayed += 1
+                elif kind == "unregister":
+                    self._rpc(shard, UNREGISTER, entry[1])
+                    report.lifecycle_replayed += 1
+                elif kind == "reoptimize":
+                    self._rpc(shard, REOPTIMIZE)
+                    report.lifecycle_replayed += 1
+                elif kind == "import":
+                    self._rpc(shard, REBALANCE, ("in", entry[1]))
+                    report.lifecycle_replayed += 1
+                elif kind == "export":
+                    # Replayed components leave again; the live copy is on
+                    # the shard the original rebalance moved it to.
+                    self._rpc(shard, REBALANCE, ("out", entry[1]))
+                    report.lifecycle_replayed += 1
+                else:
+                    raise CheckpointError(
+                        f"unknown write-ahead-log entry kind {kind!r}"
+                    )
+        else:
+            for query_id, owner in self._query_shard.items():
+                if owner == shard:
+                    self._rpc(shard, REGISTER, self._queries[query_id])
+                    report.queries_lost_state.append(query_id)
+        report.elapsed_seconds = time.perf_counter() - started
+        self.recovery_log.append(report)
+        if report.state_lost:
+            logger.warning("%s", report)
+        else:
+            logger.info("%s", report)
         self.crash_recoveries += 1
         self._route_cache.clear()
+        return report
+
+    # -- checkpoints -----------------------------------------------------------------
+
+    def checkpoint(self, wait: bool = True) -> int:
+        """Initiate a checkpoint round across every worker.
+
+        Enqueues one ``checkpoint`` command per worker (the command's
+        position in each worker's frame order is the consistency cut) and
+        returns the round's version.  With ``wait=False`` the snapshots are
+        collected pipelined — on later batch boundaries, during other RPCs,
+        or by :meth:`collect_checkpoints` — so serving never stalls on
+        checkpoint capture.
+        """
+        if not self.durable:
+            raise CheckpointError(
+                "checkpointing requires a durable runtime "
+                "(durable=True / checkpoint_every > 0)"
+            )
+        self._ensure_started()
+        version = self._initiate_checkpoint()
+        if wait:
+            self.collect_checkpoints()
+        return version
+
+    def collect_checkpoints(self) -> None:
+        """Block until no checkpoint round is pending (crash-recovering)."""
+        while self._pending_ckpt is not None:
+            pending = self._pending_ckpt
+            shard, entry = next(iter(pending["shards"].items()))
+            handle = self._workers[shard]
+            try:
+                reply = handle.replies.get(timeout=self.command_timeout)
+            except queue_module.Empty:
+                if handle.process.exitcode is not None:
+                    self._recover(shard)
+                    continue
+                entry["retries"] += 1
+                if entry["retries"] > self.max_retries:
+                    raise LifecycleError(
+                        f"shard {shard} did not acknowledge checkpoint "
+                        f"v{pending['version']} after {entry['retries']} "
+                        f"attempts"
+                    ) from None
+                # Safe retransmit: the original frame was delivered (the
+                # reliable path never drops), so the first copy already
+                # fixed the cut; a duplicate is answered from the worker's
+                # reply cache.
+                handle.commands.put(entry["frame"])
+                continue
+            reply_seq, status, result = decode_reply(reply)
+            if reply_seq == entry["seq"]:
+                self._finish_shard_checkpoint(shard, status, result)
+            # else: stale duplicate of an already-acknowledged command.
+
+    def _initiate_checkpoint(self) -> int:
+        # One round in flight at a time: a new cut only makes sense once
+        # the previous one has fully landed (or its shard died).
+        if self._pending_ckpt is not None:
+            self.collect_checkpoints()
+        self._ckpt_version += 1
+        version = self._ckpt_version
+        shards: dict[int, dict] = {}
+        for shard in range(self.n_shards):
+            self._seq += 1
+            frame = encode_command(CHECKPOINT, self._seq, {"version": version})
+            shards[shard] = {
+                "seq": self._seq,
+                "frame": frame,
+                "position": self._wal[shard].end,
+                "expected_cursor": dict(self._shipped[shard]),
+                "retries": 0,
+            }
+            # Bypass FrameFaults: a checkpoint command's queue position IS
+            # the cut it records, so it ships on the reliable path like the
+            # data frames it cuts between (see FrameFaults).
+            self._workers[shard].commands.put(frame)
+        self._pending_ckpt = {"version": version, "shards": shards}
+        return version
+
+    def _poll_checkpoint(self) -> None:
+        """Non-blocking sweep for pipelined checkpoint replies."""
+        pending = self._pending_ckpt
+        if pending is None:
+            return
+        for shard in list(pending["shards"]):
+            entry = pending["shards"].get(shard)
+            if entry is None or self._pending_ckpt is not pending:
+                break
+            handle = self._workers[shard]
+            while True:
+                try:
+                    reply = handle.replies.get_nowait()
+                except queue_module.Empty:
+                    break
+                reply_seq, status, result = decode_reply(reply)
+                if reply_seq == entry["seq"]:
+                    self._finish_shard_checkpoint(shard, status, result)
+                    break
+                # else: stale duplicate — drop.
+
+    def _stash_checkpoint_reply(
+        self, shard: int, reply_seq: int, status: str, result
+    ) -> bool:
+        pending = self._pending_ckpt
+        if pending is None:
+            return False
+        entry = pending["shards"].get(shard)
+        if entry is None or entry["seq"] != reply_seq:
+            return False
+        self._finish_shard_checkpoint(shard, status, result)
+        return True
+
+    def _finish_shard_checkpoint(self, shard: int, status: str, result) -> None:
+        pending = self._pending_ckpt
+        entry = pending["shards"].pop(shard)
+        if not pending["shards"]:
+            self._pending_ckpt = None
+        if status != OK:
+            # The worker is alive but could not snapshot; it keeps serving
+            # on its previous checkpoint (recovery replays a longer suffix).
+            self.checkpoint_failures += 1
+            logger.warning(
+                "shard %d failed checkpoint v%d: %s",
+                shard, pending["version"], result,
+            )
+            return
+        manifest = decode_manifest(result)
+        if manifest["cursor"] != entry["expected_cursor"]:
+            raise CheckpointError(
+                f"shard {shard} checkpoint v{pending['version']} cursor "
+                f"mismatch: worker processed {manifest['cursor']}, "
+                f"coordinator shipped {entry['expected_cursor']} before the "
+                f"cut — the protocol's ordering guarantee is broken"
+            )
+        checkpoint = ShardCheckpoint(
+            shard=shard,
+            version=pending["version"],
+            position=entry["position"],
+            cursor=manifest["cursor"],
+            components=tuple(
+                ComponentCheckpoint(
+                    query_ids=tuple(component["queries"]),
+                    blob=component["blob"],
+                    state_carried=component["state_carried"],
+                    captured_offsets=component["captured_offsets"],
+                )
+                for component in manifest["components"]
+            ),
+            captured_extra=manifest["captured_extra"],
+            stats=manifest["stats"],
+        )
+        self.store.put(checkpoint)
+        # Everything before the cut is now redundant: restore + suffix
+        # replay reconstructs the present without it.
+        self._wal[shard].truncate_to(entry["position"])
+        self.checkpoints_stored += 1
+
+    def _cancel_pending_checkpoint(self, shard: int) -> None:
+        pending = self._pending_ckpt
+        if pending is None:
+            return
+        if pending["shards"].pop(shard, None) is not None:
+            self.checkpoint_failures += 1
+        if not pending["shards"]:
+            self._pending_ckpt = None
+
+    def wal_span(self, shard: int) -> tuple[int, int]:
+        """Retained write-ahead-log window ``(start, end)`` for a shard."""
+        if not self.durable:
+            raise CheckpointError("runtime is not durable: no write-ahead log")
+        log = self._wal[shard]
+        return log.start, log.end
+
+    def heartbeat(self) -> None:
+        """Non-blocking health pass: collect pipelined checkpoint replies
+        and recover any dead worker.
+
+        Data frames are fire-and-forget, so a worker that dies mid-stream
+        is otherwise only noticed at the next synchronous RPC; drivers call
+        this on batch boundaries to bound that detection window.
+        """
+        if not self._started or self._closed:
+            return
+        self._poll_checkpoint()
+        for shard, handle in enumerate(self._workers):
+            if handle is not None and handle.process.exitcode is not None:
+                self._recover(shard)
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -607,6 +1001,8 @@ class ProcessShardedRuntime:
                 f"shard {shard} out of range (n_shards={self.n_shards})"
             )
         result = self._rpc_recovering(shard, REGISTER, logical)
+        if self.durable:
+            self._wal[shard].append(("register", logical))
         self._queries[logical.query_id] = logical
         self._query_shard[logical.query_id] = shard
         self._route_cache.clear()
@@ -616,6 +1012,8 @@ class ProcessShardedRuntime:
         self._ensure_started()
         shard = self.shard_of(query_id)
         result = self._rpc_recovering(shard, UNREGISTER, query_id)
+        if self.durable:
+            self._wal[shard].append(("unregister", query_id))
         del self._query_shard[query_id]
         del self._queries[query_id]
         self._route_cache.clear()
@@ -624,9 +1022,12 @@ class ProcessShardedRuntime:
     def reoptimize(self, shard: Optional[int] = None) -> list[dict]:
         self._ensure_started()
         shards = range(self.n_shards) if shard is None else [shard]
-        return [
-            self._rpc_recovering(index, REOPTIMIZE) for index in shards
-        ]
+        results = []
+        for index in shards:
+            results.append(self._rpc_recovering(index, REOPTIMIZE))
+            if self.durable:
+                self._wal[index].append(("reoptimize", None))
+        return results
 
     # -- rebalance -------------------------------------------------------------------
 
@@ -651,12 +1052,19 @@ class ProcessShardedRuntime:
         try:
             exported = self._rpc(from_shard, REBALANCE, ("out", query_id))
         except WorkerCrashError:
-            # The donor died exporting; its state is gone either way, so
-            # recovery (respawn + re-register) is the best serving outcome.
-            self._recover(from_shard)
+            # The donor died exporting.  No export entry was logged (the
+            # reply never arrived), so durable recovery restores the
+            # component onto the donor with state intact; without
+            # durability the respawn re-registers its queries blank.
+            report = self._recover(from_shard)
+            detail = (
+                "its queries were re-registered in place (state lost)"
+                if report.state_lost
+                else "its component was restored in place from checkpoint "
+                "+ log replay, state intact"
+            )
             raise LifecycleError(
-                f"shard {from_shard} crashed during export; its queries "
-                f"were re-registered in place"
+                f"shard {from_shard} crashed during export; {detail}"
             ) from None
         blob = exported["blob"]
         try:
@@ -673,6 +1081,13 @@ class ProcessShardedRuntime:
             self._rpc(from_shard, REBALANCE, ("in", blob))
             self._route_cache.clear()
             raise
+        if self.durable:
+            # A rolled-back rebalance is a net no-op and records nothing;
+            # a successful one is two log entries: the component leaves the
+            # donor's timeline and enters the receiver's, blob included —
+            # replaying either shard reproduces the move exactly.
+            self._wal[from_shard].append(("export", query_id))
+            self._wal[to_shard].append(("import", blob))
         for moved_id in exported["queries"]:
             self._query_shard[moved_id] = to_shard
         self._route_cache.clear()
@@ -707,6 +1122,12 @@ class ProcessShardedRuntime:
         boundaries.  The returned stats carry coordinator-side input
         accounting only — per-query outputs accumulate in the workers and
         surface through :meth:`collect_stats` / :attr:`captured`.
+
+        Durable runtimes record each shipped run in the consuming shards'
+        write-ahead logs, and batch boundaries double as the checkpoint
+        schedule: every ``checkpoint_every`` batches a new round is
+        initiated, with earlier rounds' snapshot replies collected
+        non-blockingly along the way.
         """
         shards = self._consumers_of(stream_name)
         batch_stats = RunStats()
@@ -716,24 +1137,40 @@ class ProcessShardedRuntime:
         if not tuples or not shards:
             return batch_stats
         self._ensure_started()
+        self._poll_checkpoint()
+        start = 0
+        while start < len(tuples):
+            chunk = list(tuples[start : start + self.max_batch])
+            start += self.max_batch
+            self._ship_run(stream_name, chunk, shards)
+            if self.durable:
+                for shard in shards:
+                    self._wal[shard].append(("data", stream_name, chunk))
+        self._batches += 1
+        if self.checkpoint_every and self._batches % self.checkpoint_every == 0:
+            self._initiate_checkpoint()
+        return batch_stats
+
+    def _ship_run(
+        self, stream_name: str, chunk: Sequence[StreamTuple], shards
+    ) -> None:
+        """Encode one run and put its frames on the target shards' queues."""
         channel = self._channels[stream_name]
         bit = 1 << channel.position_of(self.streams[stream_name])
-        encoded = [ChannelTuple(tuple_, bit) for tuple_ in tuples]
-        start = 0
-        while start < len(encoded):
-            run = encoded[start : start + self.max_batch]
-            start += self.max_batch
-            for frame in self._encoder.encode_run(channel, run):
-                if frame[0] == SCHEMA:
-                    # Broadcast + record, so respawned workers can replay
-                    # the interning state before their first run frame.
-                    self._schema_frames.append(frame)
-                    for handle in self._workers:
-                        handle.commands.put(frame)
-                else:
-                    for shard in shards:
-                        self._workers[shard].commands.put(frame)
-        return batch_stats
+        encoded = [ChannelTuple(tuple_, bit) for tuple_ in chunk]
+        for frame in self._encoder.encode_run(channel, encoded):
+            if frame[0] == SCHEMA:
+                # Broadcast + record, so respawned workers can replay
+                # the interning state before their first run frame.
+                self._schema_frames.append(frame)
+                for handle in self._workers:
+                    handle.commands.put(frame)
+            else:
+                for shard in shards:
+                    self._workers[shard].commands.put(frame)
+        for shard in shards:
+            counts = self._shipped[shard]
+            counts[stream_name] = counts.get(stream_name, 0) + len(chunk)
 
     # -- introspection ---------------------------------------------------------------
 
@@ -795,6 +1232,13 @@ class ProcessShardedRuntime:
             f"loads={self.shard_loads()}, rebalances={self.rebalances}, "
             f"recoveries={self.crash_recoveries}"
         ]
+        if self.durable:
+            spans = [self.wal_span(shard) for shard in range(self.n_shards)]
+            lines.append(
+                f"   durable: checkpoint_every={self.checkpoint_every} "
+                f"batches, {self.checkpoints_stored} checkpoints stored "
+                f"({self.checkpoint_failures} failures), wal spans={spans}"
+            )
         for shard, entry in enumerate(self.snapshot()):
             handle = self._workers[shard]
             lines.append(

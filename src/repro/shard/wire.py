@@ -30,7 +30,8 @@ transport (:mod:`repro.shard.proc`)::
     ("reply", seq, "ok"|"err", bytes)     # worker -> coordinator
 
 ``kind`` is one of :data:`COMMAND_KINDS` (register / unregister /
-reoptimize / rebalance / stats / snapshot).  Payloads are explicit pickle
+reoptimize / rebalance / stats / snapshot / checkpoint / restore).
+Payloads are explicit pickle
 blobs, so a frame is always a flat tuple of primitives + bytes: the
 fault-injection harness can drop or duplicate a command frame without
 understanding its payload, and the sequence number gives workers exactly-
@@ -52,7 +53,7 @@ from __future__ import annotations
 import pickle
 from typing import Iterable, Sequence
 
-from repro.errors import ChannelError
+from repro.errors import ChannelError, CheckpointError
 from repro.streams.channel import Channel, ChannelTuple
 from repro.streams.schema import Attribute, Schema
 from repro.streams.tuples import StreamTuple
@@ -71,10 +72,21 @@ REOPTIMIZE = "reoptimize"
 REBALANCE = "rebalance"
 STATS = "stats"
 SNAPSHOT = "snapshot"
+CHECKPOINT = "checkpoint"
+RESTORE = "restore"
 REPLY = "reply"
 
 COMMAND_KINDS = frozenset(
-    {REGISTER, UNREGISTER, REOPTIMIZE, REBALANCE, STATS, SNAPSHOT}
+    {
+        REGISTER,
+        UNREGISTER,
+        REOPTIMIZE,
+        REBALANCE,
+        STATS,
+        SNAPSHOT,
+        CHECKPOINT,
+        RESTORE,
+    }
 )
 
 #: Reply statuses.
@@ -161,6 +173,92 @@ def decode_transfer(data: bytes):
         state_carried=payload["state_carried"],
         state=payload["state"],
     )
+
+
+#: Required keys of a checkpoint manifest payload (the ``checkpoint``
+#: command's reply), and of each of its component entries.
+_MANIFEST_KEYS = frozenset(
+    {"version", "cursor", "components", "captured_extra", "stats"}
+)
+_COMPONENT_KEYS = frozenset({"queries", "blob", "state_carried", "captured_offsets"})
+
+
+def encode_manifest(
+    version: int,
+    cursor: dict,
+    components: Sequence[dict],
+    captured_extra: dict,
+    stats=None,
+) -> dict:
+    """Build a checkpoint manifest payload (flat primitives + bytes).
+
+    A manifest is a worker's reply to a ``checkpoint`` command: the
+    checkpoint round's ``version``, the worker's **stream cursor** (source
+    stream name → events processed, the consistency cut the coordinator
+    cross-checks against its own shipped counts), one entry per live
+    component (its query ids, the :func:`encode_transfer` blob, the operator
+    state it carries and per-query captured-history offsets at the cut), a
+    pickled side-channel of captured histories owned by no live component
+    (queries unregistered since their last output, whose histories must
+    still survive a restore), and the worker's cumulative ``RunStats`` at
+    the cut — restoring them keeps post-recovery aggregate counters
+    identical to a never-crashed serve.
+    """
+    return {
+        "version": int(version),
+        "cursor": {str(name): int(count) for name, count in cursor.items()},
+        "components": [
+            {
+                "queries": tuple(component["queries"]),
+                "blob": component["blob"],
+                "state_carried": int(component["state_carried"]),
+                "captured_offsets": dict(component["captured_offsets"]),
+            }
+            for component in components
+        ],
+        "captured_extra": pickle.dumps(
+            captured_extra, protocol=pickle.HIGHEST_PROTOCOL
+        ),
+        "stats": pickle.dumps(stats, protocol=pickle.HIGHEST_PROTOCOL),
+    }
+
+
+def decode_manifest(payload: dict) -> dict:
+    """Validate and normalize a checkpoint manifest payload.
+
+    Raises :class:`~repro.errors.CheckpointError` on a malformed manifest —
+    a corrupt checkpoint must fail loudly at capture time, never at restore
+    time when the state it guards is already gone.  The ``captured_extra``
+    and ``stats`` blobs stay pickled: the coordinator stores them opaquely
+    (only the restoring worker unpickles them), so decoding here would
+    deserialize entire captured histories on the serving path just to
+    throw them away.
+    """
+    if not isinstance(payload, dict) or not _MANIFEST_KEYS <= set(payload):
+        raise CheckpointError(
+            f"malformed checkpoint manifest: expected keys "
+            f"{sorted(_MANIFEST_KEYS)}, got {payload!r:.200}"
+        )
+    for key in ("captured_extra", "stats"):
+        if not isinstance(payload[key], bytes):
+            raise CheckpointError(f"manifest {key} must be pickled bytes")
+    for component in payload["components"]:
+        if not _COMPONENT_KEYS <= set(component):
+            raise CheckpointError(
+                f"malformed manifest component entry: expected keys "
+                f"{sorted(_COMPONENT_KEYS)}, got {sorted(component)}"
+            )
+        if not isinstance(component["blob"], bytes):
+            raise CheckpointError(
+                "manifest component blob must be bytes (encode_transfer output)"
+            )
+    return {
+        "version": payload["version"],
+        "cursor": dict(payload["cursor"]),
+        "components": [dict(component) for component in payload["components"]],
+        "captured_extra": payload["captured_extra"],
+        "stats": payload["stats"],
+    }
 
 
 class WireEncoder:

@@ -32,17 +32,24 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.lang.ast import (
     AggregateNode,
+    JoinNode,
     LogicalQuery,
     SelectNode,
     SequenceNode,
     SourceNode,
 )
-from repro.operators.expressions import attr, lit, right
+from repro.operators.expressions import attr, left, lit, right
 from repro.operators.predicates import Comparison, DurationWithin, conjunction
 from repro.streams.tuples import StreamTuple
 from repro.workloads.synthetic import interleaved_events, synthetic_schema
 
 TEMPLATES = ("select", "sequence", "aggregate")
+
+#: Every template the pool knows; ``templates=`` may name any subset.  The
+#: extra **join** template (``S ⋈ T ON a0 WITHIN w``) holds both window
+#: sides as operator state — the checkpoint/recovery suites use it to cover
+#: the join executor family under churn.
+ALL_TEMPLATES = ("select", "sequence", "aggregate", "join")
 
 
 @dataclass(frozen=True)
@@ -78,6 +85,7 @@ class ChurnWorkload:
         constant_domain: int = 20,
         window_domain: int = 50,
         seed: int = 0,
+        templates: tuple = TEMPLATES,
     ):
         if arrival_rate < 0:
             raise WorkloadError("arrival_rate must be non-negative")
@@ -85,6 +93,14 @@ class ChurnWorkload:
             raise WorkloadError("mean_lifetime must be positive")
         if horizon < 1:
             raise WorkloadError("horizon must be at least 1")
+        if not templates:
+            raise WorkloadError("templates must name at least one template")
+        unknown = [name for name in templates if name not in ALL_TEMPLATES]
+        if unknown:
+            raise WorkloadError(
+                f"unknown templates {unknown}; choose from {ALL_TEMPLATES}"
+            )
+        self.templates = tuple(templates)
         self.arrival_rate = arrival_rate
         self.mean_lifetime = mean_lifetime
         self.horizon = horizon
@@ -103,10 +119,17 @@ class ChurnWorkload:
         rng = np.random.default_rng(self.seed + 1000 + index)
         constant = int(rng.integers(0, self.constant_domain))
         window = int(rng.integers(1, self.window_domain + 1))
-        template = TEMPLATES[index % len(TEMPLATES)]
+        template = self.templates[index % len(self.templates)]
         source = SourceNode("S")
         if template == "select":
             root = SelectNode(source, Comparison(attr("a0"), "==", lit(constant)))
+        elif template == "join":
+            root = JoinNode(
+                source,
+                SourceNode("T"),
+                Comparison(left("a0"), "==", right("a0")),
+                window,
+            )
         elif template == "sequence":
             selected = SelectNode(
                 source, Comparison(attr("a0"), "==", lit(constant))
@@ -297,6 +320,11 @@ def drive_sharded(
 
         policy = QueryCountPolicy()
     applied = 0
+    # Process-mode runtimes expose a non-blocking health pass (collect
+    # pipelined checkpoint replies, recover workers that died mid-stream —
+    # data frames are fire-and-forget, so nothing else would notice until
+    # the next synchronous RPC).  In-process runtimes have no such method.
+    heartbeat = getattr(runtime, "heartbeat", None)
 
     def maybe_rebalance() -> None:
         if not rebalance_every or applied % rebalance_every:
@@ -313,8 +341,12 @@ def drive_sharded(
     # boundary — exactly where a rebalance is safe to interleave.
     for event in drive_batched(runtime, stream_events, churn_events, max_batch):
         applied += 1
+        if heartbeat is not None:
+            heartbeat()
         maybe_rebalance()
         yield event
+    if heartbeat is not None:
+        heartbeat()
 
 
 def _apply(runtime, event: ChurnEvent) -> bool:

@@ -12,6 +12,8 @@ lets hypothesis shrink on the data while the builders stay deterministic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from hypothesis import strategies as st
 
 from repro.core.optimizer import Optimizer
@@ -21,9 +23,10 @@ from repro.operators.expressions import attr, lit, right
 from repro.operators.predicates import Comparison, DurationWithin, conjunction
 from repro.operators.select import Selection
 from repro.operators.sequence import Sequence
+from repro.shard.proc import WorkerFaults
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
-from repro.workloads.churn import ChurnWorkload, drive_sharded
+from repro.workloads.churn import TEMPLATES, ChurnWorkload, drive_sharded
 
 #: The two-attribute schema every generated event uses.
 EVENT_SCHEMA = Schema.of_ints("a0", "a1")
@@ -137,12 +140,15 @@ def churn_workloads(
     max_horizon: int = 400,
     min_initial: int = 4,
     max_initial: int = 7,
+    templates: tuple = TEMPLATES,
 ):
     """Random-but-reproducible Poisson churn schedules (small, CI-sized).
 
     Every draw is a fully deterministic :class:`ChurnWorkload` — the
     randomness lives in the drawn parameters and seed, so failures shrink
-    to a concrete reproducible workload.
+    to a concrete reproducible workload.  ``templates`` selects the query
+    pool (the checkpoint suites pass the 4-template pool including the
+    stateful ``join`` family).
     """
     return st.builds(
         ChurnWorkload,
@@ -151,6 +157,56 @@ def churn_workloads(
         horizon=st.sampled_from([max(200, max_horizon - 200), max_horizon]),
         initial_queries=st.integers(min_initial, max_initial),
         seed=st.integers(0, 10_000),
+        templates=st.just(tuple(templates)),
+    )
+
+
+# -- crash schedules ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """A seeded crash point × checkpoint interval for one durable serve.
+
+    ``kind`` names what the doomed worker is doing when it dies: ``"data"``
+    (mid-stream, between two run frames — no RPC is watching), a lifecycle
+    command (``"register"`` / ``"unregister"``), or ``"checkpoint"`` (the
+    crash lands mid-snapshot).  ``when="after"`` is the nastier half-open
+    window: the work is applied but the reply never leaves.  ``occurrence``
+    is the 1-based count of that kind on the target shard — crash points
+    past the end of a short schedule simply never fire, which is itself a
+    valid draw (the checkpointed serve must stay byte-identical with zero
+    crashes too).
+    """
+
+    shard: int
+    kind: str
+    occurrence: int
+    when: str
+    checkpoint_every: int  # batches between checkpoint rounds; 0 = WAL only
+
+    def worker_faults(self) -> dict:
+        return {
+            self.shard: WorkerFaults(
+                crash_on=(self.kind, self.occurrence), when=self.when
+            )
+        }
+
+
+def crash_schedules(
+    n_shards: int = 2,
+    max_occurrence: int = 40,
+    checkpoint_intervals: tuple = (0, 4, 16),
+):
+    """Seeded crash points × checkpoint intervals (pair with
+    :func:`churn_workloads` for the full crash × churn product)."""
+    return st.builds(
+        CrashSchedule,
+        shard=st.integers(0, n_shards - 1),
+        kind=st.sampled_from(["data", "register", "unregister", "checkpoint"]),
+        occurrence=st.integers(1, max_occurrence),
+        when=st.sampled_from(["before", "after"]),
+        checkpoint_every=st.sampled_from(checkpoint_intervals),
     )
 
 

@@ -1,0 +1,233 @@
+"""Per-operator checkpoint round-trips through the CheckpointStore.
+
+Mirrors ``tests/test_transfer_state.py`` — every stateful operator family's
+state must survive serialization — but through the full checkpoint path:
+non-destructive :meth:`QueryRuntime.checkpoint_component` capture →
+manifest → versioned :class:`CheckpointStore` entry → ``load`` → restore
+into a fresh runtime.  Twice over, in fact: the *donor* runtime must be
+provably unperturbed by the capture (checkpointing cannot stall or skew
+serving), and the *restored* runtime must serve on byte-identically.
+
+Also pins the store's versioning discipline: a stale-version restore is
+rejected with a clear error (the write-ahead log behind a superseded cut
+is truncated, so serving it would be silently wrong), and the on-disk
+store round-trips through a fresh process's view of the same directory.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError, StaleCheckpointError
+from repro.runtime import QueryRuntime
+from repro.shard.checkpoint import (
+    CheckpointStore,
+    ComponentCheckpoint,
+    ShardCheckpoint,
+    ShardLog,
+    capture_manifest,
+    apply_restore,
+)
+from repro.shard.wire import decode_manifest
+from test_transfer_state import QUERIES, SCHEMA, feed
+
+
+def build_runtime(queries):
+    runtime = QueryRuntime({"S": SCHEMA, "T": SCHEMA}, capture_outputs=True)
+    for index, text in enumerate(queries):
+        runtime.register(text, query_id=f"q{index}")
+    if len(queries) > 1:
+        runtime.reoptimize()  # force the merged m-op shape
+    return runtime
+
+
+def fresh_like(runtime) -> QueryRuntime:
+    """A blank runtime sharing the donor's source stream objects (the
+    same contract a forked worker gets)."""
+    restored = QueryRuntime(capture_outputs=True)
+    for stream in runtime.streams.values():
+        restored.adopt_source(stream, runtime.plan.channel_of(stream))
+    return restored
+
+
+def checkpoint_of(runtime, shard=0, version=1, position=0) -> ShardCheckpoint:
+    """Capture a full ShardCheckpoint the way the coordinator does."""
+    payload = capture_manifest(runtime, version)
+    manifest = decode_manifest(payload)
+    return ShardCheckpoint(
+        shard=shard,
+        version=version,
+        position=position,
+        cursor=manifest["cursor"],
+        components=tuple(
+            ComponentCheckpoint(
+                query_ids=tuple(component["queries"]),
+                blob=component["blob"],
+                state_carried=component["state_carried"],
+                captured_offsets=component["captured_offsets"],
+            )
+            for component in manifest["components"]
+        ),
+        captured_extra=payload["captured_extra"],
+        stats=payload["stats"],
+    )
+
+
+def restore_from(checkpoint: ShardCheckpoint, runtime: QueryRuntime) -> dict:
+    return apply_restore(
+        runtime,
+        {
+            "components": [c.blob for c in checkpoint.components],
+            "captured_extra": checkpoint.captured_extra,
+            "stats": checkpoint.stats,
+            "cursor": dict(checkpoint.cursor),
+        },
+    )
+
+
+class TestPerOperatorStoreRoundTrip:
+    @pytest.mark.parametrize("family", sorted(QUERIES))
+    def test_state_rides_the_store(self, family, tmp_path):
+        queries = QUERIES[family]
+
+        control = build_runtime(queries)
+        feed(control, 0, 120)
+
+        donor = build_runtime(queries)
+        feed(donor, 0, 60)
+        store = CheckpointStore(path=str(tmp_path))
+        store.put(checkpoint_of(donor, shard=0, version=1))
+        loaded = store.load(0, 1)
+        if family not in ("join", "consuming-sequence"):
+            assert loaded.state_carried > 0, "workload must accumulate state"
+
+        restored = fresh_like(donor)
+        result = restore_from(loaded, restored)
+        assert result["queries"] == [f"q{i}" for i in range(len(queries))]
+        assert result["state_restored"] == loaded.state_carried
+        assert restored.cursor == donor.cursor
+
+        # The capture was non-destructive: the donor serves on exactly as
+        # if no checkpoint had been taken...
+        feed(donor, 60, 120)
+        assert donor.captured == control.captured
+        assert donor.stats.outputs_by_query == control.stats.outputs_by_query
+        assert donor.state_size == control.state_size
+        # ...and the restored runtime serves on byte-identically too.
+        feed(restored, 60, 120)
+        assert restored.captured == control.captured
+        assert restored.stats.outputs_by_query == control.stats.outputs_by_query
+        assert restored.state_size == control.state_size
+
+    def test_captured_offsets_mark_the_replay_window(self):
+        donor = build_runtime(QUERIES["aggregate"])
+        feed(donor, 0, 60)
+        checkpoint = checkpoint_of(donor)
+        (component,) = checkpoint.components
+        assert component.captured_offsets == {
+            "q0": len(donor.captured["q0"])
+        }
+
+    def test_unregistered_history_rides_captured_extra(self):
+        donor = build_runtime(QUERIES["aggregate"])
+        donor.register("FROM S WHERE a0 == 1", query_id="dead")
+        feed(donor, 0, 40)
+        donor.unregister("dead")
+        history = list(donor.captured["dead"])
+        assert history, "the retired query must have produced output"
+        checkpoint = checkpoint_of(donor)
+        assert "dead" not in checkpoint.query_ids
+        assert pickle.loads(checkpoint.captured_extra) == {"dead": history}
+        restored = fresh_like(donor)
+        restore_from(checkpoint, restored)
+        assert restored.captured["dead"] == history
+
+
+class TestStoreVersioning:
+    def _checkpoint(self, shard, version, position=0):
+        return ShardCheckpoint(
+            shard=shard,
+            version=version,
+            position=position,
+            cursor={},
+            components=(),
+        )
+
+    def test_stale_restore_rejected_with_clear_error(self):
+        store = CheckpointStore()
+        store.put(self._checkpoint(0, 1))
+        store.put(self._checkpoint(0, 2))
+        with pytest.raises(StaleCheckpointError, match="stale.*superseded"):
+            store.load(0, 1)
+        assert store.load(0, 2).version == 2
+
+    def test_unknown_and_missing_versions(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            store.load(0, 1)
+        store.put(self._checkpoint(0, 3))
+        with pytest.raises(CheckpointError, match="never stored"):
+            store.load(0, 7)
+
+    def test_put_must_supersede(self):
+        store = CheckpointStore()
+        store.put(self._checkpoint(0, 2))
+        with pytest.raises(CheckpointError, match="does not supersede"):
+            store.put(self._checkpoint(0, 2))
+        with pytest.raises(CheckpointError, match="does not supersede"):
+            store.put(self._checkpoint(0, 1))
+        # Other shards version independently.
+        store.put(self._checkpoint(1, 1))
+        assert store.latest_version(0) == 2
+        assert store.latest_version(1) == 1
+
+    def test_retention_prunes_old_versions(self, tmp_path):
+        store = CheckpointStore(path=str(tmp_path), keep_last=2)
+        for version in (1, 2, 3, 4):
+            store.put(self._checkpoint(0, version))
+        assert store.versions(0) == [3, 4]
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["shard0.v3.ckpt", "shard0.v4.ckpt"]
+
+    def test_on_disk_store_survives_reopen(self, tmp_path):
+        donor = build_runtime(QUERIES["sequence"])
+        feed(donor, 0, 60)
+        first = CheckpointStore(path=str(tmp_path))
+        first.put(checkpoint_of(donor, shard=3, version=5))
+
+        reopened = CheckpointStore(path=str(tmp_path))
+        assert reopened.shards() == [3]
+        loaded = reopened.load(3, 5)
+        restored = fresh_like(donor)
+        restore_from(loaded, restored)
+        feed(donor, 60, 120)
+        feed(restored, 60, 120)
+        assert restored.captured == donor.captured
+        assert restored.state_size == donor.state_size
+
+    def test_latest_of_empty_store(self):
+        store = CheckpointStore()
+        assert store.latest(0) is None
+        assert store.latest_version(0) is None
+        assert store.shards() == []
+        with pytest.raises(CheckpointError):
+            CheckpointStore(keep_last=0)
+
+
+class TestShardLog:
+    def test_positions_stay_absolute_across_truncation(self):
+        log = ShardLog()
+        for index in range(5):
+            assert log.append(("data", "S", [index])) == index
+        assert (log.start, log.end) == (0, 5)
+        assert log.truncate_to(3) == 3
+        assert (log.start, log.end) == (3, 5)
+        assert log.entries_from(3) == [("data", "S", [3]), ("data", "S", [4])]
+        assert log.entries_from(5) == []
+        # A stale (already-truncated) cut is a no-op, not an error: a
+        # failed round's older position may race a completed newer one.
+        assert log.truncate_to(1) == 0
+        with pytest.raises(CheckpointError, match="truncated"):
+            log.entries_from(0)
+        with pytest.raises(CheckpointError, match="cannot truncate"):
+            log.truncate_to(9)

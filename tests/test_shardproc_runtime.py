@@ -177,4 +177,6 @@ class TestCommandCodec:
             "rebalance",
             "stats",
             "snapshot",
+            "checkpoint",
+            "restore",
         }

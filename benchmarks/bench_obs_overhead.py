@@ -1,0 +1,38 @@
+"""Telemetry overhead benchmark: observed vs unobserved dispatch.
+
+Thin entry point over :mod:`repro.bench.obs` (importable because the driver
+also backs the ``repro.cli bench-obs`` subcommand).  Interleaved trials
+measure the throughput cost of per-m-op telemetry on the optimized zipf
+workload; the run fails if batched-dispatch overhead exceeds the scale's
+ceiling (5% at full scale), if observation changes any per-query output, or
+if the per-m-op tuple accounting stops reconciling with the engine's
+physical counters.
+
+Run standalone (writes ``BENCH_obs.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --scale smoke
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -q -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.obs import ObsScale, main, render, run_benchmark
+
+# -- pytest entry points ------------------------------------------------------------
+
+
+def test_obs_overhead_smoke():
+    """Acceptance: batched telemetry overhead within the smoke ceiling."""
+    results = run_benchmark(ObsScale.smoke())
+    assert (
+        results["headline"]["batched_overhead"]
+        <= results["headline"]["ceiling"]
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

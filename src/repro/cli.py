@@ -26,7 +26,10 @@ Three subcommands cover the downstream-user loop:
     ``--durable`` / ``--checkpoint-every N`` / ``--checkpoint-dir DIR``
     enable the durable checkpoint subsystem (crashed workers restore from
     their last checkpoint and replay the write-ahead-log suffix instead of
-    losing operator state).
+    losing operator state); ``--observe`` switches on the telemetry
+    subsystem, with ``--metrics-out`` / ``--trace-out`` / ``--events-out``
+    exporting metrics snapshots, the serve's span tree, and the structured
+    lifecycle event log.
 
 ``bench-throughput``
     Regenerate ``BENCH_throughput.json``: events/sec for batched vs
@@ -40,6 +43,11 @@ Three subcommands cover the downstream-user loop:
     partitionable zipf workload, plus a live sharded churn serve with
     load-levelling rebalances — asserting sharded outputs stay identical
     and the 4-shard speedup clears its floor.
+
+``bench-obs``
+    Regenerate ``BENCH_obs.json``: throughput of observed vs unobserved
+    dispatch in interleaved trials, asserting telemetry stays output-
+    identical and its batched-dispatch overhead under the 5% ceiling.
 
 Examples::
 
@@ -189,6 +197,25 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dump_metrics(runtime, path: str) -> None:
+    """Write the runtime's current metrics snapshot to ``path``.
+
+    Format follows the extension: ``.jsonl`` gets JSON lines, anything else
+    the Prometheus text exposition.  Each call rewrites the file with the
+    latest cumulative snapshot (the node-exporter convention), so periodic
+    flushes are safe to point a scraper at.
+    """
+    from repro.obs.metrics import to_jsonl, to_prometheus
+
+    snapshot = runtime.metrics_registry().snapshot()
+    text = (
+        to_jsonl(snapshot) if path.endswith(".jsonl")
+        else to_prometheus(snapshot)
+    )
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
 def cmd_churn(args: argparse.Namespace) -> int:
     from repro.runtime import QueryRuntime
     from repro.workloads.churn import ChurnWorkload, drive
@@ -217,25 +244,45 @@ def cmd_churn(args: argparse.Namespace) -> int:
             "--durable/--checkpoint-every/--checkpoint-dir require "
             "--process (the in-process runtime has no workers to lose)"
         )
+    if (args.trace_out or args.events_out) and not args.process:
+        from repro.errors import LifecycleError
+
+        raise LifecycleError(
+            "--trace-out/--events-out require --process (spans and the "
+            "structured event log live on the process-mode coordinator)"
+        )
+    if args.trace_out and not args.observe:
+        from repro.errors import LifecycleError
+
+        raise LifecycleError("--trace-out requires --observe")
     if args.shards > 1 or args.process:
         return _churn_sharded(args, workload)
     runtime = QueryRuntime(
         {"S": workload.schema, "T": workload.schema},
         track_latency=args.latency,
         incremental=not args.full_rebuild,
+        observe=args.observe,
     )
     mode = "full-rebuild" if args.full_rebuild else "incremental"
     print(
         f"churn: {workload.registrations()} queries over {args.events} events "
         f"({mode} mode)"
     )
+    applied = 0
     for event in drive(runtime, workload.stream_events(), workload.schedule()):
+        applied += 1
+        if args.metrics_out and args.metrics_every:
+            if applied % args.metrics_every == 0:
+                _dump_metrics(runtime, args.metrics_out)
         if args.verbose:
             print(f"  [{event.at:>6}] {event.kind:<10} {event.query_id:<6} "
                   f"active={len(runtime.active_queries)} "
                   f"state={runtime.state_size}")
     stats = runtime.stats
     print(stats)
+    if args.metrics_out:
+        _dump_metrics(runtime, args.metrics_out)
+        print(f"  wrote metrics to {args.metrics_out}")
     print(
         f"  migrations: {stats.migrations}, "
         f"final active queries: {len(runtime.active_queries)}, "
@@ -287,6 +334,7 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
             durable=args.durable,
             checkpoint_every=args.checkpoint_every,
             store=store,
+            observe=args.observe,
         )
     else:
         runtime = ShardedRuntime(
@@ -294,9 +342,13 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
             n_shards=args.shards,
             track_latency=args.latency,
             incremental=not args.full_rebuild,
+            observe=args.observe,
         )
+    heat = "busy" if args.observe else "outputs"
     policy = (
-        ThroughputPolicy() if args.policy == "throughput" else QueryCountPolicy()
+        ThroughputPolicy(heat=heat)
+        if args.policy == "throughput"
+        else QueryCountPolicy()
     )
     mode = "process" if args.process else "in-process"
     print(
@@ -305,6 +357,7 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
         f"every {args.rebalance_every} lifecycle events)"
     )
     try:
+        applied = 0
         for event in drive_sharded(
             runtime,
             workload.stream_events(),
@@ -312,6 +365,10 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
             rebalance_every=args.rebalance_every,
             policy=policy,
         ):
+            applied += 1
+            if args.metrics_out and args.metrics_every:
+                if applied % args.metrics_every == 0:
+                    _dump_metrics(runtime, args.metrics_out)
             if args.verbose:
                 print(
                     f"  [{event.at:>6}] {event.kind:<10} {event.query_id:<6} "
@@ -340,6 +397,26 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
                     f"{[runtime.wal_span(s) for s in range(args.shards)]}"
                 )
             print(runtime.describe())
+        if args.metrics_out:
+            _dump_metrics(runtime, args.metrics_out)
+            print(f"  wrote metrics to {args.metrics_out}")
+        if args.trace_out:
+            # Drain the workers' spans into the coordinator recorder first
+            # so the export holds the complete coordinator→worker tree.
+            runtime.shard_telemetry()
+            with open(args.trace_out, "w") as handle:
+                handle.write(runtime.recorder.to_jsonl())
+            print(
+                f"  wrote {len(runtime.recorder.spans)} spans to "
+                f"{args.trace_out}"
+            )
+        if args.events_out:
+            with open(args.events_out, "w") as handle:
+                handle.write(runtime.events.to_jsonl())
+            print(
+                f"  wrote {len(runtime.events.events)} events to "
+                f"{args.events_out}"
+            )
     finally:
         if args.process:
             runtime.close()
@@ -367,9 +444,29 @@ def cmd_bench_shard(args: argparse.Namespace) -> int:
     return shard_main(["--scale", args.scale, "--output", args.output])
 
 
+def cmd_bench_obs(args: argparse.Namespace) -> int:
+    from repro.bench.obs import main as obs_main
+
+    return obs_main(["--scale", args.scale, "--output", args.output])
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RUMOR rule-based multi-query optimizer CLI"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="configure logging for the repro tree (one consistent "
+        "formatter: timestamp, level, worker process name, logger)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        help="log line layout: human-readable text or one JSON object "
+        "per record",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -484,6 +581,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist checkpoints as files under DIR (implies --durable)",
     )
+    churn.add_argument(
+        "--observe",
+        action="store_true",
+        help="enable the telemetry subsystem: per-m-op metrics on every "
+        "engine, wire-propagated tracing in process mode, and busy-time "
+        "heat for the throughput policy",
+    )
+    churn.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the merged metrics snapshot to PATH at the end of the "
+        "serve (.jsonl for JSON lines, anything else Prometheus text)",
+    )
+    churn.add_argument(
+        "--metrics-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally rewrite --metrics-out every N lifecycle events "
+        "(a periodic flush a scraper can poll)",
+    )
+    churn.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="process mode with --observe: write the serve's span tree "
+        "(coordinator + workers) as JSONL",
+    )
+    churn.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="process mode: write the structured lifecycle event log "
+        "(register/unregister/rebalance/checkpoint/recovery) as JSONL",
+    )
     churn.add_argument("--verbose", action="store_true")
     churn.set_defaults(handler=cmd_churn)
 
@@ -514,12 +647,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_shard.add_argument("--output", default="BENCH_shard.json")
     bench_shard.set_defaults(handler=cmd_bench_shard)
+
+    bench_obs = commands.add_parser(
+        "bench-obs",
+        help="measure telemetry overhead (observed vs unobserved dispatch) "
+        "and write BENCH_obs.json",
+    )
+    bench_obs.add_argument(
+        "--scale",
+        choices=["full", "smoke"],
+        default="full",
+        help="smoke: reduced event counts for CI",
+    )
+    bench_obs.add_argument("--output", default="BENCH_obs.json")
+    bench_obs.set_defaults(handler=cmd_bench_obs)
     return parser
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        from repro.obs.logsetup import configure_logging
+
+        configure_logging(args.log_level, args.log_format)
     try:
         return args.handler(args)
     except RumorError as error:

@@ -61,6 +61,7 @@ class StreamEngine:
         track_latency: bool = False,
         batching: bool = True,
         max_batch: int = 1024,
+        observe=False,
     ):
         plan.validate()
         self.plan = plan
@@ -79,6 +80,17 @@ class StreamEngine:
         if max_batch < 1:
             raise PlanError(f"max_batch must be at least 1, got {max_batch}")
         self.max_batch = max_batch
+        #: Per-m-op telemetry (:class:`repro.obs.mops.MOpObserver`), or None.
+        #: ``observe=True`` builds a default observer; an observer instance
+        #: is adopted as-is (the lifecycle runtime carries one across engine
+        #: migrations so counters stay cumulative).  When None, dispatch
+        #: runs the original tables — the hot loop is untouched.
+        if observe is True:
+            from repro.obs.mops import MOpObserver
+
+            self.observer = MOpObserver()
+        else:
+            self.observer = observe or None
         #: query_id -> captured output tuples (only with capture_outputs).
         #: Created before the tables: the per-channel sink closures bind it.
         self.captured: dict[object, list[StreamTuple]] = {}
@@ -93,6 +105,10 @@ class StreamEngine:
         # Flattened hot-path table: channel_id -> (sink handler | None,
         # prebound process_batch methods of the channel's consumers).
         self._channel_table: dict[int, tuple] = {}
+        # Observed shadow tables (only populated when ``observer`` is set):
+        # same shape, but each method/executor is paired with its MOpRecord.
+        self._observed_channel_table: dict[int, tuple] = {}
+        self._observed_routing: dict[int, tuple] = {}
         # Channel-consumption graph for the batch-safety (diamond) analysis.
         self._consumer_indexes: dict[int, tuple[int, ...]] = {}
         self._exec_input_channels: list[frozenset[int]] = []
@@ -175,6 +191,34 @@ class StreamEngine:
                 for executor in routing.get(channel_id, ())
             )
             channel_table[channel_id] = (handler, batch_methods)
+        # Observed shadow tables: the same routing, with each prebound
+        # method/executor paired with its m-op's telemetry record.  Built
+        # only when observing, so the unobserved swap stays byte-for-byte
+        # what it was.
+        observer = self.observer
+        observed_channel_table: dict[int, tuple] = {}
+        observed_routing: dict[int, tuple] = {}
+        if observer is not None:
+            observer.refresh(plan)
+            mop_ids = [mop.mop_id for mop in plan.mops]
+            observed_routing = {
+                channel_id: tuple(
+                    (executors[index], observer.record_for(mop_ids[index]))
+                    for index in indexes
+                )
+                for channel_id, indexes in consumer_indexes.items()
+            }
+            for channel_id, (handler, __) in channel_table.items():
+                observed_channel_table[channel_id] = (
+                    handler,
+                    tuple(
+                        (
+                            executors[index].process_batch,
+                            observer.record_for(mop_ids[index]),
+                        )
+                        for index in consumer_indexes.get(channel_id, ())
+                    ),
+                )
         # Atomic swap: every table flips together.
         self._entries = entries
         self._executors = executors
@@ -182,6 +226,8 @@ class StreamEngine:
         self._routing = routing
         self._sink_table = sink_table
         self._channel_table = channel_table
+        self._observed_channel_table = observed_channel_table
+        self._observed_routing = observed_routing
         self._consumer_indexes = {
             channel_id: tuple(indexes)
             for channel_id, indexes in consumer_indexes.items()
@@ -394,6 +440,8 @@ class StreamEngine:
         for channel, batch in runs:
             self._run_batch(channel, batch, stats)
         stats.elapsed_seconds = time.perf_counter() - started
+        if self.observer is not None:
+            self.observer.sample_state_now(self)
         return stats
 
     def _run_batch(
@@ -408,6 +456,18 @@ class StreamEngine:
                 logical += channel_tuple.membership.bit_count()
         stats.input_events += logical
         stats.physical_input_events += len(batch)
+        observer = self.observer
+        if observer is not None:
+            observer.maybe_sample_state(self)
+            if len(batch) == 1:
+                self._dispatch_observed(channel, batch[0], stats)
+            elif self.channel_batchable(channel.channel_id):
+                self._dispatch_batch_observed(channel, batch, stats)
+            else:
+                dispatch = self._dispatch_observed
+                for channel_tuple in batch:
+                    dispatch(channel, channel_tuple, stats)
+            return
         if len(batch) == 1:
             # A run of one has nothing to amortize; the per-tuple
             # interpreter is strictly cheaper (and trivially equivalent).
@@ -437,11 +497,14 @@ class StreamEngine:
                     break
         stats = RunStats()
         since_sample = 0
+        dispatch = (
+            self._dispatch_observed if self.observer is not None else self._dispatch
+        )
         started = time.perf_counter()
         for channel, channel_tuple in events:
             stats.input_events += channel_tuple.membership.bit_count()
             stats.physical_input_events += 1
-            self._dispatch(channel, channel_tuple, stats)
+            dispatch(channel, channel_tuple, stats)
             if sample_state_every:
                 since_sample += 1
                 if since_sample >= sample_state_every:
@@ -450,6 +513,8 @@ class StreamEngine:
         stats.elapsed_seconds = time.perf_counter() - started
         if sample_state_every:
             stats.peak_state = max(stats.peak_state, self.state_size)
+        if self.observer is not None:
+            self.observer.sample_state_now(self)
         return stats
 
     def process(self, channel: Channel, channel_tuple: ChannelTuple) -> RunStats:
@@ -457,8 +522,13 @@ class StreamEngine:
         stats = RunStats()
         stats.input_events = channel_tuple.membership.bit_count()
         stats.physical_input_events = 1
+        observer = self.observer
         started = time.perf_counter()
-        self._dispatch(channel, channel_tuple, stats)
+        if observer is not None:
+            observer.maybe_sample_state(self)
+            self._dispatch_observed(channel, channel_tuple, stats)
+        else:
+            self._dispatch(channel, channel_tuple, stats)
         stats.elapsed_seconds = time.perf_counter() - started
         return stats
 
@@ -490,10 +560,15 @@ class StreamEngine:
                         channel, batch[start : start + max_batch], stats
                     )
         else:
+            dispatch = (
+                self._dispatch_observed
+                if self.observer is not None
+                else self._dispatch
+            )
             for channel_tuple in batch:
                 stats.input_events += channel_tuple.membership.bit_count()
                 stats.physical_input_events += 1
-                self._dispatch(channel, channel_tuple, stats)
+                dispatch(channel, channel_tuple, stats)
         stats.elapsed_seconds = time.perf_counter() - started
         return stats
 
@@ -571,6 +646,114 @@ class StreamEngine:
                 handler(tuples, stats, started)
             for method in batch_methods:
                 queue.extend(method(current_channel, tuples))
+
+    def _dispatch_observed(
+        self,
+        channel: Channel,
+        channel_tuple: ChannelTuple,
+        stats: Optional[RunStats],
+    ) -> None:
+        """Per-tuple BFS with per-m-op accounting (``_dispatch`` + records).
+
+        Sink/stats handling is identical to the unobserved interpreter —
+        only the consumer loop changes: each executor call bumps its
+        record's fallback counters and every ``sample_every``-th call of
+        that record is timed.
+        """
+        queue: deque[tuple[Channel, ChannelTuple]] = deque()
+        queue.append((channel, channel_tuple))
+        routing = self._observed_routing
+        sink_table = self._sink_table
+        sample_every = self.observer.sample_every
+        track_latency = self.track_latency and stats is not None
+        event_started = time.perf_counter() if track_latency else 0.0
+        while queue:
+            current_channel, current_tuple = queue.popleft()
+            if stats is not None:
+                stats.physical_events += 1
+                sinks = sink_table.get(current_channel.channel_id)
+                if sinks:
+                    membership = current_tuple.membership
+                    latency = (
+                        time.perf_counter() - event_started
+                        if track_latency
+                        else 0.0
+                    )
+                    for bit, query_ids in sinks:
+                        if membership & bit:
+                            for query_id in query_ids:
+                                stats.output_events += 1
+                                stats.outputs_by_query[query_id] = (
+                                    stats.outputs_by_query.get(query_id, 0) + 1
+                                )
+                                if track_latency:
+                                    stats.record_output_latency(
+                                        query_id, latency
+                                    )
+                                if self.capture_outputs:
+                                    self.captured.setdefault(query_id, []).append(
+                                        current_tuple.tuple
+                                    )
+            consumers = routing.get(current_channel.channel_id)
+            if not consumers:
+                continue
+            for executor, record in consumers:
+                record.per_tuple_calls += 1
+                record.tuples_in += 1
+                if (record.batches + record.per_tuple_calls) % sample_every:
+                    outputs = executor.process(current_channel, current_tuple)
+                else:
+                    sampled_at = time.perf_counter()
+                    outputs = executor.process(current_channel, current_tuple)
+                    record.sampled_seconds += (
+                        time.perf_counter() - sampled_at
+                    )
+                    record.sampled_calls += 1
+                record.tuples_out += len(outputs)
+                queue.extend(outputs)
+
+    def _dispatch_batch_observed(
+        self,
+        channel: Channel,
+        batch: list[ChannelTuple],
+        stats: RunStats,
+    ) -> None:
+        """Vectorized BFS with per-m-op accounting (``_dispatch_batch`` over
+        the observed shadow table)."""
+        table = self._observed_channel_table
+        sample_every = self.observer.sample_every
+        queue: deque[tuple[Channel, list[ChannelTuple]]] = deque()
+        queue.append((channel, batch))
+        started = time.perf_counter() if self.track_latency else 0.0
+        while queue:
+            current_channel, tuples = queue.popleft()
+            stats.physical_events += len(tuples)
+            entry = table.get(current_channel.channel_id)
+            if entry is None:
+                continue
+            handler, pairs = entry
+            if handler is not None:
+                handler(tuples, stats, started)
+            for method, record in pairs:
+                record.batches += 1
+                record.tuples_in += len(tuples)
+                if (record.batches + record.per_tuple_calls) % sample_every:
+                    outputs = method(current_channel, tuples)
+                else:
+                    sampled_at = time.perf_counter()
+                    outputs = method(current_channel, tuples)
+                    record.sampled_seconds += (
+                        time.perf_counter() - sampled_at
+                    )
+                    record.sampled_calls += 1
+                for __, out_batch in outputs:
+                    record.tuples_out += len(out_batch)
+                queue.extend(outputs)
+
+    def mop_stats(self) -> dict[int, dict]:
+        """Per-m-op telemetry records (empty when not observing)."""
+        observer = self.observer
+        return observer.mop_stats() if observer is not None else {}
 
     @property
     def state_size(self) -> int:

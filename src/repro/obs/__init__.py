@@ -1,0 +1,51 @@
+"""Telemetry subsystem: per-m-op metrics, tracing, events, and exports.
+
+Layout:
+
+- :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` (counters, gauges,
+  histograms), picklable snapshots, cross-shard merging, Prometheus-text and
+  JSONL exports;
+- :mod:`repro.obs.mops` — :class:`MOpObserver`/:class:`MOpRecord`, the
+  per-executor attribution the engine updates behind ``observe=``;
+- :mod:`repro.obs.trace` — :class:`Span`/:class:`SpanRecorder`, the
+  wire-propagated trace tree of a serve;
+- :mod:`repro.obs.events` — :class:`EventLog`, the structured lifecycle
+  event stream (register/unregister/rebalance/checkpoint/recovery);
+- :mod:`repro.obs.logsetup` — :func:`configure_logging`, the CLI's shared
+  formatter (timestamp + worker process name, text or JSON lines).
+"""
+
+from repro.obs.events import EventLog
+from repro.obs.logsetup import configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+    merge_snapshots,
+    publish_run_stats,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.mops import MOpObserver, MOpRecord
+from repro.obs.trace import Span, SpanRecorder, span_tree
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MOpObserver",
+    "MOpRecord",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "TelemetryError",
+    "configure_logging",
+    "merge_snapshots",
+    "publish_run_stats",
+    "span_tree",
+    "to_jsonl",
+    "to_prometheus",
+]

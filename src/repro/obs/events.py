@@ -1,0 +1,61 @@
+"""The structured event log: one stream for every lifecycle transition.
+
+Before this module, lifecycle visibility was scattered: recoveries built
+:class:`~repro.shard.checkpoint.RecoveryReport` objects *and* emitted ad-hoc
+``logging`` calls, rebalances logged from the policy, checkpoints were
+silent.  :class:`EventLog` unifies them — every register/unregister/
+rebalance/checkpoint/recovery lands as one structured record *and* is
+mirrored to a standard :mod:`logging` logger, so existing ``caplog``-based
+tests and console output keep working while exports gain a machine-readable
+stream.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+
+class EventLog:
+    """Bounded in-memory structured event stream mirrored to ``logging``."""
+
+    def __init__(
+        self,
+        logger: logging.Logger | None = None,
+        max_events: int = 100_000,
+    ):
+        self._logger = logger or logging.getLogger("repro.obs.events")
+        self.max_events = max_events
+        self.events: list[dict] = []
+        self.dropped = 0
+
+    def emit(
+        self,
+        kind: str,
+        message: str | None = None,
+        level: int = logging.INFO,
+        **fields,
+    ) -> dict:
+        event = {"at": time.time(), "kind": kind, **fields}
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+        else:
+            self.events.append(event)
+        if self._logger.isEnabledFor(level):
+            detail = " ".join(
+                f"{key}={value}" for key, value in sorted(fields.items())
+            )
+            text = message or kind
+            self._logger.log(level, "%s %s" % (text, detail) if detail else text)
+        return event
+
+    def by_kind(self, kind: str) -> list[dict]:
+        return [event for event in self.events if event["kind"] == kind]
+
+    def to_jsonl(self) -> str:
+        lines = [
+            json.dumps(event, sort_keys=True, default=str)
+            for event in self.events
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")

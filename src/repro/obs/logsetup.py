@@ -1,0 +1,70 @@
+"""Logging configuration for the CLI and drivers.
+
+One formatter for the whole tree: timestamp, level, process name (worker
+processes are named ``shard{N}.{incarnation}`` at spawn, so every line says
+which worker produced it), logger, message.  ``format="json"`` renders each
+record as one JSON object per line instead, so serves can be piped into
+log tooling without a parse step.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+#: The shared human-readable layout (worker id via %(processName)s).
+TEXT_FORMAT = (
+    "%(asctime)s %(levelname)-7s %(processName)s %(name)s: %(message)s"
+)
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: at/level/process/logger/message."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "at": record.created,
+            "level": record.levelname,
+            "process": record.processName,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    level: str = "info", format: str = "text"
+) -> logging.Handler:
+    """Install one stderr handler on the ``repro`` logger tree.
+
+    Scoped to ``repro`` (not the root logger) so embedding applications
+    keep their own logging config; idempotent — a previous handler installed
+    by this function is replaced, not duplicated.
+    """
+    if level not in _LEVELS:
+        raise ValueError(
+            f"log level must be one of {sorted(_LEVELS)}, got {level!r}"
+        )
+    if format not in ("text", "json"):
+        raise ValueError(f"log format must be text or json, got {format!r}")
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler._repro_cli = True
+    handler.setFormatter(
+        JsonFormatter() if format == "json" else logging.Formatter(TEXT_FORMAT)
+    )
+    logger.addHandler(handler)
+    logger.setLevel(_LEVELS[level])
+    return handler

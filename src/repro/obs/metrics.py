@@ -1,0 +1,308 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+The telemetry subsystem's storage layer.  A :class:`MetricsRegistry` holds
+named instruments keyed by ``(name, sorted label items)``; the hot paths
+(engine dispatch, worker loops) never touch it — they accumulate into plain
+record objects (:mod:`repro.obs.mops`) and *publish* into a registry at
+snapshot time, so registry flexibility costs nothing per event.
+
+Snapshots are plain picklable dicts: worker processes snapshot their local
+registry, ship it through the extended ``stats`` RPC, and the coordinator
+merges the snapshots (:func:`merge_snapshots`) into one cluster view —
+counters and histogram buckets sum, gauges take the maximum (every gauge in
+this system is a pressure/high-water signal, e.g. peak operator state, for
+which max is the meaningful cross-shard merge; per-shard detail survives via
+the ``shard`` label anyway).
+
+Two export formats:
+
+- :func:`to_prometheus` — the Prometheus text exposition format
+  (``name{label="v"} value`` with ``# TYPE`` headers), suitable for a
+  textfile collector or a scrape endpoint;
+- :func:`to_jsonl` — one JSON object per sample, the same shape the span
+  and event exports use, so one tail-able pipeline can ingest all three.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.errors import RumorError
+
+
+class TelemetryError(RumorError):
+    """Misuse of the telemetry subsystem (bad labels, type clashes)."""
+
+
+#: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last set wins; merges take the max)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def set_max(self, value) -> None:
+        """High-water-mark update (the peak-state sampling path)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A cumulative histogram over fixed bucket upper bounds."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS):
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        if not self.bounds:
+            raise TelemetryError("histogram needs at least one bucket bound")
+        # One count per bound plus the +Inf overflow bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with get-or-create access."""
+
+    def __init__(self):
+        # (name, label_key) -> instrument; name -> kind for clash detection.
+        self._instruments: dict[tuple, object] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, factory, name: str, labels: dict):
+        kind = factory.kind
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise TelemetryError(
+                f"metric {name!r} is already registered as a {known}, "
+                f"cannot re-register as a {kind}"
+            )
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+            self._kinds[name] = kind
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        known = self._kinds.get(name)
+        if known is not None and known != Histogram.kind:
+            raise TelemetryError(
+                f"metric {name!r} is already registered as a {known}, "
+                f"cannot re-register as a histogram"
+            )
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(buckets)
+            self._instruments[key] = instrument
+            self._kinds[name] = Histogram.kind
+        return instrument
+
+    # -- snapshots -------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain picklable view: ``{samples: [{name, kind, labels, ...}]}``."""
+        samples = []
+        for (name, label_key), instrument in sorted(
+            self._instruments.items(), key=lambda item: item[0]
+        ):
+            sample = {
+                "name": name,
+                "kind": instrument.kind,
+                "labels": dict(label_key),
+            }
+            if instrument.kind == "histogram":
+                sample["bounds"] = list(instrument.bounds)
+                sample["counts"] = list(instrument.counts)
+                sample["sum"] = instrument.sum
+                sample["count"] = instrument.count
+            else:
+                sample["value"] = instrument.value
+            samples.append(sample)
+        return {"samples": samples}
+
+    def load_snapshot(self, snapshot: dict) -> None:
+        """Merge one snapshot into this registry (the coordinator-side
+        aggregation path: counters/histograms sum, gauges take the max)."""
+        for sample in snapshot.get("samples", ()):
+            name, labels = sample["name"], sample["labels"]
+            kind = sample["kind"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(sample["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).set_max(sample["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(name, sample["bounds"], **labels)
+                if tuple(histogram.bounds) != tuple(sample["bounds"]):
+                    raise TelemetryError(
+                        f"histogram {name!r} bucket bounds differ across "
+                        f"snapshots; cannot merge"
+                    )
+                for index, count in enumerate(sample["counts"]):
+                    histogram.counts[index] += count
+                histogram.sum += sample["sum"]
+                histogram.count += sample["count"]
+            else:
+                raise TelemetryError(f"unknown sample kind {kind!r}")
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge registry snapshots into one (sum counters, max gauges)."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.load_snapshot(snapshot)
+    return merged.snapshot()
+
+
+# -- export formats ------------------------------------------------------------------
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for sample in snapshot.get("samples", ()):
+        name, kind, labels = sample["name"], sample["kind"], sample["labels"]
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(sample["bounds"], sample["counts"]):
+                cumulative += count
+                bucket_labels = dict(labels, le=_format_value(float(bound)))
+                lines.append(
+                    f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                )
+            cumulative += sample["counts"][-1]
+            lines.append(
+                f"{name}_bucket{_format_labels(dict(labels, le='+Inf'))} "
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{name}_sum{_format_labels(labels)} "
+                f"{_format_value(sample['sum'])}"
+            )
+            lines.append(f"{name}_count{_format_labels(labels)} {sample['count']}")
+        else:
+            lines.append(
+                f"{name}{_format_labels(labels)} {_format_value(sample['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonl(snapshot: dict, at: Optional[float] = None) -> str:
+    """Render a snapshot as JSONL (one sample per line).
+
+    ``at`` stamps every line with a capture timestamp so periodically
+    flushed snapshots appended to one file stay distinguishable.
+    """
+    lines = []
+    for sample in snapshot.get("samples", ()):
+        record = dict(sample)
+        if at is not None:
+            record["at"] = at
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def publish_run_stats(
+    registry: MetricsRegistry, stats, **labels
+) -> None:
+    """Publish one :class:`~repro.engine.metrics.RunStats` into a registry.
+
+    Counter semantics: callers publish *cumulative* worker stats into a
+    *fresh* registry per snapshot round (the registry is the view, the
+    RunStats is the source of truth), so ``inc`` by the absolute value is
+    the correct translation.
+    """
+    registry.counter("rumor_input_events_total", **labels).inc(
+        stats.input_events
+    )
+    registry.counter("rumor_physical_input_events_total", **labels).inc(
+        stats.physical_input_events
+    )
+    registry.counter("rumor_output_events_total", **labels).inc(
+        stats.output_events
+    )
+    registry.counter("rumor_physical_events_total", **labels).inc(
+        stats.physical_events
+    )
+    registry.counter("rumor_busy_seconds_total", **labels).inc(
+        stats.elapsed_seconds
+    )
+    registry.counter("rumor_migrations_total", **labels).inc(stats.migrations)
+    if stats.peak_state:
+        registry.gauge("rumor_peak_state", **labels).set_max(stats.peak_state)
+    for query_id, count in stats.outputs_by_query.items():
+        registry.counter(
+            "rumor_query_outputs_total", query=query_id, **labels
+        ).inc(count)

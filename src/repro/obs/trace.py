@@ -1,0 +1,145 @@
+"""Wire-propagated tracing: spans, recorders, and JSONL export.
+
+One *trace* covers one serve; every operation of interest — coordinator-side
+command encode, worker-side decode/apply, rebalance transfers, checkpoint
+rounds, recoveries — is a *span* with a parent, so the recorded set forms a
+tree rooted at the serve.  Trace context crosses the process boundary as a
+``(trace_id, parent_span_id)`` pair piggybacked on command and data frames
+(:mod:`repro.shard.wire`); the worker records its spans under the shipped
+parent and the coordinator drains them back through the extended ``stats``
+RPC, merging both sides into one tree.
+
+Span ids must be unique *across processes* without coordination, so each
+:class:`SpanRecorder` mints ids under a prefix: the coordinator uses
+``c-N``, shard workers ``w{shard}.{incarnation}-N``.  Two recorders with
+distinct prefixes can never collide, and the prefix doubles as provenance
+when reading an export.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float  # wall-clock (time.time) — for humans reading exports
+    elapsed_seconds: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    _t0: float = 0.0  # perf_counter anchor; meaningless across processes
+
+    def finish(self) -> None:
+        self.elapsed_seconds = time.perf_counter() - self._t0
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "elapsed_seconds": self.elapsed_seconds,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanRecorder:
+    """In-memory span sink minting ids under a process-unique prefix.
+
+    Bounded: past ``max_spans`` recorded spans, new ones are counted in
+    ``dropped`` instead of stored, so a long serve cannot grow without
+    bound.  ``drain()`` empties the buffer (the worker→coordinator shipping
+    path); ``to_jsonl()`` renders without draining.
+    """
+
+    def __init__(self, prefix: str = "c", max_spans: int = 100_000):
+        self.prefix = prefix
+        self.max_spans = max_spans
+        self.spans: list[dict] = []
+        self.dropped = 0
+        self._next_id = 0
+
+    def new_span_id(self) -> str:
+        self._next_id += 1
+        return f"{self.prefix}-{self._next_id}"
+
+    def start(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        **attrs,
+    ) -> Span:
+        return Span(
+            trace_id=trace_id,
+            span_id=self.new_span_id(),
+            parent_id=parent_id,
+            name=name,
+            start=time.time(),
+            attrs=attrs,
+            _t0=time.perf_counter(),
+        )
+
+    def record(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span.as_dict())
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        **attrs,
+    ):
+        """``with recorder.span(...) as s:`` — finished and recorded on exit,
+        including the error path (the span still lands, flagged)."""
+        entry = self.start(name, trace_id, parent_id, **attrs)
+        try:
+            yield entry
+        except BaseException:
+            entry.attrs["error"] = True
+            raise
+        finally:
+            entry.finish()
+            self.record(entry)
+
+    def add(self, span_dicts) -> None:
+        """Adopt already-rendered spans (the coordinator merging a worker
+        drain)."""
+        for span_dict in span_dicts:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+                continue
+            self.spans.append(dict(span_dict))
+
+    def drain(self) -> list[dict]:
+        drained, self.spans = self.spans, []
+        return drained
+
+    def to_jsonl(self) -> str:
+        lines = [
+            json.dumps(span, sort_keys=True, default=str) for span in self.spans
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def span_tree(span_dicts) -> dict:
+    """Index spans as ``parent_id -> [span, ...]`` for tree walks in tests
+    and report tooling (roots are under the ``None`` key)."""
+    children: dict = {}
+    for span in span_dicts:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    return children

@@ -93,6 +93,7 @@ class QueryRuntime:
         capture_outputs: bool = False,
         track_latency: bool = False,
         incremental: bool = True,
+        observe=False,
     ):
         self.plan = QueryPlan()
         self.optimizer = optimizer or Optimizer()
@@ -105,6 +106,7 @@ class QueryRuntime:
             self.plan,
             capture_outputs=capture_outputs,
             track_latency=track_latency,
+            observe=observe,
         )
         #: Cumulative statistics across every processed event and migration.
         self.stats = RunStats()
@@ -513,6 +515,41 @@ class QueryRuntime:
     @property
     def captured(self) -> dict:
         return self.engine.captured
+
+    @property
+    def observer(self):
+        """The engine's :class:`~repro.obs.mops.MOpObserver`, or None.
+
+        It lives on the engine (migrations mutate the engine in place and
+        re-attribute records on every table rebuild), so cumulative per-m-op
+        counters survive the whole lifecycle of this runtime.
+        """
+        return self.engine.observer
+
+    def mop_stats(self) -> dict[int, dict]:
+        """Per-m-op telemetry records (empty unless ``observe=`` was set)."""
+        return self.engine.mop_stats()
+
+    def query_heat(self) -> dict:
+        """query_id -> extrapolated executor busy seconds (empty unless
+        observing) — the heat signal :class:`~repro.shard.policy.
+        ThroughputPolicy` can use instead of output counts."""
+        observer = self.engine.observer
+        return observer.query_heat() if observer is not None else {}
+
+    def metrics_registry(self):
+        """A fresh :class:`~repro.obs.metrics.MetricsRegistry` holding this
+        runtime's RunStats counters plus (when observing) per-m-op records —
+        the single-runtime face of the sharded runtimes' method of the same
+        name."""
+        from repro.obs.metrics import MetricsRegistry, publish_run_stats
+
+        registry = MetricsRegistry()
+        publish_run_stats(registry, self.stats)
+        observer = self.engine.observer
+        if observer is not None:
+            observer.publish(registry)
+        return registry
 
     def describe(self) -> str:
         """Plan rendering plus live-runtime counters."""

@@ -139,9 +139,9 @@ def _run_local(index: int, engine: StreamEngine, sources, results) -> None:
     """Worker body, local feed: drain the shard's own sources."""
     try:
         stats = engine.run(sources)
-        results.put((index, "ok", stats, engine.captured))
+        results.put((index, "ok", stats, engine.captured, engine.mop_stats()))
     except BaseException:  # noqa: BLE001 - must cross the process boundary
-        results.put((index, "error", traceback.format_exc(), None))
+        results.put((index, "error", traceback.format_exc(), None, None))
 
 
 def _run_routed(index: int, engine: StreamEngine, frames, results) -> None:
@@ -157,9 +157,9 @@ def _run_routed(index: int, engine: StreamEngine, frames, results) -> None:
             if decoded is not None:
                 channel, batch = decoded
                 stats.absorb(engine.process_batch(channel, batch))
-        results.put((index, "ok", stats, engine.captured))
+        results.put((index, "ok", stats, engine.captured, engine.mop_stats()))
     except BaseException:  # noqa: BLE001 - must cross the process boundary
-        results.put((index, "error", traceback.format_exc(), None))
+        results.put((index, "error", traceback.format_exc(), None, None))
 
 
 class ShardedEngine:
@@ -175,6 +175,7 @@ class ShardedEngine:
         batching: bool = True,
         max_batch: int = 1024,
         planner: Optional[ShardPlanner] = None,
+        observe: bool = False,
     ):
         if feed not in ("auto", "local", "router"):
             raise PlanError(f"unknown feed strategy {feed!r}")
@@ -188,18 +189,26 @@ class ShardedEngine:
         self.feed = feed
         self.capture_outputs = capture_outputs
         self.max_batch = max_batch
+        self.observe = bool(observe)
         self.engines = [
             StreamEngine(
                 subplan,
                 capture_outputs=capture_outputs,
                 batching=batching,
                 max_batch=max_batch,
+                observe=observe,
             )
             for subplan in self.shard_plan.subplans
         ]
         self.router = SourceRouter(self.shard_plan.channel_shard, n_shards)
         #: query_id -> captured outputs, merged across shards after a run.
         self.captured: dict = {}
+        #: shard index -> per-m-op telemetry from the last run (process-mode
+        #: workers run on forked engine copies, so their records are shipped
+        #: back with the results rather than read off ``self.engines``).
+        self.shard_mop_stats: list[dict] = [
+            {} for __ in self.shard_plan.subplans
+        ]
 
     # -- mode/feed resolution --------------------------------------------------------
 
@@ -271,6 +280,7 @@ class ShardedEngine:
         captured = {}
         for engine in self.engines:
             captured.update(engine.captured)
+        self.shard_mop_stats = [engine.mop_stats() for engine in self.engines]
         return per_shard, captured
 
     # -- process workers -------------------------------------------------------------
@@ -316,9 +326,10 @@ class ShardedEngine:
         failures: list[str] = []
         remaining = set(range(len(workers)))
         suspected: set[int] = set()
+        self.shard_mop_stats = [{} for __ in self.engines]
         while remaining:
             try:
-                index, status, payload, shard_captured = results.get(
+                index, status, payload, shard_captured, shard_mops = results.get(
                     timeout=1.0
                 )
             except queue_module.Empty:
@@ -346,6 +357,8 @@ class ShardedEngine:
             per_shard[index] = payload
             if shard_captured:
                 captured.update(shard_captured)
+            if shard_mops:
+                self.shard_mop_stats[index] = shard_mops
         for worker in workers:
             worker.join()
         if failures:
@@ -374,6 +387,14 @@ class ShardedEngine:
     @property
     def state_size(self) -> int:
         return sum(engine.state_size for engine in self.engines)
+
+    def mop_stats(self) -> dict[int, dict]:
+        """Per-m-op telemetry merged across shards from the last run (shards
+        share no m-ops, so the merge is a disjoint union)."""
+        merged: dict[int, dict] = {}
+        for shard_mops in self.shard_mop_stats:
+            merged.update(shard_mops)
+        return merged
 
     def describe(self) -> str:
         lines = [

@@ -132,16 +132,35 @@ class ThroughputPolicy(RebalancePolicy):
     slowest shard's busy-time delta exceeds the fastest's by that factor
     (with an absolute floor of ``min_busy_seconds`` so cold starts and
     measurement noise do not trigger moves).
+
+    ``heat`` selects how the donor's components are ranked:
+
+    - ``"outputs"`` (default) — per-query output deltas from
+      :class:`~repro.engine.metrics.RunStats`, always available.
+    - ``"busy"`` — per-query engine busy-time deltas from the telemetry
+      subsystem (:meth:`shard_telemetry` / per-m-op sampled busy time,
+      attributed to queries).  A sharing group that produces few outputs
+      but burns CPU (heavy selections, wide joins) ranks where it belongs.
+      Falls back to output deltas when the runtime is not observing.
     """
 
-    def __init__(self, min_ratio: float = 1.5, min_busy_seconds: float = 0.0):
+    def __init__(
+        self,
+        min_ratio: float = 1.5,
+        min_busy_seconds: float = 0.0,
+        heat: str = "outputs",
+    ):
         super().__init__()
         if min_ratio < 1.0:
             raise ValueError(f"min_ratio must be >= 1.0, got {min_ratio}")
+        if heat not in ("outputs", "busy"):
+            raise ValueError(f"heat must be 'outputs' or 'busy', got {heat!r}")
         self.min_ratio = min_ratio
         self.min_busy_seconds = min_busy_seconds
+        self.heat = heat
         self._previous_busy: Optional[list[float]] = None
         self._previous_outputs: Optional[list[dict]] = None
+        self._previous_heat: Optional[list[dict]] = None
 
     def _improves(self, donor_load: int, target_load: int, size: int) -> bool:
         # Busy time, not query count, is the signal: a move helps unless
@@ -169,6 +188,7 @@ class ThroughputPolicy(RebalancePolicy):
             ]
         self._previous_busy = busy
         self._previous_outputs = outputs
+        delta_heat = self._busy_heat_deltas(runtime)
         donor = max(range(len(delta_busy)), key=lambda i: (delta_busy[i], -i))
         target = min(range(len(delta_busy)), key=lambda i: (delta_busy[i], i))
         if donor == target:
@@ -178,6 +198,8 @@ class ThroughputPolicy(RebalancePolicy):
         if delta_busy[donor] <= delta_busy[target] * self.min_ratio:
             return []
         heat = delta_outputs[donor]
+        if delta_heat is not None and delta_heat[donor]:
+            heat = delta_heat[donor]
         candidates = sorted(
             runtime.queries_on(donor),
             key=lambda query_id: (-heat.get(query_id, 0), query_id),
@@ -189,3 +211,28 @@ class ThroughputPolicy(RebalancePolicy):
             loads[donor],
             loads[target],
         )
+
+    def _busy_heat_deltas(self, runtime) -> Optional[list[dict]]:
+        """Per-shard ``{query_id: busy-seconds delta}`` maps, or ``None``
+        when busy heat is off or the runtime exposes no telemetry."""
+        if self.heat != "busy":
+            return None
+        telemetry = getattr(runtime, "shard_telemetry", None)
+        if telemetry is None:
+            return None
+        heat_now = [dict(view["query_heat"]) for view in telemetry()]
+        if (
+            self._previous_heat is None
+            or len(self._previous_heat) != len(heat_now)
+        ):
+            delta_heat = heat_now
+        else:
+            delta_heat = [
+                {
+                    query_id: value - before.get(query_id, 0.0)
+                    for query_id, value in now.items()
+                }
+                for now, before in zip(heat_now, self._previous_heat)
+            ]
+        self._previous_heat = heat_now
+        return delta_heat

@@ -106,8 +106,12 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Optional, Sequence, Union
 
+from contextlib import contextmanager
+
 from repro.core.idspace import reseed_identifiers, worker_id_base
 from repro.engine.metrics import RunStats
+from repro.obs.events import EventLog
+from repro.obs.trace import SpanRecorder
 from repro.errors import (
     CheckpointError,
     LifecycleError,
@@ -150,6 +154,7 @@ from repro.shard.wire import (
     encode_command,
     encode_reply,
     encode_transfer,
+    frame_trace,
 )
 from repro.streams.channel import Channel, ChannelTuple
 from repro.streams.schema import Schema
@@ -244,6 +249,7 @@ class _WorkerOptions:
     capture_outputs: bool = False
     track_latency: bool = False
     incremental: bool = True
+    observe: bool = False
 
 
 @dataclass
@@ -260,11 +266,13 @@ class _WorkerHandle:
 _REPLY_CACHE = 128
 
 
-def _apply_command(runtime: QueryRuntime, kind: str, payload):
+def _apply_command(runtime: QueryRuntime, kind: str, payload, recorder=None):
     """Execute one command against the worker's runtime; returns the reply
     payload.  Raises to signal an ``err`` reply (the runtime's own rollback
     discipline — registration rollback, import rollback — has already run
-    by the time the exception surfaces)."""
+    by the time the exception surfaces).  ``recorder`` is the worker's span
+    recorder (observing workers only); the telemetry ``stats`` variant
+    drains it into the reply."""
     if kind == REGISTER:
         report = runtime.register(payload)
         return {
@@ -302,6 +310,16 @@ def _apply_command(runtime: QueryRuntime, kind: str, payload):
     if kind == RESTORE:
         return apply_restore(runtime, payload)
     if kind == STATS:
+        if isinstance(payload, dict) and payload.get("telemetry"):
+            observer = runtime.engine.observer
+            return {
+                "stats": runtime.stats,
+                "mop_stats": runtime.mop_stats(),
+                "query_heat": runtime.query_heat(),
+                "peak_state": observer.peak_state if observer is not None else 0,
+                "spans": recorder.drain() if recorder is not None else [],
+                "state_size": runtime.state_size,
+            }
         return runtime.stats
     if kind == SNAPSHOT:
         if isinstance(payload, dict) and "component_of" in payload:
@@ -339,9 +357,13 @@ def _worker_main(
         capture_outputs=options.capture_outputs,
         track_latency=options.track_latency,
         incremental=options.incremental,
+        observe=options.observe,
     )
     for stream in streams:
         runtime.adopt_source(stream, channels[stream.name])
+    recorder = (
+        SpanRecorder(f"w{shard}.{incarnation}") if options.observe else None
+    )
     decoder = WireDecoder(channels.values())
     counts: dict[str, int] = {}
     cache: OrderedDict[int, tuple] = OrderedDict()
@@ -361,18 +383,30 @@ def _worker_main(
                 crashing = faults.matches("data", count)
                 if crashing and faults.when == "before":
                     os._exit(faults.exit_code)
+            trace = frame_trace(frame) if recorder is not None else None
             decoded = decoder.decode(frame)
             if decoded is not None:
                 channel, batch = decoded
                 # Source channels are singletons in the lifecycle runtime,
                 # so the run maps 1:1 onto the stream's own batch path.
                 stream = channel.streams[0]
-                runtime.process_batch(
-                    stream.name, [channel_tuple.tuple for channel_tuple in batch]
-                )
+                tuples = [channel_tuple.tuple for channel_tuple in batch]
+                if trace is not None:
+                    with recorder.span(
+                        "data:apply",
+                        trace[0],
+                        parent_id=trace[1],
+                        shard=shard,
+                        stream=stream.name,
+                        count=len(tuples),
+                    ):
+                        runtime.process_batch(stream.name, tuples)
+                else:
+                    runtime.process_batch(stream.name, tuples)
             if crashing and faults.when == "after":
                 os._exit(faults.exit_code)
             continue
+        trace = frame_trace(frame) if recorder is not None else None
         kind, seq, payload = decode_command(frame)
         fault_kind = kind if kind != REBALANCE else f"rebalance-{payload[0]}"
         count = counts.get(fault_kind, 0) + 1
@@ -387,7 +421,16 @@ def _worker_main(
             replies.put(cached)
             continue
         try:
-            result = _apply_command(runtime, kind, payload)
+            if trace is not None:
+                with recorder.span(
+                    f"apply:{fault_kind}",
+                    trace[0],
+                    parent_id=trace[1],
+                    shard=shard,
+                ):
+                    result = _apply_command(runtime, kind, payload, recorder)
+            else:
+                result = _apply_command(runtime, kind, payload, recorder)
             status = OK
         except RumorError as error:
             status, result = ERR, f"{type(error).__name__}: {error}"
@@ -427,6 +470,7 @@ class ProcessShardedRuntime:
         durable: bool = False,
         checkpoint_every: int = 0,
         store: Optional[CheckpointStore] = None,
+        observe: bool = False,
     ):
         if n_shards < 1:
             raise LifecycleError(f"n_shards must be at least 1, got {n_shards}")
@@ -483,10 +527,20 @@ class ProcessShardedRuntime:
         self.checkpoint_failures = 0
         #: Structured per-recovery accounts, in order (silent-loss fix).
         self.recovery_log: list[RecoveryReport] = []
+        self.observe = bool(observe)
+        #: One trace covers the whole serve; spans on both sides carry it.
+        self.trace_id = f"serve-{os.getpid()}-{id(self) & 0xFFFFFF:x}"
+        self.recorder = SpanRecorder("c") if self.observe else None
+        #: Structured event log, mirrored onto this module's logger (so the
+        #: existing log-capture contracts — recovery warnings on
+        #: ``repro.shard.proc`` — keep holding).
+        self.events = EventLog(logger)
+        self._span_stack: list[str] = []
         self._options = _WorkerOptions(
             capture_outputs=capture_outputs,
             track_latency=track_latency,
             incremental=incremental,
+            observe=self.observe,
         )
         self._context = multiprocessing.get_context("fork")
         self.streams: dict[str, StreamDef] = {}
@@ -555,6 +609,7 @@ class ProcessShardedRuntime:
         replies = self._context.Queue()
         process = self._context.Process(
             target=_worker_main,
+            name=f"shard{shard}.{incarnation}",
             args=(
                 shard,
                 incarnation,
@@ -601,6 +656,37 @@ class ProcessShardedRuntime:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- tracing ---------------------------------------------------------------------
+
+    def _trace_ctx(self) -> Optional[tuple]:
+        """The ``(trace_id, parent_span_id)`` pair to piggyback on a frame:
+        the innermost open coordinator span, or the serve root."""
+        if self.recorder is None:
+            return None
+        parent = self._span_stack[-1] if self._span_stack else None
+        return (self.trace_id, parent)
+
+    @contextmanager
+    def _traced(self, name: str, **attrs):
+        """Coordinator span covering a structural operation (rebalance,
+        recovery, checkpoint round); RPCs and shipped runs issued inside it
+        nest under it via :meth:`_trace_ctx`.  No-op when not observing."""
+        if self.recorder is None:
+            yield None
+            return
+        parent = self._span_stack[-1] if self._span_stack else None
+        span = self.recorder.start(name, self.trace_id, parent, **attrs)
+        self._span_stack.append(span.span_id)
+        try:
+            yield span
+        except BaseException:
+            span.attrs["error"] = True
+            raise
+        finally:
+            self._span_stack.pop()
+            span.finish()
+            self.recorder.record(span)
+
     # -- RPC -------------------------------------------------------------------------
 
     def _send_command(self, handle: _WorkerHandle, frame: tuple) -> None:
@@ -613,36 +699,63 @@ class ProcessShardedRuntime:
         handle = self._workers[shard]
         self._seq += 1
         seq = self._seq
-        frame = encode_command(kind, seq, payload)
-        self._send_command(handle, frame)
-        retries = 0
-        while True:
-            try:
-                reply = handle.replies.get(timeout=self.command_timeout)
-            except queue_module.Empty:
-                if handle.process.exitcode is not None:
-                    raise WorkerCrashError(
-                        f"shard {shard} worker exited with code "
-                        f"{handle.process.exitcode} during {kind}"
-                    ) from None
-                retries += 1
-                if retries > self.max_retries:
-                    raise LifecycleError(
-                        f"shard {shard} did not acknowledge {kind} after "
-                        f"{retries} attempts"
-                    ) from None
-                self._send_command(handle, frame)
-                continue
-            reply_seq, status, result = decode_reply(reply)
-            if reply_seq != seq:
-                # Either a pipelined checkpoint manifest landing between two
-                # synchronous commands (route it to the pending round) or a
-                # stale reply of a duplicated earlier command (drop it).
-                self._stash_checkpoint_reply(shard, reply_seq, status, result)
-                continue
-            if status == OK:
-                return result
-            raise WorkerCommandError(f"shard {shard} {kind} failed: {result}")
+        span = None
+        if self.recorder is not None:
+            span = self.recorder.start(
+                f"rpc:{kind}",
+                self.trace_id,
+                self._span_stack[-1] if self._span_stack else None,
+                shard=shard,
+            )
+            trace = (self.trace_id, span.span_id)
+        else:
+            trace = None
+        frame = encode_command(kind, seq, payload, trace=trace)
+        try:
+            self._send_command(handle, frame)
+            retries = 0
+            while True:
+                try:
+                    reply = handle.replies.get(timeout=self.command_timeout)
+                except queue_module.Empty:
+                    if handle.process.exitcode is not None:
+                        if span is not None:
+                            span.attrs["error"] = True
+                        raise WorkerCrashError(
+                            f"shard {shard} worker exited with code "
+                            f"{handle.process.exitcode} during {kind}"
+                        ) from None
+                    retries += 1
+                    if retries > self.max_retries:
+                        if span is not None:
+                            span.attrs["error"] = True
+                        raise LifecycleError(
+                            f"shard {shard} did not acknowledge {kind} after "
+                            f"{retries} attempts"
+                        ) from None
+                    self._send_command(handle, frame)
+                    continue
+                reply_seq, status, result = decode_reply(reply)
+                if reply_seq != seq:
+                    # Either a pipelined checkpoint manifest landing between
+                    # two synchronous commands (route it to the pending
+                    # round) or a stale reply of a duplicated earlier
+                    # command (drop it).
+                    self._stash_checkpoint_reply(
+                        shard, reply_seq, status, result
+                    )
+                    continue
+                if status == OK:
+                    return result
+                if span is not None:
+                    span.attrs["error"] = True
+                raise WorkerCommandError(
+                    f"shard {shard} {kind} failed: {result}"
+                )
+        finally:
+            if span is not None:
+                span.finish()
+                self.recorder.record(span)
 
     def _rpc_recovering(self, shard: int, kind: str, payload=None):
         """RPC that survives one worker crash: recover, then retry once."""
@@ -664,6 +777,10 @@ class ProcessShardedRuntime:
         operator state.  Either way a structured :class:`RecoveryReport` is
         appended to :attr:`recovery_log` and emitted through ``logging``.
         """
+        with self._traced("recovery", shard=shard):
+            return self._recover_inner(shard)
+
+    def _recover_inner(self, shard: int) -> RecoveryReport:
         old = self._workers[shard]
         old.process.join(timeout=2.0)
         started = time.perf_counter()
@@ -744,10 +861,16 @@ class ProcessShardedRuntime:
                     report.queries_lost_state.append(query_id)
         report.elapsed_seconds = time.perf_counter() - started
         self.recovery_log.append(report)
-        if report.state_lost:
-            logger.warning("%s", report)
-        else:
-            logger.info("%s", report)
+        # str(report) carries the full account (including the DROPPED
+        # state-loss marker the log-capture tests assert on).
+        self.events.emit(
+            "recovery",
+            message=str(report),
+            level=logging.WARNING if report.state_lost else logging.INFO,
+            shard=shard,
+            incarnation=handle.incarnation,
+            state_lost=report.state_lost,
+        )
         self.crash_recoveries += 1
         self._route_cache.clear()
         return report
@@ -813,21 +936,31 @@ class ProcessShardedRuntime:
         self._ckpt_version += 1
         version = self._ckpt_version
         shards: dict[int, dict] = {}
-        for shard in range(self.n_shards):
-            self._seq += 1
-            frame = encode_command(CHECKPOINT, self._seq, {"version": version})
-            shards[shard] = {
-                "seq": self._seq,
-                "frame": frame,
-                "position": self._wal[shard].end,
-                "expected_cursor": dict(self._shipped[shard]),
-                "retries": 0,
-            }
-            # Bypass FrameFaults: a checkpoint command's queue position IS
-            # the cut it records, so it ships on the reliable path like the
-            # data frames it cuts between (see FrameFaults).
-            self._workers[shard].commands.put(frame)
+        with self._traced("checkpoint:round", version=version):
+            # Worker-side apply:checkpoint spans parent to this round span
+            # even though the snapshots land later, pipelined — the span
+            # marks the initiation cut, not the collection.
+            trace = self._trace_ctx()
+            for shard in range(self.n_shards):
+                self._seq += 1
+                frame = encode_command(
+                    CHECKPOINT, self._seq, {"version": version}, trace=trace
+                )
+                shards[shard] = {
+                    "seq": self._seq,
+                    "frame": frame,
+                    "position": self._wal[shard].end,
+                    "expected_cursor": dict(self._shipped[shard]),
+                    "retries": 0,
+                }
+                # Bypass FrameFaults: a checkpoint command's queue position
+                # IS the cut it records, so it ships on the reliable path
+                # like the data frames it cuts between (see FrameFaults).
+                self._workers[shard].commands.put(frame)
         self._pending_ckpt = {"version": version, "shards": shards}
+        self.events.emit(
+            "checkpoint_initiated", level=logging.DEBUG, version=version
+        )
         return version
 
     def _poll_checkpoint(self) -> None:
@@ -872,9 +1005,15 @@ class ProcessShardedRuntime:
             # The worker is alive but could not snapshot; it keeps serving
             # on its previous checkpoint (recovery replays a longer suffix).
             self.checkpoint_failures += 1
-            logger.warning(
-                "shard %d failed checkpoint v%d: %s",
-                shard, pending["version"], result,
+            self.events.emit(
+                "checkpoint_failed",
+                message=(
+                    f"shard {shard} failed checkpoint "
+                    f"v{pending['version']}: {result}"
+                ),
+                level=logging.WARNING,
+                shard=shard,
+                version=pending["version"],
             )
             return
         manifest = decode_manifest(result)
@@ -907,6 +1046,12 @@ class ProcessShardedRuntime:
         # replay reconstructs the present without it.
         self._wal[shard].truncate_to(entry["position"])
         self.checkpoints_stored += 1
+        self.events.emit(
+            "checkpoint_stored",
+            level=logging.DEBUG,
+            shard=shard,
+            version=checkpoint.version,
+        )
 
     def _cancel_pending_checkpoint(self, shard: int) -> None:
         pending = self._pending_ckpt
@@ -1006,6 +1151,12 @@ class ProcessShardedRuntime:
         self._queries[logical.query_id] = logical
         self._query_shard[logical.query_id] = shard
         self._route_cache.clear()
+        self.events.emit(
+            "register",
+            level=logging.DEBUG,
+            query=logical.query_id,
+            shard=shard,
+        )
         return result
 
     def unregister(self, query_id: str) -> dict:
@@ -1017,6 +1168,9 @@ class ProcessShardedRuntime:
         del self._query_shard[query_id]
         del self._queries[query_id]
         self._route_cache.clear()
+        self.events.emit(
+            "unregister", level=logging.DEBUG, query=query_id, shard=shard
+        )
         return result
 
     def reoptimize(self, shard: Optional[int] = None) -> list[dict]:
@@ -1049,50 +1203,61 @@ class ProcessShardedRuntime:
             raise LifecycleError(
                 f"query {query_id!r} already lives on shard {to_shard}"
             )
-        try:
-            exported = self._rpc(from_shard, REBALANCE, ("out", query_id))
-        except WorkerCrashError:
-            # The donor died exporting.  No export entry was logged (the
-            # reply never arrived), so durable recovery restores the
-            # component onto the donor with state intact; without
-            # durability the respawn re-registers its queries blank.
-            report = self._recover(from_shard)
-            detail = (
-                "its queries were re-registered in place (state lost)"
-                if report.state_lost
-                else "its component was restored in place from checkpoint "
-                "+ log replay, state intact"
+        with self._traced(
+            "rebalance", query=query_id, source=from_shard, target=to_shard
+        ):
+            try:
+                exported = self._rpc(from_shard, REBALANCE, ("out", query_id))
+            except WorkerCrashError:
+                # The donor died exporting.  No export entry was logged (the
+                # reply never arrived), so durable recovery restores the
+                # component onto the donor with state intact; without
+                # durability the respawn re-registers its queries blank.
+                report = self._recover(from_shard)
+                detail = (
+                    "its queries were re-registered in place (state lost)"
+                    if report.state_lost
+                    else "its component was restored in place from checkpoint "
+                    "+ log replay, state intact"
+                )
+                raise LifecycleError(
+                    f"shard {from_shard} crashed during export; {detail}"
+                ) from None
+            blob = exported["blob"]
+            try:
+                self._rpc(to_shard, REBALANCE, ("in", blob))
+            except WorkerCrashError:
+                self._recover(to_shard)
+                self._rpc(from_shard, REBALANCE, ("in", blob))
+                self._route_cache.clear()
+                raise LifecycleError(
+                    f"shard {to_shard} crashed during rebalance import; "
+                    f"component restored on shard {from_shard}"
+                ) from None
+            except WorkerCommandError:
+                self._rpc(from_shard, REBALANCE, ("in", blob))
+                self._route_cache.clear()
+                raise
+            if self.durable:
+                # A rolled-back rebalance is a net no-op and records nothing;
+                # a successful one is two log entries: the component leaves
+                # the donor's timeline and enters the receiver's, blob
+                # included — replaying either shard reproduces the move
+                # exactly.
+                self._wal[from_shard].append(("export", query_id))
+                self._wal[to_shard].append(("import", blob))
+            for moved_id in exported["queries"]:
+                self._query_shard[moved_id] = to_shard
+            self._route_cache.clear()
+            self.rebalances += 1
+            self.events.emit(
+                "rebalance",
+                query=query_id,
+                source=from_shard,
+                target=to_shard,
+                moved=len(exported["queries"]),
             )
-            raise LifecycleError(
-                f"shard {from_shard} crashed during export; {detail}"
-            ) from None
-        blob = exported["blob"]
-        try:
-            self._rpc(to_shard, REBALANCE, ("in", blob))
-        except WorkerCrashError:
-            self._recover(to_shard)
-            self._rpc(from_shard, REBALANCE, ("in", blob))
-            self._route_cache.clear()
-            raise LifecycleError(
-                f"shard {to_shard} crashed during rebalance import; "
-                f"component restored on shard {from_shard}"
-            ) from None
-        except WorkerCommandError:
-            self._rpc(from_shard, REBALANCE, ("in", blob))
-            self._route_cache.clear()
-            raise
-        if self.durable:
-            # A rolled-back rebalance is a net no-op and records nothing;
-            # a successful one is two log entries: the component leaves the
-            # donor's timeline and enters the receiver's, blob included —
-            # replaying either shard reproduces the move exactly.
-            self._wal[from_shard].append(("export", query_id))
-            self._wal[to_shard].append(("import", blob))
-        for moved_id in exported["queries"]:
-            self._query_shard[moved_id] = to_shard
-        self._route_cache.clear()
-        self.rebalances += 1
-        return list(exported["queries"])
+            return list(exported["queries"])
 
     # -- event processing ------------------------------------------------------------
 
@@ -1158,7 +1323,20 @@ class ProcessShardedRuntime:
         channel = self._channels[stream_name]
         bit = 1 << channel.position_of(self.streams[stream_name])
         encoded = [ChannelTuple(tuple_, bit) for tuple_ in chunk]
-        for frame in self._encoder.encode_run(channel, encoded):
+        trace = None
+        if self.recorder is not None:
+            span = self.recorder.start(
+                "ship:run",
+                self.trace_id,
+                self._span_stack[-1] if self._span_stack else None,
+                stream=stream_name,
+                count=len(chunk),
+                shards=list(shards),
+            )
+            trace = (self.trace_id, span.span_id)
+            span.finish()  # ship is enqueue-only; the span marks lineage
+            self.recorder.record(span)
+        for frame in self._encoder.encode_run(channel, encoded, trace=trace):
             if frame[0] == SCHEMA:
                 # Broadcast + record, so respawned workers can replay
                 # the interning state before their first run frame.
@@ -1194,6 +1372,59 @@ class ProcessShardedRuntime:
         merged.input_events = self.input_stats.input_events
         merged.physical_input_events = self.input_stats.physical_input_events
         return merged
+
+    def shard_telemetry(self) -> list[dict]:
+        """Per-worker telemetry view via the extended ``stats`` RPC:
+        ``{"shard", "mop_stats", "query_heat", "peak_state", "stats",
+        "state_size"}``, the same shape as
+        :meth:`~repro.shard.runtime.ShardedRuntime.shard_telemetry`.  When
+        observing, each worker's accumulated spans ride the reply and are
+        merged into the coordinator's recorder, completing the trace tree."""
+        self._ensure_started()
+        views = []
+        for shard in range(self.n_shards):
+            reply = self._rpc_recovering(shard, STATS, {"telemetry": True})
+            if self.recorder is not None and reply.get("spans"):
+                self.recorder.add(reply["spans"])
+            views.append(
+                {
+                    "shard": shard,
+                    "mop_stats": reply["mop_stats"],
+                    "query_heat": reply["query_heat"],
+                    "peak_state": reply["peak_state"],
+                    "stats": reply["stats"],
+                    "state_size": reply["state_size"],
+                }
+            )
+        return views
+
+    def metrics_registry(self):
+        """A fresh :class:`~repro.obs.metrics.MetricsRegistry` holding the
+        cluster view: per-shard RunStats counters, per-m-op records (when
+        observing), and the coordinator's own lifecycle counters."""
+        from repro.obs.metrics import MetricsRegistry, publish_run_stats
+        from repro.obs.mops import MOpObserver
+
+        registry = MetricsRegistry()
+        for view in self.shard_telemetry():
+            shard = view["shard"]
+            publish_run_stats(registry, view["stats"], shard=shard)
+            if view["mop_stats"]:
+                # Rebuild an observer-shaped view from the worker's exported
+                # records; publishing it mirrors the in-process path.
+                observer = MOpObserver()
+                observer.absorb(view["mop_stats"])
+                observer.peak_state = view["peak_state"]
+                observer.publish(registry, shard=shard)
+        registry.counter("rumor_rebalances_total").inc(self.rebalances)
+        registry.counter("rumor_recoveries_total").inc(self.crash_recoveries)
+        registry.counter("rumor_checkpoints_stored_total").inc(
+            self.checkpoints_stored
+        )
+        registry.counter("rumor_checkpoint_failures_total").inc(
+            self.checkpoint_failures
+        )
+        return registry
 
     def snapshot(self) -> list[dict]:
         """Per-worker observability snapshot (captured outputs, state size,

@@ -55,10 +55,12 @@ class ShardedRuntime:
         capture_outputs: bool = False,
         track_latency: bool = False,
         incremental: bool = True,
+        observe: bool = False,
     ):
         if n_shards < 1:
             raise LifecycleError(f"n_shards must be at least 1, got {n_shards}")
         self.n_shards = n_shards
+        self.observe = bool(observe)
         self.streams: dict[str, StreamDef] = {}
         self._channels: dict[str, Channel] = {}
         self.runtimes: list[QueryRuntime] = [
@@ -68,6 +70,7 @@ class ShardedRuntime:
                 capture_outputs=capture_outputs,
                 track_latency=track_latency,
                 incremental=incremental,
+                observe=observe,
             )
             for __ in range(n_shards)
         ]
@@ -307,6 +310,40 @@ class ShardedRuntime:
     @property
     def migrations(self) -> int:
         return sum(runtime.stats.migrations for runtime in self.runtimes)
+
+    def shard_telemetry(self) -> list[dict]:
+        """Per-shard telemetry view (empty sections unless ``observe=``):
+        ``{"shard", "mop_stats", "query_heat", "peak_state"}`` — the same
+        shape the process-mode runtime assembles from its ``stats`` RPC, so
+        policies and exporters work against either runtime unchanged."""
+        views = []
+        for index, runtime in enumerate(self.runtimes):
+            observer = runtime.observer
+            views.append(
+                {
+                    "shard": index,
+                    "mop_stats": runtime.mop_stats(),
+                    "query_heat": runtime.query_heat(),
+                    "peak_state": observer.peak_state if observer else 0,
+                    "stats": runtime.stats,
+                    "state_size": runtime.state_size,
+                }
+            )
+        return views
+
+    def metrics_registry(self):
+        """A fresh :class:`~repro.obs.metrics.MetricsRegistry` holding the
+        cluster view: per-shard RunStats counters plus (when observing)
+        per-m-op records and the peak-state gauge."""
+        from repro.obs.metrics import MetricsRegistry, publish_run_stats
+
+        registry = MetricsRegistry()
+        for index, runtime in enumerate(self.runtimes):
+            publish_run_stats(registry, runtime.stats, shard=index)
+            observer = runtime.observer
+            if observer is not None:
+                observer.publish(registry, shard=index)
+        return registry
 
     def describe(self) -> str:
         lines = [

@@ -57,10 +57,17 @@ class ShardedRunStats:
         return sum(stats.elapsed_seconds for stats in self.per_shard)
 
     def __str__(self):
+        # Merge once: the throughput property would re-merge every shard's
+        # counters a second time.
         aggregate = self.aggregate
+        throughput = (
+            aggregate.input_events / self.wall_seconds
+            if self.wall_seconds > 0
+            else 0.0
+        )
         return (
             f"ShardedRunStats({len(self.per_shard)} shards, mode={self.mode}, "
             f"in={aggregate.input_events}, out={aggregate.output_events}, "
-            f"wall={self.wall_seconds:.4f}s, "
-            f"throughput={self.throughput:,.0f} ev/s)"
+            f"wall={self.wall_seconds:.4f}s, busy={self.busy_seconds:.4f}s, "
+            f"throughput={throughput:,.0f} ev/s)"
         )

@@ -94,19 +94,45 @@ OK = "ok"
 ERR = "err"
 
 
-def encode_command(kind: str, seq: int, payload=None) -> tuple:
-    """Build a command frame: ``(kind, seq, payload_bytes)``."""
+def encode_command(kind: str, seq: int, payload=None, trace=None) -> tuple:
+    """Build a command frame: ``(kind, seq, payload_bytes[, trace])``.
+
+    ``trace`` is an optional ``(trace_id, parent_span_id)`` pair carried as
+    a trailing element — absent on untraced frames, so the wire format is
+    byte-compatible with pre-telemetry peers when tracing is off.
+    """
     if kind not in COMMAND_KINDS:
         raise ChannelError(f"unknown command kind {kind!r}")
-    return (kind, seq, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if trace is None:
+        return (kind, seq, blob)
+    return (kind, seq, blob, tuple(trace))
 
 
 def decode_command(frame: tuple) -> tuple:
-    """Decode a command frame into ``(kind, seq, payload)``."""
-    kind, seq, blob = frame
+    """Decode a command frame into ``(kind, seq, payload)``.
+
+    Any trailing trace element is ignored here; use :func:`frame_trace` to
+    read it — keeping the common decode path oblivious to tracing.
+    """
+    kind, seq, blob = frame[0], frame[1], frame[2]
     if kind not in COMMAND_KINDS:
         raise ChannelError(f"unknown command kind {kind!r}")
     return kind, seq, pickle.loads(blob)
+
+
+def frame_trace(frame: tuple):
+    """The ``(trace_id, parent_span_id)`` pair a frame carries, or None.
+
+    Command frames carry it as element 3, run frames as element 4; schema,
+    stop and reply frames are never traced.
+    """
+    kind = frame[0]
+    if kind in COMMAND_KINDS:
+        return frame[3] if len(frame) > 3 else None
+    if kind == RUN:
+        return frame[4] if len(frame) > 4 else None
+    return None
 
 
 def encode_reply(seq: int, status: str, payload=None) -> tuple:
@@ -288,12 +314,15 @@ class WireEncoder:
         return token
 
     def encode_run(
-        self, channel: Channel, batch: Sequence[ChannelTuple]
+        self, channel: Channel, batch: Sequence[ChannelTuple], trace=None
     ) -> list[tuple]:
         """Encode one run; returns the frames to ship, in order.
 
         The last frame is always the ``run`` frame; any needed ``schema``
-        frames precede it.
+        frames precede it.  ``trace`` — an optional ``(trace_id,
+        parent_span_id)`` pair — rides as a trailing element of the run
+        frame only (schema frames are broadcast interning state, not work,
+        so they are never traced).
         """
         frames: list[tuple] = []
         if not batch:
@@ -315,7 +344,12 @@ class WireEncoder:
                 )
                 for ct in batch
             ]
-        frames.append((RUN, channel.channel_id, token, payload))
+        if trace is None:
+            frames.append((RUN, channel.channel_id, token, payload))
+        else:
+            frames.append(
+                (RUN, channel.channel_id, token, payload, tuple(trace))
+            )
         return frames
 
 
@@ -347,7 +381,7 @@ class WireDecoder:
             )
             return None
         if kind == RUN:
-            __, channel_id, token, payload = frame
+            channel_id, token, payload = frame[1], frame[2], frame[3]
             channel = self._channels.get(channel_id)
             if channel is None:
                 raise ChannelError(

@@ -1,0 +1,449 @@
+"""Unit tests for the telemetry primitives in :mod:`repro.obs`.
+
+Covers the storage layer (registry instruments, snapshot/merge semantics,
+both export formats), the trace recorder (id minting, bounds, drain, tree
+indexing, error-path recording), the structured event log (capture +
+logging mirror), the per-m-op records (sampled-busy extrapolation, absorb,
+query heat attribution) and the CLI logging setup.  Everything here is
+process-local; the cross-process acceptance criteria live in
+``test_obs_process.py``.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.engine.metrics import RunStats
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    MOpObserver,
+    SpanRecorder,
+    TelemetryError,
+    configure_logging,
+    merge_snapshots,
+    publish_run_stats,
+    span_tree,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.logsetup import JsonFormatter
+from repro.shard.wire import (
+    RUN,
+    STATS,
+    WireDecoder,
+    WireEncoder,
+    encode_command,
+    frame_trace,
+)
+
+
+# -- registry instruments ------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", shard=0)
+        a.inc(3)
+        assert registry.counter("hits", shard=0) is a
+        assert registry.counter("hits", shard=1) is not a
+        assert registry.counter("hits", shard=0).value == 3
+
+    def test_counter_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("hits")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_kind_clash_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.histogram("x")
+
+    def test_gauge_set_and_set_max(self):
+        gauge = MetricsRegistry().gauge("pressure")
+        gauge.set(5)
+        gauge.set_max(3)
+        assert gauge.value == 5
+        gauge.set_max(9)
+        assert gauge.value == 9
+        gauge.set(2)  # plain set is last-wins, not high-water
+        assert gauge.value == 2
+
+    def test_histogram_bucket_placement_and_overflow(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(100.0 + 0.05 + 1.0)
+
+    def test_histogram_requires_bounds(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("lat", buckets=())
+
+
+class TestSnapshots:
+    def _registry(self, hits=2, peak=7):
+        registry = MetricsRegistry()
+        registry.counter("hits", shard=0).inc(hits)
+        registry.gauge("peak", shard=0).set(peak)
+        registry.histogram("lat", buckets=(0.1, 1.0), shard=0).observe(0.5)
+        return registry
+
+    def test_snapshot_is_plain_json_serializable(self):
+        snapshot = self._registry().snapshot()
+        json.dumps(snapshot)  # no exotic types
+        names = [sample["name"] for sample in snapshot["samples"]]
+        assert names == sorted(names)
+        by_name = {s["name"]: s for s in snapshot["samples"]}
+        assert by_name["hits"]["value"] == 2
+        assert by_name["hits"]["labels"] == {"shard": "0"}
+        assert by_name["lat"]["counts"] == [0, 1, 0]
+
+    def test_merge_sums_counters_and_maxes_gauges(self):
+        merged = merge_snapshots(
+            [
+                self._registry(hits=2, peak=7).snapshot(),
+                self._registry(hits=5, peak=3).snapshot(),
+            ]
+        )
+        by_name = {s["name"]: s for s in merged["samples"]}
+        assert by_name["hits"]["value"] == 7
+        assert by_name["peak"]["value"] == 7  # max, not sum
+        assert by_name["lat"]["counts"] == [0, 2, 0]
+        assert by_name["lat"]["count"] == 2
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        left = MetricsRegistry()
+        left.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        right = MetricsRegistry()
+        right.histogram("lat", buckets=(0.2, 2.0)).observe(0.5)
+        with pytest.raises(TelemetryError, match="bucket bounds differ"):
+            merge_snapshots([left.snapshot(), right.snapshot()])
+
+    def test_load_snapshot_rejects_unknown_kind(self):
+        registry = MetricsRegistry()
+        bad = {"samples": [{"name": "x", "kind": "summary", "labels": {}}]}
+        with pytest.raises(TelemetryError, match="unknown sample kind"):
+            registry.load_snapshot(bad)
+
+
+class TestExports:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("rumor_hits_total", shard=0, kind="sel").inc(3)
+        registry.histogram("rumor_lat", buckets=(0.1, 1.0)).observe(0.5)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE rumor_hits_total counter" in text
+        assert 'rumor_hits_total{kind="sel",shard="0"} 3' in text
+        # Histogram buckets are cumulative and end at +Inf.
+        assert 'rumor_lat_bucket{le="0.1"} 0' in text
+        assert 'rumor_lat_bucket{le="1.0"} 1' in text
+        assert 'rumor_lat_bucket{le="+Inf"} 1' in text
+        assert "rumor_lat_sum 0.5" in text
+        assert "rumor_lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_jsonl_stamps_capture_time(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(1)
+        lines = to_jsonl(registry.snapshot(), at=123.5).strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records == [
+            {
+                "at": 123.5,
+                "kind": "counter",
+                "labels": {},
+                "name": "hits",
+                "value": 1,
+            }
+        ]
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({"samples": []}) == ""
+        assert to_jsonl({"samples": []}) == ""
+
+    def test_publish_run_stats_names_and_values(self):
+        stats = RunStats(
+            input_events=10,
+            physical_input_events=8,
+            output_events=4,
+            physical_events=20,
+            elapsed_seconds=1.5,
+            outputs_by_query={"q1": 3, "q2": 1},
+            peak_state=6,
+            migrations=2,
+        )
+        registry = MetricsRegistry()
+        publish_run_stats(registry, stats, shard=1)
+        by_name = {
+            (s["name"], tuple(sorted(s["labels"].items()))): s
+            for s in registry.snapshot()["samples"]
+        }
+        shard = (("shard", "1"),)
+        assert by_name[("rumor_input_events_total", shard)]["value"] == 10
+        assert by_name[("rumor_physical_events_total", shard)]["value"] == 20
+        assert by_name[("rumor_peak_state", shard)]["value"] == 6
+        assert by_name[("rumor_migrations_total", shard)]["value"] == 2
+        q1 = (("query", "q1"), ("shard", "1"))
+        assert by_name[("rumor_query_outputs_total", q1)]["value"] == 3
+
+
+# -- spans ---------------------------------------------------------------------------
+
+
+class TestSpanRecorder:
+    def test_ids_are_prefixed_and_unique(self):
+        recorder = SpanRecorder("w1.0")
+        ids = {recorder.new_span_id() for _ in range(5)}
+        assert len(ids) == 5
+        assert all(span_id.startswith("w1.0-") for span_id in ids)
+
+    def test_span_context_records_on_exit(self):
+        recorder = SpanRecorder("c")
+        with recorder.span("rpc:stats", "t1", shard=2) as span:
+            child_parent = span.span_id
+        assert len(recorder.spans) == 1
+        recorded = recorder.spans[0]
+        assert recorded["name"] == "rpc:stats"
+        assert recorded["trace_id"] == "t1"
+        assert recorded["parent_id"] is None
+        assert recorded["attrs"] == {"shard": 2}
+        assert recorded["elapsed_seconds"] >= 0.0
+        assert recorded["span_id"] == child_parent
+
+    def test_span_error_path_still_records_flagged(self):
+        recorder = SpanRecorder("c")
+        with pytest.raises(RuntimeError):
+            with recorder.span("rebalance", "t1"):
+                raise RuntimeError("boom")
+        assert recorder.spans[0]["attrs"]["error"] is True
+
+    def test_bounded_buffer_counts_drops(self):
+        recorder = SpanRecorder("c", max_spans=2)
+        for _ in range(4):
+            with recorder.span("x", "t1"):
+                pass
+        assert len(recorder.spans) == 2
+        assert recorder.dropped == 2
+
+    def test_drain_empties_and_add_adopts(self):
+        worker = SpanRecorder("w0.0")
+        with worker.span("data:apply", "t1", parent_id="c-1"):
+            pass
+        shipped = worker.drain()
+        assert worker.spans == []
+        coordinator = SpanRecorder("c")
+        coordinator.add(shipped)
+        assert [s["name"] for s in coordinator.spans] == ["data:apply"]
+
+    def test_to_jsonl_round_trips(self):
+        recorder = SpanRecorder("c")
+        with recorder.span("serve", "t1"):
+            pass
+        lines = recorder.to_jsonl().strip().splitlines()
+        assert json.loads(lines[0])["name"] == "serve"
+
+    def test_span_tree_indexes_children_under_parents(self):
+        spans = [
+            {"span_id": "c-1", "parent_id": None, "name": "rebalance"},
+            {"span_id": "c-2", "parent_id": "c-1", "name": "rpc:rebalance"},
+            {"span_id": "w0.0-1", "parent_id": "c-2", "name": "apply"},
+        ]
+        tree = span_tree(spans)
+        assert [s["name"] for s in tree[None]] == ["rebalance"]
+        assert [s["name"] for s in tree["c-1"]] == ["rpc:rebalance"]
+        assert [s["name"] for s in tree["c-2"]] == ["apply"]
+
+
+class TestWireTracePropagation:
+    def test_command_frames_carry_optional_trace(self):
+        untraced = encode_command(STATS, 7, {"telemetry": True})
+        traced = encode_command(
+            STATS, 7, {"telemetry": True}, trace=("t1", "c-3")
+        )
+        # Byte-compatible prefix: decode ignores the trailing element.
+        assert traced[:3] == untraced
+        assert frame_trace(untraced) is None
+        assert frame_trace(traced) == ("t1", "c-3")
+
+    def test_run_frames_carry_optional_trace(self):
+        from repro.streams.channel import Channel, ChannelTuple
+        from repro.streams.schema import Schema
+        from repro.streams.stream import StreamDef
+        from repro.streams.tuples import StreamTuple
+
+        schema = Schema.of_ints("a")
+        channel = Channel.singleton(StreamDef("S", schema))
+        batch = [ChannelTuple(StreamTuple(schema, (1,), 0), 1)]
+        plain = WireEncoder().encode_run(channel, batch)
+        traced = WireEncoder().encode_run(channel, batch, trace=("t1", "c-9"))
+        assert traced[-1][:4] == plain[-1][:4]
+        assert frame_trace(plain[-1]) is None
+        assert frame_trace(traced[-1]) == ("t1", "c-9")
+        # Schema frames are interning state, never traced.
+        assert all(frame_trace(frame) is None for frame in traced[:-1])
+        # Decoders accept the traced frame unchanged.
+        decoder = WireDecoder([channel])
+        decoded = None
+        for frame in traced:
+            result = decoder.decode(frame)
+            if result is not None:
+                decoded = result
+        assert decoded[0] is channel
+        assert decoded[1][0].tuple.values == (1,)
+
+    def test_reply_and_stop_frames_are_never_traced(self):
+        assert frame_trace(("stop",)) is None
+        assert frame_trace((RUN, 1, 0, [])) is None
+
+
+# -- events --------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_captures_structured_fields(self):
+        log = EventLog()
+        event = log.emit("rebalance", query="q1", source=0, target=1)
+        assert event["kind"] == "rebalance"
+        assert event["query"] == "q1"
+        assert "at" in event
+        assert log.by_kind("rebalance") == [event]
+        assert log.by_kind("recovery") == []
+
+    def test_emit_mirrors_to_logging(self, caplog):
+        logger = logging.getLogger("repro.test.events")
+        log = EventLog(logger)
+        with caplog.at_level(logging.INFO, logger="repro.test.events"):
+            log.emit("recovery", message="shard 0 DROPPED", shard=0)
+        assert "shard 0 DROPPED shard=0" in caplog.text
+
+    def test_bounded_buffer_counts_drops(self):
+        log = EventLog(max_events=1)
+        log.emit("a")
+        log.emit("b")
+        assert len(log.events) == 1
+        assert log.dropped == 1
+
+    def test_to_jsonl_round_trips(self):
+        log = EventLog()
+        log.emit("checkpoint_stored", shard=1, version=3)
+        record = json.loads(log.to_jsonl().strip())
+        assert record["kind"] == "checkpoint_stored"
+        assert record["version"] == 3
+
+
+# -- per-m-op records ----------------------------------------------------------------
+
+
+class TestMOpObserver:
+    def test_sampling_rate_validation(self):
+        with pytest.raises(ValueError):
+            MOpObserver(sample_every=0)
+        with pytest.raises(ValueError):
+            MOpObserver(state_sample_every=-1)
+
+    def test_busy_seconds_extrapolates_from_samples(self):
+        observer = MOpObserver()
+        record = observer.record_for(3)
+        record.batches = 64
+        record.sampled_calls = 2
+        record.sampled_seconds = 0.5
+        # 0.5s over 2 sampled of 64 total calls -> 16s extrapolated.
+        assert record.busy_seconds == pytest.approx(16.0)
+        record.sampled_calls = 0
+        assert record.busy_seconds == 0.0
+
+    def test_absorb_merges_exported_stats(self):
+        source = MOpObserver()
+        record = source.record_for(5)
+        record.kind = "selection"
+        record.query_ids = ("q1",)
+        record.batches = 4
+        record.tuples_in = 100
+        record.tuples_out = 40
+        target = MOpObserver()
+        target.absorb(source.mop_stats())
+        target.absorb(source.mop_stats())
+        merged = target.records[5]
+        assert merged.batches == 8
+        assert merged.tuples_in == 200
+        assert merged.tuples_out == 80
+        assert merged.kind == "selection"
+
+    def test_query_heat_splits_shared_mops_evenly(self):
+        observer = MOpObserver()
+        shared = observer.record_for(1)
+        shared.query_ids = ("q1", "q2")
+        shared.batches = 1
+        shared.sampled_calls = 1
+        shared.sampled_seconds = 4.0
+        solo = observer.record_for(2)
+        solo.query_ids = ("q1",)
+        solo.batches = 1
+        solo.sampled_calls = 1
+        solo.sampled_seconds = 1.0
+        heat = observer.query_heat()
+        assert heat["q1"] == pytest.approx(3.0)  # 4/2 + 1
+        assert heat["q2"] == pytest.approx(2.0)
+
+    def test_publish_emits_per_mop_series_and_peak_gauge(self):
+        observer = MOpObserver()
+        record = observer.record_for(7)
+        record.kind = "join"
+        record.tuples_in = 10
+        record.tuples_out = 3
+        observer.peak_state = 42
+        registry = MetricsRegistry()
+        observer.publish(registry, shard=0)
+        text = to_prometheus(registry.snapshot())
+        assert (
+            'rumor_mop_tuples_out_total{mop_id="7",mop_kind="join",shard="0"} 3'
+            in text
+        )
+        assert 'rumor_engine_peak_state{shard="0"} 42' in text
+
+
+# -- logging setup -------------------------------------------------------------------
+
+
+class TestConfigureLogging:
+    def teardown_method(self):
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_cli", False):
+                logger.removeHandler(handler)
+
+    def test_installs_one_handler_idempotently(self):
+        logger = logging.getLogger("repro")
+        configure_logging("debug")
+        configure_logging("info")
+        flagged = [
+            handler
+            for handler in logger.handlers
+            if getattr(handler, "_repro_cli", False)
+        ]
+        assert len(flagged) == 1
+        assert logger.level == logging.INFO
+
+    def test_rejects_unknown_level_and_format(self):
+        with pytest.raises(ValueError, match="log level"):
+            configure_logging("verbose")
+        with pytest.raises(ValueError, match="log format"):
+            configure_logging("info", format="xml")
+
+    def test_json_formatter_emits_parseable_records(self):
+        record = logging.LogRecord(
+            "repro.shard.proc", logging.WARNING, __file__, 1,
+            "shard %d DROPPED", (0,), None,
+        )
+        payload = json.loads(JsonFormatter().format(record))
+        assert payload["level"] == "WARNING"
+        assert payload["logger"] == "repro.shard.proc"
+        assert payload["message"] == "shard 0 DROPPED"
+        assert "at" in payload and "process" in payload

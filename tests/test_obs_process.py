@@ -1,0 +1,216 @@
+"""Process-mode telemetry acceptance: the issue's three criteria, end to end.
+
+One observed churn serve through :class:`ProcessShardedRuntime` — with at
+least one cross-process rebalance and at least one completed checkpoint
+round — must produce:
+
+(a) a merged metrics snapshot whose per-m-op tuple counts sum exactly to
+    the per-shard ``RunStats`` physical counters;
+(b) a JSONL-exportable span set forming one tree per trace, with
+    coordinator→worker parent edges across the process boundary for the
+    rebalance, the checkpoint round, and data shipping;
+(c) captured outputs byte-identical to an unobserved serve of the same
+    workload — observation must not perturb results.
+
+The serves are expensive (two full process-mode churn runs), so one
+module-scoped fixture drives both and every test asserts against the
+shared result.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import merge_snapshots, span_tree, to_prometheus
+from repro.shard import ProcessShardedRuntime, fork_available
+from repro.workloads.churn import ChurnWorkload
+from strategies import serve_churn_with_rebalance
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process mode requires the fork start method"
+)
+
+
+def _serve(observe: bool) -> dict:
+    workload = ChurnWorkload(arrival_rate=0.02, horizon=600, seed=7)
+    runtime = ProcessShardedRuntime(
+        {"S": workload.schema, "T": workload.schema},
+        n_shards=2,
+        capture_outputs=True,
+        checkpoint_every=3,
+        observe=observe,
+    )
+    try:
+        applied, moved = serve_churn_with_rebalance(
+            runtime, workload, rebalance_after=2
+        )
+        runtime.checkpoint()
+        result = {
+            "applied": applied,
+            "moved": moved,
+            "captured": runtime.captured,
+            "stats": runtime.collect_stats(),
+            "rebalances": runtime.rebalances,
+            "checkpoints": runtime.checkpoints_stored,
+            "events": list(runtime.events.events),
+        }
+        if observe:
+            result["telemetry"] = runtime.shard_telemetry()
+            result["snapshot"] = runtime.metrics_registry().snapshot()
+            result["span_jsonl"] = runtime.recorder.to_jsonl()
+            result["spans"] = list(runtime.recorder.spans)
+        return result
+    finally:
+        runtime.close()
+
+
+@pytest.fixture(scope="module")
+def serves():
+    observed = _serve(observe=True)
+    plain = _serve(observe=False)
+    # The acceptance serve must actually exercise the traced lifecycle.
+    assert observed["rebalances"] >= 1
+    assert observed["checkpoints"] >= 2
+    return observed, plain
+
+
+class TestOutputsUnperturbed:
+    def test_captured_outputs_byte_identical(self, serves):
+        observed, plain = serves
+        assert observed["moved"] == plain["moved"]
+        assert observed["captured"] == plain["captured"]
+        assert sum(len(v) for v in observed["captured"].values()) > 0
+
+    def test_aggregate_counters_identical(self, serves):
+        observed, plain = serves
+        assert (
+            observed["stats"].outputs_by_query
+            == plain["stats"].outputs_by_query
+        )
+        assert observed["stats"].input_events == plain["stats"].input_events
+        assert observed["stats"].output_events == plain["stats"].output_events
+
+
+class TestMetricsReconcile:
+    def test_per_shard_mop_counts_sum_to_physical_counters(self, serves):
+        observed, __ = serves
+        for view in observed["telemetry"]:
+            stats = view["stats"]
+            mops_out = sum(
+                record["tuples_out"] for record in view["mop_stats"].values()
+            )
+            assert (
+                stats.physical_events
+                == stats.physical_input_events + mops_out
+            ), f"shard {view['shard']} accounting does not reconcile"
+
+    def test_merged_snapshot_reconciles_and_exports(self, serves):
+        observed, __ = serves
+        snapshot = observed["snapshot"]
+        json.dumps(snapshot)  # plain data, export-safe
+        mop_out = sum(
+            sample["value"]
+            for sample in snapshot["samples"]
+            if sample["name"] == "rumor_mop_tuples_out_total"
+        )
+        physical = sum(
+            view["stats"].physical_events for view in observed["telemetry"]
+        )
+        physical_in = sum(
+            view["stats"].physical_input_events
+            for view in observed["telemetry"]
+        )
+        assert mop_out == physical - physical_in
+        text = to_prometheus(snapshot)
+        assert "rumor_mop_tuples_out_total" in text
+        assert "rumor_rebalances_total" in text
+        assert "rumor_checkpoints_stored_total" in text
+
+    def test_snapshot_merge_is_idempotent_on_labels(self, serves):
+        observed, __ = serves
+        # Merging a snapshot with itself doubles counters but not gauges —
+        # the documented cross-shard merge semantics.
+        snapshot = observed["snapshot"]
+        doubled = merge_snapshots([snapshot, snapshot])
+        for before, after in zip(snapshot["samples"], doubled["samples"]):
+            assert before["name"] == after["name"]
+            if before["kind"] == "counter":
+                assert after["value"] == 2 * before["value"]
+            elif before["kind"] == "gauge":
+                assert after["value"] == before["value"]
+
+
+class TestSpanTree:
+    def test_export_is_jsonl_with_one_trace(self, serves):
+        observed, __ = serves
+        lines = observed["span_jsonl"].strip().splitlines()
+        spans = [json.loads(line) for line in lines]
+        assert len(spans) == len(observed["spans"])
+        assert len({span["trace_id"] for span in spans}) == 1
+
+    def test_rebalance_spans_cross_the_process_boundary(self, serves):
+        observed, __ = serves
+        spans = observed["spans"]
+        tree = span_tree(spans)
+        rebalances = [s for s in spans if s["name"] == "rebalance"]
+        assert rebalances, "serve performed no traced rebalance"
+        rpc_ids = set()
+        for rebalance in rebalances:
+            children = tree.get(rebalance["span_id"], [])
+            rpc_ids |= {
+                child["span_id"]
+                for child in children
+                if child["name"] == "rpc:rebalance"
+            }
+        assert rpc_ids, "rebalance span has no rpc child"
+        worker_applies = [
+            s for s in spans if s["name"].startswith("apply:rebalance")
+        ]
+        assert worker_applies, "no worker-side rebalance apply spans"
+        assert any(
+            apply["parent_id"] in rpc_ids for apply in worker_applies
+        ), "worker apply spans are not parented to the coordinator rpc"
+        # Worker spans carry worker-minted ids (provenance in the prefix).
+        assert all(
+            apply["span_id"].startswith("w") for apply in worker_applies
+        )
+
+    def test_checkpoint_round_parents_worker_snapshots(self, serves):
+        observed, __ = serves
+        spans = observed["spans"]
+        rounds = {
+            s["span_id"] for s in spans if s["name"] == "checkpoint:round"
+        }
+        assert rounds, "serve recorded no checkpoint rounds"
+        worker_checkpoints = [
+            s for s in spans if s["name"] == "apply:checkpoint"
+        ]
+        assert worker_checkpoints, "no worker-side checkpoint spans"
+        assert any(
+            span["parent_id"] in rounds for span in worker_checkpoints
+        )
+
+    def test_data_shipping_parents_worker_applies(self, serves):
+        observed, __ = serves
+        spans = observed["spans"]
+        ship_ids = {s["span_id"] for s in spans if s["name"] == "ship:run"}
+        data_applies = [s for s in spans if s["name"] == "data:apply"]
+        assert data_applies
+        assert all(
+            apply["parent_id"] in ship_ids for apply in data_applies
+        )
+        assert all(apply["attrs"]["count"] >= 1 for apply in data_applies)
+
+
+class TestEventLog:
+    def test_lifecycle_events_are_captured(self, serves):
+        observed, __ = serves
+        kinds = {event["kind"] for event in observed["events"]}
+        assert {"register", "rebalance", "checkpoint_stored"} <= kinds
+
+    def test_events_flow_even_unobserved(self, serves):
+        # The event log is part of the coordinator proper, not gated on
+        # observe= — operators always get the lifecycle stream.
+        __, plain = serves
+        kinds = {event["kind"] for event in plain["events"]}
+        assert "rebalance" in kinds and "checkpoint_stored" in kinds

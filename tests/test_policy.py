@@ -17,12 +17,15 @@ SCHEMA = Schema.numbered(2)
 class FakeRuntime:
     """Minimal runtime facade for policy unit tests."""
 
-    def __init__(self, placement, busy, outputs_by_query, components=None):
+    def __init__(
+        self, placement, busy, outputs_by_query, components=None, heat=None
+    ):
         self.n_shards = len(busy)
         self._placement = dict(placement)  # query_id -> shard
         self._busy = busy
         self._outputs = outputs_by_query
         self._components = components or {}
+        self._heat = heat  # query_id -> busy seconds (telemetry signal)
 
     @property
     def active_queries(self):
@@ -55,6 +58,22 @@ class FakeRuntime:
 
     def component_queries(self, query_id):
         return self._components.get(query_id, [query_id])
+
+    def shard_telemetry(self):
+        heat = self._heat or {}
+        return [
+            {
+                "shard": shard,
+                "mop_stats": {},
+                "query_heat": {
+                    q: seconds
+                    for q, seconds in heat.items()
+                    if self._placement.get(q) == shard
+                },
+                "peak_state": 0,
+            }
+            for shard in range(self.n_shards)
+        ]
 
 
 class TestQueryCountPolicy:
@@ -142,8 +161,115 @@ class TestThroughputPolicy:
     def test_validation(self):
         with pytest.raises(ValueError):
             ThroughputPolicy(min_ratio=0.5)
+        with pytest.raises(ValueError):
+            ThroughputPolicy(heat="latency")
         with pytest.raises(NotImplementedError):
             RebalancePolicy().propose(None)
+
+    def test_deltas_reset_when_shard_count_changes(self):
+        # Warm the policy on a 2-shard cluster, then point it at a 3-shard
+        # one: stored deltas are shard-indexed, so they must reset to the
+        # cumulative baseline instead of zipping against a stale list.
+        policy = ThroughputPolicy()
+        warm = FakeRuntime(
+            {"a": 0, "c": 0, "b": 1},
+            busy=[10.0, 1.0],
+            outputs_by_query={"a": 100, "c": 5, "b": 10},
+        )
+        assert list(policy.propose(warm))
+        grown = FakeRuntime(
+            {"a": 0, "c": 0, "b": 1, "d": 2},
+            busy=[10.0, 1.0, 0.5],
+            outputs_by_query={"a": 100, "c": 5, "b": 10, "d": 1},
+        )
+        # Same cumulative busy on shard 0 — a stale delta would be ~zero
+        # and propose nothing; the reset treats 10.0s as fresh signal.
+        proposals = list(policy.propose(grown))
+        assert proposals and proposals[0][0] == "a"
+        assert len(policy._previous_busy) == 3
+
+    def test_min_busy_floor_applies_to_deltas_after_warmup(self):
+        # Cumulative busy is far above the floor, but the per-window delta
+        # is tiny: the floor must gate on the delta, not the total.
+        policy = ThroughputPolicy(min_ratio=1.01, min_busy_seconds=0.5)
+        first = FakeRuntime(
+            {"a": 0, "c": 0, "b": 1},
+            busy=[20.0, 1.0],
+            outputs_by_query={"a": 100, "c": 5},
+        )
+        assert list(policy.propose(first))
+        barely_warmer = FakeRuntime(
+            {"a": 0, "c": 0, "b": 1},
+            busy=[20.2, 1.0],
+            outputs_by_query={"a": 100, "c": 5},
+        )
+        assert list(policy.propose(barely_warmer)) == []
+
+    def test_oversized_component_alerted(self, caplog):
+        # The donor's hottest component spans all its queries: moving it
+        # would relocate the hotspot wholesale, so it is skipped + alerted.
+        component = ["a", "c", "e"]
+        runtime = FakeRuntime(
+            {"a": 0, "c": 0, "e": 0, "b": 1},
+            busy=[10.0, 0.1],
+            outputs_by_query={"a": 100, "c": 50, "e": 10, "b": 1},
+            components={q: component for q in component},
+        )
+        policy = ThroughputPolicy()
+        with caplog.at_level(logging.WARNING, logger="repro.shard.policy"):
+            assert list(policy.propose(runtime)) == []
+        assert policy.oversized_alerts == 3
+        assert "oversized component" in caplog.text
+
+    def test_busy_heat_reranks_donor_candidates(self):
+        # Output counts say "chatty" is hottest; sampled busy time says
+        # "cruncher" (few outputs, heavy predicate work) is.  heat="busy"
+        # must rank by the telemetry signal.
+        placement = {"chatty": 0, "cruncher": 0, "idle": 0, "other": 1}
+        outputs = {"chatty": 500, "cruncher": 3, "idle": 1, "other": 10}
+        heat = {"chatty": 0.2, "cruncher": 5.0, "idle": 0.0, "other": 0.1}
+        by_outputs = FakeRuntime(placement, [4.0, 0.5], outputs, heat=heat)
+        proposals = list(ThroughputPolicy().propose(by_outputs))
+        assert proposals[0][0] == "chatty"
+        by_busy = FakeRuntime(placement, [4.0, 0.5], outputs, heat=heat)
+        proposals = list(ThroughputPolicy(heat="busy").propose(by_busy))
+        assert proposals[0][0] == "cruncher"
+
+    def test_busy_heat_is_delta_based(self):
+        placement = {"a": 0, "c": 0, "b": 1}
+        outputs = {"a": 1, "c": 2, "b": 1}
+        policy = ThroughputPolicy(heat="busy", min_ratio=1.01)
+        first = FakeRuntime(
+            placement, [5.0, 0.1], outputs, heat={"a": 4.0, "c": 1.0}
+        )
+        assert list(policy.propose(first))[0][0] == "a"
+        # Since then only "c" accumulated busy time: the delta ranking must
+        # flip even though cumulative heat still favours "a".
+        second = FakeRuntime(
+            placement, [9.0, 0.1], outputs, heat={"a": 4.0, "c": 4.5}
+        )
+        assert list(policy.propose(second))[0][0] == "c"
+
+    def test_busy_heat_falls_back_without_telemetry(self):
+        runtime = FakeRuntime(
+            {"cold": 0, "hot": 0, "other": 1},
+            busy=[3.0, 0.5],
+            outputs_by_query={"cold": 1, "hot": 400, "other": 10},
+        )
+        runtime.shard_telemetry = None  # runtime without the accessor
+        proposals = list(ThroughputPolicy(heat="busy").propose(runtime))
+        assert proposals[0][0] == "hot"
+
+    def test_busy_heat_empty_falls_back_to_outputs(self):
+        # Telemetry present but the runtime is not observing: query_heat is
+        # empty everywhere, so ranking falls back to output deltas.
+        runtime = FakeRuntime(
+            {"cold": 0, "hot": 0, "other": 1},
+            busy=[3.0, 0.5],
+            outputs_by_query={"cold": 1, "hot": 400, "other": 10},
+        )
+        proposals = list(ThroughputPolicy(heat="busy").propose(runtime))
+        assert proposals[0][0] == "hot"
 
 
 class TestDriverIntegration:

@@ -26,7 +26,13 @@ timing tolerance):
    and is asserted to — that is the gap the subsystem closes);
 2. every checkpointed policy replays **strictly fewer** tuples than
    replay-from-start on the same crash schedule (the ISSUE 5 acceptance
-   criterion).
+   criterion);
+3. a coordinator killed mid-serve cold-starts from its on-disk journal —
+   fleet respawned from checkpoints + WAL suffixes — and the resumed
+   serve ends byte-identical to the fault-free reference (the ISSUE 7
+   acceptance criterion);
+4. differential checkpoint rounds ship **strictly fewer** bytes over the
+   wire than full rounds on the same schedule, and stay byte-identical.
 
 Wall-clock columns are informational only.  (Replay volume is *bounded*
 by roughly twice the checkpoint interval — last cut before the crash to
@@ -43,16 +49,20 @@ Run standalone (writes ``BENCH_recovery.json``)::
 from __future__ import annotations
 
 import json
+import tempfile
+import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import CoordinatorCrashError
 from repro.shard import (
+    CoordinatorFaults,
     ProcessShardedRuntime,
     ShardedRuntime,
     WorkerFaults,
     fork_available,
 )
-from repro.workloads.churn import ChurnWorkload, drive_sharded
+from repro.workloads.churn import ChurnWorkload, drive_sharded, resume_tail
 
 #: The 4-template pool: sequences, shared aggregates and joins all carry
 #: operator state through the crash.
@@ -70,6 +80,7 @@ class RecoveryScale:
     initial_queries: int
     crash_at: int  # nth run frame on the doomed shard
     intervals: tuple  # checkpoint_every values to sweep (0 = WAL only)
+    coordinator_crash_at: int  # nth journal batch append kills the head
     seed: int = 7
 
     @classmethod
@@ -82,6 +93,7 @@ class RecoveryScale:
             initial_queries=6,
             crash_at=400,
             intervals=(0, 64, 16),
+            coordinator_crash_at=30,
         )
 
     @classmethod
@@ -94,6 +106,7 @@ class RecoveryScale:
             initial_queries=4,
             crash_at=80,
             intervals=(0, 32, 8),
+            coordinator_crash_at=12,
         )
 
 
@@ -179,6 +192,115 @@ def serve_with_crash(
         proc.close()
 
 
+def serve_cold_start(scale: RecoveryScale, checkpoint_every: int) -> dict:
+    """Kill the coordinator mid-serve, cold-start from the journal, finish.
+
+    Total loss: the fleet is terminated with the coordinator (``abandon``),
+    leaving only the on-disk journal + checkpoint store.  The cell reports
+    how long :meth:`ProcessShardedRuntime.from_journal` took to respawn the
+    fleet (checkpoint restore + WAL suffix replay, measured to the first
+    settled RPC) and whether the resumed serve ends byte-identical.
+    """
+    workload = _workload(scale)
+    sources = {"S": workload.schema, "T": workload.schema}
+    streams = list(workload.stream_events())
+    churn = list(workload.schedule())
+    with tempfile.TemporaryDirectory() as journal_dir:
+        proc = ProcessShardedRuntime(
+            sources,
+            n_shards=2,
+            capture_outputs=True,
+            checkpoint_every=checkpoint_every,
+            journal=journal_dir,
+            coordinator_faults=CoordinatorFaults(
+                crash_on=("batch", scale.coordinator_crash_at), when="after"
+            ),
+            **FAST,
+        )
+        try:
+            for __ in drive_sharded(proc, streams, churn):
+                pass
+        except CoordinatorCrashError:
+            pass
+        else:
+            raise AssertionError(
+                f"the seeded coordinator crash at batch append "
+                f"{scale.coordinator_crash_at} never fired; lower "
+                f"coordinator_crash_at for this horizon"
+            )
+        proc.abandon()
+
+        started = time.perf_counter()
+        successor = ProcessShardedRuntime.from_journal(journal_dir)
+        successor.collect_stats()  # forces the respawn + restore to settle
+        resume_seconds = time.perf_counter() - started
+        try:
+            resume_point = successor.input_positions()
+            stream_tail, churn_tail = resume_tail(
+                streams, churn, resume_point, successor.lifecycle_ops
+            )
+            for __ in drive_sharded(successor, stream_tail, churn_tail):
+                pass
+            stats = successor.collect_stats()
+            return {
+                "policy": f"cold-start@{checkpoint_every}",
+                "checkpoint_every": checkpoint_every,
+                "resume_seconds": resume_seconds,
+                "journal_records": successor._journal.record_count(),
+                "events_already_served": sum(resume_point.values()),
+                "events_reserved_after_resume": len(stream_tail),
+                "outputs": {
+                    query_id: count
+                    for query_id, count in sorted(
+                        stats.outputs_by_query.items()
+                    )
+                },
+                "_captured": {
+                    query_id: list(history)
+                    for query_id, history in successor.captured.items()
+                },
+            }
+        finally:
+            successor.close()
+
+
+def serve_wire_bytes(scale: RecoveryScale, differential: bool) -> dict:
+    """One fault-free durable serve, reporting checkpoint wire volume."""
+    workload = _workload(scale)
+    sources = {"S": workload.schema, "T": workload.schema}
+    interval = min(i for i in scale.intervals if i)
+    proc = ProcessShardedRuntime(
+        sources,
+        n_shards=2,
+        capture_outputs=True,
+        durable=True,
+        checkpoint_every=interval,
+        differential=differential,
+        **FAST,
+    )
+    try:
+        for __ in drive_sharded(
+            proc, workload.stream_events(), workload.schedule()
+        ):
+            pass
+        proc.collect_stats()
+        return {
+            "policy": (
+                f"differential@{interval}" if differential else f"full@{interval}"
+            ),
+            "checkpoint_every": interval,
+            "differential": differential,
+            "checkpoints_stored": proc.checkpoints_stored,
+            "wire_bytes": proc.checkpoint_wire_bytes,
+            "_captured": {
+                query_id: list(history)
+                for query_id, history in proc.captured.items()
+            },
+        }
+    finally:
+        proc.close()
+
+
 def run_benchmark(scale: RecoveryScale) -> dict:
     reference = _reference(scale)
     cells = [serve_with_crash(scale, durable=False, checkpoint_every=0)]
@@ -213,12 +335,40 @@ def run_benchmark(scale: RecoveryScale) -> dict:
         )
 
     best = min(checkpointed, key=lambda cell: cell["tuples_replayed"])
+
+    # ISSUE 7 cells: coordinator cold start + differential wire volume.
+    cold = serve_cold_start(scale, checkpoint_every=min(
+        interval for interval in scale.intervals if interval
+    ))
+    cold["byte_identical"] = cold.pop("_captured") == reference.captured
+    assert cold["byte_identical"], (
+        "cold-start from the coordinator journal diverged from the "
+        "fault-free reference"
+    )
+    full_wire = serve_wire_bytes(scale, differential=False)
+    diff_wire = serve_wire_bytes(scale, differential=True)
+    for cell in (full_wire, diff_wire):
+        cell["byte_identical"] = cell.pop("_captured") == reference.captured
+        assert cell["byte_identical"], (
+            f"{cell['policy']}: checkpointed serve diverged from the "
+            f"fault-free reference"
+        )
+    assert diff_wire["wire_bytes"] < full_wire["wire_bytes"], (
+        f"differential rounds shipped {diff_wire['wire_bytes']} bytes, not "
+        f"strictly fewer than full rounds' {full_wire['wire_bytes']}"
+    )
+
     return {
         "benchmark": "recovery",
         "scale": scale.name,
         "crash_at_data_frame": scale.crash_at,
+        "coordinator_crash_at_batch": scale.coordinator_crash_at,
         "horizon": scale.horizon,
         "cells": {cell["policy"]: cell for cell in cells},
+        "coordinator": {cold["policy"]: cold},
+        "checkpoint_wire": {
+            cell["policy"]: cell for cell in (full_wire, diff_wire)
+        },
         "headline": {
             "replay_from_start_tuples": baseline["tuples_replayed"],
             "best_checkpoint_policy": best["policy"],
@@ -229,6 +379,10 @@ def run_benchmark(scale: RecoveryScale) -> dict:
                     / max(best["tuples_replayed"], 1),
                     2,
                 )
+            ),
+            "cold_start_resume_ms": round(cold["resume_seconds"] * 1e3, 1),
+            "differential_wire_reduction": round(
+                full_wire["wire_bytes"] / max(diff_wire["wire_bytes"], 1), 2
             ),
         },
     }
@@ -248,12 +402,29 @@ def render(results: dict) -> str:
             f"{cell['recovery_seconds'] * 1e3:>11.1f} "
             f"{str(cell['byte_identical']):>10}"
         )
+    for policy, cell in results["coordinator"].items():
+        lines.append(
+            f"{policy:<20} coordinator killed at batch append "
+            f"{results['coordinator_crash_at_batch']}: resumed "
+            f"{cell['events_reserved_after_resume']} events after "
+            f"{cell['events_already_served']} journaled ones in "
+            f"{cell['resume_seconds'] * 1e3:.1f} ms "
+            f"(identical={cell['byte_identical']})"
+        )
+    for policy, cell in results["checkpoint_wire"].items():
+        lines.append(
+            f"{policy:<20} {cell['checkpoints_stored']} rounds shipped "
+            f"{cell['wire_bytes']} bytes "
+            f"(identical={cell['byte_identical']})"
+        )
     headline = results["headline"]
     lines.append(
         f"headline: {headline['best_checkpoint_policy']} replays "
         f"{headline['best_checkpoint_tuples']} tuples vs "
         f"{headline['replay_from_start_tuples']} from start "
-        f"({headline['replay_reduction']}x less replay)"
+        f"({headline['replay_reduction']}x less replay); cold start resumed "
+        f"in {headline['cold_start_resume_ms']} ms; differential rounds "
+        f"ship {headline['differential_wire_reduction']}x fewer bytes"
     )
     return "\n".join(lines)
 
@@ -297,7 +468,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     print(render(results))
     print(
         "PASS: durable recoveries byte-identical; every checkpoint interval "
-        "replays strictly fewer tuples than replay-from-start"
+        "replays strictly fewer tuples than replay-from-start; coordinator "
+        "cold start byte-identical; differential rounds ship strictly "
+        "fewer bytes"
     )
     print(f"wrote {args.output}")
     return 0

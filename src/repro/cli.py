@@ -26,7 +26,11 @@ Three subcommands cover the downstream-user loop:
     ``--durable`` / ``--checkpoint-every N`` / ``--checkpoint-dir DIR``
     enable the durable checkpoint subsystem (crashed workers restore from
     their last checkpoint and replay the write-ahead-log suffix instead of
-    losing operator state); ``--observe`` switches on the telemetry
+    losing operator state); ``--coordinator-journal DIR`` journals the
+    coordinator's own state so a killed serve cold-starts with ``--resume``
+    and picks up exactly where the journal ends; ``--grow-at`` /
+    ``--shrink-at N`` script an elastic resize (add or drain a worker)
+    after N lifecycle events; ``--observe`` switches on the telemetry
     subsystem, with ``--metrics-out`` / ``--trace-out`` / ``--events-out``
     exporting metrics snapshots, the serve's span tree, and the structured
     lifecycle event log.
@@ -244,6 +248,22 @@ def cmd_churn(args: argparse.Namespace) -> int:
             "--durable/--checkpoint-every/--checkpoint-dir require "
             "--process (the in-process runtime has no workers to lose)"
         )
+    if (
+        args.coordinator_journal or args.resume or args.grow_at or args.shrink_at
+    ) and not args.process:
+        from repro.errors import LifecycleError
+
+        raise LifecycleError(
+            "--coordinator-journal/--resume/--grow-at/--shrink-at require "
+            "--process (only the process-mode coordinator journals its "
+            "state and resizes its worker fleet)"
+        )
+    if args.resume and not args.coordinator_journal:
+        from repro.errors import LifecycleError
+
+        raise LifecycleError(
+            "--resume needs --coordinator-journal DIR to resume from"
+        )
     if (args.trace_out or args.events_out) and not args.process:
         from repro.errors import LifecycleError
 
@@ -320,7 +340,30 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
     from repro.workloads.churn import drive_sharded
 
     sources = {"S": workload.schema, "T": workload.schema}
-    if args.process:
+    stream_events = workload.stream_events()
+    churn_events = workload.schedule()
+    if args.process and args.resume:
+        from repro.shard import CoordinatorLog
+        from repro.workloads.churn import resume_tail
+
+        log = CoordinatorLog(args.coordinator_journal)
+        runtime = ProcessShardedRuntime.from_journal(
+            log,
+            track_latency=args.latency,
+            observe=args.observe,
+        )
+        stream_events, churn_events = resume_tail(
+            stream_events,
+            churn_events,
+            runtime.input_positions(),
+            runtime.lifecycle_ops,
+        )
+        print(
+            f"  resumed from {args.coordinator_journal}: "
+            f"{len(stream_events)} stream events and "
+            f"{len(churn_events)} lifecycle events left to serve"
+        )
+    elif args.process:
         store = None
         if args.checkpoint_dir:
             from repro.shard import CheckpointStore
@@ -334,6 +377,7 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
             durable=args.durable,
             checkpoint_every=args.checkpoint_every,
             store=store,
+            journal=args.coordinator_journal,
             observe=args.observe,
         )
     else:
@@ -360,12 +404,33 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
         applied = 0
         for event in drive_sharded(
             runtime,
-            workload.stream_events(),
-            workload.schedule(),
+            stream_events,
+            churn_events,
             rebalance_every=args.rebalance_every,
             policy=policy,
         ):
             applied += 1
+            if args.grow_at and applied == args.grow_at:
+                new_shard = runtime.add_worker(policy=policy)
+                print(
+                    f"  [{event.at:>6}] scale-up: shard {new_shard} joined "
+                    f"(loads={runtime.shard_loads()})"
+                )
+            if args.shrink_at and applied == args.shrink_at:
+                if runtime.n_shards > 1:
+                    departing = min(
+                        runtime.shard_ids(),
+                        key=lambda shard: len(runtime.queries_on(shard)),
+                    )
+                    retired = runtime.remove_worker(departing, policy=policy)
+                    print(
+                        f"  [{event.at:>6}] scale-down: shard "
+                        f"{retired['shard']} retired, drained "
+                        f"{len(retired['moved'])} queries "
+                        f"(loads={runtime.shard_loads()})"
+                    )
+                else:
+                    print("  --shrink-at skipped: only one worker left")
             if args.metrics_out and args.metrics_every:
                 if applied % args.metrics_every == 0:
                     _dump_metrics(runtime, args.metrics_out)
@@ -394,7 +459,13 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
                     f"  checkpoints stored: {runtime.checkpoints_stored} "
                     f"({runtime.checkpoint_failures} failures), "
                     f"wal spans: "
-                    f"{[runtime.wal_span(s) for s in range(args.shards)]}"
+                    f"{[runtime.wal_span(s) for s in runtime.shard_ids()]}"
+                )
+            if args.coordinator_journal:
+                print(
+                    f"  coordinator journal: {args.coordinator_journal} "
+                    f"({runtime._journal.record_count()} records since last "
+                    f"snapshot); resume with --resume"
                 )
             print(runtime.describe())
         if args.metrics_out:
@@ -580,6 +651,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist checkpoints as files under DIR (implies --durable)",
+    )
+    churn.add_argument(
+        "--coordinator-journal",
+        default=None,
+        metavar="DIR",
+        help="process mode: journal the coordinator's own state (placement, "
+        "WAL mirror, query catalog) under DIR alongside the checkpoints, "
+        "making the whole serve restartable (implies --durable)",
+    )
+    churn.add_argument(
+        "--resume",
+        action="store_true",
+        help="cold-start the coordinator from a previous serve's "
+        "--coordinator-journal DIR and serve only the unserved tail of "
+        "the schedule",
+    )
+    churn.add_argument(
+        "--grow-at",
+        type=int,
+        default=0,
+        metavar="N",
+        help="process mode: add one worker after N applied lifecycle "
+        "events (scripted elastic scale-out)",
+    )
+    churn.add_argument(
+        "--shrink-at",
+        type=int,
+        default=0,
+        metavar="N",
+        help="process mode: drain and retire one worker after N applied "
+        "lifecycle events (scripted elastic scale-in)",
     )
     churn.add_argument(
         "--observe",

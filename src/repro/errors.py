@@ -86,6 +86,32 @@ class WorkloadError(RumorError):
     """Raised for invalid workload or dataset generator parameters."""
 
 
+class WorkerUnreachableError(LifecycleError):
+    """Raised when a worker exhausts the RPC retry budget without replying.
+
+    The worker process is still alive (a dead worker raises
+    ``WorkerCrashError`` and is recovered instead) but never acknowledged
+    the command within ``max_retries`` retransmissions or
+    ``retry_budget`` seconds — the structured alternative to retrying
+    forever.  Carries the shard, command kind, attempt count and elapsed
+    wall-clock so operators can tell a wedged worker from a slow one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int = -1,
+        kind: str = "",
+        attempts: int = 0,
+        elapsed_seconds: float = 0.0,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.kind = kind
+        self.attempts = attempts
+        self.elapsed_seconds = elapsed_seconds
+
+
 class CheckpointError(RumorError):
     """Raised by the durable checkpoint/restore subsystem.
 
@@ -103,4 +129,24 @@ class StaleCheckpointError(CheckpointError):
     truncated — restoring an older version could not be completed to the
     present, so the request is rejected rather than silently serving stale
     state.
+    """
+
+
+class JournalError(CheckpointError):
+    """Raised by the coordinator journal (:mod:`repro.shard.coordlog`).
+
+    Examples: opening a runtime over a directory that already holds a
+    previous serve's journal without resuming it, or replaying a journal
+    record of an unknown kind.
+    """
+
+
+class CoordinatorCrashError(RumorError):
+    """A simulated coordinator death (fault injection only).
+
+    Raised by :class:`~repro.shard.coordlog.CoordinatorFaults` at an armed
+    crash point.  The runtime that raised it is dead from that moment on —
+    tests either :meth:`~repro.shard.proc.ProcessShardedRuntime.abandon`
+    it (cold-start path) or :meth:`~repro.shard.proc.ProcessShardedRuntime.detach`
+    its workers for re-adoption.
     """

@@ -53,6 +53,25 @@ class EventLog:
     def by_kind(self, kind: str) -> list[dict]:
         return [event for event in self.events if event["kind"] == kind]
 
+    #: Event kinds that change the fleet's shape or identity — emitted by
+    #: elastic resizes and coordinator restarts.
+    TOPOLOGY_KINDS = frozenset(
+        {"scale_up", "scale_down", "readopt", "cold_start", "coordinator_crash"}
+    )
+
+    def topology(self) -> list[dict]:
+        """The topology-change audit trail, in emission order.
+
+        Every worker added or retired and every coordinator restart
+        (re-adoption or cold start) appears here — the answer to "how did
+        the fleet get into this shape".
+        """
+        return [
+            event
+            for event in self.events
+            if event["kind"] in self.TOPOLOGY_KINDS
+        ]
+
     def to_jsonl(self) -> str:
         lines = [
             json.dumps(event, sort_keys=True, default=str)

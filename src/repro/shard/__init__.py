@@ -9,8 +9,22 @@ one batched engine per shard — on ``multiprocessing`` workers where the
 platform allows, inline otherwise (:class:`ShardedEngine`) — and extends
 the online lifecycle across shards with state-preserving component
 rebalancing (:class:`ShardedRuntime`).
+
+The process-mode runtime (:class:`ProcessShardedRuntime`) adds cluster-grade
+durability on top: per-shard write-ahead logs and versioned checkpoints
+(:class:`CheckpointStore`) recover crashed workers, a coordinator journal
+(:class:`CoordinatorLog`) makes the coordinator itself restartable — cold
+start from disk or re-adoption of still-live workers
+(:class:`CoordinatorHandoff`) — and the fleet resizes mid-serve
+(``add_worker`` / ``remove_worker``) with checkpoint/restore as the drain
+transport.
 """
 
+from repro.errors import (
+    CoordinatorCrashError,
+    JournalError,
+    WorkerUnreachableError,
+)
 from repro.shard.checkpoint import (
     CheckpointStore,
     ComponentCheckpoint,
@@ -18,10 +32,16 @@ from repro.shard.checkpoint import (
     ShardCheckpoint,
     ShardLog,
 )
+from repro.shard.coordlog import (
+    CoordinatorFaults,
+    CoordinatorLog,
+    CoordinatorState,
+)
 from repro.shard.engine import ShardedEngine, SourceRouter, fork_available
 from repro.shard.planner import ShardComponent, ShardPlan, ShardPlanner
 from repro.shard.policy import QueryCountPolicy, RebalancePolicy, ThroughputPolicy
 from repro.shard.proc import (
+    CoordinatorHandoff,
     FrameFaults,
     ProcessShardedRuntime,
     WorkerCrashError,
@@ -34,7 +54,13 @@ from repro.shard.wire import WireDecoder, WireEncoder
 __all__ = [
     "CheckpointStore",
     "ComponentCheckpoint",
+    "CoordinatorCrashError",
+    "CoordinatorFaults",
+    "CoordinatorHandoff",
+    "CoordinatorLog",
+    "CoordinatorState",
     "FrameFaults",
+    "JournalError",
     "ProcessShardedRuntime",
     "QueryCountPolicy",
     "RebalancePolicy",
@@ -53,6 +79,7 @@ __all__ = [
     "WireEncoder",
     "WorkerCrashError",
     "WorkerFaults",
+    "WorkerUnreachableError",
     "fork_available",
     "merge_run_stats",
 ]

@@ -137,6 +137,18 @@ class ShardLog:
         self._base = position
         return dropped
 
+    def clone(self) -> "ShardLog":
+        """An independent copy (same absolute positions and entries).
+
+        Used when a resumed coordinator seeds its live write-ahead logs
+        from the journal's folded mirror — the two must never alias, or
+        every subsequent append would double-apply on the mirror.
+        """
+        copy = ShardLog()
+        copy._base = self._base
+        copy._entries = list(self._entries)
+        return copy
+
     def entries_from(self, position: int) -> list[tuple]:
         """The retained suffix starting at absolute ``position``."""
         if position < self._base:
@@ -251,6 +263,15 @@ class CheckpointStore:
     def _scan(self) -> None:
         found: dict[int, list[tuple[int, str]]] = {}
         for name in os.listdir(self.path):
+            if name.endswith(".ckpt.tmp"):
+                # An orphaned partial write: the process died between
+                # opening the tmp file and the atomic rename.  The durable
+                # contents are unaffected — GC the debris.
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except FileNotFoundError:
+                    pass
+                continue
             match = _CHECKPOINT_FILE.match(name)
             if match is None:
                 continue
@@ -294,13 +315,23 @@ class CheckpointStore:
         held = self._by_shard.setdefault(checkpoint.shard, [])
         held.append(checkpoint)
         if self.path is not None:
-            # Atomic publish: a coordinator killed mid-write must never
-            # leave a truncated .ckpt for the next run's scan to choke on.
+            # Crash-safe publish: write-tmp, fsync the contents, atomic
+            # rename, fsync the directory — a coordinator killed at any
+            # point leaves either the complete file or none (a stray
+            # ``.tmp`` is GC'd on the next scan), never a truncated
+            # ``.ckpt`` for the next run's scan to choke on.
             final = self._file_of(checkpoint.shard, checkpoint.version)
             partial = final + ".tmp"
             with open(partial, "wb") as handle:
                 pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(partial, final)
+            directory = os.open(self.path, os.O_RDONLY)
+            try:
+                os.fsync(directory)
+            finally:
+                os.close(directory)
         while len(held) > self.keep_last:
             pruned = held.pop(0)
             if self.path is not None:
@@ -308,6 +339,29 @@ class CheckpointStore:
                     os.unlink(self._file_of(pruned.shard, pruned.version))
                 except FileNotFoundError:
                     pass
+
+    def prune_above(self, shard: int, version: int) -> list[int]:
+        """Discard checkpoints newer than ``version`` (and their files).
+
+        A coordinator that journals checkpoint completions *after* storing
+        the file can die in between, leaving a ``.ckpt`` the journal never
+        acknowledged.  Resume prunes those orphans so the store's latest
+        matches the journal's index and re-stored versions never collide.
+        Returns the pruned versions.
+        """
+        held = self._by_shard.get(shard, [])
+        pruned = [ckpt.version for ckpt in held if ckpt.version > version]
+        if pruned:
+            self._by_shard[shard] = [
+                ckpt for ckpt in held if ckpt.version <= version
+            ]
+            if self.path is not None:
+                for stale in pruned:
+                    try:
+                        os.unlink(self._file_of(shard, stale))
+                    except FileNotFoundError:
+                        pass
+        return pruned
 
     def latest(self, shard: int) -> Optional[ShardCheckpoint]:
         held = self._by_shard.get(shard)
@@ -365,7 +419,9 @@ class CheckpointStore:
 # -- worker-side capture / restore ---------------------------------------------------
 
 
-def capture_manifest(runtime, version: int) -> dict:
+def capture_manifest(
+    runtime, version: int, base_offsets: Optional[dict] = None
+) -> dict:
     """Snapshot every live component of a worker's runtime (non-destructive).
 
     Runs on the worker, between two data frames (the command queue is the
@@ -375,6 +431,16 @@ def capture_manifest(runtime, version: int) -> dict:
     :func:`~repro.shard.wire.encode_transfer`, and side-channels captured
     histories owned by no live component.  Returns the wire manifest
     payload (:func:`~repro.shard.wire.encode_manifest`).
+
+    ``base_offsets`` (query id → captured-history length at the last
+    checkpoint the coordinator acked) switches the manifest to
+    **differential**: each captured history is trimmed to the suffix past
+    its base offset before encoding, so only the delta since the previous
+    version crosses the wire.  ``captured_offsets`` are always computed
+    from the *full* lengths first — they name the absolute cut, not the
+    delta — and the trim builds new lists, leaving live histories intact.
+    The coordinator splices deltas onto its cached copy of the previous
+    version before storing, so stored checkpoints stay self-contained.
     """
     seen: set = set()
     components = []
@@ -388,15 +454,21 @@ def capture_manifest(runtime, version: int) -> dict:
         # queries whose instances still attribute its merged m-ops; those
         # histories ride the blob and must not ride captured_extra too.
         seen.update(transfer.captured)
+        captured_offsets = {
+            moved_id: len(history)
+            for moved_id, history in transfer.captured.items()
+        }
+        if base_offsets is not None:
+            transfer.captured = {
+                moved_id: list(history[base_offsets.get(moved_id, 0):])
+                for moved_id, history in transfer.captured.items()
+            }
         components.append(
             {
                 "queries": query_ids,
                 "blob": encode_transfer(transfer),
                 "state_carried": transfer.state_carried,
-                "captured_offsets": {
-                    moved_id: len(history)
-                    for moved_id, history in transfer.captured.items()
-                },
+                "captured_offsets": captured_offsets,
             }
         )
     captured_extra = {
@@ -404,8 +476,18 @@ def capture_manifest(runtime, version: int) -> dict:
         for query_id, history in runtime.captured.items()
         if query_id not in seen
     }
+    if base_offsets is not None:
+        captured_extra = {
+            query_id: history[base_offsets.get(query_id, 0):]
+            for query_id, history in captured_extra.items()
+        }
     return encode_manifest(
-        version, runtime.cursor, components, captured_extra, runtime.stats
+        version,
+        runtime.cursor,
+        components,
+        captured_extra,
+        runtime.stats,
+        base=base_offsets,
     )
 
 

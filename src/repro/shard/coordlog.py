@@ -1,0 +1,382 @@
+"""The coordinator journal: on-disk durability for the coordinator itself.
+
+PR 5 made *workers* durable — per-shard write-ahead logs plus a versioned
+checkpoint store — but both lived in the coordinator's memory, so one
+coordinator crash was still total loss.  This module moves the
+coordinator's durable state onto disk:
+
+- :class:`CoordinatorLog` — an **append-only journal** of every durable
+  effect the coordinator commits (sources declared, batches shipped,
+  lifecycle commands applied, rebalances, checkpoint completions, topology
+  changes), plus a periodic **snapshot** written with the
+  write-tmp → fsync → atomic-rename discipline.  Journal records are
+  length-prefixed pickles; a torn tail (the coordinator died mid-write) is
+  detected, dropped and garbage-collected on reopen.  Every record carries
+  a monotone ``rec_seq`` and the snapshot stores the last folded one, so
+  replay after a crash between snapshot-rename and journal-reset is
+  idempotent.
+- :class:`CoordinatorState` — the fold of the journal: the logical-query
+  catalog, shard→component placement, per-shard write-ahead logs and
+  shipped cursors, input positions, the journaled checkpoint-store index,
+  and the incarnation/shard-id allocators.  ``CoordinatorLog`` maintains a
+  live fold as records are appended (so compaction never re-reads the
+  file) and rebuilds it from snapshot + journal tail on open — this is
+  exactly the state a restarted coordinator resumes from, whether it
+  **re-adopts** still-live workers or **cold-starts** the whole runtime
+  from checkpoints + log suffixes.
+- :class:`CoordinatorFaults` — deterministic crash injection at the
+  coordinator's commit points (before/after a journal append,
+  mid-checkpoint-round, mid-rebalance), the coordinator-side sibling of
+  :class:`~repro.shard.proc.WorkerFaults`.
+
+Ordering disciplines (what makes resumed serves byte-identical):
+
+- **Data is journal-before-ship**: a batch record is appended (one atomic
+  record per shipped chunk, covering the input-cursor advance and every
+  consuming shard's WAL append) *before* the run frames are enqueued.  A
+  worker's stream cursor can therefore only ever be at or behind the
+  journal; re-adoption re-ships the missing tail out of the journaled WAL.
+- **Lifecycle is RPC-then-journal**: a register/unregister/rebalance is
+  journaled only after the worker acknowledged it.  A crash in between
+  leaves the worker ahead of the journal; re-adoption rolls the extra
+  effect back (unregister + purge), and the resumed driver re-issues the
+  interrupted call — :func:`repro.workloads.churn.resume_tail` computes
+  the replay point from the journaled input positions and lifecycle count.
+- **Checkpoints are store-then-journal**: a ``.ckpt`` file is valid only
+  once its ``ckpt`` record lands; unjournaled files are pruned on resume.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CoordinatorCrashError, JournalError
+from repro.shard.checkpoint import ShardLog
+
+JOURNAL_FILE = "coordinator.journal"
+SNAPSHOT_FILE = "coordinator.snap"
+
+_LENGTH = struct.Struct(">Q")
+
+
+@dataclass
+class CoordinatorState:
+    """The fold of a coordinator journal — everything a restart needs."""
+
+    #: Monotone sequence of the last folded record (snapshot replay skips
+    #: records at or below it).
+    last_rec_seq: int = 0
+    #: Runtime construction options recorded at first open (checkpoint
+    #: cadence, capture/observe flags, batching) so a resume rebuilds an
+    #: identically-configured runtime without the caller re-specifying it.
+    options: dict = field(default_factory=dict)
+    #: name → (StreamDef, Channel, sharable_label).  Pickled objects keep
+    #: their stream/channel ids, which is what lets a re-adopted
+    #: coordinator talk to workers that inherited those ids at fork.
+    sources: dict = field(default_factory=dict)
+    #: query_id → LogicalQuery (the recovery catalog), insertion order.
+    queries: dict = field(default_factory=dict)
+    #: query_id → owning shard id.
+    query_shard: dict = field(default_factory=dict)
+    #: Active shard ids, in creation order (sparse after elastic shrink).
+    shards: list = field(default_factory=list)
+    next_shard: int = 0
+    #: shard id → times a worker was spawned for it (fault re-arming).
+    spawned: dict = field(default_factory=dict)
+    #: Next worker incarnation (id-space seed) — must stay monotone across
+    #: coordinator restarts or recycled id ranges could alias live state.
+    next_incarnation: int = 1
+    #: shard id → ShardLog (the journaled mirror of the in-memory WAL).
+    wal: dict = field(default_factory=dict)
+    #: shard id → {stream → shipped event count}.
+    shipped: dict = field(default_factory=dict)
+    #: stream → total source events journaled (consumed or not) — the
+    #: resume point for the driver's stream feed.
+    input_positions: dict = field(default_factory=dict)
+    input_events: int = 0
+    #: Lifecycle operations (register/unregister) journaled — the resume
+    #: point for the driver's churn schedule.
+    lifecycle_ops: int = 0
+    batches: int = 0
+    #: Highest checkpoint version journaled as complete.
+    ckpt_version: int = 0
+    #: shard id → latest journaled checkpoint version (the store index;
+    #: ``.ckpt`` files above it are unjournaled orphans, pruned on resume).
+    ckpt_valid: dict = field(default_factory=dict)
+    #: Cumulative RunStats of retired workers (elastic shrink), folded so
+    #: aggregate output counters survive the worker that produced them —
+    #: and survive a coordinator restart.
+    retired_stats: object = None
+
+    def apply(self, kind: str, fields: tuple) -> None:
+        """Fold one journal record into the state."""
+        if kind == "batch":
+            stream, chunk, shards, final = fields
+            for shard in shards:
+                self.wal[shard].append(("data", stream, chunk))
+                counts = self.shipped[shard]
+                counts[stream] = counts.get(stream, 0) + len(chunk)
+            self.input_positions[stream] = (
+                self.input_positions.get(stream, 0) + len(chunk)
+            )
+            self.input_events += len(chunk)
+            if final:
+                self.batches += 1
+        elif kind == "advance":
+            stream, count = fields
+            self.input_positions[stream] = (
+                self.input_positions.get(stream, 0) + count
+            )
+            self.input_events += count
+        elif kind == "register":
+            shard, logical = fields
+            self.queries[logical.query_id] = logical
+            self.query_shard[logical.query_id] = shard
+            self.wal[shard].append(("register", logical))
+            self.lifecycle_ops += 1
+        elif kind == "unregister":
+            shard, query_id = fields
+            self.queries.pop(query_id, None)
+            self.query_shard.pop(query_id, None)
+            self.wal[shard].append(("unregister", query_id))
+            self.lifecycle_ops += 1
+        elif kind == "reoptimize":
+            (shard,) = fields
+            self.wal[shard].append(("reoptimize", None))
+        elif kind == "rebalance":
+            query_id, from_shard, to_shard, moved, blob = fields
+            self.wal[from_shard].append(("export", query_id))
+            self.wal[to_shard].append(("import", blob))
+            for moved_id in moved:
+                self.query_shard[moved_id] = to_shard
+        elif kind == "ckpt":
+            # The cursor rides the record for audit only: shipped counts
+            # are maintained by the "batch" records, which keep arriving
+            # while a pipelined round is in flight — the cut's cursor is
+            # already stale by the time the reply is journaled.
+            shard, version, position, __cursor = fields
+            self.ckpt_valid[shard] = version
+            self.wal[shard].truncate_to(position)
+            if version > self.ckpt_version:
+                self.ckpt_version = version
+        elif kind == "source":
+            name, stream, channel, sharable_label = fields
+            self.sources[name] = (stream, channel, sharable_label)
+        elif kind == "spawn":
+            shard, incarnation = fields
+            self.spawned[shard] = self.spawned.get(shard, 0) + 1
+            if incarnation >= self.next_incarnation:
+                self.next_incarnation = incarnation + 1
+        elif kind == "add_worker":
+            (shard,) = fields
+            self.shards.append(shard)
+            self.wal[shard] = ShardLog()
+            self.shipped[shard] = {}
+            if shard >= self.next_shard:
+                self.next_shard = shard + 1
+        elif kind == "remove_worker":
+            shard, stats = fields
+            self.shards.remove(shard)
+            del self.wal[shard]
+            del self.shipped[shard]
+            self.ckpt_valid.pop(shard, None)
+            if stats is not None:
+                if self.retired_stats is None:
+                    self.retired_stats = stats
+                else:
+                    self.retired_stats.absorb(stats)
+        elif kind == "options":
+            (options,) = fields
+            self.options.update(options)
+        else:
+            raise JournalError(f"unknown journal record kind {kind!r}")
+
+
+class CoordinatorLog:
+    """Append-only coordinator journal + atomic snapshot in one directory.
+
+    The directory doubles as the checkpoint dir (``shard<N>.v<V>.ckpt``
+    files live next to ``coordinator.journal`` / ``coordinator.snap``).
+    Opening the log replays snapshot + journal tail into :attr:`state`;
+    every :meth:`append` folds the record into the live state too, so the
+    fold is always current and :meth:`compact` (triggered automatically
+    every ``compact_every`` records) just pickles it.
+
+    ``fsync=False`` (the default) flushes each record to the OS — safe
+    against coordinator *process* crashes, which is what the fault model
+    here injects; pass ``fsync=True`` for power-loss durability at the
+    cost of one fsync per journal append.  Snapshots always fsync before
+    their atomic rename.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = False,
+        compact_every: int = 512,
+    ):
+        if compact_every < 0:
+            raise JournalError(
+                f"compact_every must be non-negative, got {compact_every}"
+            )
+        os.makedirs(path, exist_ok=True)
+        self.path = path
+        self.fsync = fsync
+        self.compact_every = compact_every
+        self.journal_path = os.path.join(path, JOURNAL_FILE)
+        self.snapshot_path = os.path.join(path, SNAPSHOT_FILE)
+        self.state = CoordinatorState()
+        self._records_since_snapshot = 0
+        self._load()
+        self._handle = open(self.journal_path, "ab")
+
+    # -- open / replay ---------------------------------------------------------------
+
+    def _load(self) -> None:
+        if os.path.exists(self.snapshot_path):
+            with open(self.snapshot_path, "rb") as handle:
+                try:
+                    self.state = pickle.load(handle)
+                except Exception as error:
+                    # Snapshots are published atomically, so corruption
+                    # means external damage — fail loudly with the path.
+                    raise JournalError(
+                        f"coordinator snapshot {self.snapshot_path!r} is "
+                        f"corrupt ({type(error).__name__}: {error})"
+                    ) from error
+        if not os.path.exists(self.journal_path):
+            return
+        good = 0
+        with open(self.journal_path, "rb") as handle:
+            while True:
+                header = handle.read(_LENGTH.size)
+                if len(header) < _LENGTH.size:
+                    break
+                (length,) = _LENGTH.unpack(header)
+                blob = handle.read(length)
+                if len(blob) < length:
+                    break  # torn tail: the append never completed
+                try:
+                    rec_seq, kind, fields = pickle.loads(blob)
+                except Exception:
+                    break  # torn tail with a plausible length prefix
+                good = handle.tell()
+                if rec_seq <= self.state.last_rec_seq:
+                    # Already folded into the snapshot (the coordinator
+                    # died between snapshot rename and journal reset).
+                    continue
+                self.state.apply(kind, fields)
+                self.state.last_rec_seq = rec_seq
+                self._records_since_snapshot += 1
+        if good < os.path.getsize(self.journal_path):
+            # GC the torn tail so the next append starts on a record
+            # boundary.
+            with open(self.journal_path, "r+b") as handle:
+                handle.truncate(good)
+
+    @property
+    def is_fresh(self) -> bool:
+        """True when the directory held no prior serve's journal."""
+        return self.state.last_rec_seq == 0
+
+    # -- append / compact ------------------------------------------------------------
+
+    def append(self, kind: str, *fields) -> None:
+        """Durably append one record and fold it into :attr:`state`."""
+        rec_seq = self.state.last_rec_seq + 1
+        blob = pickle.dumps(
+            (rec_seq, kind, fields), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._handle.write(_LENGTH.pack(len(blob)))
+        self._handle.write(blob)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.state.apply(kind, fields)
+        self.state.last_rec_seq = rec_seq
+        self._records_since_snapshot += 1
+        if self.compact_every and self._records_since_snapshot >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Snapshot the fold (write-tmp → fsync → rename) and reset the
+        journal.  A crash between the two steps leaves journal records at
+        or below the snapshot's ``last_rec_seq``, which replay skips."""
+        partial = self.snapshot_path + ".tmp"
+        with open(partial, "wb") as handle:
+            pickle.dump(self.state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(partial, self.snapshot_path)
+        self._handle.close()
+        self._handle = open(self.journal_path, "wb")
+        self._records_since_snapshot = 0
+
+    def record_count(self) -> int:
+        """Records appended since the last snapshot (introspection)."""
+        return self._records_since_snapshot
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+
+    def __enter__(self) -> "CoordinatorLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class CoordinatorFaults:
+    """Deterministic crash injection at the coordinator's commit points.
+
+    ``crash_on`` names the commit point and its 1-based occurrence:
+    ``"batch"`` / ``"register"`` / ``"unregister"`` are journal appends
+    (``when`` selects before or after the record lands — the two halves of
+    the torn-commit window), ``"ckpt-round"`` fires right after a
+    checkpoint round's commands are enqueued (snapshots in flight, nothing
+    journaled), and ``"rebalance-mid"`` fires between the export and
+    import RPCs of a move (the blob exists only in the dying coordinator's
+    memory).  The crash raises
+    :class:`~repro.errors.CoordinatorCrashError`; the runtime marks itself
+    crashed and the test harness either abandons it (cold start) or
+    detaches its workers (re-adoption).
+    """
+
+    crash_on: Optional[tuple[str, int]] = None
+    when: str = "before"
+    fired: bool = False
+    _counts: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.when not in ("before", "after"):
+            raise JournalError(
+                f"CoordinatorFaults.when must be before/after, got {self.when!r}"
+            )
+
+    def check(self, point: str, phase: str) -> None:
+        """Count one occurrence of ``point`` (on its ``before`` phase) and
+        crash when the armed (point, occurrence, phase) triple matches."""
+        if self.crash_on is None:
+            return
+        kind, occurrence = self.crash_on
+        if kind != point:
+            return
+        if phase == "before":
+            count = self._counts.get(point, 0) + 1
+            self._counts[point] = count
+        else:
+            count = self._counts.get(point, 0)
+        if count == occurrence and phase == self.when:
+            self.fired = True
+            raise CoordinatorCrashError(
+                f"injected coordinator crash at {point} #{count} ({phase})"
+            )

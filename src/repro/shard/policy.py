@@ -38,8 +38,26 @@ from typing import Optional
 logger = logging.getLogger(__name__)
 
 
+def _shard_ids(runtime) -> list[int]:
+    """Live shard ids in ``shard_loads`` order.
+
+    Elastic process-mode runtimes have sparse ids (retired ids are never
+    reused), so policies must key every signal by id, never by position.
+    Runtimes predating :meth:`shard_ids` are contiguous by construction.
+    """
+    accessor = getattr(runtime, "shard_ids", None)
+    if accessor is None:
+        return list(range(runtime.n_shards))
+    return list(accessor())
+
+
 class RebalancePolicy:
-    """Base: propose candidate moves; track oversized-component alerts."""
+    """Base: propose candidate moves; track oversized-component alerts.
+
+    Policies also steer elastic topology changes: :meth:`on_grow` proposes
+    the moves that seed a freshly added worker, and :meth:`on_shrink`
+    picks where each component of a departing worker should land.
+    """
 
     def __init__(self):
         #: Times a candidate component was skipped because it exceeded the
@@ -49,6 +67,46 @@ class RebalancePolicy:
     def propose(self, runtime):
         """Ordered ``(query_id, to_shard)`` candidates (lazy, may be empty)."""
         raise NotImplementedError
+
+    def on_grow(self, runtime, new_shard: int) -> list[tuple[str, int]]:
+        """Moves that seed a just-added (empty) worker.
+
+        Default: level query counts — drain the most-loaded shards onto
+        the newcomer until it reaches the per-shard target.  Loads are
+        tracked locally while choosing, so one call proposes the whole
+        seeding batch without re-polling the runtime.
+        """
+        ids = _shard_ids(runtime)
+        loads = dict(zip(ids, runtime.shard_loads()))
+        loads.setdefault(new_shard, 0)
+        total = sum(loads.values())
+        target = math.ceil(total / len(loads)) if total else 0
+        remaining = {
+            shard: list(runtime.queries_on(shard))
+            for shard in loads
+            if shard != new_shard
+        }
+        moves: list[tuple[str, int]] = []
+        while loads[new_shard] < target:
+            donor = max(
+                remaining,
+                key=lambda shard: (loads[shard], -shard),
+            )
+            if loads[donor] <= loads[new_shard] + 1 or not remaining[donor]:
+                break
+            query_id = remaining[donor].pop(0)
+            moves.append((query_id, new_shard))
+            loads[donor] -= 1
+            loads[new_shard] += 1
+        return moves
+
+    def on_shrink(self, runtime, departing: int, query_id: str) -> Optional[int]:
+        """Target shard for one component draining off ``departing``.
+
+        ``None`` delegates to the runtime's default (least-loaded
+        survivor).  Subclasses with a richer signal override this.
+        """
+        return None
 
     def _component_queries(self, runtime, query_id: str) -> Optional[list[str]]:
         """The queries moving with ``query_id``, when the runtime can tell.
@@ -112,9 +170,10 @@ class QueryCountPolicy(RebalancePolicy):
     """Level active query counts (the PR-3 drive_sharded heuristic)."""
 
     def propose(self, runtime) -> list[tuple[str, int]]:
-        loads = runtime.shard_loads()
-        donor = max(range(len(loads)), key=lambda index: (loads[index], -index))
-        target = min(range(len(loads)), key=lambda index: (loads[index], index))
+        ids = _shard_ids(runtime)
+        loads = dict(zip(ids, runtime.shard_loads()))
+        donor = max(ids, key=lambda shard: (loads[shard], -shard))
+        target = min(ids, key=lambda shard: (loads[shard], shard))
         if donor == target or loads[donor] <= loads[target] + 1:
             return []
         candidates = [
@@ -158,9 +217,13 @@ class ThroughputPolicy(RebalancePolicy):
         self.min_ratio = min_ratio
         self.min_busy_seconds = min_busy_seconds
         self.heat = heat
-        self._previous_busy: Optional[list[float]] = None
-        self._previous_outputs: Optional[list[dict]] = None
-        self._previous_heat: Optional[list[dict]] = None
+        # Keyed by shard id, not position: elastic resizes renumber
+        # nothing, so deltas stay attributable across grow/shrink.  A
+        # changed id set resets the window (absolute values serve as the
+        # first delta, as before).
+        self._previous_busy: Optional[dict[int, float]] = None
+        self._previous_outputs: Optional[dict[int, dict]] = None
+        self._previous_heat: Optional[dict[int, dict]] = None
 
     def _improves(self, donor_load: int, target_load: int, size: int) -> bool:
         # Busy time, not query count, is the signal: a move helps unless
@@ -169,28 +232,39 @@ class ThroughputPolicy(RebalancePolicy):
         return size < donor_load
 
     def propose(self, runtime) -> list[tuple[str, int]]:
+        ids = _shard_ids(runtime)
         stats = runtime.shard_stats()
-        busy = [entry.elapsed_seconds for entry in stats]
-        outputs = [dict(entry.outputs_by_query) for entry in stats]
-        if self._previous_busy is None or len(self._previous_busy) != len(busy):
+        busy = {
+            shard: entry.elapsed_seconds for shard, entry in zip(ids, stats)
+        }
+        outputs = {
+            shard: dict(entry.outputs_by_query)
+            for shard, entry in zip(ids, stats)
+        }
+        if (
+            self._previous_busy is None
+            or set(self._previous_busy) != set(busy)
+        ):
             delta_busy = busy
             delta_outputs = outputs
         else:
-            delta_busy = [
-                now - before for now, before in zip(busy, self._previous_busy)
-            ]
-            delta_outputs = [
-                {
-                    query_id: count - before.get(query_id, 0)
+            delta_busy = {
+                shard: now - self._previous_busy[shard]
+                for shard, now in busy.items()
+            }
+            delta_outputs = {
+                shard: {
+                    query_id: count
+                    - self._previous_outputs[shard].get(query_id, 0)
                     for query_id, count in now.items()
                 }
-                for now, before in zip(outputs, self._previous_outputs)
-            ]
+                for shard, now in outputs.items()
+            }
         self._previous_busy = busy
         self._previous_outputs = outputs
-        delta_heat = self._busy_heat_deltas(runtime)
-        donor = max(range(len(delta_busy)), key=lambda i: (delta_busy[i], -i))
-        target = min(range(len(delta_busy)), key=lambda i: (delta_busy[i], i))
+        delta_heat = self._busy_heat_deltas(runtime, ids)
+        donor = max(ids, key=lambda shard: (delta_busy[shard], -shard))
+        target = min(ids, key=lambda shard: (delta_busy[shard], shard))
         if donor == target:
             return []
         if delta_busy[donor] < self.min_busy_seconds:
@@ -198,13 +272,13 @@ class ThroughputPolicy(RebalancePolicy):
         if delta_busy[donor] <= delta_busy[target] * self.min_ratio:
             return []
         heat = delta_outputs[donor]
-        if delta_heat is not None and delta_heat[donor]:
+        if delta_heat is not None and delta_heat.get(donor):
             heat = delta_heat[donor]
         candidates = sorted(
             runtime.queries_on(donor),
             key=lambda query_id: (-heat.get(query_id, 0), query_id),
         )
-        loads = runtime.shard_loads()
+        loads = dict(zip(ids, runtime.shard_loads()))
         return self._filter_oversized(
             runtime,
             [(query_id, target) for query_id in candidates],
@@ -212,27 +286,52 @@ class ThroughputPolicy(RebalancePolicy):
             loads[target],
         )
 
-    def _busy_heat_deltas(self, runtime) -> Optional[list[dict]]:
-        """Per-shard ``{query_id: busy-seconds delta}`` maps, or ``None``
-        when busy heat is off or the runtime exposes no telemetry."""
+    def on_shrink(self, runtime, departing: int, query_id: str) -> Optional[int]:
+        """Land draining components on the least-busy survivor.
+
+        Uses the last observed busy-time window; falls back to the
+        runtime's least-loaded default before the first :meth:`propose`.
+        """
+        if self._previous_busy is None:
+            return None
+        survivors = [
+            shard
+            for shard in _shard_ids(runtime)
+            if shard != departing and shard in self._previous_busy
+        ]
+        if not survivors:
+            return None
+        return min(
+            survivors,
+            key=lambda shard: (self._previous_busy[shard], shard),
+        )
+
+    def _busy_heat_deltas(self, runtime, ids) -> Optional[dict]:
+        """Per-shard ``{query_id: busy-seconds delta}`` maps keyed by shard
+        id, or ``None`` when busy heat is off or the runtime exposes no
+        telemetry."""
         if self.heat != "busy":
             return None
         telemetry = getattr(runtime, "shard_telemetry", None)
         if telemetry is None:
             return None
-        heat_now = [dict(view["query_heat"]) for view in telemetry()]
+        heat_now = {
+            shard: dict(view["query_heat"])
+            for shard, view in zip(ids, telemetry())
+        }
         if (
             self._previous_heat is None
-            or len(self._previous_heat) != len(heat_now)
+            or set(self._previous_heat) != set(heat_now)
         ):
             delta_heat = heat_now
         else:
-            delta_heat = [
-                {
-                    query_id: value - before.get(query_id, 0.0)
+            delta_heat = {
+                shard: {
+                    query_id: value
+                    - self._previous_heat[shard].get(query_id, 0.0)
                     for query_id, value in now.items()
                 }
-                for now, before in zip(heat_now, self._previous_heat)
-            ]
+                for shard, now in heat_now.items()
+            }
         self._previous_heat = heat_now
         return delta_heat

@@ -81,6 +81,44 @@ Either way the recovery emits a structured
 Components in flight during the crash roll back to their donor with state
 intact.
 
+Coordinator durability and elasticity
+-------------------------------------
+
+With ``journal=<dir>`` the coordinator's own durable state — write-ahead
+logs, checkpoint-store index, shard→component placement, logical-query
+catalog, input cursors — lives in an on-disk
+:class:`~repro.shard.coordlog.CoordinatorLog` (append-only journal +
+atomic-rename snapshot, sharing the checkpoint directory).  A restarted
+coordinator either **re-adopts** still-live workers
+(:meth:`ProcessShardedRuntime.readopt` — a ``hello`` handshake per worker
+reports incarnation, highest applied command seq and stream cursors; the
+coordinator reconciles each against its journal, rolling back unjournaled
+effects and re-shipping journaled-but-unshipped data, then resumes RPCs
+with no replay) or **cold-starts** the whole fleet from disk
+(:meth:`ProcessShardedRuntime.from_journal` — every worker respawned from
+its latest checkpoint + journaled log suffix), byte-identical to a
+never-crashed serve either way.  The ordering disciplines that make this
+sound (data journal-before-ship, lifecycle RPC-then-journal, checkpoints
+store-then-journal) are documented in :mod:`repro.shard.coordlog`.
+
+Checkpoints can ship **differentially** (``differential=True``): the
+coordinator sends each worker the captured-history offsets of its last
+stored checkpoint and the worker ships only the suffixes past them; the
+coordinator splices the deltas onto its cached previous version before
+storing, so the store stays self-contained while the wire carries a
+fraction of the bytes (bounded by a periodic forced full round every
+``full_checkpoint_every`` versions).
+
+The fleet also resizes mid-serve: :meth:`ProcessShardedRuntime.add_worker`
+spawns a fresh shard (ids are sparse and never reused), and
+:meth:`ProcessShardedRuntime.remove_worker` drains a departing worker by
+non-destructive component copy (``rebalance("copy")`` — snapshot + import
+on a survivor, then unregister-with-purge on the donor) before stopping
+it, with zero query loss and policy hooks
+(:meth:`~repro.shard.policy.RebalancePolicy.on_grow` /
+:meth:`~repro.shard.policy.RebalancePolicy.on_shrink`) choosing what
+moves.
+
 Determinism
 -----------
 
@@ -98,6 +136,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import pickle
 import queue as queue_module
 import time
 import traceback
@@ -114,9 +153,12 @@ from repro.obs.events import EventLog
 from repro.obs.trace import SpanRecorder
 from repro.errors import (
     CheckpointError,
+    CoordinatorCrashError,
+    JournalError,
     LifecycleError,
     QueryLanguageError,
     RumorError,
+    WorkerUnreachableError,
 )
 from repro.lang.ast import LogicalQuery
 from repro.runtime.runtime import QueryRuntime
@@ -129,10 +171,12 @@ from repro.shard.checkpoint import (
     apply_restore,
     capture_manifest,
 )
+from repro.shard.coordlog import CoordinatorFaults, CoordinatorLog
 from repro.shard.engine import fork_available
 from repro.shard.wire import (
     CHECKPOINT,
     ERR,
+    HELLO,
     OK,
     REBALANCE,
     REGISTER,
@@ -170,6 +214,21 @@ class WorkerCrashError(RumorError):
 
 class WorkerCommandError(LifecycleError):
     """A worker rejected a command (it is alive and rolled back cleanly)."""
+
+
+@dataclass
+class CoordinatorHandoff:
+    """Live worker handles surrendered by a dead coordinator.
+
+    Produced by :meth:`ProcessShardedRuntime.detach` after a (simulated)
+    coordinator crash: the worker processes keep running with their full
+    in-memory state, and a successor coordinator built with
+    :meth:`ProcessShardedRuntime.readopt` adopts them through the ``hello``
+    handshake instead of cold-starting from checkpoints.
+    """
+
+    #: shard id → :class:`_WorkerHandle` of the still-running worker.
+    workers: dict
 
 
 @dataclass
@@ -281,7 +340,17 @@ def _apply_command(runtime: QueryRuntime, kind: str, payload, recorder=None):
             "mops_considered": report.mops_considered,
         }
     if kind == UNREGISTER:
-        removed = runtime.unregister(payload)
+        query_id, purge = payload, False
+        if isinstance(payload, dict):
+            # Extended form used by re-adopt reconciliation and copy-drain:
+            # the query's captured history must not survive as a retired
+            # orphan, because the journal says it lives elsewhere (or never
+            # existed) — keeping it would double it at the next snapshot.
+            query_id = payload["query_id"]
+            purge = bool(payload.get("purge_captured"))
+        removed = runtime.unregister(query_id)
+        if purge:
+            runtime.engine.captured.pop(query_id, None)
         return {"removed_mops": len(removed)}
     if kind == REOPTIMIZE:
         report = runtime.reoptimize()
@@ -304,9 +373,20 @@ def _apply_command(runtime: QueryRuntime, kind: str, payload, recorder=None):
             transfer = decode_transfer(value)
             runtime.import_component(transfer)
             return {"queries": transfer.query_ids}
+        if action == "copy":
+            # Non-destructive export (elastic drain transport): snapshot
+            # the component exactly like a checkpoint would, leaving the
+            # live copy serving until the coordinator retires it.
+            transfer = runtime.checkpoint_component(value)
+            return {
+                "blob": encode_transfer(transfer),
+                "queries": sorted(transfer.query_ids),
+            }
         raise LifecycleError(f"unknown rebalance action {action!r}")
     if kind == CHECKPOINT:
-        return capture_manifest(runtime, payload["version"])
+        return capture_manifest(
+            runtime, payload["version"], payload.get("base")
+        )
     if kind == RESTORE:
         return apply_restore(runtime, payload)
     if kind == STATS:
@@ -367,6 +447,7 @@ def _worker_main(
     decoder = WireDecoder(channels.values())
     counts: dict[str, int] = {}
     cache: OrderedDict[int, tuple] = OrderedDict()
+    max_seq = 0
     while True:
         try:
             frame = commands.get()
@@ -408,6 +489,29 @@ def _worker_main(
             continue
         trace = frame_trace(frame) if recorder is not None else None
         kind, seq, payload = decode_command(frame)
+        if kind == HELLO:
+            # A restarted coordinator's adoption handshake.  Answered
+            # outside the reply cache and the fault counters: the new
+            # coordinator restarts its sequence numbering below the old
+            # one's, so a cached reply keyed by a recycled seq must never
+            # answer it, and injected crash schedules count real commands
+            # only.  The reply is a pure read — repeat hellos are safe.
+            replies.put(
+                encode_reply(
+                    seq,
+                    OK,
+                    {
+                        "shard": shard,
+                        "incarnation": incarnation,
+                        "max_seq": max_seq,
+                        "cursor": dict(runtime.cursor),
+                        "active_queries": sorted(runtime.active_queries),
+                    },
+                )
+            )
+            continue
+        if seq > max_seq:
+            max_seq = seq
         fault_kind = kind if kind != REBALANCE else f"rebalance-{payload[0]}"
         count = counts.get(fault_kind, 0) + 1
         counts[fault_kind] = count
@@ -465,15 +569,20 @@ class ProcessShardedRuntime:
         max_batch: int = 1024,
         command_timeout: float = 2.0,
         max_retries: int = 30,
+        retry_budget: float = 0.0,
         faults: Optional[FrameFaults] = None,
         worker_faults: Optional[dict[int, WorkerFaults]] = None,
         durable: bool = False,
         checkpoint_every: int = 0,
         store: Optional[CheckpointStore] = None,
         observe: bool = False,
+        journal: Union[str, CoordinatorLog, None] = None,
+        differential: bool = True,
+        full_checkpoint_every: int = 8,
+        coordinator_faults: Optional[CoordinatorFaults] = None,
+        _resume: bool = False,
+        _handoff: Optional[CoordinatorHandoff] = None,
     ):
-        if n_shards < 1:
-            raise LifecycleError(f"n_shards must be at least 1, got {n_shards}")
         if not fork_available():
             raise LifecycleError(
                 "ProcessShardedRuntime requires the fork start method; "
@@ -483,48 +592,78 @@ class ProcessShardedRuntime:
             raise LifecycleError(
                 f"checkpoint_every must be non-negative, got {checkpoint_every}"
             )
-        self.n_shards = n_shards
+        if full_checkpoint_every < 1:
+            raise LifecycleError(
+                f"full_checkpoint_every must be at least 1, got "
+                f"{full_checkpoint_every}"
+            )
+        if retry_budget < 0:
+            raise LifecycleError(
+                f"retry_budget must be non-negative, got {retry_budget}"
+            )
+        self._journal = (
+            journal
+            if isinstance(journal, CoordinatorLog) or journal is None
+            else CoordinatorLog(journal)
+        )
+        self._resume = bool(_resume)
+        self._handoff = _handoff
+        if self._resume and self._journal is None:
+            raise JournalError("resuming requires a coordinator journal")
+        if (
+            self._journal is not None
+            and not self._resume
+            and not self._journal.is_fresh
+        ):
+            path = self._journal.path
+            self._journal.close()
+            raise JournalError(
+                f"{path!r} already holds a previous serve's coordinator "
+                f"journal; resume it with ProcessShardedRuntime.from_journal"
+                f"(...) / .readopt(...), or point journal= at a fresh "
+                f"directory"
+            )
         self.max_batch = max_batch
         self.command_timeout = command_timeout
         self.max_retries = max_retries
+        #: Wall-clock retransmission budget per RPC in seconds (0 disables;
+        #: ``max_retries`` still applies either way).
+        self.retry_budget = retry_budget
         self.faults = faults
         self._worker_faults = dict(worker_faults or {})
-        # Checkpointing implies durability: a checkpoint without the log
-        # suffix behind it could not be replayed to the present.
-        self.durable = durable or checkpoint_every > 0 or store is not None
+        self._coordinator_faults = coordinator_faults
+        # Checkpointing (and a coordinator journal) implies durability: a
+        # checkpoint without the log suffix behind it could not be replayed
+        # to the present.
+        self.durable = (
+            durable
+            or checkpoint_every > 0
+            or store is not None
+            or self._journal is not None
+        )
         self.checkpoint_every = checkpoint_every
+        self.differential = bool(differential)
+        self.full_checkpoint_every = full_checkpoint_every
+        if store is None and self._journal is not None:
+            # The journal directory doubles as the checkpoint directory —
+            # one place on disk holds everything a cold start needs.
+            store = CheckpointStore(self._journal.path)
         self.store = (
             store if store is not None
             else (CheckpointStore() if self.durable else None)
         )
-        # A reopened on-disk store may hold a *previous run's* checkpoints.
-        # Those are foreign to this serve: their versions seed ours (so new
-        # rounds supersede instead of colliding) but they are never
-        # restorable — this run's recovery floor starts above them.
-        self._ckpt_floor = (
-            max(
-                (
-                    self.store.latest_version(shard) or 0
-                    for shard in self.store.shards()
-                ),
-                default=0,
-            )
-            if self.store is not None
-            else 0
-        )
-        self._wal: Optional[list[ShardLog]] = (
-            [ShardLog() for __ in range(n_shards)] if self.durable else None
-        )
-        #: Per-shard, per-stream shipped-event counts — the coordinator's
-        #: view of each worker's stream cursor, cross-checked against every
-        #: checkpoint manifest.
-        self._shipped: list[dict[str, int]] = [{} for __ in range(n_shards)]
-        self._batches = 0
-        self._ckpt_version = self._ckpt_floor
-        self._pending_ckpt: Optional[dict] = None
         #: Per-shard checkpoints stored / rounds that lost a shard.
         self.checkpoints_stored = 0
         self.checkpoint_failures = 0
+        #: Manifest bytes received over the wire by checkpoint rounds
+        #: (differential rounds shrink this, not what lands in the store).
+        self.checkpoint_wire_bytes = 0
+        #: RPC retransmissions sent / RPCs abandoned after the retry budget.
+        self.rpc_retransmissions = 0
+        self.rpc_unreachable = 0
+        #: Final counters of workers retired by elastic shrink (their
+        #: outputs would otherwise vanish from :meth:`collect_stats`).
+        self._retired_stats = RunStats()
         #: Structured per-recovery accounts, in order (silent-loss fix).
         self.recovery_log: list[RecoveryReport] = []
         self.observe = bool(observe)
@@ -545,13 +684,29 @@ class ProcessShardedRuntime:
         self._context = multiprocessing.get_context("fork")
         self.streams: dict[str, StreamDef] = {}
         self._channels: dict[str, Channel] = {}
+        self._source_labels: dict[str, Optional[str]] = {}
         #: query_id -> LogicalQuery (the recovery catalog), insertion order.
         self._queries: dict[str, LogicalQuery] = {}
         #: query_id -> owning shard, insertion order (mirrors ShardedRuntime).
         self._query_shard: dict[str, int] = {}
-        self._workers: list[Optional[_WorkerHandle]] = [None] * n_shards
-        self._spawned: list[int] = [0] * n_shards
-        self._incarnations = iter(range(1, 1 << 20)).__next__
+        #: Live shard ids, in creation order.  Sparse after an elastic
+        #: shrink: ids are never reused, so checkpoints, logs and journal
+        #: records always refer to exactly one worker lineage.
+        self._shards: list[int] = []
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._spawned: dict[int, int] = {}
+        self._wal: Optional[dict[int, ShardLog]] = {} if self.durable else None
+        #: Per-shard, per-stream shipped-event counts — the coordinator's
+        #: view of each worker's stream cursor, cross-checked against every
+        #: checkpoint manifest.
+        self._shipped: dict[int, dict[str, int]] = {}
+        self._next_shard = 0
+        self._batches = 0
+        self._pending_ckpt: Optional[dict] = None
+        #: shard → (version, {query_id: full captured history}) cache of the
+        #: latest stored checkpoint's materialized histories — the splice
+        #: base for differential rounds (rebuilt lazily from store blobs).
+        self._ckpt_captured: dict[int, tuple[int, dict]] = {}
         self._encoder = WireEncoder()
         self._schema_frames: list[tuple] = []
         self._route_cache: dict[str, tuple[int, ...]] = {}
@@ -563,9 +718,149 @@ class ProcessShardedRuntime:
         self.input_stats = RunStats()
         self.rebalances = 0
         self.crash_recoveries = 0
+        incarnation_start = 1
+        if self._resume:
+            state = self._journal.state
+            self._shards = list(state.shards)
+            self._next_shard = state.next_shard
+            self._spawned = dict(state.spawned)
+            self._wal = {
+                shard: log.clone() for shard, log in state.wal.items()
+            }
+            self._shipped = {
+                shard: dict(counts) for shard, counts in state.shipped.items()
+            }
+            self._queries = dict(state.queries)
+            self._query_shard = dict(state.query_shard)
+            self._batches = state.batches
+            self._ckpt_version = state.ckpt_version
+            # Unlike a foreign reopened store, the journaled checkpoints
+            # ARE this serve's restore points — the floor stays at zero and
+            # anything the journal never acknowledged is pruned so restores
+            # only ever use journaled cuts (store-then-journal ordering).
+            self._ckpt_floor = 0
+            for shard in list(self.store.shards()):
+                self.store.prune_above(shard, state.ckpt_valid.get(shard, 0))
+            incarnation_start = state.next_incarnation
+            for name, (stream, channel, label) in state.sources.items():
+                self.streams[name] = stream
+                self._channels[name] = channel
+                self._source_labels[name] = label
+            self.input_stats.input_events = state.input_events
+            self.input_stats.physical_input_events = state.input_events
+            if state.retired_stats is not None:
+                self._retired_stats.absorb(state.retired_stats)
+        else:
+            if n_shards < 1:
+                raise LifecycleError(
+                    f"n_shards must be at least 1, got {n_shards}"
+                )
+            # A reopened on-disk store may hold a *previous run's*
+            # checkpoints.  Those are foreign to this serve: their versions
+            # seed ours (so new rounds supersede instead of colliding) but
+            # they are never restorable — this run's recovery floor starts
+            # above them.
+            self._ckpt_floor = (
+                max(
+                    (
+                        self.store.latest_version(shard) or 0
+                        for shard in self.store.shards()
+                    ),
+                    default=0,
+                )
+                if self.store is not None
+                else 0
+            )
+            self._ckpt_version = self._ckpt_floor
+            if self._journal is not None:
+                self._journal.append(
+                    "options",
+                    {
+                        "capture_outputs": capture_outputs,
+                        "track_latency": track_latency,
+                        "incremental": incremental,
+                        "max_batch": max_batch,
+                        "checkpoint_every": checkpoint_every,
+                        "observe": self.observe,
+                        "differential": self.differential,
+                        "full_checkpoint_every": full_checkpoint_every,
+                    },
+                )
+            for __ in range(n_shards):
+                shard = self._next_shard
+                self._next_shard += 1
+                self._shards.append(shard)
+                self._shipped[shard] = {}
+                if self._wal is not None:
+                    self._wal[shard] = ShardLog()
+                if self._journal is not None:
+                    self._journal.append("add_worker", shard)
+        self._incarnations = iter(range(incarnation_start, 1 << 20)).__next__
         if sources:
             for name, schema in sources.items():
                 self.add_source(name, schema)
+
+    # -- resume constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_journal(
+        cls, journal: Union[str, CoordinatorLog], **options
+    ) -> "ProcessShardedRuntime":
+        """Cold-start a runtime from a prior serve's coordinator journal.
+
+        The journal's folded state supplies the topology, source catalog,
+        query placement, input cursors and runtime options (keyword
+        arguments override the journaled options); the fleet is respawned
+        lazily on the first lifecycle or data call, each worker restored
+        from its latest journaled checkpoint plus its journaled
+        write-ahead-log suffix — byte-identical to a never-crashed serve.
+        """
+        log = (
+            journal
+            if isinstance(journal, CoordinatorLog)
+            else CoordinatorLog(journal)
+        )
+        if log.is_fresh:
+            raise JournalError(
+                f"no coordinator journal found under {log.path!r}; nothing "
+                f"to resume"
+            )
+        merged = dict(log.state.options)
+        merged.update(options)
+        merged.pop("n_shards", None)  # topology comes from the journal
+        return cls(journal=log, _resume=True, **merged)
+
+    @classmethod
+    def readopt(
+        cls,
+        journal: Union[str, CoordinatorLog],
+        handoff: CoordinatorHandoff,
+        **options,
+    ) -> "ProcessShardedRuntime":
+        """Resume a serve by re-adopting a dead coordinator's live workers.
+
+        Like :meth:`from_journal`, but instead of respawning the fleet the
+        new coordinator handshakes every still-running worker in
+        ``handoff`` (``hello`` → incarnation, applied seq, stream cursors,
+        active queries), reconciles each against the journal — unjournaled
+        effects rolled back, journaled-but-unshipped data re-shipped, dead
+        or diverged workers respawned from checkpoints — and resumes RPCs
+        without replaying the fleet.
+        """
+        log = (
+            journal
+            if isinstance(journal, CoordinatorLog)
+            else CoordinatorLog(journal)
+        )
+        if log.is_fresh:
+            raise JournalError(
+                f"no coordinator journal found under {log.path!r}; nothing "
+                f"to resume"
+            )
+        merged = dict(log.state.options)
+        merged.update(options)
+        merged.pop("n_shards", None)
+        return cls(journal=log, _resume=True, _handoff=handoff, **merged)
 
     # -- sources ---------------------------------------------------------------------
 
@@ -586,7 +881,25 @@ class ProcessShardedRuntime:
         stream = StreamDef(name, schema, sharable_label=sharable_label)
         self.streams[name] = stream
         self._channels[name] = Channel.singleton(stream)
+        self._source_labels[name] = sharable_label
+        if self._journal is not None:
+            # The stream and channel objects are journaled whole: their
+            # pickled identities (stream/channel ids) are what a resumed
+            # coordinator needs to keep talking to workers — and to spawn
+            # workers — that inherited these exact objects.
+            self._journal.append("source", name, stream, self._channels[name], sharable_label)
         return stream
+
+    # -- topology --------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Live worker count (elastic: changes mid-serve)."""
+        return len(self._shards)
+
+    def shard_ids(self) -> list[int]:
+        """Live shard ids in creation order (sparse after a shrink)."""
+        return list(self._shards)
 
     # -- worker management -----------------------------------------------------------
 
@@ -596,15 +909,26 @@ class ProcessShardedRuntime:
         if self._started:
             return
         self._started = True
-        for shard in range(self.n_shards):
+        if self._resume and self._handoff is not None:
+            handoff, self._handoff = self._handoff, None
+            self._adopt(handoff)
+            return
+        for shard in list(self._shards):
             self._workers[shard] = self._spawn(shard)
+        if self._resume:
+            self._cold_start()
 
     def _spawn(self, shard: int) -> _WorkerHandle:
-        self._spawned[shard] += 1
+        self._spawned[shard] = self._spawned.get(shard, 0) + 1
         faults = self._worker_faults.get(shard)
         if faults is not None and self._spawned[shard] > 1 and not faults.rearm:
             faults = None
         incarnation = self._incarnations()
+        if self._journal is not None:
+            # Journaled before the fork: the journal's next_incarnation is
+            # then always >= any incarnation that ever ran, so a resumed
+            # coordinator can never alias a live worker's id range.
+            self._journal.append("spawn", shard, incarnation)
         commands = self._context.Queue()
         replies = self._context.Queue()
         process = self._context.Process(
@@ -635,20 +959,79 @@ class ProcessShardedRuntime:
         if self._closed:
             return
         self._closed = True
-        for handle in self._workers:
-            if handle is None:
-                continue
+        for handle in self._workers.values():
             try:
                 handle.commands.put(STOP_FRAME)
             except (OSError, ValueError):
                 pass
-        for handle in self._workers:
-            if handle is None:
-                continue
+        for handle in self._workers.values():
             handle.process.join(timeout=2.0)
             if handle.process.is_alive():
                 handle.process.terminate()
                 handle.process.join(timeout=1.0)
+        if self._journal is not None:
+            self._journal.close()
+
+    def _stop_handle(self, handle: _WorkerHandle) -> None:
+        """Stop one worker gracefully, escalating to terminate."""
+        try:
+            handle.commands.put(STOP_FRAME)
+        except (OSError, ValueError):
+            pass
+        handle.process.join(timeout=2.0)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=1.0)
+
+    def detach(self) -> CoordinatorHandoff:
+        """Surrender the live worker handles without stopping the workers.
+
+        Models a coordinator crash whose workers survive (they are separate
+        processes; losing the coordinator does not kill them): the runtime
+        object is dead afterwards (``close`` becomes a no-op and no further
+        calls are valid), and the returned handoff feeds
+        :meth:`readopt` on a successor coordinator.
+        """
+        handoff = CoordinatorHandoff(workers=dict(self._workers))
+        self._workers = {}
+        self._closed = True
+        if self._journal is not None:
+            self._journal.close()
+        return handoff
+
+    def abandon(self) -> None:
+        """Hard-kill the fleet and drop the runtime (simulated total loss).
+
+        No STOP commands, no draining — the workers are terminated the way
+        a machine failure would take them, leaving only the on-disk journal
+        and checkpoint store for :meth:`from_journal` to cold-start from.
+        """
+        self._closed = True
+        for handle in self._workers.values():
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=1.0)
+        self._workers = {}
+        if self._journal is not None:
+            self._journal.close()
+
+    def _crash_point(self, point: str, phase: str) -> None:
+        """Fire an armed coordinator fault (no-op without injection)."""
+        if self._coordinator_faults is None:
+            return
+        try:
+            self._coordinator_faults.check(point, phase)
+        except CoordinatorCrashError:
+            # The coordinator is dead from here on; the test harness
+            # catches the error and either abandons or detaches the fleet.
+            self.events.emit(
+                "coordinator_crash",
+                message=f"injected coordinator crash at {point} ({phase})",
+                level=logging.WARNING,
+                point=point,
+                phase=phase,
+            )
+            raise
 
     def __enter__(self) -> "ProcessShardedRuntime":
         return self
@@ -714,9 +1097,16 @@ class ProcessShardedRuntime:
         try:
             self._send_command(handle, frame)
             retries = 0
+            started = time.monotonic()
+            # Exponential backoff with deterministic jitter: each timeout
+            # doubles (capped at 8x) and is scaled by a seq-seeded factor in
+            # [0.5, 1.5), so retransmission storms de-synchronize while
+            # tests stay reproducible.
+            jitter = Random(seq)
+            timeout = self.command_timeout
             while True:
                 try:
-                    reply = handle.replies.get(timeout=self.command_timeout)
+                    reply = handle.replies.get(timeout=timeout)
                 except queue_module.Empty:
                     if handle.process.exitcode is not None:
                         if span is not None:
@@ -726,14 +1116,29 @@ class ProcessShardedRuntime:
                             f"{handle.process.exitcode} during {kind}"
                         ) from None
                     retries += 1
-                    if retries > self.max_retries:
+                    elapsed = time.monotonic() - started
+                    if retries > self.max_retries or (
+                        self.retry_budget > 0 and elapsed > self.retry_budget
+                    ):
                         if span is not None:
                             span.attrs["error"] = True
-                        raise LifecycleError(
+                        self.rpc_unreachable += 1
+                        raise WorkerUnreachableError(
                             f"shard {shard} did not acknowledge {kind} after "
-                            f"{retries} attempts"
+                            f"{retries} attempts ({elapsed:.1f}s; "
+                            f"max_retries={self.max_retries}, "
+                            f"retry_budget={self.retry_budget or 'off'})",
+                            shard=shard,
+                            kind=kind,
+                            attempts=retries,
+                            elapsed_seconds=elapsed,
                         ) from None
+                    self.rpc_retransmissions += 1
                     self._send_command(handle, frame)
+                    timeout = min(
+                        self.command_timeout * (2 ** retries),
+                        self.command_timeout * 8,
+                    ) * jitter.uniform(0.5, 1.5)
                     continue
                 reply_seq, status, result = decode_reply(reply)
                 if reply_seq != seq:
@@ -799,61 +1204,7 @@ class ProcessShardedRuntime:
             checkpoint_version=None,
         )
         if self.durable:
-            checkpoint = self.store.latest(shard)
-            if checkpoint is not None and checkpoint.version <= self._ckpt_floor:
-                # A previous run's checkpoint: foreign state, never restored
-                # into this serve (this run's write-ahead log starts empty,
-                # so replay-from-origin is the correct recovery).
-                checkpoint = None
-            if checkpoint is not None:
-                report.checkpoint_version = checkpoint.version
-                restored = self._rpc(
-                    shard,
-                    RESTORE,
-                    {
-                        "components": [
-                            component.blob
-                            for component in checkpoint.components
-                        ],
-                        "captured_extra": checkpoint.captured_extra,
-                        "stats": checkpoint.stats,
-                        "cursor": dict(checkpoint.cursor),
-                    },
-                )
-                report.queries_restored = restored["queries"]
-                report.state_restored = restored["state_restored"]
-                self._shipped[shard] = dict(checkpoint.cursor)
-                position = checkpoint.position
-            else:
-                position = self._wal[shard].start
-            for entry in self._wal[shard].entries_from(position):
-                kind = entry[0]
-                if kind == "data":
-                    __, stream_name, chunk = entry
-                    self._ship_run(stream_name, chunk, (shard,))
-                    report.tuples_replayed += len(chunk)
-                elif kind == "register":
-                    self._rpc(shard, REGISTER, entry[1])
-                    report.queries_replayed.append(entry[1].query_id)
-                    report.lifecycle_replayed += 1
-                elif kind == "unregister":
-                    self._rpc(shard, UNREGISTER, entry[1])
-                    report.lifecycle_replayed += 1
-                elif kind == "reoptimize":
-                    self._rpc(shard, REOPTIMIZE)
-                    report.lifecycle_replayed += 1
-                elif kind == "import":
-                    self._rpc(shard, REBALANCE, ("in", entry[1]))
-                    report.lifecycle_replayed += 1
-                elif kind == "export":
-                    # Replayed components leave again; the live copy is on
-                    # the shard the original rebalance moved it to.
-                    self._rpc(shard, REBALANCE, ("out", entry[1]))
-                    report.lifecycle_replayed += 1
-                else:
-                    raise CheckpointError(
-                        f"unknown write-ahead-log entry kind {kind!r}"
-                    )
+            self._restore_worker(shard, report)
         else:
             for query_id, owner in self._query_shard.items():
                 if owner == shard:
@@ -874,6 +1225,277 @@ class ProcessShardedRuntime:
         self.crash_recoveries += 1
         self._route_cache.clear()
         return report
+
+    def _restore_worker(self, shard: int, report: RecoveryReport) -> None:
+        """Bring a freshly spawned worker to the present: restore its
+        latest restorable checkpoint, then replay its write-ahead-log
+        suffix.  Shared by crash recovery, journal cold start and re-adopt
+        respawns — the log may be the live one or a clone of the journal's
+        folded mirror; the replay discipline is identical."""
+        checkpoint = self.store.latest(shard)
+        if checkpoint is not None and checkpoint.version <= self._ckpt_floor:
+            # A previous run's checkpoint: foreign state, never restored
+            # into this serve (this run's write-ahead log starts empty,
+            # so replay-from-origin is the correct recovery).
+            checkpoint = None
+        if checkpoint is not None:
+            report.checkpoint_version = checkpoint.version
+            restored = self._rpc(
+                shard,
+                RESTORE,
+                {
+                    "components": [
+                        component.blob
+                        for component in checkpoint.components
+                    ],
+                    "captured_extra": checkpoint.captured_extra,
+                    "stats": checkpoint.stats,
+                    "cursor": dict(checkpoint.cursor),
+                },
+            )
+            report.queries_restored = restored["queries"]
+            report.state_restored = restored["state_restored"]
+            self._shipped[shard] = dict(checkpoint.cursor)
+            position = checkpoint.position
+        else:
+            position = self._wal[shard].start
+        for entry in self._wal[shard].entries_from(position):
+            kind = entry[0]
+            if kind == "data":
+                __, stream_name, chunk = entry
+                self._ship_run(stream_name, chunk, (shard,))
+                report.tuples_replayed += len(chunk)
+            elif kind == "register":
+                self._rpc(shard, REGISTER, entry[1])
+                report.queries_replayed.append(entry[1].query_id)
+                report.lifecycle_replayed += 1
+            elif kind == "unregister":
+                self._rpc(shard, UNREGISTER, entry[1])
+                report.lifecycle_replayed += 1
+            elif kind == "reoptimize":
+                self._rpc(shard, REOPTIMIZE)
+                report.lifecycle_replayed += 1
+            elif kind == "import":
+                self._rpc(shard, REBALANCE, ("in", entry[1]))
+                report.lifecycle_replayed += 1
+            elif kind == "export":
+                # Replayed components leave again; the live copy is on
+                # the shard the original rebalance moved it to.
+                self._rpc(shard, REBALANCE, ("out", entry[1]))
+                report.lifecycle_replayed += 1
+            else:
+                raise CheckpointError(
+                    f"unknown write-ahead-log entry kind {kind!r}"
+                )
+
+    # -- resume: cold start and re-adoption --------------------------------------------
+
+    def _cold_start(self) -> None:
+        """Restore the whole fleet from the journal (total-loss recovery).
+
+        Every shard in the journaled topology has just been respawned
+        blank; each is restored from its latest journaled checkpoint plus
+        the journal's folded write-ahead-log suffix.  Schema frames re-emit
+        naturally — the fresh encoder interns each journaled channel on its
+        first replayed run.
+        """
+        with self._traced("cold_start", shards=len(self._shards)):
+            for shard in self._shards:
+                started = time.perf_counter()
+                self._shipped[shard] = {}
+                report = RecoveryReport(
+                    shard=shard,
+                    incarnation=self._workers[shard].incarnation,
+                    durable=True,
+                    checkpoint_version=None,
+                )
+                self._restore_worker(shard, report)
+                report.elapsed_seconds = time.perf_counter() - started
+                self.recovery_log.append(report)
+                self.events.emit(
+                    "cold_start_shard",
+                    message=str(report),
+                    shard=shard,
+                    incarnation=report.incarnation,
+                )
+        self.events.emit(
+            "cold_start",
+            message=(
+                f"cold-started {len(self._shards)} workers from journal "
+                f"{self._journal.path!r}"
+            ),
+            shards=len(self._shards),
+        )
+
+    def _adopt(self, handoff: CoordinatorHandoff) -> None:
+        """Re-adopt a dead coordinator's still-live workers.
+
+        Per worker: drain stale replies, ``hello`` (incarnation, highest
+        applied command seq, stream cursors, active queries), then
+        reconcile against the journal.  Reconciliation order matters:
+        first every *unjournaled* effect is rolled back on every live
+        worker (extra queries unregistered with their captured history
+        purged — the journal says they live elsewhere or nowhere), then
+        workers *missing* journaled queries are respawned from checkpoints
+        (the respawn may re-import a component whose live copy was just
+        purged — purging first prevents duplication), and finally
+        journaled-but-unshipped data (the journal-before-ship window) is
+        re-shipped from the folded log tails.  The coordinator's sequence
+        numbering resumes above every worker's applied seq, so reply
+        caches keyed by the old numbering can never answer a new command.
+        """
+        with self._traced("readopt", shards=len(self._shards)):
+            for shard, handle in handoff.workers.items():
+                if shard not in self._shards:
+                    # Journaled as removed before the crash; the handoff
+                    # raced the topology change.  Retire it.
+                    self._stop_handle(handle)
+            hello: dict[int, dict] = {}
+            for shard in self._shards:
+                handle = handoff.workers.get(shard)
+                if handle is None or handle.process.exitcode is not None:
+                    continue
+                while True:  # stale replies of the dead coordinator's RPCs
+                    try:
+                        handle.replies.get_nowait()
+                    except queue_module.Empty:
+                        break
+                self._workers[shard] = handle
+                try:
+                    hello[shard] = self._rpc(shard, HELLO)
+                except (WorkerCrashError, LifecycleError):
+                    self._workers.pop(shard, None)
+            self._seq = max(
+                [self._seq] + [info["max_seq"] for info in hello.values()]
+            )
+            for shard, info in hello.items():
+                journaled = {
+                    query_id
+                    for query_id, owner in self._query_shard.items()
+                    if owner == shard
+                }
+                for query_id in info["active_queries"]:
+                    if query_id not in journaled:
+                        self._rpc(
+                            shard,
+                            UNREGISTER,
+                            {"query_id": query_id, "purge_captured": True},
+                        )
+            adopted = 0
+            for shard in self._shards:
+                info = hello.get(shard)
+                journaled = {
+                    query_id
+                    for query_id, owner in self._query_shard.items()
+                    if owner == shard
+                }
+                if info is None:
+                    self._force_respawn(shard)
+                    continue
+                missing = journaled - set(info["active_queries"])
+                if missing:
+                    self._force_respawn(shard)
+                    continue
+                self._reship_deficit(shard, info["cursor"])
+                adopted += 1
+        self._route_cache.clear()
+        self.events.emit(
+            "readopt",
+            message=(
+                f"re-adopted {adopted}/{len(self._shards)} workers from "
+                f"handoff (journal {self._journal.path!r})"
+            ),
+            adopted=adopted,
+            shards=len(self._shards),
+        )
+
+    def _force_respawn(self, shard: int) -> None:
+        """Replace a dead or journal-diverged worker during re-adoption."""
+        handle = self._workers.pop(shard, None)
+        if handle is not None:
+            self._stop_handle(handle)
+        started = time.perf_counter()
+        replacement = self._spawn(shard)
+        self._workers[shard] = replacement
+        for frame in self._schema_frames:
+            replacement.commands.put(frame)
+        self._shipped[shard] = {}
+        report = RecoveryReport(
+            shard=shard,
+            incarnation=replacement.incarnation,
+            durable=self.durable,
+            checkpoint_version=None,
+        )
+        self._restore_worker(shard, report)
+        report.elapsed_seconds = time.perf_counter() - started
+        self.recovery_log.append(report)
+        self.crash_recoveries += 1
+        self.events.emit(
+            "readopt_respawn",
+            message=str(report),
+            level=logging.INFO,
+            shard=shard,
+            incarnation=replacement.incarnation,
+        )
+
+    def _reship_deficit(self, shard: int, worker_cursor: dict) -> None:
+        """Re-ship journaled-but-unshipped data to an adopted worker.
+
+        Data is journaled before it is shipped, so a worker's cursor can
+        only be at or behind the journal, and the unshipped events are
+        always a clean suffix of the folded log.  The suffix is matched
+        exactly (chunk boundaries and all); any misalignment — a cursor
+        ahead of the journal, a lifecycle entry inside the deficit window —
+        means the worker's timeline diverged from the journal's, and the
+        worker is respawned from its checkpoint instead.
+        """
+        shipped = self._shipped[shard]
+        for stream_name, count in worker_cursor.items():
+            if count > shipped.get(stream_name, 0):
+                raise CheckpointError(
+                    f"shard {shard} processed {count} events of "
+                    f"{stream_name!r} but the journal shipped only "
+                    f"{shipped.get(stream_name, 0)} — data was shipped "
+                    f"without being journaled; the journal-before-ship "
+                    f"discipline is broken"
+                )
+        deficits = {
+            stream_name: count - worker_cursor.get(stream_name, 0)
+            for stream_name, count in shipped.items()
+            if count - worker_cursor.get(stream_name, 0) > 0
+        }
+        if not deficits:
+            return
+        log = self._wal[shard]
+        entries = log.entries_from(log.start)
+        suffix: list[tuple] = []
+        need = dict(deficits)
+        for entry in reversed(entries):
+            if not any(count > 0 for count in need.values()):
+                break
+            if entry[0] != "data":
+                self._force_respawn(shard)
+                return
+            __, stream_name, chunk = entry
+            remaining = need.get(stream_name, 0)
+            if len(chunk) > remaining:
+                self._force_respawn(shard)
+                return
+            need[stream_name] = remaining - len(chunk)
+            suffix.append(entry)
+        if any(count != 0 for count in need.values()):
+            self._force_respawn(shard)
+            return
+        for __, stream_name, chunk in reversed(suffix):
+            # count=False: the journal already counted these events as
+            # shipped — re-shipping closes the gap, it does not extend it.
+            self._ship_run(stream_name, chunk, (shard,), count=False)
+        self.events.emit(
+            "readopt_reship",
+            level=logging.DEBUG,
+            shard=shard,
+            deficits=deficits,
+        )
 
     # -- checkpoints -----------------------------------------------------------------
 
@@ -912,15 +1534,20 @@ class ProcessShardedRuntime:
                     continue
                 entry["retries"] += 1
                 if entry["retries"] > self.max_retries:
-                    raise LifecycleError(
+                    self.rpc_unreachable += 1
+                    raise WorkerUnreachableError(
                         f"shard {shard} did not acknowledge checkpoint "
                         f"v{pending['version']} after {entry['retries']} "
-                        f"attempts"
+                        f"attempts",
+                        shard=shard,
+                        kind=CHECKPOINT,
+                        attempts=entry["retries"],
                     ) from None
                 # Safe retransmit: the original frame was delivered (the
                 # reliable path never drops), so the first copy already
                 # fixed the cut; a duplicate is answered from the worker's
                 # reply cache.
+                self.rpc_retransmissions += 1
                 handle.commands.put(entry["frame"])
                 continue
             reply_seq, status, result = decode_reply(reply)
@@ -935,22 +1562,37 @@ class ProcessShardedRuntime:
             self.collect_checkpoints()
         self._ckpt_version += 1
         version = self._ckpt_version
+        # Differential cadence: deltas by default, a forced full round
+        # every ``full_checkpoint_every`` versions bounding how many
+        # splices any restore chain depends on (the store itself is always
+        # materialized full, so the bound is about blast radius of a bad
+        # splice base, not about restore cost).
+        differential = (
+            self.differential
+            and self.full_checkpoint_every > 0
+            and version % self.full_checkpoint_every != 0
+        )
         shards: dict[int, dict] = {}
         with self._traced("checkpoint:round", version=version):
             # Worker-side apply:checkpoint spans parent to this round span
             # even though the snapshots land later, pipelined — the span
             # marks the initiation cut, not the collection.
             trace = self._trace_ctx()
-            for shard in range(self.n_shards):
+            for shard in self._shards:
+                base = self._ckpt_base(shard) if differential else None
                 self._seq += 1
                 frame = encode_command(
-                    CHECKPOINT, self._seq, {"version": version}, trace=trace
+                    CHECKPOINT,
+                    self._seq,
+                    {"version": version, "base": base},
+                    trace=trace,
                 )
                 shards[shard] = {
                     "seq": self._seq,
                     "frame": frame,
                     "position": self._wal[shard].end,
                     "expected_cursor": dict(self._shipped[shard]),
+                    "base": base,
                     "retries": 0,
                 }
                 # Bypass FrameFaults: a checkpoint command's queue position
@@ -958,10 +1600,48 @@ class ProcessShardedRuntime:
                 # like the data frames it cuts between (see FrameFaults).
                 self._workers[shard].commands.put(frame)
         self._pending_ckpt = {"version": version, "shards": shards}
+        self._crash_point("ckpt-round", "before")
         self.events.emit(
             "checkpoint_initiated", level=logging.DEBUG, version=version
         )
         return version
+
+    def _ckpt_base(self, shard: int) -> Optional[dict]:
+        """Captured-history offsets of the shard's last stored checkpoint —
+        the delta base a differential round sends the worker.  ``None``
+        (→ full manifest) when no restorable checkpoint exists."""
+        checkpoint = self.store.latest(shard)
+        if checkpoint is None or checkpoint.version <= self._ckpt_floor:
+            return None
+        offsets: dict = {}
+        for component in checkpoint.components:
+            offsets.update(component.captured_offsets)
+        for query_id, history in pickle.loads(
+            checkpoint.captured_extra
+        ).items():
+            offsets.setdefault(query_id, len(history))
+        return offsets
+
+    def _captured_cache(self, shard: int) -> dict:
+        """The latest stored checkpoint's materialized captured histories
+        (query id → full history) — the splice base for differential
+        manifests.  Cached per shard; rebuilt from the store's blobs when
+        the cached version is stale (e.g. after a resume)."""
+        checkpoint = self.store.latest(shard)
+        cached = self._ckpt_captured.get(shard)
+        if cached is not None and cached[0] == checkpoint.version:
+            return cached[1]
+        full: dict = {}
+        for component in checkpoint.components:
+            transfer = decode_transfer(component.blob)
+            for query_id, history in transfer.captured.items():
+                full[query_id] = list(history)
+        for query_id, history in pickle.loads(
+            checkpoint.captured_extra
+        ).items():
+            full[query_id] = list(history)
+        self._ckpt_captured[shard] = (checkpoint.version, full)
+        return full
 
     def _poll_checkpoint(self) -> None:
         """Non-blocking sweep for pipelined checkpoint replies."""
@@ -1024,6 +1704,15 @@ class ProcessShardedRuntime:
                 f"coordinator shipped {entry['expected_cursor']} before the "
                 f"cut — the protocol's ordering guarantee is broken"
             )
+        # Account what actually crossed the wire (differential rounds trim
+        # the captured histories to deltas before this point).
+        wire_bytes = len(manifest["captured_extra"]) + sum(
+            len(component["blob"]) for component in manifest["components"]
+        )
+        self.checkpoint_wire_bytes += wire_bytes
+        base = entry.get("base")
+        if base is not None:
+            self._materialize_differential(shard, manifest, base)
         checkpoint = ShardCheckpoint(
             shard=shard,
             version=pending["version"],
@@ -1042,15 +1731,61 @@ class ProcessShardedRuntime:
             stats=manifest["stats"],
         )
         self.store.put(checkpoint)
+        # Invalidate the splice cache; the next differential round rebuilds
+        # it lazily from the version just stored.
+        self._ckpt_captured.pop(shard, None)
         # Everything before the cut is now redundant: restore + suffix
         # replay reconstructs the present without it.
         self._wal[shard].truncate_to(entry["position"])
+        if self._journal is not None:
+            # Store-then-journal: the .ckpt file exists before this record
+            # commits it.  A crash in between leaves an unjournaled file,
+            # pruned on resume (prune_above) — never a journaled cut whose
+            # file is missing.
+            self._journal.append(
+                "ckpt",
+                shard,
+                checkpoint.version,
+                entry["position"],
+                dict(manifest["cursor"]),
+            )
         self.checkpoints_stored += 1
         self.events.emit(
             "checkpoint_stored",
             level=logging.DEBUG,
             shard=shard,
             version=checkpoint.version,
+            wire_bytes=wire_bytes,
+            differential=base is not None,
+        )
+
+    def _materialize_differential(
+        self, shard: int, manifest: dict, base: dict
+    ) -> None:
+        """Splice a differential manifest into a self-contained one.
+
+        The worker shipped captured-history *suffixes* past the offsets in
+        ``base``; the coordinator owns the previous version's materialized
+        histories (:meth:`_captured_cache`, whose lengths equal those
+        offsets by construction) and prepends them, re-encoding each
+        component blob — so what lands in the store restores without any
+        delta chain.
+        """
+        cache = self._captured_cache(shard)
+        for component in manifest["components"]:
+            transfer = decode_transfer(component["blob"])
+            transfer.captured = {
+                query_id: list(cache.get(query_id, ())) + list(delta)
+                for query_id, delta in transfer.captured.items()
+            }
+            component["blob"] = encode_transfer(transfer)
+        extra = pickle.loads(manifest["captured_extra"])
+        manifest["captured_extra"] = pickle.dumps(
+            {
+                query_id: list(cache.get(query_id, ())) + list(delta)
+                for query_id, delta in extra.items()
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
 
     def _cancel_pending_checkpoint(self, shard: int) -> None:
@@ -1080,8 +1815,8 @@ class ProcessShardedRuntime:
         if not self._started or self._closed:
             return
         self._poll_checkpoint()
-        for shard, handle in enumerate(self._workers):
-            if handle is not None and handle.process.exitcode is not None:
+        for shard, handle in list(self._workers.items()):
+            if handle.process.exitcode is not None:
                 self._recover(shard)
 
     # -- lifecycle -------------------------------------------------------------------
@@ -1099,10 +1834,12 @@ class ProcessShardedRuntime:
             ) from None
 
     def shard_loads(self) -> list[int]:
-        loads = [0] * self.n_shards
+        """Query counts in :meth:`shard_ids` order (positional while the
+        fleet is dense; consumers that need ids use ``shard_ids``)."""
+        loads = {shard: 0 for shard in self._shards}
         for shard in self._query_shard.values():
             loads[shard] += 1
-        return loads
+        return [loads[shard] for shard in self._shards]
 
     def queries_on(self, shard: int) -> list[str]:
         return [
@@ -1113,8 +1850,10 @@ class ProcessShardedRuntime:
 
     def place(self, logical: LogicalQuery) -> int:
         """Least-loaded placement, identical to ShardedRuntime.place."""
-        loads = self.shard_loads()
-        return min(range(self.n_shards), key=lambda index: (loads[index], index))
+        loads = {shard: 0 for shard in self._shards}
+        for owner in self._query_shard.values():
+            loads[owner] += 1
+        return min(self._shards, key=lambda shard: (loads[shard], shard))
 
     def register(
         self,
@@ -1141,13 +1880,17 @@ class ProcessShardedRuntime:
                 )
         if shard is None:
             shard = self.place(logical)
-        elif not 0 <= shard < self.n_shards:
+        elif shard not in self._shards:
             raise LifecycleError(
-                f"shard {shard} out of range (n_shards={self.n_shards})"
+                f"shard {shard} out of range (live shards: {self._shards})"
             )
         result = self._rpc_recovering(shard, REGISTER, logical)
         if self.durable:
             self._wal[shard].append(("register", logical))
+        self._crash_point("register", "before")
+        if self._journal is not None:
+            self._journal.append("register", shard, logical)
+        self._crash_point("register", "after")
         self._queries[logical.query_id] = logical
         self._query_shard[logical.query_id] = shard
         self._route_cache.clear()
@@ -1165,6 +1908,10 @@ class ProcessShardedRuntime:
         result = self._rpc_recovering(shard, UNREGISTER, query_id)
         if self.durable:
             self._wal[shard].append(("unregister", query_id))
+        self._crash_point("unregister", "before")
+        if self._journal is not None:
+            self._journal.append("unregister", shard, query_id)
+        self._crash_point("unregister", "after")
         del self._query_shard[query_id]
         del self._queries[query_id]
         self._route_cache.clear()
@@ -1175,12 +1922,14 @@ class ProcessShardedRuntime:
 
     def reoptimize(self, shard: Optional[int] = None) -> list[dict]:
         self._ensure_started()
-        shards = range(self.n_shards) if shard is None else [shard]
+        shards = list(self._shards) if shard is None else [shard]
         results = []
         for index in shards:
             results.append(self._rpc_recovering(index, REOPTIMIZE))
             if self.durable:
                 self._wal[index].append(("reoptimize", None))
+            if self._journal is not None:
+                self._journal.append("reoptimize", index)
         return results
 
     # -- rebalance -------------------------------------------------------------------
@@ -1194,9 +1943,9 @@ class ProcessShardedRuntime:
         re-raised, so the runtime never stops serving a registered query.
         """
         self._ensure_started()
-        if not 0 <= to_shard < self.n_shards:
+        if to_shard not in self._shards:
             raise LifecycleError(
-                f"shard {to_shard} out of range (n_shards={self.n_shards})"
+                f"shard {to_shard} out of range (live shards: {self._shards})"
             )
         from_shard = self.shard_of(query_id)
         if from_shard == to_shard:
@@ -1224,6 +1973,7 @@ class ProcessShardedRuntime:
                     f"shard {from_shard} crashed during export; {detail}"
                 ) from None
             blob = exported["blob"]
+            self._crash_point("rebalance-mid", "before")
             try:
                 self._rpc(to_shard, REBALANCE, ("in", blob))
             except WorkerCrashError:
@@ -1246,6 +1996,15 @@ class ProcessShardedRuntime:
                 # exactly.
                 self._wal[from_shard].append(("export", query_id))
                 self._wal[to_shard].append(("import", blob))
+            if self._journal is not None:
+                self._journal.append(
+                    "rebalance",
+                    query_id,
+                    from_shard,
+                    to_shard,
+                    list(exported["queries"]),
+                    blob,
+                )
             for moved_id in exported["queries"]:
                 self._query_shard[moved_id] = to_shard
             self._route_cache.clear()
@@ -1258,6 +2017,187 @@ class ProcessShardedRuntime:
                 moved=len(exported["queries"]),
             )
             return list(exported["queries"])
+
+    # -- elastic scale-out -------------------------------------------------------------
+
+    def add_worker(self, policy=None) -> int:
+        """Grow the fleet by one worker mid-serve; returns its shard id.
+
+        The new shard spawns with the full schema-frame history replayed
+        (so in-flight streams decode immediately) and starts empty; pass a
+        :class:`~repro.shard.policy.RebalancePolicy` to let its
+        :meth:`~repro.shard.policy.RebalancePolicy.on_grow` hook move
+        components onto the newcomer in the same call.
+        """
+        self._ensure_started()
+        shard = self._next_shard
+        self._next_shard += 1
+        with self._traced("scale_up", shard=shard):
+            self._shards.append(shard)
+            self._shipped[shard] = {}
+            if self._wal is not None:
+                self._wal[shard] = ShardLog()
+            if self._journal is not None:
+                # Journal-then-spawn: a crash in between leaves a journaled
+                # shard with no live worker, which resume respawns (empty
+                # log → empty worker) — never a live worker the journal
+                # does not know about.
+                self._journal.append("add_worker", shard)
+            handle = self._spawn(shard)
+            self._workers[shard] = handle
+            for frame in self._schema_frames:
+                handle.commands.put(frame)
+            self._route_cache.clear()
+            self.events.emit(
+                "scale_up",
+                message=(
+                    f"shard {shard} joined (fleet now {self.n_shards} "
+                    f"workers)"
+                ),
+                shard=shard,
+                n_shards=self.n_shards,
+            )
+            if policy is not None:
+                for query_id, target in policy.on_grow(self, shard):
+                    if self.shard_of(query_id) != target:
+                        self.rebalance(query_id, target)
+        return shard
+
+    def remove_worker(self, shard: int, policy=None) -> dict:
+        """Retire a worker mid-serve with zero query loss.
+
+        Every component on the departing shard is drained first — copied
+        non-destructively (``rebalance("copy")``), imported on a surviving
+        shard (the policy's
+        :meth:`~repro.shard.policy.RebalancePolicy.on_shrink` chooses the
+        target, defaulting to least-loaded), then retired on the donor —
+        before the worker is stopped and its id removed from the fleet
+        (ids are never reused).  Returns ``{"shard", "moved"}``.
+        """
+        self._ensure_started()
+        if shard not in self._shards:
+            raise LifecycleError(
+                f"shard {shard} out of range (live shards: {self._shards})"
+            )
+        if self.n_shards <= 1:
+            raise LifecycleError("cannot remove the last worker")
+        moved: list[str] = []
+        with self._traced("scale_down", shard=shard):
+            while True:
+                resident = [
+                    query_id
+                    for query_id, owner in self._query_shard.items()
+                    if owner == shard
+                ]
+                if not resident:
+                    break
+                query_id = resident[0]
+                target = None
+                if policy is not None:
+                    target = policy.on_shrink(self, shard, query_id)
+                if target is None or target == shard or target not in self._shards:
+                    survivors = [s for s in self._shards if s != shard]
+                    loads = {s: 0 for s in survivors}
+                    for owner in self._query_shard.values():
+                        if owner in loads:
+                            loads[owner] += 1
+                    target = min(survivors, key=lambda s: (loads[s], s))
+                moved.extend(self._migrate_copy(query_id, target))
+            # A snapshot in flight on the departing worker will never be
+            # collected; its round proceeds without it.
+            self._cancel_pending_checkpoint(shard)
+            # The retiring worker's cumulative counters (it owned the
+            # drained queries' whole output history) fold into the
+            # coordinator's accumulator — and into the journal, so they
+            # also survive a coordinator restart.
+            departing_stats = self._rpc_recovering(shard, STATS)
+            self._retired_stats.absorb(departing_stats)
+            if self._journal is not None:
+                self._journal.append("remove_worker", shard, departing_stats)
+            handle = self._workers.pop(shard)
+            self._stop_handle(handle)
+            self._shards.remove(shard)
+            self._shipped.pop(shard, None)
+            if self._wal is not None:
+                self._wal.pop(shard, None)
+            self._spawned.pop(shard, None)
+            self._worker_faults.pop(shard, None)
+            self._ckpt_captured.pop(shard, None)
+            self._route_cache.clear()
+            self.events.emit(
+                "scale_down",
+                message=(
+                    f"shard {shard} retired, {len(moved)} queries drained "
+                    f"(fleet now {self.n_shards} workers)"
+                ),
+                shard=shard,
+                moved=len(moved),
+                n_shards=self.n_shards,
+            )
+        return {"shard": shard, "moved": moved}
+
+    def _migrate_copy(self, query_id: str, to_shard: int) -> list[str]:
+        """Move a component by non-destructive copy (the drain transport).
+
+        Copy is side-effect-free on the donor, so a worker crash on either
+        side mid-migration is recovered and the whole migration retried
+        from scratch — the component is never in a half-moved state.
+        """
+        for attempt in (0, 1):
+            try:
+                return self._migrate_copy_once(query_id, to_shard)
+            except WorkerCrashError:
+                if attempt:
+                    raise
+                self.heartbeat()  # recovers whichever side died
+        raise AssertionError("unreachable")
+
+    def _migrate_copy_once(self, query_id: str, to_shard: int) -> list[str]:
+        from_shard = self.shard_of(query_id)
+        with self._traced(
+            "rebalance:copy", query=query_id, source=from_shard,
+            target=to_shard,
+        ):
+            copied = self._rpc(from_shard, REBALANCE, ("copy", query_id))
+            blob = copied["blob"]
+            self._crash_point("rebalance-mid", "before")
+            self._rpc(to_shard, REBALANCE, ("in", blob))
+            # The donor's live copy retires query by query, history purged:
+            # the receiver's imported copy owns the captured histories now.
+            for moved_id in copied["queries"]:
+                self._rpc(
+                    from_shard,
+                    UNREGISTER,
+                    {"query_id": moved_id, "purge_captured": True},
+                )
+            if self.durable:
+                # The write-ahead effect of a completed drain is identical
+                # to a destructive rebalance: the component leaves the
+                # donor's timeline and enters the receiver's.
+                self._wal[from_shard].append(("export", query_id))
+                self._wal[to_shard].append(("import", blob))
+            if self._journal is not None:
+                self._journal.append(
+                    "rebalance",
+                    query_id,
+                    from_shard,
+                    to_shard,
+                    list(copied["queries"]),
+                    blob,
+                )
+            for moved_id in copied["queries"]:
+                self._query_shard[moved_id] = to_shard
+            self._route_cache.clear()
+            self.rebalances += 1
+            self.events.emit(
+                "rebalance",
+                query=query_id,
+                source=from_shard,
+                target=to_shard,
+                moved=len(copied["queries"]),
+                mode="copy",
+            )
+            return list(copied["queries"])
 
     # -- event processing ------------------------------------------------------------
 
@@ -1300,6 +2240,10 @@ class ProcessShardedRuntime:
         batch_stats.physical_input_events = len(tuples)
         self.input_stats.absorb(batch_stats)
         if not tuples or not shards:
+            if tuples and self._journal is not None:
+                # No consumer yet, but the journal must still account the
+                # input so a resumed driver skips the same prefix.
+                self._journal.append("advance", stream_name, len(tuples))
             return batch_stats
         self._ensure_started()
         self._poll_checkpoint()
@@ -1307,19 +2251,35 @@ class ProcessShardedRuntime:
         while start < len(tuples):
             chunk = list(tuples[start : start + self.max_batch])
             start += self.max_batch
-            self._ship_run(stream_name, chunk, shards)
+            final = start >= len(tuples)
+            # Journal-before-ship: once a chunk is on any worker queue it
+            # will be absorbed, so the journal must already own it.  A
+            # crash between append and ship merely re-ships on resume.
+            self._crash_point("batch", "before")
+            if self._journal is not None:
+                self._journal.append(
+                    "batch", stream_name, chunk, list(shards), final
+                )
+            self._crash_point("batch", "after")
             if self.durable:
                 for shard in shards:
                     self._wal[shard].append(("data", stream_name, chunk))
+            self._ship_run(stream_name, chunk, shards)
         self._batches += 1
         if self.checkpoint_every and self._batches % self.checkpoint_every == 0:
             self._initiate_checkpoint()
         return batch_stats
 
     def _ship_run(
-        self, stream_name: str, chunk: Sequence[StreamTuple], shards
+        self, stream_name: str, chunk: Sequence[StreamTuple], shards,
+        count: bool = True,
     ) -> None:
-        """Encode one run and put its frames on the target shards' queues."""
+        """Encode one run and put its frames on the target shards' queues.
+
+        ``count=False`` re-ships without advancing the shipped counters —
+        used by re-adoption to close a worker's delivery deficit whose
+        events the journal already counted.
+        """
         channel = self._channels[stream_name]
         bit = 1 << channel.position_of(self.streams[stream_name])
         encoded = [ChannelTuple(tuple_, bit) for tuple_ in chunk]
@@ -1341,14 +2301,15 @@ class ProcessShardedRuntime:
                 # Broadcast + record, so respawned workers can replay
                 # the interning state before their first run frame.
                 self._schema_frames.append(frame)
-                for handle in self._workers:
+                for handle in self._workers.values():
                     handle.commands.put(frame)
             else:
                 for shard in shards:
                     self._workers[shard].commands.put(frame)
-        for shard in shards:
-            counts = self._shipped[shard]
-            counts[stream_name] = counts.get(stream_name, 0) + len(chunk)
+        if count:
+            for shard in shards:
+                counts = self._shipped[shard]
+                counts[stream_name] = counts.get(stream_name, 0) + len(chunk)
 
     # -- introspection ---------------------------------------------------------------
 
@@ -1356,7 +2317,7 @@ class ProcessShardedRuntime:
         """Per-worker cumulative RunStats (synchronous; a batch barrier)."""
         self._ensure_started()
         return [
-            self._rpc_recovering(shard, STATS) for shard in range(self.n_shards)
+            self._rpc_recovering(shard, STATS) for shard in self._shards
         ]
 
     def collect_stats(self) -> RunStats:
@@ -1369,6 +2330,10 @@ class ProcessShardedRuntime:
         merged = RunStats()
         for stats in self.shard_stats():
             merged.absorb(stats)
+        # Workers retired by elastic shrink took their counters with them;
+        # the coordinator keeps their final stats so aggregates match a
+        # fleet that never resized.
+        merged.absorb(self._retired_stats)
         merged.input_events = self.input_stats.input_events
         merged.physical_input_events = self.input_stats.physical_input_events
         return merged
@@ -1382,7 +2347,7 @@ class ProcessShardedRuntime:
         merged into the coordinator's recorder, completing the trace tree."""
         self._ensure_started()
         views = []
-        for shard in range(self.n_shards):
+        for shard in self._shards:
             reply = self._rpc_recovering(shard, STATS, {"telemetry": True})
             if self.recorder is not None and reply.get("spans"):
                 self.recorder.add(reply["spans"])
@@ -1424,6 +2389,15 @@ class ProcessShardedRuntime:
         registry.counter("rumor_checkpoint_failures_total").inc(
             self.checkpoint_failures
         )
+        registry.counter("rumor_rpc_retransmissions_total").inc(
+            self.rpc_retransmissions
+        )
+        registry.counter("rumor_rpc_unreachable_total").inc(
+            self.rpc_unreachable
+        )
+        registry.counter("rumor_checkpoint_wire_bytes_total").inc(
+            self.checkpoint_wire_bytes
+        )
         return registry
 
     def snapshot(self) -> list[dict]:
@@ -1432,7 +2406,7 @@ class ProcessShardedRuntime:
         self._ensure_started()
         return [
             self._rpc_recovering(shard, SNAPSHOT)
-            for shard in range(self.n_shards)
+            for shard in self._shards
         ]
 
     def component_queries(self, query_id: str) -> list[str]:
@@ -1456,6 +2430,25 @@ class ProcessShardedRuntime:
     def state_size(self) -> int:
         return sum(entry["state_size"] for entry in self.snapshot())
 
+    def input_positions(self) -> dict:
+        """Per-stream journaled input positions (events absorbed so far).
+
+        Resume drivers use this to skip the already-served prefix of each
+        source stream; requires a coordinator journal.
+        """
+        if self._journal is None:
+            raise JournalError(
+                "input_positions requires a coordinator journal"
+            )
+        return dict(self._journal.state.input_positions)
+
+    @property
+    def lifecycle_ops(self) -> int:
+        """Count of journaled lifecycle operations (register/unregister)."""
+        if self._journal is None:
+            return 0
+        return self._journal.state.lifecycle_ops
+
     def describe(self) -> str:
         lines = [
             f"ProcessShardedRuntime: {len(self._query_shard)} active queries "
@@ -1464,13 +2457,13 @@ class ProcessShardedRuntime:
             f"recoveries={self.crash_recoveries}"
         ]
         if self.durable:
-            spans = [self.wal_span(shard) for shard in range(self.n_shards)]
+            spans = [self.wal_span(shard) for shard in self._shards]
             lines.append(
                 f"   durable: checkpoint_every={self.checkpoint_every} "
                 f"batches, {self.checkpoints_stored} checkpoints stored "
                 f"({self.checkpoint_failures} failures), wal spans={spans}"
             )
-        for shard, entry in enumerate(self.snapshot()):
+        for shard, entry in zip(self.shard_ids(), self.snapshot()):
             handle = self._workers[shard]
             lines.append(
                 f"-- shard {shard} (pid {handle.process.pid}, incarnation "

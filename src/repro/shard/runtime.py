@@ -212,6 +212,11 @@ class ShardedRuntime:
         self.rebalances += 1
         return transfer
 
+    def shard_ids(self) -> list[int]:
+        """Live shard ids, in :meth:`shard_loads` order.  Contiguous here;
+        the process-mode runtime's ids go sparse under elastic resize."""
+        return list(range(self.n_shards))
+
     def shard_loads(self) -> list[int]:
         """Active query count per shard (the placement/rebalance signal)."""
         return [len(runtime.active_queries) for runtime in self.runtimes]

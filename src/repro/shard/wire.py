@@ -51,7 +51,7 @@ process boundary.
 from __future__ import annotations
 
 import pickle
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.errors import ChannelError, CheckpointError
 from repro.streams.channel import Channel, ChannelTuple
@@ -74,6 +74,13 @@ STATS = "stats"
 SNAPSHOT = "snapshot"
 CHECKPOINT = "checkpoint"
 RESTORE = "restore"
+#: Re-adoption handshake: a restarted coordinator asks a still-live worker
+#: for its incarnation, highest applied sequence number, stream cursor and
+#: active queries, then reconciles them against its journal.  Workers
+#: answer ``hello`` outside the reply cache (it is read-only and its seq
+#: comes from the *new* coordinator's numbering, which must not collide
+#: with cached replies to the old one).
+HELLO = "hello"
 REPLY = "reply"
 
 COMMAND_KINDS = frozenset(
@@ -86,6 +93,7 @@ COMMAND_KINDS = frozenset(
         SNAPSHOT,
         CHECKPOINT,
         RESTORE,
+        HELLO,
     }
 )
 
@@ -163,8 +171,14 @@ def encode_transfer(transfer) -> bytes:
     output histories — pickles directly.  The donor must not keep serving
     the component after encoding (export semantics), so handing the live
     containers to pickle is safe.
+
+    A transfer that already crossed a process boundary carries its state
+    in ``transfer.state`` with no live executors; re-encoding such a
+    transfer (the coordinator does this when splicing differential
+    checkpoints) starts from that carried state so the round trip is
+    lossless.
     """
-    state = {}
+    state = dict(getattr(transfer, "state", None) or {})
     for mop_id, (__signature, executor) in transfer.entries.items():
         snapshot = executor.snapshot_state()
         if snapshot is not None:
@@ -215,6 +229,7 @@ def encode_manifest(
     components: Sequence[dict],
     captured_extra: dict,
     stats=None,
+    base: Optional[dict] = None,
 ) -> dict:
     """Build a checkpoint manifest payload (flat primitives + bytes).
 
@@ -229,8 +244,17 @@ def encode_manifest(
     still survive a restore), and the worker's cumulative ``RunStats`` at
     the cut — restoring them keeps post-recovery aggregate counters
     identical to a never-crashed serve.
+
+    ``base`` marks a **differential** manifest: ``{query_id: offset}``
+    captured-history cuts the coordinator sent with the checkpoint
+    command.  Component blobs and ``captured_extra`` then carry only the
+    history *suffixes* past those offsets — the coordinator splices them
+    onto its previous materialized checkpoint before storing, so what
+    lands in the :class:`~repro.shard.checkpoint.CheckpointStore` is
+    always self-contained.  ``base=None`` (absent on the wire) is a full
+    manifest.
     """
-    return {
+    payload = {
         "version": int(version),
         "cursor": {str(name): int(count) for name, count in cursor.items()},
         "components": [
@@ -247,6 +271,9 @@ def encode_manifest(
         ),
         "stats": pickle.dumps(stats, protocol=pickle.HIGHEST_PROTOCOL),
     }
+    if base is not None:
+        payload["base"] = {str(qid): int(off) for qid, off in base.items()}
+    return payload
 
 
 def decode_manifest(payload: dict) -> dict:
@@ -278,12 +305,14 @@ def decode_manifest(payload: dict) -> dict:
             raise CheckpointError(
                 "manifest component blob must be bytes (encode_transfer output)"
             )
+    base = payload.get("base")
     return {
         "version": payload["version"],
         "cursor": dict(payload["cursor"]),
         "components": [dict(component) for component in payload["components"]],
         "captured_extra": payload["captured_extra"],
         "stats": payload["stats"],
+        "base": dict(base) if base is not None else None,
     }
 
 

@@ -23,12 +23,13 @@ from repro.workloads.templates import (
     Workload3,
 )
 from repro.workloads.perfmon import PerfmonDataset, D1, D2
-from repro.workloads.churn import ChurnEvent, ChurnWorkload, drive
+from repro.workloads.churn import ChurnEvent, ChurnWorkload, drive, resume_tail
 
 __all__ = [
     "ChurnEvent",
     "ChurnWorkload",
     "drive",
+    "resume_tail",
     "ZipfSampler",
     "synthetic_schema",
     "interleaved_events",

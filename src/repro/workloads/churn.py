@@ -349,6 +349,54 @@ def drive_sharded(
         heartbeat()
 
 
+def resume_tail(
+    stream_events: Iterable[tuple[str, StreamTuple]],
+    churn_events: Iterable[ChurnEvent],
+    input_positions: dict,
+    lifecycle_ops: int,
+) -> tuple[list[tuple[str, StreamTuple]], list[ChurnEvent]]:
+    """The unserved tail of a churn schedule, per a coordinator journal.
+
+    A restarted coordinator (:meth:`ProcessShardedRuntime.from_journal` /
+    ``readopt``) already owns everything its journal recorded; the driver
+    must replay only what comes after.  Given the *original* stream and
+    churn event sequences plus the journal's resume markers
+    (``runtime.input_positions()`` and ``runtime.lifecycle_ops``), this
+    returns ``(stream_tail, churn_tail)`` to hand straight back to
+    :func:`drive` / :func:`drive_batched` / :func:`drive_sharded`.
+
+    The lifecycle skip mirrors :func:`_apply`'s journaling rule: registers
+    always counted, unregisters only when the query was active at that
+    point (tracked with a simulated active set) — an unregister the
+    original serve skipped was never journaled, so it does not consume a
+    journaled op here either.
+    """
+    remaining = int(lifecycle_ops)
+    active: set = set()
+    churn_tail: list[ChurnEvent] = []
+    for event in churn_events:
+        if remaining <= 0:
+            churn_tail.append(event)
+            continue
+        if event.kind == "register":
+            active.add(event.query_id)
+            remaining -= 1
+        elif event.query_id in active:
+            active.discard(event.query_id)
+            remaining -= 1
+        # else: unregister of an inactive query — never applied, never
+        # journaled; drop it from the prefix without consuming an op.
+    done = dict(input_positions)
+    stream_tail: list[tuple[str, StreamTuple]] = []
+    for stream_name, tuple_ in stream_events:
+        served = done.get(stream_name, 0)
+        if served > 0:
+            done[stream_name] = served - 1
+            continue
+        stream_tail.append((stream_name, tuple_))
+    return stream_tail, churn_tail
+
+
 def _apply(runtime, event: ChurnEvent) -> bool:
     if event.kind == "register":
         runtime.register(event.query)

@@ -210,6 +210,65 @@ def crash_schedules(
     )
 
 
+@dataclass(frozen=True)
+class CoordinatorCrashSchedule:
+    """A seeded *coordinator* death × checkpoint interval for one serve.
+
+    ``point`` names what the coordinator is doing when it dies: ``"batch"``
+    (around the journal append of a data chunk — ``when="before"`` loses
+    the chunk entirely, ``"after"`` journals it but never ships it),
+    ``"register"`` / ``"unregister"`` (around the lifecycle journal
+    append; the worker already applied the command, so ``"before"`` leaves
+    a worker ahead of the journal), or ``"ckpt-round"`` (right after a
+    checkpoint round is initiated — replies will never be collected).
+    Occurrences past the end of a short serve never fire; a draw that
+    never fires must still end byte-identical.
+    """
+
+    point: str
+    occurrence: int
+    when: str
+    checkpoint_every: int
+
+    def coordinator_faults(self):
+        from repro.shard.coordlog import CoordinatorFaults
+
+        return CoordinatorFaults(
+            crash_on=(self.point, self.occurrence), when=self.when
+        )
+
+
+def coordinator_crash_schedules(
+    max_occurrence: int = 40,
+    checkpoint_intervals: tuple = (2, 4, 16),
+):
+    """Seeded coordinator crash points × checkpoint intervals.
+
+    The ``ckpt-round`` point only has a ``"before"`` window (the round is
+    enqueued or it is not), so ``when`` is forced there.
+    """
+
+    def build(point, occurrence, when, checkpoint_every):
+        if point == "ckpt-round":
+            when = "before"
+        return CoordinatorCrashSchedule(
+            point=point,
+            occurrence=occurrence,
+            when=when,
+            checkpoint_every=checkpoint_every,
+        )
+
+    return st.builds(
+        build,
+        point=st.sampled_from(
+            ["batch", "register", "unregister", "ckpt-round"]
+        ),
+        occurrence=st.integers(1, max_occurrence),
+        when=st.sampled_from(["before", "after"]),
+        checkpoint_every=st.sampled_from(checkpoint_intervals),
+    )
+
+
 def serve_churn_with_rebalance(runtime, workload: ChurnWorkload, rebalance_after: int):
     """Drive a churn schedule with one deterministic mid-stream rebalance.
 

@@ -231,3 +231,52 @@ class TestShardLog:
             log.entries_from(0)
         with pytest.raises(CheckpointError, match="cannot truncate"):
             log.truncate_to(9)
+
+
+class TestCrashSafePublish:
+    """ISSUE 7 satellite: the on-disk store survives death mid-write."""
+
+    def _checkpoint(self, shard, version):
+        return ShardCheckpoint(
+            shard=shard, version=version, position=0, cursor={}, components=()
+        )
+
+    def test_orphaned_tmp_files_are_collected_on_reopen(self, tmp_path):
+        store = CheckpointStore(path=str(tmp_path))
+        store.put(self._checkpoint(0, 1))
+        # A coordinator killed between opening the tmp file and the atomic
+        # rename leaves debris that must never shadow durable contents.
+        orphan = tmp_path / "shard0.v2.ckpt.tmp"
+        orphan.write_bytes(b"partial garbage")
+        reopened = CheckpointStore(path=str(tmp_path))
+        assert not orphan.exists()
+        assert reopened.versions(0) == [1]
+        assert reopened.load(0, 1).version == 1
+
+    def test_publish_is_atomic(self, tmp_path):
+        """No moment during put() exposes a truncated .ckpt: the final
+        name appears only via rename, already complete."""
+        store = CheckpointStore(path=str(tmp_path))
+        store.put(self._checkpoint(2, 7))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["shard2.v7.ckpt"]
+        with open(tmp_path / "shard2.v7.ckpt", "rb") as handle:
+            assert pickle.load(handle).version == 7
+
+    def test_prune_above_drops_unjournaled_checkpoints(self, tmp_path):
+        """Store-then-journal leaves a window where a .ckpt exists that the
+        journal never acknowledged; resume prunes it so re-stored versions
+        never collide."""
+        store = CheckpointStore(path=str(tmp_path), keep_last=8)
+        for version in (1, 2, 3):
+            store.put(self._checkpoint(0, version))
+        store.put(self._checkpoint(1, 5))
+        assert store.prune_above(0, 1) == [2, 3]
+        assert store.versions(0) == [1]
+        assert store.versions(1) == [5], "prune must not touch other shards"
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["shard0.v1.ckpt", "shard1.v5.ckpt"]
+        # The pruned versions are re-storable (no supersede complaint).
+        store.put(self._checkpoint(0, 2))
+        assert store.versions(0) == [1, 2]
+        assert store.prune_above(0, 99) == []

@@ -179,4 +179,5 @@ class TestCommandCodec:
             "snapshot",
             "checkpoint",
             "restore",
+            "hello",
         }

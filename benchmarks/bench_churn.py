@@ -42,7 +42,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.runtime import QueryRuntime
+from repro.runtime.config import open_runtime
 from repro.workloads.churn import ChurnWorkload, drive
 
 #: (name, arrival rate per ts, mean lifetime in ts) — low to high churn.
@@ -102,8 +102,8 @@ def _workload(rate_name: str) -> ChurnWorkload:
 
 def serve(rate_name: str, incremental: bool) -> ChurnResult:
     workload = _workload(rate_name)
-    runtime = QueryRuntime(
-        {"S": workload.schema, "T": workload.schema},
+    runtime = open_runtime(
+        sources={"S": workload.schema, "T": workload.schema},
         incremental=incremental,
     )
     started = time.perf_counter()

@@ -1,0 +1,40 @@
+"""Live serving benchmark: sustained ingest and command overlap.
+
+Thin entry point over :mod:`repro.bench.serve` (importable because the
+driver also backs the ``repro.cli bench-serve`` subcommand).  The ``live``
+cell pushes a zipf loadgen schedule through the full socket stack and
+measures sustained events/sec plus p50/p99 ship latency, requiring the
+outputs to be byte-identical to an offline replay of the recorded
+arrivals; the ``overlap`` cell measures coordinator blocking time on
+lifecycle commands with the pipelined fan against the serial fan on a
+multi-worker fleet, requiring identical outputs and a reduction above
+the scale's floor.
+
+Run standalone (writes ``BENCH_serve.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --scale smoke
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.serve import ServeScale, main, render, run_benchmark
+
+# -- pytest entry points ------------------------------------------------------------
+
+
+def test_serve_smoke():
+    """Acceptance: replay-identical serve, ingest and overlap floors met."""
+    results = run_benchmark(ServeScale.smoke())
+    headline = results["headline"]
+    assert headline["replay_identical"]
+    assert headline["live_events_per_sec"] >= headline["live_eps_floor"]
+    assert headline["overlap_speedup"] >= headline["overlap_floor"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

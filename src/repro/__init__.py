@@ -98,7 +98,7 @@ from repro.core import (
     sharability_signature,
 )
 from repro.engine import MigrationStats, RunStats, StreamEngine, migrate_engine
-from repro.runtime import QueryRuntime
+from repro.runtime import QueryRuntime, RuntimeConfig, open_runtime
 from repro.shard import (
     ShardPlanner,
     ShardedEngine,
@@ -173,6 +173,8 @@ __all__ = [
     "migrate_engine",
     # runtime
     "QueryRuntime",
+    "RuntimeConfig",
+    "open_runtime",
     # shard
     "ShardPlanner",
     "ShardedEngine",

@@ -55,10 +55,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import CoordinatorCrashError
+from repro.runtime.config import open_runtime
 from repro.shard import (
     CoordinatorFaults,
     ProcessShardedRuntime,
-    ShardedRuntime,
     WorkerFaults,
     fork_available,
 )
@@ -124,7 +124,7 @@ def _workload(scale: RecoveryScale) -> ChurnWorkload:
 def _reference(scale: RecoveryScale):
     workload = _workload(scale)
     sources = {"S": workload.schema, "T": workload.schema}
-    reference = ShardedRuntime(sources, n_shards=2, capture_outputs=True)
+    reference = open_runtime(sources=sources, shards=2, capture_outputs=True)
     for __ in drive_sharded(
         reference, workload.stream_events(), workload.schedule()
     ):
@@ -138,13 +138,18 @@ def serve_with_crash(
     """One crashed serve under one recovery policy; returns its cell."""
     workload = _workload(scale)
     sources = {"S": workload.schema, "T": workload.schema}
-    proc = ProcessShardedRuntime(
-        sources,
-        n_shards=2,
+    proc = open_runtime(
+        sources=sources,
+        process=True,
+        shards=2,
         capture_outputs=True,
         durable=durable,
         checkpoint_every=checkpoint_every,
-        worker_faults={0: WorkerFaults(crash_on=("data", scale.crash_at))},
+        extra={
+            "worker_faults": {
+                0: WorkerFaults(crash_on=("data", scale.crash_at))
+            }
+        },
         **FAST,
     )
     try:
@@ -206,15 +211,19 @@ def serve_cold_start(scale: RecoveryScale, checkpoint_every: int) -> dict:
     streams = list(workload.stream_events())
     churn = list(workload.schedule())
     with tempfile.TemporaryDirectory() as journal_dir:
-        proc = ProcessShardedRuntime(
-            sources,
-            n_shards=2,
+        proc = open_runtime(
+            sources=sources,
+            process=True,
+            shards=2,
             capture_outputs=True,
             checkpoint_every=checkpoint_every,
             journal=journal_dir,
-            coordinator_faults=CoordinatorFaults(
-                crash_on=("batch", scale.coordinator_crash_at), when="after"
-            ),
+            extra={
+                "coordinator_faults": CoordinatorFaults(
+                    crash_on=("batch", scale.coordinator_crash_at),
+                    when="after",
+                )
+            },
             **FAST,
         )
         try:
@@ -269,9 +278,10 @@ def serve_wire_bytes(scale: RecoveryScale, differential: bool) -> dict:
     workload = _workload(scale)
     sources = {"S": workload.schema, "T": workload.schema}
     interval = min(i for i in scale.intervals if i)
-    proc = ProcessShardedRuntime(
-        sources,
-        n_shards=2,
+    proc = open_runtime(
+        sources=sources,
+        process=True,
+        shards=2,
         capture_outputs=True,
         durable=True,
         checkpoint_every=interval,

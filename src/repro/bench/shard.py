@@ -48,8 +48,8 @@ from repro.engine.metrics import RunStats
 from repro.operators.expressions import attr, lit
 from repro.operators.predicates import Comparison
 from repro.operators.select import Selection
-from repro.runtime import QueryRuntime
-from repro.shard import ShardedEngine, ShardedRuntime
+from repro.runtime.config import open_runtime
+from repro.shard import ShardedEngine
 from repro.streams.sources import StreamSource
 from repro.streams.tuples import StreamTuple
 from repro.workloads.churn import ChurnWorkload, drive_batched, drive_sharded
@@ -237,7 +237,7 @@ def bench_sharded_churn(scale: ShardScale) -> dict:
 
     def serve_single():
         wl = workload()
-        runtime = QueryRuntime({"S": wl.schema, "T": wl.schema})
+        runtime = open_runtime(sources={"S": wl.schema, "T": wl.schema})
         started = time.perf_counter()
         for __ in drive_batched(runtime, wl.stream_events(), wl.schedule()):
             pass
@@ -245,8 +245,9 @@ def bench_sharded_churn(scale: ShardScale) -> dict:
 
     def serve_sharded():
         wl = workload()
-        runtime = ShardedRuntime(
-            {"S": wl.schema, "T": wl.schema}, n_shards=scale.churn_shards
+        runtime = open_runtime(
+            sources={"S": wl.schema, "T": wl.schema},
+            shards=scale.churn_shards,
         )
         started = time.perf_counter()
         for __ in drive_sharded(

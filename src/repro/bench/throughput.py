@@ -36,7 +36,7 @@ from repro.engine.metrics import RunStats
 from repro.operators.expressions import attr, lit
 from repro.operators.predicates import Comparison
 from repro.operators.select import Selection
-from repro.runtime import QueryRuntime
+from repro.runtime.config import open_runtime
 from repro.streams.sources import StreamSource
 from repro.streams.tuples import StreamTuple
 from repro.workloads.churn import ChurnWorkload, drive, drive_batched
@@ -236,7 +236,7 @@ def _serve_churn(scale: ThroughputScale, batched: bool) -> tuple[RunStats, float
         initial_queries=scale.churn_initial,
         seed=7,
     )
-    runtime = QueryRuntime({"S": workload.schema, "T": workload.schema})
+    runtime = open_runtime(sources={"S": workload.schema, "T": workload.schema})
     driver = drive_batched if batched else drive
     started = time.perf_counter()
     for __ in driver(runtime, workload.stream_events(), workload.schedule()):

@@ -35,6 +35,24 @@ Three subcommands cover the downstream-user loop:
     exporting metrics snapshots, the serve's span tree, and the structured
     lifecycle event log.
 
+``serve``
+    Boot the live serving front door: an asyncio socket server accepts
+    client connections pushing events over the length-prefixed JSON
+    protocol (credit-based backpressure per connection), a single pump
+    thread drives the runtime against the wall clock, and idle-period
+    heartbeats keep failure detection running between arrivals.  With
+    ``--schedule`` the server drives itself through its own socket using
+    a loadgen schedule; ``--verify`` replays the recorded arrivals
+    offline and asserts byte-identical outputs.  Shares the runtime
+    option group with ``churn`` (``--shards`` / ``--process`` /
+    ``--durable`` / ``--coordinator-journal`` / ``--observe`` …).
+
+``loadgen``
+    Drive an already-running ``serve`` front door over its socket with a
+    BRAD-style epoch arrival schedule (zipf stream skew, diurnal rate
+    curve, or bursty spikes); stream schemas come from the server's
+    welcome message.
+
 ``bench-throughput``
     Regenerate ``BENCH_throughput.json``: events/sec for batched vs
     per-tuple dispatch across the zipf, perfmon-hybrid and churn workloads,
@@ -52,6 +70,12 @@ Three subcommands cover the downstream-user loop:
     Regenerate ``BENCH_obs.json``: throughput of observed vs unobserved
     dispatch in interleaved trials, asserting telemetry stays output-
     identical and its batched-dispatch overhead under the 5% ceiling.
+
+``bench-serve``
+    Regenerate ``BENCH_serve.json``: sustained live-ingest events/sec
+    with p50/p99 ship latency (verified byte-identical against offline
+    replay), plus overlapped (pipelined) vs serial command fan-out on a
+    multi-worker fleet.
 
 Examples::
 
@@ -201,6 +225,156 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared runtime option group to a subcommand.
+
+    ``churn``, ``serve`` and the bench subcommands that boot a live
+    runtime all accept the same knobs; keeping them in one group means
+    one help text, one set of defaults, and one
+    :func:`_runtime_config_from_args` translation into
+    :class:`~repro.runtime.RuntimeConfig`.
+    """
+    group = parser.add_argument_group(
+        "runtime options",
+        "shared across churn/serve/bench subcommands; validated together "
+        "through repro.RuntimeConfig",
+    )
+    group.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve over N shards with the sharded lifecycle runtime "
+        "(default: 1, or 2 with --process)",
+    )
+    group.add_argument(
+        "--process",
+        action="store_true",
+        help="run each shard on a worker process (command protocol + "
+        "cross-process rebalance)",
+    )
+    group.add_argument(
+        "--full-rebuild",
+        action="store_true",
+        help="stop-the-world baseline: full re-optimization + engine rebuild "
+        "on every lifecycle change (loses operator state)",
+    )
+    group.add_argument(
+        "--latency",
+        action="store_true",
+        help="track and report per-query mean output latency",
+    )
+    group.add_argument(
+        "--durable",
+        action="store_true",
+        help="process mode: keep a write-ahead log so a crashed worker "
+        "recovers by replay instead of blank re-registration",
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="process mode: checkpoint every N batches (implies --durable); "
+        "recovery restores the latest checkpoint and replays only the log "
+        "suffix",
+    )
+    group.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist checkpoints as files under DIR (implies --durable)",
+    )
+    group.add_argument(
+        "--coordinator-journal",
+        default=None,
+        metavar="DIR",
+        help="process mode: journal the coordinator's own state (placement, "
+        "WAL mirror, query catalog) under DIR alongside the checkpoints, "
+        "making the whole serve restartable (implies --durable)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="cold-start the coordinator from a previous serve's "
+        "--coordinator-journal DIR and serve only the unserved tail of "
+        "the schedule",
+    )
+    group.add_argument(
+        "--observe",
+        action="store_true",
+        help="enable the telemetry subsystem: per-m-op metrics on every "
+        "engine, wire-propagated tracing in process mode, and busy-time "
+        "heat for the throughput policy",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the merged metrics snapshot to PATH at the end of the "
+        "serve (.jsonl for JSON lines, anything else Prometheus text)",
+    )
+    group.add_argument(
+        "--metrics-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally rewrite --metrics-out every N lifecycle events "
+        "(a periodic flush a scraper can poll)",
+    )
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="process mode with --observe: write the serve's span tree "
+        "(coordinator + workers) as JSONL",
+    )
+    group.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="process mode: write the structured lifecycle event log "
+        "(register/unregister/rebalance/checkpoint/recovery) as JSONL",
+    )
+
+
+def _runtime_config_from_args(
+    args: argparse.Namespace,
+    sources: Optional[dict[str, Schema]] = None,
+    capture_outputs: bool = False,
+):
+    """Translate the shared runtime option group into a RuntimeConfig.
+
+    Validation lives in :meth:`RuntimeConfig.validate`, so ``churn`` and
+    ``serve`` reject a bad flag combination with the same actionable
+    one-liner (e.g. ``--resume`` without ``--coordinator-journal``).
+    CLI-only flags (``--grow-at``, ``--trace-out``) are checked by their
+    subcommands.
+    """
+    from repro.runtime import RuntimeConfig
+
+    shards = args.shards
+    if shards is None:
+        # Default: unsharded serve; a bare --process gets two workers (an
+        # explicit --shards 1 --process still means one worker).
+        shards = 2 if args.process else 1
+    config = RuntimeConfig(
+        sources=sources,
+        shards=shards,
+        process=args.process,
+        capture_outputs=capture_outputs,
+        track_latency=args.latency,
+        incremental=not args.full_rebuild,
+        observe=args.observe,
+        durable=args.durable,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        journal=args.coordinator_journal,
+        resume=args.resume,
+    )
+    config.validate()
+    return config
+
+
 def _dump_metrics(runtime, path: str) -> None:
     """Write the runtime's current metrics snapshot to ``path``.
 
@@ -221,7 +395,7 @@ def _dump_metrics(runtime, path: str) -> None:
 
 
 def cmd_churn(args: argparse.Namespace) -> int:
-    from repro.runtime import QueryRuntime
+    from repro.runtime import open_runtime
     from repro.workloads.churn import ChurnWorkload, drive
 
     workload = ChurnWorkload(
@@ -231,38 +405,14 @@ def cmd_churn(args: argparse.Namespace) -> int:
         initial_queries=args.initial_queries,
         seed=args.seed,
     )
-    if args.shards is None:
-        # Default: unsharded serve; a bare --process gets two workers (an
-        # explicit --shards 1 --process still means one worker).
-        args.shards = 2 if args.process else 1
-    if args.shards < 1:
-        from repro.errors import LifecycleError
-
-        raise LifecycleError(f"--shards must be at least 1, got {args.shards}")
-    if (args.durable or args.checkpoint_every or args.checkpoint_dir) and (
-        not args.process
-    ):
+    sources = {"S": workload.schema, "T": workload.schema}
+    config = _runtime_config_from_args(args, sources)
+    if (args.grow_at or args.shrink_at) and not args.process:
         from repro.errors import LifecycleError
 
         raise LifecycleError(
-            "--durable/--checkpoint-every/--checkpoint-dir require "
-            "--process (the in-process runtime has no workers to lose)"
-        )
-    if (
-        args.coordinator_journal or args.resume or args.grow_at or args.shrink_at
-    ) and not args.process:
-        from repro.errors import LifecycleError
-
-        raise LifecycleError(
-            "--coordinator-journal/--resume/--grow-at/--shrink-at require "
-            "--process (only the process-mode coordinator journals its "
-            "state and resizes its worker fleet)"
-        )
-    if args.resume and not args.coordinator_journal:
-        from repro.errors import LifecycleError
-
-        raise LifecycleError(
-            "--resume needs --coordinator-journal DIR to resume from"
+            "--grow-at/--shrink-at require --process (only the "
+            "process-mode coordinator resizes its worker fleet)"
         )
     if (args.trace_out or args.events_out) and not args.process:
         from repro.errors import LifecycleError
@@ -275,14 +425,9 @@ def cmd_churn(args: argparse.Namespace) -> int:
         from repro.errors import LifecycleError
 
         raise LifecycleError("--trace-out requires --observe")
-    if args.shards > 1 or args.process:
-        return _churn_sharded(args, workload)
-    runtime = QueryRuntime(
-        {"S": workload.schema, "T": workload.schema},
-        track_latency=args.latency,
-        incremental=not args.full_rebuild,
-        observe=args.observe,
-    )
+    if config.resolved_shards > 1 or args.process:
+        return _churn_sharded(args, config, workload)
+    runtime = open_runtime(config)
     mode = "full-rebuild" if args.full_rebuild else "incremental"
     print(
         f"churn: {workload.registrations()} queries over {args.events} events "
@@ -329,29 +474,18 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
-def _churn_sharded(args: argparse.Namespace, workload) -> int:
+def _churn_sharded(args: argparse.Namespace, config, workload) -> int:
     """Serve the churn schedule over shards — in-process or worker processes."""
-    from repro.shard import (
-        ProcessShardedRuntime,
-        QueryCountPolicy,
-        ShardedRuntime,
-        ThroughputPolicy,
-    )
+    from repro.runtime import open_runtime
+    from repro.shard import QueryCountPolicy, ThroughputPolicy
     from repro.workloads.churn import drive_sharded
 
-    sources = {"S": workload.schema, "T": workload.schema}
     stream_events = workload.stream_events()
     churn_events = workload.schedule()
+    runtime = open_runtime(config)
     if args.process and args.resume:
-        from repro.shard import CoordinatorLog
         from repro.workloads.churn import resume_tail
 
-        log = CoordinatorLog(args.coordinator_journal)
-        runtime = ProcessShardedRuntime.from_journal(
-            log,
-            track_latency=args.latency,
-            observe=args.observe,
-        )
         stream_events, churn_events = resume_tail(
             stream_events,
             churn_events,
@@ -363,31 +497,6 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
             f"{len(stream_events)} stream events and "
             f"{len(churn_events)} lifecycle events left to serve"
         )
-    elif args.process:
-        store = None
-        if args.checkpoint_dir:
-            from repro.shard import CheckpointStore
-
-            store = CheckpointStore(path=args.checkpoint_dir)
-        runtime = ProcessShardedRuntime(
-            sources,
-            n_shards=args.shards,
-            track_latency=args.latency,
-            incremental=not args.full_rebuild,
-            durable=args.durable,
-            checkpoint_every=args.checkpoint_every,
-            store=store,
-            journal=args.coordinator_journal,
-            observe=args.observe,
-        )
-    else:
-        runtime = ShardedRuntime(
-            sources,
-            n_shards=args.shards,
-            track_latency=args.latency,
-            incremental=not args.full_rebuild,
-            observe=args.observe,
-        )
     heat = "busy" if args.observe else "outputs"
     policy = (
         ThroughputPolicy(heat=heat)
@@ -397,7 +506,7 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
     mode = "process" if args.process else "in-process"
     print(
         f"churn: {workload.registrations()} queries over {args.events} events, "
-        f"{args.shards} shards ({mode} mode, {args.policy} rebalancing "
+        f"{config.resolved_shards} shards ({mode} mode, {args.policy} rebalancing "
         f"every {args.rebalance_every} lifecycle events)"
     )
     try:
@@ -408,6 +517,9 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
             churn_events,
             rebalance_every=args.rebalance_every,
             policy=policy,
+            # Process mode: keep failure detection alive across idle gaps
+            # (the inline per-event heartbeat only fires when data flows).
+            heartbeat_interval=0.25 if args.process else 0.0,
         ):
             applied += 1
             if args.grow_at and applied == args.grow_at:
@@ -494,6 +606,166 @@ def _churn_sharded(args: argparse.Namespace, workload) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import pickle
+    import time
+
+    from repro.runtime import open_runtime
+    from repro.serve import (
+        IngestServer,
+        ServeSession,
+        build_schedule,
+        run_loadgen,
+        verify_equivalence,
+    )
+
+    sources = dict(DEFAULT_SOURCES)
+    config = _runtime_config_from_args(
+        args, sources, capture_outputs=args.verify
+    )
+    runtime = open_runtime(config)
+    exit_code = 0
+    try:
+        session = ServeSession(
+            runtime, record=True, heartbeat_interval=args.heartbeat_interval
+        )
+        registered = 0
+        if args.queries:
+            for name, text in load_queries(args.queries):
+                session.submit_register(text, name)
+                registered += 1
+        mode = "process" if args.process else "in-process"
+        with IngestServer(
+            session,
+            host=args.host,
+            port=args.port,
+            window=args.window,
+            max_run=args.max_run,
+        ) as server:
+            host, port = server.address
+            print(
+                f"serving {sorted(sources)} on {host}:{port} "
+                f"({config.resolved_shards} shards, {mode} mode, "
+                f"{registered} queries)"
+            )
+            if args.schedule:
+                schedule = build_schedule(
+                    args.schedule,
+                    args.streams,
+                    epochs=args.epochs,
+                    events_per_epoch=args.events_per_epoch,
+                    epoch_seconds=args.epoch_seconds,
+                    seed=args.seed,
+                )
+                stats = run_loadgen(
+                    host,
+                    port,
+                    schedule,
+                    sources,
+                    seed=args.seed,
+                    speedup=args.speedup,
+                )
+                print(
+                    f"  loadgen: {stats['sent_events']} events sent, "
+                    f"{stats['accepted_events']} accepted, "
+                    f"{stats['credit_waits']} flow-control waits"
+                )
+            else:
+                print(
+                    f"  accepting clients for {args.duration:.1f}s "
+                    f"(Ctrl-C to finish early)"
+                )
+                try:
+                    time.sleep(args.duration)
+                except KeyboardInterrupt:
+                    print("  interrupted; draining")
+            ingest_stats = server.stats()
+        report = session.finish()
+        print(
+            f"  served {report.events} events in {report.runs} runs "
+            f"({report.events_per_second:.0f} ev/s, ship p50 "
+            f"{report.ship_p50_ms:.2f}ms / p99 {report.ship_p99_ms:.2f}ms, "
+            f"{report.lifecycle_ops} lifecycle ops, "
+            f"{report.heartbeats} idle heartbeats)"
+        )
+        if args.metrics_out:
+            from repro.obs.metrics import publish_serve_report
+
+            registry = runtime.metrics_registry()
+            publish_serve_report(registry, report)
+            from repro.obs.metrics import to_jsonl, to_prometheus
+
+            snapshot = registry.snapshot()
+            text = (
+                to_jsonl(snapshot)
+                if args.metrics_out.endswith(".jsonl")
+                else to_prometheus(snapshot)
+            )
+            with open(args.metrics_out, "w") as handle:
+                handle.write(text)
+            print(f"  wrote metrics to {args.metrics_out}")
+        if args.arrivals_out:
+            with open(args.arrivals_out, "wb") as handle:
+                pickle.dump(session.log.entries, handle)
+            print(
+                f"  wrote {len(session.log.entries)} arrival-log entries "
+                f"to {args.arrivals_out}"
+            )
+        if args.verify:
+            result = verify_equivalence(
+                runtime.captured, session.log, sources
+            )
+            print(
+                f"  verified: {result['outputs']} outputs across "
+                f"{result['queries']} queries byte-identical to offline "
+                f"replay"
+            )
+        if args.report_out:
+            payload = report.to_dict()
+            payload["ingest"] = ingest_stats
+            with open(args.report_out, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"  wrote report to {args.report_out}")
+    finally:
+        close = getattr(runtime, "close", None)
+        if close is not None:
+            close()
+    return exit_code
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import build_schedule, run_loadgen
+
+    schedule = build_schedule(
+        args.schedule,
+        args.streams,
+        epochs=args.epochs,
+        events_per_epoch=args.events_per_epoch,
+        epoch_seconds=args.epoch_seconds,
+        seed=args.seed,
+    )
+    print(
+        f"loadgen: {args.schedule} schedule, {schedule.total_events} events "
+        f"over {len(schedule.epochs)} epochs -> {args.host}:{args.port} "
+        f"(speedup {args.speedup:g}x)"
+    )
+    stats = run_loadgen(
+        args.host,
+        args.port,
+        schedule,
+        sources=None,  # schemas come from the server's welcome
+        seed=args.seed,
+        speedup=args.speedup,
+    )
+    print(
+        f"  sent {stats['sent_events']} events, server accepted "
+        f"{stats['accepted_events']}, {stats['credit_waits']} "
+        f"flow-control waits"
+    )
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench.figures import main as figures_main
 
@@ -519,6 +791,12 @@ def cmd_bench_obs(args: argparse.Namespace) -> int:
     from repro.bench.obs import main as obs_main
 
     return obs_main(["--scale", args.scale, "--output", args.output])
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.bench.serve import main as serve_main
+
+    return serve_main(["--scale", args.scale, "--output", args.output])
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -593,30 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     churn.add_argument("--initial-queries", type=int, default=4)
     churn.add_argument("--seed", type=int, default=0)
-    churn.add_argument(
-        "--full-rebuild",
-        action="store_true",
-        help="stop-the-world baseline: full re-optimization + engine rebuild "
-        "on every lifecycle change (loses operator state)",
-    )
-    churn.add_argument(
-        "--latency",
-        action="store_true",
-        help="track and report per-query mean output latency",
-    )
-    churn.add_argument(
-        "--shards",
-        type=int,
-        default=None,
-        help="serve over N shards with the sharded lifecycle runtime "
-        "(default: 1, or 2 with --process)",
-    )
-    churn.add_argument(
-        "--process",
-        action="store_true",
-        help="run each shard on a worker process (command protocol + "
-        "cross-process rebalance)",
-    )
+    _add_runtime_options(churn)
     churn.add_argument(
         "--rebalance-every",
         type=int,
@@ -630,42 +885,6 @@ def build_parser() -> argparse.ArgumentParser:
         default="count",
         help="rebalance policy: query-count levelling or adaptive "
         "busy-time (move the hottest component off the slowest shard)",
-    )
-    churn.add_argument(
-        "--durable",
-        action="store_true",
-        help="process mode: keep a write-ahead log so a crashed worker "
-        "recovers by replay instead of blank re-registration",
-    )
-    churn.add_argument(
-        "--checkpoint-every",
-        type=int,
-        default=0,
-        metavar="N",
-        help="process mode: checkpoint every N batches (implies --durable); "
-        "recovery restores the latest checkpoint and replays only the log "
-        "suffix",
-    )
-    churn.add_argument(
-        "--checkpoint-dir",
-        default=None,
-        metavar="DIR",
-        help="persist checkpoints as files under DIR (implies --durable)",
-    )
-    churn.add_argument(
-        "--coordinator-journal",
-        default=None,
-        metavar="DIR",
-        help="process mode: journal the coordinator's own state (placement, "
-        "WAL mirror, query catalog) under DIR alongside the checkpoints, "
-        "making the whole serve restartable (implies --durable)",
-    )
-    churn.add_argument(
-        "--resume",
-        action="store_true",
-        help="cold-start the coordinator from a previous serve's "
-        "--coordinator-journal DIR and serve only the unserved tail of "
-        "the schedule",
     )
     churn.add_argument(
         "--grow-at",
@@ -683,44 +902,125 @@ def build_parser() -> argparse.ArgumentParser:
         help="process mode: drain and retire one worker after N applied "
         "lifecycle events (scripted elastic scale-in)",
     )
-    churn.add_argument(
-        "--observe",
-        action="store_true",
-        help="enable the telemetry subsystem: per-m-op metrics on every "
-        "engine, wire-propagated tracing in process mode, and busy-time "
-        "heat for the throughput policy",
-    )
-    churn.add_argument(
-        "--metrics-out",
-        default=None,
-        metavar="PATH",
-        help="write the merged metrics snapshot to PATH at the end of the "
-        "serve (.jsonl for JSON lines, anything else Prometheus text)",
-    )
-    churn.add_argument(
-        "--metrics-every",
-        type=int,
-        default=0,
-        metavar="N",
-        help="additionally rewrite --metrics-out every N lifecycle events "
-        "(a periodic flush a scraper can poll)",
-    )
-    churn.add_argument(
-        "--trace-out",
-        default=None,
-        metavar="PATH",
-        help="process mode with --observe: write the serve's span tree "
-        "(coordinator + workers) as JSONL",
-    )
-    churn.add_argument(
-        "--events-out",
-        default=None,
-        metavar="PATH",
-        help="process mode: write the structured lifecycle event log "
-        "(register/unregister/rebalance/checkpoint/recovery) as JSONL",
-    )
     churn.add_argument("--verbose", action="store_true")
     churn.set_defaults(handler=cmd_churn)
+
+    serve = commands.add_parser(
+        "serve",
+        help="boot the live serving front door: an async socket server "
+        "feeding a wall-clock-driven runtime, with credit-based "
+        "backpressure and byte-identical replay verification",
+    )
+    serve.add_argument(
+        "queries",
+        nargs="?",
+        default=None,
+        help="optional query file registered at boot (pipeline language)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (0 binds an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to accept external clients (ignored with --schedule)",
+    )
+    serve.add_argument(
+        "--schedule",
+        choices=["zipf", "diurnal", "bursty"],
+        default=None,
+        help="self-drive: run the named loadgen schedule against this "
+        "server's own socket instead of waiting for external clients",
+    )
+    serve.add_argument("--epochs", type=int, default=10)
+    serve.add_argument("--events-per-epoch", type=int, default=500)
+    serve.add_argument("--epoch-seconds", type=float, default=1.0)
+    serve.add_argument(
+        "--speedup",
+        type=float,
+        default=1.0,
+        help="wall-clock compression for --schedule (10 = run the "
+        "schedule 10x faster than its declared epoch timing)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--streams",
+        nargs="+",
+        default=["S", "T"],
+        help="streams the self-drive schedule targets",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=1024,
+        help="per-connection flow-control credit window (events)",
+    )
+    serve.add_argument(
+        "--max-run",
+        type=int,
+        default=256,
+        help="assembled run size before a buffered stream flushes",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.25,
+        help="idle heartbeat cadence in seconds (failure detection "
+        "independent of data arrival)",
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="capture outputs and assert the serve is byte-identical to "
+        "an offline replay of the recorded arrivals",
+    )
+    serve.add_argument(
+        "--arrivals-out",
+        default=None,
+        metavar="PATH",
+        help="pickle the recorded arrival log to PATH",
+    )
+    serve.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write the serve report (throughput, latency percentiles, "
+        "ingest stats) as JSON",
+    )
+    _add_runtime_options(serve)
+    serve.set_defaults(handler=cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive an already-running serve front door over its socket "
+        "with a BRAD-style epoch arrival schedule",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument(
+        "--schedule",
+        choices=["zipf", "diurnal", "bursty"],
+        default="zipf",
+    )
+    loadgen.add_argument("--epochs", type=int, default=10)
+    loadgen.add_argument("--events-per-epoch", type=int, default=500)
+    loadgen.add_argument("--epoch-seconds", type=float, default=1.0)
+    loadgen.add_argument("--speedup", type=float, default=1.0)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--streams",
+        nargs="+",
+        default=["S", "T"],
+        help="streams the schedule targets (schemas come from the "
+        "server's welcome message)",
+    )
+    loadgen.set_defaults(handler=cmd_loadgen)
 
     bench = commands.add_parser(
         "bench-throughput",
@@ -763,6 +1063,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_obs.add_argument("--output", default="BENCH_obs.json")
     bench_obs.set_defaults(handler=cmd_bench_obs)
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="measure sustained live-ingest throughput and latency, and "
+        "overlapped vs serial command pipelining; write BENCH_serve.json",
+    )
+    bench_serve.add_argument(
+        "--scale",
+        choices=["full", "smoke"],
+        default="full",
+        help="smoke: reduced event counts for CI",
+    )
+    bench_serve.add_argument("--output", default="BENCH_serve.json")
+    bench_serve.set_defaults(handler=cmd_bench_serve)
     return parser
 
 

@@ -141,6 +141,15 @@ class JournalError(CheckpointError):
     """
 
 
+class ServeError(RumorError):
+    """Raised by the live serving front door (:mod:`repro.serve`).
+
+    Examples: a client overrunning its flow-control credits, an oversized
+    or malformed protocol message, or submitting work to a serve session
+    whose pump thread has died.
+    """
+
+
 class CoordinatorCrashError(RumorError):
     """A simulated coordinator death (fault injection only).
 

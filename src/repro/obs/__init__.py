@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     TelemetryError,
     merge_snapshots,
     publish_run_stats,
+    publish_serve_report,
     to_jsonl,
     to_prometheus,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "configure_logging",
     "merge_snapshots",
     "publish_run_stats",
+    "publish_serve_report",
     "span_tree",
     "to_jsonl",
     "to_prometheus",

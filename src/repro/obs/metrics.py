@@ -306,3 +306,34 @@ def publish_run_stats(
         registry.counter(
             "rumor_query_outputs_total", query=query_id, **labels
         ).inc(count)
+
+
+def publish_serve_report(
+    registry: MetricsRegistry, report, **labels
+) -> None:
+    """Publish a :class:`~repro.serve.drive.ServeReport` into a registry.
+
+    Same cumulative-into-fresh-registry convention as
+    :func:`publish_run_stats`: the report is the source of truth, the
+    registry is the exported view.  Ship latencies land in a histogram
+    bucketed for the sub-millisecond to multi-second range a live front
+    door actually spans.
+    """
+    registry.counter("rumor_serve_events_total", **labels).inc(report.events)
+    registry.counter("rumor_serve_runs_total", **labels).inc(report.runs)
+    registry.counter("rumor_serve_lifecycle_ops_total", **labels).inc(
+        report.lifecycle_ops
+    )
+    registry.counter("rumor_serve_heartbeats_total", **labels).inc(
+        report.heartbeats
+    )
+    registry.gauge("rumor_serve_events_per_second", **labels).set(
+        report.events_per_second
+    )
+    latency = registry.histogram(
+        "rumor_serve_ship_latency_ms",
+        buckets=(0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000),
+        **labels,
+    )
+    for value in report.ship_latencies_ms:
+        latency.observe(value)

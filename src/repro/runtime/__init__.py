@@ -9,6 +9,7 @@ rebuild, using incremental re-optimization
 engine migration (:mod:`repro.engine.migration`).
 """
 
+from repro.runtime.config import RuntimeConfig, open_runtime
 from repro.runtime.runtime import QueryRuntime
 
-__all__ = ["QueryRuntime"]
+__all__ = ["QueryRuntime", "RuntimeConfig", "open_runtime"]

@@ -1,0 +1,62 @@
+"""Live serving front door.
+
+Everything between a client socket and the runtime: the length-prefixed
+JSON wire protocol with credit-based flow control
+(:mod:`repro.serve.protocol`), the asyncio ingestion tier
+(:mod:`repro.serve.ingest`), the single-pump wall-clock drive with
+idle-period heartbeats (:mod:`repro.serve.drive`), BRAD-style epoch
+arrival schedules (:mod:`repro.serve.loadgen`), and byte-identical
+offline replay verification (:mod:`repro.serve.replay`).
+
+Minimal live server::
+
+    from repro import RuntimeConfig, open_runtime
+    from repro.serve import IngestServer, ServeSession
+
+    runtime = open_runtime(RuntimeConfig(sources=sources, process=True))
+    with ServeSession(runtime) as session:
+        session.submit_register("FROM S WHERE a0 == 1", "q0")
+        with IngestServer(session, port=4545) as server:
+            ...  # clients push via ServeClient(host, port)
+        report = session.finish()
+"""
+
+from repro.serve.drive import (
+    ArrivalLog,
+    HeartbeatTimer,
+    ServeReport,
+    ServeSession,
+    drive_wall_clock,
+)
+from repro.serve.ingest import IngestServer
+from repro.serve.loadgen import (
+    EpochSchedule,
+    build_schedule,
+    bursty_schedule,
+    diurnal_schedule,
+    run_loadgen,
+    timed_events,
+    zipf_schedule,
+)
+from repro.serve.protocol import ServeClient
+from repro.serve.replay import normalize_captured, replay_log, verify_equivalence
+
+__all__ = [
+    "ArrivalLog",
+    "EpochSchedule",
+    "HeartbeatTimer",
+    "IngestServer",
+    "ServeClient",
+    "ServeReport",
+    "ServeSession",
+    "build_schedule",
+    "bursty_schedule",
+    "diurnal_schedule",
+    "drive_wall_clock",
+    "normalize_captured",
+    "replay_log",
+    "run_loadgen",
+    "timed_events",
+    "verify_equivalence",
+    "zipf_schedule",
+]

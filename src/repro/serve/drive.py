@@ -1,0 +1,473 @@
+"""Wall-clock drive: the pump thread between live arrivals and a runtime.
+
+Offline drivers (:mod:`repro.workloads.churn`, the benchmarks) own the
+clock — they call ``process_batch`` in a tight loop and nothing happens
+between calls.  A live server inverts that: events arrive whenever
+clients push them, and the runtime must keep making progress (heartbeats,
+failure detection, pipelined-command collection) even when no data is
+flowing.
+
+:class:`ServeSession` is that inversion.  Producers — socket readers,
+the wall-clock driver, tests — enqueue work onto a bounded queue; a
+single pump thread dequeues and applies it to the runtime.  The single
+pump is load-bearing twice over:
+
+- **Determinism.**  The pump's dequeue order *is* the ship order, and
+  the :class:`ArrivalLog` records exactly that order — so replaying the
+  log through an offline runtime reproduces the serve outputs
+  byte-for-byte (:mod:`repro.serve.replay` checks this).
+- **Overlap.**  Lifecycle commands go through the coordinator's
+  pipelined submit path (:meth:`ProcessShardedRuntime.submit_register`)
+  when available, so the coordinator encodes the next run while workers
+  still decode the previous command — acks are collected at the next
+  barrier rather than inline.
+
+The bounded queue is the second backpressure stage (the first is the
+per-connection credit window in :mod:`repro.serve.protocol`): when the
+runtime falls behind, ``try_submit`` fails, the ingest tier stops
+granting credits, and memory stays bounded end to end.
+
+:class:`HeartbeatTimer` fixes idle-period failure detection for any
+driver: a daemon timer thread calls ``runtime.heartbeat()`` on a fixed
+cadence *independent of data arrival*, so a worker that dies while no
+events are flowing is still detected and recovered.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import ServeError
+from repro.streams import StreamTuple
+
+__all__ = [
+    "ArrivalLog",
+    "HeartbeatTimer",
+    "ServeReport",
+    "ServeSession",
+    "drive_wall_clock",
+]
+
+
+class HeartbeatTimer:
+    """Drive ``runtime.heartbeat()`` on a wall-clock cadence.
+
+    Failure detection used to be parasitic on data flow: heartbeats ran
+    when batches did, so a worker crash during an idle period went
+    unnoticed until the next arrival.  This timer decouples them — a
+    daemon thread beats every ``interval`` seconds whether or not any
+    data is moving.  Used as a context manager; exceptions from a beat
+    are captured and re-raised on exit rather than lost in the thread.
+    """
+
+    def __init__(self, runtime, interval: float = 0.25):
+        if interval <= 0:
+            raise ServeError(
+                f"heartbeat interval must be positive, got {interval}"
+            )
+        self.runtime = runtime
+        self.interval = interval
+        self.beats = 0
+        self._stop = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.runtime.heartbeat()
+                self.beats += 1
+            except BaseException as error:  # surfaced on stop()
+                self._error = error
+                return
+
+    def start(self) -> "HeartbeatTimer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def __enter__(self) -> "HeartbeatTimer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        if exc[0] is None:
+            self.stop()
+        else:
+            self._stop.set()
+            self._thread.join()
+
+
+class ArrivalLog:
+    """Record of everything a serve session applied, in apply order.
+
+    Entries are ``("run", stream, events)`` and
+    ``("register"/"unregister", payload)`` tuples appended by the pump
+    thread at dequeue time — i.e. in exactly the order the runtime saw
+    them.  :func:`repro.serve.replay.replay_log` turns the log back into
+    outputs; byte-identity with the live outputs is the serve tier's
+    correctness criterion.
+    """
+
+    def __init__(self):
+        self.entries: list[tuple] = []
+
+    def record_run(
+        self, stream: str, events: Sequence[tuple[int, tuple]]
+    ) -> None:
+        self.entries.append(("run", stream, list(events)))
+
+    def record_register(self, query: str, query_id: str) -> None:
+        self.entries.append(("register", query, query_id))
+
+    def record_unregister(self, query_id: str) -> None:
+        self.entries.append(("unregister", query_id))
+
+    @property
+    def events(self) -> int:
+        return sum(len(e[2]) for e in self.entries if e[0] == "run")
+
+    @property
+    def runs(self) -> int:
+        return sum(1 for e in self.entries if e[0] == "run")
+
+
+@dataclass
+class ServeReport:
+    """Summary of one serve session, produced by :meth:`ServeSession.finish`."""
+
+    events: int = 0
+    runs: int = 0
+    lifecycle_ops: int = 0
+    duration_seconds: float = 0.0
+    events_per_second: float = 0.0
+    ship_p50_ms: float = 0.0
+    ship_p99_ms: float = 0.0
+    heartbeats: int = 0
+    ship_latencies_ms: list = field(default_factory=list, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "runs": self.runs,
+            "lifecycle_ops": self.lifecycle_ops,
+            "duration_seconds": round(self.duration_seconds, 6),
+            "events_per_second": round(self.events_per_second, 2),
+            "ship_p50_ms": round(self.ship_p50_ms, 3),
+            "ship_p99_ms": round(self.ship_p99_ms, 3),
+            "heartbeats": self.heartbeats,
+        }
+
+
+def _percentile(sorted_values: list, fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+class ServeSession:
+    """Single-pump bridge between live producers and a runtime.
+
+    Producers call :meth:`submit_run` / :meth:`try_submit_run` (socket
+    readers use the non-blocking form so backpressure propagates to
+    clients instead of blocking the event loop) and
+    :meth:`submit_register` / :meth:`submit_unregister` for lifecycle.
+    The pump thread applies everything in dequeue order and heartbeats
+    the runtime whenever the queue goes idle for ``heartbeat_interval``
+    seconds.
+
+    ``record=True`` (the default) keeps an :class:`ArrivalLog` for
+    replay verification; a long-running production serve would disable
+    it or rotate the log.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        record: bool = True,
+        queue_runs: int = 64,
+        heartbeat_interval: float = 0.25,
+    ):
+        if queue_runs < 1:
+            raise ServeError(
+                f"queue_runs must be at least 1, got {queue_runs}"
+            )
+        self.runtime = runtime
+        self.log: Optional[ArrivalLog] = ArrivalLog() if record else None
+        self.heartbeat_interval = heartbeat_interval
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_runs)
+        self._error: Optional[BaseException] = None
+        self._closed = False
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self._events = 0
+        self._runs = 0
+        self._lifecycle_ops = 0
+        self._heartbeats = 0
+        self._ship_latencies: list[float] = []
+        # submit_register/... from multiple socket readers race on the
+        # runtime's query catalog reads; one lock keeps them ordered.
+        self._submit_lock = threading.Lock()
+        self._pump = threading.Thread(
+            target=self._pump_loop, name="repro-serve-pump", daemon=True
+        )
+        self._pump.start()
+
+    # -- producer side ----------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._error is not None:
+            raise ServeError(
+                f"serve pump died: {self._error!r}"
+            ) from self._error
+        if self._closed:
+            raise ServeError("serve session is closed")
+
+    def try_submit_run(
+        self, stream: str, events: Sequence[tuple[int, Sequence[Any]]]
+    ) -> bool:
+        """Non-blocking run submission; False when the pump is saturated.
+
+        This is the backpressure edge: the ingest tier calls it from the
+        event loop and withholds client credits while it returns False.
+        """
+        self._check_alive()
+        if stream not in self.runtime.streams:
+            raise ServeError(
+                f"unknown stream {stream!r}; declared sources are "
+                f"{sorted(self.runtime.streams)}"
+            )
+        try:
+            self._queue.put_nowait(
+                ("run", stream, list(events), time.monotonic())
+            )
+            return True
+        except queue.Full:
+            return False
+
+    def submit_run(
+        self,
+        stream: str,
+        events: Sequence[tuple[int, Sequence[Any]]],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Blocking run submission (wall-clock driver and tests)."""
+        self._check_alive()
+        if stream not in self.runtime.streams:
+            raise ServeError(
+                f"unknown stream {stream!r}; declared sources are "
+                f"{sorted(self.runtime.streams)}"
+            )
+        try:
+            self._queue.put(
+                ("run", stream, list(events), time.monotonic()),
+                timeout=timeout,
+            )
+        except queue.Full:
+            raise ServeError(
+                f"serve pump stayed saturated for {timeout}s; the runtime "
+                "is not keeping up with the offered load"
+            ) from None
+
+    def submit_register(self, query: str, query_id: str) -> None:
+        """Enqueue a registration; applied in arrival order by the pump."""
+        self._check_alive()
+        with self._submit_lock:
+            self._queue.put(("register", query, query_id))
+
+    def submit_unregister(self, query_id: str) -> None:
+        self._check_alive()
+        with self._submit_lock:
+            self._queue.put(("unregister", query_id))
+
+    def barrier(self, timeout: float = 30.0) -> None:
+        """Block until everything enqueued so far has been applied."""
+        self._check_alive()
+        done = threading.Event()
+        self._queue.put(("barrier", done))
+        if not done.wait(timeout):
+            self._check_alive()
+            raise ServeError(f"serve barrier timed out after {timeout}s")
+        self._check_alive()
+
+    # -- pump side --------------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    item = self._queue.get(timeout=self.heartbeat_interval)
+                except queue.Empty:
+                    # Idle: no data arriving.  Heartbeat anyway so worker
+                    # failures during lulls are detected (the in-process
+                    # runtimes have no workers to lose, hence no method).
+                    beat = getattr(self.runtime, "heartbeat", None)
+                    if beat is not None:
+                        beat()
+                        self._heartbeats += 1
+                    continue
+                if item[0] == "stop":
+                    return
+                self._apply(item)
+        except BaseException as error:
+            self._error = error
+
+    def _apply(self, item: tuple) -> None:
+        kind = item[0]
+        if kind == "run":
+            __, stream, events, enqueued_at = item
+            if self._started_at is None:
+                self._started_at = time.monotonic()
+            schema = self.runtime.streams[stream].schema
+            tuples = [
+                StreamTuple(schema, values, ts) for ts, values in events
+            ]
+            if self.log is not None:
+                self.log.record_run(
+                    stream, [(t.ts, t.values) for t in tuples]
+                )
+            self.runtime.process_batch(stream, tuples)
+            now = time.monotonic()
+            self._finished_at = now
+            self._events += len(tuples)
+            self._runs += 1
+            self._ship_latencies.append((now - enqueued_at) * 1000.0)
+        elif kind == "register":
+            __, query, query_id = item
+            submit = getattr(self.runtime, "submit_register", None)
+            if submit is not None:
+                submit(query, query_id=query_id)
+            else:
+                self.runtime.register(query, query_id=query_id)
+            if self.log is not None:
+                self.log.record_register(query, query_id)
+            self._lifecycle_ops += 1
+        elif kind == "unregister":
+            (__, query_id) = item
+            submit = getattr(self.runtime, "submit_unregister", None)
+            if submit is not None:
+                submit(query_id)
+            else:
+                self.runtime.unregister(query_id)
+            if self.log is not None:
+                self.log.record_unregister(query_id)
+            self._lifecycle_ops += 1
+        elif kind == "barrier":
+            collect = getattr(self.runtime, "collect_lifecycle", None)
+            if collect is not None:
+                collect()
+            item[1].set()
+        else:  # pragma: no cover - producer bug
+            raise ServeError(f"unknown pump item {kind!r}")
+
+    # -- teardown ---------------------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Barrier + collect: all submitted work applied and acked."""
+        self.barrier(timeout=timeout)
+
+    def finish(self, timeout: float = 30.0) -> ServeReport:
+        """Drain, stop the pump, and summarize the session."""
+        if not self._closed:
+            if self._error is None:
+                with contextlib.suppress(ServeError):
+                    self.drain(timeout=timeout)
+            self._closed = True
+            self._queue.put(("stop",))
+            self._pump.join(timeout=timeout)
+        if self._error is not None:
+            raise ServeError(
+                f"serve pump died: {self._error!r}"
+            ) from self._error
+        duration = 0.0
+        if self._started_at is not None and self._finished_at is not None:
+            duration = self._finished_at - self._started_at
+        latencies = sorted(self._ship_latencies)
+        return ServeReport(
+            events=self._events,
+            runs=self._runs,
+            lifecycle_ops=self._lifecycle_ops,
+            duration_seconds=duration,
+            events_per_second=(
+                self._events / duration if duration > 0 else float(self._events)
+            ),
+            ship_p50_ms=_percentile(latencies, 0.50),
+            ship_p99_ms=_percentile(latencies, 0.99),
+            heartbeats=self._heartbeats,
+            ship_latencies_ms=latencies,
+        )
+
+    @property
+    def pending(self) -> int:
+        """Items enqueued but not yet applied (approximate)."""
+        return self._queue.qsize()
+
+    def __enter__(self) -> "ServeSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        with contextlib.suppress(BaseException if exc[0] else ()):
+            self.finish()
+
+
+def drive_wall_clock(
+    session: ServeSession,
+    timed_events: Sequence[tuple[float, str, tuple[int, Sequence[Any]]]],
+    speedup: float = 1.0,
+    batch_window: float = 0.005,
+    on_progress: Optional[Callable[[int], None]] = None,
+) -> int:
+    """Replay ``(due_seconds, stream, (ts, values))`` arrivals in wall time.
+
+    Sleep-to-timestamp pacing: the driver sleeps until each arrival's
+    due time (scaled by ``speedup``), then submits it.  Consecutive
+    arrivals for the same stream that fall within ``batch_window``
+    (scaled) of each other coalesce into one run — matching how a real
+    feed delivers micro-batches rather than single events.
+
+    Returns the number of events submitted.  Used by the load generator
+    and the ``serve`` CLI's self-driving mode.
+    """
+    if speedup <= 0:
+        raise ServeError(f"speedup must be positive, got {speedup}")
+    start = time.monotonic()
+    submitted = 0
+    i, n = 0, len(timed_events)
+    while i < n:
+        due, stream, event = timed_events[i]
+        target = start + due / speedup
+        delay = target - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        # Coalesce same-stream arrivals due within the batch window.
+        batch = [event]
+        j = i + 1
+        window = batch_window / speedup
+        while (
+            j < n
+            and timed_events[j][1] == stream
+            and timed_events[j][0] / speedup - due / speedup <= window
+        ):
+            batch.append(timed_events[j][2])
+            j += 1
+        session.submit_run(stream, batch, timeout=30.0)
+        submitted += len(batch)
+        if on_progress is not None:
+            on_progress(submitted)
+        i = j
+    return submitted

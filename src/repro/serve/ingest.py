@@ -1,0 +1,378 @@
+"""Async socket ingestion tier for the live serving front door.
+
+An :class:`IngestServer` accepts client connections speaking the
+:mod:`repro.serve.protocol` wire format, assembles per-stream runs from
+the pushed events, and feeds them to a :class:`~repro.serve.drive.ServeSession`.
+The asyncio event loop runs in a daemon thread so the server composes
+with the synchronous coordinator (which owns its own threads for the
+pump and heartbeat) without the caller adopting asyncio.
+
+Backpressure is two-staged and fully bounded:
+
+1. **Per-connection credits.**  Each client gets a ``window`` of
+   flow-control credits at handshake; an event costs one credit and
+   credits are returned only after the server has handed the events to
+   the session.  A client that keeps pushing past its window has at most
+   ``window`` events buffered server-side — the socket reader simply
+   stops granting credits and the client's :meth:`ServeClient.send`
+   blocks.
+2. **Session queue.**  Handing runs to the session uses the
+   non-blocking ``try_submit_run``; when the pump queue is full the
+   reader coroutine backs off (``await asyncio.sleep``) *without*
+   returning credits, so saturation propagates all the way back to
+   client sockets.
+
+Runs flush on either a size threshold (``max_run``) or a short timer
+(``flush_interval``) so trickle traffic still makes progress.  Because
+one coroutine per connection does buffering and a single session pump
+does shipping, per-stream event order is the arrival order within each
+connection — which the arrival log then makes replayable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional
+
+from repro.errors import ServeError
+from repro.serve import protocol
+from repro.serve.drive import ServeSession
+
+__all__ = ["IngestServer"]
+
+
+class _Connection:
+    """Per-connection state: credits, per-stream buffers, counters."""
+
+    def __init__(self, client_id: str, window: int):
+        self.client_id = client_id
+        self.credits = window
+        self.buffers: dict[str, list[tuple[int, tuple]]] = {}
+        self.accepted = 0
+        self.owed = 0  # credits to return once buffered events ship
+        # The reader (max_run path) and the flush timer both flush; the
+        # lock keeps those flushes serial so a flush that backs off on a
+        # saturated session can't be overtaken by a later one — which
+        # would invert per-stream event order.
+        self.flushing = asyncio.Lock()
+
+    @property
+    def buffered(self) -> int:
+        return sum(len(b) for b in self.buffers.values())
+
+
+class IngestServer:
+    """Socket front door feeding a :class:`ServeSession`.
+
+    ``port=0`` binds an ephemeral port; the bound address is available
+    as :attr:`address` once :meth:`start` returns.  Use as a context
+    manager::
+
+        with ServeSession(runtime) as session:
+            with IngestServer(session, port=0) as server:
+                host, port = server.address
+                ...clients connect and push...
+    """
+
+    def __init__(
+        self,
+        session: ServeSession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: int = 1024,
+        max_run: int = 256,
+        flush_interval: float = 0.02,
+    ):
+        if window < 1:
+            raise ServeError(f"credit window must be positive, got {window}")
+        if max_run < 1:
+            raise ServeError(f"max_run must be positive, got {max_run}")
+        self.session = session
+        self.host = host
+        self.port = port
+        self.window = window
+        self.max_run = max_run
+        self.flush_interval = flush_interval
+        self.address: Optional[tuple[str, int]] = None
+        self.accepted_events = 0
+        self.connections_served = 0
+        self.disconnects_mid_run = 0
+        self.buffered_high_water = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "IngestServer":
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-ingest", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise ServeError(
+                f"ingest server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if self.address is None:
+            raise ServeError("ingest server failed to bind within 10s")
+        return self
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result(
+            timeout=10.0
+        )
+        # Stopping the loop from inside the coroutine would kill the
+        # callback that resolves the future above; stop it separately.
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._loop = None
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self.host, self.port)
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.address = (sockname[0], sockname[1])
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def __enter__(self) -> "IngestServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- connection handling ----------------------------------------------------
+
+    def _stream_catalog(self) -> dict[str, list]:
+        return {
+            name: [[a.name, a.type] for a in stream.schema.attributes]
+            for name, stream in self.session.runtime.streams.items()
+        }
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(protocol.encode_message(message))
+        await writer.drain()
+
+    async def _read_message(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[dict]:
+        try:
+            header = await reader.readexactly(protocol.HEADER.size)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        (length,) = protocol.HEADER.unpack(header)
+        if length > protocol.MAX_MESSAGE:
+            raise ServeError(
+                f"client announced a {length}-byte message; the limit is "
+                f"{protocol.MAX_MESSAGE} bytes"
+            )
+        try:
+            payload = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        return protocol.decode_payload(payload)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn: Optional[_Connection] = None
+        try:
+            hello = await self._read_message(reader)
+            if hello is None or hello.get("type") != protocol.HELLO:
+                await self._send(
+                    writer,
+                    {"type": protocol.ERROR,
+                     "message": "expected a hello message"},
+                )
+                return
+            conn = _Connection(
+                str(hello.get("client", "client")), self.window
+            )
+            self.connections_served += 1
+            await self._send(
+                writer,
+                {
+                    "type": protocol.WELCOME,
+                    "window": self.window,
+                    "streams": self._stream_catalog(),
+                },
+            )
+            flusher = asyncio.ensure_future(self._flush_timer(conn, writer))
+            try:
+                await self._serve_connection(conn, reader, writer)
+            finally:
+                flusher.cancel()
+        except ServeError as error:
+            try:
+                await self._send(
+                    writer,
+                    {"type": protocol.ERROR, "message": str(error)},
+                )
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            if conn is not None and conn.buffered:
+                # Client vanished mid-run: ship what it already pushed —
+                # accepted events are accepted, the arrival log keeps them.
+                self.disconnects_mid_run += 1
+                await self._flush_all(conn, writer=None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(
+        self,
+        conn: _Connection,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            message = await self._read_message(reader)
+            if message is None:
+                return  # client dropped without bye
+            kind = message.get("type")
+            if kind == protocol.EVENTS:
+                await self._on_events(conn, writer, message)
+            elif kind == protocol.BYE:
+                await self._flush_all(conn, writer)
+                await self._send(
+                    writer,
+                    {"type": protocol.GOODBYE, "accepted": conn.accepted},
+                )
+                return
+            else:
+                raise ServeError(f"unexpected client message {kind!r}")
+
+    async def _on_events(
+        self,
+        conn: _Connection,
+        writer: asyncio.StreamWriter,
+        message: dict,
+    ) -> None:
+        stream = message.get("stream")
+        streams = self.session.runtime.streams
+        if stream not in streams:
+            raise ServeError(
+                f"unknown stream {stream!r}; declared sources are "
+                f"{sorted(streams)}"
+            )
+        events = message.get("events")
+        if not isinstance(events, list):
+            raise ServeError("events message carries no event list")
+        if len(events) > conn.credits:
+            raise ServeError(
+                f"client {conn.client_id!r} overran its flow-control "
+                f"window: pushed {len(events)} events with "
+                f"{conn.credits} credits remaining"
+            )
+        width = len(streams[stream].schema)
+        buffer = conn.buffers.setdefault(stream, [])
+        for entry in events:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or not isinstance(entry[1], list)
+            ):
+                raise ServeError(
+                    "malformed event; expected [ts, [values...]]"
+                )
+            ts, values = entry
+            if len(values) != width:
+                raise ServeError(
+                    f"event for {stream!r} has {len(values)} values; "
+                    f"schema width is {width}"
+                )
+            buffer.append((int(ts), tuple(values)))
+        conn.credits -= len(events)
+        self.buffered_high_water = max(self.buffered_high_water, conn.buffered)
+        if len(buffer) >= self.max_run:
+            await self._flush_stream(conn, stream, writer)
+
+    # -- flushing ---------------------------------------------------------------
+
+    async def _flush_timer(
+        self, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> None:
+        # Trickle traffic: ship partial runs on a short timer so a slow
+        # client's events don't sit buffered until max_run fills.
+        try:
+            while True:
+                await asyncio.sleep(self.flush_interval)
+                await self._flush_all(conn, writer)
+        except asyncio.CancelledError:
+            pass
+
+    async def _flush_all(
+        self, conn: _Connection, writer: Optional[asyncio.StreamWriter]
+    ) -> None:
+        for stream in [s for s, b in conn.buffers.items() if b]:
+            await self._flush_stream(conn, stream, writer)
+
+    async def _flush_stream(
+        self,
+        conn: _Connection,
+        stream: str,
+        writer: Optional[asyncio.StreamWriter],
+    ) -> None:
+        async with conn.flushing:
+            buffer = conn.buffers.get(stream)
+            if not buffer:
+                return
+            run, conn.buffers[stream] = buffer, []
+            # Session saturated → back off without granting credits; the
+            # client stays blocked and memory stays bounded.
+            while not self.session.try_submit_run(stream, run):
+                await asyncio.sleep(self.flush_interval)
+            conn.accepted += len(run)
+            conn.owed += len(run)
+            self.accepted_events += len(run)
+        if writer is not None and conn.owed:
+            owed, conn.owed = conn.owed, 0
+            conn.credits += owed
+            try:
+                await self._send(
+                    writer, {"type": protocol.CREDIT, "n": owed}
+                )
+            except (ConnectionError, OSError):
+                conn.credits -= owed  # connection is going away anyway
+                raise
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "accepted_events": self.accepted_events,
+            "connections_served": self.connections_served,
+            "disconnects_mid_run": self.disconnects_mid_run,
+            "buffered_high_water": self.buffered_high_water,
+        }

@@ -1,0 +1,300 @@
+"""Load generator: epoch-based arrival schedules for the serve tier.
+
+Modeled on the BRAD-style workload abstraction: a workload is a list of
+*epochs*, each giving a per-stream event count, played back over a fixed
+``epoch_seconds`` wall-clock duration.  Three schedule shapes cover the
+serving scenarios the paper's workloads don't:
+
+- **zipf** — skewed stream popularity (a few hot streams dominate),
+  constant aggregate rate;
+- **diurnal** — a sinusoidal day/night rate curve over the epochs;
+- **bursty** — a quiet baseline punctuated by short spikes at randomly
+  chosen epochs.
+
+Schedules are deterministic given a seed: event values, timestamps and
+arrival offsets all come from one seeded generator, so a serve run and
+its offline replay — and two benchmark arms — see identical inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.streams import Schema
+
+from repro.serve.drive import ServeSession, drive_wall_clock
+from repro.serve.protocol import ServeClient
+
+__all__ = [
+    "EpochSchedule",
+    "bursty_schedule",
+    "diurnal_schedule",
+    "run_loadgen",
+    "timed_events",
+    "zipf_schedule",
+]
+
+
+@dataclass
+class EpochSchedule:
+    """A playback plan: per-epoch, per-stream event counts.
+
+    ``epochs[i][stream]`` is how many events ``stream`` receives during
+    epoch ``i``; each epoch spans ``epoch_seconds`` of (possibly
+    speedup-scaled) wall time, with arrivals spread uniformly at random
+    inside the epoch.
+    """
+
+    epochs: list = field(default_factory=list)
+    epoch_seconds: float = 1.0
+
+    @property
+    def total_events(self) -> int:
+        return sum(sum(epoch.values()) for epoch in self.epochs)
+
+    @property
+    def duration_seconds(self) -> float:
+        return len(self.epochs) * self.epoch_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "epochs": [dict(e) for e in self.epochs],
+            "epoch_seconds": self.epoch_seconds,
+        }
+
+
+def _check(streams: Sequence[str], epochs: int, rate: float) -> None:
+    if not streams:
+        raise ServeError("a schedule needs at least one stream")
+    if epochs < 1:
+        raise ServeError(f"epoch count must be positive, got {epochs}")
+    if rate <= 0:
+        raise ServeError(f"events_per_epoch must be positive, got {rate}")
+
+
+def zipf_schedule(
+    streams: Sequence[str],
+    epochs: int = 10,
+    events_per_epoch: int = 500,
+    skew: float = 1.1,
+    epoch_seconds: float = 1.0,
+    seed: int = 0,
+) -> EpochSchedule:
+    """Constant aggregate rate, zipf-skewed across streams."""
+    _check(streams, epochs, events_per_epoch)
+    if skew <= 0:
+        raise ServeError(f"zipf skew must be positive, got {skew}")
+    weights = np.array(
+        [1.0 / (rank + 1) ** skew for rank in range(len(streams))]
+    )
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    plan = []
+    for __ in range(epochs):
+        counts = rng.multinomial(events_per_epoch, weights)
+        plan.append(
+            {s: int(c) for s, c in zip(streams, counts) if c}
+        )
+    return EpochSchedule(plan, epoch_seconds)
+
+
+def diurnal_schedule(
+    streams: Sequence[str],
+    epochs: int = 24,
+    events_per_epoch: int = 500,
+    trough_fraction: float = 0.2,
+    epoch_seconds: float = 1.0,
+    seed: int = 0,
+) -> EpochSchedule:
+    """Sinusoidal rate curve: peak at mid-cycle, trough at the edges."""
+    _check(streams, epochs, events_per_epoch)
+    if not 0 < trough_fraction <= 1:
+        raise ServeError(
+            f"trough_fraction must be in (0, 1], got {trough_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    plan = []
+    for i in range(epochs):
+        phase = math.sin(math.pi * i / max(1, epochs - 1))
+        scale = trough_fraction + (1 - trough_fraction) * phase
+        total = max(1, int(round(events_per_epoch * scale)))
+        counts = rng.multinomial(total, [1 / len(streams)] * len(streams))
+        plan.append({s: int(c) for s, c in zip(streams, counts) if c})
+    return EpochSchedule(plan, epoch_seconds)
+
+
+def bursty_schedule(
+    streams: Sequence[str],
+    epochs: int = 12,
+    events_per_epoch: int = 200,
+    burst_multiplier: float = 5.0,
+    burst_fraction: float = 0.25,
+    epoch_seconds: float = 1.0,
+    seed: int = 0,
+) -> EpochSchedule:
+    """Quiet baseline with spikes at randomly chosen epochs."""
+    _check(streams, epochs, events_per_epoch)
+    if burst_multiplier < 1:
+        raise ServeError(
+            f"burst_multiplier must be at least 1, got {burst_multiplier}"
+        )
+    rng = np.random.default_rng(seed)
+    n_bursts = max(1, int(round(epochs * burst_fraction)))
+    burst_epochs = set(
+        rng.choice(epochs, size=min(n_bursts, epochs), replace=False).tolist()
+    )
+    plan = []
+    for i in range(epochs):
+        total = events_per_epoch
+        if i in burst_epochs:
+            total = int(round(events_per_epoch * burst_multiplier))
+        counts = rng.multinomial(total, [1 / len(streams)] * len(streams))
+        plan.append({s: int(c) for s, c in zip(streams, counts) if c})
+    return EpochSchedule(plan, epoch_seconds)
+
+
+SCHEDULE_BUILDERS = {
+    "zipf": zipf_schedule,
+    "diurnal": diurnal_schedule,
+    "bursty": bursty_schedule,
+}
+
+
+def build_schedule(shape: str, streams: Sequence[str], **options) -> EpochSchedule:
+    """Build a schedule by shape name (the CLI's entry point)."""
+    try:
+        builder = SCHEDULE_BUILDERS[shape]
+    except KeyError:
+        raise ServeError(
+            f"unknown schedule shape {shape!r}; choose from "
+            f"{sorted(SCHEDULE_BUILDERS)}"
+        ) from None
+    return builder(streams, **options)
+
+
+def timed_events(
+    schedule: EpochSchedule,
+    sources: dict[str, Schema],
+    seed: int = 0,
+    value_range: int = 8,
+) -> list[tuple[float, str, tuple[int, tuple]]]:
+    """Materialize a schedule into ``(due_seconds, stream, (ts, values))``.
+
+    Arrivals are uniform inside each epoch and globally sorted by due
+    time; tuple timestamps are integer milliseconds of the due time, so
+    event-pattern windows (``WITHIN``) see arrival spacing.  Values are
+    small ints drawn from the seeded generator — matching the synthetic
+    workloads, where predicate selectivity comes from value collisions.
+    """
+    for stream in {s for epoch in schedule.epochs for s in epoch}:
+        if stream not in sources:
+            raise ServeError(
+                f"schedule names unknown stream {stream!r}; declared "
+                f"sources are {sorted(sources)}"
+            )
+    rng = np.random.default_rng(seed)
+    out: list[tuple[float, str, tuple[int, tuple]]] = []
+    for i, epoch in enumerate(schedule.epochs):
+        start = i * schedule.epoch_seconds
+        for stream in sorted(epoch):
+            count = epoch[stream]
+            offsets = rng.uniform(0, schedule.epoch_seconds, size=count)
+            width = len(sources[stream])
+            values = rng.integers(0, value_range, size=(count, width))
+            for k in range(count):
+                due = start + float(offsets[k])
+                out.append(
+                    (
+                        due,
+                        stream,
+                        (
+                            int(due * 1000),
+                            tuple(int(v) for v in values[k]),
+                        ),
+                    )
+                )
+    out.sort(key=lambda item: (item[0], item[1]))
+    return out
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    schedule: EpochSchedule,
+    sources: Optional[dict[str, Schema]] = None,
+    seed: int = 0,
+    speedup: float = 1.0,
+    client_id: str = "loadgen",
+    batch_window: float = 0.005,
+) -> dict:
+    """Drive a serve front door over a socket following a schedule.
+
+    Opens one :class:`~repro.serve.protocol.ServeClient`, paces the
+    materialized arrivals against the wall clock (scaled by
+    ``speedup``), coalescing same-stream arrivals that fall due within
+    ``batch_window`` into one push.  Returns client-side stats including
+    how often flow control blocked the client (``credit_waits``).
+
+    With ``sources=None`` the stream schemas come from the server's
+    ``welcome`` message — the protocol is self-describing, so a load
+    generator on another machine needs only the address and a schedule.
+    """
+    if speedup <= 0:
+        raise ServeError(f"speedup must be positive, got {speedup}")
+    import time as _time
+
+    with ServeClient(host, port, client_id=client_id) as client:
+        if sources is None:
+            sources = {
+                name: Schema([tuple(a) for a in attrs])
+                for name, attrs in client.streams.items()
+            }
+        arrivals = timed_events(schedule, sources, seed=seed)
+        start = _time.monotonic()
+        i, n = 0, len(arrivals)
+        while i < n:
+            due, stream, event = arrivals[i]
+            delay = start + due / speedup - _time.monotonic()
+            if delay > 0:
+                _time.sleep(delay)
+            batch = [event]
+            j = i + 1
+            while (
+                j < n
+                and arrivals[j][1] == stream
+                and arrivals[j][0] - due <= batch_window
+            ):
+                batch.append(arrivals[j][2])
+                j += 1
+            client.send(stream, batch)
+            i = j
+        sent = client.sent_events
+        waits = client.credit_waits
+        accepted = client.close()
+    return {
+        "sent_events": sent,
+        "accepted_events": accepted,
+        "credit_waits": waits,
+        "duration_seconds": schedule.duration_seconds / speedup,
+    }
+
+
+def drive_schedule_inline(
+    session: ServeSession,
+    schedule: EpochSchedule,
+    sources: dict[str, Schema],
+    seed: int = 0,
+    speedup: float = 1.0,
+) -> int:
+    """Socket-free variant: pace a schedule straight into a session.
+
+    The ``serve --self-drive`` path and the benchmark use this to
+    measure the drive/runtime stack without TCP in the loop.
+    """
+    arrivals = timed_events(schedule, sources, seed=seed)
+    return drive_wall_clock(session, arrivals, speedup=speedup)

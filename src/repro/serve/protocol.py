@@ -1,0 +1,238 @@
+"""Client/server wire protocol for the live serving front door.
+
+The serve tier speaks length-prefixed JSON over a byte stream: every
+message is a 4-byte big-endian length followed by a UTF-8 JSON object
+with a ``type`` field.  JSON (rather than the pickle wire the worker
+fleet uses internally) keeps the front door language-neutral — any
+client that can frame JSON can push events — and means a malicious or
+confused client can at worst send garbage, never execute code in the
+coordinator.
+
+Message flow::
+
+    client                                server
+      | -- hello {client} ----------------> |
+      | <- welcome {window, streams} ------ |
+      | -- events {stream, events} -------> |   (spends len(events) credits)
+      | <- credit {n} --------------------- |   (replenished after ingest)
+      | -- bye ---------------------------> |
+      | <- goodbye {accepted} ------------- |
+
+Flow control is credit-based: ``welcome`` grants ``window`` credits,
+each pushed event spends one, and the server returns credits only after
+the events have been handed to the runtime session.  A client that
+exhausts its window must wait for a ``credit`` message before pushing
+more — that is the backpressure path, and it bounds the server's
+per-connection memory at ``window`` buffered events no matter how fast
+the client writes.
+
+:class:`ServeClient` is the blocking reference client used by the load
+generator, the CLI and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Optional, Sequence
+
+from repro.errors import ServeError
+
+#: Frame header: payload byte length, 4-byte big-endian unsigned.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on a single message's payload; anything larger is a
+#: protocol violation (a well-behaved client batches far below this).
+MAX_MESSAGE = 8 * 1024 * 1024
+
+#: Message type tags.
+HELLO = "hello"
+WELCOME = "welcome"
+EVENTS = "events"
+CREDIT = "credit"
+BYE = "bye"
+GOODBYE = "goodbye"
+ERROR = "error"
+
+
+def encode_message(message: dict) -> bytes:
+    """Frame one protocol message: 4-byte length prefix + JSON payload."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE:
+        raise ServeError(
+            f"protocol message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE}-byte limit; send smaller event batches"
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Decode a framed payload back into a message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServeError(f"malformed protocol message: {error}") from error
+    if not isinstance(message, dict) or "type" not in message:
+        raise ServeError(
+            "malformed protocol message: expected a JSON object with a "
+            "'type' field"
+        )
+    return message
+
+
+def read_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes from a blocking socket.
+
+    Returns None on clean EOF at a message boundary (zero bytes read);
+    raises :class:`ServeError` if the peer hangs up mid-message.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ServeError(
+                f"peer closed the connection mid-message "
+                f"({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock: socket.socket) -> Optional[dict]:
+    """Read one framed message from a blocking socket (None on clean EOF)."""
+    header = read_exact(sock, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_MESSAGE:
+        raise ServeError(
+            f"peer announced a {length}-byte message; the limit is "
+            f"{MAX_MESSAGE} bytes"
+        )
+    payload = read_exact(sock, length)
+    if payload is None:
+        raise ServeError("peer closed the connection after a frame header")
+    return decode_payload(payload)
+
+
+class ServeClient:
+    """Blocking client for the serve front door.
+
+    Handles the hello/welcome handshake, frames event batches, and
+    enforces credit-based flow control on the client side: :meth:`send`
+    blocks — reading ``credit`` messages off the socket — whenever the
+    window is exhausted.  ``credit_waits`` counts how often that
+    happened, which is how the backpressure tests observe a slow server
+    without instrumenting it.
+    """
+
+    def __init__(self, host: str, port: int, client_id: str = "client"):
+        self.client_id = client_id
+        self._sock = socket.create_connection((host, port))
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.credits = 0
+        self.sent_events = 0
+        self.credit_waits = 0
+        self.streams: dict[str, list] = {}
+        self._closed = False
+        self._handshake()
+
+    def _handshake(self) -> None:
+        self._sock.sendall(
+            encode_message({"type": HELLO, "client": self.client_id})
+        )
+        reply = read_message(self._sock)
+        if reply is None or reply.get("type") != WELCOME:
+            raise ServeError(
+                f"expected a welcome from the server, got {reply!r}"
+            )
+        self.credits = int(reply["window"])
+        self.streams = dict(reply.get("streams", {}))
+
+    # -- event push -------------------------------------------------------------
+
+    def send(
+        self, stream: str, events: Sequence[tuple[int, Sequence[Any]]]
+    ) -> None:
+        """Push a batch of ``(ts, values)`` events for one stream.
+
+        Blocks until the flow-control window has room for the whole
+        batch, then writes a single ``events`` message.
+        """
+        if self._closed:
+            raise ServeError("client is closed")
+        if not events:
+            return
+        while self.credits < len(events):
+            self.credit_waits += 1
+            self._await_credit()
+        self.credits -= len(events)
+        self._sock.sendall(
+            encode_message(
+                {
+                    "type": EVENTS,
+                    "stream": stream,
+                    "events": [[ts, list(values)] for ts, values in events],
+                }
+            )
+        )
+        self.sent_events += len(events)
+
+    def _await_credit(self) -> None:
+        message = read_message(self._sock)
+        if message is None:
+            raise ServeError("server closed the connection while the client "
+                             "was waiting for flow-control credits")
+        self._absorb(message)
+
+    def _absorb(self, message: dict) -> None:
+        kind = message.get("type")
+        if kind == CREDIT:
+            self.credits += int(message["n"])
+        elif kind == ERROR:
+            raise ServeError(f"server error: {message.get('message')}")
+        else:
+            raise ServeError(f"unexpected server message {kind!r}")
+
+    # -- teardown ---------------------------------------------------------------
+
+    def close(self) -> int:
+        """Finish the session cleanly; returns the server's accepted count."""
+        if self._closed:
+            return 0
+        self._sock.sendall(encode_message({"type": BYE}))
+        accepted = 0
+        while True:
+            message = read_message(self._sock)
+            if message is None:
+                break
+            if message.get("type") == GOODBYE:
+                accepted = int(message.get("accepted", 0))
+                break
+            self._absorb(message)
+        self._closed = True
+        self._sock.close()
+        return accepted
+
+    def abort(self) -> None:
+        """Drop the connection without the bye handshake (tests use this
+        to simulate a client dying mid-run)."""
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if exc[0] is None:
+            self.close()
+        else:
+            self.abort()

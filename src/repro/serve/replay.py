@@ -1,0 +1,128 @@
+"""Offline replay of a serve session's arrival log.
+
+The serve tier's correctness criterion: feeding the recorded arrivals —
+in recorded order — through a plain offline :class:`~repro.runtime.QueryRuntime`
+must reproduce the live session's outputs *byte for byte*.  That holds
+because every source of live nondeterminism is quarantined upstream of
+the runtime:
+
+- socket interleaving is resolved by the single session pump, whose
+  dequeue order is what the log records;
+- pipelined lifecycle commands apply in queue order on each worker, the
+  same order the log records them in;
+- wall-clock pacing affects *when* runs ship, never their contents.
+
+So the log is a total order of (runs, lifecycle ops) and any engine —
+sharded, process-forked, or single-process — that applies it in order
+computes the same outputs.  :func:`verify_equivalence` pickles both
+normalized output maps and compares the bytes, which catches value
+drift, reordering, and type changes (an int becoming a float) alike.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Optional
+
+from repro.errors import ServeError
+from repro.runtime.config import RuntimeConfig, open_runtime
+from repro.streams import Schema, StreamTuple
+
+from repro.serve.drive import ArrivalLog
+
+__all__ = ["normalize_captured", "replay_log", "verify_equivalence"]
+
+
+def normalize_captured(captured: dict) -> dict:
+    """Reduce captured outputs to a canonical, picklable form.
+
+    ``{query_id: [(ts, values), ...]}`` with query ids sorted — stable
+    across runtime flavors (shard snapshots merge dicts in shard order;
+    sorting removes that artifact while preserving per-query output
+    order, which is the order the engine emitted them in).  The values
+    tuple is rebuilt per entry: an in-process engine delivers one shared
+    tuple object to every query it matches, a forked fleet deserializes
+    distinct copies, and pickle's memo would encode that identity
+    difference as different bytes for equal values.
+    """
+    return {
+        query_id: [(t.ts, tuple(v for v in t.values)) for t in outputs]
+        for query_id, outputs in sorted(captured.items())
+    }
+
+
+def replay_log(
+    log: ArrivalLog, sources: dict[str, Schema]
+) -> dict:
+    """Apply a recorded arrival log to a fresh offline runtime.
+
+    Returns the normalized captured outputs.  The replay runtime is the
+    simplest one available — a single in-process
+    :class:`~repro.runtime.QueryRuntime` — precisely because equivalence
+    against the simplest engine is the strongest statement: the whole
+    serve stack (sockets, buffers, pump, sharded fleet, pipelined
+    commands) added nothing and lost nothing.
+    """
+    runtime = open_runtime(
+        RuntimeConfig(sources=dict(sources), capture_outputs=True)
+    )
+    for entry in log.entries:
+        kind = entry[0]
+        if kind == "run":
+            __, stream, events = entry
+            schema = runtime.streams[stream].schema
+            runtime.process_batch(
+                stream,
+                [StreamTuple(schema, values, ts) for ts, values in events],
+            )
+        elif kind == "register":
+            __, query, query_id = entry
+            runtime.register(query, query_id=query_id)
+        elif kind == "unregister":
+            runtime.unregister(entry[1])
+        else:  # pragma: no cover - log writer bug
+            raise ServeError(f"unknown arrival-log entry {kind!r}")
+    return normalize_captured(runtime.captured)
+
+
+def verify_equivalence(
+    live_captured: dict,
+    log: ArrivalLog,
+    sources: dict[str, Schema],
+    replayed: Optional[dict] = None,
+) -> dict:
+    """Assert byte-identity between live outputs and an offline replay.
+
+    Returns a small report dict on success; raises :class:`ServeError`
+    with a per-query diff summary on mismatch.  Pass ``replayed`` to
+    reuse an already-computed replay (the benchmark does, to time the
+    replay separately).
+    """
+    live = normalize_captured(live_captured)
+    if replayed is None:
+        replayed = replay_log(log, sources)
+    live_bytes = pickle.dumps(live)
+    replay_bytes = pickle.dumps(replayed)
+    if live_bytes == replay_bytes:
+        return {
+            "identical": True,
+            "queries": len(live),
+            "outputs": sum(len(v) for v in live.values()),
+            "bytes": len(live_bytes),
+        }
+    problems = []
+    for query_id in sorted(set(live) | set(replayed)):
+        a, b = live.get(query_id), replayed.get(query_id)
+        if a is None:
+            problems.append(f"{query_id}: only in replay ({len(b)} outputs)")
+        elif b is None:
+            problems.append(f"{query_id}: only in live ({len(a)} outputs)")
+        elif a != b:
+            problems.append(
+                f"{query_id}: live {len(a)} outputs != replay {len(b)}"
+            )
+    raise ServeError(
+        "serve outputs diverge from offline replay: "
+        + ("; ".join(problems) if problems else
+           "same values, different serialized layout")
+    )

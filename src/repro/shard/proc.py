@@ -133,11 +133,13 @@ outputs across random churn schedules with mid-stream rebalances.
 
 from __future__ import annotations
 
+import functools
 import logging
 import multiprocessing
 import os
 import pickle
 import queue as queue_module
+import threading
 import time
 import traceback
 from collections import OrderedDict
@@ -161,6 +163,7 @@ from repro.errors import (
     WorkerUnreachableError,
 )
 from repro.lang.ast import LogicalQuery
+from repro.runtime.config import internal_construction, warn_direct_construction
 from repro.runtime.runtime import QueryRuntime
 from repro.shard.checkpoint import (
     CheckpointStore,
@@ -178,6 +181,7 @@ from repro.shard.wire import (
     ERR,
     HELLO,
     OK,
+    PING,
     REBALANCE,
     REGISTER,
     REOPTIMIZE,
@@ -206,6 +210,23 @@ from repro.streams.stream import StreamDef
 from repro.streams.tuples import StreamTuple
 
 logger = logging.getLogger(__name__)
+
+
+def _locked(method):
+    """Serialize a public entry point on the coordinator's re-entrant lock.
+
+    The serve tier drives one runtime from several threads — the session's
+    pump thread shipping data, a heartbeat timer, callers sampling stats —
+    and every RPC conversation must own the worker reply queues exclusively
+    or replies interleave across conversations.  Re-entrant so locked
+    methods can compose (``collect_stats`` → ``shard_stats``)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 class WorkerCrashError(RumorError):
@@ -433,12 +454,13 @@ def _worker_main(
 ) -> None:
     """Worker body: one QueryRuntime served by the command/data loop."""
     reseed_identifiers(worker_id_base(incarnation))
-    runtime = QueryRuntime(
-        capture_outputs=options.capture_outputs,
-        track_latency=options.track_latency,
-        incremental=options.incremental,
-        observe=options.observe,
-    )
+    with internal_construction():
+        runtime = QueryRuntime(
+            capture_outputs=options.capture_outputs,
+            track_latency=options.track_latency,
+            incremental=options.incremental,
+            observe=options.observe,
+        )
     for stream in streams:
         runtime.adopt_source(stream, channels[stream.name])
     recorder = (
@@ -489,13 +511,16 @@ def _worker_main(
             continue
         trace = frame_trace(frame) if recorder is not None else None
         kind, seq, payload = decode_command(frame)
-        if kind == HELLO:
-            # A restarted coordinator's adoption handshake.  Answered
-            # outside the reply cache and the fault counters: the new
-            # coordinator restarts its sequence numbering below the old
-            # one's, so a cached reply keyed by a recycled seq must never
-            # answer it, and injected crash schedules count real commands
-            # only.  The reply is a pure read — repeat hellos are safe.
+        if kind == HELLO or kind == PING:
+            # ``hello``: a restarted coordinator's adoption handshake.
+            # ``ping``: the coordinator's liveness probe.  Both answered
+            # outside the reply cache and the fault counters: a hello's seq
+            # comes from a *new* coordinator's numbering (which restarts
+            # below the old one's, so a cached reply keyed by a recycled
+            # seq must never answer it), and injected crash schedules count
+            # real commands only.  The reply is a pure read — repeats are
+            # safe, and a hung runtime (not a dead process) simply never
+            # gets here, which is exactly what the ping probe detects.
             replies.put(
                 encode_reply(
                     seq,
@@ -583,6 +608,7 @@ class ProcessShardedRuntime:
         _resume: bool = False,
         _handoff: Optional[CoordinatorHandoff] = None,
     ):
+        warn_direct_construction("ProcessShardedRuntime")
         if not fork_available():
             raise LifecycleError(
                 "ProcessShardedRuntime requires the fork start method; "
@@ -703,6 +729,15 @@ class ProcessShardedRuntime:
         self._next_shard = 0
         self._batches = 0
         self._pending_ckpt: Optional[dict] = None
+        #: Re-entrant coordinator lock: every public entry point runs under
+        #: it (see :func:`_locked`), making the runtime safe to drive from
+        #: a serve session's pump thread + heartbeat timer + sampling
+        #: callers concurrently.
+        self._lock = threading.RLock()
+        #: shard → OrderedDict(seq → pending entry) of pipelined lifecycle
+        #: commands shipped but not yet acknowledged (the PR-5 pipelined
+        #: checkpoint pattern applied to register/unregister).
+        self._pending_cmds: dict[int, OrderedDict] = {}
         #: shard → (version, {query_id: full captured history}) cache of the
         #: latest stored checkpoint's materialized histories — the splice
         #: base for differential rounds (rebuilt lazily from store blobs).
@@ -828,7 +863,8 @@ class ProcessShardedRuntime:
         merged = dict(log.state.options)
         merged.update(options)
         merged.pop("n_shards", None)  # topology comes from the journal
-        return cls(journal=log, _resume=True, **merged)
+        with internal_construction():  # already a factory entry point
+            return cls(journal=log, _resume=True, **merged)
 
     @classmethod
     def readopt(
@@ -860,7 +896,8 @@ class ProcessShardedRuntime:
         merged = dict(log.state.options)
         merged.update(options)
         merged.pop("n_shards", None)
-        return cls(journal=log, _resume=True, _handoff=handoff, **merged)
+        with internal_construction():  # already a factory entry point
+            return cls(journal=log, _resume=True, _handoff=handoff, **merged)
 
     # -- sources ---------------------------------------------------------------------
 
@@ -954,6 +991,7 @@ class ProcessShardedRuntime:
             incarnation=incarnation,
         )
 
+    @_locked
     def close(self) -> None:
         """Stop every worker (idempotent)."""
         if self._closed:
@@ -1077,9 +1115,12 @@ class ProcessShardedRuntime:
         for __ in range(copies):
             handle.commands.put(frame)
 
-    def _rpc(self, shard: int, kind: str, payload=None):
-        """Send one command and block for its reply (raw, no recovery)."""
-        handle = self._workers[shard]
+    def _new_command(self, shard: int, kind: str, payload=None):
+        """Allocate the next sequence number and encode a command frame.
+
+        Returns ``(seq, frame, span)``; the caller owns finishing the span
+        (when observing) once the conversation ends.
+        """
         self._seq += 1
         seq = self._seq
         span = None
@@ -1094,73 +1135,135 @@ class ProcessShardedRuntime:
         else:
             trace = None
         frame = encode_command(kind, seq, payload, trace=trace)
+        return seq, frame, span
+
+    def _await_reply(
+        self, shard: int, handle: _WorkerHandle, seq: int, frame: tuple,
+        kind: str, span=None,
+    ):
+        """Block for the reply matching ``seq``, retransmitting on timeout.
+
+        Stray replies that land in between — pipelined checkpoint manifests
+        or pipelined lifecycle acknowledgements — are routed to their
+        pending entries; stale duplicates are dropped.
+        """
+        retries = 0
+        started = time.monotonic()
+        # Exponential backoff with deterministic jitter: each timeout
+        # doubles (capped at 8x) and is scaled by a seq-seeded factor in
+        # [0.5, 1.5), so retransmission storms de-synchronize while
+        # tests stay reproducible.
+        jitter = Random(seq)
+        timeout = self.command_timeout
+        while True:
+            try:
+                reply = handle.replies.get(timeout=timeout)
+            except queue_module.Empty:
+                if handle.process.exitcode is not None:
+                    if span is not None:
+                        span.attrs["error"] = True
+                    raise WorkerCrashError(
+                        f"shard {shard} worker exited with code "
+                        f"{handle.process.exitcode} during {kind}"
+                    ) from None
+                retries += 1
+                elapsed = time.monotonic() - started
+                if retries > self.max_retries or (
+                    self.retry_budget > 0 and elapsed > self.retry_budget
+                ):
+                    if span is not None:
+                        span.attrs["error"] = True
+                    self.rpc_unreachable += 1
+                    raise WorkerUnreachableError(
+                        f"shard {shard} did not acknowledge {kind} after "
+                        f"{retries} attempts ({elapsed:.1f}s; "
+                        f"max_retries={self.max_retries}, "
+                        f"retry_budget={self.retry_budget or 'off'})",
+                        shard=shard,
+                        kind=kind,
+                        attempts=retries,
+                        elapsed_seconds=elapsed,
+                    ) from None
+                self.rpc_retransmissions += 1
+                self._send_command(handle, frame)
+                timeout = min(
+                    self.command_timeout * (2 ** retries),
+                    self.command_timeout * 8,
+                ) * jitter.uniform(0.5, 1.5)
+                continue
+            reply_seq, status, result = decode_reply(reply)
+            if reply_seq != seq:
+                # A pipelined checkpoint manifest or lifecycle ack landing
+                # between two synchronous commands (route it to its pending
+                # entry) — or a stale reply of a duplicated earlier command
+                # (drop it).
+                self._stash_stray_reply(shard, reply_seq, status, result)
+                continue
+            if status == OK:
+                return result
+            if span is not None:
+                span.attrs["error"] = True
+            raise WorkerCommandError(
+                f"shard {shard} {kind} failed: {result}"
+            )
+
+    def _rpc(self, shard: int, kind: str, payload=None):
+        """Send one command and block for its reply (raw, no recovery)."""
+        handle = self._workers[shard]
+        seq, frame, span = self._new_command(shard, kind, payload)
         try:
             self._send_command(handle, frame)
-            retries = 0
-            started = time.monotonic()
-            # Exponential backoff with deterministic jitter: each timeout
-            # doubles (capped at 8x) and is scaled by a seq-seeded factor in
-            # [0.5, 1.5), so retransmission storms de-synchronize while
-            # tests stay reproducible.
-            jitter = Random(seq)
-            timeout = self.command_timeout
-            while True:
-                try:
-                    reply = handle.replies.get(timeout=timeout)
-                except queue_module.Empty:
-                    if handle.process.exitcode is not None:
-                        if span is not None:
-                            span.attrs["error"] = True
-                        raise WorkerCrashError(
-                            f"shard {shard} worker exited with code "
-                            f"{handle.process.exitcode} during {kind}"
-                        ) from None
-                    retries += 1
-                    elapsed = time.monotonic() - started
-                    if retries > self.max_retries or (
-                        self.retry_budget > 0 and elapsed > self.retry_budget
-                    ):
-                        if span is not None:
-                            span.attrs["error"] = True
-                        self.rpc_unreachable += 1
-                        raise WorkerUnreachableError(
-                            f"shard {shard} did not acknowledge {kind} after "
-                            f"{retries} attempts ({elapsed:.1f}s; "
-                            f"max_retries={self.max_retries}, "
-                            f"retry_budget={self.retry_budget or 'off'})",
-                            shard=shard,
-                            kind=kind,
-                            attempts=retries,
-                            elapsed_seconds=elapsed,
-                        ) from None
-                    self.rpc_retransmissions += 1
-                    self._send_command(handle, frame)
-                    timeout = min(
-                        self.command_timeout * (2 ** retries),
-                        self.command_timeout * 8,
-                    ) * jitter.uniform(0.5, 1.5)
-                    continue
-                reply_seq, status, result = decode_reply(reply)
-                if reply_seq != seq:
-                    # Either a pipelined checkpoint manifest landing between
-                    # two synchronous commands (route it to the pending
-                    # round) or a stale reply of a duplicated earlier
-                    # command (drop it).
-                    self._stash_checkpoint_reply(
-                        shard, reply_seq, status, result
-                    )
-                    continue
-                if status == OK:
-                    return result
-                if span is not None:
-                    span.attrs["error"] = True
-                raise WorkerCommandError(
-                    f"shard {shard} {kind} failed: {result}"
-                )
+            return self._await_reply(shard, handle, seq, frame, kind, span)
         finally:
             if span is not None:
                 span.finish()
                 self.recorder.record(span)
+
+    def _rpc_fanout(self, kind: str, payloads: dict) -> dict:
+        """Pipelined fan-out: ship one command per shard, then collect.
+
+        ``payloads`` maps shard → payload.  Every frame is enqueued before
+        any reply is awaited, so the workers decode and answer
+        concurrently and the barrier costs the *slowest* round trip instead
+        of the sum — on a fleet with deep data queues this is the
+        difference between one queue drain and ``n`` of them.  A shard that
+        dies mid-fan is recovered and its command retried once (the
+        :meth:`_rpc_recovering` discipline, per shard).  Returns
+        shard → result, every shard answered.
+        """
+        sent = []
+        for shard, payload in payloads.items():
+            handle = self._workers[shard]
+            seq, frame, span = self._new_command(shard, kind, payload)
+            self._send_command(handle, frame)
+            sent.append((shard, payload, handle, seq, frame, span))
+        results = {}
+        for shard, payload, handle, seq, frame, span in sent:
+            try:
+                results[shard] = self._await_reply(
+                    shard, handle, seq, frame, kind, span
+                )
+            except WorkerCrashError:
+                # Recovery drains only this shard's reply queue, so the
+                # other in-flight fan replies are untouched; the respawned
+                # worker never saw the fan frame, so re-send fresh.
+                self._recover(shard)
+                results[shard] = self._rpc(shard, kind, payload)
+            finally:
+                if span is not None:
+                    span.finish()
+                    self.recorder.record(span)
+        return results
+
+    def _stash_stray_reply(
+        self, shard: int, reply_seq: int, status: str, result
+    ) -> bool:
+        """Route a reply that is not the one currently awaited: pending
+        checkpoint manifests first, then pending pipelined lifecycle
+        commands.  Returns False for stale duplicates (dropped)."""
+        if self._stash_checkpoint_reply(shard, reply_seq, status, result):
+            return True
+        return self._resolve_lifecycle_reply(shard, reply_seq, status, result)
 
     def _rpc_recovering(self, shard: int, kind: str, payload=None):
         """RPC that survives one worker crash: recover, then retry once."""
@@ -1191,7 +1294,9 @@ class ProcessShardedRuntime:
         started = time.perf_counter()
         # A snapshot in flight on the dead worker can never complete; its
         # round proceeds without this shard (older version retained).
+        # Pending pipelined lifecycle submissions are owned by the replay.
         self._cancel_pending_checkpoint(shard)
+        self._cancel_pending_lifecycle(shard)
         handle = self._spawn(shard)
         self._workers[shard] = handle
         for frame in self._schema_frames:
@@ -1499,6 +1604,7 @@ class ProcessShardedRuntime:
 
     # -- checkpoints -----------------------------------------------------------------
 
+    @_locked
     def checkpoint(self, wait: bool = True) -> int:
         """Initiate a checkpoint round across every worker.
 
@@ -1520,6 +1626,7 @@ class ProcessShardedRuntime:
             self.collect_checkpoints()
         return version
 
+    @_locked
     def collect_checkpoints(self) -> None:
         """Block until no checkpoint round is pending (crash-recovering)."""
         while self._pending_ckpt is not None:
@@ -1553,7 +1660,10 @@ class ProcessShardedRuntime:
             reply_seq, status, result = decode_reply(reply)
             if reply_seq == entry["seq"]:
                 self._finish_shard_checkpoint(shard, status, result)
-            # else: stale duplicate of an already-acknowledged command.
+            else:
+                # A pipelined lifecycle ack landing during collection — or a
+                # stale duplicate of an already-acknowledged command (drop).
+                self._resolve_lifecycle_reply(shard, reply_seq, status, result)
 
     def _initiate_checkpoint(self) -> int:
         # One round in flight at a time: a new cut only makes sense once
@@ -1662,7 +1772,8 @@ class ProcessShardedRuntime:
                 if reply_seq == entry["seq"]:
                     self._finish_shard_checkpoint(shard, status, result)
                     break
-                # else: stale duplicate — drop.
+                # A pipelined lifecycle ack — or a stale duplicate (drop).
+                self._resolve_lifecycle_reply(shard, reply_seq, status, result)
 
     def _stash_checkpoint_reply(
         self, shard: int, reply_seq: int, status: str, result
@@ -1804,17 +1915,21 @@ class ProcessShardedRuntime:
         log = self._wal[shard]
         return log.start, log.end
 
+    @_locked
     def heartbeat(self) -> None:
-        """Non-blocking health pass: collect pipelined checkpoint replies
-        and recover any dead worker.
+        """Non-blocking health pass: collect pipelined checkpoint and
+        lifecycle replies and recover any dead worker.
 
         Data frames are fire-and-forget, so a worker that dies mid-stream
         is otherwise only noticed at the next synchronous RPC; drivers call
-        this on batch boundaries to bound that detection window.
+        this on batch boundaries — and, under wall-clock pacing, on a timer
+        independent of data arrival (:class:`~repro.serve.drive.HeartbeatTimer`),
+        so a dead worker is found during quiet periods too.
         """
         if not self._started or self._closed:
             return
         self._poll_checkpoint()
+        self._poll_lifecycle()
         for shard, handle in list(self._workers.items()):
             if handle.process.exitcode is not None:
                 self._recover(shard)
@@ -1855,6 +1970,7 @@ class ProcessShardedRuntime:
             loads[owner] += 1
         return min(self._shards, key=lambda shard: (loads[shard], shard))
 
+    @_locked
     def register(
         self,
         query: Union[str, LogicalQuery],
@@ -1902,6 +2018,7 @@ class ProcessShardedRuntime:
         )
         return result
 
+    @_locked
     def unregister(self, query_id: str) -> dict:
         self._ensure_started()
         shard = self.shard_of(query_id)
@@ -1920,20 +2037,272 @@ class ProcessShardedRuntime:
         )
         return result
 
+    # -- pipelined lifecycle -----------------------------------------------------------
+    #
+    # The synchronous register/unregister block the coordinator for one full
+    # round trip each — and on a fleet with deep data queues, "one round
+    # trip" means draining everything queued in front of the command.  The
+    # pipelined variants apply the PR-5 checkpoint-collection pattern to
+    # lifecycle: validate on the coordinator, record the effects (catalog,
+    # routing, write-ahead log) at *submit* time — which preserves
+    # queue-order = log-order, the invariant recovery replay depends on —
+    # ship the frame, and collect the acknowledgement later (during other
+    # RPCs, on heartbeats, or at an explicit ``collect_lifecycle`` barrier).
+    # Workers dedupe by seq exactly as for synchronous commands.  A worker
+    # that dies with submissions outstanding is recovered normally; the
+    # recovery replay re-applies the submitted commands from the log (or the
+    # blank re-registration re-creates them from the catalog), so the
+    # pending entries resolve as done.  Journaled runtimes fall back to the
+    # synchronous path: the journal's lifecycle discipline is
+    # RPC-then-journal, which pipelining would invert.
+
+    def _submit_lifecycle(self, shard: int, kind: str, payload, label) -> int:
+        handle = self._workers[shard]
+        seq, frame, span = self._new_command(shard, kind, payload)
+        if span is not None:
+            span.attrs["pipelined"] = True
+            span.finish()  # marks the submission; the ack lands later
+            self.recorder.record(span)
+        # Reliable path (no FrameFaults): like a checkpoint cut, a pipelined
+        # lifecycle frame's queue position *is* its apply order relative to
+        # the surrounding data — a dropped-then-retransmitted frame would
+        # apply later than the write-ahead log recorded it.
+        handle.commands.put(frame)
+        entries = self._pending_cmds.setdefault(shard, OrderedDict())
+        entries[seq] = {
+            "seq": seq,
+            "kind": kind,
+            "label": label,
+            "frame": frame,
+            "retries": 0,
+        }
+        return seq
+
+    @_locked
+    def submit_register(
+        self,
+        query: Union[str, LogicalQuery],
+        query_id: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> int:
+        """Pipelined :meth:`register`: validate, place, ship — no waiting.
+
+        Returns the owning shard immediately; the worker's acknowledgement
+        is collected later (:meth:`collect_lifecycle`, :meth:`heartbeat`,
+        or in passing during any other RPC).  All user-facing validation
+        (duplicate id, unknown source, shard range) happens here, so a
+        worker-side rejection of a submitted command is a protocol bug and
+        raises :class:`WorkerCommandError` at collection.
+        """
+        from repro.lang.compiler import as_logical
+
+        self._ensure_started()
+        try:
+            logical = as_logical(query, query_id)
+        except QueryLanguageError as error:
+            raise LifecycleError(str(error)) from error
+        if self._journal is not None:
+            self.register(logical)
+            return self._query_shard[logical.query_id]
+        if logical.query_id in self._query_shard:
+            raise LifecycleError(
+                f"query {logical.query_id!r} is already registered"
+            )
+        for name in logical.sources():
+            if name not in self.streams:
+                raise LifecycleError(
+                    f"query {logical.query_id!r} reads unknown source {name!r}"
+                )
+        if shard is None:
+            shard = self.place(logical)
+        elif shard not in self._shards:
+            raise LifecycleError(
+                f"shard {shard} out of range (live shards: {self._shards})"
+            )
+        self._submit_lifecycle(shard, REGISTER, logical, logical.query_id)
+        if self.durable:
+            self._wal[shard].append(("register", logical))
+        self._queries[logical.query_id] = logical
+        self._query_shard[logical.query_id] = shard
+        self._route_cache.clear()
+        self.events.emit(
+            "register",
+            level=logging.DEBUG,
+            query=logical.query_id,
+            shard=shard,
+            pipelined=True,
+        )
+        return shard
+
+    @_locked
+    def submit_unregister(self, query_id: str) -> int:
+        """Pipelined :meth:`unregister`; returns the shard it left."""
+        self._ensure_started()
+        shard = self.shard_of(query_id)
+        if self._journal is not None:
+            self.unregister(query_id)
+            return shard
+        self._submit_lifecycle(shard, UNREGISTER, query_id, query_id)
+        if self.durable:
+            self._wal[shard].append(("unregister", query_id))
+        del self._query_shard[query_id]
+        del self._queries[query_id]
+        self._route_cache.clear()
+        self.events.emit(
+            "unregister",
+            level=logging.DEBUG,
+            query=query_id,
+            shard=shard,
+            pipelined=True,
+        )
+        return shard
+
+    @property
+    def pending_lifecycle(self) -> int:
+        """Pipelined lifecycle commands shipped but not yet acknowledged."""
+        return sum(len(entries) for entries in self._pending_cmds.values())
+
+    @_locked
+    def collect_lifecycle(self) -> int:
+        """Block until every pipelined lifecycle command is acknowledged.
+
+        Returns the number of commands resolved (acknowledged, or absorbed
+        by a crash recovery whose replay re-applied them).  Mirrors
+        :meth:`collect_checkpoints`: timeouts retransmit (duplicates are
+        answered from the worker reply cache), a dead worker is recovered
+        and its pending entries resolve through the replay.
+        """
+        collected = 0
+        while True:
+            pending = [
+                (shard, entries)
+                for shard, entries in self._pending_cmds.items()
+                if entries
+            ]
+            if not pending:
+                return collected
+            shard, entries = pending[0]
+            entry = next(iter(entries.values()))
+            handle = self._workers[shard]
+            try:
+                reply = handle.replies.get(timeout=self.command_timeout)
+            except queue_module.Empty:
+                if handle.process.exitcode is not None:
+                    # Recovery replays every submitted command from the
+                    # write-ahead log (or re-creates it from the catalog),
+                    # and drops this shard's pending entries — resolved.
+                    collected += len(entries)
+                    self._recover(shard)
+                    continue
+                entry["retries"] += 1
+                if entry["retries"] > self.max_retries:
+                    self.rpc_unreachable += 1
+                    raise WorkerUnreachableError(
+                        f"shard {shard} did not acknowledge pipelined "
+                        f"{entry['kind']} {entry['label']!r} after "
+                        f"{entry['retries']} attempts",
+                        shard=shard,
+                        kind=entry["kind"],
+                        attempts=entry["retries"],
+                    ) from None
+                self.rpc_retransmissions += 1
+                handle.commands.put(entry["frame"])
+                continue
+            reply_seq, status, result = decode_reply(reply)
+            if self._resolve_lifecycle_reply(shard, reply_seq, status, result):
+                collected += 1
+            else:
+                self._stash_checkpoint_reply(shard, reply_seq, status, result)
+
+    def _resolve_lifecycle_reply(
+        self, shard: int, reply_seq: int, status: str, result
+    ) -> bool:
+        entries = self._pending_cmds.get(shard)
+        if not entries:
+            return False
+        entry = entries.pop(reply_seq, None)
+        if entry is None:
+            return False
+        if status != OK:
+            # Pipelined commands are fully pre-validated on the coordinator
+            # and their catalog/log effects were recorded at submit time — a
+            # worker-side rejection means the two sides disagree about the
+            # plan state, which is a protocol bug, not a rollbackable user
+            # error.
+            raise WorkerCommandError(
+                f"shard {shard} rejected pipelined {entry['kind']} "
+                f"{entry['label']!r}: {result}"
+            )
+        return True
+
+    def _poll_lifecycle(self) -> None:
+        """Non-blocking sweep for pipelined lifecycle acknowledgements."""
+        for shard, entries in list(self._pending_cmds.items()):
+            if not entries:
+                continue
+            handle = self._workers.get(shard)
+            if handle is None:
+                continue
+            while entries:
+                try:
+                    reply = handle.replies.get_nowait()
+                except queue_module.Empty:
+                    break
+                reply_seq, status, result = decode_reply(reply)
+                if not self._resolve_lifecycle_reply(
+                    shard, reply_seq, status, result
+                ):
+                    self._stash_checkpoint_reply(
+                        shard, reply_seq, status, result
+                    )
+
+    def _cancel_pending_lifecycle(self, shard: int) -> None:
+        """Forget a dead worker's pending submissions (recovery owns them).
+
+        Their effects were recorded (catalog + write-ahead log) at submit
+        time, so the durable replay re-applies them and the non-durable
+        blank re-registration re-creates them — the replies themselves will
+        never arrive.
+        """
+        self._pending_cmds.pop(shard, None)
+
+    @_locked
     def reoptimize(self, shard: Optional[int] = None) -> list[dict]:
         self._ensure_started()
-        shards = list(self._shards) if shard is None else [shard]
-        results = []
+        if shard is not None:
+            results = [self._rpc_recovering(shard, REOPTIMIZE)]
+            shards = [shard]
+        else:
+            fanned = self._rpc_fanout(
+                REOPTIMIZE, {index: None for index in self._shards}
+            )
+            shards = list(self._shards)
+            results = [fanned[index] for index in shards]
         for index in shards:
-            results.append(self._rpc_recovering(index, REOPTIMIZE))
             if self.durable:
                 self._wal[index].append(("reoptimize", None))
             if self._journal is not None:
                 self._journal.append("reoptimize", index)
         return results
 
+    @_locked
+    def ping(self) -> dict[int, dict]:
+        """Probe every worker's command loop (pipelined ``ping`` fan-out).
+
+        Unlike :meth:`heartbeat`, which only notices a worker whose
+        *process* exited, a ping round also detects a hung worker — alive
+        but no longer serving its queue — surfacing it as
+        :class:`~repro.errors.WorkerUnreachableError` once the retry budget
+        is exhausted.  A dead worker found by the probe is recovered like
+        any other RPC crash.  Returns shard → worker info (the ``hello``
+        reply shape: incarnation, applied seq, cursor, active queries).
+        """
+        self._ensure_started()
+        return self._rpc_fanout(PING, {shard: None for shard in self._shards})
+
     # -- rebalance -------------------------------------------------------------------
 
+    @_locked
     def rebalance(self, query_id: str, to_shard: int) -> list[str]:
         """Move ``query_id``'s component to ``to_shard``, state intact.
 
@@ -2020,6 +2389,7 @@ class ProcessShardedRuntime:
 
     # -- elastic scale-out -------------------------------------------------------------
 
+    @_locked
     def add_worker(self, policy=None) -> int:
         """Grow the fleet by one worker mid-serve; returns its shard id.
 
@@ -2063,6 +2433,7 @@ class ProcessShardedRuntime:
                         self.rebalance(query_id, target)
         return shard
 
+    @_locked
     def remove_worker(self, shard: int, policy=None) -> dict:
         """Retire a worker mid-serve with zero query loss.
 
@@ -2217,6 +2588,7 @@ class ProcessShardedRuntime:
     def process(self, stream_name: str, tuple_: StreamTuple) -> RunStats:
         return self.process_batch(stream_name, [tuple_])
 
+    @_locked
     def process_batch(
         self, stream_name: str, tuples: Sequence[StreamTuple]
     ) -> RunStats:
@@ -2313,12 +2685,23 @@ class ProcessShardedRuntime:
 
     # -- introspection ---------------------------------------------------------------
 
-    def shard_stats(self) -> list[RunStats]:
-        """Per-worker cumulative RunStats (synchronous; a batch barrier)."""
+    @_locked
+    def shard_stats(self, pipelined: bool = True) -> list[RunStats]:
+        """Per-worker cumulative RunStats (a batch barrier).
+
+        The barrier is pipelined by default — all ``stats`` frames ship
+        before any reply is awaited, so the fan costs the slowest worker's
+        round trip, not the sum.  ``pipelined=False`` keeps the historical
+        serial fan (one blocking RPC per shard, in order); the serve
+        benchmark measures the two against each other.
+        """
         self._ensure_started()
-        return [
-            self._rpc_recovering(shard, STATS) for shard in self._shards
-        ]
+        if not pipelined:
+            return [
+                self._rpc_recovering(shard, STATS) for shard in self._shards
+            ]
+        results = self._rpc_fanout(STATS, {s: None for s in self._shards})
+        return [results[shard] for shard in self._shards]
 
     def collect_stats(self) -> RunStats:
         """Aggregate statistics with single-counted inputs.
@@ -2338,6 +2721,7 @@ class ProcessShardedRuntime:
         merged.physical_input_events = self.input_stats.physical_input_events
         return merged
 
+    @_locked
     def shard_telemetry(self) -> list[dict]:
         """Per-worker telemetry view via the extended ``stats`` RPC:
         ``{"shard", "mop_stats", "query_heat", "peak_state", "stats",
@@ -2347,8 +2731,11 @@ class ProcessShardedRuntime:
         merged into the coordinator's recorder, completing the trace tree."""
         self._ensure_started()
         views = []
+        replies = self._rpc_fanout(
+            STATS, {shard: {"telemetry": True} for shard in self._shards}
+        )
         for shard in self._shards:
-            reply = self._rpc_recovering(shard, STATS, {"telemetry": True})
+            reply = replies[shard]
             if self.recorder is not None and reply.get("spans"):
                 self.recorder.add(reply["spans"])
             views.append(
@@ -2400,15 +2787,15 @@ class ProcessShardedRuntime:
         )
         return registry
 
+    @_locked
     def snapshot(self) -> list[dict]:
         """Per-worker observability snapshot (captured outputs, state size,
-        active queries, migrations, plan size)."""
+        active queries, migrations, plan size).  Pipelined fan-out."""
         self._ensure_started()
-        return [
-            self._rpc_recovering(shard, SNAPSHOT)
-            for shard in self._shards
-        ]
+        results = self._rpc_fanout(SNAPSHOT, {s: None for s in self._shards})
+        return [results[shard] for shard in self._shards]
 
+    @_locked
     def component_queries(self, query_id: str) -> list[str]:
         """Every query that would move with ``query_id`` (one worker RPC)."""
         self._ensure_started()

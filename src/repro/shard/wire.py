@@ -81,6 +81,10 @@ RESTORE = "restore"
 #: comes from the *new* coordinator's numbering, which must not collide
 #: with cached replies to the old one).
 HELLO = "hello"
+#: Liveness probe: answered immediately (outside the reply cache, like
+#: ``hello`` — it is read-only), so the coordinator can distinguish a hung
+#: worker from a slow one without mutating any state.
+PING = "ping"
 REPLY = "reply"
 
 COMMAND_KINDS = frozenset(
@@ -94,6 +98,7 @@ COMMAND_KINDS = frozenset(
         CHECKPOINT,
         RESTORE,
         HELLO,
+        PING,
     }
 )
 

@@ -298,6 +298,7 @@ def drive_sharded(
     max_batch: int = 1024,
     rebalance_every: int = 0,
     policy=None,
+    heartbeat_interval: float = 0.0,
 ) -> Iterator[ChurnEvent]:
     """Serve a churn schedule through a sharded lifecycle runtime
     (in-process :class:`~repro.shard.ShardedRuntime` or process-mode
@@ -312,6 +313,12 @@ def drive_sharded(
     the adaptive busy-time heuristic) for candidate moves and applies the
     first that succeeds.  Components the policy flags as oversized are
     skipped and counted on ``policy.oversized_alerts``.
+
+    With ``heartbeat_interval`` > 0 a
+    :class:`~repro.serve.drive.HeartbeatTimer` runs alongside the drive,
+    beating the runtime on that wall-clock cadence — so worker failures
+    are detected even while the driver is stalled between events (the
+    inline per-event heartbeats below only fire when data flows).
     """
     from repro.errors import LifecycleError
 
@@ -336,17 +343,32 @@ def drive_sharded(
                 continue
             return
 
+    if heartbeat_interval > 0 and heartbeat is not None:
+        from repro.serve.drive import HeartbeatTimer
+
+        timer = HeartbeatTimer(runtime, interval=heartbeat_interval)
+    else:
+        timer = None
+
     # drive_batched flushes the pending batch before every lifecycle event
     # and yields right after applying it, so each yield point is a batch
     # boundary — exactly where a rebalance is safe to interleave.
-    for event in drive_batched(runtime, stream_events, churn_events, max_batch):
-        applied += 1
+    try:
+        if timer is not None:
+            timer.start()
+        for event in drive_batched(
+            runtime, stream_events, churn_events, max_batch
+        ):
+            applied += 1
+            if heartbeat is not None:
+                heartbeat()
+            maybe_rebalance()
+            yield event
         if heartbeat is not None:
             heartbeat()
-        maybe_rebalance()
-        yield event
-    if heartbeat is not None:
-        heartbeat()
+    finally:
+        if timer is not None:
+            timer.stop()
 
 
 def resume_tail(

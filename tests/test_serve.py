@@ -1,0 +1,498 @@
+"""Serve tier: protocol framing, session pump, ingest backpressure.
+
+Socket tests bind ephemeral loopback ports; process-mode tests (idle
+failure detection) fork real workers and are skipped where fork is
+unavailable.  Byte-identical serve-vs-replay equivalence over the full
+process fleet lives in ``test_serve_equivalence.py``.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import open_runtime
+from repro.errors import ServeError
+from repro.serve import (
+    ArrivalLog,
+    HeartbeatTimer,
+    IngestServer,
+    ServeClient,
+    ServeSession,
+    build_schedule,
+    bursty_schedule,
+    diurnal_schedule,
+    drive_wall_clock,
+    normalize_captured,
+    replay_log,
+    timed_events,
+    verify_equivalence,
+    zipf_schedule,
+)
+from repro.serve.protocol import (
+    CREDIT,
+    EVENTS,
+    HELLO,
+    MAX_MESSAGE,
+    decode_payload,
+    encode_message,
+    read_exact,
+    read_message,
+)
+from repro.shard import fork_available
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema.numbered(2)
+SOURCES = {"S": SCHEMA, "T": SCHEMA}
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# -- protocol ---------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        message = {"type": EVENTS, "stream": "S", "events": [[1, [2, 3]]]}
+        framed = encode_message(message)
+        assert decode_payload(framed[4:]) == message
+
+    def test_oversize_message_rejected(self):
+        with pytest.raises(ServeError, match="exceeds"):
+            encode_message({"type": EVENTS, "blob": "x" * MAX_MESSAGE})
+
+    def test_malformed_payloads(self):
+        with pytest.raises(ServeError, match="malformed"):
+            decode_payload(b"\xff\xfe not json")
+        with pytest.raises(ServeError, match="'type' field"):
+            decode_payload(b"[1, 2, 3]")
+        with pytest.raises(ServeError, match="'type' field"):
+            decode_payload(b'{"no_type": 1}')
+
+    def test_read_message_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(encode_message({"type": HELLO, "client": "t"}))
+            assert read_message(right) == {"type": HELLO, "client": "t"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_read_exact_clean_eof_is_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert read_exact(right, 4) is None
+        finally:
+            right.close()
+
+    def test_read_exact_mid_message_eof_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00")
+            left.close()
+            with pytest.raises(ServeError, match="mid-message"):
+                read_exact(right, 4)
+        finally:
+            right.close()
+
+
+# -- schedules --------------------------------------------------------------------
+
+
+class TestSchedules:
+    @pytest.mark.parametrize(
+        "builder", [zipf_schedule, diurnal_schedule, bursty_schedule]
+    )
+    def test_deterministic_given_seed(self, builder):
+        one = builder(["S", "T"], epochs=6, events_per_epoch=100, seed=3)
+        two = builder(["S", "T"], epochs=6, events_per_epoch=100, seed=3)
+        other = builder(["S", "T"], epochs=6, events_per_epoch=100, seed=4)
+        assert one.epochs == two.epochs
+        assert one.epochs != other.epochs
+
+    def test_zipf_skews_toward_first_stream(self):
+        schedule = zipf_schedule(
+            ["S", "T"], epochs=20, events_per_epoch=200, skew=2.0, seed=0
+        )
+        totals = {"S": 0, "T": 0}
+        for epoch in schedule.epochs:
+            for stream, count in epoch.items():
+                totals[stream] += count
+        assert totals["S"] > totals["T"]
+        assert schedule.total_events == 20 * 200
+
+    def test_build_schedule_unknown_shape(self):
+        with pytest.raises(ServeError, match="unknown schedule shape"):
+            build_schedule("square-wave", ["S"])
+
+    def test_timed_events_sorted_and_deterministic(self):
+        schedule = bursty_schedule(
+            ["S", "T"], epochs=4, events_per_epoch=50, seed=1
+        )
+        one = timed_events(schedule, SOURCES, seed=5)
+        two = timed_events(schedule, SOURCES, seed=5)
+        assert one == two
+        assert len(one) == schedule.total_events
+        assert [e[0] for e in one] == sorted(e[0] for e in one)
+
+    def test_timed_events_rejects_unknown_stream(self):
+        schedule = zipf_schedule(["X"], epochs=1, events_per_epoch=5)
+        with pytest.raises(ServeError, match="unknown stream 'X'"):
+            timed_events(schedule, SOURCES)
+
+
+# -- session pump -----------------------------------------------------------------
+
+
+class TestServeSession:
+    def test_end_to_end_matches_replay(self):
+        runtime = open_runtime(sources=SOURCES, capture_outputs=True)
+        with ServeSession(runtime) as session:
+            session.submit_register("FROM S WHERE a0 == 1", "q")
+            session.submit_run("S", [(1, (1, 10)), (2, (0, 11)), (3, (1, 12))])
+            session.submit_register("FROM T WHERE a0 == 2", "r")
+            session.submit_run("T", [(4, (2, 13))])
+            session.submit_unregister("q")
+            session.submit_run("S", [(5, (1, 14))])
+            report = session.finish()
+        assert report.events == 5
+        assert report.runs == 3
+        assert report.lifecycle_ops == 3
+        assert session.log.events == 5
+        live = normalize_captured(runtime.captured)
+        assert live == replay_log(session.log, SOURCES)
+        # "q" was unregistered before the last run: only ts 1 and 3 match.
+        assert [ts for ts, __ in live["q"]] == [1, 3]
+
+    def test_unknown_stream_rejected(self):
+        runtime = open_runtime(sources=SOURCES)
+        with ServeSession(runtime) as session:
+            with pytest.raises(ServeError, match="unknown stream 'X'"):
+                session.submit_run("X", [(1, (1, 2))])
+            assert session.try_submit_run is not None
+            with pytest.raises(ServeError, match="unknown stream"):
+                session.try_submit_run("X", [(1, (1, 2))])
+
+    def test_try_submit_bounded_queue(self):
+        runtime = open_runtime(sources=SOURCES)
+        session = ServeSession(runtime, queue_runs=1)
+        # Stall the pump with a slow item so the queue fills.
+        original = runtime.process_batch
+
+        def slow(stream, tuples):
+            time.sleep(0.3)
+            return original(stream, tuples)
+
+        runtime.process_batch = slow
+        try:
+            session.submit_run("S", [(1, (1, 2))])
+            results = [
+                session.try_submit_run("S", [(t, (1, 2))]) for t in range(50)
+            ]
+            assert False in results  # saturation is observable, not fatal
+        finally:
+            session.finish()
+
+    def test_queue_runs_validated(self):
+        runtime = open_runtime(sources=SOURCES)
+        with pytest.raises(ServeError, match="queue_runs"):
+            ServeSession(runtime, queue_runs=0)
+
+    def test_pump_error_surfaces_to_producers(self):
+        runtime = open_runtime(sources=SOURCES)
+        session = ServeSession(runtime)
+        session.submit_register("THIS IS NOT A QUERY", "bad")
+        assert wait_until(lambda: session._error is not None, timeout=5.0)
+        with pytest.raises(ServeError, match="serve pump died"):
+            session.submit_run("S", [(1, (1, 2))])
+        with pytest.raises(ServeError, match="serve pump died"):
+            session.finish()
+
+    def test_drive_wall_clock_paces_and_coalesces(self):
+        runtime = open_runtime(sources=SOURCES, capture_outputs=True)
+        schedule = zipf_schedule(
+            ["S", "T"], epochs=3, events_per_epoch=40, seed=2
+        )
+        arrivals = timed_events(schedule, SOURCES, seed=2)
+        with ServeSession(runtime) as session:
+            session.submit_register("FROM S WHERE a0 == 1", "q")
+            submitted = drive_wall_clock(session, arrivals, speedup=100.0)
+            session.drain()
+            assert submitted == len(arrivals)
+            assert session.log.events == len(arrivals)
+            # Coalescing batches runs but never reorders: per-stream event
+            # order in the log equals arrival order.
+            for stream in ("S", "T"):
+                logged = [
+                    event
+                    for entry in session.log.entries
+                    if entry[0] == "run" and entry[1] == stream
+                    for event in entry[2]
+                ]
+                expected = [
+                    (ts, tuple(values))
+                    for __, s, (ts, values) in arrivals
+                    if s == stream
+                ]
+                assert logged == expected
+            session.finish()
+
+
+class TestHeartbeatTimer:
+    class _Beatable:
+        def __init__(self, fail_after=None):
+            self.beats = 0
+            self.fail_after = fail_after
+
+        def heartbeat(self):
+            self.beats += 1
+            if self.fail_after is not None and self.beats > self.fail_after:
+                raise RuntimeError("worker fleet on fire")
+
+    def test_beats_without_data(self):
+        runtime = self._Beatable()
+        with HeartbeatTimer(runtime, interval=0.01) as timer:
+            assert wait_until(lambda: runtime.beats >= 5, timeout=5.0)
+        assert timer.beats >= 5
+
+    def test_beat_error_reraised_on_stop(self):
+        runtime = self._Beatable(fail_after=1)
+        timer = HeartbeatTimer(runtime, interval=0.01).start()
+        assert wait_until(lambda: timer._error is not None, timeout=5.0)
+        with pytest.raises(RuntimeError, match="on fire"):
+            timer.stop()
+
+    def test_interval_validated(self):
+        with pytest.raises(ServeError, match="interval"):
+            HeartbeatTimer(self._Beatable(), interval=0.0)
+
+
+# -- socket ingest ----------------------------------------------------------------
+
+
+class TestIngest:
+    def test_push_over_socket_matches_replay(self):
+        runtime = open_runtime(sources=SOURCES, capture_outputs=True)
+        session = ServeSession(runtime)
+        session.submit_register("FROM S WHERE a0 == 1", "q")
+        with IngestServer(session, port=0) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                assert sorted(client.streams) == ["S", "T"]
+                client.send("S", [(1, (1, 5)), (2, (0, 6))])
+                client.send("T", [(3, (1, 7))])
+                accepted = client.close()
+            assert accepted == 3
+        session.drain()
+        equivalence = verify_equivalence(
+            runtime.captured, session.log, SOURCES
+        )
+        assert equivalence["identical"]
+        session.finish()
+
+    def test_unknown_stream_reported_to_client(self):
+        runtime = open_runtime(sources=SOURCES)
+        session = ServeSession(runtime)
+        with IngestServer(session, port=0) as server:
+            host, port = server.address
+            client = ServeClient(host, port)
+            client.send("NOPE", [(1, (1, 2))])
+            with pytest.raises(ServeError, match="unknown stream"):
+                client.close()
+        session.finish()
+
+    def test_slow_client_backpressure_bounds_memory(self):
+        """A fast client against a slow runtime: the server never buffers
+        more than the credit window and the client observes flow control."""
+        runtime = open_runtime(sources=SOURCES, capture_outputs=True)
+        original = runtime.process_batch
+
+        def slow(stream, tuples):
+            time.sleep(0.02)
+            return original(stream, tuples)
+
+        runtime.process_batch = slow
+        session = ServeSession(runtime, queue_runs=2)
+        window = 16
+        total = 240
+        with IngestServer(
+            session, port=0, window=window, max_run=8, flush_interval=0.005
+        ) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                for i in range(0, total, 4):
+                    client.send(
+                        "S", [(ts, (ts % 3, ts)) for ts in range(i, i + 4)]
+                    )
+                waits = client.credit_waits
+                accepted = client.close()
+            stats = server.stats()
+        assert accepted == total
+        assert waits > 0  # the client actually blocked on credits
+        assert stats["buffered_high_water"] <= window
+        session.drain()
+        assert session.log.events == total
+        session.finish()
+
+    def test_client_disconnect_mid_run_keeps_accepted_events(self):
+        runtime = open_runtime(sources=SOURCES, capture_outputs=True)
+        session = ServeSession(runtime)
+        session.submit_register("FROM S WHERE a0 == 1", "q")
+        # Huge flush window: events sit buffered until the disconnect.
+        with IngestServer(
+            session, port=0, max_run=1024, flush_interval=30.0
+        ) as server:
+            host, port = server.address
+            client = ServeClient(host, port)
+            client.send("S", [(ts, (1, ts)) for ts in range(5)])
+            client.abort()  # vanish without the bye handshake
+            assert wait_until(
+                lambda: server.stats()["disconnects_mid_run"] == 1
+            )
+            assert wait_until(
+                lambda: server.stats()["accepted_events"] == 5
+            )
+        session.drain()
+        # Accepted events are real events: logged, shipped, replayable.
+        assert session.log.events == 5
+        equivalence = verify_equivalence(
+            runtime.captured, session.log, SOURCES
+        )
+        assert equivalence["identical"]
+        session.finish()
+
+    def test_concurrent_lifecycle_during_live_ingest(self):
+        """register/unregister race live pushes; the log's total order
+        makes the outcome replayable regardless of interleaving."""
+        runtime = open_runtime(sources=SOURCES, capture_outputs=True)
+        session = ServeSession(runtime)
+        stop = threading.Event()
+        errors = []
+
+        def churn_lifecycle():
+            try:
+                for round_ in range(12):
+                    qid = f"q{round_}"
+                    session.submit_register(
+                        f"FROM S WHERE a0 == {round_ % 3}", qid
+                    )
+                    time.sleep(0.005)
+                    if round_ % 2 == 0:
+                        session.submit_unregister(qid)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+            finally:
+                stop.set()
+
+        with IngestServer(session, port=0, flush_interval=0.002) as server:
+            host, port = server.address
+            thread = threading.Thread(target=churn_lifecycle)
+            with ServeClient(host, port) as client:
+                thread.start()
+                ts = 0
+                while not stop.is_set():
+                    client.send(
+                        "S", [(ts + k, ((ts + k) % 3, ts + k)) for k in range(4)]
+                    )
+                    ts += 4
+                client.close()
+            thread.join()
+        assert not errors
+        session.drain()
+        report = session.finish()
+        assert report.lifecycle_ops == 12 + 6
+        equivalence = verify_equivalence(
+            runtime.captured, session.log, SOURCES
+        )
+        assert equivalence["identical"]
+
+    def test_server_reports_credit_flow(self):
+        """Credits granted == events accepted: the window is conserved."""
+        runtime = open_runtime(sources=SOURCES)
+        session = ServeSession(runtime)
+        with IngestServer(session, port=0, window=64) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                for i in range(10):
+                    client.send("S", [(i, (i % 3, i))])
+                client.close()
+                assert client.credits == 64  # all credits returned
+        session.finish()
+
+
+# -- idle-period failure detection (process mode) ---------------------------------
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="process mode requires the fork start method"
+)
+class TestIdleFailureDetection:
+    FAST = {"command_timeout": 0.5, "max_retries": 60, "durable": True}
+
+    def test_heartbeat_timer_recovers_worker_with_no_data_flowing(self):
+        runtime = open_runtime(
+            sources=SOURCES, process=True, capture_outputs=True,
+            **self.FAST,
+        )
+        try:
+            runtime.register("FROM S WHERE a0 == 1", query_id="q")
+            runtime.process_batch("S", [StreamTuple(SCHEMA, (1, 7), 1)])
+            runtime.shard_stats()
+            shard = runtime.shard_of("q")
+            with HeartbeatTimer(runtime, interval=0.05):
+                runtime._workers[shard].process.kill()
+                # No data arrives; only the timer can notice the death.
+                assert wait_until(
+                    lambda: runtime.crash_recoveries >= 1, timeout=10.0
+                )
+            # The recovered worker still serves the query.
+            runtime.process_batch("S", [StreamTuple(SCHEMA, (1, 8), 2)])
+            runtime.shard_stats()
+            assert [t.ts for t in runtime.captured["q"]] == [1, 2]
+        finally:
+            runtime.close()
+
+    def test_session_pump_heartbeats_while_idle(self):
+        runtime = open_runtime(
+            sources=SOURCES, process=True, capture_outputs=True,
+            **self.FAST,
+        )
+        try:
+            session = ServeSession(runtime, heartbeat_interval=0.05)
+            session.submit_register("FROM S WHERE a0 == 1", "q")
+            session.submit_run("S", [(1, (1, 7))])
+            session.drain()
+            shard = runtime.shard_of("q")
+            runtime._workers[shard].process.kill()
+            # The pump is idle — no producers — yet recovery happens.
+            assert wait_until(
+                lambda: runtime.crash_recoveries >= 1, timeout=10.0
+            )
+            session.submit_run("S", [(2, (1, 8))])
+            report = session.finish()
+            assert report.heartbeats > 0
+            assert [ts for ts, __ in
+                    normalize_captured(runtime.captured)["q"]] == [1, 2]
+        finally:
+            runtime.close()
+
+
+def test_arrival_log_counters():
+    log = ArrivalLog()
+    log.record_register("FROM S WHERE a0 == 1", "q")
+    log.record_run("S", [(1, (1, 2)), (2, (0, 3))])
+    log.record_run("T", [(3, (2, 4))])
+    log.record_unregister("q")
+    assert log.events == 3
+    assert log.runs == 2
+    assert len(log.entries) == 4

@@ -1,0 +1,169 @@
+"""Serve-vs-replay byte identity over the process-sharded fleet.
+
+The serve tier's correctness criterion: whatever ordering the socket
+layer, flush timers and pump thread produce, replaying the recorded
+arrival log through the simplest offline runtime must reproduce the live
+outputs byte-for-byte (pickled-normalized equality, checked by
+:func:`repro.serve.replay.verify_equivalence`).  Runs here fork real
+worker processes and drive the full socket path.
+"""
+
+import pickle
+
+import pytest
+
+from repro import open_runtime
+from repro.errors import ServeError
+from repro.serve import (
+    IngestServer,
+    ServeSession,
+    normalize_captured,
+    replay_log,
+    run_loadgen,
+    verify_equivalence,
+    zipf_schedule,
+)
+from repro.serve.loadgen import drive_schedule_inline
+from repro.shard import fork_available
+from repro.streams.schema import Schema
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process mode requires the fork start method"
+)
+
+SCHEMA = Schema.numbered(2)
+SOURCES = {"S": SCHEMA, "T": SCHEMA}
+QUERIES = [
+    ("FROM S WHERE a0 == 1", "sel_s"),
+    ("FROM T WHERE a0 == 2", "sel_t"),
+    ("FROM S AGG avg(a1) OVER 10 BY a0 AS m", "agg_s"),
+]
+
+
+def open_fleet():
+    return open_runtime(
+        sources=SOURCES, process=True, shards=2, capture_outputs=True
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_socket_serve_byte_identical_to_replay(seed):
+    """Full stack — loadgen client, asyncio server, pump, 2-shard fleet —
+    vs an offline replay of the arrival log."""
+    runtime = open_fleet()
+    try:
+        session = ServeSession(runtime)
+        for query, qid in QUERIES:
+            session.submit_register(query, qid)
+        schedule = zipf_schedule(
+            ["S", "T"], epochs=4, events_per_epoch=150, epoch_seconds=0.2,
+            seed=seed,
+        )
+        with IngestServer(session, port=0, flush_interval=0.005) as server:
+            host, port = server.address
+            stats = run_loadgen(
+                host, port, schedule, SOURCES, seed=seed, speedup=50.0
+            )
+        report = session.finish()
+        assert stats["accepted_events"] == schedule.total_events
+        assert report.events == schedule.total_events
+        equivalence = verify_equivalence(
+            runtime.captured, session.log, SOURCES
+        )
+    finally:
+        runtime.close()
+    assert equivalence["identical"]
+    assert equivalence["queries"] == len(QUERIES)
+    assert equivalence["outputs"] > 0  # the check is not vacuous
+
+
+def test_lifecycle_during_serve_byte_identical_to_replay():
+    """Registrations and removals interleaved with live pushes land in
+    the log's total order; the replay honors it exactly."""
+    runtime = open_fleet()
+    try:
+        session = ServeSession(runtime)
+        session.submit_register("FROM S WHERE a0 == 0", "q0")
+        for round_ in range(1, 6):
+            drive_schedule_inline(
+                session,
+                zipf_schedule(
+                    ["S", "T"], epochs=1, events_per_epoch=80,
+                    epoch_seconds=0.05, seed=round_,
+                ),
+                SOURCES,
+                seed=round_,
+                speedup=100.0,
+            )
+            session.submit_register(
+                f"FROM S WHERE a0 == {round_ % 4}", f"q{round_}"
+            )
+            if round_ % 2 == 0:
+                session.submit_unregister(f"q{round_ - 1}")
+        report = session.finish()
+        assert report.lifecycle_ops == 1 + 5 + 2
+        equivalence = verify_equivalence(
+            runtime.captured, session.log, SOURCES
+        )
+        assert equivalence["identical"]
+    finally:
+        runtime.close()
+
+
+def test_pipelined_lifecycle_matches_sync_lifecycle():
+    """The same op sequence through submit_register/collect_lifecycle and
+    through blocking register must produce identical captured outputs."""
+    from repro.serve.loadgen import timed_events
+    from repro.streams.tuples import StreamTuple
+
+    captured = {}
+    for label, pipelined in (("sync", False), ("pipelined", True)):
+        runtime = open_fleet()
+        try:
+            for round_ in range(4):
+                if pipelined:
+                    runtime.submit_register(
+                        f"FROM S WHERE a0 == {round_}", f"q{round_}"
+                    )
+                else:
+                    runtime.register(
+                        f"FROM S WHERE a0 == {round_}",
+                        query_id=f"q{round_}",
+                    )
+                schedule = zipf_schedule(
+                    ["S", "T"], epochs=1, events_per_epoch=60,
+                    epoch_seconds=0.01, seed=round_,
+                )
+                for __, stream, (ts, values) in timed_events(
+                    schedule, SOURCES, seed=round_
+                ):
+                    runtime.process_batch(
+                        stream, [StreamTuple(SOURCES[stream], values, ts)]
+                    )
+            if pipelined:
+                runtime.collect_lifecycle()
+            runtime.shard_stats()
+            captured[label] = normalize_captured(runtime.captured)
+        finally:
+            runtime.close()
+    assert pickle.dumps(captured["sync"]) == pickle.dumps(
+        captured["pipelined"]
+    )
+
+
+def test_replay_divergence_is_detected():
+    """verify_equivalence must fail loudly when live outputs are doctored
+    — guarding against a vacuously-green equivalence check."""
+    runtime = open_runtime(sources=SOURCES, capture_outputs=True)
+    with ServeSession(runtime) as session:
+        session.submit_register("FROM S WHERE a0 == 1", "q")
+        session.submit_run("S", [(1, (1, 5)), (2, (1, 6))])
+        session.drain()
+        log = session.log
+        session.finish()
+    doctored = {"q": runtime.captured["q"][:-1]}  # drop one output
+    with pytest.raises(ServeError, match="diverge"):
+        verify_equivalence(doctored, log, SOURCES)
+    # And the unmodified outputs pass.
+    replayed = replay_log(log, SOURCES)
+    assert normalize_captured(runtime.captured) == replayed

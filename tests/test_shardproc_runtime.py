@@ -180,4 +180,5 @@ class TestCommandCodec:
             "checkpoint",
             "restore",
             "hello",
+            "ping",
         }

@@ -49,8 +49,9 @@ from repro.operators.expressions import attr, lit
 from repro.operators.predicates import Comparison
 from repro.operators.select import Selection
 from repro.runtime.config import open_runtime
-from repro.shard import ShardedEngine
-from repro.streams.sources import StreamSource
+from repro.shard import ShardedEngine, fork_available
+from repro.streams.columns import ColumnBatch
+from repro.streams.sources import ColumnRunSource, StreamSource
 from repro.streams.tuples import StreamTuple
 from repro.workloads.churn import ChurnWorkload, drive_batched, drive_sharded
 from repro.workloads.synthetic import synthetic_schema
@@ -61,6 +62,14 @@ from repro.workloads.zipf import ZipfSampler
 TARGET_SPEEDUP = 2.0
 #: Relaxed floor for the CI smoke run (small event counts are noisy).
 SMOKE_SPEEDUP = 1.3
+#: Data-plane acceptance floor: process-mode serving over the columnar
+#: transport must at least match the 4-shard *inline* drain (full scale).
+#: Startup (fork + ready handshake) is excluded — ``spawn_seconds`` is
+#: reported separately — so this compares steady-state drains.
+TARGET_PROCESS_RATIO = 1.0
+#: Relaxed ratio for the CI smoke run: at smoke event counts a single
+#: queue/ring hop is a visible fraction of the whole drain.
+SMOKE_PROCESS_RATIO = 0.5
 
 
 @dataclass
@@ -77,6 +86,7 @@ class ShardScale:
     repeats: int = 3
     max_batch: int = 4096
     min_speedup: float = TARGET_SPEEDUP
+    min_process_ratio: float = TARGET_PROCESS_RATIO
 
     @classmethod
     def full(cls) -> "ShardScale":
@@ -94,6 +104,7 @@ class ShardScale:
             churn_initial=4,
             repeats=2,
             min_speedup=SMOKE_SPEEDUP,
+            min_process_ratio=SMOKE_PROCESS_RATIO,
         )
 
 
@@ -216,6 +227,55 @@ def bench_partitionable_zipf(scale: ShardScale) -> dict:
                 best.throughput / max(best_baseline.throughput, 1e-9), 2
             ),
         }
+
+    # Process-mode data-plane cells: 4 forked workers behind the wire
+    # router, once over the legacy pickle wire and once over the columnar
+    # plane (packed columns + shared-memory rings), fed by columnar-native
+    # sources so nothing materializes rows on the way in.  wall_seconds is
+    # the drain only; startup is reported as spawn_seconds.
+    def _columnar_sources(plan, sources):
+        built = []
+        for source, tuples in zip(sources, per_source):
+            channel = plan.channel_of(source)
+            batch = ColumnBatch.from_rows(
+                tuples[0].schema, tuples, channel.full_mask
+            )
+            built.append(ColumnRunSource(channel, batch))
+        return built
+
+    if fork_available():
+        for plane in ("pickle", "columnar"):
+            best = None
+            for __ in range(scale.repeats):
+                plan, sources = build()
+                sharded = ShardedEngine(
+                    plan, 4, parallel=True, feed="router",
+                    max_batch=scale.max_batch, data_plane=plane,
+                )
+                feed_sources = (
+                    _columnar_sources(plan, sources)
+                    if plane == "columnar"
+                    else _make_sources(plan, sources, per_source)
+                )
+                run = sharded.run(feed_sources)
+                if best is None or run.throughput > best.throughput:
+                    best = run
+            aggregate = best.aggregate
+            _require_equivalent(
+                f"zipf/process_{plane}", best_baseline, aggregate
+            )
+            result["cells"][f"sharded_4_process_{plane}"] = {
+                "events_per_sec": round(best.throughput, 1),
+                "wall_seconds": round(best.wall_seconds, 6),
+                "spawn_seconds": round(best.spawn_seconds, 6),
+                "busy_seconds": round(best.busy_seconds, 6),
+                "mode": best.mode,
+                "data_plane": plane,
+                "output_events": aggregate.output_events,
+                "speedup_vs_single_batched": round(
+                    best.throughput / max(best_baseline.throughput, 1e-9), 2
+                ),
+            }
     return result
 
 
@@ -317,6 +377,36 @@ def run_benchmark(scale: ShardScale) -> dict:
             f"single-engine batched baseline on the partitionable zipf "
             f"workload, measured {headline}x"
         )
+    # Data-plane gate: the columnar process-mode cell must exist (a silent
+    # fallback to inline would make the gate vacuous) and its steady-state
+    # drain must keep up with the 4-shard inline drain.
+    if not fork_available():
+        raise AssertionError(
+            "process-mode data-plane cells missing: the shard benchmark "
+            "gate requires the fork start method"
+        )
+    process_cell = zipf["cells"]["sharded_4_process_columnar"]
+    if process_cell["mode"] != "process":
+        raise AssertionError(
+            f"columnar data-plane cell ran in {process_cell['mode']!r} "
+            f"mode, not process mode"
+        )
+    inline_cell = zipf["cells"]["sharded_4"]
+    ratio = round(
+        process_cell["events_per_sec"]
+        / max(inline_cell["events_per_sec"], 1e-9),
+        2,
+    )
+    results["headline"]["process_columnar_vs_inline_4"] = ratio
+    results["headline"]["process_ratio_target"] = scale.min_process_ratio
+    if ratio < scale.min_process_ratio:
+        raise AssertionError(
+            f"process-mode columnar throughput must be ≥"
+            f"{scale.min_process_ratio}x the 4-shard inline drain, "
+            f"measured {ratio}x "
+            f"({process_cell['events_per_sec']:,.0f} vs "
+            f"{inline_cell['events_per_sec']:,.0f} ev/s)"
+        )
     return results
 
 
@@ -327,27 +417,27 @@ def render(results: dict) -> str:
         f"{zipf['sources']} sources x "
         f"{zipf['queries'] // zipf['sources']} queries, "
         f"cpu_count={results['meta']['cpu_count']})",
-        f"{'cell':<18} {'ev/s':>14} {'speedup':>8} {'mode':>8}",
+        f"{'cell':<28} {'ev/s':>14} {'speedup':>8} {'mode':>8}",
     ]
     baseline = zipf["cells"]["single_batched"]
     lines.append(
-        f"{'single_batched':<18} {baseline['events_per_sec']:>14,.0f} "
+        f"{'single_batched':<28} {baseline['events_per_sec']:>14,.0f} "
         f"{'1.00x':>8} {'-':>8}"
     )
     for name, cell in zipf["cells"].items():
         if name == "single_batched":
             continue
         lines.append(
-            f"{name:<18} {cell['events_per_sec']:>14,.0f} "
+            f"{name:<28} {cell['events_per_sec']:>14,.0f} "
             f"{cell['speedup_vs_single_batched']:>7.2f}x "
             f"{cell['mode']:>8}"
         )
     churn = results["workloads"]["sharded_churn"]["modes"]
     lines.append(
-        f"{'churn single':<18} {churn['single']['events_per_sec']:>14,.0f}"
+        f"{'churn single':<28} {churn['single']['events_per_sec']:>14,.0f}"
     )
     lines.append(
-        f"{'churn sharded':<18} {churn['sharded']['events_per_sec']:>14,.0f}"
+        f"{'churn sharded':<28} {churn['sharded']['events_per_sec']:>14,.0f}"
     )
     lines.append(
         f"headline: 4-shard speedup "
@@ -355,6 +445,12 @@ def render(results: dict) -> str:
         f"(target ≥{results['headline']['target']}x, "
         f"mode={results['headline']['mode']})"
     )
+    ratio = results["headline"].get("process_columnar_vs_inline_4")
+    if ratio is not None:
+        lines.append(
+            f"data plane: process columnar vs inline 4-shard {ratio}x "
+            f"(target ≥{results['headline']['process_ratio_target']}x)"
+        )
     return "\n".join(lines)
 
 

@@ -47,6 +47,7 @@ from repro.core.plan import QueryPlan
 from repro.engine.metrics import RunStats
 from repro.errors import PlanError
 from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.columns import ColumnBatch
 from repro.streams.sources import StreamSource, merge_source_runs, merge_sources
 from repro.streams.tuples import StreamTuple
 
@@ -105,6 +106,10 @@ class StreamEngine:
         # Flattened hot-path table: channel_id -> (sink handler | None,
         # prebound process_batch methods of the channel's consumers).
         self._channel_table: dict[int, tuple] = {}
+        # Columnar entry table: channel_id -> ((can_process_columns,
+        # process_columns) per consumer), present only when *every*
+        # consumer of the channel implements the columnar protocol.
+        self._columnar_table: dict[int, tuple] = {}
         # Observed shadow tables (only populated when ``observer`` is set):
         # same shape, but each method/executor is paired with its MOpRecord.
         self._observed_channel_table: dict[int, tuple] = {}
@@ -191,6 +196,22 @@ class StreamEngine:
                 for executor in routing.get(channel_id, ())
             )
             channel_table[channel_id] = (handler, batch_methods)
+        # Columnar entry table: a channel is columnar-capable iff every
+        # consumer exposes the (can_process_columns, process_columns)
+        # protocol; capability is still re-checked per batch (it depends
+        # on the arriving column layout).
+        columnar_table: dict[int, tuple] = {}
+        for channel_id, consumers in routing.items():
+            pairs = []
+            for executor in consumers:
+                can = getattr(executor, "can_process_columns", None)
+                method = getattr(executor, "process_columns", None)
+                if can is None or method is None:
+                    pairs = None
+                    break
+                pairs.append((can, method))
+            if pairs:
+                columnar_table[channel_id] = tuple(pairs)
         # Observed shadow tables: the same routing, with each prebound
         # method/executor paired with its m-op's telemetry record.  Built
         # only when observing, so the unobserved swap stays byte-for-byte
@@ -226,6 +247,7 @@ class StreamEngine:
         self._routing = routing
         self._sink_table = sink_table
         self._channel_table = channel_table
+        self._columnar_table = columnar_table
         self._observed_channel_table = observed_channel_table
         self._observed_routing = observed_routing
         self._consumer_indexes = {
@@ -421,6 +443,11 @@ class StreamEngine:
         if warmup_events:
             consumed = 0
             for channel, batch in runs:
+                if type(batch) is ColumnBatch:
+                    # Warmup is per-tuple by contract; columnar runs
+                    # materialize so the warmed/measured split still lands
+                    # on the same event.
+                    batch = batch.channel_tuples()
                 index = 0
                 while index < len(batch):
                     channel_tuple = batch[index]
@@ -438,7 +465,13 @@ class StreamEngine:
         if pending is not None:
             self._run_batch(pending[0], pending[1], stats)
         for channel, batch in runs:
-            self._run_batch(channel, batch, stats)
+            if type(batch) is ColumnBatch:
+                # Columnar-native source (ColumnRunSource): feed the packed
+                # run straight to the vectorized entry; elapsed_seconds is
+                # overwritten below by this run's own wall clock.
+                stats.absorb(self.process_columns(channel, batch))
+            else:
+                self._run_batch(channel, batch, stats)
         stats.elapsed_seconds = time.perf_counter() - started
         if self.observer is not None:
             self.observer.sample_state_now(self)
@@ -569,6 +602,65 @@ class StreamEngine:
                 stats.input_events += channel_tuple.membership.bit_count()
                 stats.physical_input_events += 1
                 dispatch(channel, channel_tuple, stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return stats
+
+    def process_columns(self, channel: Channel, batch) -> RunStats:
+        """Process a packed columnar run (:class:`~repro.streams.columns.
+        ColumnBatch`) arriving on one channel.
+
+        The vectorized entry runs when batching is on, the channel passes
+        the diamond test, no observer is attached, the entry channel has no
+        sink, and **every** consumer accepts this batch's column layout
+        (``can_process_columns``).  Consumers probe the packed columns
+        directly and emit ordinary row buckets, which continue through the
+        standard batched BFS — rows materialize only for the hit set.
+        Anywhere outside that envelope the batch materializes once and
+        takes the row path; outputs are identical either way.
+        """
+        if not batch.count:
+            return RunStats()
+        pairs = None
+        if self.batching and self.observer is None and self.channel_batchable(
+            channel.channel_id
+        ):
+            entry = self._channel_table.get(channel.channel_id)
+            if entry is not None and entry[0] is None:
+                pairs = self._columnar_table.get(channel.channel_id)
+                if pairs is not None:
+                    for can, __ in pairs:
+                        if not can(channel, batch):
+                            pairs = None
+                            break
+        if pairs is None:
+            return self.process_batch(channel, batch.channel_tuples())
+        stats = RunStats()
+        started = time.perf_counter()
+        table = self._channel_table
+        max_batch = self.max_batch
+        count = batch.count
+        queue: deque = deque()
+        for start in range(0, count, max_batch):
+            if count <= max_batch:
+                chunk = batch
+            else:
+                chunk = batch.slice(start, min(start + max_batch, count))
+            stats.input_events += chunk.logical_events()
+            stats.physical_input_events += chunk.count
+            stats.physical_events += chunk.count
+            for __, method in pairs:
+                queue.extend(method(channel, chunk))
+            while queue:
+                current_channel, tuples = queue.popleft()
+                stats.physical_events += len(tuples)
+                entry = table.get(current_channel.channel_id)
+                if entry is None:
+                    continue
+                handler, batch_methods = entry
+                if handler is not None:
+                    handler(tuples, stats, started)
+                for method in batch_methods:
+                    queue.extend(method(current_channel, tuples))
         stats.elapsed_seconds = time.perf_counter() - started
         return stats
 

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+import numpy as np
+
 from repro.core.mop import MOp, MOpExecutor, OpInstance, OutputCollector, Wiring
 from repro.errors import PlanError
 from repro.operators.expressions import LEFT
 from repro.operators.predicates import as_constant_equality
 from repro.operators.select import Selection
 from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.columns import INT64_MAX, INT64_MIN, TAG_INT
 
 
 class PredicateIndexMOp(MOp):
@@ -121,6 +124,22 @@ class PredicateIndexExecutor(MOpExecutor):
             (slot, (probe_tables, scan_routes)), = self._batch_slots.items()
             if slot[1] == 0 and len(probe_tables) == 1 and not scan_routes:
                 self._fast_probe = (slot[0], *probe_tables[0])
+        # Columnar probe: the fast-probe constants packed as int64, so an
+        # arriving 'q' column is filtered with one vectorized ``np.isin``
+        # and only the hit rows materialize.  Disabled (None) when any
+        # constant is not a plain in-range int — bools are excluded on
+        # purpose (``True`` hashes like ``1``, and int64 packing would
+        # conflate them); such predicates keep the per-row dict probe.
+        self._fast_constants = None
+        if self._fast_probe is not None:
+            constants = list(self._fast_probe[2])
+            if constants and all(
+                type(constant) is int and INT64_MIN <= constant <= INT64_MAX
+                for constant in constants
+            ):
+                self._fast_constants = np.array(
+                    sorted(constants), dtype=np.int64
+                )
         # Batch-path memo: (channel_id, membership) -> resolved slot list.
         # ``_batch_slots`` is immutable for the executor's lifetime, so the
         # bit-scan resolution runs once per distinct mask ever.
@@ -150,6 +169,49 @@ class PredicateIndexExecutor(MOpExecutor):
                 if compiled(tuple_, None, None):
                     emissions.append((instance.output, tuple_))
         return self._collector.emit(emissions)
+
+    def can_process_columns(self, channel: Channel, batch) -> bool:
+        """Whether :meth:`process_columns` handles this packed batch: the
+        fast probe covers the channel, the constants packed as int64, and
+        the probed attribute arrived as an int column."""
+        fast = self._fast_probe
+        if (
+            fast is None
+            or self._fast_constants is None
+            or channel.channel_id != fast[0]
+            or channel.capacity != 1
+        ):
+            return False
+        return batch.columns[fast[1]][0] == TAG_INT
+
+    def process_columns(
+        self, channel: Channel, batch
+    ) -> list[tuple[Channel, list[ChannelTuple]]]:
+        """Vectorized columnar probe: one ``np.isin`` over the packed
+        attribute column selects the hit rows; only those materialize.
+
+        Bucket contents and order match :meth:`process_batch`'s fast path
+        exactly — hits keep arrival order (``np.nonzero`` is ascending)
+        and route through the same precomputed routes-by-constant table.
+        """
+        __, attr_position, routes_by_constant = self._fast_probe
+        column = batch.columns[attr_position][1]
+        hit_indexes = np.nonzero(np.isin(column, self._fast_constants))[0]
+        if not hit_indexes.size:
+            return []
+        rows = batch.take_rows(hit_indexes).tuples()
+        hit_values = column[hit_indexes].tolist()
+        grouped: dict[int, list[ChannelTuple]] = {}
+        order: list[tuple[Channel, list[ChannelTuple]]] = []
+        for tuple_, value in zip(rows, hit_values):
+            for out_channel, out_mask in routes_by_constant[value]:
+                out_id = out_channel.channel_id
+                bucket = grouped.get(out_id)
+                if bucket is None:
+                    bucket = grouped[out_id] = []
+                    order.append((out_channel, bucket))
+                bucket.append(ChannelTuple(tuple_, out_mask))
+        return order
 
     def process_batch(
         self, channel: Channel, batch

@@ -94,6 +94,10 @@ class RuntimeConfig:
     incremental: bool = True
     observe: bool = False
     max_batch: int = 1024
+    #: Process mode: source-run transport — ``"columnar"`` ships packed
+    #: columns over per-worker shared-memory rings (pickle fallback per
+    #: run), ``"pickle"`` forces the legacy tuple wire everywhere.
+    data_plane: str = "columnar"
     #: Process mode: keep per-shard write-ahead logs for crash recovery.
     durable: bool = False
     #: Process mode: checkpoint every N batches (implies ``durable``).
@@ -154,6 +158,11 @@ class RuntimeConfig:
         if self.max_batch < 1:
             raise LifecycleError(
                 f"max_batch must be at least 1, got {self.max_batch}"
+            )
+        if self.data_plane not in ("columnar", "pickle"):
+            raise LifecycleError(
+                f"data_plane must be 'columnar' or 'pickle', got "
+                f"{self.data_plane!r} (--data-plane columnar|pickle)"
             )
         return self
 
@@ -224,6 +233,7 @@ def _open_process(config: RuntimeConfig):
         incremental=config.incremental,
         observe=config.observe,
         max_batch=config.max_batch,
+        data_plane=config.data_plane,
         durable=config.durable,
         checkpoint_every=config.checkpoint_every,
         store=store,

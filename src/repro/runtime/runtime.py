@@ -500,6 +500,25 @@ class QueryRuntime:
         self.stats.absorb(event_stats)
         return event_stats
 
+    def process_columns(self, stream_name: str, batch) -> RunStats:
+        """Push a packed columnar run (:class:`~repro.streams.columns.
+        ColumnBatch`) through the engine's columnar entry.
+
+        Accounting mirrors :meth:`process_batch` exactly — the stream
+        cursor advances by the row count and the stats fold the same way —
+        so checkpoint cuts and journal positions are transport-agnostic.
+        """
+        stream = self.streams.get(stream_name)
+        if stream is None:
+            raise LifecycleError(f"unknown source stream {stream_name!r}")
+        if not batch.count:
+            return RunStats()
+        channel = self.plan.channel_of(stream)
+        event_stats = self.engine.process_columns(channel, batch)
+        self.cursor[stream_name] = self.cursor.get(stream_name, 0) + batch.count
+        self.stats.absorb(event_stats)
+        return event_stats
+
     def run(self, events: Iterable[tuple[str, StreamTuple]]) -> RunStats:
         """Process a batch of ``(stream name, tuple)`` events; returns the
         batch's statistics (also folded into :attr:`stats`)."""

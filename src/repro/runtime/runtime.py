@@ -122,6 +122,10 @@ class QueryRuntime:
         #: the cursor onward reproduces the runtime's state exactly.
         self.cursor: dict[str, int] = {}
         self._active: dict[str, LogicalQuery] = {}
+        #: alias → relay-export entry (see :meth:`export_stream`): the
+        #: queries whose sink channels this runtime re-emits as derived
+        #: source streams for consumers on other shards.
+        self.relay_exports: dict[str, dict] = {}
 
     # -- sources -------------------------------------------------------------------
 
@@ -211,6 +215,7 @@ class QueryRuntime:
             raise
         self._active[logical.query_id] = logical
         self.reports.append(report)
+        self._refresh_relay_exports()
         return report
 
     def unregister(self, query_id: str) -> list[MOp]:
@@ -221,10 +226,17 @@ class QueryRuntime:
         """
         if query_id not in self._active:
             raise LifecycleError(f"query {query_id!r} is not registered")
+        for alias, entry in self.relay_exports.items():
+            if entry.get("query_id") == query_id:
+                raise LifecycleError(
+                    f"query {query_id!r} feeds exported stream {alias!r}; "
+                    f"remove the export before unregistering"
+                )
         self.plan.unmark_output(query_id)
         removed = self.plan.prune_unreachable()
         del self._active[query_id]
         self._migrate()
+        self._refresh_relay_exports()
         return removed
 
     def reoptimize(self) -> OptimizationReport:
@@ -243,7 +255,114 @@ class QueryRuntime:
         )
         self._migrate()
         self.reports.append(report)
+        self._refresh_relay_exports()
         return report
+
+    # -- relay exports (cross-shard derived channels) --------------------------------
+
+    def export_stream(
+        self,
+        alias: str,
+        query_id: Optional[str],
+        stream: StreamDef,
+        channel: Optional[Channel] = None,
+        cursor: int = 0,
+    ) -> None:
+        """Adopt ``alias`` as a source and, when this runtime owns the
+        producing query, tap its sink channel so every output run can be
+        re-emitted onto ``alias`` by the coordinator.
+
+        ``query_id=None`` is the consumer-side half: the alias becomes a
+        plain source this runtime's queries may read.  ``cursor`` seeds the
+        tap's produced count (checkpoint restore / tap re-homing), so the
+        coordinator's collected cursor keeps lining up across recoveries —
+        the exactly-once discipline for relayed runs.  Idempotent.
+        """
+        if stream.name != alias:
+            raise LifecycleError(
+                f"alias {alias!r} does not match stream {stream.name!r}"
+            )
+        if alias not in self.streams:
+            self.adopt_source(stream, channel)
+        if query_id is None:
+            return
+        if query_id not in self._active:
+            raise LifecycleError(f"query {query_id!r} is not registered")
+        from repro.shard.relay import sink_channel_of
+
+        sink = sink_channel_of(self.plan, query_id)
+        tap = self.engine.install_relay_tap(sink)
+        entry = self.relay_exports.get(alias)
+        if entry is None:
+            tap.produced = cursor
+            self.relay_exports[alias] = {
+                "query_id": query_id,
+                "channel": sink,
+                "stream": stream,
+                "alias_channel": channel or self.plan.channel_of(stream),
+                #: ``(start_cursor, run)`` runs collected but not yet
+                #: acknowledged — retained so a coordinator crash between
+                #: collect and journal never loses relay tuples.
+                "retained": [],
+                #: Cursor of the next uncollected tuple.
+                "next_start": cursor,
+            }
+        else:
+            entry["query_id"] = query_id
+            entry["channel"] = sink
+
+    def remove_export(self, alias: str) -> Optional[dict]:
+        """Drop a relay export (tap removed, retained runs discarded).
+
+        The alias stays adopted as a plain source — consumers may still
+        hold compiled plans against it; it simply stops producing.
+        """
+        entry = self.relay_exports.pop(alias, None)
+        if entry is not None:
+            self.engine.remove_relay_tap(entry["channel"].channel_id)
+        return entry
+
+    def collect_relay(self, alias: str, ack: int) -> tuple[int, list, int]:
+        """Drain the export's tap into its retained window and return it.
+
+        ``ack`` is the coordinator's durable collected cursor: retained
+        runs entirely at or below it are dropped (delivered and journaled),
+        everything after it is returned again — re-collection after a
+        coordinator restart replays exactly the unacknowledged suffix.
+        Returns ``(start_cursor, runs, produced)``.
+        """
+        entry = self.relay_exports[alias]
+        retained = entry["retained"]
+        while retained and retained[0][0] + len(retained[0][1]) <= ack:
+            retained.pop(0)
+        for run in self.engine.take_relay_runs(entry["channel"].channel_id):
+            retained.append((entry["next_start"], run))
+            entry["next_start"] += len(run)
+        start = retained[0][0] if retained else entry["next_start"]
+        return start, [run for __, run in retained], entry["next_start"]
+
+    def _refresh_relay_exports(self) -> None:
+        """Re-home taps whose sink channel moved under a sharing merge.
+
+        ``eliminate_duplicate`` can transfer a query's sink registration to
+        a representative m-op's output stream mid-churn; the tap follows,
+        carrying its cursor and any buffered runs, so relay numbering never
+        restarts."""
+        if not self.relay_exports:
+            return
+        from repro.shard.relay import sink_channel_of
+
+        for entry in self.relay_exports.values():
+            sink = sink_channel_of(self.plan, entry["query_id"])
+            if sink.channel_id == entry["channel"].channel_id:
+                continue
+            old = self.engine.relay_tap(entry["channel"].channel_id)
+            self.engine.remove_relay_tap(entry["channel"].channel_id)
+            tap = self.engine.install_relay_tap(sink)
+            if old is not None:
+                tap.produced = old.produced
+                tap.runs = old.runs + tap.runs
+            entry["channel"] = sink
 
     # -- component transfer (cross-shard rebalance) ----------------------------------
 
@@ -440,6 +559,7 @@ class QueryRuntime:
             raise
         self.migration_log.append(migration)
         self.stats.migrations += 1
+        self._refresh_relay_exports()
         return migration
 
     def _migrate(self) -> MigrationStats:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from collections import deque
 from typing import Any, Optional
 
 from repro.errors import ServeError
@@ -99,6 +100,15 @@ class IngestServer:
         self.connections_served = 0
         self.disconnects_mid_run = 0
         self.buffered_high_water = 0
+        #: Submissions that found another connection already waiting for
+        #: the session pump (i.e. the turnstile actually arbitrated).
+        self.contended_submits = 0
+        # FIFO of connections waiting to hand a run to the session.  Only
+        # the head may try: under saturation this degrades to round-robin
+        # across connections, so credit replenishment (which follows the
+        # submit) is round-robin too — a fast pusher cannot re-grab every
+        # freed pump slot ahead of a slower client.
+        self._submit_turns: deque[_Connection] = deque()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -350,9 +360,9 @@ class IngestServer:
                 return
             run, conn.buffers[stream] = buffer, []
             # Session saturated → back off without granting credits; the
-            # client stays blocked and memory stays bounded.
-            while not self.session.try_submit_run(stream, run):
-                await asyncio.sleep(self.flush_interval)
+            # client stays blocked and memory stays bounded.  Admission is
+            # fair: see _submit_run.
+            await self._submit_run(conn, stream, run)
             conn.accepted += len(run)
             conn.owed += len(run)
             self.accepted_events += len(run)
@@ -367,6 +377,34 @@ class IngestServer:
                 conn.credits -= owed  # connection is going away anyway
                 raise
 
+    async def _submit_run(
+        self, conn: _Connection, stream: str, run: list
+    ) -> None:
+        """Hand one run to the session pump, fairly across connections.
+
+        Every submission joins a server-wide FIFO and only the head of
+        the queue may try ``try_submit_run``; under sustained saturation
+        connections therefore alternate — round-robin — and each client's
+        credits come back (the flush returns them right after this call)
+        at the shared pump's pace, not at the aggressor's push rate.
+        Without the turnstile, whichever reader coroutine polls first
+        re-grabs every freed slot, and a slow client's ship latency grows
+        unboundedly behind a fast one.
+        """
+        turns = self._submit_turns
+        if turns:
+            self.contended_submits += 1
+        turns.append(conn)
+        try:
+            while True:
+                if turns[0] is conn and self.session.try_submit_run(
+                    stream, run
+                ):
+                    return
+                await asyncio.sleep(self.flush_interval)
+        finally:
+            turns.remove(conn)
+
     # -- introspection ----------------------------------------------------------
 
     def stats(self) -> dict:
@@ -375,4 +413,5 @@ class IngestServer:
             "connections_served": self.connections_served,
             "disconnects_mid_run": self.disconnects_mid_run,
             "buffered_high_water": self.buffered_high_water,
+            "contended_submits": self.contended_submits,
         }

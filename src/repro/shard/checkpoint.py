@@ -80,6 +80,11 @@ class ShardCheckpoint:
     #: pickled when absent); restored so post-recovery aggregate counters
     #: match a never-crashed serve.
     stats: bytes = pickle.dumps(None)
+    #: Relay cursor per exported alias owned by this shard: tuples the
+    #: producer's tap had dispatched at the cut.  Relays are drained before
+    #: every cut, so this always equals the coordinator's journaled
+    #: collected count — restore re-installs each tap at this cursor.
+    relays: dict = field(default_factory=dict)
 
     @property
     def query_ids(self) -> list:
@@ -481,6 +486,13 @@ def capture_manifest(
             query_id: history[base_offsets.get(query_id, 0):]
             for query_id, history in captured_extra.items()
         }
+    relays = {}
+    for alias, entry in runtime.relay_exports.items():
+        if entry.get("query_id") is None:
+            continue  # adopt-only alias: another shard owns the producer
+        tap = runtime.engine.relay_tap(entry["channel"].channel_id)
+        if tap is not None:
+            relays[alias] = tap.produced
     return encode_manifest(
         version,
         runtime.cursor,
@@ -488,6 +500,7 @@ def capture_manifest(
         captured_extra,
         runtime.stats,
         base=base_offsets,
+        relays=relays,
     )
 
 

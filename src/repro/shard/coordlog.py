@@ -111,6 +111,12 @@ class CoordinatorState:
     #: aggregate output counters survive the worker that produced them —
     #: and survive a coordinator restart.
     retired_stats: object = None
+    #: alias → ``{"query_id", "edge", "collected"}`` — live cross-shard
+    #: relay exports.  ``collected`` is the exactly-once watermark: relay
+    #: tuples are journaled (as "rbatch") *before* they are shipped to
+    #: consumers, and producers retain collected runs until the next
+    #: collect acknowledges this count.
+    relays: dict = field(default_factory=dict)
 
     def apply(self, kind: str, fields: tuple) -> None:
         """Fold one journal record into the state."""
@@ -148,9 +154,17 @@ class CoordinatorState:
             (shard,) = fields
             self.wal[shard].append(("reoptimize", None))
         elif kind == "rebalance":
-            query_id, from_shard, to_shard, moved, blob = fields
+            query_id, from_shard, to_shard, moved, blob = fields[:5]
             self.wal[from_shard].append(("export", query_id))
             self.wal[to_shard].append(("import", blob))
+            # Optional sixth field (alias → collected cursor): relay
+            # exports riding the moved component — folded atomically with
+            # the ownership change so a resume never sees a tap on the
+            # wrong side of the move.
+            relay_moves = fields[5] if len(fields) > 5 else {}
+            for alias, cursor in relay_moves.items():
+                self.wal[from_shard].append(("relay-untap", alias))
+                self.wal[to_shard].append(("relay-tap", alias, cursor))
             for moved_id in moved:
                 self.query_shard[moved_id] = to_shard
         elif kind == "ckpt":
@@ -189,6 +203,25 @@ class CoordinatorState:
                     self.retired_stats = stats
                 else:
                     self.retired_stats.absorb(stats)
+        elif kind == "relay":
+            alias, query_id, owner, stream, channel, edge = fields
+            self.sources[alias] = (stream, channel, stream.sharable_label)
+            self.relays[alias] = {
+                "query_id": query_id,
+                "edge": edge,
+                "collected": 0,
+            }
+            self.wal[owner].append(("relay-tap", alias, 0))
+        elif kind == "rbatch":
+            # Relayed (derived) traffic: rides consumer WALs and shipped
+            # counts like "batch", but touches neither input_positions nor
+            # input_events — relay tuples are not source input.
+            alias, chunk, shards = fields
+            for shard in shards:
+                self.wal[shard].append(("data", alias, chunk))
+                counts = self.shipped[shard]
+                counts[alias] = counts.get(alias, 0) + len(chunk)
+            self.relays[alias]["collected"] += len(chunk)
         elif kind == "options":
             (options,) = fields
             self.options.update(options)

@@ -52,6 +52,15 @@ from repro.engine.metrics import RunStats
 from repro.errors import PlanError
 from repro.core.plan import QueryPlan
 from repro.shard.planner import ShardPlan, ShardPlanner
+from repro.shard.relay import (
+    BufferedRunSource,
+    RelayInbox,
+    RelayOutbox,
+    StreamingRelaySource,
+    build_fragment_schedule,
+    decode_local_frames,
+    deduct_relay_inputs,
+)
 from repro.shard.ring import RingBuffer
 from repro.shard.stats import ShardedRunStats
 from repro.shard.wire import (
@@ -59,6 +68,7 @@ from repro.shard.wire import (
     SCHEMA,
     STOP,
     STOP_FRAME,
+    RelayCodec,
     WireDecoder,
     WireEncoder,
     pack_run_record,
@@ -298,6 +308,247 @@ def _run_routed(
         results.send(("error", traceback.format_exc()))
 
 
+def _execute_fragments(
+    schedule,
+    hosted,
+    engine_of_shard,
+    columnar,
+    slot_of_shard,
+    slot_index,
+    relay_queues,
+    buffered_locals,
+    per_shard_stats,
+) -> None:
+    """Run the hosted fragments of a split plan in global topological order.
+
+    The shared core of every relay execution path (inline and both
+    process-mode worker bodies).  ``hosted`` is the set of shard indexes
+    this caller owns; fragments on other shards are skipped — but their
+    *rank* still matters: executing hosted fragments in ascending global
+    component index guarantees a fragment only ever waits on relay frames
+    from a strictly lower-rank fragment, which some worker is already
+    draining (deadlock-freedom by rank induction).
+
+    Relay edges route three ways:
+
+    - producer and consumer hosted by the same caller — frames buffer in a
+      plain list and replay through a :class:`BufferedRunSource`;
+    - producer elsewhere — a :class:`StreamingRelaySource` pulls frames
+      live off this caller's relay queue (``relay_queues[slot_index]``);
+    - consumer elsewhere — the engine's relay tap ships frames straight to
+      the consumer slot's queue mid-dispatch.
+
+    ``buffered_locals`` is ``None`` for local feeds (each fragment drains
+    its own driver sources, merge-ordered by ``source_order``) or a
+    ``component -> [(channel, batch), ...]`` map for router feeds whose
+    runs already crossed the wire (merged order, ``entry_order``).
+
+    Relayed tuples are deducted from the consuming fragment's stats
+    (:func:`deduct_relay_inputs`), so ``per_shard_stats`` aggregates to
+    exactly the single-engine accounting.
+    """
+    stream_codecs: dict[int, RelayCodec] = {}
+    for descriptor in schedule:
+        if descriptor["shard"] not in hosted:
+            continue
+        for edge in descriptor["in_edges"]:
+            if slot_of_shard[edge.from_shard] != slot_index:
+                stream_codecs[edge.edge_id] = RelayCodec(
+                    edge.edge_id, edge.channel, columnar=columnar
+                )
+    inbox = (
+        RelayInbox(relay_queues[slot_index], stream_codecs)
+        if stream_codecs
+        else None
+    )
+    local_frames: dict[int, list] = {}
+    for descriptor in schedule:
+        if descriptor["shard"] not in hosted:
+            continue
+        shard = descriptor["shard"]
+        engine = engine_of_shard[shard]
+        edge_of = {edge.edge_id: edge for edge in descriptor["in_edges"]}
+        order = (
+            descriptor["source_order"]
+            if buffered_locals is None
+            else descriptor["entry_order"]
+        )
+        run_sources: list = []
+        relay_sources: list = []
+        for kind, ref in order:
+            if kind == "source":
+                run_sources.append(descriptor["local_sources"][ref])
+            elif kind == "local":
+                run_sources.append(
+                    BufferedRunSource(
+                        buffered_locals.get(descriptor["component"], [])
+                    )
+                )
+            else:
+                edge = edge_of[ref]
+                if edge.edge_id in stream_codecs:
+                    source = StreamingRelaySource(
+                        edge.channel, edge.edge_id, inbox
+                    )
+                else:
+                    codec = RelayCodec(
+                        edge.edge_id, edge.channel, columnar=columnar
+                    )
+                    source = BufferedRunSource(
+                        decode_local_frames(
+                            local_frames.pop(edge.edge_id), codec
+                        ),
+                        channel=edge.channel,
+                    )
+                run_sources.append(source)
+                relay_sources.append(source)
+        outboxes = []
+        for edge in descriptor["out_edges"]:
+            target_slot = slot_of_shard[edge.to_shard]
+            sink = (
+                local_frames.setdefault(edge.edge_id, [])
+                if target_slot == slot_index
+                else relay_queues[target_slot]
+            )
+            outbox = RelayOutbox(edge.edge_id, edge.channel, sink, columnar)
+            engine.install_relay_tap(edge.channel, on_run=outbox.ship)
+            outboxes.append((edge, outbox))
+        stats = engine.run(run_sources) if run_sources else RunStats()
+        for source in relay_sources:
+            deduct_relay_inputs(stats, source.delivered)
+        per_shard_stats[shard].absorb(stats)
+        for edge, outbox in outboxes:
+            outbox.finish()
+            engine.remove_relay_tap(edge.channel.channel_id)
+
+
+def _run_local_fragments(
+    shards,
+    engine_of_shard,
+    schedule,
+    slot_of_shard,
+    slot_index,
+    relay_queues,
+    columnar,
+    leftover_lists,
+    results,
+    ready=None,
+) -> None:
+    """Worker body, local feed over a split plan (relay edges present)."""
+    try:
+        _warm_numeric_kernels()
+        per_shard_stats = {shard: RunStats() for shard in shards}
+        _await_ready(ready)
+        _execute_fragments(
+            schedule, set(shards), engine_of_shard, columnar,
+            slot_of_shard, slot_index, relay_queues, None, per_shard_stats,
+        )
+        for shard, extra in zip(shards, leftover_lists):
+            if extra:
+                per_shard_stats[shard].absorb(
+                    engine_of_shard[shard].run(extra)
+                )
+        payload = [
+            (
+                shard,
+                per_shard_stats[shard],
+                engine_of_shard[shard].captured,
+                engine_of_shard[shard].mop_stats(),
+            )
+            for shard in shards
+        ]
+        results.send(("ok", payload))
+    except BaseException:  # noqa: BLE001 - must cross the process boundary
+        results.send(("error", traceback.format_exc()))
+
+
+def _run_routed_fragments(
+    shards,
+    engine_of_shard,
+    schedule,
+    slot_of_shard,
+    slot_index,
+    relay_queues,
+    columnar,
+    frames,
+    results,
+    ready=None,
+    ring=None,
+) -> None:
+    """Worker body, router feed over a split plan (relay edges present).
+
+    Wire frames for a hosted fragment's entry channels buffer per fragment
+    until the stop frame (the merged order is preserved verbatim; relay
+    ordering needs the whole upstream feed anyway).  Frames for hosted
+    channels outside every fragment — pass-through queries, unconsumed
+    channels with a sink — process immediately, exactly like the no-relay
+    worker.  After the stop frame the buffered fragments execute through
+    :func:`_execute_fragments`; the coordinator broadcasts stop before any
+    worker starts its fragments, so cross-worker relay waits are safe.
+    """
+    try:
+        hosted = set(shards)
+        channel_owner: dict[int, int] = {}
+        channels = []
+        for shard in shards:
+            for channel in engine_of_shard[shard].plan.channels():
+                channel_owner[channel.channel_id] = shard
+                channels.append(channel)
+        fragment_of_channel: dict[int, int] = {}
+        for descriptor in schedule:
+            if descriptor["shard"] in hosted:
+                for channel_id in descriptor["entry_channels"]:
+                    fragment_of_channel[channel_id] = descriptor["component"]
+        decoder = WireDecoder(channels)
+        buffered: dict[int, list] = {}
+        per_shard_stats = {shard: RunStats() for shard in shards}
+        _warm_numeric_kernels()
+        _await_ready(ready)
+        while True:
+            frame = frames.recv()
+            kind = frame[0]
+            if kind == STOP:
+                break
+            if kind == RING:
+                channel, batch = decoder.decode_ring(ring.read(frame[1]))
+            else:
+                decoded = decoder.decode(frame)
+                if decoded is None:
+                    continue
+                channel, batch = decoded
+            fragment = fragment_of_channel.get(channel.channel_id)
+            if fragment is not None:
+                buffered.setdefault(fragment, []).append((channel, batch))
+                continue
+            shard = channel_owner[channel.channel_id]
+            engine = engine_of_shard[shard]
+            if type(batch) is ColumnBatch:
+                per_shard_stats[shard].absorb(
+                    engine.process_columns(channel, batch)
+                )
+            else:
+                per_shard_stats[shard].absorb(
+                    engine.process_batch(channel, batch)
+                )
+        _execute_fragments(
+            schedule, hosted, engine_of_shard, columnar,
+            slot_of_shard, slot_index, relay_queues, buffered,
+            per_shard_stats,
+        )
+        payload = [
+            (
+                shard,
+                per_shard_stats[shard],
+                engine_of_shard[shard].captured,
+                engine_of_shard[shard].mop_stats(),
+            )
+            for shard in shards
+        ]
+        results.send(("ok", payload))
+    except BaseException:  # noqa: BLE001 - must cross the process boundary
+        results.send(("error", traceback.format_exc()))
+
+
 class ShardedEngine:
     """Executes one plan as ``n_shards`` independent batched engines."""
 
@@ -313,6 +564,8 @@ class ShardedEngine:
         planner: Optional[ShardPlanner] = None,
         observe: bool = False,
         data_plane: str = "columnar",
+        split: bool = True,
+        worker_cap: Optional[int] = None,
     ):
         if feed not in ("auto", "local", "router"):
             raise PlanError(f"unknown feed strategy {feed!r}")
@@ -328,8 +581,10 @@ class ShardedEngine:
         #: frames inline), ``"pickle"`` keeps the legacy per-tuple wire.
         #: Unpackable runs fall back per run; outputs are identical.
         self.data_plane = data_plane
+        #: ``split=False`` forces whole-component placement (the pre-relay
+        #: behavior); the bench uses it as the unsplit baseline.
         self.shard_plan: ShardPlan = (planner or ShardPlanner()).partition(
-            plan, n_shards
+            plan, n_shards, split=split
         )
         self.n_shards = n_shards
         self.parallel = parallel
@@ -337,6 +592,10 @@ class ShardedEngine:
         self.capture_outputs = capture_outputs
         self.max_batch = max_batch
         self.observe = bool(observe)
+        #: Test hook: cap (or raise, on a small machine) the worker count
+        #: independently of ``os.cpu_count()`` so multi-worker relay
+        #: exchange is exercisable on a 1-CPU host.
+        self.worker_cap = worker_cap
         self.engines = [
             StreamEngine(
                 subplan,
@@ -434,6 +693,8 @@ class ShardedEngine:
     # -- inline ----------------------------------------------------------------------
 
     def _run_inline(self, sources, feed):
+        if self.shard_plan.relays:
+            return self._run_inline_fragments(sources, feed)
         per_shard: list[RunStats]
         if feed == "local":
             split = self.router.split_sources(sources)
@@ -475,6 +736,82 @@ class ShardedEngine:
         self.shard_mop_stats = [engine.mop_stats() for engine in self.engines]
         return per_shard, captured
 
+    def _run_inline_fragments(self, sources, feed):
+        """Inline execution when the plan has relay edges (split components).
+
+        All fragments run in this process, in topological order, through
+        the same :func:`_execute_fragments` core as process-mode workers —
+        every relay edge still round-trips its runs through the
+        :class:`~repro.shard.wire.RelayCodec`, so the inline path exercises
+        the relay wire format byte-for-byte.  Router feeds additionally
+        round-trip each fragment's own sources through the source wire
+        first, exactly like the no-relay router path.
+        """
+        schedule, leftover = build_fragment_schedule(self.shard_plan, sources)
+        columnar = self.data_plane == "columnar"
+        engine_of_shard = dict(enumerate(self.engines))
+        slot_of_shard = {shard: 0 for shard in engine_of_shard}
+        per_shard_stats = {shard: RunStats() for shard in engine_of_shard}
+        buffered_locals = None
+        if feed == "router":
+            decoders = [
+                WireDecoder(engine.plan.channels()) for engine in self.engines
+            ]
+            encoder = WireEncoder()
+            buffered_locals = {}
+            for descriptor in schedule:
+                if not descriptor["local_sources"]:
+                    continue
+                runs: list = []
+                for shard, frame in self.router.feed_frames(
+                    descriptor["local_sources"], self.max_batch,
+                    columnar=columnar, encoder=encoder,
+                ):
+                    decoded = decoders[shard].decode(frame)
+                    if decoded is not None:
+                        runs.append(decoded)
+                buffered_locals[descriptor["component"]] = runs
+        _execute_fragments(
+            schedule, set(engine_of_shard), engine_of_shard, columnar,
+            slot_of_shard, 0, [None], buffered_locals, per_shard_stats,
+        )
+        if feed == "local":
+            for shard, group in enumerate(self.router.split_sources(leftover)):
+                if group:
+                    per_shard_stats[shard].absorb(
+                        self.engines[shard].run(group)
+                    )
+        else:
+            routable, unrouted = self.router.split_routable(leftover)
+            for group in self._component_groups(routable):
+                for shard, frame in self.router.feed_frames(
+                    group, self.max_batch, columnar=columnar, encoder=encoder,
+                ):
+                    decoded = decoders[shard].decode(frame)
+                    if decoded is None:
+                        continue
+                    channel, batch = decoded
+                    if type(batch) is ColumnBatch:
+                        per_shard_stats[shard].absorb(
+                            self.engines[shard].process_columns(channel, batch)
+                        )
+                    else:
+                        per_shard_stats[shard].absorb(
+                            self.engines[shard].process_batch(channel, batch)
+                        )
+            per_shard_list = [
+                per_shard_stats[shard] for shard in range(len(self.engines))
+            ]
+            self._absorb_unrouted(per_shard_list, unrouted)
+        per_shard = [
+            per_shard_stats[shard] for shard in range(len(self.engines))
+        ]
+        captured = {}
+        for engine in self.engines:
+            captured.update(engine.captured)
+        self.shard_mop_stats = [engine.mop_stats() for engine in self.engines]
+        return per_shard, captured
+
     # -- process workers -------------------------------------------------------------
 
     def _worker_slots(self) -> list[list[int]]:
@@ -487,7 +824,7 @@ class ShardedEngine:
         identically) and an N-CPU host gets ``min(shards, N)`` workers,
         shards distributed round-robin.
         """
-        cpus = os.cpu_count() or 1
+        cpus = self.worker_cap or os.cpu_count() or 1
         slot_count = min(len(self.engines), max(1, cpus))
         slots: list[list[int]] = [[] for __ in range(slot_count)]
         for shard in range(len(self.engines)):
@@ -495,6 +832,8 @@ class ShardedEngine:
         return slots
 
     def _run_process(self, sources, feed):
+        if self.shard_plan.relays:
+            return self._run_process_fragments(sources, feed)
         context = multiprocessing.get_context("fork")
         slots = self._worker_slots()
         # One raw pipe per worker for the single result payload.  Unlike
@@ -585,6 +924,18 @@ class ShardedEngine:
                         )
             for sender in feed_senders:
                 _send_frame(sender, STOP_FRAME)
+        per_shard, captured, drained = self._collect_worker_results(
+            slots, workers, result_connections
+        )
+        self._absorb_unrouted(per_shard, unrouted)
+        return per_shard, captured, spawn, drained
+
+    def _collect_worker_results(self, slots, workers, result_connections):
+        """Drain every worker's single result message; join and validate.
+
+        Returns ``(per_shard, captured, drained_timestamp)``; raises
+        :class:`PlanError` if any worker died or reported an error.
+        """
         per_shard = [RunStats() for __ in self.engines]
         captured: dict = {}
         failures: list[str] = []
@@ -638,6 +989,115 @@ class ShardedEngine:
             raise PlanError(
                 "sharded run failed in worker(s):\n" + "\n".join(failures)
             )
+        return per_shard, captured, drained
+
+    def _run_process_fragments(self, sources, feed):
+        """Process execution when the plan has relay edges (split components).
+
+        Same worker topology as the no-relay path, plus one ``mp.Queue``
+        per worker slot for inbound relay frames: an upstream fragment's
+        tap ships frames to its consumer slot's queue mid-dispatch, and
+        the consumer's :class:`~repro.shard.relay.RelayInbox` demuxes them
+        per edge.  Workers drain their hosted fragments in ascending global
+        topological rank, so cross-worker waits always resolve (see
+        :func:`_execute_fragments`).
+        """
+        context = multiprocessing.get_context("fork")
+        slots = self._worker_slots()
+        slot_of_shard = {
+            shard: slot_index
+            for slot_index, slot in enumerate(slots)
+            for shard in slot
+        }
+        schedule, leftover = build_fragment_schedule(self.shard_plan, sources)
+        columnar = self.data_plane == "columnar"
+        # Allocated before the fork so every worker inherits every queue —
+        # any fragment can ship to any slot.
+        relay_queues = [context.Queue() for __ in slots]
+        result_connections: list = []
+        workers: list = []
+        unrouted: list[StreamSource] = []
+        ready = context.Barrier(len(slots) + 1)
+        spawn_started = time.perf_counter()
+        if feed == "local":
+            leftover_split = self.router.split_sources(leftover)
+            for slot_index, slot in enumerate(slots):
+                receiver, sender = context.Pipe(duplex=False)
+                result_connections.append(receiver)
+                worker = context.Process(
+                    target=_run_local_fragments,
+                    args=(
+                        slot,
+                        {shard: self.engines[shard] for shard in slot},
+                        schedule,
+                        slot_of_shard,
+                        slot_index,
+                        relay_queues,
+                        columnar,
+                        [leftover_split[shard] for shard in slot],
+                        sender,
+                        ready,
+                    ),
+                )
+                worker.start()
+                sender.close()
+                workers.append(worker)
+            _await_ready(ready)
+            spawn = time.perf_counter() - spawn_started
+        else:
+            feed_senders: list = []
+            rings: list = []
+            use_rings = columnar
+            routable, unrouted = self.router.split_routable(sources)
+            for slot_index, slot in enumerate(slots):
+                frame_receiver, frame_sender = context.Pipe(duplex=False)
+                feed_senders.append(frame_sender)
+                ring = RingBuffer() if use_rings else None
+                rings.append(ring)
+                receiver, sender = context.Pipe(duplex=False)
+                result_connections.append(receiver)
+                worker = context.Process(
+                    target=_run_routed_fragments,
+                    args=(
+                        slot,
+                        {shard: self.engines[shard] for shard in slot},
+                        schedule,
+                        slot_of_shard,
+                        slot_index,
+                        relay_queues,
+                        columnar,
+                        frame_receiver,
+                        sender,
+                        ready,
+                        ring,
+                    ),
+                )
+                worker.start()
+                sender.close()
+                frame_receiver.close()
+                workers.append(worker)
+            _await_ready(ready)
+            spawn = time.perf_counter() - spawn_started
+            if use_rings:
+                self._pump_columnar(
+                    routable, feed_senders, rings, slot_of_shard
+                )
+            else:
+                encoder = WireEncoder()
+                for group in self._component_groups(routable):
+                    for shard, frame in self.router.feed_frames(
+                        group, self.max_batch, encoder=encoder
+                    ):
+                        _send_frame(
+                            feed_senders[slot_of_shard[shard]], frame
+                        )
+            for sender in feed_senders:
+                _send_frame(sender, STOP_FRAME)
+        per_shard, captured, drained = self._collect_worker_results(
+            slots, workers, result_connections
+        )
+        for queue in relay_queues:
+            queue.close()
         self._absorb_unrouted(per_shard, unrouted)
         return per_shard, captured, spawn, drained
 

@@ -14,14 +14,33 @@ This mirrors how Roy et al. and Kathuria & Sudarshan treat sharing-group
 structure as the unit of work in multi-query optimization — here the sharing
 group is also the unit of *placement*.
 
+Components are no longer atomic, though.  A bridge-shaped component — two
+clusters joined by one derived channel — can be **cut** at that channel: the
+upstream fragment keeps the producer, the downstream fragment re-reads the
+bridge stream as an entry, and the runtime relays the bridge channel's
+tuples across the shard boundary (:class:`RelayEdge`).  Cuts are scored the
+Roy-et-al way: the benefit of separating the two halves (the smaller half's
+saved cost, i.e. what co-location forces onto one shard) against the cost of
+the relay hop (:data:`~repro.core.cost.RELAY_HOP_COST` × the bridge's
+estimated rate).  Only *singleton* channels qualify (a shared channel's
+membership masks belong to one engine's wiring), and a cut whose downstream
+fragment also reads plan sources is allowed only when every upstream m-op is
+timestamp-preserving (selections/projections), because relayed tuples are
+merged into the receiving fragment's feed by timestamp and must carry the
+driving tuple's timestamp for the merge order to reproduce the single-engine
+dispatch order.
+
 :class:`ShardPlanner` computes the components, estimates each component's
 per-input-tuple cost with the repo's :class:`~repro.core.cost.CostModel`,
-and spreads components across ``n`` shards with an explicit balance
-heuristic (longest-processing-time greedy: heaviest component onto the
-currently lightest shard).  Components costlier than the per-shard target
-``total_cost / n`` cannot be split — splitting a sharing group would
-duplicate m-op work — so they are recorded in :attr:`ShardPlan.oversized`
-for observability and the balance does its best around them.
+splits oversized components along their best bridge cut, groups components
+by sharability signature (components whose entries are sharable-labelled
+alike would re-merge downstream, so they co-locate), and spreads the
+resulting placement units across ``n`` shards with an explicit balance
+heuristic (longest-processing-time greedy: heaviest unit onto the currently
+lightest shard).  Components costlier than the per-shard target
+``total_cost / n`` that no valid cut can split are recorded in
+:attr:`ShardPlan.oversized` for observability and the balance does its best
+around them.
 
 Sub-plans *share* the original plan's stream, channel and m-op objects
 (:meth:`~repro.core.plan.QueryPlan.adopt_source` /
@@ -37,26 +56,77 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.core.cost import CostModel
+from repro.core.cost import RELAY_HOP_COST, CostModel
 from repro.core.mop import MOp
 from repro.core.plan import QueryPlan
+from repro.core.sharable import sharability_signature
 from repro.errors import PlanError
+from repro.operators.project import Projection
+from repro.streams.channel import Channel
+from repro.streams.stream import StreamDef
+
+#: Relative tolerance for "component cost exceeds the per-shard target".
+#: Cost attribution sums floats in topological order, so two structurally
+#: identical plans can disagree by a few ULPs; a strict compare would flip
+#: the ``oversized`` flag (and the policy's alert counts) between them.
+OVERSIZED_REL_TOL = 1e-9
+
+
+def is_oversized(cost: float, target: float, rel_tol: float = OVERSIZED_REL_TOL) -> bool:
+    """Whether ``cost`` exceeds ``target`` beyond FP attribution noise."""
+    return cost > target * (1.0 + rel_tol)
 
 
 @dataclass
 class ShardComponent:
-    """One entry-channel connected component of a plan."""
+    """One entry-channel connected component (or fragment) of a plan."""
 
     index: int
     mops: list[MOp]
     query_ids: list
     entry_channel_ids: frozenset[int]
+    #: Derived streams that enter this fragment over a relay edge (empty for
+    #: unsplit components).  These are adopted as *sources* of the fragment's
+    #: sub-plan; the runtime feeds them from the producing fragment's relay.
+    entry_stream_ids: frozenset[int] = frozenset()
     cost: float = 0.0
 
     def __repr__(self):
+        relay = (
+            f", relay-entries={sorted(self.entry_stream_ids)}"
+            if self.entry_stream_ids
+            else ""
+        )
         return (
             f"ShardComponent(#{self.index}, {len(self.mops)} m-ops, "
-            f"queries={self.query_ids}, cost={self.cost:.2f})"
+            f"queries={self.query_ids}, cost={self.cost:.2f}{relay})"
+        )
+
+
+@dataclass
+class RelayEdge:
+    """One cross-shard bridge: a derived channel re-emitted as an entry.
+
+    Produced by :meth:`ShardPlanner.partition` only for cuts whose fragments
+    actually landed on *different* shards — co-located fragments reconnect
+    through the shard plan's own wiring and need no relay.
+    """
+
+    edge_id: int
+    stream: StreamDef
+    channel: Channel
+    from_component: int
+    to_component: int
+    from_shard: int
+    to_shard: int
+    #: The bridge stream's estimated per-input-tuple rate (cost-model units);
+    #: what the relay hop was charged at when the cut was scored.
+    rate: float = 1.0
+
+    def __repr__(self):
+        return (
+            f"RelayEdge(#{self.edge_id}, {self.stream.name!r}: "
+            f"shard {self.from_shard} -> {self.to_shard}, rate={self.rate:.2f})"
         )
 
 
@@ -79,15 +149,23 @@ class ShardPlan:
     shard_costs: list[float] = field(default_factory=list)
     #: the balance target: total estimated cost / n_shards.
     cost_target: float = 0.0
-    #: indexes of components whose cost exceeds the per-shard target — they
-    #: cannot be split (a sharing group is the atomic placement unit), so
+    #: indexes of components whose cost exceeds the per-shard target (beyond
+    #: :data:`OVERSIZED_REL_TOL`) and that no valid bridge cut could split —
     #: their shard will run hot no matter the assignment.
     oversized: list[int] = field(default_factory=list)
+    #: active cross-shard bridges, ordered by edge id.
+    relays: list[RelayEdge] = field(default_factory=list)
 
     @property
     def effective_shards(self) -> int:
         """Shards that actually received work (≤ n_shards)."""
         return sum(1 for subplan in self.subplans if subplan.mops)
+
+    def relays_from(self, shard: int) -> list[RelayEdge]:
+        return [edge for edge in self.relays if edge.from_shard == shard]
+
+    def relays_to(self, shard: int) -> list[RelayEdge]:
+        return [edge for edge in self.relays if edge.to_shard == shard]
 
     def describe(self) -> str:
         lines = [
@@ -101,7 +179,25 @@ class ShardPlan:
                 f"{self.assignment[component.index]}: cost "
                 f"{component.cost:.2f}, queries {component.query_ids}{marker}"
             )
+        for edge in self.relays:
+            lines.append(
+                f"  relay {edge.edge_id}: {edge.stream.name!r} component "
+                f"{edge.from_component} (shard {edge.from_shard}) -> component "
+                f"{edge.to_component} (shard {edge.to_shard})"
+            )
         return "\n".join(lines)
+
+
+@dataclass
+class _Cut:
+    """A candidate bridge cut inside one component (planner-internal)."""
+
+    stream: StreamDef
+    up_mops: list[MOp]
+    down_mops: list[MOp]
+    gain: float
+    relay_cost: float
+    rate: float
 
 
 class ShardPlanner:
@@ -140,32 +236,282 @@ class ShardPlanner:
         grouped: dict[int, list[int]] = {}
         for index in range(len(mops)):
             grouped.setdefault(find(index), []).append(index)
-        source_ids = {source.stream_id for source in plan.sources}
-        sinks = plan.sinks
         components: list[ShardComponent] = []
         for order, root in enumerate(sorted(grouped)):
             member_mops = [mops[i] for i in grouped[root]]
-            entry_channels: set[int] = set()
-            query_ids: list = []
-            seen_queries: set = set()
-            for mop in member_mops:
-                for stream in mop.input_streams:
-                    if stream.stream_id in source_ids:
-                        entry_channels.add(plan.channel_of(stream).channel_id)
-                for stream in mop.output_streams:
-                    for query_id in sinks.get(stream.stream_id, ()):
-                        if query_id not in seen_queries:
-                            seen_queries.add(query_id)
-                            query_ids.append(query_id)
-            components.append(
-                ShardComponent(
-                    index=order,
-                    mops=member_mops,
-                    query_ids=query_ids,
-                    entry_channel_ids=frozenset(entry_channels),
-                )
-            )
+            component = self._make_fragment(plan, member_mops, frozenset())
+            component.index = order
+            components.append(component)
         return components
+
+    def _make_fragment(
+        self,
+        plan: QueryPlan,
+        mops: list[MOp],
+        relay_entries: frozenset[int],
+    ) -> ShardComponent:
+        """Build a component record for ``mops`` (index assigned later)."""
+        source_ids = {source.stream_id for source in plan.sources}
+        entry_channels: set[int] = set()
+        query_ids: list = []
+        seen_queries: set = set()
+        sinks = plan.sinks
+        for mop in mops:
+            for stream in mop.input_streams:
+                if stream.stream_id in source_ids:
+                    entry_channels.add(plan.channel_of(stream).channel_id)
+            for stream in mop.output_streams:
+                for query_id in sinks.get(stream.stream_id, ()):
+                    if query_id not in seen_queries:
+                        seen_queries.add(query_id)
+                        query_ids.append(query_id)
+        return ShardComponent(
+            index=-1,
+            mops=mops,
+            query_ids=query_ids,
+            entry_channel_ids=frozenset(entry_channels),
+            entry_stream_ids=relay_entries,
+        )
+
+    # -- bridge cuts -----------------------------------------------------------------
+
+    @staticmethod
+    def _ts_preserving(mop: MOp) -> bool:
+        """Whether every tuple the m-op emits carries its input's timestamp.
+
+        Selections filter but never rewrite ``ts``; projections map 1:1 and
+        preserve ``ts`` by definition.  Anything else (windows, sequences,
+        aggregations) may emit at a different timestamp, which would break
+        the timestamp-merge that orders relayed tuples against the receiving
+        fragment's own feed.
+        """
+        return all(
+            getattr(instance.operator, "is_selection", False)
+            or isinstance(instance.operator, Projection)
+            for instance in mop.instances
+        )
+
+    def best_cut(
+        self,
+        plan: QueryPlan,
+        component: ShardComponent,
+        costs: dict[int, float],
+        rates: dict[int, float],
+    ) -> Optional[_Cut]:
+        """The highest-gain valid bridge cut of ``component``, if any.
+
+        ``costs``/``rates`` come from
+        :meth:`~repro.core.cost.CostModel.attributed_costs`.  Gain is the
+        Roy-et-al score: ``min(cost_up, cost_down) - RELAY_HOP_COST * rate``
+        — what the lighter half is worth moving off-shard, less the hop.
+        Ties break on the bridge stream id, so the same plan always cuts the
+        same way.
+        """
+        if len(component.mops) < 2:
+            return None
+        source_ids = {source.stream_id for source in plan.sources}
+        channel_members: dict[int, int] = {}
+        for stream in plan.streams():
+            channel_id = plan.channel_of(stream).channel_id
+            channel_members[channel_id] = channel_members.get(channel_id, 0) + 1
+        member_ids = {id(mop) for mop in component.mops}
+        producer_of: dict[int, MOp] = {}
+        for mop in component.mops:
+            for stream in mop.output_streams:
+                producer_of[stream.stream_id] = mop
+
+        def local_consumers(stream: StreamDef) -> list[MOp]:
+            return [
+                mop
+                for mop, __, __ in plan.consumers_of(stream)
+                if id(mop) in member_ids
+            ]
+
+        sinks = plan.sinks
+        best: Optional[tuple[tuple, _Cut]] = None
+        for producer in component.mops:
+            for bridge in producer.output_streams:
+                consumers = local_consumers(bridge)
+                if not consumers:
+                    continue
+                channel = plan.channel_of(bridge)
+                if channel_members.get(channel.channel_id, 0) != 1:
+                    continue  # shared channel: masks belong to one engine
+                down: dict[int, MOp] = {}
+                frontier = list(consumers)
+                while frontier:
+                    mop = frontier.pop()
+                    if id(mop) in down:
+                        continue
+                    down[id(mop)] = mop
+                    for out in mop.output_streams:
+                        frontier.extend(local_consumers(out))
+                if id(producer) in down:
+                    continue  # producer reachable from the bridge: no cut
+                up_mops = [m for m in component.mops if id(m) not in down]
+                down_mops = [m for m in component.mops if id(m) in down]
+                if not up_mops or not down_mops:
+                    continue
+                mixed = False
+                valid = True
+                for mop in down_mops:
+                    for stream in mop.input_streams:
+                        stream_id = stream.stream_id
+                        if stream_id == bridge.stream_id:
+                            continue
+                        owner = producer_of.get(stream_id)
+                        if owner is not None and id(owner) in down:
+                            continue
+                        if owner is not None:
+                            valid = False  # second upstream edge: not a bridge
+                            break
+                        if stream_id in component.entry_stream_ids:
+                            valid = False  # nested relay entry stays upstream
+                            break
+                        if stream_id in source_ids:
+                            if any(
+                                id(m) not in down
+                                for m in local_consumers(stream)
+                            ):
+                                # The raw source also feeds up-side m-ops;
+                                # its channel can only be homed to one
+                                # shard, so cutting here would starve one
+                                # side of the feed.
+                                valid = False
+                                break
+                            mixed = True
+                            continue
+                        valid = False
+                        break
+                    if not valid:
+                        break
+                if not valid:
+                    continue
+                if mixed and not all(self._ts_preserving(m) for m in up_mops):
+                    continue
+                query_side: dict = {}
+                separable = True
+                for mop in component.mops:
+                    side = 1 if id(mop) in down else 0
+                    for out in mop.output_streams:
+                        for query_id in sinks.get(out.stream_id, ()):
+                            previous = query_side.setdefault(query_id, side)
+                            if previous != side:
+                                separable = False
+                                break
+                        if not separable:
+                            break
+                    if not separable:
+                        break
+                if not separable:
+                    continue
+                cost_up = sum(costs[id(m)] for m in up_mops)
+                cost_down = sum(costs[id(m)] for m in down_mops)
+                rate = rates.get(bridge.stream_id, 1.0)
+                relay_cost = RELAY_HOP_COST * rate
+                gain = min(cost_up, cost_down) - relay_cost
+                if gain <= 0.0:
+                    continue
+                key = (-gain, bridge.stream_id)
+                if best is None or key < best[0]:
+                    best = (
+                        key,
+                        _Cut(
+                            stream=bridge,
+                            up_mops=up_mops,
+                            down_mops=down_mops,
+                            gain=gain,
+                            relay_cost=relay_cost,
+                            rate=rate,
+                        ),
+                    )
+        return best[1] if best is not None else None
+
+    def _split_components(
+        self,
+        plan: QueryPlan,
+        components: list[ShardComponent],
+        cost_target: float,
+        costs: dict[int, float],
+        rates: dict[int, float],
+    ) -> tuple[list[ShardComponent], list[dict]]:
+        """Cut oversized components along their best bridges, recursively.
+
+        Returns the fragment list renumbered in topological (relay-producer
+        before relay-consumer) order, plus raw edges referencing fragment
+        objects: ``{"stream", "channel", "src", "dst", "rate"}``.
+        """
+        fragments = list(components)
+        edges: list[dict] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for position, fragment in enumerate(fragments):
+                if not is_oversized(fragment.cost, cost_target):
+                    continue
+                cut = self.best_cut(plan, fragment, costs, rates)
+                if cut is None:
+                    continue
+                up = self._make_fragment(
+                    plan, cut.up_mops, fragment.entry_stream_ids
+                )
+                down = self._make_fragment(
+                    plan, cut.down_mops, frozenset({cut.stream.stream_id})
+                )
+                up.cost = (
+                    sum(costs[id(m)] for m in cut.up_mops) + cut.relay_cost / 2
+                )
+                down.cost = (
+                    sum(costs[id(m)] for m in cut.down_mops) + cut.relay_cost / 2
+                )
+                up_ids = {id(m) for m in cut.up_mops}
+                for edge in edges:
+                    if edge["src"] is fragment:
+                        producer = next(
+                            m
+                            for m in fragment.mops
+                            if any(
+                                s.stream_id == edge["stream"].stream_id
+                                for s in m.output_streams
+                            )
+                        )
+                        edge["src"] = up if id(producer) in up_ids else down
+                    if edge["dst"] is fragment:
+                        edge["dst"] = up  # relay entries validated upstream
+                edges.append(
+                    {
+                        "stream": cut.stream,
+                        "channel": plan.channel_of(cut.stream),
+                        "src": up,
+                        "dst": down,
+                        "rate": cut.rate,
+                    }
+                )
+                fragments[position : position + 1] = [up, down]
+                progressed = True
+                break
+        # Renumber in topological order: every relay's producer fragment gets
+        # a smaller index than its consumer, so merge order (and the engines'
+        # fragment execution order) is upstream-before-downstream.
+        indegree = {id(fragment): 0 for fragment in fragments}
+        for edge in edges:
+            indegree[id(edge["dst"])] += 1
+        ordered: list[ShardComponent] = []
+        remaining = list(fragments)
+        while remaining:
+            for position, fragment in enumerate(remaining):
+                if indegree[id(fragment)] == 0:
+                    ordered.append(fragment)
+                    remaining.pop(position)
+                    for edge in edges:
+                        if edge["src"] is fragment:
+                            indegree[id(edge["dst"])] -= 1
+                    break
+            else:  # pragma: no cover - cuts cannot create cycles
+                raise PlanError("relay edges form a cycle")
+        for index, fragment in enumerate(ordered):
+            fragment.index = index
+        return ordered, edges
 
     # -- balance ---------------------------------------------------------------------
 
@@ -190,30 +536,115 @@ class ShardPlanner:
             loads[shard] += component.cost
         return assignment
 
+    def component_signature(
+        self, plan: QueryPlan, component: ShardComponent
+    ) -> tuple:
+        """A sharability fingerprint of what the component consumes/computes.
+
+        Two components with equal signatures read sharable-alike entries
+        through the same m-op shapes — their downstream results are the ones
+        a later re-merge (or a cross-component consumer added by churn)
+        would want co-located, so the balancer places them as one unit.
+        """
+        source_ids = {source.stream_id for source in plan.sources}
+        entry_signatures: list[str] = []
+        seen: set[int] = set()
+        for mop in component.mops:
+            for stream in mop.input_streams:
+                stream_id = stream.stream_id
+                if stream_id in seen:
+                    continue
+                if stream_id in source_ids or stream_id in component.entry_stream_ids:
+                    seen.add(stream_id)
+                    entry_signatures.append(
+                        repr(sharability_signature(plan, stream))
+                    )
+        kinds = tuple(sorted({mop.kind for mop in component.mops}))
+        return (tuple(sorted(entry_signatures)), kinds)
+
+    def balance_grouped(
+        self,
+        plan: QueryPlan,
+        components: Sequence[ShardComponent],
+        n_shards: int,
+        cost_target: float,
+    ) -> list[int]:
+        """LPT over sharability groups: same-signature components co-locate.
+
+        A group whose total cost would itself be oversized falls back to
+        individual LPT placement — co-location is a locality preference, not
+        worth unbalancing a shard for.
+        """
+        if n_shards < 1:
+            raise PlanError(f"n_shards must be at least 1, got {n_shards}")
+        groups: dict[tuple, list[ShardComponent]] = {}
+        group_order: list[tuple] = []
+        for component in components:
+            signature = self.component_signature(plan, component)
+            if signature not in groups:
+                groups[signature] = []
+                group_order.append(signature)
+            groups[signature].append(component)
+        units: list[tuple[float, int, list[ShardComponent]]] = []
+        for signature in group_order:
+            members = groups[signature]
+            total = sum(member.cost for member in members)
+            if len(members) > 1 and not is_oversized(total, cost_target):
+                units.append((total, min(m.index for m in members), members))
+            else:
+                for member in members:
+                    units.append((member.cost, member.index, [member]))
+        loads = [0.0] * n_shards
+        assignment = [0] * len(components)
+        for cost, __, members in sorted(units, key=lambda u: (-u[0], u[1])):
+            shard = min(range(n_shards), key=lambda s: (loads[s], s))
+            for member in members:
+                assignment[member.index] = shard
+            loads[shard] += cost
+        return assignment
+
     # -- partition -------------------------------------------------------------------
 
-    def partition(self, plan: QueryPlan, n_shards: int) -> ShardPlan:
-        """Compute components, cost them, balance them, build sub-plans."""
+    def partition(
+        self, plan: QueryPlan, n_shards: int, split: bool = True
+    ) -> ShardPlan:
+        """Compute components, cost them, split/balance them, build sub-plans.
+
+        ``split=False`` restores the pre-relay behaviour: components are
+        atomic placement units and oversized ones simply run hot (the bench
+        uses this to measure the unsplit baseline).
+        """
         plan.validate()
+        passthrough: list[tuple[StreamDef, list]] = []
         for stream, query_ids in plan.sink_streams():
             if plan.producer_instance_of(stream) is None:
-                raise PlanError(
-                    f"cannot shard: queries {query_ids} sink directly on "
-                    f"source stream {stream.name!r} (no owning component)"
-                )
+                # A query sinking directly on a source stream belongs to no
+                # component; place it on the shard owning that entry channel
+                # (or the lightest shard if nothing else consumes it).
+                passthrough.append((stream, list(query_ids)))
         components = self.components(plan)
-        subplans: list[QueryPlan] = []
+        costs, rates = self.cost_model.attributed_costs(plan)
         for component in components:
-            subplan = self._extract_subplan(plan, component)
-            component.cost = self.cost_model.plan_cost(subplan)
-            subplans.append(subplan)
-        assignment = self.balance(components, n_shards)
+            component.cost = sum(costs[id(mop)] for mop in component.mops)
+        total = sum(component.cost for component in components)
+        cost_target = total / n_shards if n_shards else 0.0
+        raw_edges: list[dict] = []
+        if split and n_shards > 1:
+            components, raw_edges = self._split_components(
+                plan, components, cost_target, costs, rates
+            )
+        subplans = [
+            self._extract_subplan(plan, component) for component in components
+        ]
+        total = sum(component.cost for component in components)
+        cost_target = total / n_shards if n_shards else 0.0
+        assignment = self.balance_grouped(
+            plan, components, n_shards, cost_target
+        )
         shard_plans = [QueryPlan() for __ in range(n_shards)]
         for component, subplan in zip(components, subplans):
             target = shard_plans[assignment[component.index]]
             self._merge_subplan(target, subplan)
-        total = sum(component.cost for component in components)
-        cost_target = total / n_shards if n_shards else 0.0
         shard_costs = [0.0] * n_shards
         channel_shard: dict[int, int] = {}
         query_shard: dict = {}
@@ -230,10 +661,47 @@ class ShardPlanner:
             for mop in component.mops:
                 for stream in mop.output_streams:
                     channel_shard[plan.channel_of(stream).channel_id] = shard
+        for stream, query_ids in passthrough:
+            channel = plan.channel_of(stream)
+            shard = channel_shard.get(channel.channel_id)
+            if shard is None:
+                shard = min(range(n_shards), key=lambda s: (shard_costs[s], s))
+                channel_shard[channel.channel_id] = shard
+            subplan = shard_plans[shard]
+            if all(
+                existing.stream_id != stream.stream_id
+                for existing in subplan.streams()
+            ):
+                subplan.adopt_source(stream, channel)
+            for query_id in query_ids:
+                subplan.mark_output(stream, query_id)
+                query_shard[query_id] = shard
+        relays: list[RelayEdge] = []
+        active = [
+            edge
+            for edge in raw_edges
+            if assignment[edge["src"].index] != assignment[edge["dst"].index]
+        ]
+        active.sort(
+            key=lambda e: (e["src"].index, e["dst"].index, e["stream"].stream_id)
+        )
+        for edge_id, edge in enumerate(active):
+            relays.append(
+                RelayEdge(
+                    edge_id=edge_id,
+                    stream=edge["stream"],
+                    channel=edge["channel"],
+                    from_component=edge["src"].index,
+                    to_component=edge["dst"].index,
+                    from_shard=assignment[edge["src"].index],
+                    to_shard=assignment[edge["dst"].index],
+                    rate=edge["rate"],
+                )
+            )
         oversized = [
             component.index
             for component in components
-            if component.cost > cost_target and len(components) > 1
+            if is_oversized(component.cost, cost_target) and len(components) > 1
         ]
         for shard_plan in shard_plans:
             shard_plan.validate()
@@ -248,6 +716,7 @@ class ShardPlanner:
             shard_costs=shard_costs,
             cost_target=cost_target,
             oversized=oversized,
+            relays=relays,
         )
 
     # -- internals -------------------------------------------------------------------
@@ -261,9 +730,18 @@ class ShardPlanner:
         return subplan
 
     def _merge_subplan(self, target: QueryPlan, subplan: QueryPlan) -> None:
-        """Merge a single-component view plan into a shard's plan."""
+        """Merge a single-component view plan into a shard's plan.
+
+        A fragment's relay-entry stream is a *source* of the fragment's view
+        plan but may already exist in ``target`` as a derived stream — when
+        the producing fragment landed on the same shard and merged first
+        (components are merged in topological index order).  In that case
+        the entry is skipped and the fragments reconnect through the shard
+        plan's own wiring; the relay edge is dropped by the planner.
+        """
+        known = {stream.stream_id for stream in target.streams()}
         for source in subplan.sources:
-            if source.stream_id not in {s.stream_id for s in target.sources}:
+            if source.stream_id not in known:
                 target.adopt_source(source, subplan.channel_of(source))
         derived = [
             stream
@@ -286,11 +764,12 @@ class ShardPlanner:
         self, subplan: QueryPlan, plan: QueryPlan, component: ShardComponent
     ) -> None:
         source_ids = {source.stream_id for source in plan.sources}
+        entry_ids = source_ids | set(component.entry_stream_ids)
         needed_sources: list = []
         seen: set[int] = set()
         for mop in component.mops:
             for stream in mop.input_streams:
-                if stream.stream_id in source_ids and stream.stream_id not in seen:
+                if stream.stream_id in entry_ids and stream.stream_id not in seen:
                     seen.add(stream.stream_id)
                     needed_sources.append(stream)
         for stream in needed_sources:

@@ -154,6 +154,7 @@ from repro.engine.metrics import RunStats
 from repro.obs.events import EventLog
 from repro.obs.trace import SpanRecorder
 from repro.errors import (
+    ChannelError,
     CheckpointError,
     CoordinatorCrashError,
     JournalError,
@@ -177,8 +178,10 @@ from repro.shard.checkpoint import (
 from repro.shard.coordlog import CoordinatorFaults, CoordinatorLog
 from repro.shard.engine import fork_available
 from repro.shard.ring import RingBuffer
+from repro.shard.relay import decode_local_frames, relay_rows
 from repro.shard.wire import (
     CHECKPOINT,
+    COLLECT_RELAY,
     CRUN,
     ERR,
     HELLO,
@@ -186,10 +189,12 @@ from repro.shard.wire import (
     PING,
     REBALANCE,
     REGISTER,
+    RELAY_TAP,
     REOPTIMIZE,
     RESTORE,
     RING,
     RUN,
+    RelayCodec,
     SCHEMA,
     SCHEMA_RETIRE,
     SNAPSHOT,
@@ -400,6 +405,15 @@ def _apply_command(runtime: QueryRuntime, kind: str, payload, recorder=None):
                 # error, so the donor keeps serving.
                 runtime.import_component(transfer)
                 raise
+            # Exports fed by moved queries leave with them: the coordinator
+            # re-installs the tap on the recipient at the collected cursor.
+            moved = set(transfer.query_ids)
+            for alias in [
+                alias
+                for alias, entry in runtime.relay_exports.items()
+                if entry.get("query_id") in moved
+            ]:
+                runtime.remove_export(alias)
             return {"blob": blob, "queries": transfer.query_ids}
         if action == "in":
             transfer = decode_transfer(value)
@@ -415,6 +429,47 @@ def _apply_command(runtime: QueryRuntime, kind: str, payload, recorder=None):
                 "queries": sorted(transfer.query_ids),
             }
         raise LifecycleError(f"unknown rebalance action {action!r}")
+    if kind == RELAY_TAP:
+        alias = payload["alias"]
+        if payload.get("remove"):
+            runtime.remove_export(alias)
+            return {"alias": alias}
+        stream, channel = payload.get("stream"), payload.get("channel")
+        if payload.get("make"):
+            # Owner-side creation: mint the alias stream/channel in this
+            # worker's id-space (collision-free by reseed_identifiers) and
+            # hand them back for coordinator registration + broadcast
+            # adoption on the other shards.
+            from repro.shard.relay import sink_channel_of
+
+            sink = sink_channel_of(runtime.plan, payload["query_id"])
+            stream = StreamDef(
+                alias,
+                sink.streams[0].schema,
+                sharable_label=payload.get("sharable_label"),
+            )
+            channel = Channel.singleton(stream)
+        runtime.export_stream(
+            alias,
+            payload.get("query_id"),
+            stream,
+            channel,
+            cursor=payload.get("cursor", 0),
+        )
+        return {"alias": alias, "stream": stream, "channel": channel}
+    if kind == COLLECT_RELAY:
+        alias = payload["alias"]
+        start, runs, produced = runtime.collect_relay(alias, payload["ack"])
+        codec = RelayCodec(
+            payload["edge"],
+            runtime.relay_exports[alias]["alias_channel"],
+            columnar=payload.get("columnar", True),
+        )
+        frames = []
+        for run in runs:
+            frames.extend(codec.encode(run))
+        frames.append(codec.encode_eof())
+        return {"start": start, "frames": frames, "produced": produced}
     if kind == CHECKPOINT:
         return capture_manifest(
             runtime, payload["version"], payload.get("base")
@@ -572,6 +627,7 @@ def _worker_main(
                         "max_seq": max_seq,
                         "cursor": dict(runtime.cursor),
                         "active_queries": sorted(runtime.active_queries),
+                        "exports": sorted(runtime.relay_exports),
                     },
                 )
             )
@@ -601,6 +657,12 @@ def _worker_main(
                     result = _apply_command(runtime, kind, payload, recorder)
             else:
                 result = _apply_command(runtime, kind, payload, recorder)
+            if kind == RELAY_TAP and isinstance(result, dict):
+                # Adopting an alias must also teach the wire decoder its
+                # channel, or relayed runs shipped on it cannot decode.
+                adopted = result.get("channel")
+                if adopted is not None:
+                    decoder.add_channel(adopted)
             status = OK
         except RumorError as error:
             status, result = ERR, f"{type(error).__name__}: {error}"
@@ -805,6 +867,15 @@ class ProcessShardedRuntime:
         self.input_stats = RunStats()
         self.rebalances = 0
         self.crash_recoveries = 0
+        #: alias → ``{"query_id", "edge", "collected"}`` — cross-shard
+        #: relay exports (see :meth:`export_stream`).  ``collected`` is the
+        #: journal-backed exactly-once watermark for relayed tuples.
+        self._relays: dict[str, dict] = {}
+        #: Monotone relay edge-id seed (frames the per-collect codecs).
+        self._next_relay_edge = 1
+        #: Relayed (derived) tuples re-emitted across shards — volume
+        #: counter only; relay traffic never counts as source input.
+        self.relayed_events = 0
         incarnation_start = 1
         if self._resume:
             state = self._journal.state
@@ -833,6 +904,10 @@ class ProcessShardedRuntime:
                 self.streams[name] = stream
                 self._channels[name] = channel
                 self._source_labels[name] = label
+            for alias, info in state.relays.items():
+                self._relays[alias] = dict(info)
+                if info["edge"] >= self._next_relay_edge:
+                    self._next_relay_edge = info["edge"] + 1
             self.input_stats.input_events = state.input_events
             self.input_stats.physical_input_events = state.input_events
             if state.retired_stats is not None:
@@ -1375,6 +1450,12 @@ class ProcessShardedRuntime:
                 if owner == shard:
                     self._rpc(shard, REGISTER, self._queries[query_id])
                     report.queries_lost_state.append(query_id)
+            # Re-tap exported sinks at the collected watermark so relay
+            # numbering stays aligned (the operator state behind them is
+            # gone either way — that's the documented non-durable loss).
+            for alias, info in self._relays.items():
+                if self._query_shard.get(info["query_id"]) == shard:
+                    self._install_relay_tap(shard, alias, info["collected"])
         report.elapsed_seconds = time.perf_counter() - started
         self.recovery_log.append(report)
         # str(report) carries the full account (including the DROPPED
@@ -1422,6 +1503,13 @@ class ProcessShardedRuntime:
             report.state_restored = restored["state_restored"]
             self._shipped[shard] = dict(checkpoint.cursor)
             position = checkpoint.position
+            # Taps live at the cut re-install at their manifest cursors
+            # (== the journaled collected watermark, because relays drain
+            # before every cut); taps created after the cut replay from
+            # the log suffix below.
+            for alias, cursor in checkpoint.relays.items():
+                if alias in self._relays:
+                    self._install_relay_tap(shard, alias, cursor)
         else:
             position = self._wal[shard].start
         for entry in self._wal[shard].entries_from(position):
@@ -1447,6 +1535,14 @@ class ProcessShardedRuntime:
                 # Replayed components leave again; the live copy is on
                 # the shard the original rebalance moved it to.
                 self._rpc(shard, REBALANCE, ("out", entry[1]))
+                report.lifecycle_replayed += 1
+            elif kind == "relay-tap":
+                __, alias, cursor = entry
+                if alias in self._relays:
+                    self._install_relay_tap(shard, alias, cursor)
+                    report.lifecycle_replayed += 1
+            elif kind == "relay-untap":
+                self._rpc(shard, RELAY_TAP, {"alias": entry[1], "remove": True})
                 report.lifecycle_replayed += 1
             else:
                 raise CheckpointError(
@@ -1546,6 +1642,17 @@ class ProcessShardedRuntime:
                             UNREGISTER,
                             {"query_id": query_id, "purge_captured": True},
                         )
+                # Same rollback for relay exports the journal never
+                # committed (the dead coordinator crashed between the tap
+                # RPC and the "relay" record).
+                for alias in info.get("exports", ()):
+                    owner_info = self._relays.get(alias)
+                    if (
+                        owner_info is None
+                        or self._query_shard.get(owner_info["query_id"])
+                        != shard
+                    ):
+                        self._rpc(shard, RELAY_TAP, {"alias": alias, "remove": True})
             adopted = 0
             for shard in self._shards:
                 info = hello.get(shard)
@@ -1730,6 +1837,11 @@ class ProcessShardedRuntime:
         # the previous one has fully landed (or its shard died).
         if self._pending_ckpt is not None:
             self.collect_checkpoints()
+        # Relays must be quiescent at the cut: with every produced tuple
+        # journaled as collected, each manifest's relay cursor equals the
+        # journaled watermark — otherwise tuples retained at the cut would
+        # be restored over (the tap resumes past them) yet never shipped.
+        self._drain_relays()
         self._ckpt_version += 1
         version = self._ckpt_version
         # Differential cadence: deltas by default, a forced full round
@@ -1762,6 +1874,11 @@ class ProcessShardedRuntime:
                     "frame": frame,
                     "position": self._wal[shard].end,
                     "expected_cursor": dict(self._shipped[shard]),
+                    "expected_relays": {
+                        alias: info["collected"]
+                        for alias, info in self._relays.items()
+                        if self._query_shard[info["query_id"]] == shard
+                    },
                     "base": base,
                     "retries": 0,
                 }
@@ -1875,6 +1992,15 @@ class ProcessShardedRuntime:
                 f"coordinator shipped {entry['expected_cursor']} before the "
                 f"cut — the protocol's ordering guarantee is broken"
             )
+        expected_relays = entry.get("expected_relays", {})
+        if manifest.get("relays", {}) != expected_relays:
+            raise CheckpointError(
+                f"shard {shard} checkpoint v{pending['version']} relay "
+                f"cursor mismatch: worker produced "
+                f"{manifest.get('relays', {})}, coordinator collected "
+                f"{expected_relays} before the cut — relays were not "
+                f"quiescent at initiation"
+            )
         # Account what actually crossed the wire (differential rounds trim
         # the captured histories to deltas before this point).
         wire_bytes = len(manifest["captured_extra"]) + sum(
@@ -1900,6 +2026,7 @@ class ProcessShardedRuntime:
             ),
             captured_extra=manifest["captured_extra"],
             stats=manifest["stats"],
+            relays=dict(expected_relays),
         )
         self.store.put(checkpoint)
         # Invalidate the splice cache; the next differential round rebuilds
@@ -2081,6 +2208,12 @@ class ProcessShardedRuntime:
     @_locked
     def unregister(self, query_id: str) -> dict:
         self._ensure_started()
+        for alias, info in self._relays.items():
+            if info["query_id"] == query_id:
+                raise LifecycleError(
+                    f"query {query_id!r} feeds exported stream {alias!r}; "
+                    f"remove the export before unregistering"
+                )
         shard = self.shard_of(query_id)
         result = self._rpc_recovering(shard, UNREGISTER, query_id)
         if self.durable:
@@ -2229,6 +2362,12 @@ class ProcessShardedRuntime:
     def submit_unregister(self, query_id: str) -> int:
         """Pipelined :meth:`unregister`; returns the shard it left."""
         self._ensure_started()
+        for alias, info in self._relays.items():
+            if info["query_id"] == query_id:
+                raise LifecycleError(
+                    f"query {query_id!r} feeds exported stream {alias!r}; "
+                    f"remove the export before unregistering"
+                )
         shard = self.shard_of(query_id)
         if self._journal is not None:
             self.unregister(query_id)
@@ -2416,6 +2555,10 @@ class ProcessShardedRuntime:
         with self._traced(
             "rebalance", query=query_id, source=from_shard, target=to_shard
         ):
+            # Flush bridge traffic first: the export drops the donor's
+            # relay taps, and dropped runs are only safe once collected
+            # and journaled.
+            self._drain_relays()
             try:
                 exported = self._rpc(from_shard, REBALANCE, ("out", query_id))
             except WorkerCrashError:
@@ -2434,12 +2577,21 @@ class ProcessShardedRuntime:
                     f"shard {from_shard} crashed during export; {detail}"
                 ) from None
             blob = exported["blob"]
+            moved_relays = {
+                alias: info
+                for alias, info in self._relays.items()
+                if info["query_id"] in set(exported["queries"])
+            }
             self._crash_point("rebalance-mid", "before")
             try:
                 self._rpc(to_shard, REBALANCE, ("in", blob))
             except WorkerCrashError:
                 self._recover(to_shard)
                 self._rpc(from_shard, REBALANCE, ("in", blob))
+                for alias, info in moved_relays.items():
+                    self._install_relay_tap(
+                        from_shard, alias, info["collected"]
+                    )
                 self._route_cache.clear()
                 raise LifecycleError(
                     f"shard {to_shard} crashed during rebalance import; "
@@ -2447,8 +2599,16 @@ class ProcessShardedRuntime:
                 ) from None
             except WorkerCommandError:
                 self._rpc(from_shard, REBALANCE, ("in", blob))
+                for alias, info in moved_relays.items():
+                    self._install_relay_tap(
+                        from_shard, alias, info["collected"]
+                    )
                 self._route_cache.clear()
                 raise
+            # Exports ride with their producers: re-tap on the recipient at
+            # the collected watermark (the drain above made it exact).
+            for alias, info in moved_relays.items():
+                self._install_relay_tap(to_shard, alias, info["collected"])
             if self.durable:
                 # A rolled-back rebalance is a net no-op and records nothing;
                 # a successful one is two log entries: the component leaves
@@ -2457,6 +2617,11 @@ class ProcessShardedRuntime:
                 # exactly.
                 self._wal[from_shard].append(("export", query_id))
                 self._wal[to_shard].append(("import", blob))
+                for alias, info in moved_relays.items():
+                    self._wal[from_shard].append(("relay-untap", alias))
+                    self._wal[to_shard].append(
+                        ("relay-tap", alias, info["collected"])
+                    )
             if self._journal is not None:
                 self._journal.append(
                     "rebalance",
@@ -2465,6 +2630,10 @@ class ProcessShardedRuntime:
                     to_shard,
                     list(exported["queries"]),
                     blob,
+                    {
+                        alias: info["collected"]
+                        for alias, info in moved_relays.items()
+                    },
                 )
             for moved_id in exported["queries"]:
                 self._query_shard[moved_id] = to_shard
@@ -2544,6 +2713,13 @@ class ProcessShardedRuntime:
             )
         if self.n_shards <= 1:
             raise LifecycleError("cannot remove the last worker")
+        for alias, info in self._relays.items():
+            if self._query_shard.get(info["query_id"]) == shard:
+                raise LifecycleError(
+                    f"shard {shard} owns the producer of exported stream "
+                    f"{alias!r}; rebalance {info['query_id']!r} away before "
+                    f"removing the worker"
+                )
         moved: list[str] = []
         with self._traced("scale_down", shard=shard):
             while True:
@@ -2662,6 +2838,188 @@ class ProcessShardedRuntime:
             )
             return list(copied["queries"])
 
+    # -- cross-shard derived channels (relay exports) ----------------------------------
+
+    @_locked
+    def export_stream(
+        self,
+        query_id: str,
+        alias: str,
+        sharable_label: Optional[str] = None,
+    ) -> StreamDef:
+        """Re-emit ``query_id``'s output channel as derived source ``alias``.
+
+        The owning worker mints the alias stream/channel in its id-space
+        and taps the query's sink; every other worker adopts the alias as
+        a plain source.  From then on each batch boundary collects the
+        tap's pending runs over the relay wire and re-emits them to the
+        alias's consuming shards — queries on *any* shard can read the
+        exported query's output, which is what lets the planner split an
+        entry-channel connected component across workers.
+
+        RPC-then-journal, like register: a coordinator crash in between
+        leaves a tap the journal never committed, rolled back by re-adopt
+        reconciliation.
+        """
+        self._ensure_started()
+        if alias in self.streams:
+            raise LifecycleError(f"stream name {alias!r} is already in use")
+        owner = self.shard_of(query_id)
+        edge = self._next_relay_edge
+        made = self._rpc_recovering(
+            owner,
+            RELAY_TAP,
+            {
+                "alias": alias,
+                "query_id": query_id,
+                "make": True,
+                "sharable_label": sharable_label,
+                "cursor": 0,
+            },
+        )
+        stream, channel = made["stream"], made["channel"]
+        for shard in self._shards:
+            if shard == owner:
+                continue
+            self._rpc_recovering(
+                shard,
+                RELAY_TAP,
+                {
+                    "alias": alias,
+                    "query_id": None,
+                    "stream": stream,
+                    "channel": channel,
+                    "cursor": 0,
+                },
+            )
+        if self.durable:
+            self._wal[owner].append(("relay-tap", alias, 0))
+        self._crash_point("relay", "before")
+        if self._journal is not None:
+            self._journal.append(
+                "relay", alias, query_id, owner, stream, channel, edge
+            )
+        self._crash_point("relay", "after")
+        self._next_relay_edge = edge + 1
+        self.streams[alias] = stream
+        self._channels[alias] = channel
+        self._source_labels[alias] = sharable_label
+        self._relays[alias] = {
+            "query_id": query_id,
+            "edge": edge,
+            "collected": 0,
+        }
+        self._route_cache.clear()
+        self.events.emit(
+            "export_stream",
+            level=logging.DEBUG,
+            alias=alias,
+            query=query_id,
+            shard=owner,
+        )
+        return stream
+
+    def exported_streams(self) -> dict[str, str]:
+        """Live exports: alias → producing query id."""
+        return {
+            alias: info["query_id"] for alias, info in self._relays.items()
+        }
+
+    def _install_relay_tap(self, shard: int, alias: str, cursor: int) -> None:
+        """(Re)install an export's tap on a respawned or recipient worker."""
+        info = self._relays.get(alias)
+        self._rpc(
+            shard,
+            RELAY_TAP,
+            {
+                "alias": alias,
+                "query_id": info["query_id"] if info is not None else None,
+                "stream": self.streams[alias],
+                "channel": self._channels[alias],
+                "cursor": cursor,
+            },
+        )
+
+    def _drain_relays(self) -> None:
+        """Collect every export's pending runs and re-emit them downstream.
+
+        Loops until quiescent: a relayed run can itself drive an exported
+        query on another shard (chained bridges), whose new output must
+        flow in the same drain.  Each collect acknowledges the journaled
+        ``collected`` watermark — the worker prunes runs at or below it and
+        returns the unacknowledged suffix, so a coordinator that crashed
+        after journaling but before shipping re-collects exactly the runs
+        it already owns (the skip below discards the journaled prefix).
+        """
+        if not self._relays:
+            return
+        progress = True
+        while progress:
+            progress = False
+            for alias, info in list(self._relays.items()):
+                owner = self._query_shard[info["query_id"]]
+                reply = self._rpc_recovering(
+                    owner,
+                    COLLECT_RELAY,
+                    {
+                        "alias": alias,
+                        "edge": info["edge"],
+                        "ack": info["collected"],
+                        "columnar": self.data_plane == "columnar",
+                    },
+                )
+                skip = info["collected"] - reply["start"]
+                if skip < 0:
+                    raise ChannelError(
+                        f"relay {alias!r} cursor regressed: worker retained "
+                        f"from {reply['start']} but coordinator already "
+                        f"collected {info['collected']}"
+                    )
+                codec = RelayCodec(
+                    info["edge"],
+                    self._channels[alias],
+                    columnar=self.data_plane == "columnar",
+                )
+                rows: list[StreamTuple] = []
+                for __, batch in decode_local_frames(reply["frames"], codec):
+                    batch_rows = relay_rows(batch)
+                    if skip:
+                        if skip >= len(batch_rows):
+                            skip -= len(batch_rows)
+                            continue
+                        batch_rows = batch_rows[skip:]
+                        skip = 0
+                    rows.extend(batch_rows)
+                if rows:
+                    progress = True
+                    self._emit_relay(alias, rows)
+
+    def _emit_relay(self, alias: str, rows: list) -> None:
+        """Journal-then-ship one alias's collected rows to its consumers.
+
+        Mirrors :meth:`process_batch`'s chunk loop, except relayed tuples
+        are derived traffic: they advance the export's ``collected``
+        watermark and the consumer WALs, never ``input_positions`` or the
+        coordinator's input accounting.
+        """
+        info = self._relays[alias]
+        shards = self._consumers_of(alias)
+        start = 0
+        while start < len(rows):
+            chunk = rows[start : start + self.max_batch]
+            start += self.max_batch
+            self._crash_point("rbatch", "before")
+            if self._journal is not None:
+                self._journal.append("rbatch", alias, chunk, list(shards))
+            self._crash_point("rbatch", "after")
+            if self.durable:
+                for shard in shards:
+                    self._wal[shard].append(("data", alias, chunk))
+            info["collected"] += len(chunk)
+            if shards:
+                self._ship_run(alias, chunk, shards)
+        self.relayed_events += len(rows)
+
     # -- event processing ------------------------------------------------------------
 
     def _consumers_of(self, stream_name: str) -> tuple[int, ...]:
@@ -2729,6 +3087,10 @@ class ProcessShardedRuntime:
                 for shard in shards:
                     self._wal[shard].append(("data", stream_name, chunk))
             self._ship_run(stream_name, chunk, shards)
+        # Bridge traffic flows on batch boundaries: collect every export's
+        # pending output and re-emit it to consuming shards before the
+        # checkpoint trigger (cuts require quiescent relays).
+        self._drain_relays()
         self._batches += 1
         if self.checkpoint_every and self._batches % self.checkpoint_every == 0:
             self._initiate_checkpoint()

@@ -86,6 +86,13 @@ class ShardedRuntime:
         #: stream name -> shards currently consuming it (rebuilt lazily
         #: after every lifecycle change).
         self._route_cache: dict[str, tuple[int, ...]] = {}
+        #: alias -> {"query_id", "collected"}: derived streams re-emitted
+        #: from one shard's query output into the others' entries
+        #: (:meth:`export_stream`).
+        self._relays: dict[str, dict] = {}
+        #: Tuples re-emitted across shards through relay exports (derived
+        #: traffic — never counted as fresh source input).
+        self.relayed_events = 0
         if sources:
             for name, schema in sources.items():
                 self.add_source(name, schema)
@@ -201,6 +208,9 @@ class ShardedRuntime:
             raise LifecycleError(
                 f"query {query_id!r} already lives on shard {to_shard}"
             )
+        # Flush pending bridge traffic first: a move discards the donor's
+        # tap buffer, so everything produced must be delivered before it.
+        self.stats.absorb(self._drain_relays())
         transfer = self.runtimes[from_shard].export_component(query_id)
         try:
             self.runtimes[to_shard].import_component(transfer)
@@ -211,6 +221,21 @@ class ShardedRuntime:
             raise
         for moved_id in transfer.queries:
             self._query_shard[moved_id] = to_shard
+        # Re-home relay taps riding the moved component: the donor's
+        # registry entry leaves with the component, the recipient re-taps
+        # with the collected cursor so relay numbering continues unbroken.
+        moved = set(transfer.queries)
+        for alias, entry in self._relays.items():
+            if entry["query_id"] not in moved:
+                continue
+            self.runtimes[from_shard].remove_export(alias)
+            self.runtimes[to_shard].export_stream(
+                alias,
+                entry["query_id"],
+                self.streams[alias],
+                self._channels[alias],
+                cursor=entry["collected"],
+            )
         self._route_cache.clear()
         self.rebalances += 1
         return transfer
@@ -242,6 +267,91 @@ class ShardedRuntime:
             if owner == shard
         ]
 
+    # -- relay exports (cross-shard derived channels) --------------------------------
+
+    def export_stream(
+        self,
+        query_id: str,
+        alias: str,
+        sharable_label: Optional[str] = None,
+    ) -> StreamDef:
+        """Re-emit ``query_id``'s output stream as the derived source
+        ``alias``, consumable by queries on *any* shard.
+
+        The owning shard's engine gets a relay tap on the query's sink
+        channel; after every batch the coordinator drains the tap and
+        re-emits the captured runs onto ``alias`` for every consuming
+        shard, in emission order, on the batch boundary — so placements
+        that split producer and consumer across shards serve byte-identical
+        outputs to co-located ones.  Returns the alias stream.
+        """
+        if alias in self.streams:
+            raise LifecycleError(f"source {alias!r} is already declared")
+        owner = self.shard_of(query_id)
+        from repro.shard.relay import sink_channel_of
+
+        sink = sink_channel_of(self.runtimes[owner].plan, query_id)
+        stream = StreamDef(
+            alias, sink.streams[0].schema, sharable_label=sharable_label
+        )
+        channel = Channel.singleton(stream)
+        for index, runtime in enumerate(self.runtimes):
+            runtime.export_stream(
+                alias,
+                query_id if index == owner else None,
+                stream,
+                channel,
+            )
+        self.streams[alias] = stream
+        self._channels[alias] = channel
+        self._relays[alias] = {"query_id": query_id, "collected": 0}
+        self._route_cache.clear()
+        return stream
+
+    def exported_streams(self) -> dict[str, str]:
+        """alias → producing query id, in declaration order."""
+        return {
+            alias: entry["query_id"] for alias, entry in self._relays.items()
+        }
+
+    def _drain_relays(self) -> RunStats:
+        """Pump every relay export until quiescent (aliases can chain:
+        a consumer of one alias may itself feed another).  Relayed tuples
+        are derived traffic — the returned stats carry their outputs and
+        processing counters but zero *source* input events."""
+        drained = RunStats()
+        if not self._relays:
+            return drained
+        from repro.shard.relay import relay_rows
+
+        progress = True
+        while progress:
+            progress = False
+            for alias, entry in self._relays.items():
+                owner = self._query_shard[entry["query_id"]]
+                start, runs, __ = self.runtimes[owner].collect_relay(
+                    alias, entry["collected"]
+                )
+                skip = entry["collected"] - start
+                for run in runs:
+                    rows = relay_rows(run)
+                    if skip >= len(rows):
+                        skip -= len(rows)
+                        continue
+                    if skip:
+                        rows = rows[skip:]
+                        skip = 0
+                    for shard in self._consumers_of(alias):
+                        drained.absorb(
+                            self.runtimes[shard].process_batch(alias, rows)
+                        )
+                    entry["collected"] += len(rows)
+                    self.relayed_events += len(rows)
+                    progress = True
+        drained.input_events = 0
+        drained.physical_input_events = 0
+        return drained
+
     # -- event processing ------------------------------------------------------------
 
     def _consumers_of(self, stream_name: str) -> tuple[int, ...]:
@@ -264,6 +374,7 @@ class ShardedRuntime:
         merged = RunStats()
         for index in shards:
             merged.absorb(self.runtimes[index].process(stream_name, tuple_))
+        merged.absorb(self._drain_relays())
         # Count the source event once, however many shards consumed it.
         merged.input_events = 1
         merged.physical_input_events = 1
@@ -283,6 +394,7 @@ class ShardedRuntime:
             merged.absorb(
                 self.runtimes[index].process_batch(stream_name, tuples)
             )
+        merged.absorb(self._drain_relays())
         merged.input_events = len(tuples)
         merged.physical_input_events = len(tuples)
         self.stats.absorb(merged)

@@ -79,6 +79,21 @@ SCHEMA_RETIRE = "schema-retire"
 #: marker, not the ring, carries ordering: data stays FIFO with lifecycle
 #: frames because every record is announced in ship order.
 RING = "ring"
+#: Relay frame: ``("relay", edge_id, seq, inner_frame)`` re-emits one
+#: shard's derived output channel into another shard's entry.  The inner
+#: frame is any data frame of this module — ``crun`` for packable runs,
+#: ``run`` as the pickle fallback, ``schema`` for interning state, or a
+#: ``ring`` marker when the receiving shard has a shared-memory ring.
+#: ``seq`` numbers every frame of one edge contiguously from 0 so the
+#: receiver can detect dropped or reordered relay traffic, and the edge id
+#: scopes schema tokens: each edge carries its own encoder/decoder pair
+#: (:class:`RelayCodec`), so relay interning never collides with the
+#: source feed's tokens.
+RELAY = "relay"
+#: End of one relay edge: ``("relay-eof", edge_id, final_seq)``.  The
+#: receiver checks ``final_seq`` equals the frames it consumed — a cheap
+#: end-to-end completeness proof per edge.
+RELAY_EOF = "relay-eof"
 STOP = "stop"
 
 STOP_FRAME = (STOP,)
@@ -103,6 +118,14 @@ HELLO = "hello"
 #: ``hello`` — it is read-only), so the coordinator can distinguish a hung
 #: worker from a slow one without mutating any state.
 PING = "ping"
+#: Install (or re-home) a relay tap on a worker: the worker taps the named
+#: query's sink channel and buffers ``(seq, run)`` pairs until collected.
+RELAY_TAP = "relay-tap"
+#: Drain a worker's relay tap buffers: the reply carries the buffered
+#: ``(alias, seq, run)`` entries in emission order.  Sequence numbers are
+#: per-edge and survive checkpoint/restore, so the coordinator's relay
+#: cursor dedupes replayed runs exactly once.
+COLLECT_RELAY = "collect-relay"
 REPLY = "reply"
 
 COMMAND_KINDS = frozenset(
@@ -117,6 +140,8 @@ COMMAND_KINDS = frozenset(
         RESTORE,
         HELLO,
         PING,
+        RELAY_TAP,
+        COLLECT_RELAY,
     }
 )
 
@@ -262,6 +287,7 @@ def encode_manifest(
     captured_extra: dict,
     stats=None,
     base: Optional[dict] = None,
+    relays: Optional[dict] = None,
 ) -> dict:
     """Build a checkpoint manifest payload (flat primitives + bytes).
 
@@ -285,6 +311,14 @@ def encode_manifest(
     lands in the :class:`~repro.shard.checkpoint.CheckpointStore` is
     always self-contained.  ``base=None`` (absent on the wire) is a full
     manifest.
+
+    ``relays`` — ``{alias: next_seq}`` relay-tap sequence counters at the
+    cut — rides the manifest so a restored worker resumes numbering relay
+    runs exactly where the checkpoint left off: the log-suffix replay then
+    regenerates the same ``(alias, seq)`` pairs and the coordinator's
+    relay cursors dedupe them (exactly-once relay replay).  Absent on the
+    wire when the worker taps nothing, so manifests stay byte-compatible
+    with pre-relay peers.
     """
     payload = {
         "version": int(version),
@@ -305,6 +339,10 @@ def encode_manifest(
     }
     if base is not None:
         payload["base"] = {str(qid): int(off) for qid, off in base.items()}
+    if relays:
+        payload["relays"] = {
+            str(alias): int(seq) for alias, seq in relays.items()
+        }
     return payload
 
 
@@ -345,6 +383,7 @@ def decode_manifest(payload: dict) -> dict:
         "captured_extra": payload["captured_extra"],
         "stats": payload["stats"],
         "base": dict(base) if base is not None else None,
+        "relays": dict(payload.get("relays") or {}),
     }
 
 
@@ -727,3 +766,112 @@ class WireDecoder:
                 f"width {len(schema)}"
             )
         return channel, ColumnBatch(schema, count, ts, membership, columns)
+
+
+class RelayCodec:
+    """Per-edge framing for cross-shard channel re-emission.
+
+    One codec instance lives on each side of a relay edge: the producing
+    shard encodes every tapped run of the bridge channel into ``relay``
+    frames, the consuming shard decodes them back into batches.  The codec
+    owns a private :class:`WireEncoder`/:class:`WireDecoder` pair, so relay
+    schema tokens are interned per edge and can never collide with the
+    tokens of the source feed (or of another edge) sharing the transport.
+
+    Frames of one edge are numbered contiguously from 0; ``decode`` raises
+    :class:`~repro.errors.ChannelError` on any gap or reorder, and the
+    terminating ``relay-eof`` frame carries the final count so a silently
+    truncated edge is detected rather than absorbed.
+
+    ``columnar=True`` packs each run into a ``crun`` inner frame when its
+    rows share one schema, falling back to the pickle ``run`` frame per
+    run; ``columnar=False`` forces the pickle plane (the equivalence
+    oracle).
+    """
+
+    def __init__(self, edge_id: int, channel: Channel, columnar: bool = True):
+        self.edge_id = edge_id
+        self.channel = channel
+        self.columnar = columnar
+        self._encoder = WireEncoder()
+        self._decoder = WireDecoder([channel])
+        self._next_send = 0
+        self._next_recv = 0
+
+    @property
+    def sent(self) -> int:
+        return self._next_send
+
+    @property
+    def received(self) -> int:
+        return self._next_recv
+
+    def encode(self, batch) -> list[tuple]:
+        """Encode one tapped run (channel tuples or a ``ColumnBatch``)."""
+        if self.columnar:
+            packed = (
+                batch
+                if type(batch) is ColumnBatch
+                else ColumnBatch.from_channel_tuples(batch)
+            )
+            if packed is not None:
+                inner = self._encoder.encode_run_columns(self.channel, packed)
+            else:
+                inner = self._encoder.encode_run(self.channel, list(batch))
+        else:
+            if type(batch) is ColumnBatch:
+                batch = batch.channel_tuples()
+            inner = self._encoder.encode_run(self.channel, list(batch))
+        frames = []
+        for frame in inner:
+            frames.append((RELAY, self.edge_id, self._next_send, frame))
+            self._next_send += 1
+        return frames
+
+    def encode_eof(self) -> tuple:
+        """The edge's terminating frame, carrying the final frame count."""
+        return (RELAY_EOF, self.edge_id, self._next_send)
+
+    def decode(self, frame: tuple):
+        """Decode one relay frame; returns ``(channel, batch)`` or None.
+
+        None means a bookkeeping inner frame (schema interning).  Raises
+        :class:`ChannelError` on a frame for another edge, a sequence gap,
+        or a malformed inner frame.
+        """
+        if not isinstance(frame, tuple) or len(frame) != 4 or frame[0] != RELAY:
+            raise ChannelError(
+                f"malformed relay frame {frame!r:.200}: expected "
+                f"(relay, edge_id, seq, inner_frame)"
+            )
+        __, edge_id, seq, inner = frame
+        if edge_id != self.edge_id:
+            raise ChannelError(
+                f"relay frame for edge {edge_id} on codec for edge "
+                f"{self.edge_id}"
+            )
+        if seq != self._next_recv:
+            raise ChannelError(
+                f"relay edge {self.edge_id} sequence gap: expected "
+                f"{self._next_recv}, got {seq}"
+            )
+        self._next_recv += 1
+        return self._decoder.decode(inner)
+
+    def decode_eof(self, frame: tuple) -> None:
+        """Verify the edge's terminating frame against consumed frames."""
+        if not isinstance(frame, tuple) or len(frame) != 3 or frame[0] != RELAY_EOF:
+            raise ChannelError(
+                f"malformed relay-eof frame {frame!r:.200}"
+            )
+        __, edge_id, final_seq = frame
+        if edge_id != self.edge_id:
+            raise ChannelError(
+                f"relay-eof for edge {edge_id} on codec for edge "
+                f"{self.edge_id}"
+            )
+        if final_seq != self._next_recv:
+            raise ChannelError(
+                f"relay edge {self.edge_id} truncated: sender reports "
+                f"{final_seq} frames, receiver consumed {self._next_recv}"
+            )

@@ -113,6 +113,27 @@ class TestQueryCountPolicy:
         policy = QueryCountPolicy()
         assert list(policy.propose(runtime))
         assert policy.oversized_alerts == 0
+        assert policy.split_proposals == []
+
+    def test_oversized_component_becomes_one_split_proposal(self):
+        # Three candidates hit the guard but they are the *same* component:
+        # exactly one split proposal, naming the component and its anchor.
+        component = ["a", "b", "c"]
+        runtime = FakeRuntime(
+            {"a": 0, "b": 0, "c": 0, "d": 1},
+            busy=[0, 0],
+            outputs_by_query={},
+            components={q: component for q in component},
+        )
+        policy = QueryCountPolicy()
+        list(policy.propose(runtime))
+        list(policy.propose(runtime))  # repeat proposals do not duplicate
+        assert len(policy.split_proposals) == 1
+        proposal = policy.split_proposals[0]
+        assert proposal.query_ids == ("a", "b", "c")
+        assert proposal.shard == 0
+        assert proposal.size == 3
+        assert proposal.size > proposal.per_shard_target
 
 
 class TestThroughputPolicy:

@@ -344,6 +344,74 @@ class TestIngest:
         assert session.log.events == total
         session.finish()
 
+    def test_two_client_fairness_bounds_latency_spread(self):
+        """A fast pusher must not starve a slower client's ship latency.
+
+        The pump is saturated (one-run queue, slowed runtime); one client
+        hammers S while another trickles batches on T at a much lower
+        rate.  The FIFO submission turnstile admits waiting connections
+        round-robin, so the slow client's per-batch ship latency is
+        bounded by the pump's service time — not by the aggressor's
+        backlog, which is what the pre-fairness code degenerated to.
+        """
+        runtime = open_runtime(sources=SOURCES, capture_outputs=True)
+        original = runtime.process_batch
+
+        def slowed(stream, tuples):
+            time.sleep(0.005)
+            return original(stream, tuples)
+
+        runtime.process_batch = slowed
+        session = ServeSession(runtime, queue_runs=1)
+        window = 16
+        fast_total = 480
+        slow_batches, slow_batch = 12, 16
+        with IngestServer(
+            session, port=0, window=window, max_run=8, flush_interval=0.002
+        ) as server:
+            host, port = server.address
+            failures = []
+
+            def fast_pusher():
+                try:
+                    with ServeClient(host, port, client_id="fast") as fast:
+                        for i in range(0, fast_total, 8):
+                            fast.send(
+                                "S",
+                                [(ts, (ts % 3, ts)) for ts in range(i, i + 8)],
+                            )
+                except BaseException as error:  # surfaced by the main thread
+                    failures.append(error)
+
+            latencies = []
+            thread = threading.Thread(target=fast_pusher)
+            with ServeClient(host, port, client_id="slow") as trickle:
+                thread.start()
+                time.sleep(0.05)  # let the fast client saturate the pump
+                for i in range(slow_batches):
+                    started = time.monotonic()
+                    # Batch == window: every send first waits out the
+                    # previous batch's credits, so each sample spans one
+                    # full ship round-trip under contention.
+                    trickle.send(
+                        "T",
+                        [
+                            (ts, (1, ts))
+                            for ts in range(
+                                i * slow_batch, (i + 1) * slow_batch
+                            )
+                        ],
+                    )
+                    latencies.append(time.monotonic() - started)
+            thread.join()
+            stats = server.stats()
+        assert not failures
+        assert stats["contended_submits"] > 0  # the turnstile arbitrated
+        assert max(latencies) < 1.0
+        session.drain()
+        assert session.log.events == fast_total + slow_batches * slow_batch
+        session.finish()
+
     def test_client_disconnect_mid_run_keeps_accepted_events(self):
         runtime = open_runtime(sources=SOURCES, capture_outputs=True)
         session = ServeSession(runtime)

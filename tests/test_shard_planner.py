@@ -148,15 +148,69 @@ class TestPartition:
         for channel_id, shard in shard_plan.channel_shard.items():
             assert 0 <= shard < 2
 
-    def test_single_component_collapses_to_one_shard(self):
-        # A query set that is one connected component degenerates to n=1:
+    def test_single_component_collapses_to_one_shard_without_split(self):
+        # With splitting disabled, a one-component plan degenerates to n=1:
         # every m-op lands on one shard, the rest stay empty.
         plan, __ = bridged_plan()
-        shard_plan = ShardPlanner().partition(plan, 4)
+        shard_plan = ShardPlanner().partition(plan, 4, split=False)
         assert shard_plan.effective_shards == 1
+        assert shard_plan.relays == []
         populated = [sub for sub in shard_plan.subplans if sub.mops]
         assert len(populated) == 1
         assert len(populated[0].mops) == len(plan.mops)
+
+    def test_bridge_component_splits_across_shards(self):
+        # With splitting on (the default), the bridged component is cut at
+        # the selection's output: the σ fragment and the sequence fragment
+        # land on different shards, joined by one relay edge.
+        plan, __ = bridged_plan()
+        shard_plan = ShardPlanner().partition(plan, 4)
+        assert shard_plan.effective_shards == 2
+        assert len(shard_plan.components) == 2
+        assert len(shard_plan.relays) == 1
+        edge = shard_plan.relays[0]
+        assert edge.from_shard != edge.to_shard
+        # Fragments are renumbered topologically: producer before consumer.
+        assert edge.from_component < edge.to_component
+        # The bridge stream is adopted as a *source* of the receiving shard.
+        receiving = shard_plan.subplans[edge.to_shard]
+        assert any(
+            source.stream_id == edge.stream.stream_id
+            for source in receiving.sources
+        )
+        # Sinks stay with their producing fragment: q_sel sinks on the
+        # bridge stream itself, which the upstream fragment produces.
+        assert shard_plan.query_shard["q_sel"] == edge.from_shard
+        assert shard_plan.query_shard["q_seq"] == edge.to_shard
+
+    def test_source_consumed_on_both_sides_blocks_the_cut(self):
+        # A raw source feeding m-ops on *both* sides of a candidate cut
+        # cannot be single-homed (the router ships each source channel to
+        # exactly one shard), so the cut must be refused — the component
+        # stays whole rather than silently starving one side of its feed.
+        plan, (s, t) = bridged_plan()
+        extra = plan.add_operator(
+            Selection(Comparison(attr("a0"), "==", lit(2))),
+            [t],
+            query_id="q_t",
+        )
+        plan.mark_output(extra, "q_t")
+        shard_plan = ShardPlanner().partition(plan, 4)
+        assert shard_plan.relays == []
+        assert len(shard_plan.components) == 1
+        shards = {
+            shard_plan.query_shard[q] for q in ("q_sel", "q_seq", "q_t")
+        }
+        assert len(shards) == 1
+
+    def test_colocated_fragments_drop_the_relay(self):
+        # Cut fragments that land on the same shard reconnect through the
+        # shard plan's own wiring — no relay edge survives.
+        plan, __ = bridged_plan()
+        shard_plan = ShardPlanner().partition(plan, 1)
+        assert shard_plan.relays == []
+        assert shard_plan.effective_shards == 1
+        assert len(shard_plan.subplans[0].mops) == len(plan.mops)
 
     def test_oversized_component_is_flagged(self):
         # One heavy component (5 merged selection queries + sequences) next
@@ -201,15 +255,117 @@ class TestPartition:
         text = shard_plan.describe()
         assert "component" in text
 
-    def test_rejects_sink_on_source_stream(self):
+    def test_passthrough_sink_rides_its_entry_shard(self):
+        # A query sinking directly on a source stream used to abort the
+        # whole partition with PlanError; now it lands on the shard that
+        # owns that entry channel.
+        plan, sources = multi_source_plan(num_sources=2)
+        plan.mark_output(sources[0], "passthrough")
+        shard_plan = ShardPlanner().partition(plan, 2)
+        shard = shard_plan.query_shard["passthrough"]
+        entry_channel = plan.channel_of(sources[0])
+        assert shard == shard_plan.channel_shard[entry_channel.channel_id]
+        subplan = shard_plan.subplans[shard]
+        sink_queries = {
+            query_id
+            for __, query_ids in subplan.sink_streams()
+            for query_id in query_ids
+        }
+        assert "passthrough" in sink_queries
+        subplan.validate()
+
+    def test_passthrough_only_plan_takes_lightest_shard(self):
+        # No component consumes the channel at all: the pass-through query
+        # goes to the least-loaded shard instead of raising.
         schema = Schema.numbered(1)
         plan = QueryPlan()
         s = plan.add_source("S", schema)
         plan.mark_output(s, "passthrough")
-        with pytest.raises(PlanError, match="sink directly on"):
-            ShardPlanner().partition(plan, 2)
+        shard_plan = ShardPlanner().partition(plan, 2)
+        shard = shard_plan.query_shard["passthrough"]
+        assert shard == 0
+        assert any(
+            source.stream_id == s.stream_id
+            for source in shard_plan.subplans[shard].sources
+        )
 
     def test_empty_plan_partitions_to_empty_shards(self):
         shard_plan = ShardPlanner().partition(QueryPlan(), 2)
         assert shard_plan.components == []
         assert shard_plan.effective_shards == 0
+
+
+class TestOversizedTolerance:
+    def test_fp_noise_does_not_flip_the_flag(self):
+        from repro.shard.planner import OVERSIZED_REL_TOL, is_oversized
+
+        target = 100.0
+        assert not is_oversized(target, target)
+        # A few ULPs of attribution noise stay under the relative tolerance.
+        assert not is_oversized(target + 1e-12, target)
+        assert not is_oversized(target * (1.0 + OVERSIZED_REL_TOL / 2), target)
+        # A real excess still trips it.
+        assert is_oversized(target * (1.0 + OVERSIZED_REL_TOL * 10), target)
+        assert is_oversized(target * 1.5, target)
+
+    def test_partition_flag_uses_tolerance(self):
+        # Two identical components over two shards: each cost equals the
+        # target exactly up to summation order, so neither may be flagged.
+        plan, __ = multi_source_plan(num_sources=2)
+        shard_plan = ShardPlanner().partition(plan, 2)
+        assert shard_plan.oversized == []
+
+
+class TestSharabilityGrouping:
+    def _labelled_plan(self):
+        # Components over A and B read sources sharing a sharable label
+        # (their entries are ∼-equivalent) and are light — one query each.
+        # Components over C and D are unlabeled and three times as heavy, so
+        # the A+B group fits under the per-shard target and stays glued.
+        schema = Schema.numbered(2)
+        plan = QueryPlan()
+        a = plan.add_source("A", schema, sharable_label="L")
+        b = plan.add_source("B", schema, sharable_label="L")
+        c = plan.add_source("C", schema)
+        d = plan.add_source("D", schema)
+        for i, source in enumerate((a, b)):
+            query_id = f"q{i}"
+            out = plan.add_operator(
+                Selection(Comparison(attr("a0"), "==", lit(i))),
+                [source],
+                query_id=query_id,
+            )
+            plan.mark_output(out, query_id)
+        for i, source in enumerate((c, d)):
+            for j in range(3):
+                query_id = f"h{i}_{j}"
+                out = plan.add_operator(
+                    Selection(Comparison(attr("a0"), "==", lit(j))),
+                    [source],
+                    query_id=query_id,
+                )
+                plan.mark_output(out, query_id)
+        return plan
+
+    def test_sharable_alike_components_colocate(self):
+        plan = self._labelled_plan()
+        shard_plan = ShardPlanner().partition(plan, 3, split=False)
+        assert (
+            shard_plan.query_shard["q0"] == shard_plan.query_shard["q1"]
+        ), "∼-equivalent entries should balance as one unit"
+        assert shard_plan.query_shard["h0_0"] != shard_plan.query_shard["q0"]
+        assert shard_plan.query_shard["h1_0"] != shard_plan.query_shard["q0"]
+
+    def test_oversized_group_falls_back_to_lpt(self):
+        # If gluing a signature group would overload a shard, the members
+        # spread individually like before.
+        plan = self._labelled_plan()
+        planner = ShardPlanner()
+        components = planner.components(plan)
+        costs, __ = planner.cost_model.attributed_costs(plan)
+        for component in components:
+            component.cost = sum(costs[id(mop)] for mop in component.mops)
+        # A target below any single member's cost marks every group
+        # oversized, so all four components spread individually.
+        assignment = planner.balance_grouped(plan, components, 4, 0.0)
+        assert len(set(assignment)) == 4

@@ -181,4 +181,6 @@ class TestCommandCodec:
             "restore",
             "hello",
             "ping",
+            "relay-tap",
+            "collect-relay",
         }
